@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseGrid(t *testing.T) {
+	got, err := parseGrid("0, 0.5 ,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.5, 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := parseGrid("0,abc"); err == nil {
+		t.Error("bad grid accepted")
+	}
+	if _, err := parseGrid(""); err == nil {
+		t.Error("empty grid accepted")
+	}
+}

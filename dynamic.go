@@ -1,0 +1,95 @@
+package maxsumdiv
+
+import (
+	"fmt"
+
+	"maxsumdiv/internal/dataset"
+	"maxsumdiv/internal/dynamic"
+	"maxsumdiv/internal/metric"
+)
+
+// Dynamic maintains a diversified selection while item weights and pairwise
+// distances change over time, implementing Section 6 of the paper: after
+// each perturbation, the oblivious single-swap update rule restores a
+// 3-approximation with one update (weight/distance increases, distance
+// decreases) or the Theorem 4 number of updates (weight decreases).
+//
+// Dynamic requires the default modular quality. It owns a private copy of
+// the problem's data; mutations go through UpdateWeight / UpdateDistance.
+type Dynamic struct {
+	problem *Problem
+	sess    *dynamic.Session
+	// prevValue tracks φ(S) before the latest perturbation, the Theorem 4
+	// reference value.
+	prevValue float64
+}
+
+// Perturbation mirrors the paper's four perturbation types; returned by
+// UpdateWeight and UpdateDistance and consumed by Maintain.
+type Perturbation = dynamic.Perturbation
+
+// NewDynamic starts a dynamic session with the given initial selection
+// (typically Greedy(k).Indices, a 2-approximation).
+func (p *Problem) NewDynamic(initial []int) (*Dynamic, error) {
+	if p.modular == nil {
+		return nil, fmt.Errorf("maxsumdiv: Dynamic requires the default modular quality")
+	}
+	inst := &dataset.Instance{
+		Weights: p.modular.Weights(),
+		Dist:    metric.Materialize(p.obj.Metric()),
+	}
+	sess, err := dynamic.NewSession(inst, p.obj.Lambda(), initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Dynamic{problem: p, sess: sess, prevValue: sess.Value()}, nil
+}
+
+// Selection returns the current item indices.
+func (d *Dynamic) Selection() []int { return d.sess.Members() }
+
+// IDs returns the current item identifiers.
+func (d *Dynamic) IDs() []string {
+	members := d.sess.Members()
+	ids := make([]string, len(members))
+	for i, m := range members {
+		ids[i] = d.problem.items[m].ID
+	}
+	return ids
+}
+
+// Value returns φ(S) under the current (perturbed) data.
+func (d *Dynamic) Value() float64 { return d.sess.Value() }
+
+// UpdateWeight changes item u's weight and returns the perturbation record
+// to pass to Maintain.
+func (d *Dynamic) UpdateWeight(u int, w float64) (Perturbation, error) {
+	d.prevValue = d.sess.Value()
+	return d.sess.SetWeight(u, w)
+}
+
+// UpdateDistance changes the distance between items u and v. The Section 6
+// guarantees assume the perturbed distances remain a metric; the caller owns
+// that invariant.
+func (d *Dynamic) UpdateDistance(u, v int, dist float64) (Perturbation, error) {
+	d.prevValue = d.sess.Value()
+	return d.sess.SetDistance(u, v, dist)
+}
+
+// Update applies one step of the oblivious update rule: the best single
+// swap, if any improves. Returns whether a swap happened and its gain.
+func (d *Dynamic) Update() (swapped bool, gain float64) {
+	return d.sess.ObliviousUpdate()
+}
+
+// Maintain applies the number of oblivious updates the paper's theorems
+// prescribe for the perturbation and returns how many swaps were applied.
+func (d *Dynamic) Maintain(pert Perturbation) (int, error) {
+	return d.sess.Maintain(pert, d.prevValue)
+}
+
+// UpdatesNeeded reports the theorem-prescribed update count for a
+// perturbation without applying anything.
+func (d *Dynamic) UpdatesNeeded(pert Perturbation) (int, error) {
+	return d.sess.UpdatesFor(pert, d.prevValue)
+}

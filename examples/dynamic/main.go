@@ -1,0 +1,85 @@
+// Dynamic: a news feed whose story scores decay and spike over time — the
+// paper's Section 6 setting. Instead of recomputing the feed from scratch on
+// every change, the oblivious single-swap update rule maintains a provable
+// 3-approximation with one (or few) swaps per perturbation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"maxsumdiv"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	// 30 stories with topical embeddings; weight = editorial score.
+	items := make([]maxsumdiv.Item, 30)
+	for i := range items {
+		items[i] = maxsumdiv.Item{
+			ID:     fmt.Sprintf("story%02d", i),
+			Weight: 0.2 + 0.8*rng.Float64(),
+			Vector: []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()},
+		}
+	}
+	problem, err := maxsumdiv.NewProblem(items,
+		maxsumdiv.WithLambda(0.4),
+		maxsumdiv.WithCosineDistance(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start from the greedy 2-approximation, as the paper prescribes.
+	const p = 6
+	start, err := problem.Greedy(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feed, err := problem.NewDynamic(start.Indices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial feed: %v  φ=%.3f\n\n", feed.IDs(), feed.Value())
+
+	// Simulate a news cycle: 12 score perturbations (Type I/II).
+	totalSwaps := 0
+	for tick := 1; tick <= 12; tick++ {
+		u := rng.Intn(len(items))
+		newScore := 0.2 + 0.8*rng.Float64()
+		if tick%4 == 0 {
+			newScore += 1.0 // a breaking story spikes
+		}
+		pert, err := feed.UpdateWeight(u, newScore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		needed, err := feed.UpdatesNeeded(pert)
+		if err != nil {
+			// Type II outside Theorem 4's regime (the weight collapsed);
+			// fall back to updating until quiescent.
+			for {
+				swapped, _ := feed.Update()
+				if !swapped {
+					break
+				}
+				totalSwaps++
+			}
+			fmt.Printf("t=%2d %-28v → full requiesce\n", tick, pert.Kind)
+			continue
+		}
+		applied, err := feed.Maintain(pert)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalSwaps += applied
+		fmt.Printf("t=%2d %-28v story%02d→%.2f  prescribed=%d applied=%d  φ=%.3f\n",
+			tick, pert.Kind, u, newScore, needed, applied, feed.Value())
+	}
+
+	fmt.Printf("\nfinal feed: %v  φ=%.3f\n", feed.IDs(), feed.Value())
+	fmt.Printf("%d swaps across 12 perturbations — versus 12 full recomputations\n", totalSwaps)
+	fmt.Println("(Section 6 guarantees the maintained feed stays within 3× of optimal)")
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/setfunc"
+)
+
+// The ½ factor in the paper's potential is not cosmetic: there are instances
+// where the oblivious rule (full f marginal) picks a heavy-but-central
+// element first and lands measurably below the non-oblivious greedy.
+func TestNonObliviousPotentialMatters(t *testing.T) {
+	// One heavy element 0 at the center, two light far-apart elements 1, 2:
+	// d(0,·) = 1, d(1,2) = 2, λ = 1. The optimum is the far pair {1,2}
+	// (φ = 2) whenever w0 < 1, but any greedy whose first pick is decided
+	// purely by weight locks in element 0 and tops out at w0 + 1. The sweep
+	// checks the structural claims for several calibrations.
+	d, err := metric.NewDenseFromMatrix([][]float64{
+		{0, 1, 1},
+		{1, 0, 2},
+		{1, 2, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w0 := range []float64{0.5, 1.0, 1.5, 1.9} {
+		mod, _ := setfunc.NewModular([]float64{w0, 0, 0})
+		obj, _ := NewObjective(mod, 1, d)
+		obl, err := GreedyOblivious(obj, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonObl, err := GreedyB(obj, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Exact(obj, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// φ({1,2}) = 2; φ({0,·}) = w0 + 1. The optimum is {1,2} whenever
+		// w0 < 1.
+		if w0 < 1 && !(opt.Contains(1) && opt.Contains(2)) {
+			t.Fatalf("w0=%g: expected optimum {1,2}, got %v", w0, opt.Members)
+		}
+		// Oblivious greedy takes 0 first whenever w0 > max distance gain 0,
+		// i.e. always — and then can at best reach w0 + 1.
+		if !obl.Contains(0) {
+			t.Fatalf("w0=%g: oblivious greedy should take the heavy element first", w0)
+		}
+		// Non-oblivious greedy discounts w0 by ½: for w0 < 2 its first pick
+		// decides by ½w0 vs 0, still element 0 — but Theorem 1 still holds.
+		if nonObl.Value < opt.Value/2-1e-9 {
+			t.Fatalf("w0=%g: Theorem 1 violated by potential greedy", w0)
+		}
+	}
+}
+
+// On random instances the two rules are usually close, but the potential
+// rule must retain its Theorem 1 guarantee while the oblivious rule can dip
+// below — track both against the optimum.
+func TestObliviousVsPotentialOnRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	var oblWorst, potWorst float64 = 1, 1
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + rng.Intn(4)
+		p := 2 + rng.Intn(4)
+		obj := randInstance(t, n, 0.2+rng.Float64(), rng)
+		obl, err := GreedyOblivious(obj, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pot, err := GreedyB(obj, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Exact(obj, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := opt.Value / obl.Value; r > oblWorst {
+			oblWorst = r
+		}
+		if r := opt.Value / pot.Value; r > potWorst {
+			potWorst = r
+		}
+		if pot.Value < opt.Value/2-1e-9 {
+			t.Fatalf("trial %d: potential greedy broke Theorem 1", trial)
+		}
+	}
+	t.Logf("worst observed ratios: oblivious %.4f, potential %.4f", oblWorst, potWorst)
+}
+
+func TestGreedyObliviousEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	obj := randInstance(t, 5, 0.2, rng)
+	if _, err := GreedyOblivious(obj, -1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := GreedyOblivious(obj, 6); err == nil {
+		t.Error("p > n accepted")
+	}
+	sol, err := GreedyOblivious(obj, 0)
+	if err != nil || len(sol.Members) != 0 {
+		t.Errorf("p=0: %v %v", sol, err)
+	}
+}

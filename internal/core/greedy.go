@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/setfunc"
+)
+
+// edge is a weighted unordered vertex pair used by the edge-greedy scans.
+type edge struct {
+	u, v int
+	w    float64
+}
+
+// GreedyOption configures GreedyB and GreedyA.
+type GreedyOption func(*greedyCfg)
+
+type greedyCfg struct {
+	bestPairStart bool // Greedy B: seed with the best pair (Table 3 variant)
+	bestLastPick  bool // Greedy A: pick the best (not arbitrary) odd leftover
+}
+
+// WithBestPairStart makes GreedyB open with the pair maximizing the potential
+// ½f({x,y}) + λd(x,y) instead of the best singleton. This is the "improved
+// Greedy B" of the paper's Table 3; it does not change the approximation
+// guarantee.
+func WithBestPairStart() GreedyOption {
+	return func(c *greedyCfg) { c.bestPairStart = true }
+}
+
+// WithBestLastVertex makes GreedyA complete an odd-p solution with the
+// leftover vertex of maximum marginal objective gain instead of an arbitrary
+// one — the "improved Greedy A" of Table 3.
+func WithBestLastVertex() GreedyOption {
+	return func(c *greedyCfg) { c.bestLastPick = true }
+}
+
+// GreedyB runs the paper's non-oblivious greedy (Section 4): starting from
+// the empty set, repeatedly add the element u maximizing the potential
+//
+//	φ′_u(S) = ½·f_u(S) + λ·d_u(S)
+//
+// until |S| = p. For normalized monotone submodular f and metric d this is a
+// 2-approximation (Theorem 1); with f ≡ 0 it is exactly the Ravi et al.
+// dispersion greedy (Corollary 1). Runs in O(np) marginal evaluations.
+//
+// Ties break toward the lowest index, so runs are deterministic.
+func GreedyB(obj *Objective, p int, opts ...GreedyOption) (*Solution, error) {
+	if err := checkP(obj, p); err != nil {
+		return nil, err
+	}
+	var cfg greedyCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	st := obj.NewState()
+	if cfg.bestPairStart && p >= 2 {
+		x, y := bestPotentialPair(obj)
+		st.Add(x)
+		st.Add(y)
+	}
+	greedyFill(st, p)
+	return solutionFromState(st, 0), nil
+}
+
+// greedyFill extends st to size p by the potential-greedy rule.
+func greedyFill(st *State, p int) {
+	n := st.obj.N()
+	for st.Size() < p {
+		best, bestVal := -1, 0.0
+		for u := 0; u < n; u++ {
+			if st.Contains(u) {
+				continue
+			}
+			v := st.MarginalPotential(u)
+			if best == -1 || v > bestVal {
+				best, bestVal = u, v
+			}
+		}
+		if best == -1 {
+			return // ground set exhausted
+		}
+		st.Add(best)
+	}
+}
+
+// bestPotentialPair scans all pairs for the maximizer of ½f({x,y}) + λd(x,y).
+func bestPotentialPair(obj *Objective) (int, int) {
+	n := obj.N()
+	ev := obj.f.NewEvaluator()
+	bx, by, bestVal := 0, 1, 0.0
+	first := true
+	for x := 0; x < n; x++ {
+		ev.Reset()
+		ev.Add(x)
+		fx := ev.Value()
+		for y := x + 1; y < n; y++ {
+			v := 0.5*(fx+ev.Marginal(y)) + obj.lambda*obj.d.Distance(x, y)
+			if first || v > bestVal {
+				bx, by, bestVal = x, y, v
+				first = false
+			}
+		}
+	}
+	return bx, by
+}
+
+// GreedyA runs the Gollapudi–Sharma algorithm the paper benchmarks against
+// (Section 7): reduce max-sum diversification with modular f to max-sum
+// dispersion under the derived metric
+//
+//	d′(u,v) = w(u) + w(v) + 2λ·d(u,v)
+//
+// and solve the dispersion instance with the Hassin–Rubinstein–Tamir greedy
+// that repeatedly takes the heaviest edge disjoint from all chosen edges
+// (⌊p/2⌋ edges). When p is odd the paper's baseline completes with an
+// arbitrary remaining vertex — here the lowest-index one, or the best one
+// under WithBestLastVertex (Table 3's "improved Greedy A").
+//
+// The reduction is only defined for modular f; GreedyA returns an error for
+// any other quality function, mirroring the paper's observation that the
+// reduction "does not apply to the submodular case".
+func GreedyA(obj *Objective, p int, opts ...GreedyOption) (*Solution, error) {
+	if err := checkP(obj, p); err != nil {
+		return nil, err
+	}
+	mod, ok := obj.f.(*setfunc.Modular)
+	if !ok {
+		return nil, fmt.Errorf("core: GreedyA requires a modular quality function, got %T", obj.f)
+	}
+	var cfg greedyCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := obj.N()
+	st := obj.NewState()
+	if p == 1 {
+		// Degenerate: the edge reduction needs pairs; take the best vertex.
+		best := 0
+		for u := 1; u < n; u++ {
+			if mod.Weight(u) > mod.Weight(best) {
+				best = u
+			}
+		}
+		st.Add(best)
+		return solutionFromState(st, 0), nil
+	}
+
+	reduced := func(u, v int) float64 {
+		return mod.Weight(u) + mod.Weight(v) + 2*obj.lambda*obj.d.Distance(u, v)
+	}
+	pairs := heaviestDisjointEdges(n, p/2, reduced)
+	for _, e := range pairs {
+		st.Add(e[0])
+		st.Add(e[1])
+	}
+	if st.Size() < p { // odd p (or ran out of edges)
+		if cfg.bestLastPick {
+			for st.Size() < p {
+				best, bestVal := -1, 0.0
+				for u := 0; u < n; u++ {
+					if st.Contains(u) {
+						continue
+					}
+					v := st.MarginalObjective(u)
+					if best == -1 || v > bestVal {
+						best, bestVal = u, v
+					}
+				}
+				if best == -1 {
+					break
+				}
+				st.Add(best)
+			}
+		} else {
+			for u := 0; u < n && st.Size() < p; u++ {
+				if !st.Contains(u) {
+					st.Add(u)
+				}
+			}
+		}
+	}
+	return solutionFromState(st, 0), nil
+}
+
+// heaviestDisjointEdges returns up to k vertex-disjoint edges chosen by
+// scanning all C(n,2) edges in decreasing weight (ties toward lexicographic
+// order), i.e. the greedy maximal matching by weight.
+func heaviestDisjointEdges(n, k int, weight func(u, v int) float64) [][2]int {
+	if k <= 0 || n < 2 {
+		return nil
+	}
+	edges := make([]edge, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, edge{u, v, weight(u, v)})
+		}
+	}
+	sortEdgesByWeightDesc(edges)
+	used := make([]bool, n)
+	var out [][2]int
+	for _, e := range edges {
+		if used[e.u] || used[e.v] {
+			continue
+		}
+		used[e.u], used[e.v] = true, true
+		out = append(out, [2]int{e.u, e.v})
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// GreedyOblivious is the ablation of the paper's key design choice: a
+// greedy that maximizes the *objective* marginal φ_u(S) = f_u(S) + λ·d_u(S)
+// directly instead of the non-oblivious potential φ′_u(S) = ½f_u(S) + λ·d_u(S).
+// Theorem 1's proof needs the ½ factor; this variant carries no guarantee
+// and exists to measure what the non-obliviousness buys (see the ablation
+// benchmarks and TestNonObliviousPotentialMatters).
+func GreedyOblivious(obj *Objective, p int) (*Solution, error) {
+	if err := checkP(obj, p); err != nil {
+		return nil, err
+	}
+	st := obj.NewState()
+	n := obj.N()
+	for st.Size() < p {
+		best, bestVal := -1, 0.0
+		for u := 0; u < n; u++ {
+			if st.Contains(u) {
+				continue
+			}
+			v := st.MarginalObjective(u)
+			if best == -1 || v > bestVal {
+				best, bestVal = u, v
+			}
+		}
+		if best == -1 {
+			break
+		}
+		st.Add(best)
+	}
+	return solutionFromState(st, 0), nil
+}
+
+// DispersionGreedy solves max-sum p-dispersion (PROBLEM 1, f ≡ 0) with the
+// paper's greedy; per Corollary 1 this coincides with the Ravi et al. greedy
+// and is a 2-approximation.
+func DispersionGreedy(d metric.Metric, p int) (*Solution, error) {
+	obj, err := NewObjective(setfunc.Zero(d.Len()), 1, d)
+	if err != nil {
+		return nil, err
+	}
+	return GreedyB(obj, p)
+}
+
+// sortEdgesByWeightDesc orders edges by decreasing weight, breaking ties
+// lexicographically so runs are deterministic.
+func sortEdgesByWeightDesc(edges []edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+}
+
+// checkP validates a cardinality target against the objective.
+func checkP(obj *Objective, p int) error {
+	if p < 0 {
+		return fmt.Errorf("core: p = %d, want ≥ 0", p)
+	}
+	if p > obj.N() {
+		return fmt.Errorf("core: p = %d exceeds ground size %d", p, obj.N())
+	}
+	return nil
+}

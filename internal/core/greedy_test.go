@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maxsumdiv/internal/matroid"
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/setfunc"
+)
+
+func TestGreedyBHandCheckedInstance(t *testing.T) {
+	// Three colinear-ish points; weights make the trade-off interesting.
+	// w = (1, 0, 0.8); d(0,1)=1, d(0,2)=2, d(1,2)=1. λ = 1.
+	mod, _ := setfunc.NewModular([]float64{1, 0, 0.8})
+	d, _ := metric.NewDenseFromMatrix([][]float64{
+		{0, 1, 2},
+		{1, 0, 1},
+		{2, 1, 0},
+	})
+	obj, _ := NewObjective(mod, 1, d)
+	// Step 1: potentials ½w = (.5, 0, .4) → pick 0.
+	// Step 2: φ' = ½w + d(·,0): u=1: 0+1=1; u=2: .4+2=2.4 → pick 2.
+	sol, err := GreedyB(obj, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Members) != 2 || sol.Members[0] != 0 || sol.Members[1] != 2 {
+		t.Fatalf("GreedyB picked %v, want [0 2]", sol.Members)
+	}
+	if math.Abs(sol.Value-(1.8+2)) > 1e-12 {
+		t.Errorf("Value = %g, want 3.8", sol.Value)
+	}
+	if math.Abs(sol.FValue-1.8) > 1e-12 || math.Abs(sol.Dispersion-2) > 1e-12 {
+		t.Errorf("FValue/Dispersion = %g/%g", sol.FValue, sol.Dispersion)
+	}
+}
+
+func TestGreedyBEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	obj := randInstance(t, 6, 0.2, rng)
+	if _, err := GreedyB(obj, -1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := GreedyB(obj, 7); err == nil {
+		t.Error("p > n accepted")
+	}
+	sol, err := GreedyB(obj, 0)
+	if err != nil || len(sol.Members) != 0 || sol.Value != 0 {
+		t.Errorf("p=0: %v %v", sol, err)
+	}
+	sol, err = GreedyB(obj, 6)
+	if err != nil || len(sol.Members) != 6 {
+		t.Errorf("p=n: %v %v", sol, err)
+	}
+	// p=1 must return the max-weight element (potential = ½w).
+	sol, _ = GreedyB(obj, 1)
+	mod := obj.F().(*setfunc.Modular)
+	best := 0
+	for u := 1; u < 6; u++ {
+		if mod.Weight(u) > mod.Weight(best) {
+			best = u
+		}
+	}
+	if sol.Members[0] != best {
+		t.Errorf("p=1 picked %d, want %d", sol.Members[0], best)
+	}
+}
+
+// Theorem 1: GreedyB is a 2-approximation for monotone submodular f.
+func TestGreedyBTwoApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 6 + rng.Intn(5)
+		p := 2 + rng.Intn(4)
+		if p > n {
+			p = n
+		}
+		var obj *Objective
+		switch trial % 3 {
+		case 0:
+			obj = randInstance(t, n, rng.Float64(), rng)
+		case 1:
+			obj = randSubmodularInstance(t, n, 4, rng.Float64(), rng)
+		default:
+			// Dispersion-only (f ≡ 0): Corollary 1 regime.
+			d := metric.NewDense(n)
+			d.Fill(func(i, j int) float64 { return 1 + rng.Float64() })
+			obj, _ = NewObjective(setfunc.Zero(n), 1, d)
+		}
+		g, err := GreedyB(obj, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Exact(obj, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Value < opt.Value/2-1e-9 {
+			t.Fatalf("trial %d: Theorem 1 violated: greedy %g < opt/2 = %g (n=%d p=%d λ=%g)",
+				trial, g.Value, opt.Value/2, n, p, obj.Lambda())
+		}
+		if g.Value > opt.Value+1e-9 {
+			t.Fatalf("trial %d: greedy exceeded optimum: %g > %g", trial, g.Value, opt.Value)
+		}
+	}
+}
+
+// Corollary 1: with f ≡ 0 GreedyB coincides with the dispersion greedy.
+func TestDispersionGreedyMatchesGreedyBZeroF(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 12
+	d := metric.NewDense(n)
+	d.Fill(func(i, j int) float64 { return 1 + rng.Float64() })
+	for p := 2; p <= 6; p++ {
+		disp, err := DispersionGreedy(d, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, _ := NewObjective(setfunc.Zero(n), 1, d)
+		g, _ := GreedyB(obj, p)
+		if len(disp.Members) != len(g.Members) {
+			t.Fatalf("p=%d: sizes differ", p)
+		}
+		for i := range disp.Members {
+			if disp.Members[i] != g.Members[i] {
+				t.Fatalf("p=%d: DispersionGreedy %v != GreedyB %v", p, disp.Members, g.Members)
+			}
+		}
+	}
+}
+
+func TestGreedyBBestPairStart(t *testing.T) {
+	// Construct an instance where the default greedy starts badly: one heavy
+	// vertex far from nothing, and a pair that together dominates.
+	mod, _ := setfunc.NewModular([]float64{1.0, 0.4, 0.4})
+	d, _ := metric.NewDenseFromMatrix([][]float64{
+		{0, 1, 1},
+		{1, 0, 2},
+		{1, 2, 0},
+	})
+	obj, _ := NewObjective(mod, 1, d)
+	plain, _ := GreedyB(obj, 2)
+	improved, _ := GreedyB(obj, 2, WithBestPairStart())
+	// Best pair: {1,2}: ½(0.8) + 2 = 2.4 vs {0,1}/{0,2}: ½(1.4)+1 = 1.7.
+	if improved.Members[0] != 1 || improved.Members[1] != 2 {
+		t.Fatalf("best-pair start picked %v, want [1 2]", improved.Members)
+	}
+	if improved.Value < plain.Value {
+		t.Errorf("improved start (%g) worse than plain (%g)", improved.Value, plain.Value)
+	}
+}
+
+func TestGreedyARequiresModular(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	obj := randSubmodularInstance(t, 6, 3, 0.2, rng)
+	if _, err := GreedyA(obj, 3); err == nil {
+		t.Fatal("GreedyA accepted a submodular quality function")
+	}
+}
+
+func TestGreedyAEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	obj := randInstance(t, 7, 0.2, rng)
+	if _, err := GreedyA(obj, 8); err == nil {
+		t.Error("p > n accepted")
+	}
+	sol, err := GreedyA(obj, 0)
+	if err != nil || len(sol.Members) != 0 {
+		t.Errorf("p=0: %v %v", sol, err)
+	}
+	// p=1: best single vertex by weight.
+	sol, err = GreedyA(obj, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := obj.F().(*setfunc.Modular)
+	best := 0
+	for u := 1; u < 7; u++ {
+		if mod.Weight(u) > mod.Weight(best) {
+			best = u
+		}
+	}
+	if sol.Members[0] != best {
+		t.Errorf("p=1 picked %d, want %d", sol.Members[0], best)
+	}
+	// Even p: exactly p vertices from ⌊p/2⌋ disjoint edges.
+	sol, _ = GreedyA(obj, 4)
+	if len(sol.Members) != 4 {
+		t.Errorf("p=4 returned %d members", len(sol.Members))
+	}
+	// Odd p: the default arbitrary completion still fills to p.
+	sol, _ = GreedyA(obj, 5)
+	if len(sol.Members) != 5 {
+		t.Errorf("p=5 returned %d members", len(sol.Members))
+	}
+	// Improved variant should never be worse on the last pick.
+	plain, _ := GreedyA(obj, 5)
+	improved, _ := GreedyA(obj, 5, WithBestLastVertex())
+	if improved.Value < plain.Value-1e-12 {
+		t.Errorf("improved Greedy A (%g) worse than plain (%g)", improved.Value, plain.Value)
+	}
+}
+
+// The first Greedy A edge must be the maximizer of the reduced weight
+// d'(u,v) = w(u)+w(v)+2λd(u,v).
+func TestGreedyAFirstEdgeIsHeaviest(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	obj := randInstance(t, 10, 0.2, rng)
+	mod := obj.F().(*setfunc.Modular)
+	bestU, bestV, bestW := -1, -1, 0.0
+	for u := 0; u < 10; u++ {
+		for v := u + 1; v < 10; v++ {
+			w := mod.Weight(u) + mod.Weight(v) + 2*obj.Lambda()*obj.Metric().Distance(u, v)
+			if bestU == -1 || w > bestW {
+				bestU, bestV, bestW = u, v, w
+			}
+		}
+	}
+	sol, _ := GreedyA(obj, 2)
+	if sol.Members[0] != bestU || sol.Members[1] != bestV {
+		t.Fatalf("GreedyA p=2 picked %v, want [%d %d]", sol.Members, bestU, bestV)
+	}
+}
+
+// HRT guarantee: on pure dispersion with even p, the edge greedy achieves at
+// least half the optimal dispersion.
+func TestGreedyADispersionHalfOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + rng.Intn(4)
+		d := metric.NewDense(n)
+		d.Fill(func(i, j int) float64 { return 1 + rng.Float64() })
+		obj, _ := NewObjective(setfunc.Zero(n), 1, d)
+		for _, p := range []int{2, 4, 6} {
+			g, err := GreedyA(obj, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, _ := Exact(obj, p, nil)
+			if g.Value < opt.Value/2-1e-9 {
+				t.Fatalf("trial %d p=%d: edge greedy %g < half-opt %g", trial, p, g.Value, opt.Value/2)
+			}
+		}
+	}
+}
+
+func TestGreedyMatroid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	obj := randInstance(t, 9, 0.3, rng)
+	m, _ := matroid.NewPartition([]int{0, 0, 0, 1, 1, 1, 2, 2, 2}, []int{1, 1, 1})
+	sol, err := GreedyMatroid(obj, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Members) != m.Rank() {
+		t.Fatalf("greedy basis size %d, want %d", len(sol.Members), m.Rank())
+	}
+	if !m.Independent(sol.Members) {
+		t.Fatal("greedy produced a dependent set")
+	}
+	// Mismatched ground set must error.
+	bad, _ := matroid.NewUniform(5, 2)
+	if _, err := GreedyMatroid(obj, bad); err == nil {
+		t.Error("ground-size mismatch accepted")
+	}
+	if _, err := GreedyMatroid(obj, nil); err == nil {
+		t.Error("nil matroid accepted")
+	}
+	// Best-pair variant also returns an independent basis.
+	sol2, err := GreedyMatroid(obj, m, WithBestPairStart())
+	if err != nil || !m.Independent(sol2.Members) || len(sol2.Members) != m.Rank() {
+		t.Errorf("best-pair matroid greedy: %v %v", sol2, err)
+	}
+}
+
+// The Appendix construction: greedy under a partition matroid has unbounded
+// ratio, while local search stays within 2 (Theorem 2).
+func TestAppendixGreedyFailureUnderPartitionMatroid(t *testing.T) {
+	r := 12
+	ell := 10.0
+	eps := 1.0 / float64(r*(r-1)/2)
+	n := 2 + r // 0=a, 1=b, 2..: C
+	w := make([]float64, n)
+	w[0] = ell + eps
+	mod, _ := setfunc.NewModular(w)
+	d := metric.NewDense(n)
+	d.Fill(func(i, j int) float64 {
+		if i == 1 || j == 1 { // b is far from everything
+			return ell
+		}
+		return eps
+	})
+	if err := metric.Validate(d, 1e-12); err != nil {
+		t.Fatalf("appendix instance is not a metric: %v", err)
+	}
+	obj, _ := NewObjective(mod, 1, d)
+	partOf := make([]int, n)
+	partOf[0], partOf[1] = 0, 0 // A = {a,b}, cap 1
+	for i := 2; i < n; i++ {
+		partOf[i] = 1 // C, effectively unconstrained
+	}
+	m, _ := matroid.NewPartition(partOf, []int{1, r})
+
+	greedy, err := GreedyMatroid(obj, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !greedy.Contains(0) {
+		t.Fatalf("appendix greedy should lock in element a; got %v", greedy.Members)
+	}
+	opt, err := ExactMatroid(obj, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := opt.Value / greedy.Value
+	if ratio < 3 {
+		t.Fatalf("appendix instance should break the greedy badly; ratio = %g (greedy %g, opt %g)",
+			ratio, greedy.Value, opt.Value)
+	}
+	ls, err := LocalSearch(obj, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Value < opt.Value/2-1e-9 {
+		t.Fatalf("Theorem 2 violated on appendix instance: LS %g < opt/2 %g", ls.Value, opt.Value/2)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// KnapsackOptions configures GreedyKnapsack.
+type KnapsackOptions struct {
+	// SeedSize is the partial-enumeration depth d: the greedy is restarted
+	// from every feasible subset of size ≤ d and the best completion wins.
+	// Sviridenko's analysis for plain submodular maximization uses d = 3;
+	// the default here is 1 (try every single-element seed), which is
+	// usually enough in practice and keeps the run polynomial of low degree.
+	SeedSize int
+	// DensityRule selects candidates by potential per unit cost
+	// (φ′_u(S)/c(u)) instead of raw potential. Both completions are always
+	// evaluated when DensityRule is false is not set explicitly... see Run:
+	// the solver tries BOTH rules from every seed and keeps the best, so
+	// this option only *restricts* to one rule when set.
+	DensityRule *bool
+}
+
+// GreedyKnapsack approximately maximizes φ(S) = f(S) + λ·d(S) subject to a
+// knapsack constraint Σ_{u∈S} cost(u) ≤ budget.
+//
+// The paper's conclusion asks whether Sviridenko's partial-enumeration
+// greedy — which achieves 1−1/e for monotone submodular maximization under a
+// knapsack — extends to max-sum diversification; that remains open. This
+// implementation adapts the technique as a principled heuristic: enumerate
+// all feasible seeds of size ≤ SeedSize, complete each with the Section 4
+// potential greedy under both the raw-potential and potential-per-cost
+// rules, and return the best feasible solution found. No approximation
+// guarantee is claimed (hence "open question"), but on uniform costs it
+// degenerates to exactly the paper's greedy.
+func GreedyKnapsack(obj *Objective, costs []float64, budget float64, opts *KnapsackOptions) (*Solution, error) {
+	n := obj.N()
+	if len(costs) != n {
+		return nil, fmt.Errorf("core: GreedyKnapsack: %d costs for %d elements", len(costs), n)
+	}
+	for i, c := range costs {
+		if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("core: GreedyKnapsack: cost[%d] = %g", i, c)
+		}
+	}
+	if budget < 0 || math.IsNaN(budget) {
+		return nil, fmt.Errorf("core: GreedyKnapsack: budget = %g", budget)
+	}
+	if opts == nil {
+		opts = &KnapsackOptions{}
+	}
+	seedSize := opts.SeedSize
+	if seedSize < 0 {
+		return nil, fmt.Errorf("core: GreedyKnapsack: SeedSize = %d", seedSize)
+	}
+	if seedSize == 0 {
+		seedSize = 1
+	}
+	rules := []bool{false, true}
+	if opts.DensityRule != nil {
+		rules = []bool{*opts.DensityRule}
+	}
+
+	st := obj.NewState()
+	var best *Solution
+	consider := func() {
+		if best == nil || st.Value() > best.Value {
+			best = solutionFromState(st, 0)
+		}
+	}
+	var complete func(used float64, density bool)
+	complete = func(used float64, density bool) {
+		for {
+			bestU, bestScore := -1, 0.0
+			for u := 0; u < n; u++ {
+				if st.Contains(u) || used+costs[u] > budget+1e-12 {
+					continue
+				}
+				score := st.MarginalPotential(u)
+				if density {
+					if costs[u] > 0 {
+						score /= costs[u]
+					} else {
+						score = math.Inf(1) // free elements first
+					}
+				}
+				if bestU == -1 || score > bestScore {
+					bestU, bestScore = u, score
+				}
+			}
+			if bestU == -1 {
+				return
+			}
+			st.Add(bestU)
+			used += costs[bestU]
+		}
+	}
+
+	// Seed enumeration: all feasible subsets of size ≤ seedSize (including
+	// the empty seed).
+	var seeds func(from, k int, used float64)
+	seeds = func(from, k int, used float64) {
+		for _, density := range rules {
+			mark := st.Members()
+			complete(used, density)
+			consider()
+			st.SetTo(mark)
+		}
+		if k == seedSize {
+			return
+		}
+		for u := from; u < n; u++ {
+			if used+costs[u] > budget+1e-12 {
+				continue
+			}
+			st.Add(u)
+			seeds(u+1, k+1, used+costs[u])
+			st.Remove(u)
+		}
+	}
+	seeds(0, 0, 0)
+	if best == nil {
+		st.Reset()
+		best = solutionFromState(st, 0)
+	}
+	return best, nil
+}
+
+// ExactKnapsack enumerates all feasible subsets — the test oracle for
+// GreedyKnapsack on small instances.
+func ExactKnapsack(obj *Objective, costs []float64, budget float64) (*Solution, error) {
+	n := obj.N()
+	if len(costs) != n {
+		return nil, fmt.Errorf("core: ExactKnapsack: %d costs for %d elements", len(costs), n)
+	}
+	st := obj.NewState()
+	var bestSet []int
+	bestVal := math.Inf(-1)
+	var dfs func(from int, used float64)
+	dfs = func(from int, used float64) {
+		if v := st.Value(); v > bestVal {
+			bestVal = v
+			bestSet = st.Members()
+		}
+		for u := from; u < n; u++ {
+			if used+costs[u] > budget+1e-12 {
+				continue
+			}
+			st.Add(u)
+			dfs(u+1, used+costs[u])
+			st.Remove(u)
+		}
+	}
+	dfs(0, 0)
+	st.SetTo(bestSet)
+	return solutionFromState(st, 0), nil
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGreedyKnapsackValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	obj := randInstance(t, 5, 0.2, rng)
+	good := []float64{1, 1, 1, 1, 1}
+	if _, err := GreedyKnapsack(obj, []float64{1}, 2, nil); err == nil {
+		t.Error("short costs accepted")
+	}
+	if _, err := GreedyKnapsack(obj, []float64{1, 1, 1, 1, -1}, 2, nil); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if _, err := GreedyKnapsack(obj, good, -1, nil); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if _, err := GreedyKnapsack(obj, good, math.NaN(), nil); err == nil {
+		t.Error("NaN budget accepted")
+	}
+	if _, err := GreedyKnapsack(obj, good, 2, &KnapsackOptions{SeedSize: -1}); err == nil {
+		t.Error("negative seed size accepted")
+	}
+	// Zero budget (with positive costs) returns the empty set.
+	sol, err := GreedyKnapsack(obj, good, 0, nil)
+	if err != nil || len(sol.Members) != 0 {
+		t.Errorf("zero budget: %v %v", sol, err)
+	}
+}
+
+func TestGreedyKnapsackFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(5)
+		obj := randInstance(t, n, rng.Float64(), rng)
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = 0.2 + rng.Float64()
+		}
+		budget := 1 + rng.Float64()*3
+		for _, seed := range []int{1, 2} {
+			sol, err := GreedyKnapsack(obj, costs, budget, &KnapsackOptions{SeedSize: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var used float64
+			for _, u := range sol.Members {
+				used += costs[u]
+			}
+			if used > budget+1e-9 {
+				t.Fatalf("trial %d seed %d: budget %g exceeded: %g", trial, seed, budget, used)
+			}
+			if math.Abs(obj.Value(sol.Members)-sol.Value) > 1e-9 {
+				t.Fatalf("trial %d: reported value inconsistent", trial)
+			}
+		}
+	}
+}
+
+// With uniform costs and budget = p, the knapsack greedy contains the plain
+// greedy completion among its candidates, so it can never do worse.
+func TestGreedyKnapsackDominatesPlainGreedyOnUniformCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(5)
+		p := 3 + rng.Intn(3)
+		obj := randInstance(t, n, rng.Float64(), rng)
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = 1
+		}
+		g, err := GreedyB(obj, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks, err := GreedyKnapsack(obj, costs, float64(p)+1e-9, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ks.Value < g.Value-1e-9 {
+			t.Fatalf("trial %d: knapsack greedy %g below plain greedy %g", trial, ks.Value, g.Value)
+		}
+	}
+}
+
+// Larger seeds search a superset of candidates, so the value is monotone in
+// SeedSize.
+func TestGreedyKnapsackSeedMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	obj := randInstance(t, 10, 0.5, rng)
+	costs := make([]float64, 10)
+	for i := range costs {
+		costs[i] = 0.3 + rng.Float64()
+	}
+	budget := 2.0
+	prev := -1.0
+	for seed := 1; seed <= 3; seed++ {
+		sol, err := GreedyKnapsack(obj, costs, budget, &KnapsackOptions{SeedSize: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Value < prev-1e-9 {
+			t.Fatalf("seed %d: value %g dropped below seed %d's %g", seed, sol.Value, seed-1, prev)
+		}
+		prev = sol.Value
+	}
+}
+
+func TestGreedyKnapsackNearExactOnSmallInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	worst := 1.0
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(3)
+		obj := randInstance(t, n, 0.2+rng.Float64(), rng)
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = 0.2 + rng.Float64()
+		}
+		budget := 1.5 + rng.Float64()*2
+		opt, err := ExactKnapsack(obj, costs, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heur, err := GreedyKnapsack(obj, costs, budget, &KnapsackOptions{SeedSize: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heur.Value > opt.Value+1e-9 {
+			t.Fatalf("trial %d: heuristic exceeds optimum", trial)
+		}
+		if ratio := opt.Value / math.Max(heur.Value, 1e-12); ratio > worst {
+			worst = ratio
+		}
+	}
+	// No guarantee is claimed, but the partial-enumeration greedy should be
+	// near-optimal on these small random instances; flag a regression if it
+	// ever degrades past 1.5.
+	if worst > 1.5 {
+		t.Fatalf("knapsack heuristic degraded to ratio %g on small instances", worst)
+	}
+}
+
+func TestGreedyKnapsackDensityOnlyRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	obj := randInstance(t, 9, 0.4, rng)
+	costs := make([]float64, 9)
+	for i := range costs {
+		costs[i] = 0.2 + rng.Float64()
+	}
+	density := true
+	sol, err := GreedyKnapsack(obj, costs, 2, &KnapsackOptions{DensityRule: &density})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var used float64
+	for _, u := range sol.Members {
+		used += costs[u]
+	}
+	if used > 2+1e-9 {
+		t.Fatal("density-only run exceeded budget")
+	}
+	// Free (zero-cost) elements are always taken first under the density
+	// rule.
+	costs[3] = 0
+	sol, err = GreedyKnapsack(obj, costs, 0.5, &KnapsackOptions{DensityRule: &density})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Contains(3) {
+		t.Error("zero-cost element not selected under density rule")
+	}
+}
+
+func TestExactKnapsackAgainstExactCardinality(t *testing.T) {
+	// With unit costs and budget p, ExactKnapsack must match Exact over
+	// sizes ≤ p; since φ is monotone they agree at size exactly p.
+	rng := rand.New(rand.NewSource(7))
+	obj := randInstance(t, 9, 0.6, rng)
+	costs := make([]float64, 9)
+	for i := range costs {
+		costs[i] = 1
+	}
+	a, err := ExactKnapsack(obj, costs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Exact(obj, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Value-b.Value) > 1e-9 {
+		t.Fatalf("ExactKnapsack %g vs Exact %g", a.Value, b.Value)
+	}
+	if _, err := ExactKnapsack(obj, costs[:2], 4); err == nil {
+		t.Error("short costs accepted")
+	}
+}
+
+// Robustness beyond metrics (the paper's conclusion cites Sydow's relaxed
+// triangle inequality): on α-relaxed semimetrics with distances in
+// [lo, hi] — which satisfy d(x,y)+d(y,z) ≥ (2lo/hi)·d(x,z) — the greedy's
+// observed ratio stays within hi/lo of optimal on random instances.
+func TestGreedyOnRelaxedSemimetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 15; trial++ {
+		n := 8 + rng.Intn(4)
+		p := 3 + rng.Intn(3)
+		hi := 2.0 + rng.Float64()*6 // lo = 1 → α = 2/hi < 1 for hi > 2
+		obj := relaxedInstance(t, n, 1, hi, 0.3, rng)
+		g, err := GreedyB(obj, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Exact(obj, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := hi / 1.0 // conservative 2α-style bound: hi/lo
+		if g.Value < opt.Value/bound-1e-9 {
+			t.Fatalf("trial %d: relaxed-metric greedy ratio %g exceeds bound %g",
+				trial, opt.Value/g.Value, bound)
+		}
+	}
+}
+
+// relaxedInstance builds an instance whose distances live in [lo, hi]
+// (a semimetric with relaxed triangle parameter α = 2lo/hi).
+func relaxedInstance(t testing.TB, n int, lo, hi, lambda float64, rng *rand.Rand) *Objective {
+	t.Helper()
+	obj := randInstance(t, n, lambda, rng)
+	// Overwrite the distances with [lo, hi] draws.
+	type mutable interface{ SetDistance(i, j int, d float64) }
+	m := obj.Metric().(mutable)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.SetDistance(i, j, lo+(hi-lo)*rng.Float64())
+		}
+	}
+	return obj
+}

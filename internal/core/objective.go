@@ -1,0 +1,275 @@
+// Package core implements the paper's primary contribution: algorithms for
+// max-sum diversification — maximizing φ(S) = f(S) + λ·Σ_{u,v∈S} d(u,v) for a
+// normalized monotone (sub)modular quality function f and a metric d —
+// subject to a cardinality or general matroid constraint, together with the
+// baselines the paper evaluates against.
+//
+// Algorithms:
+//
+//   - GreedyB: the paper's non-oblivious vertex greedy (Theorem 1,
+//     2-approximation under a cardinality constraint).
+//   - GreedyA: the Gollapudi–Sharma baseline (reduction to max-sum dispersion
+//     plus the Hassin–Rubinstein–Tamir edge greedy).
+//   - LocalSearch: the oblivious single-swap local search (Theorem 2,
+//     2-approximation under any matroid constraint).
+//   - Exact / ExactMatroid: optimal solvers for small instances (used to
+//     report the paper's observed approximation factors).
+//   - DispersionGreedy (Corollary 1), MMR, and exact k-matching references.
+//
+// All algorithms share the incremental State, which maintains d_u(S) for all
+// u in O(n) per insertion — the Birnbaum–Goldman bookkeeping the paper quotes
+// to make the greedy run in O(np) total.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/setfunc"
+)
+
+// Objective bundles the three ingredients of the max-sum diversification
+// problem: the quality function f, the trade-off λ, and the metric d.
+type Objective struct {
+	f      setfunc.Source
+	lambda float64
+	d      metric.Metric
+}
+
+// NewObjective validates and builds an objective. f and d must agree on the
+// ground-set size and λ must be finite and non-negative.
+func NewObjective(f setfunc.Source, lambda float64, d metric.Metric) (*Objective, error) {
+	if f == nil || d == nil {
+		return nil, fmt.Errorf("core: nil quality function or metric")
+	}
+	if f.GroundSize() != d.Len() {
+		return nil, fmt.Errorf("core: ground sizes disagree: f has %d, d has %d", f.GroundSize(), d.Len())
+	}
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return nil, fmt.Errorf("core: lambda = %g, want finite ≥ 0", lambda)
+	}
+	return &Objective{f: f, lambda: lambda, d: d}, nil
+}
+
+// N returns the ground-set size.
+func (o *Objective) N() int { return o.f.GroundSize() }
+
+// Lambda returns the trade-off parameter.
+func (o *Objective) Lambda() float64 { return o.lambda }
+
+// F returns the quality function.
+func (o *Objective) F() setfunc.Source { return o.f }
+
+// Metric returns the distance oracle.
+func (o *Objective) Metric() metric.Metric { return o.d }
+
+// Dispersion returns d(S) = Σ_{ {u,v} ⊆ S } d(u,v).
+func (o *Objective) Dispersion(S []int) float64 {
+	var sum float64
+	for i := 1; i < len(S); i++ {
+		for j := 0; j < i; j++ {
+			sum += o.d.Distance(S[i], S[j])
+		}
+	}
+	return sum
+}
+
+// Value returns φ(S) = f(S) + λ·d(S), recomputed from scratch.
+func (o *Objective) Value(S []int) float64 {
+	return o.f.Value(S) + o.lambda*o.Dispersion(S)
+}
+
+// Solution is the result of a solver run.
+type Solution struct {
+	// Members is the selected subset, sorted ascending.
+	Members []int
+	// Value is φ(S) = FValue + λ·Dispersion.
+	Value float64
+	// FValue is f(S).
+	FValue float64
+	// Dispersion is d(S).
+	Dispersion float64
+	// Swaps is the number of improving swaps a local search applied (zero
+	// for one-pass algorithms).
+	Swaps int
+}
+
+// Contains reports whether u was selected.
+func (s *Solution) Contains(u int) bool {
+	i := sort.SearchInts(s.Members, u)
+	return i < len(s.Members) && s.Members[i] == u
+}
+
+// solutionFromState snapshots a State into a Solution.
+func solutionFromState(st *State, swaps int) *Solution {
+	members := st.Members()
+	sort.Ints(members)
+	return &Solution{
+		Members:    members,
+		Value:      st.Value(),
+		FValue:     st.FValue(),
+		Dispersion: st.Dispersion(),
+		Swaps:      swaps,
+	}
+}
+
+// State incrementally tracks a working subset S together with f(S), d(S) and
+// the marginal distances d_u(S) for every ground element u. Add and Remove
+// cost O(n) plus one quality-evaluator update; marginals cost O(1) plus one
+// quality marginal.
+type State struct {
+	obj     *Objective
+	f       setfunc.Evaluator
+	in      []bool
+	members []int
+	du      []float64        // du[v] = Σ_{u∈S} d(v,u), maintained for ALL v
+	sumD    float64          // d(S)
+	modular *setfunc.Modular // non-nil fast path when f is modular
+}
+
+// NewState returns an empty working set for the objective.
+func (o *Objective) NewState() *State {
+	n := o.N()
+	st := &State{
+		obj: o,
+		f:   o.f.NewEvaluator(),
+		in:  make([]bool, n),
+		du:  make([]float64, n),
+	}
+	if m, ok := o.f.(*setfunc.Modular); ok {
+		st.modular = m
+	}
+	return st
+}
+
+// Objective returns the objective this state evaluates.
+func (s *State) Objective() *Objective { return s.obj }
+
+// Size returns |S|.
+func (s *State) Size() int { return len(s.members) }
+
+// Contains reports membership of u.
+func (s *State) Contains(u int) bool { return s.in[u] }
+
+// Members returns a copy of S in insertion order.
+func (s *State) Members() []int {
+	out := make([]int, len(s.members))
+	copy(out, s.members)
+	return out
+}
+
+// FValue returns f(S).
+func (s *State) FValue() float64 { return s.f.Value() }
+
+// Dispersion returns d(S).
+func (s *State) Dispersion() float64 { return s.sumD }
+
+// Value returns φ(S).
+func (s *State) Value() float64 { return s.f.Value() + s.obj.lambda*s.sumD }
+
+// DistToSet returns d_u(S) = Σ_{v∈S} d(u,v); valid for members and
+// non-members alike.
+func (s *State) DistToSet(u int) float64 { return s.du[u] }
+
+// MarginalF returns f_u(S) = f(S+u) − f(S) for u ∉ S.
+func (s *State) MarginalF(u int) float64 { return s.f.Marginal(u) }
+
+// MarginalObjective returns φ_u(S) = f_u(S) + λ·d_u(S) for u ∉ S.
+func (s *State) MarginalObjective(u int) float64 {
+	return s.f.Marginal(u) + s.obj.lambda*s.du[u]
+}
+
+// MarginalPotential returns the paper's greedy potential
+// φ′_u(S) = ½·f_u(S) + λ·d_u(S) for u ∉ S.
+func (s *State) MarginalPotential(u int) float64 {
+	return 0.5*s.f.Marginal(u) + s.obj.lambda*s.du[u]
+}
+
+// Add inserts u ∉ S.
+func (s *State) Add(u int) {
+	if s.in[u] {
+		panic(fmt.Sprintf("core: State.Add(%d): already a member", u))
+	}
+	s.f.Add(u)
+	s.in[u] = true
+	s.members = append(s.members, u)
+	s.sumD += s.du[u]
+	d := s.obj.d
+	for v := range s.du {
+		s.du[v] += d.Distance(u, v)
+	}
+}
+
+// Remove deletes u ∈ S.
+func (s *State) Remove(u int) {
+	if !s.in[u] {
+		panic(fmt.Sprintf("core: State.Remove(%d): not a member", u))
+	}
+	s.f.Remove(u)
+	s.in[u] = false
+	for i, v := range s.members {
+		if v == u {
+			s.members[i] = s.members[len(s.members)-1]
+			s.members = s.members[:len(s.members)-1]
+			break
+		}
+	}
+	d := s.obj.d
+	for v := range s.du {
+		s.du[v] -= d.Distance(u, v)
+	}
+	s.sumD -= s.du[u]
+	if len(s.members) <= 1 {
+		s.sumD = 0 // pin away floating-point residue
+	}
+}
+
+// SwapGain returns φ(S − out + in) − φ(S) without changing S; out must be a
+// member and in a non-member. This is the marginal gain φ_{in→out}(S) of the
+// Section 6 oblivious update rule. The distance part is O(1) thanks to the
+// d_u(S) cache; the quality part is O(1) for modular f and otherwise costs a
+// remove/add round-trip on the quality evaluator.
+func (s *State) SwapGain(out, in int) float64 {
+	if !s.in[out] || s.in[in] {
+		panic(fmt.Sprintf("core: SwapGain(%d,%d): out must be a member, in a non-member", out, in))
+	}
+	dGain := s.du[in] - s.obj.d.Distance(in, out) - s.du[out]
+	var fGain float64
+	if s.modular != nil {
+		fGain = s.modular.Weight(in) - s.modular.Weight(out)
+	} else {
+		s.f.Remove(out)
+		fGain = s.f.Marginal(in) - s.f.Marginal(out)
+		s.f.Add(out)
+	}
+	return fGain + s.obj.lambda*dGain
+}
+
+// Swap applies S ← S − out + in.
+func (s *State) Swap(out, in int) {
+	s.Remove(out)
+	s.Add(in)
+}
+
+// Reset empties the working set.
+func (s *State) Reset() {
+	s.f.Reset()
+	s.members = s.members[:0]
+	s.sumD = 0
+	for i := range s.in {
+		s.in[i] = false
+	}
+	for i := range s.du {
+		s.du[i] = 0
+	}
+}
+
+// SetTo resets the state and loads the given subset.
+func (s *State) SetTo(S []int) {
+	s.Reset()
+	for _, u := range S {
+		s.Add(u)
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/setfunc"
+)
+
+// randInstance builds a random synthetic-style instance: modular weights
+// U[0,1], distances U[1,2] (always a metric), trade-off λ.
+func randInstance(t testing.TB, n int, lambda float64, rng *rand.Rand) *Objective {
+	t.Helper()
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	mod, err := setfunc.NewModular(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := metric.NewDense(n)
+	d.Fill(func(i, j int) float64 { return 1 + rng.Float64() })
+	obj, err := NewObjective(mod, lambda, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+// randSubmodularInstance uses a coverage quality function instead.
+func randSubmodularInstance(t testing.TB, n, topics int, lambda float64, rng *rand.Rand) *Objective {
+	t.Helper()
+	covers := make([][]int, n)
+	for i := range covers {
+		k := 1 + rng.Intn(3)
+		for j := 0; j < k; j++ {
+			covers[i] = append(covers[i], rng.Intn(topics))
+		}
+	}
+	tw := make([]float64, topics)
+	for i := range tw {
+		tw[i] = rng.Float64()
+	}
+	cov, err := setfunc.NewCoverage(covers, tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := metric.NewDense(n)
+	d.Fill(func(i, j int) float64 { return 1 + rng.Float64() })
+	obj, err := NewObjective(cov, lambda, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+func TestNewObjectiveValidation(t *testing.T) {
+	mod, _ := setfunc.NewModular([]float64{1, 2})
+	d := metric.NewDense(2)
+	if _, err := NewObjective(nil, 1, d); err == nil {
+		t.Error("nil f accepted")
+	}
+	if _, err := NewObjective(mod, 1, nil); err == nil {
+		t.Error("nil metric accepted")
+	}
+	if _, err := NewObjective(mod, -1, d); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := NewObjective(mod, math.NaN(), d); err == nil {
+		t.Error("NaN lambda accepted")
+	}
+	if _, err := NewObjective(mod, 1, metric.NewDense(3)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	obj, err := NewObjective(mod, 0.5, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.N() != 2 || obj.Lambda() != 0.5 || obj.F() == nil || obj.Metric() == nil {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestObjectiveValue(t *testing.T) {
+	mod, _ := setfunc.NewModular([]float64{1, 2, 4})
+	d := metric.NewDense(3)
+	d.SetDistance(0, 1, 1)
+	d.SetDistance(0, 2, 2)
+	d.SetDistance(1, 2, 3)
+	obj, _ := NewObjective(mod, 0.5, d)
+	if got := obj.Value([]int{0, 1, 2}); math.Abs(got-(7+0.5*6)) > 1e-12 {
+		t.Errorf("Value = %g, want 10", got)
+	}
+	if got := obj.Dispersion([]int{1, 2}); got != 3 {
+		t.Errorf("Dispersion = %g, want 3", got)
+	}
+	if got := obj.Value(nil); got != 0 {
+		t.Errorf("Value(∅) = %g", got)
+	}
+}
+
+// Property: State's incremental bookkeeping must always agree with direct
+// recomputation across random add/remove/swap traces.
+func TestStateMatchesNaiveRecomputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		var obj *Objective
+		if trial%2 == 0 {
+			obj = randInstance(t, 8+rng.Intn(6), 0.2+rng.Float64(), rng)
+		} else {
+			obj = randSubmodularInstance(t, 8+rng.Intn(6), 5, 0.2+rng.Float64(), rng)
+		}
+		st := obj.NewState()
+		n := obj.N()
+		for step := 0; step < 120; step++ {
+			u := rng.Intn(n)
+			switch {
+			case !st.Contains(u) && rng.Intn(3) > 0:
+				wantMarg := obj.Value(append(st.Members(), u)) - obj.Value(st.Members())
+				if got := st.MarginalObjective(u); math.Abs(got-wantMarg) > 1e-9 {
+					t.Fatalf("trial %d step %d: MarginalObjective(%d) = %g, want %g", trial, step, u, got, wantMarg)
+				}
+				st.Add(u)
+			case st.Contains(u) && st.Size() < n:
+				// Try a swap gain check against recomputation first.
+				var v int
+				for {
+					v = rng.Intn(n)
+					if !st.Contains(v) {
+						break
+					}
+				}
+				after := append([]int{}, st.Members()...)
+				for i := range after {
+					if after[i] == u {
+						after[i] = v
+					}
+				}
+				want := obj.Value(after) - obj.Value(st.Members())
+				if got := st.SwapGain(u, v); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("trial %d step %d: SwapGain(%d,%d) = %g, want %g", trial, step, u, v, got, want)
+				}
+				st.Remove(u)
+			}
+			members := st.Members()
+			if got, want := st.Value(), obj.Value(members); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d step %d: Value = %g, want %g (S=%v)", trial, step, got, want, members)
+			}
+			if got, want := st.Dispersion(), obj.Dispersion(members); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d step %d: Dispersion = %g, want %g", trial, step, got, want)
+			}
+			for u := 0; u < n; u++ {
+				var want float64
+				for _, v := range members {
+					want += obj.d.Distance(u, v)
+				}
+				if got := st.DistToSet(u); math.Abs(got-want) > 1e-9 {
+					t.Fatalf("trial %d step %d: DistToSet(%d) = %g, want %g", trial, step, u, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestStateSwapAndSetTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	obj := randInstance(t, 10, 0.3, rng)
+	st := obj.NewState()
+	st.SetTo([]int{1, 3, 5})
+	if st.Size() != 3 || !st.Contains(3) {
+		t.Fatal("SetTo failed")
+	}
+	before := st.Value()
+	gain := st.SwapGain(3, 7)
+	st.Swap(3, 7)
+	if math.Abs(st.Value()-(before+gain)) > 1e-9 {
+		t.Errorf("Swap applied gain %g but value moved by %g", gain, st.Value()-before)
+	}
+	st.Reset()
+	if st.Size() != 0 || st.Value() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestStatePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	obj := randInstance(t, 5, 0.2, rng)
+	cases := map[string]func(*State){
+		"double-add":     func(s *State) { s.Add(0); s.Add(0) },
+		"remove-missing": func(s *State) { s.Remove(0) },
+		"swapgain-bad":   func(s *State) { s.Add(0); s.SwapGain(1, 0) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f(obj.NewState())
+		}()
+	}
+}
+
+func TestSolutionContains(t *testing.T) {
+	s := &Solution{Members: []int{1, 4, 9}}
+	if !s.Contains(4) || s.Contains(5) {
+		t.Error("Solution.Contains wrong")
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"maxsumdiv/internal/matroid"
+)
+
+// quickInstance bundles a generated objective with a seed for downstream
+// randomness.
+type quickInstance struct {
+	obj  *Objective
+	p    int
+	seed int64
+}
+
+func quickInstanceGen(submodular bool) func(args []reflect.Value, rng *rand.Rand) {
+	return func(args []reflect.Value, rng *rand.Rand) {
+		n := 5 + rng.Intn(6)
+		p := 1 + rng.Intn(4)
+		if p > n {
+			p = n
+		}
+		var obj *Objective
+		if submodular {
+			obj = randSubmodularInstance(quickT{}, n, 4, rng.Float64(), rng)
+		} else {
+			obj = randInstance(quickT{}, n, rng.Float64(), rng)
+		}
+		args[0] = reflect.ValueOf(quickInstance{obj: obj, p: p, seed: rng.Int63()})
+	}
+}
+
+// quickT satisfies the minimal testing.TB surface randInstance needs; the
+// generators never fail on valid inputs.
+type quickT struct{ testing.TB }
+
+func (quickT) Helper()                   {}
+func (quickT) Fatal(args ...interface{}) { panic(args) }
+func (quickT) Fatalf(f string, a ...any) { panic(f) }
+
+// quick.Check property (Theorem 1): greedy ≥ OPT/2 on arbitrary random
+// instances, modular and submodular alike.
+func TestQuickGreedyTwoApproximation(t *testing.T) {
+	for _, submodular := range []bool{false, true} {
+		cfg := &quick.Config{MaxCount: 40, Values: quickInstanceGen(submodular)}
+		property := func(in quickInstance) bool {
+			g, err := GreedyB(in.obj, in.p)
+			if err != nil {
+				return false
+			}
+			opt, err := Exact(in.obj, in.p, nil)
+			if err != nil {
+				return false
+			}
+			return g.Value >= opt.Value/2-1e-9 && g.Value <= opt.Value+1e-9
+		}
+		if err := quick.Check(property, cfg); err != nil {
+			t.Errorf("submodular=%v: %v", submodular, err)
+		}
+	}
+}
+
+// quick.Check property (Theorem 2): local search ≥ OPT/2 under random
+// partition matroids.
+func TestQuickLocalSearchTwoApproximation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Values: quickInstanceGen(true)}
+	property := func(in quickInstance) bool {
+		rng := rand.New(rand.NewSource(in.seed))
+		n := in.obj.N()
+		parts := 2 + rng.Intn(2)
+		partOf := make([]int, n)
+		for i := range partOf {
+			partOf[i] = rng.Intn(parts)
+		}
+		caps := make([]int, parts)
+		for i := range caps {
+			caps[i] = 1 + rng.Intn(2)
+		}
+		m, err := matroid.NewPartition(partOf, caps)
+		if err != nil || m.Rank() == 0 {
+			return true
+		}
+		ls, err := LocalSearch(in.obj, m, nil)
+		if err != nil {
+			return false
+		}
+		opt, err := ExactMatroid(in.obj, m)
+		if err != nil {
+			return false
+		}
+		return ls.Value >= opt.Value/2-1e-9 && m.Independent(ls.Members)
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: the incremental state value equals naive
+// recomputation after any random mutation trace.
+func TestQuickStateConsistency(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Values: quickInstanceGen(false)}
+	property := func(in quickInstance) bool {
+		rng := rand.New(rand.NewSource(in.seed))
+		st := in.obj.NewState()
+		n := in.obj.N()
+		for step := 0; step < 40; step++ {
+			u := rng.Intn(n)
+			if st.Contains(u) {
+				st.Remove(u)
+			} else {
+				st.Add(u)
+			}
+			want := in.obj.Value(st.Members())
+			got := st.Value()
+			if got-want > 1e-9 || want-got > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: the exact solver's value is reachable by its
+// reported member set, and pruning never changes the optimum.
+func TestQuickExactPruningSound(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Values: quickInstanceGen(true)}
+	property := func(in quickInstance) bool {
+		pruned, err := Exact(in.obj, in.p, nil)
+		if err != nil {
+			return false
+		}
+		unpruned, err := Exact(in.obj, in.p, &ExactOptions{NoPrune: true})
+		if err != nil {
+			return false
+		}
+		diff := pruned.Value - unpruned.Value
+		if diff > 1e-9 || diff < -1e-9 {
+			return false
+		}
+		recomputed := in.obj.Value(pruned.Members)
+		return recomputed-pruned.Value < 1e-9 && pruned.Value-recomputed < 1e-9
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: greedy solutions are deterministic functions of the
+// instance (tie-breaking by index).
+func TestQuickGreedyDeterminism(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Values: quickInstanceGen(false)}
+	property := func(in quickInstance) bool {
+		a, err := GreedyB(in.obj, in.p)
+		if err != nil {
+			return false
+		}
+		b, err := GreedyB(in.obj, in.p)
+		if err != nil {
+			return false
+		}
+		if len(a.Members) != len(b.Members) {
+			return false
+		}
+		for i := range a.Members {
+			if a.Members[i] != b.Members[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,149 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"maxsumdiv/internal/metric"
+)
+
+// instanceJSON is the stable on-disk form of an Instance: weights plus the
+// full symmetric distance matrix.
+type instanceJSON struct {
+	Weights  []float64   `json:"weights"`
+	Distance [][]float64 `json:"distance"`
+}
+
+// WriteInstanceJSON serializes an instance.
+func WriteInstanceJSON(w io.Writer, in *Instance) error {
+	n := in.N()
+	mat := make([][]float64, n)
+	for i := range mat {
+		mat[i] = make([]float64, n)
+		for j := range mat[i] {
+			mat[i][j] = in.Dist.Distance(i, j)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(instanceJSON{Weights: in.Weights, Distance: mat})
+}
+
+// ReadInstanceJSON deserializes and validates an instance written by
+// WriteInstanceJSON.
+func ReadInstanceJSON(r io.Reader) (*Instance, error) {
+	var raw instanceJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("dataset: decode instance: %w", err)
+	}
+	if len(raw.Distance) != len(raw.Weights) {
+		return nil, fmt.Errorf("dataset: %d weights but %d distance rows", len(raw.Weights), len(raw.Distance))
+	}
+	d, err := metric.NewDenseFromMatrix(raw.Distance)
+	if err != nil {
+		return nil, err
+	}
+	in := &Instance{Weights: raw.Weights, Dist: d}
+	if _, err := in.Objective(0); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// WriteQueriesJSON serializes a LETOR-like corpus.
+func WriteQueriesJSON(w io.Writer, queries []Query) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(queries)
+}
+
+// ReadQueriesJSON deserializes a corpus written by WriteQueriesJSON.
+func ReadQueriesJSON(r io.Reader) ([]Query, error) {
+	var qs []Query
+	if err := json.NewDecoder(r).Decode(&qs); err != nil {
+		return nil, fmt.Errorf("dataset: decode queries: %w", err)
+	}
+	for _, q := range qs {
+		for _, d := range q.Docs {
+			if d.Relevance < 0 {
+				return nil, fmt.Errorf("dataset: query %d doc %d has negative relevance", q.ID, d.ID)
+			}
+		}
+	}
+	return qs, nil
+}
+
+// Item is one row of a user-supplied CSV dataset for cmd/diversify:
+// an identifier, a quality weight, and an optional feature vector.
+type Item struct {
+	ID       string
+	Weight   float64
+	Features []float64
+}
+
+// ReadItemsCSV parses rows of the form `id,weight,x1,x2,...` (no header, or
+// a header row whose weight column fails to parse is skipped). All rows must
+// carry the same number of features.
+func ReadItemsCSV(r io.Reader) ([]Item, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	var items []Item
+	dim := -1
+	for i, rec := range records {
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("dataset: csv row %d has %d fields, want ≥ 2", i+1, len(rec))
+		}
+		weight, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			if i == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("dataset: csv row %d: weight %q: %w", i+1, rec[1], err)
+		}
+		if weight < 0 {
+			return nil, fmt.Errorf("dataset: csv row %d: negative weight %g", i+1, weight)
+		}
+		feats := make([]float64, 0, len(rec)-2)
+		for k, s := range rec[2:] {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv row %d column %d: %w", i+1, k+3, err)
+			}
+			feats = append(feats, v)
+		}
+		if dim == -1 {
+			dim = len(feats)
+		} else if len(feats) != dim {
+			return nil, fmt.Errorf("dataset: csv row %d has %d features, want %d", i+1, len(feats), dim)
+		}
+		items = append(items, Item{ID: rec[0], Weight: weight, Features: feats})
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("dataset: csv contains no data rows")
+	}
+	return items, nil
+}
+
+// WriteItemsCSV writes items in the format ReadItemsCSV accepts.
+func WriteItemsCSV(w io.Writer, items []Item) error {
+	cw := csv.NewWriter(w)
+	for _, it := range items {
+		rec := make([]string, 0, 2+len(it.Features))
+		rec = append(rec, it.ID, strconv.FormatFloat(it.Weight, 'g', -1, 64))
+		for _, f := range it.Features {
+			rec = append(rec, strconv.FormatFloat(f, 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

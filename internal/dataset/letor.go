@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"maxsumdiv/internal/core"
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/setfunc"
+)
+
+// Document is one retrieved result for a query, mirroring a LETOR record:
+// an integral relevance grade in 0..5 and a feature vector.
+type Document struct {
+	// ID is the document's index within its query's result list; Table 8
+	// reports these ids.
+	ID int
+	// QueryID identifies the query this document answers.
+	QueryID int
+	// Relevance is the integral relevance grade r(u) ∈ {0,…,5}; the quality
+	// of a result set is f(S) = Σ r(u) (Section 7.2's ground truth).
+	Relevance int
+	// Features is the feature vector whose cosine (dis)similarity defines
+	// the document-to-document distance.
+	Features []float64
+	// Topic is the generator's latent facet (exported for analyses and
+	// tests; real LETOR has no such column).
+	Topic int
+}
+
+// Query is a query with its retrieved document list.
+type Query struct {
+	ID   int
+	Docs []Document
+}
+
+// LETORConfig parameterizes the LETOR-like generator.
+type LETORConfig struct {
+	// Queries is the number of queries to generate (the paper uses 5).
+	Queries int
+	// DocsPerQuery is the per-query result-list length (the paper's data
+	// sets have ~370 usable documents per query).
+	DocsPerQuery int
+	// Topics is the number of latent facets per query; documents about the
+	// same facet get similar feature vectors (clustered geometry).
+	Topics int
+	// FeatureDim is the feature-vector dimensionality (LETOR 4.0 has 46).
+	FeatureDim int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultLETORConfig mirrors the scale of the paper's Section 7.2 data.
+func DefaultLETORConfig() LETORConfig {
+	return LETORConfig{Queries: 5, DocsPerQuery: 370, Topics: 8, FeatureDim: 46, Seed: 1}
+}
+
+// LETORLike generates a deterministic LETOR-like corpus. Each query draws a
+// facet-mixture; each document picks a facet, takes a noisy copy of that
+// facet's feature prototype, and receives an integer relevance grade that
+// grows with how central its facet is to the query and with its own quality
+// draw. The result has the two properties the paper's experiments exercise:
+// relevance mass concentrates on a few facets, and same-facet documents are
+// mutually close in cosine distance.
+func LETORLike(cfg LETORConfig) ([]Query, error) {
+	if cfg.Queries <= 0 || cfg.DocsPerQuery <= 0 {
+		return nil, fmt.Errorf("dataset: LETORLike: need positive Queries and DocsPerQuery, got %d/%d", cfg.Queries, cfg.DocsPerQuery)
+	}
+	if cfg.Topics <= 0 || cfg.FeatureDim <= 0 {
+		return nil, fmt.Errorf("dataset: LETORLike: need positive Topics and FeatureDim, got %d/%d", cfg.Topics, cfg.FeatureDim)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	queries := make([]Query, cfg.Queries)
+	for q := range queries {
+		// Facet prototypes: sparse non-negative vectors, fresh per query
+		// (different queries retrieve different vocabulary regions).
+		protos := make([][]float64, cfg.Topics)
+		for t := range protos {
+			protos[t] = make([]float64, cfg.FeatureDim)
+			for k := range protos[t] {
+				if rng.Float64() < 0.35 {
+					protos[t][k] = rng.Float64()
+				}
+			}
+		}
+		// Facet mixture θ_q ~ normalized exponentials (Dirichlet(1)).
+		theta := make([]float64, cfg.Topics)
+		var sum float64
+		for t := range theta {
+			theta[t] = rng.ExpFloat64()
+			sum += theta[t]
+		}
+		for t := range theta {
+			theta[t] /= sum
+		}
+		cum := make([]float64, cfg.Topics)
+		acc := 0.0
+		for t, v := range theta {
+			acc += v
+			cum[t] = acc
+		}
+		docs := make([]Document, cfg.DocsPerQuery)
+		for i := range docs {
+			// Sample the document's facet from the mixture.
+			r := rng.Float64()
+			topic := sort.SearchFloat64s(cum, r)
+			if topic >= cfg.Topics {
+				topic = cfg.Topics - 1
+			}
+			feat := make([]float64, cfg.FeatureDim)
+			scale := 0.7 + 0.3*rng.Float64()
+			for k := range feat {
+				feat[k] = protos[topic][k]*scale + 0.22*rng.Float64()
+			}
+			quality := 0.3 + 0.7*rng.Float64()
+			centrality := theta[topic] * float64(cfg.Topics) // ~1 on average
+			// Grade distribution: most docs land at 1–4 with grade-5 docs
+			// rare, so top-k selection still sees weight differentiation
+			// (real LETOR relevance is similarly skewed toward low grades).
+			factor := 0.55 + 0.25*math.Min(centrality, 1.6)/1.6 + 0.2*rng.Float64()
+			rel := int(math.Round(5 * quality * math.Min(1, factor)))
+			if rel < 0 {
+				rel = 0
+			} else if rel > 5 {
+				rel = 5
+			}
+			docs[i] = Document{ID: i, QueryID: q, Relevance: rel, Features: feat, Topic: topic}
+		}
+		queries[q] = Query{ID: q, Docs: docs}
+	}
+	return queries, nil
+}
+
+// TopK returns the k most relevant documents of the query (ties broken by
+// id, mirroring "top 50 by relevance score" in Section 7.2). k is clamped to
+// the list length.
+func TopK(q Query, k int) []Document {
+	docs := make([]Document, len(q.Docs))
+	copy(docs, q.Docs)
+	sort.SliceStable(docs, func(i, j int) bool {
+		if docs[i].Relevance != docs[j].Relevance {
+			return docs[i].Relevance > docs[j].Relevance
+		}
+		return docs[i].ID < docs[j].ID
+	})
+	if k > len(docs) {
+		k = len(docs)
+	}
+	return docs[:k]
+}
+
+// DocObjective builds the Section 7.2 objective over a document list:
+// modular f(S) = Σ relevance, distance = cosine distance between feature
+// vectors (use DocObjectiveAngular for the strictly-metric variant).
+func DocObjective(docs []Document, lambda float64) (*core.Objective, error) {
+	return docObjective(docs, lambda, false)
+}
+
+// DocObjectiveAngular is DocObjective with the angular (true metric)
+// distance arccos(cos)/π instead of 1−cos.
+func DocObjectiveAngular(docs []Document, lambda float64) (*core.Objective, error) {
+	return docObjective(docs, lambda, true)
+}
+
+func docObjective(docs []Document, lambda float64, angular bool) (*core.Objective, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("dataset: DocObjective: empty document list")
+	}
+	w := make([]float64, len(docs))
+	vecs := make([][]float64, len(docs))
+	for i, d := range docs {
+		if d.Relevance < 0 {
+			return nil, fmt.Errorf("dataset: document %d has negative relevance %d", d.ID, d.Relevance)
+		}
+		w[i] = float64(d.Relevance)
+		vecs[i] = d.Features
+	}
+	mod, err := setfunc.NewModular(w)
+	if err != nil {
+		return nil, err
+	}
+	var dist metric.Metric
+	if angular {
+		a, err := metric.NewAngular(vecs)
+		if err != nil {
+			return nil, err
+		}
+		dist = metric.Materialize(a)
+	} else {
+		c, err := metric.NewCosine(vecs)
+		if err != nil {
+			return nil, err
+		}
+		dist = metric.Materialize(c)
+	}
+	return core.NewObjective(mod, lambda, dist)
+}

@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"maxsumdiv/internal/core"
+	"maxsumdiv/internal/metric"
+)
+
+func TestPlantedCliqueShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst, planted, err := PlantedClique(30, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(planted) != 5 {
+		t.Fatalf("planted size %d", len(planted))
+	}
+	for i := 1; i < len(planted); i++ {
+		if planted[i] <= planted[i-1] {
+			t.Fatal("planted indices not sorted/unique")
+		}
+	}
+	// Planted pairs are at distance exactly 2.
+	for i := 0; i < len(planted); i++ {
+		for j := i + 1; j < len(planted); j++ {
+			if got := inst.Dist.Distance(planted[i], planted[j]); got != 2 {
+				t.Fatalf("planted pair distance %g", got)
+			}
+		}
+	}
+	// {1,2} values only, and a valid metric.
+	for i := 0; i < 30; i++ {
+		for j := i + 1; j < 30; j++ {
+			d := inst.Dist.Distance(i, j)
+			if d != 1 && d != 2 {
+				t.Fatalf("distance %g outside {1,2}", d)
+			}
+		}
+	}
+	if err := metric.Validate(inst.Dist, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := PlantedClique(5, 1, rng); err == nil {
+		t.Error("p=1 accepted")
+	}
+	if _, _, err := PlantedClique(5, 9, rng); err == nil {
+		t.Error("p>n accepted")
+	}
+}
+
+// The planted set is the optimum (d(S) = 2·C(p,2) is the ceiling), and the
+// paper's greedy must still achieve at least half of it (Theorem 1 /
+// Corollary 1 hold for every metric, including the hard regime).
+func TestGreedyOnPlantedClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n, p := 24, 4
+		inst, planted, err := PlantedClique(n, p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := inst.Objective(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ceiling := float64(p * (p - 1)) // 2·C(p,2)
+		if got := obj.Value(planted); got != ceiling {
+			t.Fatalf("planted set value %g, want %g", got, ceiling)
+		}
+		g, err := core.GreedyB(obj, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Value < ceiling/2-1e-9 {
+			t.Fatalf("trial %d: greedy %g below half the planted optimum %g", trial, g.Value, ceiling)
+		}
+		opt, err := core.Exact(obj, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Value != ceiling {
+			t.Fatalf("exact solver missed the planted optimum: %g vs %g", opt.Value, ceiling)
+		}
+	}
+}

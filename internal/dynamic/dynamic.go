@@ -1,0 +1,261 @@
+// Package dynamic implements Section 6 of the paper: maintaining a
+// high-quality max-sum diversification solution (modular f) under
+// weight and distance perturbations using the oblivious single-swap update
+// rule, with the paper's per-perturbation-type guarantees:
+//
+//	Type I   weight increase    → 3-approx restored with 1 update (Thm 3)
+//	Type II  weight decrease δ  → ⌈log_{(p−2)/(p−3)} w/(w−δ)⌉ updates (Thm 4);
+//	                              a single update suffices when δ ≤ w/(p−2)
+//	Type III distance increase  → 3-approx restored with 1 update (Thm 5)
+//	Type IV  distance decrease  → 3-approx restored with 1 update (Thm 6)
+//
+// For p ≤ 3 a single update always suffices (Corollary 3). The package also
+// provides the Figure 1 simulator (random V/E/M perturbation environments).
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"maxsumdiv/internal/core"
+	"maxsumdiv/internal/dataset"
+	"maxsumdiv/internal/setfunc"
+)
+
+// Kind classifies a perturbation per Section 6.
+type Kind int
+
+const (
+	// NoChange is an identity perturbation (new value equals old).
+	NoChange Kind = iota
+	// WeightIncrease is Type I.
+	WeightIncrease
+	// WeightDecrease is Type II.
+	WeightDecrease
+	// DistanceIncrease is Type III.
+	DistanceIncrease
+	// DistanceDecrease is Type IV.
+	DistanceDecrease
+)
+
+// String names the perturbation type as in the paper.
+func (k Kind) String() string {
+	switch k {
+	case NoChange:
+		return "no-change"
+	case WeightIncrease:
+		return "type-I (weight increase)"
+	case WeightDecrease:
+		return "type-II (weight decrease)"
+	case DistanceIncrease:
+		return "type-III (distance increase)"
+	case DistanceDecrease:
+		return "type-IV (distance decrease)"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Perturbation records one applied change.
+type Perturbation struct {
+	Kind     Kind
+	U, V     int // V = -1 for weight perturbations
+	Old, New float64
+}
+
+// Delta returns |New − Old|, the paper's δ.
+func (p Perturbation) Delta() float64 { return math.Abs(p.New - p.Old) }
+
+// Session maintains a solution to a dynamically changing instance. The
+// session owns its instance copy: perturbations go through the Session so
+// the incremental solution state stays consistent with the data.
+type Session struct {
+	inst   *dataset.Instance
+	mod    *setfunc.Modular
+	lambda float64
+	obj    *core.Objective
+	st     *core.State
+	p      int
+}
+
+// NewSession starts from an instance (deep-copied), a trade-off λ, and an
+// initial solution (the paper starts from a greedy 2-approximation).
+func NewSession(inst *dataset.Instance, lambda float64, initial []int) (*Session, error) {
+	cp := inst.Clone()
+	mod, err := setfunc.NewModular(cp.Weights)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := core.NewObjective(mod, lambda, cp.Dist)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool, len(initial))
+	for _, u := range initial {
+		if u < 0 || u >= obj.N() {
+			return nil, fmt.Errorf("dynamic: initial element %d out of range [0,%d)", u, obj.N())
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("dynamic: duplicate initial element %d", u)
+		}
+		seen[u] = true
+	}
+	st := obj.NewState()
+	st.SetTo(initial)
+	return &Session{inst: cp, mod: mod, lambda: lambda, obj: obj, st: st, p: len(initial)}, nil
+}
+
+// Objective exposes the session's live objective (it reflects every applied
+// perturbation; use it to compute OPT externally).
+func (s *Session) Objective() *core.Objective { return s.obj }
+
+// P returns the solution cardinality.
+func (s *Session) P() int { return s.p }
+
+// Members returns the current solution.
+func (s *Session) Members() []int { return s.st.Members() }
+
+// Value returns φ(S) for the current solution under the current data.
+func (s *Session) Value() float64 { return s.st.Value() }
+
+// SetWeight applies a weight perturbation (Type I/II) and returns its record.
+func (s *Session) SetWeight(u int, w float64) (Perturbation, error) {
+	if u < 0 || u >= s.obj.N() {
+		return Perturbation{}, fmt.Errorf("dynamic: SetWeight: element %d out of range", u)
+	}
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return Perturbation{}, fmt.Errorf("dynamic: SetWeight: weight %g invalid", w)
+	}
+	old := s.mod.Weight(u)
+	s.mod.SetWeight(u, w)
+	s.inst.Weights[u] = w
+	s.refresh()
+	kind := NoChange
+	switch {
+	case w > old:
+		kind = WeightIncrease
+	case w < old:
+		kind = WeightDecrease
+	}
+	return Perturbation{Kind: kind, U: u, V: -1, Old: old, New: w}, nil
+}
+
+// SetDistance applies a distance perturbation (Type III/IV). The paper
+// assumes perturbations preserve the metric property; callers own that
+// invariant (the [1,2] synthetic regime preserves it automatically).
+func (s *Session) SetDistance(u, v int, d float64) (Perturbation, error) {
+	n := s.obj.N()
+	if u < 0 || u >= n || v < 0 || v >= n || u == v {
+		return Perturbation{}, fmt.Errorf("dynamic: SetDistance: bad pair (%d,%d)", u, v)
+	}
+	if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		return Perturbation{}, fmt.Errorf("dynamic: SetDistance: distance %g invalid", d)
+	}
+	old := s.inst.Dist.Distance(u, v)
+	s.inst.Dist.SetDistance(u, v, d)
+	s.refresh()
+	kind := NoChange
+	switch {
+	case d > old:
+		kind = DistanceIncrease
+	case d < old:
+		kind = DistanceDecrease
+	}
+	return Perturbation{Kind: kind, U: u, V: v, Old: old, New: d}, nil
+}
+
+// refresh rebuilds the incremental state after the underlying data moved
+// (O(n·p); the solution set itself is unchanged).
+func (s *Session) refresh() {
+	s.st.SetTo(s.st.Members())
+}
+
+// ObliviousUpdate applies one step of the Section 6 rule: find the pair
+// (u ∈ S, v ∉ S) maximizing φ_{v→u}(S); if the best gain is positive, swap.
+// Returns whether a swap happened and the realized gain.
+func (s *Session) ObliviousUpdate() (swapped bool, gain float64) {
+	bestOut, bestIn, bestGain := -1, -1, 0.0
+	n := s.obj.N()
+	members := s.st.Members()
+	for v := 0; v < n; v++ {
+		if s.st.Contains(v) {
+			continue
+		}
+		for _, u := range members {
+			if g := s.st.SwapGain(u, v); g > bestGain+1e-15 {
+				bestOut, bestIn, bestGain = u, v, g
+			}
+		}
+	}
+	if bestOut == -1 {
+		return false, 0
+	}
+	s.st.Swap(bestOut, bestIn)
+	return true, bestGain
+}
+
+// UpdatesFor returns the number of oblivious updates the paper's theorems
+// prescribe to restore a 3-approximation after the given perturbation:
+// 1 for Types I, III, IV and for p ≤ 3 (Corollary 3); the Theorem 4 count
+// for Type II. prevValue must be φ(S) before a Type II perturbation.
+func (s *Session) UpdatesFor(pert Perturbation, prevValue float64) (int, error) {
+	switch pert.Kind {
+	case NoChange:
+		return 0, nil
+	case WeightIncrease, DistanceIncrease, DistanceDecrease:
+		return 1, nil
+	case WeightDecrease:
+		return Theorem4Updates(prevValue, pert.Delta(), s.p)
+	default:
+		return 0, fmt.Errorf("dynamic: unknown perturbation kind %v", pert.Kind)
+	}
+}
+
+// Maintain applies the prescribed number of oblivious updates for the
+// perturbation (stopping early if no swap improves) and returns how many
+// swaps were actually applied.
+func (s *Session) Maintain(pert Perturbation, prevValue float64) (int, error) {
+	k, err := s.UpdatesFor(pert, prevValue)
+	if err != nil {
+		return 0, err
+	}
+	applied := 0
+	for i := 0; i < k; i++ {
+		swapped, _ := s.ObliviousUpdate()
+		if !swapped {
+			break
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// Theorem4Updates computes ⌈log_{(p−2)/(p−3)} (w / (w−δ))⌉, the Theorem 4
+// bound on updates needed after a weight decrease of magnitude δ from a
+// solution of value w. Special cases per the paper: p ≤ 3 needs one update
+// (Corollary 3), δ ≤ w/(p−2) needs one update, and δ ≥ w is out of the
+// theorem's regime (the perturbation wiped the solution's entire value) —
+// an error is returned so callers can fall back to recomputation.
+func Theorem4Updates(w, delta float64, p int) (int, error) {
+	if delta < 0 || w < 0 || math.IsNaN(delta) || math.IsNaN(w) {
+		return 0, fmt.Errorf("dynamic: Theorem4Updates: invalid w=%g δ=%g", w, delta)
+	}
+	if delta == 0 {
+		return 0, nil
+	}
+	if p <= 3 {
+		return 1, nil
+	}
+	if delta <= w/float64(p-2) {
+		return 1, nil
+	}
+	if delta >= w {
+		return 0, fmt.Errorf("dynamic: Theorem4Updates: δ=%g ≥ w=%g outside Theorem 4's regime", delta, w)
+	}
+	base := float64(p-2) / float64(p-3)
+	k := math.Ceil(math.Log(w/(w-delta)) / math.Log(base))
+	if k < 1 {
+		k = 1
+	}
+	return int(k), nil
+}

@@ -1,0 +1,103 @@
+// Package experiments regenerates every table and figure of the paper's
+// Section 7 evaluation. Each experiment has a Config (defaults mirror the
+// paper's parameters, with reduced "quick" variants for benchmarks), a Run
+// function returning typed rows, and a Render method that prints a
+// paper-style text table.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	Table 1  Greedy A vs Greedy B vs OPT          synthetic N=50
+//	Table 2  Greedy A vs Greedy B vs LS + times   synthetic N=500
+//	Table 3  improved Greedy A vs improved B      synthetic N=50
+//	Table 4  Greedy A vs B vs OPT                 LETOR-like top-50
+//	Table 5  Greedy A vs B vs LS + times          LETOR-like top-370
+//	Table 6  AFs averaged over 5 queries          LETOR-like top-50
+//	Table 7  relative AFs + times over 5 queries  LETOR-like full lists
+//	Table 8  documents returned (ids)             LETOR-like top-50
+//	Figure 1 worst ratio under dynamic updates    synthetic
+//	Appendix greedy failure under a partition matroid
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// msString formats a duration in milliseconds, the paper's unit, switching
+// to two decimals below 10ms so sub-millisecond algorithms stay readable.
+func msString(d time.Duration) string {
+	ms := float64(d) / float64(time.Millisecond)
+	if ms < 10 {
+		return fmt.Sprintf("%.2f ms", ms)
+	}
+	return fmt.Sprintf("%d ms", d.Milliseconds())
+}
+
+// ratio guards division for "observed approximation factor" columns.
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// renderTable lays out a fixed-width text table with a title row.
+func renderTable(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for pad := len([]rune(cell)); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// f3 formats with 3 decimals (the paper's precision for values and AFs).
+func f3(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// timed measures the wall-clock duration of f.
+func timed(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}

@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"maxsumdiv/internal/dataset"
+)
+
+func quickCorpus() dataset.LETORConfig {
+	return dataset.LETORConfig{Queries: 5, DocsPerQuery: 60, Topics: 6, FeatureDim: 16, Seed: 1}
+}
+
+func TestRunTable1Quick(t *testing.T) {
+	cfg := Table1Config{N: 20, Ps: []int{3, 4, 5}, Lambda: 0.2, Trials: 2, Seed: 1}
+	res, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.OPT < row.GreedyA-1e-9 || row.OPT < row.GreedyB-1e-9 {
+			t.Fatalf("p=%d: OPT below a heuristic (OPT=%g A=%g B=%g)", row.P, row.OPT, row.GreedyA, row.GreedyB)
+		}
+		if row.AFA < 1-1e-9 || row.AFB < 1-1e-9 {
+			t.Fatalf("p=%d: AF below 1", row.P)
+		}
+		// Theorem 1 bound in observed form.
+		if row.AFB > 2+1e-9 {
+			t.Fatalf("p=%d: Greedy B observed AF %g exceeds 2", row.P, row.AFB)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "TABLE 1") || !strings.Contains(out, "AF_GreedyB") {
+		t.Errorf("render missing headers:\n%s", out)
+	}
+}
+
+func TestRunTable1Validation(t *testing.T) {
+	if _, err := RunTable1(Table1Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := RunTable1(Table1Config{N: 5, Ps: []int{9}, Trials: 1}); err == nil {
+		t.Error("p > N accepted")
+	}
+}
+
+func TestRunTable3Quick(t *testing.T) {
+	cfg := Table1Config{N: 15, Ps: []int{3, 4}, Lambda: 0.2, Trials: 1, Improved: true, Seed: 3}
+	res, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "TABLE 3") {
+		t.Errorf("improved run should render as Table 3:\n%s", out)
+	}
+}
+
+func TestRunTable2Quick(t *testing.T) {
+	cfg := Table2Config{N: 60, Ps: []int{4, 8}, Lambda: 0.2, Trials: 2, LSBudgetFactor: 10, Seed: 2}
+	res, err := RunTable2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.LS < row.GreedyB-1e-9 {
+			t.Fatalf("p=%d: LS (%g) regressed below Greedy B (%g)", row.P, row.LS, row.GreedyB)
+		}
+		if row.GreedyA <= 0 || row.GreedyB <= 0 {
+			t.Fatalf("p=%d: non-positive objective", row.P)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "TABLE 2") || !strings.Contains(out, "Time_A") {
+		t.Errorf("render missing headers:\n%s", out)
+	}
+	if _, err := RunTable2(Table2Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := RunTable2(Table2Config{N: 5, Ps: []int{9}, Trials: 1}); err == nil {
+		t.Error("p > N accepted")
+	}
+}
+
+func TestRunTable4Quick(t *testing.T) {
+	cfg := LetorConfig{
+		Corpus: quickCorpus(), Lambda: 0.2, TopK: 25,
+		Ps: []int{3, 4}, Queries: []int{0}, WithOPT: true,
+	}
+	res, err := RunTable4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.OPT < row.GreedyB-1e-9 || row.AFB < 1-1e-9 || row.AFB > 2+1e-9 {
+			t.Fatalf("p=%d: inconsistent OPT/AF (OPT=%g B=%g AFB=%g)", row.P, row.OPT, row.GreedyB, row.AFB)
+		}
+	}
+	if !strings.Contains(res.Render(), "TABLE 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunTable5Quick(t *testing.T) {
+	cfg := LetorConfig{
+		Corpus: quickCorpus(), Lambda: 0.2, TopK: 60,
+		Ps: []int{5, 10}, Queries: []int{0}, LSBudgetFactor: 10,
+	}
+	res, err := RunTable5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.LS < row.GreedyB-1e-9 {
+			t.Fatalf("p=%d: LS regressed", row.P)
+		}
+		if row.TimeA <= 0 || row.TimeB < 0 {
+			t.Fatalf("p=%d: missing timings", row.P)
+		}
+	}
+	if !strings.Contains(res.Render(), "TABLE 5") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRunTable6And7Quick(t *testing.T) {
+	cfg6 := LetorConfig{
+		Corpus: quickCorpus(), Lambda: 0.2, TopK: 20,
+		Ps: []int{3, 4}, Queries: []int{0, 1, 2}, WithOPT: true,
+	}
+	res6, err := RunTable6(cfg6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res6.Render(), "TABLE 6") {
+		t.Error("table 6 render missing title")
+	}
+	for _, row := range res6.Rows {
+		if row.AFA < 1-1e-9 || row.AFB < 1-1e-9 {
+			t.Fatalf("p=%d: AF below 1", row.P)
+		}
+	}
+
+	cfg7 := LetorConfig{
+		Corpus: quickCorpus(), Lambda: 0.2, TopK: 40,
+		Ps: []int{5, 8}, Queries: []int{0, 1}, LSBudgetFactor: 5,
+	}
+	res7, err := RunTable7(cfg7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res7.Render(), "TABLE 7") {
+		t.Error("table 7 render missing title")
+	}
+	for _, row := range res7.Rows {
+		if row.RelLSB < 1-1e-9 {
+			t.Fatalf("p=%d: LS/B ratio %g below 1", row.P, row.RelLSB)
+		}
+	}
+}
+
+func TestRunLetorValidation(t *testing.T) {
+	if _, err := RunLetor(LetorConfig{}, 4); err == nil {
+		t.Error("zero config accepted")
+	}
+	cfg := LetorConfig{Corpus: quickCorpus(), Ps: []int{3}, Queries: []int{99}}
+	if _, err := RunLetor(cfg, 4); err == nil {
+		t.Error("out-of-range query accepted")
+	}
+	cfg = LetorConfig{Corpus: quickCorpus(), Ps: []int{1000}, Queries: []int{0}, TopK: 10}
+	if _, err := RunLetor(cfg, 4); err == nil {
+		t.Error("p > docs accepted")
+	}
+}
+
+func TestRunTable8Quick(t *testing.T) {
+	cfg := Table8Config{Corpus: quickCorpus(), Lambda: 0.2, TopK: 20, Ps: []int{3, 5}, Query: 0}
+	res, err := RunTable8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) != 2 {
+		t.Fatalf("got %d blocks", len(res.Blocks))
+	}
+	for _, blk := range res.Blocks {
+		if len(blk.GreedyA) != blk.P || len(blk.GreedyB) != blk.P || len(blk.OPT) != blk.P {
+			t.Fatalf("p=%d: block sizes wrong", blk.P)
+		}
+		// Greedy B should agree with OPT at least as much as Greedy A does
+		// in aggregate; check both overlap at least 0 (sanity) and render.
+		if Overlap(blk.GreedyB, blk.OPT) < 0 {
+			t.Fatal("impossible")
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "TABLE 8") || !strings.Contains(out, "Greedy A") {
+		t.Errorf("render missing parts:\n%s", out)
+	}
+	if _, err := RunTable8(Table8Config{Corpus: quickCorpus(), Query: 77, Ps: []int{2}, TopK: 5}); err == nil {
+		t.Error("bad query accepted")
+	}
+	if _, err := RunTable8(Table8Config{Corpus: quickCorpus(), Query: 0, Ps: []int{200}, TopK: 5}); err == nil {
+		t.Error("p > docs accepted")
+	}
+}
+
+func TestRunFigure1Quick(t *testing.T) {
+	cfg := Figure1Config{
+		N: 12, P: 4, Lambdas: []float64{0.2, 0.8},
+		Steps: 4, Repetitions: 2, Seed: 7, Parallel: true,
+	}
+	res, err := RunFigure1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, worst := range []float64{row.WorstV, row.WorstE, row.WorstM} {
+			if worst < 1-1e-9 || worst > 3+1e-9 {
+				t.Fatalf("λ=%g: worst ratio %g outside [1, 3]", row.Lambda, worst)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "FIGURE 1") {
+		t.Error("render missing title")
+	}
+	if _, err := RunFigure1(Figure1Config{}); err == nil {
+		t.Error("empty lambda grid accepted")
+	}
+}
+
+func TestRunAppendix(t *testing.T) {
+	res, err := RunAppendix(AppendixConfig{Rs: []int{4, 8, 12, 20}, Ell: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i, row := range res.Rows {
+		if row.LSRatio > 2+1e-9 {
+			t.Fatalf("r=%d: local search ratio %g exceeds 2", row.R, row.LSRatio)
+		}
+		if row.GreedyRatio < prev {
+			t.Fatalf("r=%d: greedy ratio should grow with r (got %g after %g)", row.R, row.GreedyRatio, prev)
+		}
+		prev = row.GreedyRatio
+		if i == len(res.Rows)-1 && row.GreedyRatio < 4 {
+			t.Fatalf("greedy ratio should blow up; at r=%d only %g", row.R, row.GreedyRatio)
+		}
+	}
+	if !strings.Contains(res.Render(), "APPENDIX") {
+		t.Error("render missing title")
+	}
+	if _, err := RunAppendix(AppendixConfig{}); err == nil {
+		t.Error("empty r grid accepted")
+	}
+	if _, _, err := BuildAppendixInstance(1, 10); err == nil {
+		t.Error("r=1 accepted")
+	}
+	if _, _, err := BuildAppendixInstance(4, -1); err == nil {
+		t.Error("negative ℓ accepted")
+	}
+}
+
+func TestRenderHelpers(t *testing.T) {
+	out := renderTable("T", []string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if !strings.HasPrefix(out, "T\n") || !strings.Contains(out, "333") {
+		t.Errorf("renderTable output:\n%s", out)
+	}
+	if f3(1.23456) != "1.235" {
+		t.Error("f3 rounding wrong")
+	}
+	if ratio(1, 0) <= 1e308 {
+		t.Error("ratio(1,0) should be +inf")
+	}
+	if ratio(0, 0) != 1 {
+		t.Error("ratio(0,0) should be 1")
+	}
+	if msString(1500*time.Microsecond) != "1.50 ms" {
+		t.Errorf("msString(1.5ms) = %q", msString(1500*time.Microsecond))
+	}
+	if msString(25*time.Millisecond) != "25 ms" {
+		t.Errorf("msString(25ms) = %q", msString(25*time.Millisecond))
+	}
+	d, err := timed(func() error { return nil })
+	if err != nil || d < 0 {
+		t.Error("timed wrong")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"maxsumdiv/internal/dynamic"
+)
+
+// Figure1Config parameterizes the dynamic-update experiment (Section 7.3).
+type Figure1Config struct {
+	// N, P size the synthetic instances. Paper scale: N=50, p=5 (the largest
+	// Section 7.1 setting with computable OPT).
+	N, P int
+	// Lambdas is the x-axis grid.
+	Lambdas []float64
+	// Steps per repetition (paper: 20) and Repetitions (paper: 100).
+	Steps, Repetitions int
+	// Seed drives all randomness.
+	Seed int64
+	// Parallel fans repetitions across CPUs (OPT recomputation dominates).
+	Parallel bool
+}
+
+// DefaultFigure1Config is the paper-scale configuration. Each (λ, env) cell
+// costs Steps × Repetitions exact solves at C(N,P) scale — minutes of CPU;
+// see QuickFigure1Config for a fast variant with the same qualitative shape.
+func DefaultFigure1Config() Figure1Config {
+	return Figure1Config{
+		N: 50, P: 5,
+		Lambdas:     []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		Steps:       20,
+		Repetitions: 100,
+		Seed:        7,
+		Parallel:    true,
+	}
+}
+
+// QuickFigure1Config is the reduced default used by the benchmark harness.
+func QuickFigure1Config() Figure1Config {
+	return Figure1Config{
+		N: 30, P: 5,
+		Lambdas:     []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0},
+		Steps:       20,
+		Repetitions: 10,
+		Seed:        7,
+		Parallel:    true,
+	}
+}
+
+// Figure1Row is one λ setting: worst observed ratio per environment.
+type Figure1Row struct {
+	Lambda                 float64
+	WorstV, WorstE, WorstM float64
+	MeanV, MeanE, MeanM    float64
+}
+
+// Figure1Result carries the full series.
+type Figure1Result struct {
+	Config Figure1Config
+	Rows   []Figure1Row
+}
+
+// RunFigure1 regenerates Figure 1: for every λ and each perturbation
+// environment (VPERTURBATION, EPERTURBATION, MPERTURBATION), start from the
+// greedy solution, run Steps rounds of perturb-then-single-oblivious-update,
+// repeat Repetitions times, and record the worst exact approximation ratio.
+func RunFigure1(cfg Figure1Config) (*Figure1Result, error) {
+	if len(cfg.Lambdas) == 0 {
+		return nil, fmt.Errorf("experiments: Figure1: empty lambda grid")
+	}
+	res := &Figure1Result{Config: cfg}
+	for _, lambda := range cfg.Lambdas {
+		row := Figure1Row{Lambda: lambda}
+		for _, env := range []dynamic.Env{dynamic.VPerturbation, dynamic.EPerturbation, dynamic.MPerturbation} {
+			sim, err := dynamic.Simulate(dynamic.SimConfig{
+				N: cfg.N, P: cfg.P, Lambda: lambda,
+				Steps: cfg.Steps, Repetitions: cfg.Repetitions,
+				Env: env, Seed: cfg.Seed, Parallel: cfg.Parallel,
+			})
+			if err != nil {
+				return nil, err
+			}
+			switch env {
+			case dynamic.VPerturbation:
+				row.WorstV, row.MeanV = sim.WorstRatio, sim.MeanRatio
+			case dynamic.EPerturbation:
+				row.WorstE, row.MeanE = sim.WorstRatio, sim.MeanRatio
+			default:
+				row.WorstM, row.MeanM = sim.WorstRatio, sim.MeanRatio
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the series as a table (worst ratio per λ per environment),
+// the textual equivalent of the paper's Figure 1 plot.
+func (r *Figure1Result) Render() string {
+	headers := []string{"λ", "worst V", "worst E", "worst M", "mean V", "mean E", "mean M"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", row.Lambda),
+			f3(row.WorstV), f3(row.WorstE), f3(row.WorstM),
+			f3(row.MeanV), f3(row.MeanE), f3(row.MeanM),
+		})
+	}
+	title := fmt.Sprintf("FIGURE 1: approximation ratio under dynamic updates (N=%d, p=%d, %d steps × %d reps; provable bound 3)",
+		r.Config.N, r.Config.P, r.Config.Steps, r.Config.Repetitions)
+	return renderTable(title, headers, rows)
+}

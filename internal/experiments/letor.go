@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"maxsumdiv/internal/core"
+	"maxsumdiv/internal/dataset"
+	"maxsumdiv/internal/matroid"
+)
+
+// LetorConfig parameterizes Tables 4–8 (LETOR-like document workloads).
+type LetorConfig struct {
+	// Corpus configures the LETOR-like generator (paper: 5 queries, ~370
+	// docs each, 46 features).
+	Corpus dataset.LETORConfig
+	// Lambda is the trade-off (as in Section 7.1 we use 0.2).
+	Lambda float64
+	// TopK restricts each query to its k most relevant documents
+	// (paper: 50 for Tables 4/6/8; 370 i.e. all docs for Tables 5/7).
+	TopK int
+	// Ps are the cardinality constraints.
+	Ps []int
+	// Queries lists which query ids to use (Tables 4/5/8 use one query;
+	// Tables 6/7 average over all five).
+	Queries []int
+	// WithOPT computes exact optima (feasible for TopK ≤ ~50, p ≤ 7).
+	WithOPT bool
+	// LSBudgetFactor bounds LS at this multiple of Greedy B's time (10).
+	LSBudgetFactor int
+	// Improved uses the Table 3 improved greedy variants (not used by the
+	// paper's LETOR tables but available for ablations).
+	Improved bool
+}
+
+// DefaultTable4Config mirrors Table 4: one query, top-50, p=3..7, with OPT.
+func DefaultTable4Config() LetorConfig {
+	return LetorConfig{
+		Corpus:  dataset.DefaultLETORConfig(),
+		Lambda:  0.2,
+		TopK:    50,
+		Ps:      []int{3, 4, 5, 6, 7},
+		Queries: []int{0},
+		WithOPT: true,
+	}
+}
+
+// DefaultTable5Config mirrors Table 5: one query, all ~370 docs,
+// p=5,10,…,75, with times and LS.
+func DefaultTable5Config() LetorConfig {
+	ps := make([]int, 0, 15)
+	for p := 5; p <= 75; p += 5 {
+		ps = append(ps, p)
+	}
+	return LetorConfig{
+		Corpus:         dataset.DefaultLETORConfig(),
+		Lambda:         0.2,
+		TopK:           370,
+		Ps:             ps,
+		Queries:        []int{0},
+		LSBudgetFactor: 10,
+	}
+}
+
+// DefaultTable6Config mirrors Table 6: five queries, top-50, with OPT,
+// reporting averaged approximation factors.
+func DefaultTable6Config() LetorConfig {
+	cfg := DefaultTable4Config()
+	cfg.Queries = []int{0, 1, 2, 3, 4}
+	return cfg
+}
+
+// DefaultTable7Config mirrors Table 7: five queries, full lists, times + LS.
+func DefaultTable7Config() LetorConfig {
+	cfg := DefaultTable5Config()
+	cfg.Queries = []int{0, 1, 2, 3, 4}
+	return cfg
+}
+
+// LetorRow is one parameter setting of a LETOR table, averaged over queries.
+type LetorRow struct {
+	P         int
+	OPT       float64 // 0 unless WithOPT
+	GreedyA   float64
+	GreedyB   float64
+	LS        float64 // 0 unless LSBudgetFactor > 0
+	AFA       float64 // OPT/GreedyA (WithOPT only)
+	AFB       float64 // OPT/GreedyB (WithOPT only)
+	RelBA     float64 // GreedyB/GreedyA
+	RelLSB    float64 // LS/GreedyB (LS runs only)
+	TimeA     time.Duration
+	TimeB     time.Duration
+	TimeRatio float64
+}
+
+// LetorResult carries the rows of a Table 4/5/6/7 run.
+type LetorResult struct {
+	Config LetorConfig
+	Table  int // 4, 5, 6 or 7 — controls Render's layout
+	Rows   []LetorRow
+}
+
+// RunLetor executes the shared Tables 4–7 pipeline over the configured
+// queries and reports per-p averages.
+func RunLetor(cfg LetorConfig, table int) (*LetorResult, error) {
+	if len(cfg.Ps) == 0 || len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("experiments: letor: bad config %+v", cfg)
+	}
+	queries, err := dataset.LETORLike(cfg.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	type perQuery struct {
+		obj *core.Objective
+		n   int
+	}
+	var objs []perQuery
+	for _, qid := range cfg.Queries {
+		if qid < 0 || qid >= len(queries) {
+			return nil, fmt.Errorf("experiments: letor: query %d out of range [0,%d)", qid, len(queries))
+		}
+		docs := dataset.TopK(queries[qid], cfg.TopK)
+		obj, err := dataset.DocObjective(docs, cfg.Lambda)
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, perQuery{obj: obj, n: len(docs)})
+	}
+
+	res := &LetorResult{Config: cfg, Table: table}
+	for _, p := range cfg.Ps {
+		var row LetorRow
+		row.P = p
+		var sumOpt, sumA, sumB, sumLS float64
+		var timeA, timeB time.Duration
+		for _, q := range objs {
+			if p > q.n {
+				return nil, fmt.Errorf("experiments: letor: p=%d exceeds %d docs", p, q.n)
+			}
+			var optsA, optsB []core.GreedyOption
+			if cfg.Improved {
+				optsA = append(optsA, core.WithBestLastVertex())
+				optsB = append(optsB, core.WithBestPairStart())
+			}
+			var a, b *core.Solution
+			da, err := timed(func() error { var e error; a, e = core.GreedyA(q.obj, p, optsA...); return e })
+			if err != nil {
+				return nil, err
+			}
+			db, err := timed(func() error { var e error; b, e = core.GreedyB(q.obj, p, optsB...); return e })
+			if err != nil {
+				return nil, err
+			}
+			sumA += a.Value
+			sumB += b.Value
+			timeA += da
+			timeB += db
+			if cfg.LSBudgetFactor > 0 {
+				uni, err := matroid.NewUniform(q.n, p)
+				if err != nil {
+					return nil, err
+				}
+				budget := time.Duration(cfg.LSBudgetFactor) * db
+				if budget < time.Millisecond {
+					budget = time.Millisecond
+				}
+				ls, err := core.LocalSearch(q.obj, uni, &core.LSOptions{Init: b.Members, TimeBudget: budget})
+				if err != nil {
+					return nil, err
+				}
+				sumLS += ls.Value
+			}
+			if cfg.WithOPT {
+				opt, err := core.Exact(q.obj, p, &core.ExactOptions{Parallel: true})
+				if err != nil {
+					return nil, err
+				}
+				sumOpt += opt.Value
+			}
+		}
+		nq := float64(len(objs))
+		row.GreedyA = sumA / nq
+		row.GreedyB = sumB / nq
+		row.TimeA = timeA / time.Duration(len(objs))
+		row.TimeB = timeB / time.Duration(len(objs))
+		row.RelBA = ratio(row.GreedyB, row.GreedyA)
+		row.TimeRatio = ratio(float64(row.TimeA), float64(row.TimeB))
+		if cfg.LSBudgetFactor > 0 {
+			row.LS = sumLS / nq
+			row.RelLSB = ratio(row.LS, row.GreedyB)
+		}
+		if cfg.WithOPT {
+			row.OPT = sumOpt / nq
+			row.AFA = ratio(row.OPT, row.GreedyA)
+			row.AFB = ratio(row.OPT, row.GreedyB)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RunTable4 regenerates Table 4 (one query, top-50, with OPT).
+func RunTable4(cfg LetorConfig) (*LetorResult, error) { return RunLetor(cfg, 4) }
+
+// RunTable5 regenerates Table 5 (one query, full list, times + LS).
+func RunTable5(cfg LetorConfig) (*LetorResult, error) { return RunLetor(cfg, 5) }
+
+// RunTable6 regenerates Table 6 (five queries, top-50, averaged AFs).
+func RunTable6(cfg LetorConfig) (*LetorResult, error) { return RunLetor(cfg, 6) }
+
+// RunTable7 regenerates Table 7 (five queries, full lists, relative AFs and
+// times).
+func RunTable7(cfg LetorConfig) (*LetorResult, error) { return RunLetor(cfg, 7) }
+
+// Render prints the table in the layout of the corresponding paper table.
+func (r *LetorResult) Render() string {
+	switch r.Table {
+	case 4:
+		headers := []string{"p", "OPT", "GreedyA", "GreedyB", "AF_GreedyA", "AF_GreedyB", "AF_B/A"}
+		var rows [][]string
+		for _, row := range r.Rows {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", row.P), f3(row.OPT), f3(row.GreedyA), f3(row.GreedyB),
+				f3(row.AFA), f3(row.AFB), f3(row.RelBA),
+			})
+		}
+		return renderTable(fmt.Sprintf("TABLE 4: Greedy A vs Greedy B vs OPT (LETOR-like, top %d docs, λ = %g)",
+			r.Config.TopK, r.Config.Lambda), headers, rows)
+	case 6:
+		headers := []string{"p", "AF_GreedyA", "AF_GreedyB"}
+		var rows [][]string
+		for _, row := range r.Rows {
+			rows = append(rows, []string{fmt.Sprintf("%d", row.P), f3(row.AFA), f3(row.AFB)})
+		}
+		return renderTable(fmt.Sprintf("TABLE 6: observed AFs averaged over %d queries (LETOR-like, top %d docs)",
+			len(r.Config.Queries), r.Config.TopK), headers, rows)
+	case 7:
+		headers := []string{"p", "AF_B/A", "AF_LS/B", "Time_A", "Time_B", "T_A/T_B"}
+		var rows [][]string
+		for _, row := range r.Rows {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", row.P), f3(row.RelBA), f3(row.RelLSB),
+				msString(row.TimeA), msString(row.TimeB), f3(row.TimeRatio),
+			})
+		}
+		return renderTable(fmt.Sprintf("TABLE 7: relative AFs and times averaged over %d queries (LETOR-like, full lists)",
+			len(r.Config.Queries)), headers, rows)
+	default: // 5
+		headers := []string{"p", "GreedyA", "GreedyB", "LS", "AF_B/A", "AF_LS/B", "Time_A", "Time_B", "T_A/T_B"}
+		var rows [][]string
+		for _, row := range r.Rows {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", row.P), f3(row.GreedyA), f3(row.GreedyB), f3(row.LS),
+				f3(row.RelBA), f3(row.RelLSB),
+				msString(row.TimeA), msString(row.TimeB), f3(row.TimeRatio),
+			})
+		}
+		return renderTable(fmt.Sprintf("TABLE 5: Greedy A vs Greedy B vs LS (LETOR-like, %d docs, λ = %g)",
+			r.Config.TopK, r.Config.Lambda), headers, rows)
+	}
+}
+
+// Table8Config parameterizes Table 8 (the documents returned).
+type Table8Config struct {
+	Corpus dataset.LETORConfig
+	Lambda float64
+	TopK   int
+	Ps     []int
+	Query  int
+}
+
+// DefaultTable8Config mirrors Table 8: one query, top-50, p = 3..7.
+func DefaultTable8Config() Table8Config {
+	return Table8Config{Corpus: dataset.DefaultLETORConfig(), Lambda: 0.2, TopK: 50, Ps: []int{3, 4, 5, 6, 7}, Query: 0}
+}
+
+// Table8Block lists the document ids each method returned for one p.
+type Table8Block struct {
+	P       int
+	GreedyA []int
+	GreedyB []int
+	OPT     []int
+}
+
+// Table8Result carries all blocks.
+type Table8Result struct {
+	Config Table8Config
+	Blocks []Table8Block
+}
+
+// RunTable8 regenerates Table 8: the concrete document ids selected by
+// Greedy A, Greedy B and OPT on the top-k document set.
+func RunTable8(cfg Table8Config) (*Table8Result, error) {
+	queries, err := dataset.LETORLike(cfg.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Query < 0 || cfg.Query >= len(queries) {
+		return nil, fmt.Errorf("experiments: Table8: query %d out of range", cfg.Query)
+	}
+	docs := dataset.TopK(queries[cfg.Query], cfg.TopK)
+	obj, err := dataset.DocObjective(docs, cfg.Lambda)
+	if err != nil {
+		return nil, err
+	}
+	toDocIDs := func(members []int) []int {
+		out := make([]int, len(members))
+		for i, m := range members {
+			out[i] = docs[m].ID
+		}
+		sort.Ints(out)
+		return out
+	}
+	res := &Table8Result{Config: cfg}
+	for _, p := range cfg.Ps {
+		if p > len(docs) {
+			return nil, fmt.Errorf("experiments: Table8: p=%d exceeds %d docs", p, len(docs))
+		}
+		a, err := core.GreedyA(obj, p)
+		if err != nil {
+			return nil, err
+		}
+		b, err := core.GreedyB(obj, p)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := core.Exact(obj, p, &core.ExactOptions{Parallel: true})
+		if err != nil {
+			return nil, err
+		}
+		res.Blocks = append(res.Blocks, Table8Block{
+			P:       p,
+			GreedyA: toDocIDs(a.Members),
+			GreedyB: toDocIDs(b.Members),
+			OPT:     toDocIDs(opt.Members),
+		})
+	}
+	return res, nil
+}
+
+// Render prints per-p blocks of returned document ids, as in the paper.
+func (r *Table8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE 8: documents returned (LETOR-like, top %d docs, query %d)\n",
+		r.Config.TopK, r.Config.Query)
+	for _, blk := range r.Blocks {
+		fmt.Fprintf(&b, "\nN=%d, p=%d\n", r.Config.TopK, blk.P)
+		rows := make([][]string, blk.P)
+		for i := 0; i < blk.P; i++ {
+			rows[i] = []string{
+				fmt.Sprintf("%d", blk.GreedyA[i]),
+				fmt.Sprintf("%d", blk.GreedyB[i]),
+				fmt.Sprintf("%d", blk.OPT[i]),
+			}
+		}
+		b.WriteString(renderTable("", []string{"Greedy A", "Greedy B", "OPT"}, rows))
+	}
+	return b.String()
+}
+
+// Overlap reports |A ∩ B| for two id lists — used to quantify Table 8's
+// "Greedy B differs from OPT on one document" observations.
+func Overlap(a, b []int) int {
+	set := make(map[int]bool, len(a))
+	for _, x := range a {
+		set[x] = true
+	}
+	n := 0
+	for _, x := range b {
+		if set[x] {
+			n++
+		}
+	}
+	return n
+}

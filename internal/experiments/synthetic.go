@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"maxsumdiv/internal/core"
+	"maxsumdiv/internal/dataset"
+	"maxsumdiv/internal/matroid"
+)
+
+// Table1Config parameterizes Tables 1 and 3 (synthetic, with exact OPT).
+type Table1Config struct {
+	// N is the universe size (paper: 50).
+	N int
+	// Ps are the cardinality constraints (paper: 3..7).
+	Ps []int
+	// Lambda is the trade-off (paper: 0.2 throughout Section 7.1).
+	Lambda float64
+	// Trials per parameter setting (paper: 5 for Table 1, 1 for Table 3).
+	Trials int
+	// Improved selects the Table 3 variants: Greedy A picks its best last
+	// vertex, Greedy B starts from its best pair.
+	Improved bool
+	// Seed drives instance generation.
+	Seed int64
+}
+
+// DefaultTable1Config mirrors the paper's Table 1.
+func DefaultTable1Config() Table1Config {
+	return Table1Config{N: 50, Ps: []int{3, 4, 5, 6, 7}, Lambda: 0.2, Trials: 5, Seed: 1}
+}
+
+// DefaultTable3Config mirrors the paper's Table 3 (improved variants, one
+// trial).
+func DefaultTable3Config() Table1Config {
+	cfg := DefaultTable1Config()
+	cfg.Trials = 1
+	cfg.Improved = true
+	cfg.Seed = 3
+	return cfg
+}
+
+// Table1Row is one parameter setting of Table 1/3: averaged objective values
+// and the paper's observed approximation factors AF_ALG = OPT-avg / ALG-avg.
+type Table1Row struct {
+	P       int
+	OPT     float64
+	GreedyA float64
+	GreedyB float64
+	AFA     float64 // OPT / GreedyA
+	AFB     float64 // OPT / GreedyB
+	RelAF   float64 // GreedyB / GreedyA (the paper's AF^GreedyB_GreedyA)
+}
+
+// Table1Result carries all rows of a Table 1/3 run.
+type Table1Result struct {
+	Config Table1Config
+	Rows   []Table1Row
+}
+
+// RunTable1 regenerates Table 1 (or Table 3 with Improved set): for each p,
+// average OPT, Greedy A and Greedy B objective values over Trials random
+// instances and report observed approximation factors.
+func RunTable1(cfg Table1Config) (*Table1Result, error) {
+	if cfg.N <= 0 || len(cfg.Ps) == 0 || cfg.Trials <= 0 {
+		return nil, fmt.Errorf("experiments: Table1: bad config %+v", cfg)
+	}
+	res := &Table1Result{Config: cfg}
+	for _, p := range cfg.Ps {
+		if p > cfg.N {
+			return nil, fmt.Errorf("experiments: Table1: p=%d exceeds N=%d", p, cfg.N)
+		}
+		var sumOpt, sumA, sumB float64
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*104729 + int64(p)))
+			inst := dataset.Synthetic(cfg.N, rng)
+			obj, err := inst.Objective(cfg.Lambda)
+			if err != nil {
+				return nil, err
+			}
+			var optsA, optsB []core.GreedyOption
+			if cfg.Improved {
+				optsA = append(optsA, core.WithBestLastVertex())
+				optsB = append(optsB, core.WithBestPairStart())
+			}
+			a, err := core.GreedyA(obj, p, optsA...)
+			if err != nil {
+				return nil, err
+			}
+			b, err := core.GreedyB(obj, p, optsB...)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := core.Exact(obj, p, &core.ExactOptions{Parallel: true})
+			if err != nil {
+				return nil, err
+			}
+			sumA += a.Value
+			sumB += b.Value
+			sumOpt += opt.Value
+		}
+		n := float64(cfg.Trials)
+		row := Table1Row{
+			P:       p,
+			OPT:     sumOpt / n,
+			GreedyA: sumA / n,
+			GreedyB: sumB / n,
+		}
+		row.AFA = ratio(row.OPT, row.GreedyA)
+		row.AFB = ratio(row.OPT, row.GreedyB)
+		row.RelAF = ratio(row.GreedyB, row.GreedyA)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table1Result) Render() string {
+	title := fmt.Sprintf("TABLE 1: Comparison of Greedy A and Greedy B (N = %d, λ = %g, %d trials)",
+		r.Config.N, r.Config.Lambda, r.Config.Trials)
+	if r.Config.Improved {
+		title = fmt.Sprintf("TABLE 3: Comparison of Improved Greedy A and Improved Greedy B (N = %d, λ = %g)",
+			r.Config.N, r.Config.Lambda)
+	}
+	headers := []string{"p", "OPT", "GreedyA", "GreedyB", "AF_GreedyA", "AF_GreedyB", "AF_B/A"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.P),
+			f3(row.OPT), f3(row.GreedyA), f3(row.GreedyB),
+			f3(row.AFA), f3(row.AFB), f3(row.RelAF),
+		})
+	}
+	return renderTable(title, headers, rows)
+}
+
+// Table2Config parameterizes Table 2 (synthetic N=500, no OPT, with wall
+// times and the time-bounded LS refinement).
+type Table2Config struct {
+	// N is the universe size (paper: 500).
+	N int
+	// Ps are cardinalities (paper: 5,10,…,75).
+	Ps []int
+	// Lambda is the trade-off (paper: 0.2).
+	Lambda float64
+	// Trials per setting (paper: 5).
+	Trials int
+	// LSBudgetFactor bounds local search at this multiple of Greedy B's
+	// runtime (paper: 10).
+	LSBudgetFactor int
+	// Seed drives instance generation.
+	Seed int64
+}
+
+// DefaultTable2Config mirrors the paper's Table 2.
+func DefaultTable2Config() Table2Config {
+	ps := make([]int, 0, 15)
+	for p := 5; p <= 75; p += 5 {
+		ps = append(ps, p)
+	}
+	return Table2Config{N: 500, Ps: ps, Lambda: 0.2, Trials: 5, LSBudgetFactor: 10, Seed: 2}
+}
+
+// QuickTable2Config is a reduced variant for unit tests and smoke benches.
+func QuickTable2Config() Table2Config {
+	return Table2Config{N: 120, Ps: []int{5, 10, 15}, Lambda: 0.2, Trials: 2, LSBudgetFactor: 10, Seed: 2}
+}
+
+// Table2Row is one parameter setting of Table 2/5.
+type Table2Row struct {
+	P         int
+	GreedyA   float64
+	GreedyB   float64
+	LS        float64
+	RelBA     float64 // GreedyB / GreedyA
+	RelLSB    float64 // LS / GreedyB
+	TimeA     time.Duration
+	TimeB     time.Duration
+	TimeRatio float64 // TimeA / TimeB
+	LSSwaps   int
+}
+
+// Table2Result carries all rows of a Table 2 run.
+type Table2Result struct {
+	Config Table2Config
+	Rows   []Table2Row
+}
+
+// RunTable2 regenerates Table 2: Greedy A vs Greedy B objective values and
+// wall times at N=500 scale, plus the LS refinement (Greedy B followed by
+// single-swap local search bounded at LSBudgetFactor × the greedy's time).
+func RunTable2(cfg Table2Config) (*Table2Result, error) {
+	if cfg.N <= 0 || len(cfg.Ps) == 0 || cfg.Trials <= 0 {
+		return nil, fmt.Errorf("experiments: Table2: bad config %+v", cfg)
+	}
+	if cfg.LSBudgetFactor <= 0 {
+		cfg.LSBudgetFactor = 10
+	}
+	res := &Table2Result{Config: cfg}
+	for _, p := range cfg.Ps {
+		if p > cfg.N {
+			return nil, fmt.Errorf("experiments: Table2: p=%d exceeds N=%d", p, cfg.N)
+		}
+		var sumA, sumB, sumLS float64
+		var timeA, timeB time.Duration
+		var swaps int
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)*15485863 + int64(p)))
+			inst := dataset.Synthetic(cfg.N, rng)
+			obj, err := inst.Objective(cfg.Lambda)
+			if err != nil {
+				return nil, err
+			}
+			var a, b, ls *core.Solution
+			da, err := timed(func() error { a, err = core.GreedyA(obj, p); return err })
+			if err != nil {
+				return nil, err
+			}
+			db, err := timed(func() error { b, err = core.GreedyB(obj, p); return err })
+			if err != nil {
+				return nil, err
+			}
+			uni, err := matroid.NewUniform(cfg.N, p)
+			if err != nil {
+				return nil, err
+			}
+			budget := time.Duration(cfg.LSBudgetFactor) * db
+			if budget < time.Millisecond {
+				budget = time.Millisecond
+			}
+			ls, err = core.LocalSearch(obj, uni, &core.LSOptions{Init: b.Members, TimeBudget: budget})
+			if err != nil {
+				return nil, err
+			}
+			sumA += a.Value
+			sumB += b.Value
+			sumLS += ls.Value
+			timeA += da
+			timeB += db
+			swaps += ls.Swaps
+		}
+		n := float64(cfg.Trials)
+		row := Table2Row{
+			P:       p,
+			GreedyA: sumA / n,
+			GreedyB: sumB / n,
+			LS:      sumLS / n,
+			TimeA:   timeA / time.Duration(cfg.Trials),
+			TimeB:   timeB / time.Duration(cfg.Trials),
+			LSSwaps: swaps,
+		}
+		row.RelBA = ratio(row.GreedyB, row.GreedyA)
+		row.RelLSB = ratio(row.LS, row.GreedyB)
+		row.TimeRatio = ratio(float64(row.TimeA), float64(row.TimeB))
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table2Result) Render() string {
+	title := fmt.Sprintf("TABLE 2: Comparison of Greedy A, Greedy B and LS (N = %d, λ = %g, %d trials)",
+		r.Config.N, r.Config.Lambda, r.Config.Trials)
+	headers := []string{"p", "GreedyA", "GreedyB", "LS", "AF_B/A", "AF_LS/B", "Time_A", "Time_B", "T_A/T_B"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.P),
+			f3(row.GreedyA), f3(row.GreedyB), f3(row.LS),
+			f3(row.RelBA), f3(row.RelLSB),
+			msString(row.TimeA), msString(row.TimeB), f3(row.TimeRatio),
+		})
+	}
+	return renderTable(title, headers, rows)
+}

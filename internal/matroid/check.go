@@ -1,0 +1,100 @@
+package matroid
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Check validates the matroid axioms on a mixture of exhaustive small-set and
+// randomized large-set probes. It is exported so user-defined matroids (and
+// this package's own implementations, in tests) can be certified.
+func Check(m Matroid, trials int, rng *rand.Rand) error {
+	if !m.Independent(nil) {
+		return fmt.Errorf("matroid: empty set is dependent")
+	}
+	n := m.GroundSize()
+	if n == 0 {
+		return nil
+	}
+	for t := 0; t < trials; t++ {
+		if err := checkHereditaryOnce(m, rng); err != nil {
+			return err
+		}
+		if err := checkAugmentationOnce(m, rng); err != nil {
+			return err
+		}
+	}
+	// Basis sizes must agree with Rank(): grow random maximal independent
+	// sets and compare.
+	for t := 0; t < trials/10+1; t++ {
+		b := RandomBasis(m, rng)
+		if len(b) != m.Rank() {
+			return fmt.Errorf("matroid: maximal independent set %v has size %d, Rank() = %d", b, len(b), m.Rank())
+		}
+	}
+	return nil
+}
+
+// checkHereditaryOnce samples a random independent set (greedily grown) and
+// verifies that a random subset stays independent.
+func checkHereditaryOnce(m Matroid, rng *rand.Rand) error {
+	n := m.GroundSize()
+	var ind []int
+	for _, u := range rng.Perm(n) {
+		if rng.Intn(2) == 0 {
+			continue
+		}
+		if CanAdd(m, ind, u) {
+			ind = append(ind, u)
+		}
+	}
+	sub := make([]int, 0, len(ind))
+	for _, u := range ind {
+		if rng.Intn(2) == 0 {
+			sub = append(sub, u)
+		}
+	}
+	if !m.Independent(sub) {
+		return fmt.Errorf("matroid: hereditary violated: %v independent but subset %v is not", ind, sub)
+	}
+	return nil
+}
+
+// checkAugmentationOnce samples independent A, B with |A| > |B| and verifies
+// that some e ∈ A−B augments B.
+func checkAugmentationOnce(m Matroid, rng *rand.Rand) error {
+	n := m.GroundSize()
+	grow := func() []int {
+		var s []int
+		limit := rng.Intn(n + 1)
+		for _, u := range rng.Perm(n) {
+			if len(s) >= limit {
+				break
+			}
+			if CanAdd(m, s, u) {
+				s = append(s, u)
+			}
+		}
+		return s
+	}
+	A, B := grow(), grow()
+	if len(A) <= len(B) {
+		A, B = B, A
+	}
+	if len(A) == len(B) {
+		return nil // resample next trial
+	}
+	inB := make(map[int]bool, len(B))
+	for _, u := range B {
+		inB[u] = true
+	}
+	for _, e := range A {
+		if inB[e] {
+			continue
+		}
+		if CanAdd(m, B, e) {
+			return nil
+		}
+	}
+	return fmt.Errorf("matroid: augmentation violated: A=%v B=%v, no element of A−B extends B", sortInts(A), sortInts(B))
+}

@@ -1,0 +1,77 @@
+package matroid
+
+import "fmt"
+
+// ExchangeBijection computes the bijection g of the paper's Lemma 2
+// (Brualdi's basis-exchange theorem): for bases X and Y of equal size, a
+// bijective g: X → Y with X − x + g(x) independent for every x ∈ X. The
+// result maps positions: out[i] = j means X[i] exchanges with Y[j].
+//
+// The bijection exists for every pair of bases of a matroid; an error
+// therefore indicates the inputs are not bases of m (or m violates the
+// matroid axioms).
+func ExchangeBijection(m Matroid, X, Y []int) ([]int, error) {
+	if len(X) != len(Y) {
+		return nil, fmt.Errorf("matroid: ExchangeBijection: |X| = %d ≠ |Y| = %d", len(X), len(Y))
+	}
+	if !m.Independent(X) || !m.Independent(Y) {
+		return nil, fmt.Errorf("matroid: ExchangeBijection: inputs must be independent")
+	}
+	n := len(X)
+	// Feasibility: feas[i][j] = X − X[i] + Y[j] independent. Shared elements
+	// must map to themselves (the identity swap is always feasible and
+	// Brualdi's bijection can be chosen to fix X ∩ Y).
+	inX := make(map[int]int, n) // element -> position in X
+	for i, x := range X {
+		inX[x] = i
+	}
+	feas := make([][]bool, n)
+	for i := range feas {
+		feas[i] = make([]bool, n)
+		for j := range feas[i] {
+			if X[i] == Y[j] {
+				feas[i][j] = true
+				continue
+			}
+			if _, shared := inX[Y[j]]; shared {
+				// Y[j] already in X at another position: swapping X[i] for it
+				// would create a duplicate, not a valid exchange.
+				continue
+			}
+			feas[i][j] = CanSwap(m, X, X[i], Y[j])
+		}
+	}
+	// Maximum bipartite matching (Kuhn) over the feasibility graph.
+	matchY := make([]int, n)
+	for j := range matchY {
+		matchY[j] = -1
+	}
+	var try func(i int, seen []bool) bool
+	try = func(i int, seen []bool) bool {
+		for j := 0; j < n; j++ {
+			if !feas[i][j] || seen[j] {
+				continue
+			}
+			seen[j] = true
+			if matchY[j] == -1 || try(matchY[j], seen) {
+				matchY[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	matched := 0
+	for i := 0; i < n; i++ {
+		if try(i, make([]bool, n)) {
+			matched++
+		}
+	}
+	if matched != n {
+		return nil, fmt.Errorf("matroid: ExchangeBijection: only %d of %d matched — inputs are not bases of a matroid", matched, n)
+	}
+	out := make([]int, n)
+	for j, i := range matchY {
+		out[i] = j
+	}
+	return out, nil
+}

@@ -1,0 +1,399 @@
+package matroid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ---------------------------------------------------------------------------
+// Free and Uniform
+// ---------------------------------------------------------------------------
+
+// Free is the free matroid: every subset of the n ground elements is
+// independent. It encodes "no constraint".
+type Free struct{ N int }
+
+// GroundSize returns n.
+func (f Free) GroundSize() int { return f.N }
+
+// Independent always reports true (for valid index sets).
+func (f Free) Independent(S []int) bool { return true }
+
+// Rank returns n.
+func (f Free) Rank() int { return f.N }
+
+// Uniform is the uniform matroid U(n,k): S is independent iff |S| ≤ k. A
+// cardinality constraint |S| ≤ p — the setting of Sections 3–4 — is exactly
+// independence in U(n,p).
+type Uniform struct {
+	n, k int
+}
+
+// NewUniform builds U(n,k); k is clamped to [0,n].
+func NewUniform(n, k int) (Uniform, error) {
+	if n < 0 {
+		return Uniform{}, fmt.Errorf("matroid: NewUniform: n = %d", n)
+	}
+	if k < 0 || k > n {
+		return Uniform{}, fmt.Errorf("matroid: NewUniform: k = %d out of [0,%d]", k, n)
+	}
+	return Uniform{n: n, k: k}, nil
+}
+
+// GroundSize returns n.
+func (u Uniform) GroundSize() int { return u.n }
+
+// Independent reports |S| ≤ k.
+func (u Uniform) Independent(S []int) bool { return len(S) <= u.k }
+
+// Rank returns k.
+func (u Uniform) Rank() int { return u.k }
+
+// ---------------------------------------------------------------------------
+// Partition
+// ---------------------------------------------------------------------------
+
+// Partition is the partition matroid of Section 5's motivating examples
+// (result sets drawn from multiple database fields; portfolios balanced
+// across sectors): the ground set is partitioned into parts and S is
+// independent iff it takes at most cap(i) elements from part i.
+type Partition struct {
+	partOf []int // part id per ground element
+	caps   []int
+	rank   int
+}
+
+// NewPartition builds a partition matroid. partOf[u] is the part of element
+// u (0 ≤ partOf[u] < len(caps)); caps[i] ≥ 0 bounds part i.
+func NewPartition(partOf []int, caps []int) (*Partition, error) {
+	sizes := make([]int, len(caps))
+	for u, p := range partOf {
+		if p < 0 || p >= len(caps) {
+			return nil, fmt.Errorf("matroid: element %d in part %d, out of range [0,%d)", u, p, len(caps))
+		}
+		sizes[p]++
+	}
+	rank := 0
+	for i, c := range caps {
+		if c < 0 {
+			return nil, fmt.Errorf("matroid: cap[%d] = %d, want ≥ 0", i, c)
+		}
+		rank += min(c, sizes[i])
+	}
+	po := make([]int, len(partOf))
+	copy(po, partOf)
+	cp := make([]int, len(caps))
+	copy(cp, caps)
+	return &Partition{partOf: po, caps: cp, rank: rank}, nil
+}
+
+// GroundSize returns the number of elements.
+func (p *Partition) GroundSize() int { return len(p.partOf) }
+
+// Independent reports whether every part's cap is respected.
+func (p *Partition) Independent(S []int) bool {
+	counts := make(map[int]int, len(S))
+	for _, u := range S {
+		counts[p.partOf[u]]++
+	}
+	for part, c := range counts {
+		if c > p.caps[part] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rank returns Σ_i min(cap_i, |part_i|).
+func (p *Partition) Rank() int { return p.rank }
+
+// Part returns the part id of element u.
+func (p *Partition) Part(u int) int { return p.partOf[u] }
+
+// ---------------------------------------------------------------------------
+// Transversal
+// ---------------------------------------------------------------------------
+
+// Transversal is the transversal matroid of Section 5: given a collection
+// C₁,…,C_m of (possibly overlapping) element sets, S is independent iff S has
+// a system of distinct representatives — an injective map φ with s ∈ φ(s) —
+// i.e. a perfect matching of S into the collection.
+type Transversal struct {
+	n      int
+	member [][]int // member[u] = ids of sets containing u
+	rank   int
+}
+
+// NewTransversal builds the matroid over n elements from the collection;
+// sets[i] lists the elements of C_i.
+func NewTransversal(n int, sets [][]int) (*Transversal, error) {
+	member := make([][]int, n)
+	for i, set := range sets {
+		for _, u := range set {
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("matroid: set %d contains element %d, out of range [0,%d)", i, u, n)
+			}
+			member[u] = append(member[u], i)
+		}
+	}
+	t := &Transversal{n: n, member: member}
+	// Rank = size of a maximum matching of the full ground set.
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	t.rank = t.maxMatching(all)
+	return t, nil
+}
+
+// GroundSize returns the number of elements.
+func (t *Transversal) GroundSize() int { return t.n }
+
+// Independent reports whether S has a system of distinct representatives.
+func (t *Transversal) Independent(S []int) bool { return t.maxMatching(S) == len(S) }
+
+// Rank returns the maximum matching size of the whole ground set.
+func (t *Transversal) Rank() int { return t.rank }
+
+// maxMatching runs Kuhn's augmenting-path algorithm matching elements of S
+// to set ids.
+func (t *Transversal) maxMatching(S []int) int {
+	matchSet := map[int]int{} // set id -> position in S
+	size := 0
+	for pos := range S {
+		seen := map[int]bool{}
+		if t.augment(S, pos, seen, matchSet) {
+			size++
+		}
+	}
+	return size
+}
+
+func (t *Transversal) augment(S []int, pos int, seen map[int]bool, matchSet map[int]int) bool {
+	for _, setID := range t.member[S[pos]] {
+		if seen[setID] {
+			continue
+		}
+		seen[setID] = true
+		prev, taken := matchSet[setID]
+		if !taken || t.augment(S, prev, seen, matchSet) {
+			matchSet[setID] = pos
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Graphic
+// ---------------------------------------------------------------------------
+
+// Graphic is the graphic (cycle) matroid of a multigraph: the ground set is
+// the edge list and S is independent iff the edges of S form a forest.
+type Graphic struct {
+	vertices int
+	edges    [][2]int
+	rank     int
+}
+
+// NewGraphic builds the matroid from an edge list over `vertices` vertices.
+// Self-loops are allowed in the graph but are dependent as singletons
+// (standard matroid convention: a loop is never in an independent set).
+func NewGraphic(vertices int, edges [][2]int) (*Graphic, error) {
+	for i, e := range edges {
+		if e[0] < 0 || e[0] >= vertices || e[1] < 0 || e[1] >= vertices {
+			return nil, fmt.Errorf("matroid: edge %d = (%d,%d) out of range [0,%d)", i, e[0], e[1], vertices)
+		}
+	}
+	g := &Graphic{vertices: vertices, edges: edges}
+	all := make([]int, len(edges))
+	for i := range all {
+		all[i] = i
+	}
+	g.rank = g.forestSize(all)
+	return g, nil
+}
+
+// GroundSize returns the number of edges.
+func (g *Graphic) GroundSize() int { return len(g.edges) }
+
+// Independent reports whether S is a forest.
+func (g *Graphic) Independent(S []int) bool { return g.forestSize(S) == len(S) }
+
+// Rank returns |V| − #components of the full graph.
+func (g *Graphic) Rank() int { return g.rank }
+
+// forestSize returns the size of a spanning forest of the edges in S using
+// union–find with path compression.
+func (g *Graphic) forestSize(S []int) int {
+	parent := make([]int, g.vertices)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	size := 0
+	for _, e := range S {
+		a, b := find(g.edges[e][0]), find(g.edges[e][1])
+		if a != b {
+			parent[a] = b
+			size++
+		}
+	}
+	return size
+}
+
+// ---------------------------------------------------------------------------
+// Laminar
+// ---------------------------------------------------------------------------
+
+// LaminarFamily is one constraint of a laminar matroid: at most Cap elements
+// of Set may be selected.
+type LaminarFamily struct {
+	Set []int
+	Cap int
+}
+
+// Laminar is the laminar matroid: S is independent iff |S ∩ F| ≤ cap(F) for
+// every family F, where the families form a laminar set system (any two are
+// disjoint or nested). NewLaminar validates laminarity, which is what makes
+// the independence system a matroid.
+type Laminar struct {
+	n        int
+	families []LaminarFamily
+	inFam    [][]int // inFam[u] = indices of families containing u
+	rank     int
+}
+
+// NewLaminar builds and validates a laminar matroid over n elements.
+func NewLaminar(n int, families []LaminarFamily) (*Laminar, error) {
+	sets := make([]map[int]bool, len(families))
+	for i, f := range families {
+		if f.Cap < 0 {
+			return nil, fmt.Errorf("matroid: family %d has cap %d, want ≥ 0", i, f.Cap)
+		}
+		sets[i] = make(map[int]bool, len(f.Set))
+		for _, u := range f.Set {
+			if u < 0 || u >= n {
+				return nil, fmt.Errorf("matroid: family %d contains %d, out of range [0,%d)", i, u, n)
+			}
+			sets[i][u] = true
+		}
+	}
+	for i := range sets {
+		for j := i + 1; j < len(sets); j++ {
+			inter, iNotJ, jNotI := 0, 0, 0
+			for u := range sets[i] {
+				if sets[j][u] {
+					inter++
+				} else {
+					iNotJ++
+				}
+			}
+			for u := range sets[j] {
+				if !sets[i][u] {
+					jNotI++
+				}
+			}
+			if inter > 0 && iNotJ > 0 && jNotI > 0 {
+				return nil, fmt.Errorf("matroid: families %d and %d overlap without nesting: not laminar", i, j)
+			}
+		}
+	}
+	inFam := make([][]int, n)
+	for i := range sets {
+		for u := range sets[i] {
+			inFam[u] = append(inFam[u], i)
+		}
+	}
+	l := &Laminar{n: n, families: families, inFam: inFam}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	// Rank by greedy augmentation (valid once laminarity guarantees the
+	// matroid axioms).
+	var basis []int
+	for _, u := range all {
+		if CanAdd(l, basis, u) {
+			basis = append(basis, u)
+		}
+	}
+	l.rank = len(basis)
+	return l, nil
+}
+
+// GroundSize returns the number of elements.
+func (l *Laminar) GroundSize() int { return l.n }
+
+// Independent reports whether every family cap is respected.
+func (l *Laminar) Independent(S []int) bool {
+	counts := make(map[int]int)
+	for _, u := range S {
+		for _, fi := range l.inFam[u] {
+			counts[fi]++
+			if counts[fi] > l.families[fi].Cap {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Rank returns the matroid rank.
+func (l *Laminar) Rank() int { return l.rank }
+
+// ---------------------------------------------------------------------------
+// Truncation
+// ---------------------------------------------------------------------------
+
+// Truncated is the k-truncation of an inner matroid: independent sets are the
+// inner independent sets of size ≤ k. Section 5 notes that intersecting any
+// matroid with a uniform matroid stays a matroid, letting the applications
+// combine "balanced across parts" with "at most p results".
+type Truncated struct {
+	inner Matroid
+	k     int
+}
+
+// NewTruncated truncates m at cardinality k ≥ 0.
+func NewTruncated(m Matroid, k int) (*Truncated, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("matroid: NewTruncated: k = %d", k)
+	}
+	return &Truncated{inner: m, k: k}, nil
+}
+
+// GroundSize returns the inner ground size.
+func (t *Truncated) GroundSize() int { return t.inner.GroundSize() }
+
+// Independent reports |S| ≤ k and inner independence.
+func (t *Truncated) Independent(S []int) bool {
+	return len(S) <= t.k && t.inner.Independent(S)
+}
+
+// Rank returns min(k, inner rank).
+func (t *Truncated) Rank() int { return min(t.k, t.inner.Rank()) }
+
+var (
+	_ Matroid = Free{}
+	_ Matroid = Uniform{}
+	_ Matroid = (*Partition)(nil)
+	_ Matroid = (*Transversal)(nil)
+	_ Matroid = (*Graphic)(nil)
+	_ Matroid = (*Laminar)(nil)
+	_ Matroid = (*Truncated)(nil)
+)
+
+// sortInts sorts a copy of S (test helper shared across files).
+func sortInts(S []int) []int {
+	cp := append([]int{}, S...)
+	sort.Ints(cp)
+	return cp
+}

@@ -1,0 +1,334 @@
+package matroid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFree(t *testing.T) {
+	f := Free{N: 4}
+	if f.GroundSize() != 4 || f.Rank() != 4 {
+		t.Fatal("Free sizes wrong")
+	}
+	if !f.Independent([]int{0, 1, 2, 3}) {
+		t.Error("Free rejected the full set")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u, err := NewUniform(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Independent([]int{0, 4}) {
+		t.Error("size-2 set rejected")
+	}
+	if u.Independent([]int{0, 1, 2}) {
+		t.Error("size-3 set accepted")
+	}
+	if u.Rank() != 2 || u.GroundSize() != 5 {
+		t.Error("Rank/GroundSize wrong")
+	}
+	if _, err := NewUniform(-1, 0); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := NewUniform(3, 5); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := NewUniform(3, -1); err == nil {
+		t.Error("negative k accepted")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	// Elements 0,1,2 in part 0 (cap 1); 3,4 in part 1 (cap 2).
+	p, err := NewPartition([]int{0, 0, 0, 1, 1}, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Independent([]int{0, 3, 4}) {
+		t.Error("valid set rejected")
+	}
+	if p.Independent([]int{0, 1}) {
+		t.Error("two elements of a cap-1 part accepted")
+	}
+	if p.Rank() != 3 {
+		t.Errorf("Rank = %d, want 3", p.Rank())
+	}
+	if p.Part(3) != 1 {
+		t.Error("Part(3) wrong")
+	}
+	if _, err := NewPartition([]int{0, 5}, []int{1}); err == nil {
+		t.Error("out-of-range part accepted")
+	}
+	if _, err := NewPartition([]int{0}, []int{-1}); err == nil {
+		t.Error("negative cap accepted")
+	}
+	// Rank counts only available elements: part with cap 5 but 1 element.
+	p2, _ := NewPartition([]int{0}, []int{5})
+	if p2.Rank() != 1 {
+		t.Errorf("Rank = %d, want 1", p2.Rank())
+	}
+}
+
+func TestTransversal(t *testing.T) {
+	// C0 = {0,1}, C1 = {1,2}. SDRs: {0},{1},{2},{0,1},{0,2},{1,2} — not {0,1,2}.
+	tr, err := NewTransversal(3, [][]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, S := range [][]int{{}, {0}, {1}, {2}, {0, 1}, {0, 2}, {1, 2}} {
+		if !tr.Independent(S) {
+			t.Errorf("Independent(%v) = false, want true", S)
+		}
+	}
+	if tr.Independent([]int{0, 1, 2}) {
+		t.Error("3 elements matched into 2 sets")
+	}
+	if tr.Rank() != 2 {
+		t.Errorf("Rank = %d, want 2", tr.Rank())
+	}
+	if _, err := NewTransversal(2, [][]int{{5}}); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+	// Element in no set is a loop: dependent as a singleton.
+	tr2, _ := NewTransversal(2, [][]int{{0}})
+	if tr2.Independent([]int{1}) {
+		t.Error("uncovered element should be a loop")
+	}
+}
+
+func TestGraphic(t *testing.T) {
+	// Triangle on 3 vertices: edges 0=(0,1), 1=(1,2), 2=(0,2), 3=self-loop.
+	g, err := NewGraphic(3, [][2]int{{0, 1}, {1, 2}, {0, 2}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Independent([]int{0, 1}) {
+		t.Error("two tree edges rejected")
+	}
+	if g.Independent([]int{0, 1, 2}) {
+		t.Error("cycle accepted")
+	}
+	if g.Independent([]int{3}) {
+		t.Error("self-loop accepted as independent")
+	}
+	if g.Rank() != 2 {
+		t.Errorf("Rank = %d, want 2", g.Rank())
+	}
+	if _, err := NewGraphic(2, [][2]int{{0, 5}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+func TestLaminar(t *testing.T) {
+	// Families: {0,1,2,3} cap 2, nested {0,1} cap 1.
+	l, err := NewLaminar(5, []LaminarFamily{
+		{Set: []int{0, 1, 2, 3}, Cap: 2},
+		{Set: []int{0, 1}, Cap: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Independent([]int{0, 2, 4}) {
+		t.Error("valid set rejected")
+	}
+	if l.Independent([]int{0, 1}) {
+		t.Error("inner cap violated but accepted")
+	}
+	if l.Independent([]int{0, 2, 3}) {
+		t.Error("outer cap violated but accepted")
+	}
+	if l.Rank() != 3 { // 2 from the big family + element 4
+		t.Errorf("Rank = %d, want 3", l.Rank())
+	}
+	// Crossing families are not laminar.
+	if _, err := NewLaminar(3, []LaminarFamily{
+		{Set: []int{0, 1}, Cap: 1},
+		{Set: []int{1, 2}, Cap: 1},
+	}); err == nil {
+		t.Error("crossing families accepted")
+	}
+	if _, err := NewLaminar(2, []LaminarFamily{{Set: []int{0}, Cap: -1}}); err == nil {
+		t.Error("negative cap accepted")
+	}
+	if _, err := NewLaminar(2, []LaminarFamily{{Set: []int{7}, Cap: 1}}); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	p, _ := NewPartition([]int{0, 0, 1, 1}, []int{2, 2})
+	tr, err := NewTruncated(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Independent([]int{0, 1, 2}) {
+		t.Error("size-3 inner-independent set rejected")
+	}
+	if tr.Independent([]int{0, 1, 2, 3}) {
+		t.Error("size-4 set accepted after truncation at 3")
+	}
+	if tr.Rank() != 3 {
+		t.Errorf("Rank = %d, want 3", tr.Rank())
+	}
+	if tr.GroundSize() != 4 {
+		t.Error("GroundSize wrong")
+	}
+	if _, err := NewTruncated(p, -1); err == nil {
+		t.Error("negative truncation accepted")
+	}
+}
+
+// All implementations must satisfy the matroid axioms.
+func TestAxiomsAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	u, _ := NewUniform(8, 3)
+	p, _ := NewPartition([]int{0, 0, 0, 1, 1, 2, 2, 2}, []int{2, 1, 2})
+	tr, _ := NewTransversal(7, [][]int{{0, 1, 2}, {2, 3}, {3, 4, 5}, {6}})
+	g, _ := NewGraphic(5, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}})
+	l, _ := NewLaminar(8, []LaminarFamily{
+		{Set: []int{0, 1, 2, 3, 4}, Cap: 3},
+		{Set: []int{0, 1}, Cap: 1},
+		{Set: []int{5, 6}, Cap: 1},
+	})
+	tc, _ := NewTruncated(p, 3)
+	kinds := map[string]Matroid{
+		"free":        Free{N: 6},
+		"uniform":     u,
+		"partition":   p,
+		"transversal": tr,
+		"graphic":     g,
+		"laminar":     l,
+		"truncated":   tc,
+	}
+	for name, m := range kinds {
+		if err := Check(m, 300, rng); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// A non-matroid independence system must fail Check: guards against a
+// vacuous checker. "Sets avoiding both 0 and 1 simultaneously" violates
+// augmentation: A={0,1}? no — use matching-style: independent iff S ⊆ {0}
+// or S ⊆ {1,2}: A={1,2}, B={0}: no element of A extends B.
+type notMatroid struct{}
+
+func (notMatroid) GroundSize() int { return 3 }
+func (notMatroid) Independent(S []int) bool {
+	only0, only12 := true, true
+	for _, u := range S {
+		if u != 0 {
+			only0 = false
+		}
+		if u == 0 {
+			only12 = false
+		}
+	}
+	return only0 || only12
+}
+func (notMatroid) Rank() int { return 2 }
+
+func TestCheckCatchesNonMatroid(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if err := Check(notMatroid{}, 500, rng); err == nil {
+		t.Fatal("Check accepted a non-matroid")
+	}
+}
+
+func TestCanAddCanSwap(t *testing.T) {
+	u, _ := NewUniform(4, 2)
+	if !CanAdd(u, []int{0}, 1) {
+		t.Error("CanAdd rejected a valid add")
+	}
+	if CanAdd(u, []int{0, 1}, 2) {
+		t.Error("CanAdd accepted an overfull add")
+	}
+	if !CanSwap(u, []int{0, 1}, 1, 3) {
+		t.Error("CanSwap rejected a valid swap")
+	}
+	p, _ := NewPartition([]int{0, 0, 1}, []int{1, 1})
+	if CanSwap(p, []int{0, 2}, 2, 1) {
+		t.Error("CanSwap accepted a part-cap violation")
+	}
+}
+
+func TestExtendToBasis(t *testing.T) {
+	p, _ := NewPartition([]int{0, 0, 1, 1, 2}, []int{1, 1, 1})
+	b, err := ExtendToBasis(p, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != p.Rank() {
+		t.Fatalf("basis size %d, want %d", len(b), p.Rank())
+	}
+	if !p.Independent(b) {
+		t.Fatal("ExtendToBasis returned a dependent set")
+	}
+	found := false
+	for _, v := range b {
+		if v == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("basis does not contain the seed element")
+	}
+	if _, err := ExtendToBasis(p, []int{0, 1}); err == nil {
+		t.Error("dependent seed accepted")
+	}
+}
+
+func TestRandomBasisAndRankOf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, _ := NewPartition([]int{0, 0, 0, 1, 1}, []int{2, 1})
+	for i := 0; i < 20; i++ {
+		b := RandomBasis(p, rng)
+		if len(b) != 3 || !p.Independent(b) {
+			t.Fatalf("RandomBasis returned %v", b)
+		}
+	}
+	if got := RankOf(p, []int{0, 1, 2}); got != 2 {
+		t.Errorf("RankOf(part-0 only) = %d, want 2", got)
+	}
+	if got := RankOf(p, []int{0, 1, 2, 3, 4}); got != 3 {
+		t.Errorf("RankOf(all) = %d, want 3", got)
+	}
+}
+
+func TestExchangeBijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	u, _ := NewUniform(8, 4)
+	p, _ := NewPartition([]int{0, 0, 0, 1, 1, 1, 2, 2}, []int{2, 2, 1})
+	tr, _ := NewTransversal(6, [][]int{{0, 1, 2}, {1, 3}, {3, 4, 5}})
+	g, _ := NewGraphic(5, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 0}})
+	for name, m := range map[string]Matroid{"uniform": u, "partition": p, "transversal": tr, "graphic": g} {
+		for trial := 0; trial < 30; trial++ {
+			X := RandomBasis(m, rng)
+			Y := RandomBasis(m, rng)
+			bij, err := ExchangeBijection(m, X, Y)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v (X=%v Y=%v)", name, trial, err, X, Y)
+			}
+			seen := make([]bool, len(Y))
+			for i := range X {
+				j := bij[i]
+				if seen[j] {
+					t.Fatalf("%s: not a bijection", name)
+				}
+				seen[j] = true
+				if !CanSwap(m, X, X[i], Y[j]) && X[i] != Y[j] {
+					t.Fatalf("%s: exchange X−%d+%d is dependent", name, X[i], Y[j])
+				}
+			}
+		}
+	}
+	// Error paths.
+	if _, err := ExchangeBijection(u, []int{0}, []int{0, 1}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := ExchangeBijection(u, []int{0, 1, 2, 3, 4}, []int{0, 1, 2, 3, 5}); err == nil {
+		t.Error("dependent input accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package matroid
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomMatroid draws one of the library's matroid families with random
+// parameters.
+func randomMatroid(rng *rand.Rand) Matroid {
+	switch rng.Intn(5) {
+	case 0:
+		n := 1 + rng.Intn(10)
+		u, _ := NewUniform(n, rng.Intn(n+1))
+		return u
+	case 1:
+		n := 2 + rng.Intn(10)
+		parts := 1 + rng.Intn(4)
+		partOf := make([]int, n)
+		for i := range partOf {
+			partOf[i] = rng.Intn(parts)
+		}
+		caps := make([]int, parts)
+		for i := range caps {
+			caps[i] = rng.Intn(3)
+		}
+		p, _ := NewPartition(partOf, caps)
+		return p
+	case 2:
+		n := 2 + rng.Intn(8)
+		sets := make([][]int, 1+rng.Intn(4))
+		for i := range sets {
+			for u := 0; u < n; u++ {
+				if rng.Intn(3) == 0 {
+					sets[i] = append(sets[i], u)
+				}
+			}
+		}
+		tr, _ := NewTransversal(n, sets)
+		return tr
+	case 3:
+		vertices := 2 + rng.Intn(6)
+		edges := make([][2]int, 1+rng.Intn(10))
+		for i := range edges {
+			edges[i] = [2]int{rng.Intn(vertices), rng.Intn(vertices)}
+		}
+		g, _ := NewGraphic(vertices, edges)
+		return g
+	default:
+		inner := randomPartition(rng)
+		t, _ := NewTruncated(inner, rng.Intn(inner.Rank()+2))
+		return t
+	}
+}
+
+func randomPartition(rng *rand.Rand) *Partition {
+	n := 2 + rng.Intn(8)
+	parts := 1 + rng.Intn(3)
+	partOf := make([]int, n)
+	for i := range partOf {
+		partOf[i] = rng.Intn(parts)
+	}
+	caps := make([]int, parts)
+	for i := range caps {
+		caps[i] = 1 + rng.Intn(2)
+	}
+	p, _ := NewPartition(partOf, caps)
+	return p
+}
+
+// quick.Check property: every generated matroid satisfies the hereditary and
+// augmentation axioms and has consistent basis sizes.
+func TestQuickMatroidAxioms(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			args[0] = reflect.ValueOf(randomMatroid(rng))
+			args[1] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	property := func(m Matroid, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return Check(m, 80, rng) == nil
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property (Lemma 2 / Brualdi): for any two random bases of a
+// generated matroid, the exchange bijection exists and every prescribed
+// exchange is feasible.
+func TestQuickExchangeBijection(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			args[0] = reflect.ValueOf(randomMatroid(rng))
+			args[1] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	property := func(m Matroid, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		X := RandomBasis(m, rng)
+		Y := RandomBasis(m, rng)
+		bij, err := ExchangeBijection(m, X, Y)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, len(Y))
+		for i := range X {
+			j := bij[i]
+			if j < 0 || j >= len(Y) || seen[j] {
+				return false
+			}
+			seen[j] = true
+			if X[i] != Y[j] && !CanSwap(m, X, X[i], Y[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: RankOf agrees with the greedy-basis rank for subsets
+// of any generated matroid (rank is well-defined by the exchange property).
+func TestQuickRankConsistency(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			args[0] = reflect.ValueOf(randomMatroid(rng))
+			args[1] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	property := func(m Matroid, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Two different greedy orders over the same subset must agree.
+		n := m.GroundSize()
+		if n == 0 {
+			return true
+		}
+		perm := rng.Perm(n)
+		S := perm[:rng.Intn(n+1)]
+		r1 := RankOf(m, S)
+		shuffled := append([]int{}, S...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r2 := RankOf(m, shuffled)
+		if r1 != r2 {
+			return false
+		}
+		// Rank of the full ground set equals the matroid rank.
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return RankOf(m, all) == m.Rank()
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Norm selects the vector norm for a Euclidean-style point metric.
+type Norm int
+
+const (
+	// L2 is the Euclidean norm (the ℓ2 case of Fekete–Meijer cited in the
+	// paper's conclusion).
+	L2 Norm = iota
+	// L1 is the Manhattan norm (the ℓ1 case for which Fekete–Meijer give a
+	// PTAS).
+	L1
+	// LInf is the Chebyshev norm.
+	LInf
+)
+
+// String returns the conventional name of the norm.
+func (n Norm) String() string {
+	switch n {
+	case L2:
+		return "l2"
+	case L1:
+		return "l1"
+	case LInf:
+		return "linf"
+	default:
+		return fmt.Sprintf("Norm(%d)", int(n))
+	}
+}
+
+// Points is a metric induced by a vector norm on a slice of equal-dimension
+// points. The zero Norm value is L2.
+type Points struct {
+	pts  [][]float64
+	norm Norm
+}
+
+// NewPoints builds a point metric. It returns an error when the point set is
+// ragged or a coordinate is not finite, since those silently corrupt
+// dispersion sums downstream.
+func NewPoints(pts [][]float64, norm Norm) (*Points, error) {
+	if len(pts) > 0 {
+		dim := len(pts[0])
+		for i, p := range pts {
+			if len(p) != dim {
+				return nil, fmt.Errorf("metric: point %d has dim %d, want %d", i, len(p), dim)
+			}
+			for k, c := range p {
+				if math.IsNaN(c) || math.IsInf(c, 0) {
+					return nil, fmt.Errorf("metric: point %d coordinate %d is %g", i, k, c)
+				}
+			}
+		}
+	}
+	switch norm {
+	case L1, L2, LInf:
+	default:
+		return nil, fmt.Errorf("metric: unknown norm %v", norm)
+	}
+	return &Points{pts: pts, norm: norm}, nil
+}
+
+// Len returns the number of points.
+func (p *Points) Len() int { return len(p.pts) }
+
+// Dim returns the dimensionality of the space (0 when empty).
+func (p *Points) Dim() int {
+	if len(p.pts) == 0 {
+		return 0
+	}
+	return len(p.pts[0])
+}
+
+// Point returns the coordinates of point i (not a copy; do not mutate).
+func (p *Points) Point(i int) []float64 { return p.pts[i] }
+
+// Distance returns the norm-induced distance between points i and j.
+func (p *Points) Distance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	a, b := p.pts[i], p.pts[j]
+	switch p.norm {
+	case L1:
+		var s float64
+		for k := range a {
+			s += math.Abs(a[k] - b[k])
+		}
+		return s
+	case LInf:
+		var s float64
+		for k := range a {
+			if d := math.Abs(a[k] - b[k]); d > s {
+				s = d
+			}
+		}
+		return s
+	default:
+		var s float64
+		for k := range a {
+			d := a[k] - b[k]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+}
+
+var _ Metric = (*Points)(nil)

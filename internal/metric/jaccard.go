@@ -1,0 +1,52 @@
+package metric
+
+import "fmt"
+
+// Jaccard is the Jaccard distance |A△B| / |A∪B| over set-valued elements
+// (e.g. keyword sets of database tuples, the paper's Section 1 keyword-search
+// motivation). It is a true metric (Steinhaus), with the convention that two
+// empty sets are at distance 0 and an empty set is at distance 1 from any
+// non-empty set.
+type Jaccard struct {
+	sets []map[int]bool
+}
+
+// NewJaccard builds the metric from element sets given as id slices
+// (duplicates ignored).
+func NewJaccard(sets [][]int) (*Jaccard, error) {
+	j := &Jaccard{sets: make([]map[int]bool, len(sets))}
+	for i, s := range sets {
+		j.sets[i] = make(map[int]bool, len(s))
+		for _, e := range s {
+			if e < 0 {
+				return nil, fmt.Errorf("metric: Jaccard set %d contains negative id %d", i, e)
+			}
+			j.sets[i][e] = true
+		}
+	}
+	return j, nil
+}
+
+// Len returns the number of elements.
+func (j *Jaccard) Len() int { return len(j.sets) }
+
+// Distance returns 1 − |A∩B| / |A∪B|.
+func (j *Jaccard) Distance(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	A, B := j.sets[a], j.sets[b]
+	if len(A) == 0 && len(B) == 0 {
+		return 0
+	}
+	inter := 0
+	for e := range A {
+		if B[e] {
+			inter++
+		}
+	}
+	union := len(A) + len(B) - inter
+	return 1 - float64(inter)/float64(union)
+}
+
+var _ Metric = (*Jaccard)(nil)

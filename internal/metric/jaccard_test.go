@@ -1,0 +1,81 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestJaccardBasics(t *testing.T) {
+	j, err := NewJaccard([][]int{
+		{1, 2, 3},
+		{2, 3, 4},
+		{1, 2, 3},
+		{},
+		{9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 5 {
+		t.Fatalf("Len = %d", j.Len())
+	}
+	if got := j.Distance(0, 1); math.Abs(got-0.5) > 1e-12 { // |∩|=2, |∪|=4
+		t.Errorf("Distance(0,1) = %g, want 0.5", got)
+	}
+	if got := j.Distance(0, 2); got != 0 {
+		t.Errorf("identical sets distance = %g", got)
+	}
+	if got := j.Distance(3, 4); got != 1 {
+		t.Errorf("empty vs non-empty = %g, want 1", got)
+	}
+	if got := j.Distance(3, 3); got != 0 {
+		t.Errorf("self distance = %g", got)
+	}
+	// Two empty sets coincide.
+	j2, _ := NewJaccard([][]int{{}, {}})
+	if got := j2.Distance(0, 1); got != 0 {
+		t.Errorf("empty-empty distance = %g", got)
+	}
+	if _, err := NewJaccard([][]int{{-1}}); err == nil {
+		t.Error("negative id accepted")
+	}
+	// Duplicates within one set are ignored.
+	j3, _ := NewJaccard([][]int{{1, 1, 2}, {2}})
+	if got := j3.Distance(0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("duplicate handling: %g, want 0.5", got)
+	}
+}
+
+// quick.Check property: the Jaccard distance is a metric for arbitrary
+// random set families (Steinhaus theorem, verified empirically).
+func TestQuickJaccardIsMetric(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 80,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			n := 3 + rng.Intn(8)
+			universe := 1 + rng.Intn(8)
+			sets := make([][]int, n)
+			for i := range sets {
+				for e := 0; e < universe; e++ {
+					if rng.Intn(2) == 0 {
+						sets[i] = append(sets[i], e)
+					}
+				}
+			}
+			j, err := NewJaccard(sets)
+			if err != nil {
+				panic(err)
+			}
+			args[0] = reflect.ValueOf(j)
+		},
+	}
+	property := func(j *Jaccard) bool {
+		return Validate(j, 1e-12) == nil
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}

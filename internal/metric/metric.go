@@ -1,0 +1,250 @@
+// Package metric provides the metric-space substrate for max-sum
+// diversification: distance oracles over an integer-indexed ground set,
+// concrete metric constructions (dense matrices, Euclidean norms, cosine and
+// angular distances, the {1,2} graph metric used in the paper's hardness
+// argument), relaxed (α-triangle) metrics, and validation utilities.
+//
+// All algorithms in this module address elements by index 0..n-1; a Metric is
+// any symmetric, non-negative pairwise distance oracle over such indices.
+package metric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Metric is a pairwise distance oracle over the ground set {0, …, Len()-1}.
+//
+// Implementations must be symmetric (Distance(i,j) == Distance(j,i)),
+// non-negative, and zero on the diagonal. Implementations are expected, but
+// not forced, to satisfy the triangle inequality; use Validate to check.
+type Metric interface {
+	// Distance returns d(i, j). It must be symmetric and Distance(i, i) == 0.
+	Distance(i, j int) float64
+	// Len returns the number of points in the space.
+	Len() int
+}
+
+// Mutable is a Metric whose pairwise distances can be overwritten, as needed
+// by the dynamic-update setting of Section 6 (distance increases/decreases).
+type Mutable interface {
+	Metric
+	// SetDistance overwrites d(i, j) (and symmetrically d(j, i)).
+	SetDistance(i, j int, d float64)
+}
+
+// ErrNotMetric is wrapped by Validate when a metric axiom fails.
+var ErrNotMetric = errors.New("metric: not a metric")
+
+// Dense is a mutable metric backed by the strict lower triangle of an n×n
+// symmetric matrix, stored row-major in a single slice. It is the workhorse
+// representation for the paper's synthetic experiments, where every pairwise
+// distance is drawn independently.
+type Dense struct {
+	n int
+	// tri holds d(i,j) for i > j at index i*(i-1)/2 + j.
+	tri []float64
+}
+
+// NewDense returns an n-point metric with all distances zero.
+func NewDense(n int) *Dense {
+	if n < 0 {
+		panic(fmt.Sprintf("metric: NewDense(%d): negative size", n))
+	}
+	return &Dense{n: n, tri: make([]float64, n*(n-1)/2)}
+}
+
+// NewDenseFromMatrix builds a Dense metric from a full n×n matrix, using the
+// entries below the diagonal. It returns an error if the matrix is ragged,
+// asymmetric beyond tolerance 1e-12, has a non-zero diagonal, or contains a
+// negative or non-finite entry.
+func NewDenseFromMatrix(m [][]float64) (*Dense, error) {
+	n := len(m)
+	d := NewDense(n)
+	for i := 0; i < n; i++ {
+		if len(m[i]) != n {
+			return nil, fmt.Errorf("metric: row %d has %d entries, want %d", i, len(m[i]), n)
+		}
+		if m[i][i] != 0 {
+			return nil, fmt.Errorf("%w: d(%d,%d) = %g, want 0", ErrNotMetric, i, i, m[i][i])
+		}
+		for j := 0; j < i; j++ {
+			v := m[i][j]
+			if math.Abs(v-m[j][i]) > 1e-12 {
+				return nil, fmt.Errorf("%w: d(%d,%d)=%g but d(%d,%d)=%g", ErrNotMetric, i, j, v, j, i, m[j][i])
+			}
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: d(%d,%d) = %g", ErrNotMetric, i, j, v)
+			}
+			d.tri[i*(i-1)/2+j] = v
+		}
+	}
+	return d, nil
+}
+
+// Len returns the number of points.
+func (d *Dense) Len() int { return d.n }
+
+// Distance returns the stored distance between i and j.
+func (d *Dense) Distance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i < j {
+		i, j = j, i
+	}
+	return d.tri[i*(i-1)/2+j]
+}
+
+// SetDistance overwrites the distance between distinct points i and j.
+// Setting a diagonal entry is a no-op. Negative distances panic: they can
+// never arise from the paper's perturbation model and silently storing one
+// would corrupt every downstream invariant.
+func (d *Dense) SetDistance(i, j int, v float64) {
+	if i == j {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		panic(fmt.Sprintf("metric: SetDistance(%d,%d,%g): invalid distance", i, j, v))
+	}
+	if i < j {
+		i, j = j, i
+	}
+	d.tri[i*(i-1)/2+j] = v
+}
+
+// Clone returns a deep copy, so dynamic simulations can perturb a scratch
+// metric while preserving the original.
+func (d *Dense) Clone() *Dense {
+	cp := &Dense{n: d.n, tri: make([]float64, len(d.tri))}
+	copy(cp.tri, d.tri)
+	return cp
+}
+
+// Fill sets every pairwise distance to the value returned by gen(i, j),
+// visiting each unordered pair exactly once with i > j.
+func (d *Dense) Fill(gen func(i, j int) float64) {
+	for i := 1; i < d.n; i++ {
+		base := i * (i - 1) / 2
+		for j := 0; j < i; j++ {
+			v := gen(i, j)
+			if v < 0 || math.IsNaN(v) {
+				panic(fmt.Sprintf("metric: Fill gen(%d,%d) = %g: invalid distance", i, j, v))
+			}
+			d.tri[base+j] = v
+		}
+	}
+}
+
+var _ Mutable = (*Dense)(nil)
+
+// Func adapts an arbitrary distance function over n points into a Metric.
+// The function is trusted to be symmetric and zero on the diagonal; wrap it
+// with Validate in tests.
+type Func struct {
+	N int
+	F func(i, j int) float64
+}
+
+// Len returns the number of points.
+func (f Func) Len() int { return f.N }
+
+// Distance evaluates the wrapped function.
+func (f Func) Distance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return f.F(i, j)
+}
+
+var _ Metric = Func{}
+
+// Materialize copies an arbitrary metric into a Dense matrix, so that
+// repeated lookups (e.g. the O(n²) edge scan of Greedy A) hit contiguous
+// memory rather than recomputing vector norms.
+func Materialize(m Metric) *Dense {
+	n := m.Len()
+	d := NewDense(n)
+	d.Fill(func(i, j int) float64 { return m.Distance(i, j) })
+	return d
+}
+
+// Validate checks the metric axioms exhaustively: symmetry, zero diagonal,
+// non-negativity and the triangle inequality over all ordered triples, with
+// absolute tolerance tol (triangle violations smaller than tol are accepted,
+// which absorbs floating-point noise in computed metrics). It runs in O(n³);
+// use ValidateSample for large spaces.
+func Validate(m Metric, tol float64) error {
+	return validate(m, tol, 1)
+}
+
+// ValidateRelaxed checks the α-relaxed triangle inequality
+// d(x,y) + d(y,z) ≥ α·d(x,z) studied in the paper's conclusion (Sydow's
+// parameterised triangle inequality): α = 1 recovers Validate.
+func ValidateRelaxed(m Metric, alpha, tol float64) error {
+	if alpha <= 0 {
+		return fmt.Errorf("metric: ValidateRelaxed: alpha = %g, want > 0", alpha)
+	}
+	return validate(m, tol, alpha)
+}
+
+func validate(m Metric, tol, alpha float64) error {
+	n := m.Len()
+	for i := 0; i < n; i++ {
+		if d := m.Distance(i, i); d != 0 {
+			return fmt.Errorf("%w: d(%d,%d) = %g, want 0", ErrNotMetric, i, i, d)
+		}
+		for j := 0; j < i; j++ {
+			dij, dji := m.Distance(i, j), m.Distance(j, i)
+			if math.Abs(dij-dji) > tol {
+				return fmt.Errorf("%w: asymmetric d(%d,%d)=%g vs d(%d,%d)=%g", ErrNotMetric, i, j, dij, j, i, dji)
+			}
+			if dij < 0 || math.IsNaN(dij) || math.IsInf(dij, 0) {
+				return fmt.Errorf("%w: d(%d,%d) = %g", ErrNotMetric, i, j, dij)
+			}
+		}
+	}
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if y == x {
+				continue
+			}
+			dxy := m.Distance(x, y)
+			for z := 0; z < n; z++ {
+				if z == x || z == y {
+					continue
+				}
+				if dxy+m.Distance(y, z) < alpha*m.Distance(x, z)-tol {
+					return fmt.Errorf("%w: triangle violated at (%d,%d,%d): %g + %g < %g·%g",
+						ErrNotMetric, x, y, z, dxy, m.Distance(y, z), alpha, m.Distance(x, z))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateSample spot-checks the axioms on `trials` random triples drawn with
+// the caller-supplied generator intn (e.g. rand.Intn). It is the O(trials)
+// alternative to Validate for large n.
+func ValidateSample(m Metric, trials int, intn func(int) int, tol float64) error {
+	n := m.Len()
+	if n < 3 || trials <= 0 {
+		return nil
+	}
+	for t := 0; t < trials; t++ {
+		x, y, z := intn(n), intn(n), intn(n)
+		if x == y || y == z || x == z {
+			continue
+		}
+		dxy, dyx := m.Distance(x, y), m.Distance(y, x)
+		if math.Abs(dxy-dyx) > tol || dxy < 0 {
+			return fmt.Errorf("%w: pair (%d,%d): d=%g reverse=%g", ErrNotMetric, x, y, dxy, dyx)
+		}
+		if dxy+m.Distance(y, z) < m.Distance(x, z)-tol {
+			return fmt.Errorf("%w: triangle violated at sampled (%d,%d,%d)", ErrNotMetric, x, y, z)
+		}
+	}
+	return nil
+}

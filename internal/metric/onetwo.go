@@ -1,0 +1,70 @@
+package metric
+
+import "fmt"
+
+// OneTwo is the {1,2} metric of Section 3: distance 1 between adjacent
+// vertices of a graph and 2 otherwise. Every {1,2}-valued symmetric function
+// with zero diagonal satisfies the triangle inequality (1+1 ≥ 2), which is
+// why the paper's hardness-of-approximation evidence and its synthetic
+// experiments both live in this regime (synthetic distances are drawn from
+// [1,2] for the same reason).
+type OneTwo struct {
+	n   int
+	adj []bool // strict lower triangle, true = adjacent (distance 1)
+}
+
+// NewOneTwo builds the metric for an n-vertex graph given by its edge list.
+// Self-loops and out-of-range endpoints are rejected.
+func NewOneTwo(n int, edges [][2]int) (*OneTwo, error) {
+	m := &OneTwo{n: n, adj: make([]bool, n*(n-1)/2)}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			return nil, fmt.Errorf("metric: OneTwo self-loop at %d", u)
+		}
+		if u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("metric: OneTwo edge (%d,%d) out of range [0,%d)", u, v, n)
+		}
+		if u < v {
+			u, v = v, u
+		}
+		m.adj[u*(u-1)/2+v] = true
+	}
+	return m, nil
+}
+
+// Len returns the number of vertices.
+func (m *OneTwo) Len() int { return m.n }
+
+// Distance returns 1 for adjacent vertices and 2 otherwise (0 on the
+// diagonal).
+func (m *OneTwo) Distance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i < j {
+		i, j = j, i
+	}
+	if m.adj[i*(i-1)/2+j] {
+		return 1
+	}
+	return 2
+}
+
+var _ Metric = (*OneTwo)(nil)
+
+// Scaled multiplies every distance of an inner metric by a positive factor;
+// scaling preserves all metric axioms. It is used to express λ-folding and
+// unit changes without copying matrices.
+type Scaled struct {
+	M      Metric
+	Factor float64
+}
+
+// Len returns the size of the underlying metric.
+func (s Scaled) Len() int { return s.M.Len() }
+
+// Distance returns Factor · d(i,j).
+func (s Scaled) Distance(i, j int) float64 { return s.Factor * s.M.Distance(i, j) }
+
+var _ Metric = Scaled{}

@@ -1,0 +1,165 @@
+package metric
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quick.Check property: every symmetric matrix with entries in [lo, 2·lo]
+// satisfies the triangle inequality (the paper's [1,2] synthetic regime,
+// generalized: a+b ≥ 2·lo ≥ c whenever all values lie in [lo, 2·lo]).
+func TestQuickBoundedRatioMatricesAreMetrics(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			n := 2 + rng.Intn(10)
+			lo := 0.5 + rng.Float64()*4
+			d := NewDense(n)
+			d.Fill(func(i, j int) float64 { return lo * (1 + rng.Float64()) })
+			args[0] = reflect.ValueOf(d)
+		},
+	}
+	property := func(d *Dense) bool {
+		return Validate(d, 1e-12) == nil
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: scaling a metric by a positive factor preserves all
+// metric axioms.
+func TestQuickScalingPreservesMetric(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			n := 3 + rng.Intn(8)
+			d := NewDense(n)
+			d.Fill(func(i, j int) float64 { return 1 + rng.Float64() })
+			args[0] = reflect.ValueOf(d)
+			args[1] = reflect.ValueOf(0.01 + rng.Float64()*10)
+		},
+	}
+	property := func(d *Dense, factor float64) bool {
+		return Validate(Scaled{M: d, Factor: factor}, 1e-9) == nil
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: norm-induced point metrics always satisfy the
+// metric axioms, for every supported norm.
+func TestQuickPointMetricsAreMetrics(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 120,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			n := 3 + rng.Intn(7)
+			dim := 1 + rng.Intn(4)
+			pts := make([][]float64, n)
+			for i := range pts {
+				pts[i] = make([]float64, dim)
+				for k := range pts[i] {
+					pts[i][k] = rng.NormFloat64() * 10
+				}
+			}
+			args[0] = reflect.ValueOf(pts)
+			args[1] = reflect.ValueOf(Norm(rng.Intn(3)))
+		},
+	}
+	property := func(pts [][]float64, norm Norm) bool {
+		p, err := NewPoints(pts, norm)
+		if err != nil {
+			return false
+		}
+		return Validate(p, 1e-9) == nil
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: the angular distance is a metric for arbitrary
+// non-zero vectors, while the cosine distance is always within a factor of
+// it (cosine ≤ π·angular, angular ≤ cosine... we check the ordering
+// consistency: both are zero together and positive together).
+func TestQuickAngularMetricAndCosineConsistency(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 80,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			n := 3 + rng.Intn(6)
+			dim := 2 + rng.Intn(4)
+			vecs := make([][]float64, n)
+			for i := range vecs {
+				vecs[i] = make([]float64, dim)
+				for k := range vecs[i] {
+					vecs[i][k] = rng.Float64() + 0.01 // non-negative, non-zero
+				}
+			}
+			args[0] = reflect.ValueOf(vecs)
+		},
+	}
+	property := func(vecs [][]float64) bool {
+		a, err := NewAngular(vecs)
+		if err != nil {
+			return false
+		}
+		if Validate(a, 1e-9) != nil {
+			return false
+		}
+		c, err := NewCosine(vecs)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < len(vecs); i++ {
+			for j := 0; j < len(vecs); j++ {
+				da, dc := a.Distance(i, j), c.Distance(i, j)
+				if (da < 1e-12) != (dc < 1e-12) {
+					return false // zero together
+				}
+				if da < 0 || dc < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: Materialize is an exact copy of any metric.
+func TestQuickMaterializeIsExact(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 80,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			n := 2 + rng.Intn(8)
+			pts := make([][]float64, n)
+			for i := range pts {
+				pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			}
+			args[0] = reflect.ValueOf(pts)
+		},
+	}
+	property := func(pts [][]float64) bool {
+		p, err := NewPoints(pts, L2)
+		if err != nil {
+			return false
+		}
+		m := Materialize(p)
+		for i := 0; i < p.Len(); i++ {
+			for j := 0; j < p.Len(); j++ {
+				if m.Distance(i, j) != p.Distance(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}

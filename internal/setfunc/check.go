@@ -1,0 +1,153 @@
+package setfunc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file provides randomized property checkers for the defining axioms of
+// the paper's function classes. They are exported (rather than hidden in a
+// _test file) because the core-algorithm and dataset test suites reuse them
+// to certify user-visible invariants.
+
+// CheckNormalized verifies f(∅) = 0.
+func CheckNormalized(f Function) error {
+	if v := f.Value(nil); v != 0 {
+		return fmt.Errorf("setfunc: not normalized: f(∅) = %g", v)
+	}
+	return nil
+}
+
+// CheckMonotone samples `trials` random pairs S ⊆ T and verifies
+// f(S) ≤ f(T) + tol.
+func CheckMonotone(f Function, trials int, rng *rand.Rand, tol float64) error {
+	n := f.GroundSize()
+	for t := 0; t < trials; t++ {
+		S, T := randomNested(n, rng)
+		fs, ft := f.Value(S), f.Value(T)
+		if fs > ft+tol {
+			return fmt.Errorf("setfunc: not monotone: f(%v)=%g > f(%v)=%g", S, fs, T, ft)
+		}
+	}
+	return nil
+}
+
+// CheckSubmodular samples `trials` random configurations S ⊆ T, u ∉ T and
+// verifies the diminishing-returns inequality
+// f(T+u) − f(T) ≤ f(S+u) − f(S) + tol, the definition used in Section 3.
+func CheckSubmodular(f Function, trials int, rng *rand.Rand, tol float64) error {
+	n := f.GroundSize()
+	if n == 0 {
+		return nil
+	}
+	for t := 0; t < trials; t++ {
+		S, T := randomNested(n, rng)
+		inT := make(map[int]bool, len(T))
+		for _, v := range T {
+			inT[v] = true
+		}
+		u := -1
+		for tries := 0; tries < 4*n; tries++ {
+			c := rng.Intn(n)
+			if !inT[c] {
+				u = c
+				break
+			}
+		}
+		if u < 0 {
+			continue // T covered (almost) everything; resample
+		}
+		gainT := f.Value(append(append([]int{}, T...), u)) - f.Value(T)
+		gainS := f.Value(append(append([]int{}, S...), u)) - f.Value(S)
+		if gainT > gainS+tol {
+			return fmt.Errorf("setfunc: not submodular: marginal over T=%v is %g > marginal over S=%v is %g (u=%d)",
+				T, gainT, S, gainS, u)
+		}
+	}
+	return nil
+}
+
+// CheckModular samples `trials` random disjoint pairs and verifies
+// f(S ∪ T) = f(S) + f(T) within tol (given normalization, this pins down
+// modularity on the sampled sets).
+func CheckModular(f Function, trials int, rng *rand.Rand, tol float64) error {
+	n := f.GroundSize()
+	if n < 2 {
+		return nil
+	}
+	for t := 0; t < trials; t++ {
+		perm := rng.Perm(n)
+		a := rng.Intn(n)
+		b := rng.Intn(n - a)
+		S, T := perm[:a], perm[a:a+b]
+		lhs := f.Value(append(append([]int{}, S...), T...))
+		rhs := f.Value(S) + f.Value(T)
+		if diff := lhs - rhs; diff > tol || diff < -tol {
+			return fmt.Errorf("setfunc: not modular: f(S∪T)=%g but f(S)+f(T)=%g", lhs, rhs)
+		}
+	}
+	return nil
+}
+
+// CheckEvaluator cross-validates an incremental evaluator against pure
+// Value() recomputation over a random add/remove/marginal trace.
+func CheckEvaluator(f Source, steps int, rng *rand.Rand, tol float64) error {
+	n := f.GroundSize()
+	if n == 0 {
+		return nil
+	}
+	ev := f.NewEvaluator()
+	members := map[int]bool{}
+	cur := make([]int, 0, n)
+	rebuild := func() {
+		cur = cur[:0]
+		for u := range members {
+			cur = append(cur, u)
+		}
+	}
+	for s := 0; s < steps; s++ {
+		u := rng.Intn(n)
+		switch {
+		case !members[u] && (len(members) == 0 || rng.Intn(2) == 0):
+			// Check marginal before mutating.
+			rebuild()
+			want := f.Value(append(append([]int{}, cur...), u)) - f.Value(cur)
+			if got := ev.Marginal(u); got-want > tol || want-got > tol {
+				return fmt.Errorf("setfunc: evaluator marginal(%d) = %g, want %g (S=%v)", u, got, want, cur)
+			}
+			ev.Add(u)
+			members[u] = true
+		case members[u]:
+			ev.Remove(u)
+			delete(members, u)
+		default:
+			continue
+		}
+		rebuild()
+		want := f.Value(cur)
+		if got := ev.Value(); got-want > tol || want-got > tol {
+			return fmt.Errorf("setfunc: evaluator value = %g, want %g after step %d (S=%v)", got, want, s, cur)
+		}
+		if got := len(ev.Members()); got != len(members) {
+			return fmt.Errorf("setfunc: evaluator has %d members, want %d", got, len(members))
+		}
+	}
+	ev.Reset()
+	if ev.Value() != 0 || len(ev.Members()) != 0 {
+		return fmt.Errorf("setfunc: Reset did not clear evaluator")
+	}
+	return nil
+}
+
+// randomNested returns a random pair S ⊆ T of subsets of {0..n-1}.
+func randomNested(n int, rng *rand.Rand) (S, T []int) {
+	perm := rng.Perm(n)
+	tSize := rng.Intn(n + 1)
+	sSize := 0
+	if tSize > 0 {
+		sSize = rng.Intn(tSize + 1)
+	}
+	T = perm[:tSize]
+	S = T[:sSize]
+	return S, T
+}

@@ -1,0 +1,196 @@
+package setfunc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomCoverage generates a structured random coverage function.
+func randomCoverage(rng *rand.Rand) *Coverage {
+	n := 2 + rng.Intn(8)
+	topics := 2 + rng.Intn(6)
+	covers := make([][]int, n)
+	for u := range covers {
+		k := rng.Intn(4)
+		for j := 0; j < k; j++ {
+			covers[u] = append(covers[u], rng.Intn(topics))
+		}
+	}
+	tw := make([]float64, topics)
+	for t := range tw {
+		tw[t] = rng.Float64() * 5
+	}
+	c, err := NewCoverage(covers, tw)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// quick.Check property: coverage is normalized, monotone and submodular for
+// every generated configuration, and its incremental evaluator agrees with
+// recomputation.
+func TestQuickCoverageAxioms(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			args[0] = reflect.ValueOf(randomCoverage(rng))
+			args[1] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	property := func(c *Coverage, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return CheckNormalized(c) == nil &&
+			CheckMonotone(c, 60, rng, 1e-9) == nil &&
+			CheckSubmodular(c, 60, rng, 1e-9) == nil &&
+			CheckEvaluator(c, 60, rng, 1e-9) == nil
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: facility location axioms for random non-negative
+// similarity matrices.
+func TestQuickFacilityLocationAxioms(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 50,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			clients := 1 + rng.Intn(5)
+			n := 2 + rng.Intn(6)
+			sim := make([][]float64, clients)
+			for c := range sim {
+				sim[c] = make([]float64, n)
+				for u := range sim[c] {
+					sim[c][u] = rng.Float64()
+				}
+			}
+			f, err := NewFacilityLocation(sim)
+			if err != nil {
+				panic(err)
+			}
+			args[0] = reflect.ValueOf(f)
+			args[1] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	property := func(f *FacilityLocation, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return CheckNormalized(f) == nil &&
+			CheckMonotone(f, 60, rng, 1e-9) == nil &&
+			CheckSubmodular(f, 60, rng, 1e-9) == nil &&
+			CheckEvaluator(f, 60, rng, 1e-9) == nil
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: concave-over-modular stays submodular for every
+// concave shape in the library.
+func TestQuickConcaveOverModularAxioms(t *testing.T) {
+	shapes := []Concave{Sqrt{}, Log1p{}, Power{Alpha: 0.3}, Power{Alpha: 0.8}, Cap{C: 2}}
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			n := 2 + rng.Intn(7)
+			w := make([]float64, n)
+			for i := range w {
+				w[i] = rng.Float64() * 3
+			}
+			f, err := NewConcaveOverModular(w, shapes[rng.Intn(len(shapes))])
+			if err != nil {
+				panic(err)
+			}
+			args[0] = reflect.ValueOf(f)
+			args[1] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	property := func(f *ConcaveOverModular, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return CheckNormalized(f) == nil &&
+			CheckMonotone(f, 60, rng, 1e-9) == nil &&
+			CheckSubmodular(f, 60, rng, 1e-9) == nil &&
+			CheckEvaluator(f, 60, rng, 1e-7) == nil
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: sums and scalings of submodular functions stay
+// submodular (closure of the class used throughout the paper).
+func TestQuickCombinatorClosure(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			cov := randomCoverage(rng)
+			n := cov.GroundSize()
+			w := make([]float64, n)
+			for i := range w {
+				w[i] = rng.Float64()
+			}
+			com, err := NewConcaveOverModular(w, Sqrt{})
+			if err != nil {
+				panic(err)
+			}
+			sum, err := NewSum(cov, com)
+			if err != nil {
+				panic(err)
+			}
+			scl, err := NewScaled(sum, rng.Float64()*3)
+			if err != nil {
+				panic(err)
+			}
+			args[0] = reflect.ValueOf(scl)
+			args[1] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	property := func(f *Scaled, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return CheckNormalized(f) == nil &&
+			CheckMonotone(f, 50, rng, 1e-9) == nil &&
+			CheckSubmodular(f, 50, rng, 1e-9) == nil &&
+			CheckEvaluator(f, 50, rng, 1e-7) == nil
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quick.Check property: for modular functions the greedy potential identity
+// f(S) = Σ_u w(u) holds for arbitrary subsets and orders.
+func TestQuickModularOrderInvariance(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			n := 1 + rng.Intn(10)
+			w := make([]float64, n)
+			for i := range w {
+				w[i] = rng.Float64() * 10
+			}
+			args[0] = reflect.ValueOf(w)
+			args[1] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	property := func(w []float64, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := NewModular(w)
+		if err != nil {
+			return false
+		}
+		perm := rng.Perm(len(w))
+		k := rng.Intn(len(w) + 1)
+		S := perm[:k]
+		var want float64
+		for _, u := range S {
+			want += w[u]
+		}
+		got := m.Value(S)
+		return got-want < 1e-9 && want-got < 1e-9
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}

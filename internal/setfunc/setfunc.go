@@ -1,0 +1,257 @@
+// Package setfunc provides the set-valuation substrate for max-sum
+// diversification: normalized monotone set functions f(·) over an
+// integer-indexed ground set, with incremental evaluators that support the
+// add/remove/marginal operations the paper's greedy, local-search and
+// dynamic-update algorithms perform.
+//
+// The paper studies two regimes: modular f (weights, Sections 3 and 6) and
+// monotone submodular f (Sections 4–5). This package implements the modular
+// case plus a family of classic monotone submodular functions — coverage,
+// facility location, concave-over-modular, saturated coverage (the Lin–Bilmes
+// summarization family cited in Section 4) — together with combinators and
+// property checkers used by the test suite.
+package setfunc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Function is a normalized set function over the ground set {0,…,GroundSize()-1}:
+// Value(nil) must be 0.
+type Function interface {
+	// GroundSize returns the number of ground elements.
+	GroundSize() int
+	// Value returns f(S). S may be in any order and must not contain
+	// duplicates; implementations must not retain or mutate S.
+	Value(S []int) float64
+}
+
+// Evaluator incrementally evaluates one Function over a growing/shrinking
+// working set. A fresh evaluator represents the empty set.
+//
+// The contract mirrors exactly what the algorithms need: the greedy of
+// Section 4 calls Marginal then Add; the local search of Section 5 and the
+// oblivious update rule of Section 6 also call Remove.
+type Evaluator interface {
+	// Value returns f(S) for the current working set S.
+	Value() float64
+	// Marginal returns f(S+u) − f(S). u must not already be in S.
+	Marginal(u int) float64
+	// Add inserts u into the working set. u must not already be a member.
+	Add(u int)
+	// Remove deletes u from the working set. u must be a member.
+	Remove(u int)
+	// Members returns the working set in unspecified order. The returned
+	// slice is owned by the caller.
+	Members() []int
+	// Reset returns the evaluator to the empty set.
+	Reset()
+}
+
+// Source is a Function that can mint incremental evaluators. All concrete
+// functions in this package implement Source.
+type Source interface {
+	Function
+	NewEvaluator() Evaluator
+}
+
+// ---------------------------------------------------------------------------
+// Modular
+// ---------------------------------------------------------------------------
+
+// Modular is the weighted linear set function f(S) = Σ_{u∈S} w(u) of the
+// Gollapudi–Sharma setting (Section 3) and the dynamic-update setting
+// (Section 6). Weights must be non-negative for the paper's guarantees;
+// NewModular rejects negative weights.
+type Modular struct {
+	w []float64
+}
+
+// NewModular builds a modular function from non-negative element weights.
+func NewModular(weights []float64) (*Modular, error) {
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("setfunc: weight[%d] = %g, want finite and ≥ 0", i, w)
+		}
+	}
+	cp := make([]float64, len(weights))
+	copy(cp, weights)
+	return &Modular{w: cp}, nil
+}
+
+// GroundSize returns the number of elements.
+func (m *Modular) GroundSize() int { return len(m.w) }
+
+// Weight returns w(u).
+func (m *Modular) Weight(u int) float64 { return m.w[u] }
+
+// SetWeight overwrites w(u); the dynamic-update engine uses it for Type I/II
+// perturbations. Negative weights panic.
+func (m *Modular) SetWeight(u int, w float64) {
+	if w < 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("setfunc: SetWeight(%d, %g): invalid weight", u, w))
+	}
+	m.w[u] = w
+}
+
+// Weights returns the backing weight slice (not a copy; treat as read-only
+// unless you own the Modular).
+func (m *Modular) Weights() []float64 { return m.w }
+
+// Clone returns a deep copy.
+func (m *Modular) Clone() *Modular {
+	cp := make([]float64, len(m.w))
+	copy(cp, m.w)
+	return &Modular{w: cp}
+}
+
+// Value returns Σ_{u∈S} w(u).
+func (m *Modular) Value(S []int) float64 {
+	var s float64
+	for _, u := range S {
+		s += m.w[u]
+	}
+	return s
+}
+
+// NewEvaluator returns an O(1)-per-operation evaluator.
+func (m *Modular) NewEvaluator() Evaluator {
+	return &modularEval{f: m, in: make([]bool, len(m.w))}
+}
+
+type modularEval struct {
+	f   *Modular
+	sum float64
+	in  []bool
+	n   int
+}
+
+func (e *modularEval) Value() float64 { return e.sum }
+
+func (e *modularEval) Marginal(u int) float64 { return e.f.w[u] }
+
+func (e *modularEval) Add(u int) {
+	if e.in[u] {
+		panic(fmt.Sprintf("setfunc: Add(%d): already a member", u))
+	}
+	e.in[u] = true
+	e.n++
+	e.sum += e.f.w[u]
+}
+
+func (e *modularEval) Remove(u int) {
+	if !e.in[u] {
+		panic(fmt.Sprintf("setfunc: Remove(%d): not a member", u))
+	}
+	e.in[u] = false
+	e.n--
+	e.sum -= e.f.w[u]
+}
+
+func (e *modularEval) Members() []int {
+	out := make([]int, 0, e.n)
+	for u, ok := range e.in {
+		if ok {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (e *modularEval) Reset() {
+	e.sum = 0
+	e.n = 0
+	for i := range e.in {
+		e.in[i] = false
+	}
+}
+
+// Zero returns the identically-zero modular function over n elements; with
+// it, the paper's greedy is exactly the Ravi–Rosenkrantz–Tayi dispersion
+// greedy (Corollary 1).
+func Zero(n int) *Modular {
+	m, _ := NewModular(make([]float64, n))
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Generic evaluator (recomputes via Function.Value)
+// ---------------------------------------------------------------------------
+
+// NewGenericEvaluator wraps any Function in an evaluator that recomputes
+// values from scratch. It is the fallback for user-supplied functions and a
+// test oracle for the specialized evaluators.
+func NewGenericEvaluator(f Function) Evaluator {
+	return &genericEval{f: f, in: make([]bool, f.GroundSize())}
+}
+
+type genericEval struct {
+	f       Function
+	in      []bool
+	members []int
+	val     float64
+}
+
+func (e *genericEval) Value() float64 { return e.val }
+
+func (e *genericEval) Marginal(u int) float64 {
+	if e.in[u] {
+		panic(fmt.Sprintf("setfunc: Marginal(%d): already a member", u))
+	}
+	e.members = append(e.members, u)
+	v := e.f.Value(e.members)
+	e.members = e.members[:len(e.members)-1]
+	return v - e.val
+}
+
+func (e *genericEval) Add(u int) {
+	if e.in[u] {
+		panic(fmt.Sprintf("setfunc: Add(%d): already a member", u))
+	}
+	e.in[u] = true
+	e.members = append(e.members, u)
+	e.val = e.f.Value(e.members)
+}
+
+func (e *genericEval) Remove(u int) {
+	if !e.in[u] {
+		panic(fmt.Sprintf("setfunc: Remove(%d): not a member", u))
+	}
+	e.in[u] = false
+	for i, v := range e.members {
+		if v == u {
+			e.members[i] = e.members[len(e.members)-1]
+			e.members = e.members[:len(e.members)-1]
+			break
+		}
+	}
+	e.val = e.f.Value(e.members)
+}
+
+func (e *genericEval) Members() []int {
+	out := make([]int, len(e.members))
+	copy(out, e.members)
+	return out
+}
+
+func (e *genericEval) Reset() {
+	e.members = e.members[:0]
+	e.val = 0
+	for i := range e.in {
+		e.in[i] = false
+	}
+}
+
+// AsSource upgrades a plain Function to a Source using the generic
+// evaluator; if f already implements Source it is returned unchanged.
+func AsSource(f Function) Source {
+	if s, ok := f.(Source); ok {
+		return s
+	}
+	return genericSource{f}
+}
+
+type genericSource struct{ Function }
+
+func (g genericSource) NewEvaluator() Evaluator { return NewGenericEvaluator(g.Function) }

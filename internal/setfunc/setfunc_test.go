@@ -1,0 +1,415 @@
+package setfunc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustModular(t *testing.T, w []float64) *Modular {
+	t.Helper()
+	m, err := NewModular(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModularBasics(t *testing.T) {
+	m := mustModular(t, []float64{1, 2, 3})
+	if m.GroundSize() != 3 {
+		t.Fatalf("GroundSize = %d", m.GroundSize())
+	}
+	if got := m.Value([]int{0, 2}); got != 4 {
+		t.Errorf("Value({0,2}) = %g, want 4", got)
+	}
+	if got := m.Weight(1); got != 2 {
+		t.Errorf("Weight(1) = %g, want 2", got)
+	}
+	m.SetWeight(1, 5)
+	if got := m.Value([]int{1}); got != 5 {
+		t.Errorf("after SetWeight, Value({1}) = %g, want 5", got)
+	}
+	cl := m.Clone()
+	cl.SetWeight(0, 100)
+	if m.Weight(0) != 1 {
+		t.Error("Clone shares storage")
+	}
+	if len(m.Weights()) != 3 {
+		t.Error("Weights length wrong")
+	}
+}
+
+func TestModularRejectsBadWeights(t *testing.T) {
+	for _, w := range [][]float64{{-1}, {math.NaN()}, {math.Inf(1)}} {
+		if _, err := NewModular(w); err == nil {
+			t.Errorf("NewModular(%v) accepted", w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetWeight(-1) did not panic")
+		}
+	}()
+	mustModular(t, []float64{1}).SetWeight(0, -1)
+}
+
+func TestZero(t *testing.T) {
+	z := Zero(5)
+	if z.GroundSize() != 5 || z.Value([]int{0, 1, 2, 3, 4}) != 0 {
+		t.Error("Zero is not identically zero")
+	}
+}
+
+func newTestCoverage(t *testing.T) *Coverage {
+	t.Helper()
+	c, err := NewCoverage(
+		[][]int{{0, 1}, {1, 2}, {2}, {0, 3}, {}},
+		[]float64{1, 2, 4, 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCoverageValue(t *testing.T) {
+	c := newTestCoverage(t)
+	cases := []struct {
+		S    []int
+		want float64
+	}{
+		{nil, 0},
+		{[]int{0}, 3},        // topics 0,1
+		{[]int{0, 1}, 7},     // topics 0,1,2
+		{[]int{0, 1, 2}, 7},  // 2 adds nothing new
+		{[]int{0, 1, 3}, 15}, // + topic 3
+		{[]int{4}, 0},        // covers nothing
+		{[]int{3, 0, 1, 2}, 15},
+	}
+	for _, tc := range cases {
+		if got := c.Value(tc.S); got != tc.want {
+			t.Errorf("Value(%v) = %g, want %g", tc.S, got, tc.want)
+		}
+	}
+}
+
+func TestCoverageRejectsBadInput(t *testing.T) {
+	if _, err := NewCoverage([][]int{{5}}, []float64{1}); err == nil {
+		t.Error("out-of-range topic accepted")
+	}
+	if _, err := NewCoverage([][]int{{0}}, []float64{-1}); err == nil {
+		t.Error("negative topic weight accepted")
+	}
+}
+
+func TestCoverageDuplicateTopicIDs(t *testing.T) {
+	c, err := NewCoverage([][]int{{0, 0, 1}, {1, 1}}, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := c.NewEvaluator()
+	if got := ev.Marginal(0); got != 8 {
+		t.Errorf("Marginal(0) = %g, want 8 (duplicates must not double-count)", got)
+	}
+	ev.Add(0)
+	if got := ev.Value(); got != 8 {
+		t.Errorf("Value = %g, want 8", got)
+	}
+	ev.Add(1)
+	if got := ev.Value(); got != 8 {
+		t.Errorf("Value = %g, want 8", got)
+	}
+	ev.Remove(0)
+	if got := ev.Value(); got != 5 {
+		t.Errorf("Value after Remove(0) = %g, want 5 (topic 1 still covered by 1)", got)
+	}
+}
+
+func newTestFacility(t *testing.T) *FacilityLocation {
+	t.Helper()
+	f, err := NewFacilityLocation([][]float64{
+		{1, 0.5, 0},
+		{0, 1, 0.2},
+		{0.3, 0.3, 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFacilityLocationValue(t *testing.T) {
+	f := newTestFacility(t)
+	if got := f.Value(nil); got != 0 {
+		t.Errorf("Value(∅) = %g", got)
+	}
+	if got := f.Value([]int{0}); math.Abs(got-1.3) > 1e-12 {
+		t.Errorf("Value({0}) = %g, want 1.3", got)
+	}
+	if got := f.Value([]int{0, 2}); math.Abs(got-(1+0.2+0.9)) > 1e-12 {
+		t.Errorf("Value({0,2}) = %g, want 2.1", got)
+	}
+}
+
+func TestFacilityLocationRejectsBadInput(t *testing.T) {
+	if _, err := NewFacilityLocation(nil); err == nil {
+		t.Error("empty sim accepted")
+	}
+	if _, err := NewFacilityLocation([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged sim accepted")
+	}
+	if _, err := NewFacilityLocation([][]float64{{-1}}); err == nil {
+		t.Error("negative sim accepted")
+	}
+}
+
+func TestConcaveOverModular(t *testing.T) {
+	f, err := NewConcaveOverModular([]float64{1, 3, 5}, Sqrt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Value([]int{0, 1}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("sqrt(4) = %g, want 2", got)
+	}
+	if got := f.Value(nil); got != 0 {
+		t.Errorf("Value(∅) = %g", got)
+	}
+	if _, err := NewConcaveOverModular([]float64{1}, nil); err == nil {
+		t.Error("nil concave accepted")
+	}
+	if _, err := NewConcaveOverModular([]float64{-1}, Sqrt{}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+type unnormalized struct{}
+
+func (unnormalized) Apply(x float64) float64 { return x + 1 }
+func (unnormalized) Name() string            { return "bad" }
+
+func TestConcaveOverModularRejectsUnnormalized(t *testing.T) {
+	if _, err := NewConcaveOverModular([]float64{1}, unnormalized{}); err == nil {
+		t.Error("unnormalized concave accepted")
+	}
+}
+
+func TestConcaveNames(t *testing.T) {
+	for _, c := range []Concave{Sqrt{}, Log1p{}, Power{Alpha: 0.5}, Cap{C: 2}} {
+		if c.Name() == "" {
+			t.Errorf("%T has empty name", c)
+		}
+		if c.Apply(0) != 0 {
+			t.Errorf("%s not normalized", c.Name())
+		}
+	}
+	if got := (Power{Alpha: 0.5}).Apply(4); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Power(0.5).Apply(4) = %g", got)
+	}
+	if got := (Cap{C: 2}).Apply(5); got != 2 {
+		t.Errorf("Cap(2).Apply(5) = %g", got)
+	}
+	if got := (Log1p{}).Apply(math.E - 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Log1p.Apply(e-1) = %g", got)
+	}
+}
+
+func TestSaturatedCoverage(t *testing.T) {
+	sim := [][]float64{
+		{1, 1, 1},
+		{2, 0, 0},
+	}
+	f, err := NewSaturatedCoverage(sim, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Caps: client 0: 1.5, client 1: 1.
+	if got := f.Value([]int{0}); math.Abs(got-2) > 1e-12 { // min(1,1.5)+min(2,1)=1+1
+		t.Errorf("Value({0}) = %g, want 2", got)
+	}
+	if got := f.Value([]int{0, 1, 2}); math.Abs(got-2.5) > 1e-12 { // min(3,1.5)+min(2,1)
+		t.Errorf("Value(U) = %g, want 2.5", got)
+	}
+	if _, err := NewSaturatedCoverage(sim, 1.5); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	if _, err := NewSaturatedCoverage(nil, 0.5); err == nil {
+		t.Error("empty sim accepted")
+	}
+	if _, err := NewSaturatedCoverage([][]float64{{1}, {1, 2}}, 0.5); err == nil {
+		t.Error("ragged sim accepted")
+	}
+	if _, err := NewSaturatedCoverage([][]float64{{-1}}, 0.5); err == nil {
+		t.Error("negative sim accepted")
+	}
+}
+
+func TestSumAndScaled(t *testing.T) {
+	m1 := mustModular(t, []float64{1, 2})
+	m2 := mustModular(t, []float64{10, 20})
+	s, err := NewSum(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Value([]int{0, 1}); got != 33 {
+		t.Errorf("Sum.Value = %g, want 33", got)
+	}
+	sc, err := NewScaled(s, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Value([]int{1}); got != 11 {
+		t.Errorf("Scaled.Value = %g, want 11", got)
+	}
+	if sc.GroundSize() != 2 {
+		t.Error("Scaled.GroundSize wrong")
+	}
+	if _, err := NewSum(); err == nil {
+		t.Error("empty Sum accepted")
+	}
+	if _, err := NewSum(m1, mustModular(t, []float64{1})); err == nil {
+		t.Error("mismatched ground sizes accepted")
+	}
+	if _, err := NewScaled(m1, -1); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+// Every concrete function must satisfy the axioms its class promises.
+func TestAxioms(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cov, _ := NewCoverage([][]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1}}, []float64{1, 2, 3, 4})
+	fac, _ := NewFacilityLocation([][]float64{
+		{0.3, 0.7, 0.1, 0.9, 0.5},
+		{0.8, 0.2, 0.4, 0.1, 0.6},
+		{0.5, 0.5, 0.9, 0.3, 0.2},
+	})
+	com, _ := NewConcaveOverModular([]float64{0.5, 1.5, 2.5, 0.1, 3}, Sqrt{})
+	sat, _ := NewSaturatedCoverage([][]float64{
+		{0.2, 0.9, 0.4, 0.6, 0.1},
+		{0.7, 0.3, 0.8, 0.2, 0.5},
+	}, 0.4)
+	mod := mustModular(t, []float64{0.1, 0.9, 0.5, 0.3, 0.7})
+	sum, _ := NewSum(cov, com)
+	scl, _ := NewScaled(fac, 2.5)
+
+	submodular := map[string]Source{
+		"coverage": cov, "facility": fac, "concave-over-modular": com,
+		"saturated": sat, "modular": mod, "sum": sum, "scaled": scl,
+	}
+	for name, f := range submodular {
+		if err := CheckNormalized(f); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := CheckMonotone(f, 300, rng, 1e-9); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := CheckSubmodular(f, 300, rng, 1e-9); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if err := CheckEvaluator(f, 200, rng, 1e-9); err != nil {
+			t.Errorf("%s evaluator: %v", name, err)
+		}
+	}
+	if err := CheckModular(mod, 300, rng, 1e-9); err != nil {
+		t.Errorf("modular: %v", err)
+	}
+	// Coverage is not modular in general; the checker must catch it.
+	if err := CheckModular(cov, 300, rng, 1e-9); err == nil {
+		t.Error("CheckModular accepted a strictly submodular function")
+	}
+}
+
+// A deliberately supermodular function must fail CheckSubmodular: guards
+// against a vacuous checker.
+type supermodular struct{ n int }
+
+func (s supermodular) GroundSize() int { return s.n }
+func (s supermodular) Value(S []int) float64 {
+	k := float64(len(S))
+	return k * k
+}
+
+func TestCheckSubmodularCatchesViolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if err := CheckSubmodular(supermodular{n: 6}, 500, rng, 1e-9); err == nil {
+		t.Fatal("CheckSubmodular accepted a supermodular function")
+	}
+	if err := CheckNormalized(supermodular{n: 6}); err != nil {
+		t.Fatalf("k² is normalized: %v", err)
+	}
+}
+
+type decreasing struct{ n int }
+
+func (d decreasing) GroundSize() int       { return d.n }
+func (d decreasing) Value(S []int) float64 { return -float64(len(S)) }
+
+func TestCheckMonotoneCatchesViolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if err := CheckMonotone(decreasing{n: 6}, 200, rng, 1e-9); err == nil {
+		t.Fatal("CheckMonotone accepted a decreasing function")
+	}
+}
+
+func TestGenericEvaluatorMatchesSpecialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cov, _ := NewCoverage([][]int{{0}, {0, 1}, {1, 2}, {2}}, []float64{2, 3, 5})
+	gen := NewGenericEvaluator(cov)
+	spec := cov.NewEvaluator()
+	for step := 0; step < 100; step++ {
+		u := rng.Intn(4)
+		inGen := false
+		for _, m := range gen.Members() {
+			if m == u {
+				inGen = true
+				break
+			}
+		}
+		if inGen {
+			gen.Remove(u)
+			spec.Remove(u)
+		} else {
+			if g, s := gen.Marginal(u), spec.Marginal(u); math.Abs(g-s) > 1e-12 {
+				t.Fatalf("step %d: marginal mismatch gen=%g spec=%g", step, g, s)
+			}
+			gen.Add(u)
+			spec.Add(u)
+		}
+		if g, s := gen.Value(), spec.Value(); math.Abs(g-s) > 1e-12 {
+			t.Fatalf("step %d: value mismatch gen=%g spec=%g", step, g, s)
+		}
+	}
+}
+
+func TestAsSource(t *testing.T) {
+	mod := mustModular(t, []float64{1, 2})
+	if AsSource(mod) != Source(mod) {
+		t.Error("AsSource should return an existing Source unchanged")
+	}
+	plain := supermodular{n: 3}
+	src := AsSource(plain)
+	ev := src.NewEvaluator()
+	ev.Add(0)
+	ev.Add(1)
+	if got := ev.Value(); got != 4 {
+		t.Errorf("generic source value = %g, want 4", got)
+	}
+}
+
+func TestEvaluatorPanics(t *testing.T) {
+	mod := mustModular(t, []float64{1, 2})
+	for name, f := range map[string]func(Evaluator){
+		"double-add":     func(e Evaluator) { e.Add(0); e.Add(0) },
+		"remove-missing": func(e Evaluator) { e.Remove(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f(mod.NewEvaluator())
+		}()
+	}
+}

@@ -1,0 +1,577 @@
+package setfunc
+
+import (
+	"fmt"
+	"math"
+)
+
+// ---------------------------------------------------------------------------
+// Coverage
+// ---------------------------------------------------------------------------
+
+// Coverage is the weighted coverage function f(S) = Σ_{t ∈ ∪_{u∈S} C(u)} w(t):
+// each ground element u covers a set of topics C(u), and the value of S is
+// the total weight of topics covered at least once. Coverage is the textbook
+// normalized monotone submodular function and models the "query facets"
+// motivation of the paper's introduction (a result set is valuable when it
+// covers many user intents).
+type Coverage struct {
+	covers    [][]int // covers[u] = topic ids covered by element u
+	topicW    []float64
+	numTopics int
+}
+
+// NewCoverage builds a coverage function. covers[u] lists the topics of
+// element u (duplicates allowed, ignored); topicWeights[t] ≥ 0 is the weight
+// of topic t. Topic ids must be in [0, len(topicWeights)).
+func NewCoverage(covers [][]int, topicWeights []float64) (*Coverage, error) {
+	for t, w := range topicWeights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("setfunc: topic weight[%d] = %g, want finite ≥ 0", t, w)
+		}
+	}
+	for u, ts := range covers {
+		for _, t := range ts {
+			if t < 0 || t >= len(topicWeights) {
+				return nil, fmt.Errorf("setfunc: element %d covers topic %d, out of range [0,%d)", u, t, len(topicWeights))
+			}
+		}
+	}
+	w := make([]float64, len(topicWeights))
+	copy(w, topicWeights)
+	return &Coverage{covers: covers, topicW: w, numTopics: len(topicWeights)}, nil
+}
+
+// GroundSize returns the number of elements.
+func (c *Coverage) GroundSize() int { return len(c.covers) }
+
+// Value returns the covered topic weight.
+func (c *Coverage) Value(S []int) float64 {
+	seen := make(map[int]bool, 8)
+	var sum float64
+	for _, u := range S {
+		for _, t := range c.covers[u] {
+			if !seen[t] {
+				seen[t] = true
+				sum += c.topicW[t]
+			}
+		}
+	}
+	return sum
+}
+
+// NewEvaluator returns an evaluator with O(|C(u)|) Add/Remove/Marginal.
+func (c *Coverage) NewEvaluator() Evaluator {
+	return &coverageEval{
+		f:     c,
+		count: make([]int, c.numTopics),
+		in:    make([]bool, len(c.covers)),
+	}
+}
+
+type coverageEval struct {
+	f     *Coverage
+	count []int // how many members cover each topic
+	in    []bool
+	val   float64
+	n     int
+}
+
+func (e *coverageEval) Value() float64 { return e.val }
+
+func (e *coverageEval) Marginal(u int) float64 {
+	if e.in[u] {
+		panic(fmt.Sprintf("setfunc: Marginal(%d): already a member", u))
+	}
+	var gain float64
+	for _, t := range e.f.covers[u] {
+		if e.count[t] == 0 {
+			gain += e.f.topicW[t]
+			// Guard against duplicate topic ids within one element's list:
+			// mark and unmark via a negative sentinel would complicate; use
+			// the count itself by temporarily bumping, then undo below.
+			e.count[t] = -1
+		}
+	}
+	for _, t := range e.f.covers[u] {
+		if e.count[t] == -1 {
+			e.count[t] = 0
+		}
+	}
+	return gain
+}
+
+func (e *coverageEval) Add(u int) {
+	if e.in[u] {
+		panic(fmt.Sprintf("setfunc: Add(%d): already a member", u))
+	}
+	e.in[u] = true
+	e.n++
+	seenFirst := map[int]bool{}
+	for _, t := range e.f.covers[u] {
+		if e.count[t] == 0 && !seenFirst[t] {
+			e.val += e.f.topicW[t]
+		}
+		if !seenFirst[t] {
+			e.count[t]++
+			seenFirst[t] = true
+		}
+	}
+}
+
+func (e *coverageEval) Remove(u int) {
+	if !e.in[u] {
+		panic(fmt.Sprintf("setfunc: Remove(%d): not a member", u))
+	}
+	e.in[u] = false
+	e.n--
+	seen := map[int]bool{}
+	for _, t := range e.f.covers[u] {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		e.count[t]--
+		if e.count[t] == 0 {
+			e.val -= e.f.topicW[t]
+		}
+	}
+}
+
+func (e *coverageEval) Members() []int {
+	out := make([]int, 0, e.n)
+	for u, ok := range e.in {
+		if ok {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (e *coverageEval) Reset() {
+	e.val = 0
+	e.n = 0
+	for i := range e.count {
+		e.count[i] = 0
+	}
+	for i := range e.in {
+		e.in[i] = false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Facility location
+// ---------------------------------------------------------------------------
+
+// FacilityLocation is f(S) = Σ_clients max_{u∈S} sim(client, u): each client
+// is served by its most similar selected element. It is normalized monotone
+// submodular for non-negative similarities and is the "representativeness"
+// term of the Lin–Bilmes summarization objectives cited in Section 4.
+type FacilityLocation struct {
+	sim [][]float64 // sim[client][element] ≥ 0
+	n   int
+}
+
+// NewFacilityLocation builds the function from a clients×elements similarity
+// matrix with non-negative entries.
+func NewFacilityLocation(sim [][]float64) (*FacilityLocation, error) {
+	if len(sim) == 0 {
+		return nil, fmt.Errorf("setfunc: facility location needs at least one client row")
+	}
+	n := len(sim[0])
+	for c, row := range sim {
+		if len(row) != n {
+			return nil, fmt.Errorf("setfunc: sim row %d has %d entries, want %d", c, len(row), n)
+		}
+		for u, s := range row {
+			if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+				return nil, fmt.Errorf("setfunc: sim[%d][%d] = %g, want finite ≥ 0", c, u, s)
+			}
+		}
+	}
+	return &FacilityLocation{sim: sim, n: n}, nil
+}
+
+// GroundSize returns the number of selectable elements.
+func (f *FacilityLocation) GroundSize() int { return f.n }
+
+// Value returns Σ_clients max_{u∈S} sim(client, u), with empty max = 0.
+func (f *FacilityLocation) Value(S []int) float64 {
+	var sum float64
+	for _, row := range f.sim {
+		var best float64
+		for _, u := range S {
+			if row[u] > best {
+				best = row[u]
+			}
+		}
+		sum += best
+	}
+	return sum
+}
+
+// NewEvaluator returns an evaluator with O(clients) Add/Marginal and
+// O(clients·|S|) Remove (re-deriving the per-client maximum).
+func (f *FacilityLocation) NewEvaluator() Evaluator {
+	return &facilityEval{
+		f:    f,
+		best: make([]float64, len(f.sim)),
+		in:   make([]bool, f.n),
+	}
+}
+
+type facilityEval struct {
+	f       *FacilityLocation
+	best    []float64 // per-client current max over members
+	in      []bool
+	members []int
+	val     float64
+}
+
+func (e *facilityEval) Value() float64 { return e.val }
+
+func (e *facilityEval) Marginal(u int) float64 {
+	if e.in[u] {
+		panic(fmt.Sprintf("setfunc: Marginal(%d): already a member", u))
+	}
+	var gain float64
+	for c, row := range e.f.sim {
+		if row[u] > e.best[c] {
+			gain += row[u] - e.best[c]
+		}
+	}
+	return gain
+}
+
+func (e *facilityEval) Add(u int) {
+	if e.in[u] {
+		panic(fmt.Sprintf("setfunc: Add(%d): already a member", u))
+	}
+	e.in[u] = true
+	e.members = append(e.members, u)
+	for c, row := range e.f.sim {
+		if row[u] > e.best[c] {
+			e.val += row[u] - e.best[c]
+			e.best[c] = row[u]
+		}
+	}
+}
+
+func (e *facilityEval) Remove(u int) {
+	if !e.in[u] {
+		panic(fmt.Sprintf("setfunc: Remove(%d): not a member", u))
+	}
+	e.in[u] = false
+	for i, v := range e.members {
+		if v == u {
+			e.members[i] = e.members[len(e.members)-1]
+			e.members = e.members[:len(e.members)-1]
+			break
+		}
+	}
+	for c, row := range e.f.sim {
+		if row[u] < e.best[c] {
+			continue // u was not (a) maximizer; max unchanged
+		}
+		var best float64
+		for _, v := range e.members {
+			if row[v] > best {
+				best = row[v]
+			}
+		}
+		e.val += best - e.best[c]
+		e.best[c] = best
+	}
+}
+
+func (e *facilityEval) Members() []int {
+	out := make([]int, len(e.members))
+	copy(out, e.members)
+	return out
+}
+
+func (e *facilityEval) Reset() {
+	e.val = 0
+	e.members = e.members[:0]
+	for i := range e.best {
+		e.best[i] = 0
+	}
+	for i := range e.in {
+		e.in[i] = false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Concave over modular
+// ---------------------------------------------------------------------------
+
+// Concave is a normalized (g(0) = 0) non-decreasing concave scalar function
+// used to compose submodular functions from modular ones.
+type Concave interface {
+	Apply(x float64) float64
+	Name() string
+}
+
+// Sqrt is g(x) = √x.
+type Sqrt struct{}
+
+// Apply returns √x.
+func (Sqrt) Apply(x float64) float64 { return math.Sqrt(x) }
+
+// Name returns "sqrt".
+func (Sqrt) Name() string { return "sqrt" }
+
+// Log1p is g(x) = ln(1+x).
+type Log1p struct{}
+
+// Apply returns ln(1+x).
+func (Log1p) Apply(x float64) float64 { return math.Log1p(x) }
+
+// Name returns "log1p".
+func (Log1p) Name() string { return "log1p" }
+
+// Power is g(x) = x^Alpha for 0 < Alpha ≤ 1.
+type Power struct{ Alpha float64 }
+
+// Apply returns x^Alpha.
+func (p Power) Apply(x float64) float64 { return math.Pow(x, p.Alpha) }
+
+// Name returns "pow(α)".
+func (p Power) Name() string { return fmt.Sprintf("pow(%g)", p.Alpha) }
+
+// Cap is g(x) = min(x, C): the saturation that models users "abruptly losing
+// interest" after enough results (Section 1's motivation for submodular
+// quality).
+type Cap struct{ C float64 }
+
+// Apply returns min(x, C).
+func (c Cap) Apply(x float64) float64 { return math.Min(x, c.C) }
+
+// Name returns "cap(C)".
+func (c Cap) Name() string { return fmt.Sprintf("cap(%g)", c.C) }
+
+// ConcaveOverModular is f(S) = g(Σ_{u∈S} w(u)) for non-negative weights w and
+// concave non-decreasing g with g(0)=0 — normalized monotone submodular, and
+// the cleanest model of "additional results improve quality at a decreasing
+// rate" from the paper's introduction.
+type ConcaveOverModular struct {
+	mod *Modular
+	g   Concave
+}
+
+// NewConcaveOverModular composes g with the modular function of the given
+// weights.
+func NewConcaveOverModular(weights []float64, g Concave) (*ConcaveOverModular, error) {
+	mod, err := NewModular(weights)
+	if err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("setfunc: nil concave function")
+	}
+	if v := g.Apply(0); v != 0 {
+		return nil, fmt.Errorf("setfunc: concave %s not normalized: g(0) = %g", g.Name(), v)
+	}
+	return &ConcaveOverModular{mod: mod, g: g}, nil
+}
+
+// GroundSize returns the number of elements.
+func (f *ConcaveOverModular) GroundSize() int { return f.mod.GroundSize() }
+
+// Value returns g(Σ_{u∈S} w(u)).
+func (f *ConcaveOverModular) Value(S []int) float64 { return f.g.Apply(f.mod.Value(S)) }
+
+// NewEvaluator returns an O(1)-per-operation evaluator.
+func (f *ConcaveOverModular) NewEvaluator() Evaluator {
+	return &comEval{f: f, in: make([]bool, f.GroundSize())}
+}
+
+type comEval struct {
+	f   *ConcaveOverModular
+	sum float64
+	in  []bool
+	n   int
+}
+
+func (e *comEval) Value() float64 { return e.f.g.Apply(e.sum) }
+
+func (e *comEval) Marginal(u int) float64 {
+	return e.f.g.Apply(e.sum+e.f.mod.w[u]) - e.f.g.Apply(e.sum)
+}
+
+func (e *comEval) Add(u int) {
+	if e.in[u] {
+		panic(fmt.Sprintf("setfunc: Add(%d): already a member", u))
+	}
+	e.in[u] = true
+	e.n++
+	e.sum += e.f.mod.w[u]
+}
+
+func (e *comEval) Remove(u int) {
+	if !e.in[u] {
+		panic(fmt.Sprintf("setfunc: Remove(%d): not a member", u))
+	}
+	e.in[u] = false
+	e.n--
+	e.sum -= e.f.mod.w[u]
+	// Floating-point hygiene: concave g can amplify residual drift (√x has
+	// unbounded derivative at 0), so pin the empty set back to exactly 0.
+	if e.n == 0 || e.sum < 0 {
+		e.sum = 0
+	}
+}
+
+func (e *comEval) Members() []int {
+	out := make([]int, 0, e.n)
+	for u, ok := range e.in {
+		if ok {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (e *comEval) Reset() {
+	e.sum = 0
+	e.n = 0
+	for i := range e.in {
+		e.in[i] = false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Saturated coverage (Lin–Bilmes)
+// ---------------------------------------------------------------------------
+
+// SaturatedCoverage is the Lin–Bilmes representativeness function
+// f(S) = Σ_i min( Σ_{u∈S} sim(i,u), α · Σ_{u∈U} sim(i,u) ): client i's
+// benefit grows linearly until it saturates at an α-fraction of its total
+// attainable similarity. Monotone submodular for sim ≥ 0 and α ∈ [0,1].
+type SaturatedCoverage struct {
+	sim   [][]float64
+	alpha float64
+	caps  []float64 // α · row sums
+	n     int
+}
+
+// NewSaturatedCoverage builds the function; sim must be rectangular and
+// non-negative, alpha in [0, 1].
+func NewSaturatedCoverage(sim [][]float64, alpha float64) (*SaturatedCoverage, error) {
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("setfunc: alpha = %g, want [0,1]", alpha)
+	}
+	if len(sim) == 0 {
+		return nil, fmt.Errorf("setfunc: saturated coverage needs at least one client row")
+	}
+	n := len(sim[0])
+	caps := make([]float64, len(sim))
+	for c, row := range sim {
+		if len(row) != n {
+			return nil, fmt.Errorf("setfunc: sim row %d has %d entries, want %d", c, len(row), n)
+		}
+		var total float64
+		for u, s := range row {
+			if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+				return nil, fmt.Errorf("setfunc: sim[%d][%d] = %g, want finite ≥ 0", c, u, s)
+			}
+			total += s
+		}
+		caps[c] = alpha * total
+	}
+	return &SaturatedCoverage{sim: sim, alpha: alpha, caps: caps, n: n}, nil
+}
+
+// GroundSize returns the number of selectable elements.
+func (f *SaturatedCoverage) GroundSize() int { return f.n }
+
+// Value returns the saturated coverage of S.
+func (f *SaturatedCoverage) Value(S []int) float64 {
+	var sum float64
+	for c, row := range f.sim {
+		var s float64
+		for _, u := range S {
+			s += row[u]
+		}
+		sum += math.Min(s, f.caps[c])
+	}
+	return sum
+}
+
+// NewEvaluator returns an evaluator with O(clients) per operation.
+func (f *SaturatedCoverage) NewEvaluator() Evaluator {
+	return &satEval{f: f, cover: make([]float64, len(f.sim)), in: make([]bool, f.n)}
+}
+
+type satEval struct {
+	f     *SaturatedCoverage
+	cover []float64 // per-client raw coverage Σ_{u∈S} sim(i,u)
+	in    []bool
+	val   float64
+	n     int
+}
+
+func (e *satEval) Value() float64 { return e.val }
+
+func (e *satEval) Marginal(u int) float64 {
+	if e.in[u] {
+		panic(fmt.Sprintf("setfunc: Marginal(%d): already a member", u))
+	}
+	var gain float64
+	for c := range e.f.sim {
+		before := math.Min(e.cover[c], e.f.caps[c])
+		after := math.Min(e.cover[c]+e.f.sim[c][u], e.f.caps[c])
+		gain += after - before
+	}
+	return gain
+}
+
+func (e *satEval) Add(u int) {
+	if e.in[u] {
+		panic(fmt.Sprintf("setfunc: Add(%d): already a member", u))
+	}
+	e.in[u] = true
+	e.n++
+	for c := range e.f.sim {
+		before := math.Min(e.cover[c], e.f.caps[c])
+		e.cover[c] += e.f.sim[c][u]
+		e.val += math.Min(e.cover[c], e.f.caps[c]) - before
+	}
+}
+
+func (e *satEval) Remove(u int) {
+	if !e.in[u] {
+		panic(fmt.Sprintf("setfunc: Remove(%d): not a member", u))
+	}
+	e.in[u] = false
+	e.n--
+	for c := range e.f.sim {
+		before := math.Min(e.cover[c], e.f.caps[c])
+		e.cover[c] -= e.f.sim[c][u]
+		if e.cover[c] < 0 {
+			e.cover[c] = 0
+		}
+		e.val += math.Min(e.cover[c], e.f.caps[c]) - before
+	}
+}
+
+func (e *satEval) Members() []int {
+	out := make([]int, 0, e.n)
+	for u, ok := range e.in {
+		if ok {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func (e *satEval) Reset() {
+	e.val = 0
+	e.n = 0
+	for i := range e.cover {
+		e.cover[i] = 0
+	}
+	for i := range e.in {
+		e.in[i] = false
+	}
+}

@@ -1,0 +1,192 @@
+// Package stream provides incremental diversification over unbounded
+// element streams — the setting of Minack, Siberski and Nejdl ("incremental
+// diversification for very large sets", cited in the paper's Section 2),
+// solved with the paper's own single-swap machinery: a size-p window is
+// maintained, and each arriving element is either admitted (while the window
+// is filling) or offered as the incoming side of the Section 6 oblivious
+// swap rule.
+//
+// Unlike the core package, the stream has no fixed ground set; elements are
+// self-contained values and every bookkeeping structure is O(p²) — constant
+// in the stream length, which is the point of the incremental setting.
+package stream
+
+import (
+	"fmt"
+	"math"
+)
+
+// Item is one stream element: an identifier, a non-negative quality weight,
+// and an arbitrary feature payload consumed by the Distance function.
+type Item struct {
+	ID     string
+	Weight float64
+	Vec    []float64
+}
+
+// Distance computes the (semi)metric distance between two items. It must be
+// symmetric and non-negative with d(x,x) = 0.
+type Distance func(a, b Item) float64
+
+// Diversifier maintains a diverse high-quality window over a stream,
+// maximizing φ(S) = Σ w + λ·Σ pairwise distance among the kept items.
+type Diversifier struct {
+	p      int
+	lambda float64
+	dist   Distance
+
+	members []Item
+	// d[i][j] caches pairwise distances among members (symmetric, 0 diag).
+	d [][]float64
+	// du[i] = Σ_j d[i][j], the member's distance mass.
+	du []float64
+	// sumD = Σ_{i<j} d[i][j].
+	sumD float64
+
+	seen     int
+	swaps    int
+	rejected int
+}
+
+// New builds a streaming diversifier with window size p ≥ 1.
+func New(p int, lambda float64, dist Distance) (*Diversifier, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("stream: p = %d, want ≥ 1", p)
+	}
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return nil, fmt.Errorf("stream: lambda = %g, want finite ≥ 0", lambda)
+	}
+	if dist == nil {
+		return nil, fmt.Errorf("stream: nil distance")
+	}
+	d := make([][]float64, p)
+	for i := range d {
+		d[i] = make([]float64, p)
+	}
+	return &Diversifier{
+		p:      p,
+		lambda: lambda,
+		dist:   dist,
+		d:      d,
+		du:     make([]float64, p),
+	}, nil
+}
+
+// Offer processes one stream element. It returns whether the element was
+// kept and, when it displaced a member, the evicted item.
+func (s *Diversifier) Offer(it Item) (kept bool, evicted *Item, err error) {
+	if it.Weight < 0 || math.IsNaN(it.Weight) {
+		return false, nil, fmt.Errorf("stream: item %q has invalid weight %g", it.ID, it.Weight)
+	}
+	s.seen++
+	k := len(s.members)
+	// Distances from the newcomer to every member.
+	dx := make([]float64, k)
+	var dxSum float64
+	for i := range s.members {
+		v := s.dist(it, s.members[i])
+		if v < 0 || math.IsNaN(v) {
+			return false, nil, fmt.Errorf("stream: distance(%q, %q) = %g", it.ID, s.members[i].ID, v)
+		}
+		dx[i] = v
+		dxSum += v
+	}
+
+	if k < s.p {
+		// Window still filling: admit unconditionally (matches the greedy
+		// start of the offline algorithms — monotone φ means more is never
+		// worse while feasible).
+		s.members = append(s.members, it)
+		for i := 0; i < k; i++ {
+			s.d[i][k] = dx[i]
+			s.d[k][i] = dx[i]
+			s.du[i] += dx[i]
+		}
+		s.du[k] = dxSum
+		s.sumD += dxSum
+		return true, nil, nil
+	}
+
+	// Oblivious swap rule: the best member to displace.
+	best, bestGain := -1, 0.0
+	for i := range s.members {
+		gain := (it.Weight - s.members[i].Weight) +
+			s.lambda*(dxSum-dx[i]-s.du[i])
+		if gain > bestGain+1e-15 {
+			best, bestGain = i, gain
+		}
+	}
+	if best == -1 {
+		s.rejected++
+		return false, nil, nil
+	}
+	out := s.members[best]
+	s.applySwap(best, it, dx)
+	s.swaps++
+	return true, &out, nil
+}
+
+// applySwap replaces member at index i with the newcomer, patching the
+// cached distance structures in O(p).
+func (s *Diversifier) applySwap(i int, it Item, dx []float64) {
+	// Remove the old member's contribution.
+	s.sumD -= s.du[i]
+	for j := range s.members {
+		if j == i {
+			continue
+		}
+		s.du[j] -= s.d[i][j]
+	}
+	// Install the newcomer. Its distance to the slot it replaces is
+	// irrelevant (it occupies that slot).
+	s.members[i] = it
+	var duNew float64
+	for j := range s.members {
+		if j == i {
+			continue
+		}
+		s.d[i][j] = dx[j]
+		s.d[j][i] = dx[j]
+		s.du[j] += dx[j]
+		duNew += dx[j]
+	}
+	s.du[i] = duNew
+	s.sumD += duNew
+}
+
+// Items returns a copy of the current window.
+func (s *Diversifier) Items() []Item {
+	out := make([]Item, len(s.members))
+	copy(out, s.members)
+	return out
+}
+
+// Value returns φ(S) for the current window.
+func (s *Diversifier) Value() float64 {
+	var w float64
+	for _, m := range s.members {
+		w += m.Weight
+	}
+	return w + s.lambda*s.sumD
+}
+
+// Quality returns Σ w over the window.
+func (s *Diversifier) Quality() float64 {
+	var w float64
+	for _, m := range s.members {
+		w += m.Weight
+	}
+	return w
+}
+
+// Dispersion returns the pairwise distance sum of the window.
+func (s *Diversifier) Dispersion() float64 { return s.sumD }
+
+// Len returns the current window size (≤ p).
+func (s *Diversifier) Len() int { return len(s.members) }
+
+// Stats reports stream counters: elements seen, swaps applied, offers
+// rejected at a full window.
+func (s *Diversifier) Stats() (seen, swaps, rejected int) {
+	return s.seen, s.swaps, s.rejected
+}

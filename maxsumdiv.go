@@ -1,0 +1,304 @@
+// Package maxsumdiv is a Go implementation of max-sum diversification with
+// monotone submodular quality functions, matroid constraints, and dynamic
+// updates, reproducing:
+//
+//	Borodin, Jain, Lee, Ye. "Max-Sum Diversification, Monotone Submodular
+//	Functions and Dynamic Updates." PODS 2012 (arXiv:1203.6397).
+//
+// Given items with a quality function f and a metric distance d, the library
+// selects a subset S maximizing
+//
+//	φ(S) = f(S) + λ · Σ_{ {u,v} ⊆ S } d(u,v)
+//
+// subject to a cardinality constraint (|S| ≤ p) or independence in a matroid.
+//
+// # Quick start
+//
+//	items := []maxsumdiv.Item{
+//		{ID: "a", Weight: 0.9, Vector: []float64{1, 0}},
+//		{ID: "b", Weight: 0.8, Vector: []float64{0.9, 0.1}},
+//		{ID: "c", Weight: 0.5, Vector: []float64{0, 1}},
+//	}
+//	p, err := maxsumdiv.NewProblem(items, maxsumdiv.WithLambda(0.5))
+//	// handle err
+//	sol, err := p.Greedy(2) // the paper's 2-approximation greedy
+//	// handle err
+//	fmt.Println(sol.IDs, sol.Value)
+//
+// Algorithms: Greedy (Theorem 1), GollapudiSharma (the Greedy A baseline),
+// LocalSearch (Theorem 2, any matroid), Exact (small instances), MMR (the
+// classic heuristic the paper's greedy generalizes), and a Dynamic session
+// implementing the Section 6 oblivious update rule.
+package maxsumdiv
+
+import (
+	"fmt"
+
+	"maxsumdiv/internal/core"
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/setfunc"
+)
+
+// Item is one candidate element: an identifier, a non-negative quality
+// weight (used by the default modular quality function), and an optional
+// feature vector (used by the vector-based distance options).
+type Item struct {
+	ID     string
+	Weight float64
+	Vector []float64
+}
+
+// SetFunction is a user-supplied quality function f over item indices. It
+// must be normalized (f(∅) = 0) and, for the approximation guarantees to
+// hold, monotone submodular. Value must not retain or mutate S.
+type SetFunction interface {
+	// Value returns f(S) for item indices S.
+	Value(S []int) float64
+}
+
+// Problem is an immutable max-sum diversification instance over a fixed item
+// list.
+type Problem struct {
+	items []Item
+	obj   *core.Objective
+	// modular is non-nil when the quality function is the items' weights —
+	// required by GollapudiSharma and Dynamic.
+	modular *setfunc.Modular
+}
+
+// Option configures NewProblem.
+type Option func(*problemCfg)
+
+type problemCfg struct {
+	lambda   float64
+	distance distanceChoice
+	matrix   [][]float64
+	fn       func(i, j int) float64
+	quality  SetFunction
+	validate bool
+}
+
+type distanceChoice int
+
+const (
+	distAuto distanceChoice = iota
+	distCosine
+	distAngular
+	distEuclidean
+	distManhattan
+	distMatrix
+	distFunc
+)
+
+// WithLambda sets the quality/diversity trade-off λ ≥ 0 (default 1).
+func WithLambda(lambda float64) Option {
+	return func(c *problemCfg) { c.lambda = lambda }
+}
+
+// WithCosineDistance uses 1 − cos(u,v) over item vectors (the paper's LETOR
+// setting). This is the default when items carry vectors.
+func WithCosineDistance() Option {
+	return func(c *problemCfg) { c.distance = distCosine }
+}
+
+// WithAngularDistance uses arccos(cos(u,v))/π over item vectors — a true
+// metric on the same geometry as the cosine distance.
+func WithAngularDistance() Option {
+	return func(c *problemCfg) { c.distance = distAngular }
+}
+
+// WithEuclideanDistance uses the ℓ2 distance over item vectors.
+func WithEuclideanDistance() Option {
+	return func(c *problemCfg) { c.distance = distEuclidean }
+}
+
+// WithManhattanDistance uses the ℓ1 distance over item vectors.
+func WithManhattanDistance() Option {
+	return func(c *problemCfg) { c.distance = distManhattan }
+}
+
+// WithDistanceMatrix supplies an explicit symmetric distance matrix indexed
+// like the item slice.
+func WithDistanceMatrix(m [][]float64) Option {
+	return func(c *problemCfg) {
+		c.distance = distMatrix
+		c.matrix = m
+	}
+}
+
+// WithDistanceFunc supplies a custom distance function over item indices.
+// The function is materialized into a dense matrix at construction, and must
+// be symmetric with zero diagonal.
+func WithDistanceFunc(f func(i, j int) float64) Option {
+	return func(c *problemCfg) {
+		c.distance = distFunc
+		c.fn = f
+	}
+}
+
+// WithQuality replaces the default modular (weight-sum) quality with a
+// custom set function; pair it with Greedy, LocalSearch or Exact. The
+// guarantees of Theorems 1–2 require f to be normalized monotone
+// submodular. GollapudiSharma and Dynamic require the default modular
+// quality and reject problems built with this option.
+func WithQuality(f SetFunction) Option {
+	return func(c *problemCfg) { c.quality = f }
+}
+
+// WithMetricValidation makes NewProblem verify the triangle inequality over
+// all triples (O(n³); intended for tests and small instances). Construction
+// fails with a descriptive error when the distance is not a metric.
+func WithMetricValidation() Option {
+	return func(c *problemCfg) { c.validate = true }
+}
+
+// NewProblem validates the items and options and builds a Problem.
+func NewProblem(items []Item, opts ...Option) (*Problem, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("maxsumdiv: no items")
+	}
+	cfg := problemCfg{lambda: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	dist, err := buildMetric(items, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.validate {
+		if err := metric.Validate(dist, 1e-9); err != nil {
+			return nil, fmt.Errorf("maxsumdiv: %w", err)
+		}
+	}
+
+	var f setfunc.Source
+	var modular *setfunc.Modular
+	if cfg.quality != nil {
+		f = setfunc.AsSource(adaptedQuality{fn: cfg.quality, n: len(items)})
+		if v := f.Value(nil); v != 0 {
+			return nil, fmt.Errorf("maxsumdiv: quality function is not normalized: f(∅) = %g", v)
+		}
+	} else {
+		weights := make([]float64, len(items))
+		for i, it := range items {
+			weights[i] = it.Weight
+		}
+		mod, err := setfunc.NewModular(weights)
+		if err != nil {
+			return nil, fmt.Errorf("maxsumdiv: %w", err)
+		}
+		f = mod
+		modular = mod
+	}
+
+	obj, err := core.NewObjective(f, cfg.lambda, dist)
+	if err != nil {
+		return nil, fmt.Errorf("maxsumdiv: %w", err)
+	}
+	cp := make([]Item, len(items))
+	copy(cp, items)
+	return &Problem{items: cp, obj: obj, modular: modular}, nil
+}
+
+// buildMetric materializes the configured distance into a dense matrix.
+func buildMetric(items []Item, cfg *problemCfg) (metric.Metric, error) {
+	choice := cfg.distance
+	if choice == distAuto {
+		if len(items[0].Vector) > 0 {
+			choice = distCosine
+		} else {
+			return nil, fmt.Errorf("maxsumdiv: items carry no vectors; supply WithDistanceMatrix or WithDistanceFunc")
+		}
+	}
+	vectors := func() ([][]float64, error) {
+		vecs := make([][]float64, len(items))
+		for i, it := range items {
+			if len(it.Vector) == 0 {
+				return nil, fmt.Errorf("maxsumdiv: item %q has no vector but a vector distance was requested", it.ID)
+			}
+			vecs[i] = it.Vector
+		}
+		return vecs, nil
+	}
+	switch choice {
+	case distCosine:
+		vecs, err := vectors()
+		if err != nil {
+			return nil, err
+		}
+		c, err := metric.NewCosine(vecs)
+		if err != nil {
+			return nil, fmt.Errorf("maxsumdiv: %w", err)
+		}
+		return metric.Materialize(c), nil
+	case distAngular:
+		vecs, err := vectors()
+		if err != nil {
+			return nil, err
+		}
+		a, err := metric.NewAngular(vecs)
+		if err != nil {
+			return nil, fmt.Errorf("maxsumdiv: %w", err)
+		}
+		return metric.Materialize(a), nil
+	case distEuclidean, distManhattan:
+		vecs, err := vectors()
+		if err != nil {
+			return nil, err
+		}
+		norm := metric.L2
+		if choice == distManhattan {
+			norm = metric.L1
+		}
+		p, err := metric.NewPoints(vecs, norm)
+		if err != nil {
+			return nil, fmt.Errorf("maxsumdiv: %w", err)
+		}
+		return metric.Materialize(p), nil
+	case distMatrix:
+		d, err := metric.NewDenseFromMatrix(cfg.matrix)
+		if err != nil {
+			return nil, fmt.Errorf("maxsumdiv: %w", err)
+		}
+		if d.Len() != len(items) {
+			return nil, fmt.Errorf("maxsumdiv: distance matrix is %d×%d but there are %d items", d.Len(), d.Len(), len(items))
+		}
+		return d, nil
+	case distFunc:
+		if cfg.fn == nil {
+			return nil, fmt.Errorf("maxsumdiv: nil distance function")
+		}
+		return metric.Materialize(metric.Func{N: len(items), F: cfg.fn}), nil
+	default:
+		return nil, fmt.Errorf("maxsumdiv: unknown distance choice %d", choice)
+	}
+}
+
+// adaptedQuality bridges a user SetFunction to the internal interface.
+type adaptedQuality struct {
+	fn SetFunction
+	n  int
+}
+
+func (a adaptedQuality) GroundSize() int       { return a.n }
+func (a adaptedQuality) Value(S []int) float64 { return a.fn.Value(S) }
+
+// Len returns the number of items.
+func (p *Problem) Len() int { return len(p.items) }
+
+// Lambda returns the configured trade-off.
+func (p *Problem) Lambda() float64 { return p.obj.Lambda() }
+
+// Items returns a copy of the item list.
+func (p *Problem) Items() []Item {
+	cp := make([]Item, len(p.items))
+	copy(cp, p.items)
+	return cp
+}
+
+// Distance returns the (materialized) distance between items i and j.
+func (p *Problem) Distance(i, j int) float64 { return p.obj.Metric().Distance(i, j) }
+
+// Objective evaluates φ(S) for item indices S.
+func (p *Problem) Objective(S []int) float64 { return p.obj.Value(S) }

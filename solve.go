@@ -1,0 +1,254 @@
+package maxsumdiv
+
+import (
+	"fmt"
+	"time"
+
+	"maxsumdiv/internal/core"
+	"maxsumdiv/internal/matroid"
+)
+
+// Solution is the result of a solver run.
+type Solution struct {
+	// Indices are the selected item indices, sorted ascending.
+	Indices []int
+	// IDs are the corresponding item identifiers, in index order.
+	IDs []string
+	// Value is φ(S) = Quality + λ·Dispersion.
+	Value float64
+	// Quality is f(S).
+	Quality float64
+	// Dispersion is Σ_{ {u,v} ⊆ S } d(u,v).
+	Dispersion float64
+	// Swaps counts improving swaps a local search applied.
+	Swaps int
+}
+
+func (p *Problem) wrap(sol *core.Solution) *Solution {
+	ids := make([]string, len(sol.Members))
+	for i, m := range sol.Members {
+		ids[i] = p.items[m].ID
+	}
+	return &Solution{
+		Indices:    sol.Members,
+		IDs:        ids,
+		Value:      sol.Value,
+		Quality:    sol.FValue,
+		Dispersion: sol.Dispersion,
+		Swaps:      sol.Swaps,
+	}
+}
+
+// Greedy runs the paper's non-oblivious greedy (Theorem 1): repeatedly add
+// the item maximizing ½f_u(S) + λ·d_u(S) until |S| = k. A 2-approximation
+// for normalized monotone submodular quality over a metric; O(n·k) marginal
+// evaluations.
+func (p *Problem) Greedy(k int) (*Solution, error) {
+	sol, err := core.GreedyB(p.obj, k)
+	if err != nil {
+		return nil, err
+	}
+	return p.wrap(sol), nil
+}
+
+// GreedyImproved is Greedy opening with the best pair instead of the best
+// singleton (the paper's Table 3 variant; same guarantee, often slightly
+// better in practice, O(n²) extra work).
+func (p *Problem) GreedyImproved(k int) (*Solution, error) {
+	sol, err := core.GreedyB(p.obj, k, core.WithBestPairStart())
+	if err != nil {
+		return nil, err
+	}
+	return p.wrap(sol), nil
+}
+
+// GollapudiSharma runs the paper's Greedy A baseline: the Gollapudi–Sharma
+// reduction to max-sum dispersion solved by the Hassin–Rubinstein–Tamir edge
+// greedy. Requires the default modular quality (item weights).
+func (p *Problem) GollapudiSharma(k int) (*Solution, error) {
+	if p.modular == nil {
+		return nil, fmt.Errorf("maxsumdiv: GollapudiSharma requires the default modular quality")
+	}
+	sol, err := core.GreedyA(p.obj, k)
+	if err != nil {
+		return nil, err
+	}
+	return p.wrap(sol), nil
+}
+
+// LocalSearchOptions configures LocalSearch.
+type LocalSearchOptions struct {
+	// Init seeds the search (e.g. a Greedy solution's Indices). Nil starts
+	// from a basis containing the best independent pair, as in Section 5.
+	Init []int
+	// MinGain is the minimum absolute improvement per swap (0 = any).
+	MinGain float64
+	// RelEps requires each swap to improve by a (1+RelEps) factor — the
+	// paper's polynomial-time ε-improvement rule.
+	RelEps float64
+	// MaxSwaps caps applied swaps (0 = unlimited).
+	MaxSwaps int
+	// TimeBudget bounds the search wall-clock (0 = unlimited).
+	TimeBudget time.Duration
+}
+
+// LocalSearch runs the paper's oblivious single-swap local search under a
+// matroid constraint (Theorem 2: a 2-approximation at the local optimum).
+// Build constraints with Cardinality, PartitionConstraint,
+// TransversalConstraint, or any custom Constraint.
+func (p *Problem) LocalSearch(c Constraint, opts *LocalSearchOptions) (*Solution, error) {
+	if c == nil {
+		return nil, fmt.Errorf("maxsumdiv: nil constraint")
+	}
+	var lsOpts *core.LSOptions
+	if opts != nil {
+		lsOpts = &core.LSOptions{
+			Init:       opts.Init,
+			MinGain:    opts.MinGain,
+			RelEps:     opts.RelEps,
+			MaxSwaps:   opts.MaxSwaps,
+			TimeBudget: opts.TimeBudget,
+		}
+	}
+	sol, err := core.LocalSearch(p.obj, adaptConstraint(c), lsOpts)
+	if err != nil {
+		return nil, err
+	}
+	return p.wrap(sol), nil
+}
+
+// GreedyMatroid runs the Section 4 greedy under a matroid constraint. The
+// paper's Appendix shows its ratio is unbounded in general — use it as a
+// fast heuristic or LocalSearch initializer, not for guarantees.
+func (p *Problem) GreedyMatroid(c Constraint) (*Solution, error) {
+	if c == nil {
+		return nil, fmt.Errorf("maxsumdiv: nil constraint")
+	}
+	sol, err := core.GreedyMatroid(p.obj, adaptConstraint(c))
+	if err != nil {
+		return nil, err
+	}
+	return p.wrap(sol), nil
+}
+
+// Exact computes the optimal size-k subset by parallel branch-and-bound
+// enumeration. Exponential: intended for small instances (n ≤ ~60 with
+// small k) and for measuring observed approximation factors.
+func (p *Problem) Exact(k int) (*Solution, error) {
+	sol, err := core.Exact(p.obj, k, &core.ExactOptions{Parallel: true})
+	if err != nil {
+		return nil, err
+	}
+	return p.wrap(sol), nil
+}
+
+// ExactMatroid computes an optimal basis of the constraint by exhaustive
+// enumeration of independent sets. Exponential; small instances only.
+func (p *Problem) ExactMatroid(c Constraint) (*Solution, error) {
+	if c == nil {
+		return nil, fmt.Errorf("maxsumdiv: nil constraint")
+	}
+	sol, err := core.ExactMatroid(p.obj, adaptConstraint(c))
+	if err != nil {
+		return nil, err
+	}
+	return p.wrap(sol), nil
+}
+
+// MMR runs Maximal Marginal Relevance (Carbonell–Goldstein) as a baseline:
+// relevance is the item weight, similarity is dmax − d(u,v), and lambda ∈
+// [0,1] trades relevance against novelty. Returns picks in selection order.
+func (p *Problem) MMR(lambda float64, k int) (*Solution, error) {
+	if p.modular == nil {
+		return nil, fmt.Errorf("maxsumdiv: MMR requires the default modular quality")
+	}
+	rel := make([]float64, len(p.items))
+	for i := range p.items {
+		rel[i] = p.modular.Weight(i)
+	}
+	sim := core.SimilarityFromMetric(p.obj.Metric())
+	picks, err := core.MMR(rel, sim, lambda, k)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, len(picks))
+	for i, m := range picks {
+		ids[i] = p.items[m].ID
+	}
+	return &Solution{
+		Indices:    picks,
+		IDs:        ids,
+		Value:      p.obj.Value(picks),
+		Quality:    p.obj.F().Value(picks),
+		Dispersion: p.obj.Dispersion(picks),
+	}, nil
+}
+
+// Constraint is a matroid independence oracle over item indices. It must
+// satisfy the matroid axioms (hereditary + augmentation) for the Theorem 2
+// guarantee; see the constructors for ready-made families.
+type Constraint interface {
+	// GroundSize returns the number of items the constraint covers.
+	GroundSize() int
+	// Independent reports whether the index set S is independent.
+	Independent(S []int) bool
+	// Rank returns the size of every maximal independent set.
+	Rank() int
+}
+
+// adaptConstraint converts the public Constraint to the internal matroid
+// interface (they are structurally identical).
+func adaptConstraint(c Constraint) matroid.Matroid {
+	if m, ok := c.(matroid.Matroid); ok {
+		return m
+	}
+	return constraintAdapter{c}
+}
+
+type constraintAdapter struct{ Constraint }
+
+// Cardinality returns the constraint |S| ≤ k (the uniform matroid).
+func (p *Problem) Cardinality(k int) (Constraint, error) {
+	u, err := matroid.NewUniform(p.Len(), k)
+	if err != nil {
+		return nil, fmt.Errorf("maxsumdiv: %w", err)
+	}
+	return u, nil
+}
+
+// PartitionConstraint returns a partition matroid: partOf[i] assigns each
+// item to a part; caps[j] bounds how many items part j contributes (e.g.
+// "at most 2 stocks per sector").
+func (p *Problem) PartitionConstraint(partOf []int, caps []int) (Constraint, error) {
+	if len(partOf) != p.Len() {
+		return nil, fmt.Errorf("maxsumdiv: partOf has %d entries for %d items", len(partOf), p.Len())
+	}
+	m, err := matroid.NewPartition(partOf, caps)
+	if err != nil {
+		return nil, fmt.Errorf("maxsumdiv: %w", err)
+	}
+	return m, nil
+}
+
+// TransversalConstraint returns a transversal matroid: sets[j] lists the
+// item indices belonging to collection C_j, and a selection is independent
+// when it has a system of distinct representatives (Section 5's "every
+// selected tuple represents a unique source").
+func (p *Problem) TransversalConstraint(sets [][]int) (Constraint, error) {
+	m, err := matroid.NewTransversal(p.Len(), sets)
+	if err != nil {
+		return nil, fmt.Errorf("maxsumdiv: %w", err)
+	}
+	return m, nil
+}
+
+// TruncatedConstraint caps any constraint at cardinality k (matroid
+// truncation; Section 5 notes the intersection with a uniform matroid is
+// still a matroid).
+func (p *Problem) TruncatedConstraint(c Constraint, k int) (Constraint, error) {
+	m, err := matroid.NewTruncated(adaptConstraint(c), k)
+	if err != nil {
+		return nil, fmt.Errorf("maxsumdiv: %w", err)
+	}
+	return m, nil
+}
