@@ -16,8 +16,10 @@ import (
 	"maxsumdiv"
 	"maxsumdiv/internal/core"
 	"maxsumdiv/internal/dataset"
+	"maxsumdiv/internal/engine"
 	"maxsumdiv/internal/experiments"
 	"maxsumdiv/internal/matroid"
+	"maxsumdiv/internal/metric"
 	"maxsumdiv/internal/setfunc"
 	"maxsumdiv/internal/stream"
 )
@@ -414,6 +416,170 @@ func benchLSQuality(b *testing.B, fastPath bool) {
 			b.Fatal(err)
 		}
 		sinkVal = sol.Value
+	}
+}
+
+// --- parallel engine + cached metric (production scale, n ≥ 10k) ---------
+//
+// A 10k-point dense matrix is ~400 MB, so these benches use the lazy
+// memoized Euclidean metric — the backend WithLazyDistances selects — and
+// compare the serial scans against the engine at GOMAXPROCS workers.
+
+// bigCachedObjective builds a modular objective over n random points with
+// the striped-cache distance backend.
+func bigCachedObjective(b *testing.B, n int) *core.Objective {
+	b.Helper()
+	rng := rand.New(rand.NewSource(17))
+	pts := make([][]float64, n)
+	weights := make([]float64, n)
+	for i := range pts {
+		// Embedding-scale dimensionality: recomputing a distance costs ~128
+		// flops, which is what the memoizing cache amortizes away.
+		pts[i] = make([]float64, 128)
+		for d := range pts[i] {
+			pts[i][d] = rng.Float64()
+		}
+		weights[i] = rng.Float64()
+	}
+	raw, err := metric.NewPoints(pts, metric.L2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := setfunc.NewModular(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj, err := core.NewObjective(mod, 0.2, metric.NewCached(raw))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return obj
+}
+
+// poolVariants orders the serial/parallel sub-benchmarks deterministically.
+var poolVariants = []struct {
+	name string
+	pool *engine.Pool
+}{
+	{"serial", nil},
+	{"parallel", engine.Default()},
+}
+
+func BenchmarkParallelGreedyB_N10000_p64(b *testing.B) {
+	obj := bigCachedObjective(b, 10_000)
+	if _, err := core.GreedyB(obj, 64); err != nil { // warm the distance cache
+		b.Fatal(err)
+	}
+	for _, v := range poolVariants {
+		name, pool := v.name, v.pool
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sol, err := core.GreedyB(obj, 64, core.WithPool(pool))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkVal = sol.Value
+			}
+		})
+	}
+}
+
+func BenchmarkParallelLocalSearch_N10000_p32(b *testing.B) {
+	obj := bigCachedObjective(b, 10_000)
+	uni, err := matroid.NewUniform(10_000, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	init, err := core.GreedyB(obj, 32) // also warms the distance cache
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range poolVariants {
+		name, pool := v.name, v.pool
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sol, err := core.LocalSearch(obj, uni, &core.LSOptions{
+					Init: init.Members, MaxSwaps: 3, Pool: pool,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkVal = sol.Value
+			}
+		})
+	}
+}
+
+// Pure engine scaling: one argmax over a million candidates with a
+// compute-bound scorer, no memory effects.
+func BenchmarkEngineArgMax_N1M(b *testing.B) {
+	const n = 1 << 20
+	score := func(u int) (float64, bool) {
+		x := float64(u%9973) * 1.0000001
+		x = x*x - float64(u%31)*x + 3
+		return x, true
+	}
+	for _, v := range poolVariants {
+		name, pool := v.name, v.pool
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				best := pool.ArgMax(n, func(int) engine.Scorer { return score })
+				sinkVal = best.Value
+			}
+		})
+	}
+}
+
+// Cached-vs-recompute: the same local search against the raw computed
+// metric and against the memoizing cache (every pass rescans the same
+// O(n·p) pairs, so the cache pays from pass two onward).
+func BenchmarkMetricBackendLocalSearch_N4000_p24(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	n := 4000
+	pts := make([][]float64, n)
+	weights := make([]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, 128) // embedding-scale: see bigCachedObjective
+		for d := range pts[i] {
+			pts[i][d] = rng.Float64()
+		}
+		weights[i] = rng.Float64()
+	}
+	raw, err := metric.NewPoints(pts, metric.L2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	uni, err := matroid.NewUniform(n, 24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name string
+		d    metric.Metric
+	}{{"recompute", raw}, {"cached", metric.NewCached(raw)}} {
+		name, d := v.name, v.d
+		b.Run(name, func(b *testing.B) {
+			mod, err := setfunc.NewModular(weights)
+			if err != nil {
+				b.Fatal(err)
+			}
+			obj, err := core.NewObjective(mod, 0.2, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			init, err := core.GreedyB(obj, 24)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := core.LocalSearch(obj, uni, &core.LSOptions{Init: init.Members, MaxSwaps: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkVal = sol.Value
+			}
+		})
 	}
 }
 

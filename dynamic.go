@@ -45,6 +45,11 @@ func (p *Problem) NewDynamic(initial []int) (*Dynamic, error) {
 	return &Dynamic{problem: p, sess: sess, prevValue: sess.Value()}, nil
 }
 
+// SetParallelism shards the oblivious-update swap scan across k worker
+// goroutines (k ≤ 0 selects GOMAXPROCS, 1 restores the serial scan). The
+// maintained solution is identical at every setting.
+func (d *Dynamic) SetParallelism(k int) { d.sess.SetParallelism(k) }
+
 // Selection returns the current item indices.
 func (d *Dynamic) Selection() []int { return d.sess.Members() }
 

@@ -1,0 +1,3 @@
+module maxsumdiv
+
+go 1.24

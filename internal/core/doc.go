@@ -1,0 +1,38 @@
+// Package core implements the paper's primary contribution: algorithms for
+// max-sum diversification — maximizing φ(S) = f(S) + λ·Σ_{u,v∈S} d(u,v) for a
+// normalized monotone (sub)modular quality function f and a metric d —
+// subject to a cardinality or general matroid constraint, together with the
+// baselines the paper evaluates against.
+//
+// # Algorithms and paper sections
+//
+//   - GreedyB (Section 4, Theorem 1): the non-oblivious vertex greedy, a
+//     2-approximation under a cardinality constraint; with f ≡ 0 it is the
+//     Ravi et al. dispersion greedy (Corollary 1, DispersionGreedy).
+//   - GreedyA (Section 3 / Section 7 baseline): the Gollapudi–Sharma
+//     reduction to max-sum dispersion plus the Hassin–Rubinstein–Tamir edge
+//     greedy; modular quality only.
+//   - LocalSearch (Section 5, Theorem 2): the oblivious single-swap local
+//     search, a 2-approximation under any matroid constraint.
+//   - GreedyMatroid (Section 4 / Appendix): the potential greedy under a
+//     matroid — unbounded ratio in general, kept as the paper's negative
+//     result and as a LocalSearch initializer.
+//   - GreedyOblivious: the ablation of the non-oblivious ½-factor (no
+//     guarantee; it measures what Theorem 1's potential buys).
+//   - Exact / ExactMatroid: branch-and-bound optimal solvers for the OPT
+//     columns of Tables 1, 3, 4, 8 and Figure 1.
+//   - GreedyKnapsack, MMR: the conclusion's open knapsack question
+//     (Sviridenko-style heuristic) and the Section 2 ancestor baseline.
+//
+// # Execution model
+//
+// All algorithms share the incremental State, which maintains d_u(S) for all
+// u in O(n) per insertion — the Birnbaum–Goldman bookkeeping the paper
+// quotes to make the greedy run in O(np) total. Every argmax-over-candidates
+// step (marginal potentials, swap gains, edge weights, pair openings) can
+// additionally be sharded across the bounded worker pool of
+// maxsumdiv/internal/engine: pass core.WithPool to the greedy family or
+// LSOptions.Pool to the local search. Selection rules are total orders
+// (best score, ties to the lowest index), so parallel runs return solutions
+// byte-identical to serial ones.
+package core

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
+	"maxsumdiv/internal/engine"
 	"maxsumdiv/internal/metric"
 	"maxsumdiv/internal/setfunc"
 )
@@ -18,8 +20,9 @@ type edge struct {
 type GreedyOption func(*greedyCfg)
 
 type greedyCfg struct {
-	bestPairStart bool // Greedy B: seed with the best pair (Table 3 variant)
-	bestLastPick  bool // Greedy A: pick the best (not arbitrary) odd leftover
+	bestPairStart bool         // Greedy B: seed with the best pair (Table 3 variant)
+	bestLastPick  bool         // Greedy A: pick the best (not arbitrary) odd leftover
+	pool          *engine.Pool // nil = serial
 }
 
 // WithBestPairStart makes GreedyB open with the pair maximizing the potential
@@ -35,6 +38,14 @@ func WithBestPairStart() GreedyOption {
 // one — the "improved Greedy A" of Table 3.
 func WithBestLastVertex() GreedyOption {
 	return func(c *greedyCfg) { c.bestLastPick = true }
+}
+
+// WithPool shards every candidate scan (marginal potentials, edge weights,
+// pair openings) across the pool's workers. Selection rules are total
+// orders, so any pool returns exactly the serial solution; a nil pool (the
+// default) runs serially.
+func WithPool(p *engine.Pool) GreedyOption {
+	return func(c *greedyCfg) { c.pool = p }
 }
 
 // GreedyB runs the paper's non-oblivious greedy (Section 4): starting from
@@ -57,54 +68,55 @@ func GreedyB(obj *Objective, p int, opts ...GreedyOption) (*Solution, error) {
 	}
 	st := obj.NewState()
 	if cfg.bestPairStart && p >= 2 {
-		x, y := bestPotentialPair(obj)
+		x, y := bestPotentialPair(obj, cfg.pool)
 		st.Add(x)
 		st.Add(y)
 	}
-	greedyFill(st, p)
+	greedyFill(st, p, cfg.pool)
 	return solutionFromState(st, 0), nil
 }
 
-// greedyFill extends st to size p by the potential-greedy rule.
-func greedyFill(st *State, p int) {
-	n := st.obj.N()
+// greedyFill extends st to size p by the potential-greedy rule, sharding
+// each round's candidate scan across the pool.
+func greedyFill(st *State, p int, pool *engine.Pool) {
+	sc := newScanner(st, pool)
 	for st.Size() < p {
-		best, bestVal := -1, 0.0
-		for u := 0; u < n; u++ {
-			if st.Contains(u) {
-				continue
-			}
-			v := st.MarginalPotential(u)
-			if best == -1 || v > bestVal {
-				best, bestVal = u, v
-			}
-		}
-		if best == -1 {
+		b := sc.argmaxPotential()
+		if b.Index == -1 {
 			return // ground set exhausted
 		}
-		st.Add(best)
+		st.Add(b.Index)
+		sc.added(b.Index)
 	}
 }
 
-// bestPotentialPair scans all pairs for the maximizer of ½f({x,y}) + λd(x,y).
-func bestPotentialPair(obj *Objective) (int, int) {
+// bestPotentialPair scans all pairs for the maximizer of ½f({x,y}) + λd(x,y),
+// sharding rows (the smaller endpoint) across the pool.
+func bestPotentialPair(obj *Objective, pool *engine.Pool) (int, int) {
 	n := obj.N()
-	ev := obj.f.NewEvaluator()
-	bx, by, bestVal := 0, 1, 0.0
-	first := true
-	for x := 0; x < n; x++ {
-		ev.Reset()
-		ev.Add(x)
-		fx := ev.Value()
-		for y := x + 1; y < n; y++ {
-			v := 0.5*(fx+ev.Marginal(y)) + obj.lambda*obj.d.Distance(x, y)
-			if first || v > bestVal {
-				bx, by, bestVal = x, y, v
-				first = false
+	b := pool.ArgMaxPair(n, func(int) engine.PairScorer {
+		ev := obj.f.NewEvaluator()
+		return func(x int) (float64, int, bool) {
+			ev.Reset()
+			ev.Add(x)
+			fx := ev.Value()
+			by, bestVal := -1, 0.0
+			for y := x + 1; y < n; y++ {
+				v := 0.5*(fx+ev.Marginal(y)) + obj.lambda*obj.d.Distance(x, y)
+				if by == -1 || v > bestVal {
+					by, bestVal = y, v
+				}
 			}
+			if by == -1 {
+				return 0, 0, false // last row: no partner
+			}
+			return bestVal, by, true
 		}
+	})
+	if b.Index == -1 {
+		return 0, 1 // n < 2 never reaches here (callers check p ≥ 2 ≤ n)
 	}
-	return bx, by
+	return b.Index, b.Aux
 }
 
 // GreedyA runs the Gollapudi–Sharma algorithm the paper benchmarks against
@@ -151,28 +163,21 @@ func GreedyA(obj *Objective, p int, opts ...GreedyOption) (*Solution, error) {
 	reduced := func(u, v int) float64 {
 		return mod.Weight(u) + mod.Weight(v) + 2*obj.lambda*obj.d.Distance(u, v)
 	}
-	pairs := heaviestDisjointEdges(n, p/2, reduced)
+	pairs := heaviestDisjointEdges(n, p/2, reduced, cfg.pool)
 	for _, e := range pairs {
 		st.Add(e[0])
 		st.Add(e[1])
 	}
 	if st.Size() < p { // odd p (or ran out of edges)
 		if cfg.bestLastPick {
+			sc := newScanner(st, cfg.pool)
 			for st.Size() < p {
-				best, bestVal := -1, 0.0
-				for u := 0; u < n; u++ {
-					if st.Contains(u) {
-						continue
-					}
-					v := st.MarginalObjective(u)
-					if best == -1 || v > bestVal {
-						best, bestVal = u, v
-					}
-				}
-				if best == -1 {
+				b := sc.argmaxObjective()
+				if b.Index == -1 {
 					break
 				}
-				st.Add(best)
+				st.Add(b.Index)
+				sc.added(b.Index)
 			}
 		} else {
 			for u := 0; u < n && st.Size() < p; u++ {
@@ -187,17 +192,29 @@ func GreedyA(obj *Objective, p int, opts ...GreedyOption) (*Solution, error) {
 
 // heaviestDisjointEdges returns up to k vertex-disjoint edges chosen by
 // scanning all C(n,2) edges in decreasing weight (ties toward lexicographic
-// order), i.e. the greedy maximal matching by weight.
-func heaviestDisjointEdges(n, k int, weight func(u, v int) float64) [][2]int {
+// order), i.e. the greedy maximal matching by weight. Edge-weight
+// evaluation — the O(n²) hot half of Greedy A — shards across the pool by
+// row; the sort's comparator is a total order, so the result is
+// deterministic regardless of materialization order.
+func heaviestDisjointEdges(n, k int, weight func(u, v int) float64, pool *engine.Pool) [][2]int {
 	if k <= 0 || n < 2 {
 		return nil
 	}
-	edges := make([]edge, 0, n*(n-1)/2)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			edges = append(edges, edge{u, v, weight(u, v)})
+	// Shard over pair indices rather than rows: row v holds v pairs, so
+	// equal row ranges would leave the last shard with ~2× the average
+	// work. Pair index k lives in row v at offset u = k − v(v−1)/2.
+	edges := make([]edge, n*(n-1)/2)
+	pool.For(len(edges), func(_, lo, hi int) {
+		v := rowOfPair(lo)
+		base := v * (v - 1) / 2
+		for k := lo; k < hi; {
+			for u := k - base; u < v && k < hi; u, k = u+1, k+1 {
+				edges[k] = edge{u, v, weight(u, v)}
+			}
+			v++
+			base = v * (v - 1) / 2
 		}
-	}
+	})
 	sortEdgesByWeightDesc(edges)
 	used := make([]bool, n)
 	var out [][2]int
@@ -220,27 +237,23 @@ func heaviestDisjointEdges(n, k int, weight func(u, v int) float64) [][2]int {
 // Theorem 1's proof needs the ½ factor; this variant carries no guarantee
 // and exists to measure what the non-obliviousness buys (see the ablation
 // benchmarks and TestNonObliviousPotentialMatters).
-func GreedyOblivious(obj *Objective, p int) (*Solution, error) {
+func GreedyOblivious(obj *Objective, p int, opts ...GreedyOption) (*Solution, error) {
 	if err := checkP(obj, p); err != nil {
 		return nil, err
 	}
+	var cfg greedyCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
 	st := obj.NewState()
-	n := obj.N()
+	sc := newScanner(st, cfg.pool)
 	for st.Size() < p {
-		best, bestVal := -1, 0.0
-		for u := 0; u < n; u++ {
-			if st.Contains(u) {
-				continue
-			}
-			v := st.MarginalObjective(u)
-			if best == -1 || v > bestVal {
-				best, bestVal = u, v
-			}
-		}
-		if best == -1 {
+		b := sc.argmaxObjective()
+		if b.Index == -1 {
 			break
 		}
-		st.Add(best)
+		st.Add(b.Index)
+		sc.added(b.Index)
 	}
 	return solutionFromState(st, 0), nil
 }
@@ -254,6 +267,19 @@ func DispersionGreedy(d metric.Metric, p int) (*Solution, error) {
 		return nil, err
 	}
 	return GreedyB(obj, p)
+}
+
+// rowOfPair returns the row v whose triangular range [v(v−1)/2, v(v+1)/2)
+// contains pair index k; the float sqrt is a seed corrected exactly.
+func rowOfPair(k int) int {
+	v := int((1 + math.Sqrt(1+8*float64(k))) / 2)
+	for v > 1 && v*(v-1)/2 > k {
+		v--
+	}
+	for (v+1)*v/2 <= k {
+		v++
+	}
+	return v
 }
 
 // sortEdgesByWeightDesc orders edges by decreasing weight, breaking ties

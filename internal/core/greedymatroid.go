@@ -28,36 +28,24 @@ func GreedyMatroid(obj *Objective, m matroid.Matroid, opts ...GreedyOption) (*So
 		o(&cfg)
 	}
 	st := obj.NewState()
-	n := obj.N()
 	members := []int{}
 	if cfg.bestPairStart && m.Rank() >= 2 {
-		x, y, err := bestIndependentPair(obj, m)
+		x, y, err := bestIndependentPair(obj, m, cfg.pool)
 		if err == nil {
 			st.Add(x)
 			st.Add(y)
 			members = append(members, x, y)
 		}
 	}
+	sc := newScanner(st, cfg.pool)
 	for st.Size() < m.Rank() {
-		best, bestVal := -1, 0.0
-		for u := 0; u < n; u++ {
-			if st.Contains(u) {
-				continue
-			}
-			v := st.MarginalPotential(u)
-			if best != -1 && v <= bestVal {
-				continue
-			}
-			if !matroid.CanAdd(m, members, u) {
-				continue
-			}
-			best, bestVal = u, v
-		}
-		if best == -1 {
+		b := sc.bestFeasibleAddition(m, members)
+		if b.Index == -1 {
 			break // no feasible extension (shouldn't happen below rank)
 		}
-		st.Add(best)
-		members = append(members, best)
+		st.Add(b.Index)
+		sc.added(b.Index)
+		members = append(members, b.Index)
 	}
 	return solutionFromState(st, 0), nil
 }

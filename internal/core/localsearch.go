@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
+	"maxsumdiv/internal/engine"
 	"maxsumdiv/internal/matroid"
 )
 
@@ -31,6 +33,11 @@ type LSOptions struct {
 	// (0 = unlimited). The paper's "LS" runs Greedy B, then local search for
 	// at most 10× the greedy's runtime.
 	TimeBudget time.Duration
+	// Pool shards the O(n·p) swap-neighborhood scan of each pass across its
+	// workers. Selection is a total order (best gain, ties to the lowest
+	// incoming index then earliest member), so any pool — including nil,
+	// the serial default — yields the identical swap sequence.
+	Pool *engine.Pool
 }
 
 // LocalSearch runs the paper's oblivious single-swap local search
@@ -55,7 +62,7 @@ func LocalSearch(obj *Objective, m matroid.Matroid, opts *LSOptions) (*Solution,
 		return nil, fmt.Errorf("core: negative improvement thresholds")
 	}
 
-	start, err := initialBasis(obj, m, opts.Init)
+	start, err := initialBasis(obj, m, opts.Init, opts.Pool)
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +76,7 @@ func LocalSearch(obj *Objective, m matroid.Matroid, opts *LSOptions) (*Solution,
 		deadline = time.Now().Add(opts.TimeBudget)
 	}
 	swaps := 0
-	n := obj.N()
+	sc := newScanner(st, opts.Pool)
 	members := st.Members()
 	for {
 		if opts.MaxSwaps > 0 && swaps >= opts.MaxSwaps {
@@ -87,35 +94,36 @@ func LocalSearch(obj *Objective, m matroid.Matroid, opts *LSOptions) (*Solution,
 				threshold = rel
 			}
 		}
-		bestOut, bestIn, bestGain := -1, -1, threshold
-		for u := 0; u < n; u++ {
-			if st.Contains(u) {
-				continue
-			}
-			for _, v := range members {
-				gain := st.SwapGain(v, u)
-				if gain <= bestGain {
-					continue
-				}
-				if !matroid.CanSwap(m, members, v, u) {
-					continue
-				}
-				bestOut, bestIn, bestGain = v, u, gain
-			}
-		}
-		if bestOut == -1 {
+		b := sc.bestSwap(members, threshold, func(out, in int) bool {
+			return matroid.CanSwap(m, members, out, in)
+		})
+		if b.Index == -1 {
 			break // local optimum
 		}
-		st.Swap(bestOut, bestIn)
+		st.Swap(b.Aux, b.Index)
+		sc.swapped(b.Aux, b.Index)
 		members = st.Members()
 		swaps++
+	}
+	// Canonicalize the evaluator state before reporting: swap-gain probes
+	// leave float residue in incremental quality evaluators proportional to
+	// how many probes ran on them, which differs between serial and sharded
+	// scans — even on zero-swap runs, where the scan still probed every
+	// pair. Rebuilding from the sorted member set makes the reported values
+	// a function of the solution alone, so parallel and serial runs return
+	// byte-identical solutions. Modular quality never routes probes through
+	// the evaluator, so it carries no residue to clear.
+	if st.modular == nil {
+		canon := st.Members()
+		sort.Ints(canon)
+		st.SetTo(canon)
 	}
 	return solutionFromState(st, swaps), nil
 }
 
 // initialBasis produces the starting basis: the caller's seed extended to a
 // basis, or the Section 5 best-pair basis.
-func initialBasis(obj *Objective, m matroid.Matroid, seed []int) ([]int, error) {
+func initialBasis(obj *Objective, m matroid.Matroid, seed []int, pool *engine.Pool) ([]int, error) {
 	if seed != nil {
 		basis, err := matroid.ExtendToBasis(m, seed)
 		if err != nil {
@@ -145,7 +153,7 @@ func initialBasis(obj *Objective, m matroid.Matroid, seed []int) ([]int, error) 
 		}
 		return []int{best}, nil
 	}
-	x, y, err := bestIndependentPair(obj, m)
+	x, y, err := bestIndependentPair(obj, m, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -153,29 +161,41 @@ func initialBasis(obj *Objective, m matroid.Matroid, seed []int) ([]int, error) 
 }
 
 // bestIndependentPair returns argmax over independent pairs of
-// f({x,y}) + λ·d(x,y), the seed prescribed by Section 5.
-func bestIndependentPair(obj *Objective, m matroid.Matroid) (int, int, error) {
+// f({x,y}) + λ·d(x,y), the seed prescribed by Section 5, sharding rows
+// across the pool. The independence oracle is only consulted for pairs that
+// beat the worker's running best.
+func bestIndependentPair(obj *Objective, m matroid.Matroid, pool *engine.Pool) (int, int, error) {
 	n := obj.N()
-	ev := obj.f.NewEvaluator()
-	bx, by := -1, -1
-	bestVal := 0.0
-	for x := 0; x < n; x++ {
-		ev.Reset()
-		ev.Add(x)
-		fx := ev.Value()
-		for y := x + 1; y < n; y++ {
-			v := fx + ev.Marginal(y) + obj.lambda*obj.d.Distance(x, y)
-			if bx != -1 && v <= bestVal {
-				continue
+	b := pool.ArgMaxPair(n, func(int) engine.PairScorer {
+		ev := obj.f.NewEvaluator()
+		taken := false
+		localBest := 0.0
+		return func(x int) (float64, int, bool) {
+			ev.Reset()
+			ev.Add(x)
+			fx := ev.Value()
+			by, rowBest := -1, 0.0
+			for y := x + 1; y < n; y++ {
+				v := fx + ev.Marginal(y) + obj.lambda*obj.d.Distance(x, y)
+				if (taken && v <= localBest) || (by != -1 && v <= rowBest) {
+					continue
+				}
+				if !m.Independent([]int{x, y}) {
+					continue
+				}
+				by, rowBest = y, v
 			}
-			if !m.Independent([]int{x, y}) {
-				continue
+			if by == -1 {
+				return 0, 0, false
 			}
-			bx, by, bestVal = x, y, v
+			if !taken || rowBest > localBest {
+				taken, localBest = true, rowBest
+			}
+			return rowBest, by, true
 		}
-	}
-	if bx == -1 {
+	})
+	if b.Index == -1 {
 		return 0, 0, fmt.Errorf("core: no independent pair exists (matroid rank < 2?)")
 	}
-	return bx, by, nil
+	return b.Index, b.Aux, nil
 }

@@ -1,24 +1,3 @@
-// Package core implements the paper's primary contribution: algorithms for
-// max-sum diversification — maximizing φ(S) = f(S) + λ·Σ_{u,v∈S} d(u,v) for a
-// normalized monotone (sub)modular quality function f and a metric d —
-// subject to a cardinality or general matroid constraint, together with the
-// baselines the paper evaluates against.
-//
-// Algorithms:
-//
-//   - GreedyB: the paper's non-oblivious vertex greedy (Theorem 1,
-//     2-approximation under a cardinality constraint).
-//   - GreedyA: the Gollapudi–Sharma baseline (reduction to max-sum dispersion
-//     plus the Hassin–Rubinstein–Tamir edge greedy).
-//   - LocalSearch: the oblivious single-swap local search (Theorem 2,
-//     2-approximation under any matroid constraint).
-//   - Exact / ExactMatroid: optimal solvers for small instances (used to
-//     report the paper's observed approximation factors).
-//   - DispersionGreedy (Corollary 1), MMR, and exact k-matching references.
-//
-// All algorithms share the incremental State, which maintains d_u(S) for all
-// u in O(n) per insertion — the Birnbaum–Goldman bookkeeping the paper quotes
-// to make the greedy run in O(np) total.
 package core
 
 import (
@@ -235,14 +214,21 @@ func (s *State) SwapGain(out, in int) float64 {
 	if !s.in[out] || s.in[in] {
 		panic(fmt.Sprintf("core: SwapGain(%d,%d): out must be a member, in a non-member", out, in))
 	}
+	return s.swapGainWith(s.f, out, in)
+}
+
+// swapGainWith is SwapGain evaluated against a caller-owned quality
+// evaluator (loaded with S), so concurrent scan workers can each use a
+// private clone; the modular fast path never touches the evaluator.
+func (s *State) swapGainWith(ev setfunc.Evaluator, out, in int) float64 {
 	dGain := s.du[in] - s.obj.d.Distance(in, out) - s.du[out]
 	var fGain float64
 	if s.modular != nil {
 		fGain = s.modular.Weight(in) - s.modular.Weight(out)
 	} else {
-		s.f.Remove(out)
-		fGain = s.f.Marginal(in) - s.f.Marginal(out)
-		s.f.Add(out)
+		ev.Remove(out)
+		fGain = ev.Marginal(in) - ev.Marginal(out)
+		ev.Add(out)
 	}
 	return fGain + s.obj.lambda*dGain
 }

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"maxsumdiv/internal/engine"
+	"maxsumdiv/internal/matroid"
+	"maxsumdiv/internal/setfunc"
+)
+
+// scanner shards a State's argmax scans across an engine pool. It amortizes
+// the per-worker quality evaluators across rounds: the modular fast path
+// shares the state's evaluator (its Marginal is a pure weight lookup), while
+// general submodular quality gives every worker beyond the first a private
+// clone that the caller keeps in sync via added/removed after each state
+// mutation.
+//
+// The scans only read State fields (in, du, members) and the metric, so they
+// are safe to run concurrently between mutations; all selection rules are
+// total orders (max score, ties to the lowest index), making parallel runs
+// byte-identical to serial ones whenever candidate scores are pure functions
+// of the frozen state. That holds for every scan with modular quality
+// (weight lookups), and for marginal scans and swap probes of this package's
+// submodular evaluators (coverage marginals read integer counts, facility
+// marginals read stored similarity maxima). Only a user-supplied Function
+// routed through the order-sensitive generic evaluator can, in principle,
+// resolve an exact floating-point tie differently under a different shard
+// layout.
+type scanner struct {
+	st   *State
+	pool *engine.Pool
+	evs  []setfunc.Evaluator // lazily built clones for workers ≥ 1
+}
+
+func newScanner(st *State, pool *engine.Pool) *scanner {
+	return &scanner{st: st, pool: pool}
+}
+
+// evaluator returns the quality evaluator for one scan worker. The engine
+// contract guarantees this is called on the caller's goroutine, so the lazy
+// clone construction needs no locking.
+func (sc *scanner) evaluator(worker int) setfunc.Evaluator {
+	if worker == 0 || sc.st.modular != nil {
+		return sc.st.f
+	}
+	for len(sc.evs) <= worker {
+		sc.evs = append(sc.evs, nil)
+	}
+	if sc.evs[worker] == nil {
+		ev := sc.st.obj.f.NewEvaluator()
+		for _, u := range sc.st.members {
+			ev.Add(u)
+		}
+		sc.evs[worker] = ev
+	}
+	return sc.evs[worker]
+}
+
+// added propagates a State.Add to the realized worker clones.
+func (sc *scanner) added(u int) {
+	for _, ev := range sc.evs {
+		if ev != nil {
+			ev.Add(u)
+		}
+	}
+}
+
+// swapped propagates a State.Swap to the realized worker clones.
+func (sc *scanner) swapped(out, in int) {
+	for _, ev := range sc.evs {
+		if ev != nil {
+			ev.Remove(out)
+			ev.Add(in)
+		}
+	}
+}
+
+// argmaxPotential returns the non-member maximizing the greedy potential
+// φ′_u(S) = ½f_u(S) + λ·d_u(S) (Index = -1 when S is the whole ground set).
+func (sc *scanner) argmaxPotential() engine.Best {
+	st := sc.st
+	return sc.pool.ArgMax(st.obj.N(), func(worker int) engine.Scorer {
+		ev := sc.evaluator(worker)
+		return func(u int) (float64, bool) {
+			if st.in[u] {
+				return 0, false
+			}
+			return 0.5*ev.Marginal(u) + st.obj.lambda*st.du[u], true
+		}
+	})
+}
+
+// argmaxObjective returns the non-member maximizing the objective marginal
+// φ_u(S) = f_u(S) + λ·d_u(S).
+func (sc *scanner) argmaxObjective() engine.Best {
+	st := sc.st
+	return sc.pool.ArgMax(st.obj.N(), func(worker int) engine.Scorer {
+		ev := sc.evaluator(worker)
+		return func(u int) (float64, bool) {
+			if st.in[u] {
+				return 0, false
+			}
+			return ev.Marginal(u) + st.obj.lambda*st.du[u], true
+		}
+	})
+}
+
+// bestSwap scans every pair (out ∈ members, in ∉ S) for the maximal
+// SwapGain strictly above threshold, sharding over the incoming side.
+// canSwap, when non-nil, filters pairs (e.g. matroid feasibility). The
+// result's Index is the incoming element, Aux the outgoing one; ties break
+// toward the lowest incoming index, then the earliest member.
+func (sc *scanner) bestSwap(members []int, threshold float64, canSwap func(out, in int) bool) engine.Best {
+	st := sc.st
+	return sc.pool.ArgMaxPair(st.obj.N(), func(worker int) engine.PairScorer {
+		ev := sc.evaluator(worker)
+		return func(in int) (float64, int, bool) {
+			if st.in[in] {
+				return 0, 0, false
+			}
+			bestOut, bestGain := -1, threshold
+			for _, out := range members {
+				g := st.swapGainWith(ev, out, in)
+				if g <= bestGain {
+					continue
+				}
+				if canSwap != nil && !canSwap(out, in) {
+					continue
+				}
+				bestOut, bestGain = out, g
+			}
+			if bestOut == -1 {
+				return 0, 0, false
+			}
+			return bestGain, bestOut, true
+		}
+	})
+}
+
+// BestSwap scans all (out ∈ S, in ∉ S) pairs across the pool and returns
+// the pair of maximal SwapGain strictly above threshold, or ok = false when
+// no such pair exists. It is the parallel form of the Section 6 oblivious
+// update rule's argmax; ties break deterministically (lowest incoming index,
+// then earliest member), so every worker count returns the same pair.
+func (s *State) BestSwap(pool *engine.Pool, threshold float64, canSwap func(out, in int) bool) (out, in int, gain float64, ok bool) {
+	b := newScanner(s, pool).bestSwap(s.members, threshold, canSwap)
+	if b.Index == -1 {
+		return 0, 0, 0, false
+	}
+	return b.Aux, b.Index, b.Value, true
+}
+
+// bestFeasibleAddition returns the non-member u maximizing the greedy
+// potential among those with S + u independent (the GreedyMatroid step).
+// The independence oracle is only consulted for candidates that would beat
+// the worker's running best — CanAdd is by far the scan's dominant cost for
+// transversal and graphic matroids.
+func (sc *scanner) bestFeasibleAddition(m matroid.Matroid, members []int) engine.Best {
+	st := sc.st
+	return sc.pool.ArgMax(st.obj.N(), func(worker int) engine.Scorer {
+		ev := sc.evaluator(worker)
+		taken := false
+		localBest := 0.0
+		return func(u int) (float64, bool) {
+			if st.in[u] {
+				return 0, false
+			}
+			v := 0.5*ev.Marginal(u) + st.obj.lambda*st.du[u]
+			// A candidate that cannot beat this shard's incumbent cannot
+			// win the merged scan either; skip its feasibility check.
+			if taken && v <= localBest {
+				return 0, false
+			}
+			if !matroid.CanAdd(m, members, u) {
+				return 0, false
+			}
+			taken, localBest = true, v
+			return v, true
+		}
+	})
+}

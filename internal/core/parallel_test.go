@@ -1,0 +1,345 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"maxsumdiv/internal/engine"
+	"maxsumdiv/internal/matroid"
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/setfunc"
+)
+
+// syntheticModular mirrors dataset.Synthetic (which can't be imported here:
+// dataset depends on core): uniform weights, distances in [1, 2].
+func syntheticModular(t *testing.T, n int, lambda float64, rng *rand.Rand) *Objective {
+	t.Helper()
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	mod, err := setfunc.NewModular(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := metric.NewDense(n)
+	d.Fill(func(i, j int) float64 { return 1 + rng.Float64() })
+	obj, err := NewObjective(mod, lambda, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+// pools used against the serial baseline; 7 is deliberately coprime with
+// nothing in particular so shard boundaries land awkwardly.
+var testPools = []*engine.Pool{engine.New(2), engine.New(7), engine.New(16)}
+
+func sameSolution(t *testing.T, label string, serial, parallel *Solution) {
+	t.Helper()
+	if !reflect.DeepEqual(serial.Members, parallel.Members) {
+		t.Fatalf("%s: members diverge: serial %v, parallel %v", label, serial.Members, parallel.Members)
+	}
+	// Scores must be byte-identical, not just close: parallel scans evaluate
+	// the same floating-point expressions on the same inputs.
+	if serial.Value != parallel.Value || serial.FValue != parallel.FValue ||
+		serial.Dispersion != parallel.Dispersion || serial.Swaps != parallel.Swaps {
+		t.Fatalf("%s: stats diverge: serial %+v, parallel %+v", label, serial, parallel)
+	}
+}
+
+// coverageObjective builds an objective with a genuinely submodular quality,
+// exercising the per-worker evaluator clones.
+func coverageObjective(t *testing.T, n int, rng *rand.Rand) *Objective {
+	t.Helper()
+	topics := n / 2
+	covers := make([][]int, n)
+	for u := range covers {
+		k := 1 + rng.Intn(4)
+		for i := 0; i < k; i++ {
+			covers[u] = append(covers[u], rng.Intn(topics))
+		}
+	}
+	weights := make([]float64, topics)
+	for i := range weights {
+		weights[i] = rng.Float64()
+	}
+	cov, err := setfunc.NewCoverage(covers, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := metric.NewDense(n)
+	d.Fill(func(i, j int) float64 { return 1 + rng.Float64() })
+	obj, err := NewObjective(cov, 0.7, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+func TestParallelGreedyMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		obj := syntheticModular(t, 520, 0.3, rng)
+		cov := coverageObjective(t, 450, rng)
+		for name, o := range map[string]*Objective{"modular": obj, "coverage": cov} {
+			p := 15
+			serialB, err := GreedyB(o, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serialBPair, err := GreedyB(o, p, WithBestPairStart())
+			if err != nil {
+				t.Fatal(err)
+			}
+			serialObl, err := GreedyOblivious(o, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pool := range testPools {
+				parB, err := GreedyB(o, p, WithPool(pool))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameSolution(t, name+"/GreedyB", serialB, parB)
+				parPair, err := GreedyB(o, p, WithBestPairStart(), WithPool(pool))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameSolution(t, name+"/GreedyB+pair", serialBPair, parPair)
+				parObl, err := GreedyOblivious(o, p, WithPool(pool))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameSolution(t, name+"/GreedyOblivious", serialObl, parObl)
+			}
+		}
+	}
+}
+
+func TestParallelGreedyAMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		obj := syntheticModular(t, 430, 0.3, rng)
+		for _, p := range []int{10, 11} { // even and odd (the leftover path)
+			serial, err := GreedyA(obj, p, WithBestLastVertex())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pool := range testPools {
+				par, err := GreedyA(obj, p, WithBestLastVertex(), WithPool(pool))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameSolution(t, "GreedyA", serial, par)
+			}
+		}
+	}
+}
+
+func TestParallelLocalSearchMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		obj := syntheticModular(t, 410, 0.3, rng)
+		uni, err := matroid.NewUniform(410, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partOf := make([]int, 410)
+		caps := make([]int, 8)
+		for i := range partOf {
+			partOf[i] = i % 8
+		}
+		for i := range caps {
+			caps[i] = 2
+		}
+		part, err := matroid.NewPartition(partOf, caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cov := coverageObjective(t, 410, rng)
+		type cse struct {
+			name string
+			obj  *Objective
+			m    matroid.Matroid
+		}
+		for _, c := range []cse{
+			{"uniform/modular", obj, uni},
+			{"partition/modular", obj, part},
+			{"uniform/coverage", cov, uni},
+		} {
+			serial, err := LocalSearch(c.obj, c.m, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pool := range testPools {
+				par, err := LocalSearch(c.obj, c.m, &LSOptions{Pool: pool})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameSolution(t, "LocalSearch/"+c.name, serial, par)
+			}
+		}
+	}
+}
+
+// sqrtModular is a plain Function (no custom evaluator), so it routes
+// through the order-sensitive generic evaluator — the worst case for
+// float-residue canonicalization.
+type sqrtModular struct{ w []float64 }
+
+func (s sqrtModular) GroundSize() int { return len(s.w) }
+
+func (s sqrtModular) Value(S []int) float64 {
+	var sum float64
+	for _, u := range S {
+		sum += s.w[u]
+	}
+	return math.Sqrt(sum)
+}
+
+// TestParallelLocalSearchZeroSwapGenericQuality regresses the case where a
+// search applies no swaps at all: the scan still probes every pair, and the
+// residue those probes leave in the generic evaluator used to differ
+// between serial and sharded runs.
+func TestParallelLocalSearchZeroSwapGenericQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 450
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	d := metric.NewDense(n)
+	d.Fill(func(i, j int) float64 { return 1 + rng.Float64() })
+	obj, err := NewObjective(setfunc.AsSource(sqrtModular{w}), 0.3, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := matroid.NewUniform(n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := LocalSearch(obj, uni, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restart from the optimum: zero swaps, but a full scan still runs.
+	serial, err := LocalSearch(obj, uni, &LSOptions{Init: opt.Members})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Swaps != 0 {
+		t.Fatalf("restart from optimum applied %d swaps, want 0", serial.Swaps)
+	}
+	for _, pool := range testPools {
+		par, err := LocalSearch(obj, uni, &LSOptions{Init: opt.Members, Pool: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSolution(t, "LocalSearch/zero-swap-generic", serial, par)
+	}
+}
+
+func TestParallelGreedyMatroidMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	obj := syntheticModular(t, 420, 0.4, rng)
+	partOf := make([]int, 420)
+	for i := range partOf {
+		partOf[i] = i % 6
+	}
+	m, err := matroid.NewPartition(partOf, []int{2, 2, 2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := GreedyMatroid(obj, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialPair, err := GreedyMatroid(obj, m, WithBestPairStart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pool := range testPools {
+		par, err := GreedyMatroid(obj, m, WithPool(pool))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSolution(t, "GreedyMatroid", serial, par)
+		parPair, err := GreedyMatroid(obj, m, WithBestPairStart(), WithPool(pool))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSolution(t, "GreedyMatroid+pair", serialPair, parPair)
+	}
+}
+
+func TestBestSwapMatchesSerialScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	obj := syntheticModular(t, 500, 0.5, rng)
+	st := obj.NewState()
+	for u := 0; u < 12; u++ {
+		st.Add(u * 7 % 500)
+	}
+	// Serial reference: max gain, ties to lowest in then earliest member.
+	wantOut, wantIn, wantGain, wantOK := st.BestSwap(nil, 1e-15, nil)
+	for _, pool := range testPools {
+		out, in, gain, ok := st.BestSwap(pool, 1e-15, nil)
+		if ok != wantOK || out != wantOut || in != wantIn || gain != wantGain {
+			t.Fatalf("pool %d workers: BestSwap = (%d,%d,%g,%v), serial (%d,%d,%g,%v)",
+				pool.Workers(), out, in, gain, ok, wantOut, wantIn, wantGain, wantOK)
+		}
+	}
+	if wantOK {
+		// The reported gain must match the state's own accounting.
+		before := st.Value()
+		if g := st.SwapGain(wantOut, wantIn); g != wantGain {
+			t.Fatalf("SwapGain(%d,%d) = %g, BestSwap said %g", wantOut, wantIn, g, wantGain)
+		}
+		st.Swap(wantOut, wantIn)
+		if diff := st.Value() - before; diff < wantGain-1e-9 || diff > wantGain+1e-9 {
+			t.Fatalf("realized gain %g, promised %g", diff, wantGain)
+		}
+	}
+}
+
+func TestParallelMemoizedMetricMatchesDense(t *testing.T) {
+	// The cached metric must be transparent: same solutions as the dense
+	// materialization it replaces, under parallel scans.
+	rng := rand.New(rand.NewSource(5))
+	n := 460
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	raw, err := metric.NewPoints(pts, metric.L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = rng.Float64()
+	}
+	mod, err := setfunc.NewModular(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := NewObjective(mod, 0.6, metric.Materialize(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewObjective(mod, 0.6, metric.NewCached(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GreedyB(dense, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GreedyB(cached, 12, WithPool(engine.New(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSolution(t, "GreedyB/cached-metric", want, got)
+}

@@ -1,0 +1,18 @@
+// Package dynamic implements Section 6 of the paper: maintaining a
+// high-quality max-sum diversification solution (modular f) under weight
+// and distance perturbations using the oblivious single-swap update rule,
+// with the paper's per-perturbation-type guarantees:
+//
+//	Type I   weight increase    → 3-approx restored with 1 update (Thm 3)
+//	Type II  weight decrease δ  → ⌈log_{(p−2)/(p−3)} w/(w−δ)⌉ updates (Thm 4);
+//	                              a single update suffices when δ ≤ w/(p−2)
+//	Type III distance increase  → 3-approx restored with 1 update (Thm 5)
+//	Type IV  distance decrease  → 3-approx restored with 1 update (Thm 6)
+//
+// For p ≤ 3 a single update always suffices (Corollary 3). The package also
+// provides the Figure 1 simulator (random V/E/M perturbation environments).
+//
+// The oblivious update's O(n·p) swap scan is the hot path of a dynamic
+// deployment; Session.SetParallelism shards it across the worker pool of
+// maxsumdiv/internal/engine with results identical to the serial scan.
+package dynamic

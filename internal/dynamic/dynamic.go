@@ -1,16 +1,3 @@
-// Package dynamic implements Section 6 of the paper: maintaining a
-// high-quality max-sum diversification solution (modular f) under
-// weight and distance perturbations using the oblivious single-swap update
-// rule, with the paper's per-perturbation-type guarantees:
-//
-//	Type I   weight increase    → 3-approx restored with 1 update (Thm 3)
-//	Type II  weight decrease δ  → ⌈log_{(p−2)/(p−3)} w/(w−δ)⌉ updates (Thm 4);
-//	                              a single update suffices when δ ≤ w/(p−2)
-//	Type III distance increase  → 3-approx restored with 1 update (Thm 5)
-//	Type IV  distance decrease  → 3-approx restored with 1 update (Thm 6)
-//
-// For p ≤ 3 a single update always suffices (Corollary 3). The package also
-// provides the Figure 1 simulator (random V/E/M perturbation environments).
 package dynamic
 
 import (
@@ -19,6 +6,7 @@ import (
 
 	"maxsumdiv/internal/core"
 	"maxsumdiv/internal/dataset"
+	"maxsumdiv/internal/engine"
 	"maxsumdiv/internal/setfunc"
 )
 
@@ -76,6 +64,7 @@ type Session struct {
 	obj    *core.Objective
 	st     *core.State
 	p      int
+	pool   *engine.Pool // nil = serial update scans
 }
 
 // NewSession starts from an instance (deep-copied), a trade-off λ, and an
@@ -103,6 +92,18 @@ func NewSession(inst *dataset.Instance, lambda float64, initial []int) (*Session
 	st := obj.NewState()
 	st.SetTo(initial)
 	return &Session{inst: cp, mod: mod, lambda: lambda, obj: obj, st: st, p: len(initial)}, nil
+}
+
+// SetParallelism shards the oblivious-update swap scan across k worker
+// goroutines (k ≤ 0 selects GOMAXPROCS, 1 restores the serial scan). The
+// scan's selection rule is a total order, so the maintained solution is
+// identical for every k.
+func (s *Session) SetParallelism(k int) {
+	if k == 1 {
+		s.pool = nil
+		return
+	}
+	s.pool = engine.New(k)
 }
 
 // Objective exposes the session's live objective (it reflects every applied
@@ -173,24 +174,16 @@ func (s *Session) refresh() {
 // ObliviousUpdate applies one step of the Section 6 rule: find the pair
 // (u ∈ S, v ∉ S) maximizing φ_{v→u}(S); if the best gain is positive, swap.
 // Returns whether a swap happened and the realized gain.
+//
+// The O(n·p) swap scan shards across the session's pool (SetParallelism);
+// gains within 1e-15 of zero are treated as floating-point churn, not
+// improvements, matching the paper's "positive gain" precondition.
 func (s *Session) ObliviousUpdate() (swapped bool, gain float64) {
-	bestOut, bestIn, bestGain := -1, -1, 0.0
-	n := s.obj.N()
-	members := s.st.Members()
-	for v := 0; v < n; v++ {
-		if s.st.Contains(v) {
-			continue
-		}
-		for _, u := range members {
-			if g := s.st.SwapGain(u, v); g > bestGain+1e-15 {
-				bestOut, bestIn, bestGain = u, v, g
-			}
-		}
-	}
-	if bestOut == -1 {
+	out, in, bestGain, ok := s.st.BestSwap(s.pool, 1e-15, nil)
+	if !ok {
 		return false, 0
 	}
-	s.st.Swap(bestOut, bestIn)
+	s.st.Swap(out, in)
 	return true, bestGain
 }
 

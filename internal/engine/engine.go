@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minShard is the smallest index range worth handing to its own goroutine.
+// Scans below roughly this size run inline: the fork/join overhead would
+// dwarf the work, and small scans (e.g. a stream window of 10) are the
+// common case on hot paths.
+const minShard = 192
+
+// Pool is a bounded set of scan workers. The zero value and the nil pool
+// both behave as a serial (1-worker) pool, so callers can thread an optional
+// *Pool through without nil checks.
+//
+// A Pool is stateless and may be shared freely across goroutines and reused
+// across scans; "bounded" means a scan fans out to at most Workers()
+// goroutines at a time.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most `workers` concurrent scan goroutines.
+// workers ≤ 0 selects runtime.GOMAXPROCS(0), the hardware default.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Default returns the hardware-default pool (GOMAXPROCS workers).
+func Default() *Pool { return New(0) }
+
+// Workers returns the concurrency bound; a nil pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Serial reports whether scans on this pool run inline on the caller's
+// goroutine.
+func (p *Pool) Serial() bool { return p.Workers() == 1 }
+
+// Best is the outcome of an argmax scan: the winning candidate index (-1
+// when no candidate was eligible), its score, and the auxiliary value its
+// scorer reported (0 for plain ArgMax).
+type Best struct {
+	Index int
+	Aux   int
+	Value float64
+}
+
+// Scorer rates one candidate: its score and whether it is eligible at all.
+type Scorer func(u int) (score float64, ok bool)
+
+// PairScorer rates one candidate and reports an auxiliary index alongside —
+// e.g. for a swap scan, the best member to evict for this incoming
+// candidate.
+type PairScorer func(u int) (score float64, aux int, ok bool)
+
+// ArgMax scans candidates u ∈ [0, n) and returns the eligible candidate
+// with the highest score; ties break toward the lowest index. factory is
+// called once per worker on the caller's goroutine (see the package safety
+// contract).
+func (p *Pool) ArgMax(n int, factory func(worker int) Scorer) Best {
+	return p.ArgMaxPair(n, func(worker int) PairScorer {
+		score := factory(worker)
+		return func(u int) (float64, int, bool) {
+			v, ok := score(u)
+			return v, 0, ok
+		}
+	})
+}
+
+// ArgMaxPair is ArgMax for scorers that carry an auxiliary index. The
+// selection order is total — (higher score, then lower candidate index) —
+// so the result is identical for every worker count and shard layout.
+func (p *Pool) ArgMaxPair(n int, factory func(worker int) PairScorer) Best {
+	if n <= 0 {
+		return Best{Index: -1}
+	}
+	shards := p.shards(n)
+	if shards == 1 {
+		return scanShard(factory(0), 0, n)
+	}
+	chunk := (n + shards - 1) / shards
+	results := make([]Best, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		score := factory(w)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w] = scanShard(score, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best := Best{Index: -1}
+	for _, r := range results {
+		if r.Index == -1 {
+			continue
+		}
+		// Strict > keeps the earlier shard (lower indices) on ties.
+		if best.Index == -1 || r.Value > best.Value {
+			best = r
+		}
+	}
+	return best
+}
+
+// scanShard folds one contiguous index range; strict > keeps the lowest
+// index among equal scores.
+func scanShard(score PairScorer, lo, hi int) Best {
+	best := Best{Index: -1}
+	for u := lo; u < hi; u++ {
+		v, aux, ok := score(u)
+		if !ok {
+			continue
+		}
+		if best.Index == -1 || v > best.Value {
+			best = Best{Index: u, Aux: aux, Value: v}
+		}
+	}
+	return best
+}
+
+// For splits [0, n) into contiguous shards and runs body(worker, lo, hi)
+// for each, in parallel across the pool's workers. body must write only to
+// worker- or index-disjoint state. Shard boundaries depend only on n and
+// the worker count, so output layouts are deterministic.
+func (p *Pool) For(n int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	shards := p.shards(n)
+	if shards == 1 {
+		body(0, 0, n)
+		return
+	}
+	chunk := (n + shards - 1) / shards
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// shards returns how many goroutines an n-candidate scan should use: the
+// pool bound, capped so every shard holds at least minShard candidates.
+func (p *Pool) shards(n int) int {
+	w := p.Workers()
+	if most := (n + minShard - 1) / minShard; w > most {
+		w = most
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

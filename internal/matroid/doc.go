@@ -1,0 +1,23 @@
+// Package matroid provides the matroid substrate for Section 5 of the paper
+// (max-sum diversification subject to a matroid constraint): an independence
+// oracle interface, the concrete matroid classes the paper discusses, and
+// the structural operations its proofs rely on.
+//
+// # Paper context
+//
+//   - Matroid is the independence oracle quoted in Section 5 (hereditary +
+//     augmentation axioms); Check certifies custom implementations.
+//   - Uniform realizes the cardinality constraint of Sections 3–4; Partition
+//     and Transversal are the Section 5 application examples ("at most k per
+//     category", "a system of distinct representatives"); Graphic and
+//     Laminar round out the classic families; Truncated intersects any
+//     matroid with a uniform one, which Section 5 notes is again a matroid.
+//   - ExchangeBijection implements the Brualdi exchange of Lemma 2, the
+//     combinatorial core of the Theorem 2 local-search analysis;
+//     ExtendToBasis and CanSwap are the basis-maintenance steps the
+//     local search performs.
+//
+// Independence oracles in this package are pure (they allocate their own
+// scratch), so the concurrent scan workers of maxsumdiv/internal/engine may
+// query them from multiple goroutines.
+package matroid

@@ -1,9 +1,3 @@
-// Package matroid provides the matroid substrate for Section 5 of the paper
-// (max-sum diversification subject to a matroid constraint): an independence
-// oracle interface, the concrete matroid classes the paper discusses —
-// uniform (cardinality), partition, transversal, plus graphic, laminar and
-// truncations — and the structural operations its proofs rely on, notably
-// basis completion and the Brualdi exchange bijection of Lemma 2.
 package matroid
 
 import (

@@ -1,0 +1,104 @@
+package metric
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// eagerLimit is the largest ground set for which Memoize materializes the
+// full triangular matrix up front (n = 1024 → ~4 MB of float64). Above it,
+// the lazily-filled striped cache avoids the O(n²) memory and warm-up cost.
+const eagerLimit = 1024
+
+// cacheStripes is the number of independently locked cache shards (power of
+// two so the stripe index is a mask).
+const cacheStripes = 128
+
+// Cached memoizes an underlying Metric behind a mutex-striped, lazily
+// filled pairwise cache, so that repeated d(u,v) evaluations — across greedy
+// rounds, local-search passes, and dynamic updates — compute the underlying
+// distance once. It is safe for concurrent use by the scan workers of
+// internal/engine provided the underlying metric's Distance is itself safe
+// for concurrent reads (true for every metric in this package).
+//
+// Under a lost race two workers may both compute the same pair; both store
+// the identical value, so results stay deterministic.
+type Cached struct {
+	m       Metric
+	n       int
+	stripes [cacheStripes]cacheStripe
+	misses  atomic.Int64
+}
+
+type cacheStripe struct {
+	mu sync.RWMutex
+	d  map[int64]float64
+}
+
+// NewCached wraps m in a lazily-filled striped cache.
+func NewCached(m Metric) *Cached {
+	c := &Cached{m: m, n: m.Len()}
+	for i := range c.stripes {
+		c.stripes[i].d = make(map[int64]float64)
+	}
+	return c
+}
+
+// Memoize returns a metric equivalent to m whose repeated Distance lookups
+// are O(1): metrics that are already plain lookups (*Dense, *Cached) pass
+// through unchanged, small spaces are eagerly materialized into a Dense
+// matrix, and large spaces get the lazy striped cache.
+func Memoize(m Metric) Metric {
+	switch m.(type) {
+	case *Dense, *Cached:
+		return m
+	}
+	if m.Len() <= eagerLimit {
+		return Materialize(m)
+	}
+	return NewCached(m)
+}
+
+// Len returns the number of points.
+func (c *Cached) Len() int { return c.n }
+
+// Underlying returns the wrapped metric.
+func (c *Cached) Underlying() Metric { return c.m }
+
+// Distance returns the memoized d(i, j), computing it on first access.
+func (c *Cached) Distance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	if i < j {
+		i, j = j, i
+	}
+	key := int64(i)*int64(c.n) + int64(j)
+	s := &c.stripes[key&(cacheStripes-1)]
+	s.mu.RLock()
+	v, ok := s.d[key]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = c.m.Distance(i, j)
+	c.misses.Add(1)
+	s.mu.Lock()
+	s.d[key] = v
+	s.mu.Unlock()
+	return v
+}
+
+// Stats reports how many pairs are cached and how many underlying Distance
+// evaluations were performed (≥ pairs stored: lost races recompute).
+func (c *Cached) Stats() (stored int, computed int64) {
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.RLock()
+		stored += len(s.d)
+		s.mu.RUnlock()
+	}
+	return stored, c.misses.Load()
+}
+
+var _ Metric = (*Cached)(nil)

@@ -1,0 +1,131 @@
+package metric
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countingMetric counts underlying Distance evaluations.
+type countingMetric struct {
+	n     int
+	calls atomic.Int64
+}
+
+func (c *countingMetric) Len() int { return c.n }
+
+func (c *countingMetric) Distance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	c.calls.Add(1)
+	if i < j {
+		i, j = j, i
+	}
+	return float64(i*1000 + j)
+}
+
+func TestCachedComputesEachPairOnce(t *testing.T) {
+	under := &countingMetric{n: 50}
+	c := NewCached(under)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < under.n; i++ {
+			for j := 0; j < under.n; j++ {
+				want := under.Distance(i, j)
+				under.calls.Add(-1) // the oracle call above shouldn't count
+				if i == j {
+					under.calls.Add(1) // diagonal never hits the oracle
+				}
+				if got := c.Distance(i, j); got != want {
+					t.Fatalf("d(%d,%d) = %g, want %g", i, j, got, want)
+				}
+			}
+		}
+	}
+	pairs := int64(under.n * (under.n - 1) / 2)
+	if got := under.calls.Load(); got != pairs {
+		t.Fatalf("underlying evaluations = %d, want %d (each pair once)", got, pairs)
+	}
+	stored, computed := c.Stats()
+	if int64(stored) != pairs || computed != pairs {
+		t.Fatalf("Stats() = (%d, %d), want (%d, %d)", stored, computed, pairs, pairs)
+	}
+}
+
+func TestCachedConcurrentReadsAgree(t *testing.T) {
+	under := &countingMetric{n: 200}
+	c := NewCached(under)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < under.n; i++ {
+				for j := 0; j < under.n; j++ {
+					want := 0.0
+					if i != j {
+						hi, lo := i, j
+						if hi < lo {
+							hi, lo = lo, hi
+						}
+						want = float64(hi*1000 + lo)
+					}
+					if got := c.Distance(i, j); got != want {
+						select {
+						case errs <- "mismatch":
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+	stored, _ := c.Stats()
+	if want := under.n * (under.n - 1) / 2; stored != want {
+		t.Fatalf("stored %d pairs, want %d", stored, want)
+	}
+}
+
+func TestMemoizeDispatch(t *testing.T) {
+	small := &countingMetric{n: 10}
+	if _, ok := Memoize(small).(*Dense); !ok {
+		t.Fatalf("small metric should be eagerly materialized, got %T", Memoize(small))
+	}
+	big := &countingMetric{n: eagerLimit + 1}
+	if _, ok := Memoize(big).(*Cached); !ok {
+		t.Fatalf("large metric should get the lazy cache, got %T", Memoize(big))
+	}
+	if big.calls.Load() != 0 {
+		t.Fatal("Memoize of a large metric must not eagerly evaluate distances")
+	}
+	d := NewDense(5)
+	if Memoize(d) != Metric(d) {
+		t.Fatal("Dense should pass through Memoize unchanged")
+	}
+	c := NewCached(small)
+	if Memoize(c) != Metric(c) {
+		t.Fatal("Cached should pass through Memoize unchanged")
+	}
+	if c.Underlying() != Metric(small) {
+		t.Fatal("Underlying should return the wrapped metric")
+	}
+}
+
+func TestCachedIsAMetric(t *testing.T) {
+	pts, err := NewPoints([][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}}, L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCached(pts)
+	if err := Validate(c, 1e-9); err != nil {
+		t.Fatalf("cached Euclidean metric fails validation: %v", err)
+	}
+}

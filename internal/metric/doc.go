@@ -1,0 +1,30 @@
+// Package metric provides the metric-space substrate for max-sum
+// diversification: distance oracles over an integer-indexed ground set,
+// concrete metric constructions, caching backends, and validation
+// utilities.
+//
+// # Paper context
+//
+// The paper (Sections 1–2) requires d to be a metric — the triangle
+// inequality is what every approximation guarantee leans on — and its
+// experiments use cosine distances over LETOR feature vectors (Section 7)
+// and the {1,2}-valued metric of the hardness argument (Section 3). This
+// package implements:
+//
+//   - Dense: the mutable triangular-matrix workhorse, supporting the
+//     Section 6 dynamic distance perturbations via SetDistance.
+//   - Cosine, Angular, Points (ℓ1/ℓ2/ℓp norms): vector-backed metrics.
+//   - OneTwo: the {1,2} metric family of the paper's hardness section.
+//   - Validate / ValidateRelaxed / ValidateSample: axiom checkers, including
+//     the parameterised (α-relaxed) triangle inequality the conclusion
+//     discusses.
+//
+// # Caching backends
+//
+// Computed metrics (vector norms, user functions) can be served through two
+// lookup backends: Materialize copies a metric eagerly into a Dense matrix
+// (the right call for small n), while Cached memoizes pairs lazily behind a
+// mutex-striped cache safe for the concurrent scan workers of
+// maxsumdiv/internal/engine (the right call at large n, where a dense
+// matrix is quadratic memory). Memoize picks between them automatically.
+package metric

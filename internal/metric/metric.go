@@ -1,11 +1,3 @@
-// Package metric provides the metric-space substrate for max-sum
-// diversification: distance oracles over an integer-indexed ground set,
-// concrete metric constructions (dense matrices, Euclidean norms, cosine and
-// angular distances, the {1,2} graph metric used in the paper's hardness
-// argument), relaxed (α-triangle) metrics, and validation utilities.
-//
-// All algorithms in this module address elements by index 0..n-1; a Metric is
-// any symmetric, non-negative pairwise distance oracle over such indices.
 package metric
 
 import (

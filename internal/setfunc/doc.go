@@ -1,0 +1,28 @@
+// Package setfunc provides the set-valuation substrate for max-sum
+// diversification: normalized monotone set functions f(·) over an
+// integer-indexed ground set, with incremental evaluators that support the
+// add/remove/marginal operations the paper's algorithms perform.
+//
+// # Paper context
+//
+// The paper studies two quality regimes: modular f (weights — the
+// Gollapudi–Sharma setting of Section 3 and the dynamic-update setting of
+// Section 6) and normalized monotone submodular f (Sections 4–5, where the
+// greedy and local-search guarantees live). This package implements:
+//
+//   - Modular: weighted linear quality with O(1) evaluator operations and a
+//     stateless Marginal, the fast path every solver exploits.
+//   - Coverage, FacilityLocation, concave-over-modular, saturated coverage:
+//     the Lin–Bilmes summarization family cited in Section 4, with
+//     incremental evaluators.
+//   - Combinators (Sum, Scale, …) and property checkers (monotonicity,
+//     submodularity) used by the test suite.
+//
+// # Evaluator contract
+//
+// Evaluator mirrors exactly what the algorithms need: the Section 4 greedy
+// calls Marginal then Add; the Section 5 local search and Section 6 update
+// rule also call Remove. Evaluators are single-goroutine objects; the
+// parallel scans in internal/core give each worker a private evaluator
+// clone (Modular's stateless Marginal excepted, which is shared freely).
+package setfunc

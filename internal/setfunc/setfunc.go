@@ -1,15 +1,3 @@
-// Package setfunc provides the set-valuation substrate for max-sum
-// diversification: normalized monotone set functions f(·) over an
-// integer-indexed ground set, with incremental evaluators that support the
-// add/remove/marginal operations the paper's greedy, local-search and
-// dynamic-update algorithms perform.
-//
-// The paper studies two regimes: modular f (weights, Sections 3 and 6) and
-// monotone submodular f (Sections 4–5). This package implements the modular
-// case plus a family of classic monotone submodular functions — coverage,
-// facility location, concave-over-modular, saturated coverage (the Lin–Bilmes
-// summarization family cited in Section 4) — together with combinators and
-// property checkers used by the test suite.
 package setfunc
 
 import (

@@ -14,6 +14,8 @@ package stream
 import (
 	"fmt"
 	"math"
+
+	"maxsumdiv/internal/engine"
 )
 
 // Item is one stream element: an identifier, a non-negative quality weight,
@@ -34,6 +36,7 @@ type Diversifier struct {
 	p      int
 	lambda float64
 	dist   Distance
+	pool   *engine.Pool // nil = serial eviction scans
 
 	members []Item
 	// d[i][j] caches pairwise distances among members (symmetric, 0 diag).
@@ -48,8 +51,19 @@ type Diversifier struct {
 	rejected int
 }
 
+// Option configures a Diversifier.
+type Option func(*Diversifier)
+
+// WithPool shards the per-offer eviction scan across the pool's workers —
+// the same engine the offline solvers use. Worth it only for large windows;
+// small windows fall back to the inline scan automatically. Any pool
+// produces the identical admit/evict decisions.
+func WithPool(pool *engine.Pool) Option {
+	return func(d *Diversifier) { d.pool = pool }
+}
+
 // New builds a streaming diversifier with window size p ≥ 1.
-func New(p int, lambda float64, dist Distance) (*Diversifier, error) {
+func New(p int, lambda float64, dist Distance, opts ...Option) (*Diversifier, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("stream: p = %d, want ≥ 1", p)
 	}
@@ -63,13 +77,17 @@ func New(p int, lambda float64, dist Distance) (*Diversifier, error) {
 	for i := range d {
 		d[i] = make([]float64, p)
 	}
-	return &Diversifier{
+	div := &Diversifier{
 		p:      p,
 		lambda: lambda,
 		dist:   dist,
 		d:      d,
 		du:     make([]float64, p),
-	}, nil
+	}
+	for _, o := range opts {
+		o(div)
+	}
+	return div, nil
 }
 
 // Offer processes one stream element. It returns whether the element was
@@ -107,21 +125,22 @@ func (s *Diversifier) Offer(it Item) (kept bool, evicted *Item, err error) {
 		return true, nil, nil
 	}
 
-	// Oblivious swap rule: the best member to displace.
-	best, bestGain := -1, 0.0
-	for i := range s.members {
-		gain := (it.Weight - s.members[i].Weight) +
-			s.lambda*(dxSum-dx[i]-s.du[i])
-		if gain > bestGain+1e-15 {
-			best, bestGain = i, gain
+	// Oblivious swap rule: the best member to displace. Gains read only the
+	// precomputed dx/du vectors, so the scan shards safely across the pool;
+	// ≤ 1e-15 gains are floating-point churn, not improvements.
+	b := s.pool.ArgMax(k, func(int) engine.Scorer {
+		return func(i int) (float64, bool) {
+			gain := (it.Weight - s.members[i].Weight) +
+				s.lambda*(dxSum-dx[i]-s.du[i])
+			return gain, gain > 1e-15
 		}
-	}
-	if best == -1 {
+	})
+	if b.Index == -1 {
 		s.rejected++
 		return false, nil, nil
 	}
-	out := s.members[best]
-	s.applySwap(best, it, dx)
+	out := s.members[b.Index]
+	s.applySwap(b.Index, it, dx)
 	s.swaps++
 	return true, &out, nil
 }

@@ -28,7 +28,18 @@
 // Algorithms: Greedy (Theorem 1), GollapudiSharma (the Greedy A baseline),
 // LocalSearch (Theorem 2, any matroid), Exact (small instances), MMR (the
 // classic heuristic the paper's greedy generalizes), and a Dynamic session
-// implementing the Section 6 oblivious update rule.
+// implementing the Section 6 oblivious update rule. Solve is the unified
+// entry point that dispatches between them.
+//
+// # Scaling
+//
+// Solve shards every argmax-over-candidates scan across a bounded worker
+// pool (WithParallelism; GOMAXPROCS workers by default) with solutions
+// byte-identical to serial runs, and WithLazyDistances replaces the O(n²)
+// dense distance matrix with a concurrency-safe memoizing cache for large
+// item sets. LocalSearchOptions.Parallelism, Dynamic.SetParallelism and
+// WithStreamParallelism extend the same engine to matroid-constrained
+// search, dynamic maintenance, and streaming.
 package maxsumdiv
 
 import (
@@ -76,6 +87,7 @@ type problemCfg struct {
 	fn       func(i, j int) float64
 	quality  SetFunction
 	validate bool
+	lazy     bool
 }
 
 type distanceChoice int
@@ -127,8 +139,9 @@ func WithDistanceMatrix(m [][]float64) Option {
 }
 
 // WithDistanceFunc supplies a custom distance function over item indices.
-// The function is materialized into a dense matrix at construction, and must
-// be symmetric with zero diagonal.
+// The function is materialized into a dense matrix at construction (or
+// memoized on demand under WithLazyDistances), and must be symmetric with
+// zero diagonal.
 func WithDistanceFunc(f func(i, j int) float64) Option {
 	return func(c *problemCfg) {
 		c.distance = distFunc
@@ -141,8 +154,27 @@ func WithDistanceFunc(f func(i, j int) float64) Option {
 // guarantees of Theorems 1–2 require f to be normalized monotone
 // submodular. GollapudiSharma and Dynamic require the default modular
 // quality and reject problems built with this option.
+//
+// Solve shards its scans across worker goroutines by default, and each
+// worker calls f.Value concurrently — f must therefore be safe for
+// concurrent calls (a pure function of S is; one that memoizes into an
+// unsynchronized map is not). Pass WithParallelism(1) to keep a stateful f
+// on a single goroutine.
 func WithQuality(f SetFunction) Option {
 	return func(c *problemCfg) { c.quality = f }
+}
+
+// WithLazyDistances skips materializing the configured distance into a
+// dense O(n²) matrix at construction for large item sets. Distances are
+// instead computed on first use and memoized in a concurrency-safe striped
+// cache, which is the right trade at large n (a 10k-item dense matrix alone
+// is ~400 MB) or when a solver will only touch a fraction of the pairs.
+// Small item sets are still materialized eagerly — a few MB of dense matrix
+// beats per-lookup cache locking. Ignored for WithDistanceMatrix, which is
+// already materialized. With WithDistanceFunc, the supplied function must
+// be safe for concurrent calls when combined with parallel solving.
+func WithLazyDistances() Option {
+	return func(c *problemCfg) { c.lazy = true }
 }
 
 // WithMetricValidation makes NewProblem verify the triangle inequality over
@@ -201,7 +233,8 @@ func NewProblem(items []Item, opts ...Option) (*Problem, error) {
 	return &Problem{items: cp, obj: obj, modular: modular}, nil
 }
 
-// buildMetric materializes the configured distance into a dense matrix.
+// buildMetric materializes the configured distance into a dense matrix, or
+// wraps it in the lazy memoizing cache under WithLazyDistances.
 func buildMetric(items []Item, cfg *problemCfg) (metric.Metric, error) {
 	choice := cfg.distance
 	if choice == distAuto {
@@ -210,6 +243,16 @@ func buildMetric(items []Item, cfg *problemCfg) (metric.Metric, error) {
 		} else {
 			return nil, fmt.Errorf("maxsumdiv: items carry no vectors; supply WithDistanceMatrix or WithDistanceFunc")
 		}
+	}
+	// prep converts a computed metric to its lookup form: a dense matrix by
+	// default; under WithLazyDistances, Memoize picks the striped cache at
+	// large n and still materializes small spaces (a few MB of dense matrix
+	// beats per-lookup locking there).
+	prep := func(m metric.Metric) metric.Metric {
+		if cfg.lazy {
+			return metric.Memoize(m)
+		}
+		return metric.Materialize(m)
 	}
 	vectors := func() ([][]float64, error) {
 		vecs := make([][]float64, len(items))
@@ -231,7 +274,7 @@ func buildMetric(items []Item, cfg *problemCfg) (metric.Metric, error) {
 		if err != nil {
 			return nil, fmt.Errorf("maxsumdiv: %w", err)
 		}
-		return metric.Materialize(c), nil
+		return prep(c), nil
 	case distAngular:
 		vecs, err := vectors()
 		if err != nil {
@@ -241,7 +284,7 @@ func buildMetric(items []Item, cfg *problemCfg) (metric.Metric, error) {
 		if err != nil {
 			return nil, fmt.Errorf("maxsumdiv: %w", err)
 		}
-		return metric.Materialize(a), nil
+		return prep(a), nil
 	case distEuclidean, distManhattan:
 		vecs, err := vectors()
 		if err != nil {
@@ -255,7 +298,7 @@ func buildMetric(items []Item, cfg *problemCfg) (metric.Metric, error) {
 		if err != nil {
 			return nil, fmt.Errorf("maxsumdiv: %w", err)
 		}
-		return metric.Materialize(p), nil
+		return prep(p), nil
 	case distMatrix:
 		d, err := metric.NewDenseFromMatrix(cfg.matrix)
 		if err != nil {
@@ -269,7 +312,7 @@ func buildMetric(items []Item, cfg *problemCfg) (metric.Metric, error) {
 		if cfg.fn == nil {
 			return nil, fmt.Errorf("maxsumdiv: nil distance function")
 		}
-		return metric.Materialize(metric.Func{N: len(items), F: cfg.fn}), nil
+		return prep(metric.Func{N: len(items), F: cfg.fn}), nil
 	default:
 		return nil, fmt.Errorf("maxsumdiv: unknown distance choice %d", choice)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"maxsumdiv/internal/core"
+	"maxsumdiv/internal/engine"
 	"maxsumdiv/internal/matroid"
 )
 
@@ -37,6 +38,101 @@ func (p *Problem) wrap(sol *core.Solution) *Solution {
 		Dispersion: sol.Dispersion,
 		Swaps:      sol.Swaps,
 	}
+}
+
+// Algorithm selects the solver Solve dispatches to.
+type Algorithm int
+
+const (
+	// AlgorithmGreedy is the paper's non-oblivious greedy (Theorem 1,
+	// 2-approximation) — the default.
+	AlgorithmGreedy Algorithm = iota
+	// AlgorithmGreedyImproved opens the greedy with the best pair (Table 3).
+	AlgorithmGreedyImproved
+	// AlgorithmGollapudiSharma is the Greedy A baseline (modular quality
+	// only).
+	AlgorithmGollapudiSharma
+	// AlgorithmOblivious is the objective-marginal greedy ablation (no
+	// guarantee).
+	AlgorithmOblivious
+	// AlgorithmLocalSearch runs the greedy, then polishes it with the
+	// Section 5 single-swap local search under |S| ≤ k (Theorem 2).
+	AlgorithmLocalSearch
+	// AlgorithmExact is the branch-and-bound optimum (small instances only).
+	AlgorithmExact
+)
+
+// SolveOption configures Solve.
+type SolveOption func(*solveCfg)
+
+type solveCfg struct {
+	algo        Algorithm
+	parallelism int
+}
+
+// WithParallelism sets how many worker goroutines Solve's candidate scans
+// shard across: 1 forces serial execution, k ≤ 0 (the default) uses
+// GOMAXPROCS. Selection rules are total orders, so every parallelism level
+// returns the identical solution.
+func WithParallelism(k int) SolveOption {
+	return func(c *solveCfg) { c.parallelism = k }
+}
+
+// WithAlgorithm selects which solver Solve runs (default AlgorithmGreedy).
+func WithAlgorithm(a Algorithm) SolveOption {
+	return func(c *solveCfg) { c.algo = a }
+}
+
+// Solve selects up to k items with the configured algorithm, sharding the
+// argmax-over-candidates scans of the greedy, local-search, and edge-scan
+// hot paths across a bounded worker pool (GOMAXPROCS workers by default;
+// see WithParallelism). Parallel and serial runs return identical solutions.
+func (p *Problem) Solve(k int, opts ...SolveOption) (*Solution, error) {
+	cfg := solveCfg{algo: AlgorithmGreedy}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var pool *engine.Pool
+	if cfg.parallelism != 1 {
+		pool = engine.New(cfg.parallelism)
+	}
+	var (
+		sol *core.Solution
+		err error
+	)
+	switch cfg.algo {
+	case AlgorithmGreedy:
+		sol, err = core.GreedyB(p.obj, k, core.WithPool(pool))
+	case AlgorithmGreedyImproved:
+		sol, err = core.GreedyB(p.obj, k, core.WithBestPairStart(), core.WithPool(pool))
+	case AlgorithmGollapudiSharma:
+		if p.modular == nil {
+			return nil, fmt.Errorf("maxsumdiv: AlgorithmGollapudiSharma requires the default modular quality")
+		}
+		sol, err = core.GreedyA(p.obj, k, core.WithPool(pool))
+	case AlgorithmOblivious:
+		sol, err = core.GreedyOblivious(p.obj, k, core.WithPool(pool))
+	case AlgorithmLocalSearch:
+		var uni matroid.Matroid
+		uni, err = matroid.NewUniform(p.Len(), k)
+		if err != nil {
+			return nil, fmt.Errorf("maxsumdiv: %w", err)
+		}
+		var init *core.Solution
+		init, err = core.GreedyB(p.obj, k, core.WithPool(pool))
+		if err != nil {
+			return nil, err
+		}
+		sol, err = core.LocalSearch(p.obj, uni, &core.LSOptions{Init: init.Members, Pool: pool})
+	case AlgorithmExact:
+		sol, err = core.Exact(p.obj, k, &core.ExactOptions{Parallel: pool.Workers() > 1})
+	default:
+		return nil, fmt.Errorf("maxsumdiv: unknown algorithm %d", cfg.algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p.wrap(sol), nil
 }
 
 // Greedy runs the paper's non-oblivious greedy (Theorem 1): repeatedly add
@@ -90,6 +186,10 @@ type LocalSearchOptions struct {
 	MaxSwaps int
 	// TimeBudget bounds the search wall-clock (0 = unlimited).
 	TimeBudget time.Duration
+	// Parallelism shards the swap-neighborhood scan across this many worker
+	// goroutines: 0 or 1 runs serially, negative values select GOMAXPROCS.
+	// Every setting returns the identical solution.
+	Parallelism int
 }
 
 // LocalSearch runs the paper's oblivious single-swap local search under a
@@ -108,6 +208,9 @@ func (p *Problem) LocalSearch(c Constraint, opts *LocalSearchOptions) (*Solution
 			RelEps:     opts.RelEps,
 			MaxSwaps:   opts.MaxSwaps,
 			TimeBudget: opts.TimeBudget,
+		}
+		if opts.Parallelism != 0 && opts.Parallelism != 1 {
+			lsOpts.Pool = engine.New(opts.Parallelism)
 		}
 	}
 	sol, err := core.LocalSearch(p.obj, adaptConstraint(c), lsOpts)
@@ -187,6 +290,11 @@ func (p *Problem) MMR(lambda float64, k int) (*Solution, error) {
 // Constraint is a matroid independence oracle over item indices. It must
 // satisfy the matroid axioms (hereditary + augmentation) for the Theorem 2
 // guarantee; see the constructors for ready-made families.
+//
+// When LocalSearch runs with Parallelism > 1, Independent is called from
+// multiple goroutines concurrently and must be safe for that (every
+// built-in constructor is; a custom oracle with unsynchronized mutable
+// scratch is not).
 type Constraint interface {
 	// GroundSize returns the number of items the constraint covers.
 	GroundSize() int

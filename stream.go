@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"maxsumdiv/internal/core"
+	"maxsumdiv/internal/engine"
 	"maxsumdiv/internal/stream"
 )
 
@@ -67,15 +68,43 @@ func CosineStreamDistance(a, b Item) float64 {
 	return 1 - c
 }
 
+// StreamOption configures NewStream.
+type StreamOption func(*streamCfg)
+
+type streamCfg struct {
+	parallelism    int
+	parallelismSet bool
+}
+
+// WithStreamParallelism shards each offer's eviction scan across k worker
+// goroutines — the same scan engine the offline solvers use. As with
+// WithParallelism, k ≤ 0 selects GOMAXPROCS and k = 1 forces serial;
+// omitting the option entirely also stays serial. Only worthwhile for
+// large windows; decisions are identical at every setting.
+func WithStreamParallelism(k int) StreamOption {
+	return func(c *streamCfg) {
+		c.parallelism = k
+		c.parallelismSet = true
+	}
+}
+
 // NewStream builds a streaming diversifier with window size p and trade-off
 // λ.
-func NewStream(p int, lambda float64, dist StreamDistance) (*Stream, error) {
+func NewStream(p int, lambda float64, dist StreamDistance, opts ...StreamOption) (*Stream, error) {
 	if dist == nil {
 		return nil, fmt.Errorf("maxsumdiv: nil stream distance")
 	}
+	var cfg streamCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var innerOpts []stream.Option
+	if cfg.parallelismSet && cfg.parallelism != 1 {
+		innerOpts = append(innerOpts, stream.WithPool(engine.New(cfg.parallelism)))
+	}
 	inner, err := stream.New(p, lambda, func(a, b stream.Item) float64 {
 		return dist(fromStreamItem(a), fromStreamItem(b))
-	})
+	}, innerOpts...)
 	if err != nil {
 		return nil, err
 	}
