@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -update` to create goldens)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenOutput pins the CLI's selection and objective report per
+// algorithm on a fixed corpus: the solvers are deterministic (total-order
+// tie-breaks), so byte drift means a behavior change.
+func TestGoldenOutput(t *testing.T) {
+	path := writeCSV(t, sample)
+	for _, algo := range []string{"greedy", "greedy-improved", "gs", "localsearch", "exact", "mmr"} {
+		var buf bytes.Buffer
+		if err := run(&buf, path, 3, algo, 0.5, "cosine", 0.7, false); err != nil {
+			t.Fatalf("algo %s: %v", algo, err)
+		}
+		checkGolden(t, algo+".golden", buf.Bytes())
+	}
+}

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"maxsumdiv"
@@ -38,13 +39,13 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *k, *algo, *lambda, *distance, *mmrLambda, *validate); err != nil {
+	if err := run(os.Stdout, flag.Arg(0), *k, *algo, *lambda, *distance, *mmrLambda, *validate); err != nil {
 		fmt.Fprintln(os.Stderr, "diversify:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, k int, algo string, lambda float64, distance string, mmrLambda float64, validate bool) error {
+func run(w io.Writer, path string, k int, algo string, lambda float64, distance string, mmrLambda float64, validate bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -110,12 +111,12 @@ func run(path string, k int, algo string, lambda float64, distance string, mmrLa
 	}
 
 	for rank, idx := range sol.Indices {
-		fmt.Printf("%2d. %-20s weight=%.4f\n", rank+1, items[idx].ID, items[idx].Weight)
+		fmt.Fprintf(w, "%2d. %-20s weight=%.4f\n", rank+1, items[idx].ID, items[idx].Weight)
 	}
-	fmt.Printf("\nobjective φ(S) = %.4f  (quality %.4f + λ·dispersion %g×%.4f)\n",
+	fmt.Fprintf(w, "\nobjective φ(S) = %.4f  (quality %.4f + λ·dispersion %g×%.4f)\n",
 		sol.Value, sol.Quality, lambda, sol.Dispersion)
 	if sol.Swaps > 0 {
-		fmt.Printf("local search applied %d improving swaps\n", sol.Swaps)
+		fmt.Fprintf(w, "local search applied %d improving swaps\n", sol.Swaps)
 	}
 	return nil
 }

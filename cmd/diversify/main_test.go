@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -26,7 +27,7 @@ epsilon,0.5,0.5,0.5
 func TestRunAlgorithms(t *testing.T) {
 	path := writeCSV(t, sample)
 	for _, algo := range []string{"greedy", "greedy-improved", "gs", "localsearch", "exact", "mmr"} {
-		if err := run(path, 3, algo, 0.5, "cosine", 0.7, false); err != nil {
+		if err := run(io.Discard, path, 3, algo, 0.5, "cosine", 0.7, false); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
 	}
@@ -35,32 +36,32 @@ func TestRunAlgorithms(t *testing.T) {
 func TestRunDistances(t *testing.T) {
 	path := writeCSV(t, sample)
 	for _, dist := range []string{"cosine", "angular", "l2", "l1"} {
-		if err := run(path, 2, "greedy", 0.5, dist, 0.7, false); err != nil {
+		if err := run(io.Discard, path, 2, "greedy", 0.5, dist, 0.7, false); err != nil {
 			t.Errorf("distance %s: %v", dist, err)
 		}
 	}
 	// Angular passes full metric validation.
-	if err := run(path, 2, "greedy", 0.5, "angular", 0.7, true); err != nil {
+	if err := run(io.Discard, path, 2, "greedy", 0.5, "angular", 0.7, true); err != nil {
 		t.Errorf("validated angular: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	path := writeCSV(t, sample)
-	if err := run(path, 3, "no-such-algo", 0.5, "cosine", 0.7, false); err == nil {
+	if err := run(io.Discard, path, 3, "no-such-algo", 0.5, "cosine", 0.7, false); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if err := run(path, 3, "greedy", 0.5, "no-such-distance", 0.7, false); err == nil {
+	if err := run(io.Discard, path, 3, "greedy", 0.5, "no-such-distance", 0.7, false); err == nil {
 		t.Error("unknown distance accepted")
 	}
-	if err := run(path, 99, "greedy", 0.5, "cosine", 0.7, false); err == nil {
+	if err := run(io.Discard, path, 99, "greedy", 0.5, "cosine", 0.7, false); err == nil {
 		t.Error("k > n accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.csv"), 3, "greedy", 0.5, "cosine", 0.7, false); err == nil {
+	if err := run(io.Discard, filepath.Join(t.TempDir(), "missing.csv"), 3, "greedy", 0.5, "cosine", 0.7, false); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeCSV(t, "only-one-column\n")
-	if err := run(bad, 1, "greedy", 0.5, "cosine", 0.7, false); err == nil {
+	if err := run(io.Discard, bad, 1, "greedy", 0.5, "cosine", 0.7, false); err == nil {
 		t.Error("malformed csv accepted")
 	}
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"maxsumdiv/internal/dynamic"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -update` to create goldens)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenSingle pins the single-environment report for a fixed seed.
+// Serial mode keeps the run order deterministic; the simulation itself is
+// seeded, so any drift here is a real behavior change.
+func TestGoldenSingle(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		env  dynamic.Env
+	}{
+		{"single_v.golden", dynamic.VPerturbation},
+		{"single_e.golden", dynamic.EPerturbation},
+		{"single_m.golden", dynamic.MPerturbation},
+	} {
+		var buf bytes.Buffer
+		if err := runSingle(&buf, 12, 3, 0.4, 5, 3, tc.env, 7, false); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, tc.name, buf.Bytes())
+	}
+}
+
+// TestGoldenGrid pins the Figure 1 table for a reduced grid.
+func TestGoldenGrid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runGrid(&buf, 10, 3, []float64{0, 0.4, 1}, 4, 2, 7, false); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "grid.golden", buf.Bytes())
+}
+
+func TestParseEnv(t *testing.T) {
+	for _, s := range []string{"v", "e", "m", "V", "M"} {
+		if _, err := parseEnv(s); err != nil {
+			t.Errorf("parseEnv(%q): %v", s, err)
+		}
+	}
+	if _, err := parseEnv("x"); err == nil {
+		t.Error("bad environment accepted")
+	}
+}

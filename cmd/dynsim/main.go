@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -39,43 +40,64 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dynsim:", err)
 			os.Exit(2)
 		}
-		res, err := experiments.RunFigure1(experiments.Figure1Config{
-			N: *n, P: *p, Lambdas: grid, Steps: *steps, Repetitions: *reps,
-			Seed: *seed, Parallel: !*serial,
-		})
-		if err != nil {
+		if err := runGrid(os.Stdout, *n, *p, grid, *steps, *reps, *seed, !*serial); err != nil {
 			fmt.Fprintln(os.Stderr, "dynsim:", err)
 			os.Exit(1)
 		}
-		fmt.Println(res.Render())
 		return
 	}
-
-	var env dynamic.Env
-	switch strings.ToLower(*envFlag) {
-	case "v":
-		env = dynamic.VPerturbation
-	case "e":
-		env = dynamic.EPerturbation
-	case "m":
-		env = dynamic.MPerturbation
-	default:
-		fmt.Fprintf(os.Stderr, "dynsim: unknown environment %q\n", *envFlag)
+	env, err := parseEnv(*envFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dynsim:", err)
 		os.Exit(2)
 	}
-	res, err := dynamic.Simulate(dynamic.SimConfig{
-		N: *n, P: *p, Lambda: *lambda, Steps: *steps, Repetitions: *reps,
-		Env: env, Seed: *seed, Parallel: !*serial,
-	})
-	if err != nil {
+	if err := runSingle(os.Stdout, *n, *p, *lambda, *steps, *reps, env, *seed, !*serial); err != nil {
 		fmt.Fprintln(os.Stderr, "dynsim:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("environment      %v\n", env)
-	fmt.Printf("N=%d p=%d λ=%g, %d steps × %d repetitions\n", *n, *p, *lambda, *steps, *reps)
-	fmt.Printf("worst ratio      %.4f (provable bound: 3)\n", res.WorstRatio)
-	fmt.Printf("mean ratio       %.4f\n", res.MeanRatio)
-	fmt.Printf("swaps applied    %d / %d updates\n", res.Swapped, res.StepsMeasured)
+}
+
+// runGrid renders the Figure 1 series over a λ grid.
+func runGrid(w io.Writer, n, p int, grid []float64, steps, reps int, seed int64, parallel bool) error {
+	res, err := experiments.RunFigure1(experiments.Figure1Config{
+		N: n, P: p, Lambdas: grid, Steps: steps, Repetitions: reps,
+		Seed: seed, Parallel: parallel,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, res.Render())
+	return nil
+}
+
+// runSingle simulates one environment and reports the ratio summary.
+func runSingle(w io.Writer, n, p int, lambda float64, steps, reps int, env dynamic.Env, seed int64, parallel bool) error {
+	res, err := dynamic.Simulate(dynamic.SimConfig{
+		N: n, P: p, Lambda: lambda, Steps: steps, Repetitions: reps,
+		Env: env, Seed: seed, Parallel: parallel,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "environment      %v\n", env)
+	fmt.Fprintf(w, "N=%d p=%d λ=%g, %d steps × %d repetitions\n", n, p, lambda, steps, reps)
+	fmt.Fprintf(w, "worst ratio      %.4f (provable bound: 3)\n", res.WorstRatio)
+	fmt.Fprintf(w, "mean ratio       %.4f\n", res.MeanRatio)
+	fmt.Fprintf(w, "swaps applied    %d / %d updates\n", res.Swapped, res.StepsMeasured)
+	return nil
+}
+
+func parseEnv(s string) (dynamic.Env, error) {
+	switch strings.ToLower(s) {
+	case "v":
+		return dynamic.VPerturbation, nil
+	case "e":
+		return dynamic.EPerturbation, nil
+	case "m":
+		return dynamic.MPerturbation, nil
+	default:
+		return 0, fmt.Errorf("unknown environment %q", s)
+	}
 }
 
 func parseGrid(s string) ([]float64, error) {

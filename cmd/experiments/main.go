@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -30,9 +31,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	flag.Parse()
 
+	os.Exit(execute(os.Stdout, os.Stderr, *only, *full, *lambda, *seed))
+}
+
+// execute runs the selected experiments and returns the process exit code
+// (0 ok, 1 experiment failure, 2 unknown experiment name).
+func execute(stdout, stderr io.Writer, only string, full bool, lambda float64, seed int64) int {
 	want := map[string]bool{}
-	if *only != "" {
-		for _, name := range strings.Split(*only, ",") {
+	if only != "" {
+		for _, name := range strings.Split(only, ",") {
 			want[strings.TrimSpace(strings.ToLower(name))] = true
 		}
 	}
@@ -45,50 +52,50 @@ func main() {
 	runs := []experiment{
 		{"table1", func() (fmt.Stringer, error) {
 			cfg := experiments.DefaultTable1Config()
-			cfg.Lambda, cfg.Seed = *lambda, *seed
+			cfg.Lambda, cfg.Seed = lambda, seed
 			return render(experiments.RunTable1(cfg))
 		}},
 		{"table2", func() (fmt.Stringer, error) {
 			cfg := experiments.DefaultTable2Config()
-			cfg.Lambda, cfg.Seed = *lambda, *seed
+			cfg.Lambda, cfg.Seed = lambda, seed
 			return render(experiments.RunTable2(cfg))
 		}},
 		{"table3", func() (fmt.Stringer, error) {
 			cfg := experiments.DefaultTable3Config()
-			cfg.Lambda = *lambda
+			cfg.Lambda = lambda
 			return render(experiments.RunTable1(cfg))
 		}},
 		{"table4", func() (fmt.Stringer, error) {
 			cfg := experiments.DefaultTable4Config()
-			cfg.Lambda = *lambda
+			cfg.Lambda = lambda
 			return render(experiments.RunTable4(cfg))
 		}},
 		{"table5", func() (fmt.Stringer, error) {
 			cfg := experiments.DefaultTable5Config()
-			cfg.Lambda = *lambda
+			cfg.Lambda = lambda
 			return render(experiments.RunTable5(cfg))
 		}},
 		{"table6", func() (fmt.Stringer, error) {
 			cfg := experiments.DefaultTable6Config()
-			cfg.Lambda = *lambda
+			cfg.Lambda = lambda
 			return render(experiments.RunTable6(cfg))
 		}},
 		{"table7", func() (fmt.Stringer, error) {
 			cfg := experiments.DefaultTable7Config()
-			cfg.Lambda = *lambda
+			cfg.Lambda = lambda
 			return render(experiments.RunTable7(cfg))
 		}},
 		{"table8", func() (fmt.Stringer, error) {
 			cfg := experiments.DefaultTable8Config()
-			cfg.Lambda = *lambda
+			cfg.Lambda = lambda
 			return render(experiments.RunTable8(cfg))
 		}},
 		{"figure1", func() (fmt.Stringer, error) {
 			cfg := experiments.QuickFigure1Config()
-			if *full {
+			if full {
 				cfg = experiments.DefaultFigure1Config()
 			}
-			cfg.Seed = *seed
+			cfg.Seed = seed
 			return render(experiments.RunFigure1(cfg))
 		}},
 		{"appendix", func() (fmt.Stringer, error) {
@@ -103,7 +110,7 @@ func main() {
 	exitCode := 0
 	for name := range want {
 		if !known[name] {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (known: table1..table8, figure1, appendix)\n", name)
+			fmt.Fprintf(stderr, "experiments: unknown experiment %q (known: table1..table8, figure1, appendix)\n", name)
 			exitCode = 2
 		}
 	}
@@ -114,14 +121,14 @@ func main() {
 		start := time.Now()
 		out, err := e.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			fmt.Fprintf(stderr, "%s: %v\n", e.name, err)
 			exitCode = 1
 			continue
 		}
-		fmt.Println(out)
-		fmt.Printf("[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(stdout, out)
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
-	os.Exit(exitCode)
+	return exitCode
 }
 
 // renderable adapts the experiments results (which expose Render) to

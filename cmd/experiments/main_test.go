@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExecuteAppendixSmoke runs the cheapest experiment end to end: the
+// Appendix negative result is a closed-form construction, so this pins the
+// whole flag → run → render path without paper-scale compute.
+func TestExecuteAppendixSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := execute(&out, &errOut, "appendix", false, 0.2, 1)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	body := out.String()
+	for _, want := range []string{"APPENDIX", "completed in"} {
+		if !strings.Contains(strings.ToUpper(body), strings.ToUpper(want)) {
+			t.Fatalf("output missing %q:\n%s", want, body)
+		}
+	}
+	if errOut.Len() != 0 {
+		t.Fatalf("unexpected stderr: %s", errOut.String())
+	}
+}
+
+// TestExecuteUnknownName reports code 2 and names the offender.
+func TestExecuteUnknownName(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := execute(&out, &errOut, "no-such-table", false, 0.2, 1)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "no-such-table") {
+		t.Fatalf("stderr does not name the unknown experiment: %s", errOut.String())
+	}
+}
+
+// TestExecuteSelection runs two cheap selections and checks both render.
+func TestExecuteSelection(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := execute(&out, &errOut, "appendix, APPENDIX", false, 0.2, 1)
+	if code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if strings.Count(out.String(), "completed in") != 1 {
+		t.Fatalf("duplicate names should coalesce to one run:\n%s", out.String())
+	}
+}

@@ -1,0 +1,424 @@
+// Command loadgen drives a configurable insert/delete/query mix against a
+// running serve instance (cmd/serve) and reports throughput and tail
+// latency per operation type, while asserting the service's correctness
+// invariants under concurrency:
+//
+//   - every query returns exactly min(k, live items) results with no
+//     duplicate ids;
+//   - an item whose DELETE was acknowledged before a query was issued
+//     never appears in that query's results;
+//   - with -check-monotone (single worker, no deletes, -algo exact), the
+//     query objective never decreases as items are inserted; the run stops
+//     inserting at the server's exact-solver corpus limit (40 items) and
+//     keeps querying.
+//
+// Usage:
+//
+//	loadgen -addr http://localhost:8080 [-workers 8] [-ops 200]
+//	        [-duration 0] [-inserts 60 -deletes 10 -queries 30]
+//	        [-k 10] [-dim 8] [-algo greedy] [-scope full] [-seed 1]
+//	        [-check-monotone]
+//
+// With -duration > 0 each worker runs for that wall-clock span instead of
+// a fixed op count. Exit status is non-zero if any request failed or any
+// invariant was violated.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	cfg := Config{}
+	flag.StringVar(&cfg.BaseURL, "addr", "http://localhost:8080", "server base URL")
+	flag.IntVar(&cfg.Workers, "workers", 8, "concurrent client workers")
+	flag.IntVar(&cfg.Ops, "ops", 200, "operations per worker (ignored when -duration > 0)")
+	flag.DurationVar(&cfg.Duration, "duration", 0, "run each worker for this long instead of -ops")
+	flag.IntVar(&cfg.MixInsert, "inserts", 60, "insert weight in the op mix")
+	flag.IntVar(&cfg.MixDelete, "deletes", 10, "delete weight in the op mix")
+	flag.IntVar(&cfg.MixQuery, "queries", 30, "query weight in the op mix")
+	flag.IntVar(&cfg.K, "k", 10, "query k")
+	flag.IntVar(&cfg.Dim, "dim", 8, "item vector dimension")
+	flag.StringVar(&cfg.Algorithm, "algo", "greedy", "query algorithm")
+	flag.StringVar(&cfg.Scope, "scope", "full", "query scope: full | maintained")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "RNG seed")
+	flag.BoolVar(&cfg.CheckMonotone, "check-monotone", false,
+		"assert the objective is non-decreasing (requires -workers 1, -deletes 0, -algo exact)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	fmt.Print(rep.Render())
+	if len(rep.Errors) > 0 || len(rep.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+// Config parameterizes a load run.
+type Config struct {
+	BaseURL  string
+	Workers  int
+	Ops      int
+	Duration time.Duration
+	// MixInsert : MixDelete : MixQuery are relative op weights.
+	MixInsert, MixDelete, MixQuery int
+	K                              int
+	Dim                            int
+	Algorithm                      string
+	Scope                          string
+	Seed                           int64
+	// CheckMonotone asserts the query objective never decreases; only
+	// meaningful for a serialized insert-only exact workload.
+	CheckMonotone bool
+	// MonotoneMaxItems caps how many items a monotone run inserts
+	// (default 40, the server's exact-algorithm corpus limit); once
+	// reached, further insert slots become queries.
+	MonotoneMaxItems int
+	// Client overrides the HTTP client (tests inject an httptest client).
+	Client *http.Client
+}
+
+// Report is the outcome of a load run.
+type Report struct {
+	Elapsed                        time.Duration
+	Inserts, Deletes, Queries      int64
+	InsertLat, DeleteLat, QueryLat LatencySummary
+	// Errors are transport or non-2xx failures (capped at 20).
+	Errors []string
+	// Violations are correctness-invariant breaches (capped at 20).
+	Violations []string
+}
+
+// LatencySummary condenses one op type's latency samples.
+type LatencySummary struct {
+	Count                    int64
+	Mean, P50, P95, P99, Max time.Duration
+}
+
+func summarize(samples []time.Duration) LatencySummary {
+	s := LatencySummary{Count: int64(len(samples))}
+	if len(samples) == 0 {
+		return s
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	s.Mean = sum / time.Duration(len(samples))
+	q := func(p float64) time.Duration { return samples[int(p*float64(len(samples)-1))] }
+	s.P50, s.P95, s.P99, s.Max = q(0.50), q(0.95), q(0.99), samples[len(samples)-1]
+	return s
+}
+
+// Render formats the report for humans.
+func (r *Report) Render() string {
+	var b strings.Builder
+	total := r.Inserts + r.Deletes + r.Queries
+	fmt.Fprintf(&b, "loadgen: %d ops in %v (%.0f ops/sec)\n",
+		total, r.Elapsed.Round(time.Millisecond), float64(total)/r.Elapsed.Seconds())
+	row := func(name string, n int64, l LatencySummary) {
+		if n == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "  %-8s %6d   mean %8v  p50 %8v  p95 %8v  p99 %8v  max %8v\n",
+			name, n, l.Mean.Round(time.Microsecond), l.P50.Round(time.Microsecond),
+			l.P95.Round(time.Microsecond), l.P99.Round(time.Microsecond), l.Max.Round(time.Microsecond))
+	}
+	row("insert", r.Inserts, r.InsertLat)
+	row("delete", r.Deletes, r.DeleteLat)
+	row("query", r.Queries, r.QueryLat)
+	fmt.Fprintf(&b, "  errors %d, invariant violations %d\n", len(r.Errors), len(r.Violations))
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "    error: %s\n", e)
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "    VIOLATION: %s\n", v)
+	}
+	return b.String()
+}
+
+// opKind indexes the latency sample buckets.
+type opKind int
+
+const (
+	opInsert opKind = iota
+	opDelete
+	opQuery
+)
+
+// sharedState is the cross-worker bookkeeping the invariant checks need.
+type sharedState struct {
+	mu      sync.Mutex
+	live    []string        // ids inserted and not yet deleted
+	deleted map[string]bool // ids whose DELETE was acknowledged
+	errs    []string
+	viols   []string
+	prevVal float64 // monotone check (serialized runs only)
+}
+
+func (st *sharedState) addErr(format string, args ...any) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.errs) < 20 {
+		st.errs = append(st.errs, fmt.Sprintf(format, args...))
+	}
+}
+
+func (st *sharedState) addViolation(format string, args ...any) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.viols) < 20 {
+		st.viols = append(st.viols, fmt.Sprintf(format, args...))
+	}
+}
+
+// Run executes the workload and collects the report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("workers = %d, want > 0", cfg.Workers)
+	}
+	if cfg.Ops <= 0 && cfg.Duration <= 0 {
+		return nil, fmt.Errorf("need -ops > 0 or -duration > 0")
+	}
+	if cfg.MixInsert < 0 || cfg.MixDelete < 0 || cfg.MixQuery < 0 ||
+		cfg.MixInsert+cfg.MixDelete+cfg.MixQuery == 0 {
+		return nil, fmt.Errorf("invalid op mix %d:%d:%d", cfg.MixInsert, cfg.MixDelete, cfg.MixQuery)
+	}
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("k = %d, want > 0", cfg.K)
+	}
+	if cfg.CheckMonotone && (cfg.Workers != 1 || cfg.MixDelete != 0 || cfg.Algorithm != "exact") {
+		return nil, fmt.Errorf("-check-monotone requires -workers 1, -deletes 0 and -algo exact")
+	}
+	if cfg.MonotoneMaxItems <= 0 {
+		cfg.MonotoneMaxItems = 40 // the server's exact-algorithm corpus limit
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	st := &sharedState{deleted: make(map[string]bool), prevVal: -1}
+	samples := make([][3][]time.Duration, cfg.Workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lw := &loadWorker{cfg: cfg, client: client, st: st,
+				rng: rand.New(rand.NewSource(cfg.Seed + int64(w)*7919)), id: w}
+			deadline := time.Time{}
+			if cfg.Duration > 0 {
+				deadline = start.Add(cfg.Duration)
+			}
+			for i := 0; cfg.Duration > 0 || i < cfg.Ops; i++ {
+				if ctx.Err() != nil || (!deadline.IsZero() && time.Now().After(deadline)) {
+					break
+				}
+				kind, d, ok := lw.step()
+				if ok {
+					samples[w][kind] = append(samples[w][kind], d)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	rep := &Report{Elapsed: time.Since(start)}
+	var merged [3][]time.Duration
+	for w := range samples {
+		for k := 0; k < 3; k++ {
+			merged[k] = append(merged[k], samples[w][k]...)
+		}
+	}
+	rep.Inserts, rep.Deletes, rep.Queries =
+		int64(len(merged[opInsert])), int64(len(merged[opDelete])), int64(len(merged[opQuery]))
+	rep.InsertLat = summarize(merged[opInsert])
+	rep.DeleteLat = summarize(merged[opDelete])
+	rep.QueryLat = summarize(merged[opQuery])
+	st.mu.Lock()
+	rep.Errors, rep.Violations = st.errs, st.viols
+	st.mu.Unlock()
+	return rep, nil
+}
+
+// loadWorker is one client goroutine's state.
+type loadWorker struct {
+	cfg    Config
+	client *http.Client
+	st     *sharedState
+	rng    *rand.Rand
+	id     int
+	seq    int
+}
+
+// step performs one operation and returns its kind and latency; ok = false
+// when the op errored (errors are recorded in shared state).
+func (lw *loadWorker) step() (opKind, time.Duration, bool) {
+	mix := lw.cfg.MixInsert + lw.cfg.MixDelete + lw.cfg.MixQuery
+	r := lw.rng.Intn(mix)
+	switch {
+	case r < lw.cfg.MixInsert:
+		if lw.cfg.CheckMonotone && lw.seq >= lw.cfg.MonotoneMaxItems {
+			// The exact solver's corpus limit would reject further growth;
+			// keep querying the capped corpus instead.
+			return lw.query()
+		}
+		return lw.insert()
+	case r < lw.cfg.MixInsert+lw.cfg.MixDelete:
+		return lw.delete()
+	default:
+		return lw.query()
+	}
+}
+
+func (lw *loadWorker) insert() (opKind, time.Duration, bool) {
+	lw.seq++
+	id := fmt.Sprintf("lg-%d-%d", lw.id, lw.seq) // unique forever: ids are never reused
+	vec := make([]float64, lw.cfg.Dim)
+	for i := range vec {
+		vec[i] = lw.rng.Float64()
+	}
+	body, _ := json.Marshal(map[string]any{"id": id, "weight": lw.rng.Float64(), "vector": vec})
+	start := time.Now()
+	resp, err := lw.client.Post(lw.cfg.BaseURL+"/items", "application/json", bytes.NewReader(body))
+	d := time.Since(start)
+	if err != nil {
+		lw.st.addErr("insert %s: %v", id, err)
+		return opInsert, d, false
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		lw.st.addErr("insert %s: status %d", id, resp.StatusCode)
+		return opInsert, d, false
+	}
+	lw.st.mu.Lock()
+	lw.st.live = append(lw.st.live, id)
+	lw.st.mu.Unlock()
+	return opInsert, d, true
+}
+
+func (lw *loadWorker) delete() (opKind, time.Duration, bool) {
+	lw.st.mu.Lock()
+	if len(lw.st.live) == 0 {
+		lw.st.mu.Unlock()
+		return lw.insert()
+	}
+	i := lw.rng.Intn(len(lw.st.live))
+	id := lw.st.live[i]
+	lw.st.live[i] = lw.st.live[len(lw.st.live)-1]
+	lw.st.live = lw.st.live[:len(lw.st.live)-1]
+	lw.st.mu.Unlock()
+
+	req, _ := http.NewRequest(http.MethodDelete, lw.cfg.BaseURL+"/items/"+id, nil)
+	start := time.Now()
+	resp, err := lw.client.Do(req)
+	d := time.Since(start)
+	if err != nil {
+		lw.st.addErr("delete %s: %v", id, err)
+		return opDelete, d, false
+	}
+	drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		lw.st.addErr("delete %s: status %d", id, resp.StatusCode)
+		return opDelete, d, false
+	}
+	// Acknowledged: from this moment no query may return the id.
+	lw.st.mu.Lock()
+	lw.st.deleted[id] = true
+	lw.st.mu.Unlock()
+	return opDelete, d, true
+}
+
+func (lw *loadWorker) query() (opKind, time.Duration, bool) {
+	// Snapshot the acknowledged deletions before issuing: those must never
+	// appear in this query's results (new deletions racing the query may).
+	lw.st.mu.Lock()
+	deletedBefore := make(map[string]bool, len(lw.st.deleted))
+	for id := range lw.st.deleted {
+		deletedBefore[id] = true
+	}
+	lw.st.mu.Unlock()
+
+	reqBody, _ := json.Marshal(map[string]any{
+		"k": lw.cfg.K, "algorithm": lw.cfg.Algorithm, "scope": lw.cfg.Scope,
+	})
+	start := time.Now()
+	resp, err := lw.client.Post(lw.cfg.BaseURL+"/diversify", "application/json", bytes.NewReader(reqBody))
+	d := time.Since(start)
+	if err != nil {
+		lw.st.addErr("query: %v", err)
+		return opQuery, d, false
+	}
+	var dres struct {
+		Items []struct {
+			ID string `json:"id"`
+		} `json:"items"`
+		Value float64 `json:"value"`
+		N     int     `json:"n"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&dres)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		lw.st.addErr("query: status %d, decode err %v", resp.StatusCode, err)
+		return opQuery, d, false
+	}
+
+	// n is the candidate-pool size the server reports for this query (the
+	// live corpus, or the maintained pool under scope=maintained).
+	want := lw.cfg.K
+	if dres.N < want {
+		want = dres.N
+	}
+	if len(dres.Items) != want {
+		lw.st.addViolation("query returned %d items, want min(k=%d, n=%d)", len(dres.Items), lw.cfg.K, dres.N)
+	}
+	seen := map[string]bool{}
+	for _, it := range dres.Items {
+		if seen[it.ID] {
+			lw.st.addViolation("duplicate id %q in query result", it.ID)
+		}
+		seen[it.ID] = true
+		if deletedBefore[it.ID] {
+			lw.st.addViolation("stale deleted item %q in query result", it.ID)
+		}
+	}
+	if lw.cfg.CheckMonotone {
+		lw.st.mu.Lock()
+		prev := lw.st.prevVal
+		decreased := prev >= 0 && dres.Value < prev-1e-9
+		if !decreased {
+			lw.st.prevVal = dres.Value
+		}
+		lw.st.mu.Unlock()
+		if decreased {
+			lw.st.addViolation("objective decreased under inserts: %g → %g", prev, dres.Value)
+		}
+	}
+	return opQuery, d, true
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

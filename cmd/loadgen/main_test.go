@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"maxsumdiv/internal/server"
+)
+
+func startServer(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestLoadgenMixedWorkload is the end-to-end acceptance run: a concurrent
+// insert/delete/query mix against a real server (run under -race in CI),
+// with the loadgen-side invariants — result size min(k, n), no duplicates,
+// no acknowledged-deleted items in results — asserted on every query.
+func TestLoadgenMixedWorkload(t *testing.T) {
+	ts := startServer(t, server.Config{Shards: 4, Lambda: 0.5, MaintainK: 4, FlushThreshold: 16})
+	rep, err := Run(context.Background(), Config{
+		BaseURL:   ts.URL,
+		Workers:   6,
+		Ops:       50,
+		MixInsert: 55, MixDelete: 15, MixQuery: 30,
+		K: 6, Dim: 4, Algorithm: "greedy", Scope: "full", Seed: 42,
+		Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 {
+		t.Fatalf("request errors: %v", rep.Errors)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("invariant violations: %v", rep.Violations)
+	}
+	if rep.Inserts == 0 || rep.Queries == 0 || rep.Deletes == 0 {
+		t.Fatalf("degenerate mix: %+v", rep)
+	}
+	out := rep.Render()
+	for _, want := range []string{"ops/sec", "insert", "query", "errors 0, invariant violations 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLoadgenMonotoneInsertOnly runs the serialized insert-only workload
+// with exact queries and the monotone-objective assertion enabled. The op
+// count is high enough that, without the MonotoneMaxItems cap, inserts
+// would blow past the server's exact-solver corpus limit and every later
+// query would 400.
+func TestLoadgenMonotoneInsertOnly(t *testing.T) {
+	ts := startServer(t, server.Config{Shards: 3, Lambda: 0.5, MaintainK: 3})
+	rep, err := Run(context.Background(), Config{
+		BaseURL:   ts.URL,
+		Workers:   1,
+		Ops:       120,
+		MixInsert: 60, MixDelete: 0, MixQuery: 40,
+		K: 4, Dim: 3, Algorithm: "exact", Scope: "full", Seed: 7,
+		CheckMonotone: true,
+		Client:        ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 || len(rep.Violations) > 0 {
+		t.Fatalf("errors %v, violations %v", rep.Errors, rep.Violations)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("no queries ran")
+	}
+}
+
+// TestLoadgenMaintainedScope exercises the constant-size candidate pool.
+func TestLoadgenMaintainedScope(t *testing.T) {
+	ts := startServer(t, server.Config{Shards: 2, Lambda: 0.5, MaintainK: 3})
+	rep, err := Run(context.Background(), Config{
+		BaseURL:   ts.URL,
+		Workers:   4,
+		Ops:       30,
+		MixInsert: 60, MixDelete: 10, MixQuery: 30,
+		K: 5, Dim: 3, Algorithm: "localsearch", Scope: "maintained", Seed: 3,
+		Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 || len(rep.Violations) > 0 {
+		t.Fatalf("errors %v, violations %v", rep.Errors, rep.Violations)
+	}
+}
+
+// TestLoadgenDuration runs in wall-clock mode and honors context cancel.
+func TestLoadgenDuration(t *testing.T) {
+	ts := startServer(t, server.Config{Shards: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		BaseURL: ts.URL, Workers: 2, Duration: 300 * time.Millisecond,
+		MixInsert: 70, MixDelete: 0, MixQuery: 30,
+		K: 3, Dim: 2, Seed: 5, Client: ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inserts == 0 {
+		t.Fatal("duration mode ran no ops")
+	}
+	if len(rep.Errors) > 0 || len(rep.Violations) > 0 {
+		t.Fatalf("errors %v, violations %v", rep.Errors, rep.Violations)
+	}
+}
+
+func TestLoadgenConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Workers: 0, Ops: 1, MixInsert: 1, K: 1},
+		{Workers: 1, Ops: 0, MixInsert: 1, K: 1},
+		{Workers: 1, Ops: 1, K: 1}, // zero mix
+		{Workers: 1, Ops: 1, MixInsert: 1, K: 0},
+		{Workers: 2, Ops: 1, MixInsert: 1, K: 1, CheckMonotone: true},
+		{Workers: 1, Ops: 1, MixInsert: 1, MixDelete: 1, K: 1, Algorithm: "exact", CheckMonotone: true},
+		{Workers: 1, Ops: 1, MixInsert: 1, K: 1, Algorithm: "greedy", CheckMonotone: true},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

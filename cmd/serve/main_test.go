@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"maxsumdiv/internal/server"
+)
+
+// TestServeLifecycle boots the server on an ephemeral port, drives one
+// insert + query round trip over real HTTP, then cancels the context and
+// expects a clean drain.
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	pr, pw := newPipeWriter()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", server.Config{Shards: 2, Lambda: 0.5, MaintainK: 2}, 5*time.Second, pw)
+	}()
+
+	// First output line carries the bound address.
+	line, err := pr.line(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const marker = "http://"
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("no address in %q", line)
+	}
+	base := strings.Fields(line[i:])[0]
+
+	body := bytes.NewReader([]byte(`[{"id":"a","weight":1,"vector":[1,0]},{"id":"b","weight":0.5,"vector":[0,1]}]`))
+	resp, err := http.Post(base+"/items", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/diversify", "application/json", strings.NewReader(`{"k":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dres struct {
+		Items []struct{ ID string } `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dres); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(dres.Items) != 2 {
+		t.Fatalf("query returned %d items", len(dres.Items))
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain")
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	err := run(context.Background(), "256.0.0.1:bad", server.Config{}, time.Second, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}
+
+// pipeWriter hands written lines to a reader with a timeout.
+type pipeWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	lines chan string
+}
+
+func newPipeWriter() (*pipeWriter, *pipeWriter) {
+	p := &pipeWriter{lines: make(chan string, 16)}
+	return p, p
+}
+
+func (p *pipeWriter) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf.Write(b)
+	for {
+		line, err := p.buf.ReadString('\n')
+		if err != nil {
+			// Partial line: put it back.
+			rest := line
+			p.buf.Reset()
+			p.buf.WriteString(rest)
+			break
+		}
+		select {
+		case p.lines <- strings.TrimRight(line, "\n"):
+		default:
+		}
+	}
+	return len(b), nil
+}
+
+func (p *pipeWriter) line(timeout time.Duration) (string, error) {
+	select {
+	case l := <-p.lines:
+		return l, nil
+	case <-time.After(timeout):
+		return "", fmt.Errorf("timed out waiting for output")
+	}
+}

@@ -17,8 +17,10 @@ import (
 // Dynamic requires the default modular quality. It owns a private copy of
 // the problem's data; mutations go through UpdateWeight / UpdateDistance.
 type Dynamic struct {
-	problem *Problem
-	sess    *dynamic.Session
+	sess *dynamic.Session
+	// ids tracks item identifiers by session index; Insert appends and
+	// Delete applies the session's swap-with-last remap.
+	ids []string
 	// prevValue tracks φ(S) before the latest perturbation, the Theorem 4
 	// reference value.
 	prevValue float64
@@ -42,7 +44,11 @@ func (p *Problem) NewDynamic(initial []int) (*Dynamic, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Dynamic{problem: p, sess: sess, prevValue: sess.Value()}, nil
+	ids := make([]string, len(p.items))
+	for i, it := range p.items {
+		ids[i] = it.ID
+	}
+	return &Dynamic{sess: sess, ids: ids, prevValue: sess.Value()}, nil
 }
 
 // SetParallelism shards the oblivious-update swap scan across k worker
@@ -58,9 +64,47 @@ func (d *Dynamic) IDs() []string {
 	members := d.sess.Members()
 	ids := make([]string, len(members))
 	for i, m := range members {
-		ids[i] = d.problem.items[m].ID
+		ids[i] = d.ids[m]
 	}
 	return ids
+}
+
+// Len returns the current ground-set size (it changes under Insert/Delete).
+func (d *Dynamic) Len() int { return d.sess.N() }
+
+// SetTarget changes the maintained selection's target cardinality: growing
+// refills greedily, shrinking evicts the cheapest members.
+func (d *Dynamic) SetTarget(p int) error { return d.sess.SetTarget(p) }
+
+// Insert adds a new item to the live ground set: an identifier, a quality
+// weight, and its distances to the existing items in index order (len ==
+// Len()). It returns the new item's index. The maintained selection grows
+// greedily while it is below the target cardinality; since an insert
+// perturbs no existing weight or distance, φ(S) never decreases. Mutations
+// are O(n) and batch: the O(n·p) solver-state rebuild is deferred to the
+// next read, so a burst of inserts costs one rebuild.
+func (d *Dynamic) Insert(id string, weight float64, dists []float64) (int, error) {
+	idx, err := d.sess.InsertElement(weight, dists)
+	if err != nil {
+		return 0, err
+	}
+	d.ids = append(d.ids, id)
+	return idx, nil
+}
+
+// Delete removes item u from the live ground set. The last item (index
+// Len()−1) moves into slot u — Delete tracks identifiers through the remap,
+// but callers holding raw indices must remap them the same way. A deleted
+// item leaves the maintained selection immediately; the selection refills
+// greedily on the next read.
+func (d *Dynamic) Delete(u int) error {
+	if _, err := d.sess.DeleteElement(u); err != nil {
+		return err
+	}
+	last := len(d.ids) - 1
+	d.ids[u] = d.ids[last]
+	d.ids = d.ids[:last]
+	return nil
 }
 
 // Value returns φ(S) under the current (perturbed) data.

@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadInstanceJSON feeds arbitrary bytes to the instance decoder: it
+// must never panic, and every accepted instance must be well-formed enough
+// to round-trip byte-identically through the writer.
+func FuzzReadInstanceJSON(f *testing.F) {
+	f.Add([]byte(`{"weights":[1,0.5],"distance":[[0,1],[1,0]]}`))
+	f.Add([]byte(`{"weights":[],"distance":[]}`))
+	f.Add([]byte(`{"weights":[1],"distance":[[0,1]]}`))
+	f.Add([]byte(`{"weights":[1,1],"distance":[[0,-1],[-1,0]]}`))
+	f.Add([]byte(`{"weights":[1,1],"distance":[[0,1],[2,0]]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"weights":[1e309],"distance":[[0]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ReadInstanceJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if in.Dist.Len() != len(in.Weights) {
+			t.Fatalf("accepted mismatched instance: %d weights, %d points", len(in.Weights), in.Dist.Len())
+		}
+		for i, w := range in.Weights {
+			if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				t.Fatalf("accepted invalid weight[%d] = %g", i, w)
+			}
+		}
+		// Round trip: write, re-read, compare exactly.
+		var buf bytes.Buffer
+		if err := WriteInstanceJSON(&buf, in); err != nil {
+			t.Fatalf("write accepted instance: %v", err)
+		}
+		back, err := ReadInstanceJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read written instance: %v", err)
+		}
+		if len(back.Weights) != len(in.Weights) {
+			t.Fatalf("round trip changed size: %d → %d", len(in.Weights), len(back.Weights))
+		}
+		for i := range in.Weights {
+			if back.Weights[i] != in.Weights[i] {
+				t.Fatalf("round trip changed weight[%d]: %g → %g", i, in.Weights[i], back.Weights[i])
+			}
+		}
+		for i := 0; i < in.Dist.Len(); i++ {
+			for j := 0; j < i; j++ {
+				if back.Dist.Distance(i, j) != in.Dist.Distance(i, j) {
+					t.Fatalf("round trip changed d(%d,%d)", i, j)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadItemsCSV fuzzes the CSV item reader: no panics, and accepted
+// items round-trip through WriteItemsCSV → ReadItemsCSV unchanged.
+func FuzzReadItemsCSV(f *testing.F) {
+	f.Add("a,1,0.5,0.5\nb,2,1,0\n")
+	f.Add("id,weight,x1\na,0.25,3\n")
+	f.Add("a,1\nb,0\n")
+	f.Add("a,-1\n")
+	f.Add("a\n")
+	f.Add("a,1,0.5\nb,1,0.5,0.5\n")
+	f.Add("\"q,uoted\",1,2\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		items, err := ReadItemsCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(items) == 0 {
+			t.Fatal("accepted an empty item list")
+		}
+		dim := len(items[0].Features)
+		for i, it := range items {
+			if it.Weight < 0 {
+				t.Fatalf("accepted negative weight %g", it.Weight)
+			}
+			if len(it.Features) != dim {
+				t.Fatalf("accepted ragged features at row %d", i)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteItemsCSV(&buf, items); err != nil {
+			t.Fatalf("write accepted items: %v", err)
+		}
+		back, err := ReadItemsCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read written items: %v (csv: %q)", err, buf.String())
+		}
+		if len(back) != len(items) {
+			t.Fatalf("round trip changed count: %d → %d", len(items), len(back))
+		}
+		for i := range items {
+			if back[i].ID != items[i].ID || back[i].Weight != items[i].Weight {
+				t.Fatalf("round trip changed row %d: %+v → %+v", i, items[i], back[i])
+			}
+			for k := range items[i].Features {
+				if back[i].Features[k] != items[i].Features[k] {
+					t.Fatalf("round trip changed feature (%d,%d)", i, k)
+				}
+			}
+		}
+	})
+}

@@ -65,6 +65,11 @@ type Session struct {
 	st     *core.State
 	p      int
 	pool   *engine.Pool // nil = serial update scans
+	// stale marks the derived state (mod, obj, st) for lazy rebuild after
+	// ground-set mutations (InsertElement/DeleteElement); pending holds the
+	// intended membership while stale. See fully.go.
+	stale   bool
+	pending []int
 }
 
 // NewSession starts from an instance (deep-copied), a trade-off λ, and an
@@ -108,19 +113,30 @@ func (s *Session) SetParallelism(k int) {
 
 // Objective exposes the session's live objective (it reflects every applied
 // perturbation; use it to compute OPT externally).
-func (s *Session) Objective() *core.Objective { return s.obj }
+func (s *Session) Objective() *core.Objective {
+	s.ensureFresh()
+	return s.obj
+}
 
-// P returns the solution cardinality.
+// P returns the target solution cardinality (the maintained selection can be
+// smaller when the ground set has fewer than P elements).
 func (s *Session) P() int { return s.p }
 
 // Members returns the current solution.
-func (s *Session) Members() []int { return s.st.Members() }
+func (s *Session) Members() []int {
+	s.ensureFresh()
+	return s.st.Members()
+}
 
 // Value returns φ(S) for the current solution under the current data.
-func (s *Session) Value() float64 { return s.st.Value() }
+func (s *Session) Value() float64 {
+	s.ensureFresh()
+	return s.st.Value()
+}
 
 // SetWeight applies a weight perturbation (Type I/II) and returns its record.
 func (s *Session) SetWeight(u int, w float64) (Perturbation, error) {
+	s.ensureFresh()
 	if u < 0 || u >= s.obj.N() {
 		return Perturbation{}, fmt.Errorf("dynamic: SetWeight: element %d out of range", u)
 	}
@@ -145,6 +161,7 @@ func (s *Session) SetWeight(u int, w float64) (Perturbation, error) {
 // assumes perturbations preserve the metric property; callers own that
 // invariant (the [1,2] synthetic regime preserves it automatically).
 func (s *Session) SetDistance(u, v int, d float64) (Perturbation, error) {
+	s.ensureFresh()
 	n := s.obj.N()
 	if u < 0 || u >= n || v < 0 || v >= n || u == v {
 		return Perturbation{}, fmt.Errorf("dynamic: SetDistance: bad pair (%d,%d)", u, v)
@@ -179,6 +196,7 @@ func (s *Session) refresh() {
 // gains within 1e-15 of zero are treated as floating-point churn, not
 // improvements, matching the paper's "positive gain" precondition.
 func (s *Session) ObliviousUpdate() (swapped bool, gain float64) {
+	s.ensureFresh()
 	out, in, bestGain, ok := s.st.BestSwap(s.pool, 1e-15, nil)
 	if !ok {
 		return false, 0

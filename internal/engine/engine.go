@@ -164,6 +164,44 @@ func (p *Pool) For(n int, body func(worker, lo, hi int)) {
 	wg.Wait()
 }
 
+// Do runs n independent coarse-grained tasks body(0) … body(n−1) with at
+// most Workers() running concurrently. Unlike For, tasks are not coalesced
+// by minShard: Do is for work items that are individually substantial — a
+// per-shard flush in a serving layer, a per-repetition simulation — where
+// even n = 2 deserves 2 goroutines. A serial pool runs the tasks inline in
+// order.
+func (p *Pool) Do(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if w > n {
+		w = n
+	}
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // shards returns how many goroutines an n-candidate scan should use: the
 // pool bound, capped so every shard holds at least minShard candidates.
 func (p *Pool) shards(n int) int {

@@ -145,3 +145,37 @@ func TestNilAndDefaultPools(t *testing.T) {
 		t.Fatal("negative worker count should fall back to GOMAXPROCS")
 	}
 }
+
+// TestPoolDo checks every task runs exactly once at every worker count,
+// including nil and serial pools, and that concurrency stays bounded.
+func TestPoolDo(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 5, 33} {
+			var pool *Pool
+			if workers > 1 {
+				pool = New(workers)
+			}
+			counts := make([]atomic.Int32, n+1)
+			var running, peak atomic.Int32
+			pool.Do(n, func(i int) {
+				r := running.Add(1)
+				for {
+					p := peak.Load()
+					if r <= p || peak.CompareAndSwap(p, r) {
+						break
+					}
+				}
+				counts[i].Add(1)
+				running.Add(-1)
+			})
+			for i := 0; i < n; i++ {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: task %d ran %d times", workers, n, i, got)
+				}
+			}
+			if p := peak.Load(); int(p) > pool.Workers() {
+				t.Fatalf("workers=%d n=%d: %d tasks ran concurrently", workers, n, p)
+			}
+		}
+	}
+}

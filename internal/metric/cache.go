@@ -33,6 +33,10 @@ type Cached struct {
 type cacheStripe struct {
 	mu sync.RWMutex
 	d  map[int64]float64
+	// lookups counts Distance calls routed to this stripe. Kept per-stripe
+	// (next to the lock word the call already touches) so the hot path never
+	// contends on a single shared counter.
+	lookups atomic.Int64
 }
 
 // NewCached wraps m in a lazily-filled striped cache.
@@ -75,6 +79,7 @@ func (c *Cached) Distance(i, j int) float64 {
 	}
 	key := int64(i)*int64(c.n) + int64(j)
 	s := &c.stripes[key&(cacheStripes-1)]
+	s.lookups.Add(1)
 	s.mu.RLock()
 	v, ok := s.d[key]
 	s.mu.RUnlock()
@@ -99,6 +104,20 @@ func (c *Cached) Stats() (stored int, computed int64) {
 		s.mu.RUnlock()
 	}
 	return stored, c.misses.Load()
+}
+
+// Counters extends Stats with the total Distance lookup count (diagonal
+// lookups excluded — they never reach the cache). The cache hit rate is
+// 1 − computed/lookups; serving layers poll this for their /stats surface.
+func (c *Cached) Counters() (stored int, computed, lookups int64) {
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		lookups += s.lookups.Load()
+		s.mu.RLock()
+		stored += len(s.d)
+		s.mu.RUnlock()
+	}
+	return stored, c.misses.Load(), lookups
 }
 
 var _ Metric = (*Cached)(nil)

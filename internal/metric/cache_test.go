@@ -129,3 +129,25 @@ func TestCachedIsAMetric(t *testing.T) {
 		t.Fatalf("cached Euclidean metric fails validation: %v", err)
 	}
 }
+
+func TestCachedCounters(t *testing.T) {
+	under := &countingMetric{n: 30}
+	c := NewCached(under)
+	// Two full passes over all ordered non-diagonal pairs: every pair is
+	// looked up four times, computed once.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < under.n; i++ {
+			for j := 0; j < under.n; j++ {
+				c.Distance(i, j)
+			}
+		}
+	}
+	pairs := int64(under.n * (under.n - 1) / 2)
+	stored, computed, lookups := c.Counters()
+	if int64(stored) != pairs || computed != pairs {
+		t.Fatalf("Counters stored=%d computed=%d, want %d each", stored, computed, pairs)
+	}
+	if want := 4 * pairs; lookups != want {
+		t.Fatalf("lookups = %d, want %d", lookups, want)
+	}
+}

@@ -75,6 +75,37 @@ func (c *Cosine) Distance(i, j int) float64 {
 
 var _ Metric = (*Cosine)(nil)
 
+// CosineDist returns the cosine distance 1 − cos(a, b) between two raw
+// vectors, with the same zero-vector convention as Cosine (distance 1).
+// Serving layers use it to compute a new item's distances to a live item set
+// without rebuilding a Cosine over the whole collection.
+func CosineDist(a, b []float64) float64 {
+	var dot, na, nb float64
+	m := len(a)
+	if len(b) < m {
+		m = len(b) // mismatched dims: missing coordinates contribute 0
+	}
+	for k := 0; k < m; k++ {
+		dot += a[k] * b[k]
+	}
+	for _, x := range a {
+		na += x * x
+	}
+	for _, x := range b {
+		nb += x * x
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	s := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	if s > 1 {
+		s = 1
+	} else if s < -1 {
+		s = -1
+	}
+	return 1 - s
+}
+
 // Angular wraps the same vectors as Cosine but returns the normalized angle
 // arccos(cos(u,v))/π ∈ [0,1], which is a true metric on the unit sphere.
 type Angular struct {

@@ -106,6 +106,48 @@ func (d *Dense) SetDistance(i, j int, v float64) {
 	d.tri[i*(i-1)/2+j] = v
 }
 
+// AppendRow grows the metric by one point whose distances to the existing
+// points are given by dists (len == Len()), returning the new point's index.
+// This is the insert half of the fully dynamic ground set: appending touches
+// only the new triangular row, so it costs O(n) and invalidates nothing.
+func (d *Dense) AppendRow(dists []float64) (int, error) {
+	if len(dists) != d.n {
+		return 0, fmt.Errorf("metric: AppendRow: %d distances for %d existing points", len(dists), d.n)
+	}
+	for j, v := range dists {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("%w: d(%d,%d) = %g", ErrNotMetric, d.n, j, v)
+		}
+	}
+	d.tri = append(d.tri, dists...)
+	d.n++
+	return d.n - 1, nil
+}
+
+// RemoveSwap deletes point u by moving the last point (index n−1) into its
+// slot and shrinking the space by one — the O(n) order-changing delete.
+// Callers that hold external references to point indices must remap n−1 to u
+// themselves. Removing the last point is a pure shrink.
+func (d *Dense) RemoveSwap(u int) error {
+	if u < 0 || u >= d.n {
+		return fmt.Errorf("metric: RemoveSwap(%d): out of range [0,%d)", u, d.n)
+	}
+	last := d.n - 1
+	if u != last {
+		// Rewrite row/column u with the last point's distances. Writes land
+		// in rows < last only, so the source row is intact until truncation.
+		for j := 0; j < last; j++ {
+			if j == u {
+				continue
+			}
+			d.SetDistance(u, j, d.Distance(last, j))
+		}
+	}
+	d.tri = d.tri[:last*(last-1)/2]
+	d.n = last
+	return nil
+}
+
 // Clone returns a deep copy, so dynamic simulations can perturb a scratch
 // metric while preserving the original.
 func (d *Dense) Clone() *Dense {

@@ -381,3 +381,114 @@ func TestNewDensePanicsOnNegativeSize(t *testing.T) {
 	}()
 	NewDense(-1)
 }
+
+// TestDenseAppendRow grows a random dense metric point by point and checks
+// every pairwise distance survives each growth step.
+func TestDenseAppendRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	want := [][]float64{}
+	d := NewDense(0)
+	for n := 0; n < 12; n++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = 1 + rng.Float64()
+		}
+		idx, err := d.AppendRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != n {
+			t.Fatalf("AppendRow returned index %d, want %d", idx, n)
+		}
+		want = append(want, row)
+		if d.Len() != n+1 {
+			t.Fatalf("Len = %d after %d appends", d.Len(), n+1)
+		}
+		for i := 0; i <= n; i++ {
+			for j := 0; j < i; j++ {
+				if got := d.Distance(i, j); got != want[i][j] {
+					t.Fatalf("d(%d,%d) = %g, want %g", i, j, got, want[i][j])
+				}
+				if d.Distance(i, j) != d.Distance(j, i) {
+					t.Fatalf("asymmetric after append at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+	if _, err := d.AppendRow([]float64{1}); err == nil {
+		t.Fatal("short row accepted")
+	}
+	if _, err := d.AppendRow(make([]float64, d.Len()-1)); err == nil {
+		t.Fatal("row of wrong length accepted")
+	}
+	bad := make([]float64, d.Len())
+	bad[0] = -1
+	if _, err := d.AppendRow(bad); err == nil {
+		t.Fatal("negative distance accepted")
+	}
+}
+
+// TestDenseRemoveSwap deletes random points and checks the survivor pairwise
+// distances against a reference map, applying the documented n−1 → u remap.
+func TestDenseRemoveSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 14
+	d := NewDense(n)
+	d.Fill(func(i, j int) float64 { return 1 + rng.Float64() })
+	// labels[i] is the original identity of current index i.
+	labels := make([]int, n)
+	orig := Materialize(d)
+	for i := range labels {
+		labels[i] = i
+	}
+	for d.Len() > 1 {
+		u := rng.Intn(d.Len())
+		last := d.Len() - 1
+		if err := d.RemoveSwap(u); err != nil {
+			t.Fatal(err)
+		}
+		labels[u] = labels[last]
+		labels = labels[:last]
+		for i := 0; i < d.Len(); i++ {
+			for j := 0; j < i; j++ {
+				want := orig.Distance(labels[i], labels[j])
+				if got := d.Distance(i, j); got != want {
+					t.Fatalf("after removals: d(%d,%d) = %g, want %g", i, j, got, want)
+				}
+			}
+		}
+	}
+	if err := d.RemoveSwap(5); err == nil {
+		t.Fatal("out-of-range removal accepted")
+	}
+	if err := d.RemoveSwap(0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d after removing everything", d.Len())
+	}
+}
+
+// TestCosineDist checks the raw-vector helper against the Cosine metric.
+func TestCosineDist(t *testing.T) {
+	vecs := [][]float64{{1, 0}, {0.9, 0.1}, {0, 1}, {0, 0}, {-1, 0.5}}
+	c, err := NewCosine(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vecs {
+		for j := range vecs {
+			if i == j {
+				continue
+			}
+			want := c.Distance(i, j)
+			got := CosineDist(vecs[i], vecs[j])
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("CosineDist(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+	if got := CosineDist([]float64{0, 0}, []float64{1, 1}); got != 1 {
+		t.Fatalf("zero vector distance = %g, want 1", got)
+	}
+}

@@ -1,0 +1,39 @@
+// Package server exposes max-sum diversification as a long-running HTTP
+// service over a sharded in-memory item index — the serve-while-updating
+// workload that motivates the paper's dynamic-update results (Section 6)
+// and the follow-up fully dynamic submodular maximization literature.
+//
+// # Architecture
+//
+// Items hash by ID onto a fixed set of shards. Each shard owns
+//
+//   - its slice of live items (id, quality weight, feature vector),
+//   - a fully dynamic update [maxsumdiv/internal/dynamic.Session] that
+//     maintains a diversified selection of configurable size across
+//     inserts, deletes and weight changes via the paper's oblivious
+//     single-swap rule, and
+//   - a pending-mutation queue: writes are O(1) appends coalesced by item
+//     ID (the last upsert of an ID wins; an insert followed by a delete
+//     cancels), applied in one batch — and therefore one O(n·p) solver
+//     state rebuild — when a query arrives or the queue hits its flush
+//     threshold.
+//
+// Queries snapshot the live items across shards (fanning the per-shard
+// flush out over the engine worker pool), build a problem on the lazily
+// memoized striped distance cache ([maxsumdiv.WithLazyDistances]), and run
+// the requested solver on the parallel engine. The "maintained" scope
+// instead solves over just the union of the shards' maintained selections
+// — a constant-size candidate pool that trades a little quality for
+// latency independent of the corpus size.
+//
+// # Endpoints
+//
+//	POST   /items       insert or update one item or an array of items
+//	DELETE /items/{id}  delete an item
+//	POST   /diversify   {"k":10,"algorithm":"greedy","scope":"full"}
+//	GET    /healthz     liveness + item count
+//	GET    /stats       shard sizes, pending queues, maintained values,
+//	                    distance-cache hit rate, query/mutation latencies
+//
+// See cmd/serve for the binary and cmd/loadgen for a workload driver.
+package server

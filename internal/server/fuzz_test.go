@@ -1,0 +1,89 @@
+package server
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzDecodeItems throws arbitrary bytes at the POST /items decoder: it
+// must never panic, and anything it accepts must satisfy the documented
+// invariants (non-empty ids, finite non-negative weights, finite vectors,
+// one dimension per batch).
+func FuzzDecodeItems(f *testing.F) {
+	f.Add([]byte(`{"id":"a","weight":0.5,"vector":[1,0]}`))
+	f.Add([]byte(`[{"id":"a","weight":1},{"id":"b","weight":2}]`))
+	f.Add([]byte(`[{"id":"a","weight":1,"vector":[0.1,0.2]},{"id":"b","weight":0,"vector":[3,4]}]`))
+	f.Add([]byte(`{"id":"","weight":-1}`))
+	f.Add([]byte(`{"id":"a","weight":1e309}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"id":"a","weight":1} {"id":"b"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		items, err := DecodeItems(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(items) == 0 {
+			t.Fatal("accepted an empty batch")
+		}
+		dim := -1
+		for _, it := range items {
+			if it.ID == "" {
+				t.Fatal("accepted an item without an id")
+			}
+			if it.Weight < 0 || math.IsNaN(it.Weight) || math.IsInf(it.Weight, 0) {
+				t.Fatalf("accepted invalid weight %g", it.Weight)
+			}
+			for _, x := range it.Vector {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("accepted invalid coordinate %g", x)
+				}
+			}
+			if len(it.Vector) > 0 {
+				if dim == -1 {
+					dim = len(it.Vector)
+				} else if len(it.Vector) != dim {
+					t.Fatalf("accepted mixed dims %d and %d", dim, len(it.Vector))
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeDiversify fuzzes the query decoder: no panics, and accepted
+// requests are within the validated domain.
+func FuzzDecodeDiversify(f *testing.F) {
+	f.Add([]byte(`{"k":10}`))
+	f.Add([]byte(`{"k":5,"algorithm":"localsearch","scope":"maintained"}`))
+	f.Add([]byte(`{"k":3,"lambda":0.25,"algorithm":"exact"}`))
+	f.Add([]byte(`{"k":-1}`))
+	f.Add([]byte(`{"k":1,"algorithm":"nope"}`))
+	f.Add([]byte(`{"k":1,"lambda":-3}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeDiversify(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if req.K < 0 {
+			t.Fatalf("accepted k = %d", req.K)
+		}
+		if _, err := algorithmOf(req.Algorithm); err != nil {
+			t.Fatalf("accepted algorithm %q", req.Algorithm)
+		}
+		switch req.Scope {
+		case "", "full", "maintained":
+		default:
+			t.Fatalf("accepted scope %q", req.Scope)
+		}
+		if req.Lambda != nil {
+			l := *req.Lambda
+			if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+				t.Fatalf("accepted lambda %g", l)
+			}
+		}
+	})
+}

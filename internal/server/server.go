@@ -1,0 +1,578 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maxsumdiv"
+	"maxsumdiv/internal/engine"
+	"maxsumdiv/internal/metric"
+)
+
+// maxBodyBytes bounds request bodies (a 64k-dim float vector is ~1.5 MB of
+// JSON; batches should stay well under this).
+const maxBodyBytes = 8 << 20
+
+// exactQueryLimit caps the corpus size the exponential exact solver will
+// accept over HTTP; larger requests must shrink the scope first.
+const exactQueryLimit = 40
+
+// badRequestError marks a Diversify failure as the client's fault, so the
+// handler can answer 400 instead of 500.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+// Config parameterizes a Server. The zero value is usable: sizing fields
+// get production-lean defaults, and Lambda 0 selects on quality alone.
+type Config struct {
+	// Shards is the number of index shards (default 8).
+	Shards int
+	// Lambda is the quality/diversity trade-off λ used for the maintained
+	// per-shard selections and as the default for queries. 0 is meaningful
+	// (pure quality) and is preserved; cmd/serve's flag defaults to 1.
+	Lambda float64
+	// MaintainK is the target size of each shard's dynamically maintained
+	// selection (default 8).
+	MaintainK int
+	// Parallelism bounds the engine worker pool for query solves and the
+	// shard fan-out (≤ 0 selects GOMAXPROCS).
+	Parallelism int
+	// FlushThreshold caps a shard's pending-mutation queue; reaching it
+	// triggers an inline batch apply (default 256).
+	FlushThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.MaintainK <= 0 {
+		c.MaintainK = 8
+	}
+	if c.FlushThreshold <= 0 {
+		c.FlushThreshold = 256
+	}
+	return c
+}
+
+// Server is the sharded in-memory diversification service. Create with New,
+// expose via Handler.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	pool   *engine.Pool
+	seed   maphash.Seed
+	start  time.Time
+
+	queryLat    latencyRecorder
+	mutationLat latencyRecorder
+
+	cacheMu      sync.Mutex
+	cacheQueries int64
+	cacheStored  int64
+	cacheComp    int64
+	cacheLookups int64
+
+	// dim is the corpus vector dimension, fixed by the first item carrying
+	// a non-empty vector (0 = not yet fixed). Enforced across requests so
+	// mismatched embeddings fail loudly instead of silently truncating in
+	// the distance computation.
+	dimMu sync.Mutex
+	dim   int
+
+	healthy atomic.Bool
+}
+
+// New builds a server from the config (zero value = defaults).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Lambda < 0 || math.IsNaN(cfg.Lambda) || math.IsInf(cfg.Lambda, 0) {
+		return nil, fmt.Errorf("server: lambda = %g, want finite ≥ 0", cfg.Lambda)
+	}
+	s := &Server{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		pool:   engine.New(cfg.Parallelism),
+		seed:   maphash.MakeSeed(),
+		start:  time.Now(),
+	}
+	for i := range s.shards {
+		sh, err := newShard(cfg.Lambda, cfg.MaintainK, cfg.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = sh
+	}
+	s.healthy.Store(true)
+	return s, nil
+}
+
+// shardFor hashes an item ID onto its owning shard.
+func (s *Server) shardFor(id string) *shard {
+	return s.shards[maphash.String(s.seed, id)%uint64(len(s.shards))]
+}
+
+// checkDims pins the corpus vector dimension on first use and rejects
+// later items whose non-empty vectors disagree (DecodeItems already
+// enforces consistency within the batch).
+func (s *Server) checkDims(batch []ItemPayload) error {
+	s.dimMu.Lock()
+	defer s.dimMu.Unlock()
+	for _, it := range batch {
+		if len(it.Vector) == 0 {
+			continue
+		}
+		if s.dim == 0 {
+			s.dim = len(it.Vector)
+		} else if len(it.Vector) != s.dim {
+			return fmt.Errorf("item %q: vector dim %d, corpus uses %d", it.ID, len(it.Vector), s.dim)
+		}
+	}
+	return nil
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /items", s.handleUpsert)
+	mux.HandleFunc("DELETE /items/{id}", s.handleDelete)
+	mux.HandleFunc("POST /diversify", s.handleDiversify)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// ItemPayload is the wire form of one item.
+type ItemPayload struct {
+	ID     string    `json:"id"`
+	Weight float64   `json:"weight"`
+	Vector []float64 `json:"vector,omitempty"`
+}
+
+// DecodeItems parses a POST /items body: a single item object or an array
+// of them, validated (non-empty IDs, finite non-negative weights, finite
+// vector coordinates, consistent dimensions within the batch).
+func DecodeItems(r io.Reader) ([]ItemPayload, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxBodyBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("read body: %w", err)
+	}
+	if len(data) > maxBodyBytes {
+		return nil, fmt.Errorf("body exceeds %d bytes", maxBodyBytes)
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var batch []ItemPayload
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := strictUnmarshal(data, &batch); err != nil {
+			return nil, err
+		}
+	} else {
+		var one ItemPayload
+		if err := strictUnmarshal(data, &one); err != nil {
+			return nil, err
+		}
+		batch = []ItemPayload{one}
+	}
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("empty batch")
+	}
+	dim := -1
+	for i, it := range batch {
+		if it.ID == "" {
+			return nil, fmt.Errorf("item %d: missing id", i)
+		}
+		if it.Weight < 0 || math.IsNaN(it.Weight) || math.IsInf(it.Weight, 0) {
+			return nil, fmt.Errorf("item %d (%q): weight %g invalid", i, it.ID, it.Weight)
+		}
+		for k, x := range it.Vector {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("item %d (%q): vector[%d] = %g invalid", i, it.ID, k, x)
+			}
+		}
+		if len(it.Vector) > 0 {
+			if dim == -1 {
+				dim = len(it.Vector)
+			} else if len(it.Vector) != dim {
+				return nil, fmt.Errorf("item %d (%q): vector dim %d, batch uses %d", i, it.ID, len(it.Vector), dim)
+			}
+		}
+	}
+	return batch, nil
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields and trailing data.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	return nil
+}
+
+// DiversifyRequest is the wire form of a query.
+type DiversifyRequest struct {
+	// K is the number of items to select (clamped to the live item count).
+	K int `json:"k"`
+	// Algorithm is one of greedy (default), greedy-improved, gs, oblivious,
+	// localsearch, exact.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Lambda overrides the server's quality/diversity trade-off for this
+	// query (nil = server default).
+	Lambda *float64 `json:"lambda,omitempty"`
+	// Scope is "full" (default: solve over every live item) or
+	// "maintained" (solve over the union of the shards' maintained
+	// selections — constant-size, corpus-independent latency).
+	Scope string `json:"scope,omitempty"`
+}
+
+// DecodeDiversify parses and validates a POST /diversify body.
+func DecodeDiversify(r io.Reader) (DiversifyRequest, error) {
+	var req DiversifyRequest
+	data, err := io.ReadAll(io.LimitReader(r, maxBodyBytes+1))
+	if err != nil {
+		return req, fmt.Errorf("read body: %w", err)
+	}
+	if len(data) > maxBodyBytes {
+		return req, fmt.Errorf("body exceeds %d bytes", maxBodyBytes)
+	}
+	if err := strictUnmarshal(data, &req); err != nil {
+		return req, err
+	}
+	if req.K < 0 {
+		return req, fmt.Errorf("k = %d, want ≥ 0", req.K)
+	}
+	if _, err := algorithmOf(req.Algorithm); err != nil {
+		return req, err
+	}
+	if req.Lambda != nil {
+		l := *req.Lambda
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return req, fmt.Errorf("lambda = %g, want finite ≥ 0", l)
+		}
+	}
+	switch req.Scope {
+	case "", "full", "maintained":
+	default:
+		return req, fmt.Errorf("scope %q, want full or maintained", req.Scope)
+	}
+	return req, nil
+}
+
+// algorithmOf maps the wire name onto the public API's Algorithm.
+func algorithmOf(name string) (maxsumdiv.Algorithm, error) {
+	switch name {
+	case "", "greedy":
+		return maxsumdiv.AlgorithmGreedy, nil
+	case "greedy-improved":
+		return maxsumdiv.AlgorithmGreedyImproved, nil
+	case "gs":
+		return maxsumdiv.AlgorithmGollapudiSharma, nil
+	case "oblivious":
+		return maxsumdiv.AlgorithmOblivious, nil
+	case "localsearch":
+		return maxsumdiv.AlgorithmLocalSearch, nil
+	case "exact":
+		return maxsumdiv.AlgorithmExact, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// MutationResponse is the wire form of a POST /items or DELETE /items reply.
+type MutationResponse struct {
+	Accepted int `json:"accepted"`
+	// Pending is the owning shards' total queue length after the mutation —
+	// an observability hint, not a durability promise (mutations are applied
+	// before any subsequent query reads).
+	Pending int `json:"pending"`
+}
+
+// SelectedItem is one element of a query result.
+type SelectedItem struct {
+	ID     string  `json:"id"`
+	Weight float64 `json:"weight"`
+}
+
+// DiversifyResponse is the wire form of a query reply.
+type DiversifyResponse struct {
+	Items      []SelectedItem `json:"items"`
+	Value      float64        `json:"value"`
+	Quality    float64        `json:"quality"`
+	Dispersion float64        `json:"dispersion"`
+	N          int            `json:"n"`
+	Algorithm  string         `json:"algorithm"`
+	Scope      string         `json:"scope"`
+	ElapsedMS  float64        `json:"elapsed_ms"`
+}
+
+func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	batch, err := DecodeItems(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.checkDims(batch); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	touched := make(map[*shard]bool)
+	for _, it := range batch {
+		sh := s.shardFor(it.ID)
+		touched[sh] = true
+		n, _ := sh.enqueue(op{kind: opUpsert, id: it.ID, weight: it.Weight, vector: it.Vector})
+		if n >= s.cfg.FlushThreshold {
+			if _, err := sh.flush(); err != nil {
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+		}
+	}
+	pending := 0
+	for sh := range touched {
+		pending += sh.pendingLen()
+	}
+	s.mutationLat.record(time.Since(start))
+	writeJSON(w, http.StatusOK, MutationResponse{Accepted: len(batch), Pending: pending})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := r.PathValue("id")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing item id"))
+		return
+	}
+	sh := s.shardFor(id)
+	n, ok := sh.enqueue(op{kind: opDelete, id: id})
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown item %q", id))
+		return
+	}
+	if n >= s.cfg.FlushThreshold {
+		if _, err := sh.flush(); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		n = sh.pendingLen()
+	}
+	s.mutationLat.record(time.Since(start))
+	writeJSON(w, http.StatusOK, MutationResponse{Accepted: 1, Pending: n})
+}
+
+func (s *Server) handleDiversify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, err := DecodeDiversify(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Diversify(req)
+	if err != nil {
+		code := http.StatusInternalServerError
+		var bad badRequestError
+		if errors.As(err, &bad) {
+			code = http.StatusBadRequest
+		}
+		httpError(w, code, err)
+		return
+	}
+	s.queryLat.record(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Diversify answers a query: flush + snapshot every shard (fanned out over
+// the engine pool), build a problem over the lazily memoized distance cache,
+// and solve with the requested algorithm on the parallel engine.
+func (s *Server) Diversify(req DiversifyRequest) (*DiversifyResponse, error) {
+	start := time.Now()
+	algo, err := algorithmOf(req.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	maintained := req.Scope == "maintained"
+	snaps := make([][]item, len(s.shards))
+	errs := make([]error, len(s.shards))
+	s.pool.Do(len(s.shards), func(i int) {
+		snaps[i], errs[i] = s.shards[i].snapshot(maintained)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var items []maxsumdiv.Item
+	for _, snap := range snaps {
+		for _, it := range snap {
+			items = append(items, maxsumdiv.Item{ID: it.id, Weight: it.weight, Vector: it.vector})
+		}
+	}
+	scope := req.Scope
+	if scope == "" {
+		scope = "full"
+	}
+	resp := &DiversifyResponse{
+		Items:     []SelectedItem{},
+		N:         len(items),
+		Algorithm: req.Algorithm,
+		Scope:     scope,
+	}
+	if resp.Algorithm == "" {
+		resp.Algorithm = "greedy"
+	}
+	if len(items) == 0 || req.K == 0 {
+		resp.ElapsedMS = ms(time.Since(start))
+		return resp, nil
+	}
+	if algo == maxsumdiv.AlgorithmExact && len(items) > exactQueryLimit {
+		return nil, badRequestError{fmt.Errorf("algorithm exact is limited to %d items (have %d); use another algorithm or shrink the candidate pool", exactQueryLimit, len(items))}
+	}
+	lambda := s.cfg.Lambda
+	if req.Lambda != nil {
+		lambda = *req.Lambda
+	}
+	vecs := make([][]float64, len(items))
+	for i, it := range items {
+		vecs[i] = it.Vector
+	}
+	problem, err := maxsumdiv.NewProblem(items,
+		maxsumdiv.WithLambda(lambda),
+		maxsumdiv.WithLazyDistances(),
+		// CosineDist handles empty vectors (distance 1), so weight-only
+		// corpora degrade to pure max-weight + uniform dispersion.
+		maxsumdiv.WithDistanceFunc(func(i, j int) float64 {
+			return metric.CosineDist(vecs[i], vecs[j])
+		}),
+	)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := problem.Solve(req.K,
+		maxsumdiv.WithAlgorithm(algo),
+		maxsumdiv.WithClampK(),
+		maxsumdiv.WithParallelism(s.cfg.Parallelism),
+	)
+	if err != nil {
+		return nil, err
+	}
+	if stored, computed, lookups, ok := problem.DistanceCacheStats(); ok {
+		s.cacheMu.Lock()
+		s.cacheQueries++
+		s.cacheStored += int64(stored)
+		s.cacheComp += computed
+		s.cacheLookups += lookups
+		s.cacheMu.Unlock()
+	}
+	resp.Items = make([]SelectedItem, len(sol.Indices))
+	for i, idx := range sol.Indices {
+		resp.Items[i] = SelectedItem{ID: items[idx].ID, Weight: items[idx].Weight}
+	}
+	resp.Value, resp.Quality, resp.Dispersion = sol.Value, sol.Quality, sol.Dispersion
+	resp.ElapsedMS = ms(time.Since(start))
+	return resp, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if !s.healthy.Load() {
+		status = "shutting-down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status, "items": s.itemCount()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// itemCount totals live items (including pending effects) across shards.
+func (s *Server) itemCount() int {
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.liveCount()
+	}
+	return total
+}
+
+// Stats snapshots the observability surface.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Shards:        make([]ShardStats, len(s.shards)),
+		Query:         s.queryLat.snapshot(),
+		Mutation:      s.mutationLat.snapshot(),
+	}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		row := ShardStats{
+			Items:   len(sh.items),
+			Pending: len(sh.pending),
+			Inserts: sh.inserts,
+			Updates: sh.updates,
+			Deletes: sh.deletes,
+			Flushes: sh.flushes,
+			Swaps:   sh.swaps,
+		}
+		members := sh.sess.Members()
+		row.MaintainedSize, row.MaintainedValue = len(members), sh.sess.Value()
+		sh.mu.Unlock()
+		st.Shards[i] = row
+	}
+	st.Items = s.itemCount()
+	s.cacheMu.Lock()
+	st.Cache = CacheStats{
+		Queries:  s.cacheQueries,
+		Stored:   s.cacheStored,
+		Computed: s.cacheComp,
+		Lookups:  s.cacheLookups,
+	}
+	s.cacheMu.Unlock()
+	if st.Cache.Lookups > 0 {
+		st.Cache.HitRate = 1 - float64(st.Cache.Computed)/float64(st.Cache.Lookups)
+	}
+	return st
+}
+
+// SetHealthy flips the /healthz status; cmd/serve marks the server draining
+// before a graceful shutdown so load balancers stop routing to it.
+func (s *Server) SetHealthy(ok bool) { s.healthy.Store(ok) }
+
+// Flush applies every shard's pending queue (test and shutdown hook).
+func (s *Server) Flush() error {
+	errs := make([]error, len(s.shards))
+	s.pool.Do(len(s.shards), func(i int) {
+		_, errs[i] = s.shards[i].flush()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

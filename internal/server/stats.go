@@ -1,0 +1,113 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRingSize bounds the per-recorder sample window used for the
+// percentile estimates (power of two; ~4 KB per recorder).
+const latencyRingSize = 512
+
+// latencyRecorder aggregates request latencies: exact count/mean/max plus
+// percentiles estimated over a sliding window of the most recent samples.
+type latencyRecorder struct {
+	mu    sync.Mutex
+	count int64
+	sum   time.Duration
+	max   time.Duration
+	ring  [latencyRingSize]time.Duration
+	fill  int // how much of ring is valid
+	next  int // next write position
+}
+
+func (l *latencyRecorder) record(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count++
+	l.sum += d
+	if d > l.max {
+		l.max = d
+	}
+	l.ring[l.next] = d
+	l.next = (l.next + 1) & (latencyRingSize - 1)
+	if l.fill < latencyRingSize {
+		l.fill++
+	}
+}
+
+// LatencyStats is one recorder's snapshot, all durations in milliseconds.
+type LatencyStats struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+func (l *latencyRecorder) snapshot() LatencyStats {
+	l.mu.Lock()
+	window := make([]time.Duration, l.fill)
+	copy(window, l.ring[:l.fill])
+	count, sum, max := l.count, l.sum, l.max
+	l.mu.Unlock()
+
+	out := LatencyStats{Count: count, MaxMS: ms(max)}
+	if count > 0 {
+		out.MeanMS = ms(sum) / float64(count)
+	}
+	if len(window) > 0 {
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		out.P50MS = ms(percentile(window, 0.50))
+		out.P95MS = ms(percentile(window, 0.95))
+		out.P99MS = ms(percentile(window, 0.99))
+	}
+	return out
+}
+
+// percentile reads the q-quantile from an ascending-sorted window.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// ShardStats is one shard's row in the /stats response.
+type ShardStats struct {
+	Items           int     `json:"items"`
+	Pending         int     `json:"pending"`
+	MaintainedSize  int     `json:"maintained_size"`
+	MaintainedValue float64 `json:"maintained_value"`
+	Inserts         uint64  `json:"inserts"`
+	Updates         uint64  `json:"updates"`
+	Deletes         uint64  `json:"deletes"`
+	Flushes         uint64  `json:"flushes"`
+	Swaps           uint64  `json:"swaps"`
+}
+
+// CacheStats aggregates the striped distance cache's counters across all
+// queries served so far (only queries large enough to engage the lazy cache
+// contribute; small snapshots materialize a dense matrix instead).
+type CacheStats struct {
+	Queries  int64   `json:"queries"`
+	Stored   int64   `json:"stored"`
+	Computed int64   `json:"computed"`
+	Lookups  int64   `json:"lookups"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// Stats is the /stats response body.
+type Stats struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Items         int          `json:"items"`
+	Shards        []ShardStats `json:"shards"`
+	Cache         CacheStats   `json:"cache"`
+	Query         LatencyStats `json:"query_latency"`
+	Mutation      LatencyStats `json:"mutation_latency"`
+}

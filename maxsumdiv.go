@@ -40,6 +40,12 @@
 // item sets. LocalSearchOptions.Parallelism, Dynamic.SetParallelism and
 // WithStreamParallelism extend the same engine to matroid-constrained
 // search, dynamic maintenance, and streaming.
+//
+// The ground set is fully dynamic: Dynamic.Insert and Dynamic.Delete grow
+// and shrink the live item set while the maintained selection keeps
+// absorbing oblivious updates. cmd/serve exposes the whole library as a
+// sharded in-memory HTTP service (see internal/server) and cmd/loadgen
+// drives workloads against it.
 package maxsumdiv
 
 import (
@@ -345,3 +351,18 @@ func (p *Problem) Distance(i, j int) float64 { return p.obj.Metric().Distance(i,
 
 // Objective evaluates φ(S) for item indices S.
 func (p *Problem) Objective(S []int) float64 { return p.obj.Value(S) }
+
+// DistanceCacheStats reports the memoizing distance backend's counters when
+// the problem was built with WithLazyDistances and the striped cache is in
+// play (ok = true): pairs stored, underlying distance evaluations, and total
+// lookups. The cache hit rate is 1 − computed/lookups. For eagerly
+// materialized problems (including small WithLazyDistances instances, which
+// Memoize promotes to a dense matrix) ok is false.
+func (p *Problem) DistanceCacheStats() (stored int, computed, lookups int64, ok bool) {
+	c, isCached := p.obj.Metric().(*metric.Cached)
+	if !isCached {
+		return 0, 0, 0, false
+	}
+	stored, computed, lookups = c.Counters()
+	return stored, computed, lookups, true
+}

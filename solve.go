@@ -68,6 +68,7 @@ type SolveOption func(*solveCfg)
 type solveCfg struct {
 	algo        Algorithm
 	parallelism int
+	clampK      bool
 }
 
 // WithParallelism sets how many worker goroutines Solve's candidate scans
@@ -83,6 +84,14 @@ func WithAlgorithm(a Algorithm) SolveOption {
 	return func(c *solveCfg) { c.algo = a }
 }
 
+// WithClampK makes Solve treat k > Len() as k = Len() instead of returning
+// an error, so every solve returns exactly min(k, n) items. Serving layers
+// use this: a query's k is client-supplied while n is whatever survived the
+// latest inserts and deletes.
+func WithClampK() SolveOption {
+	return func(c *solveCfg) { c.clampK = true }
+}
+
 // Solve selects up to k items with the configured algorithm, sharding the
 // argmax-over-candidates scans of the greedy, local-search, and edge-scan
 // hot paths across a bounded worker pool (GOMAXPROCS workers by default;
@@ -91,6 +100,9 @@ func (p *Problem) Solve(k int, opts ...SolveOption) (*Solution, error) {
 	cfg := solveCfg{algo: AlgorithmGreedy}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.clampK && k > p.Len() {
+		k = p.Len()
 	}
 	var pool *engine.Pool
 	if cfg.parallelism != 1 {
