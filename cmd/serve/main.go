@@ -6,7 +6,7 @@
 // Usage:
 //
 //	serve [-addr :8080] [-shards 8] [-lambda 1] [-maintain-k 8]
-//	      [-parallelism 0] [-flush-threshold 256]
+//	      [-parallelism 0] [-flush-threshold 256] [-float32]
 //
 // Endpoints (see internal/server for the full contract):
 //
@@ -43,6 +43,7 @@ func main() {
 	maintainK := flag.Int("maintain-k", 8, "per-shard maintained selection size")
 	parallelism := flag.Int("parallelism", 0, "engine workers for query solves (0 = GOMAXPROCS)")
 	flushThreshold := flag.Int("flush-threshold", 256, "pending mutations per shard before an inline batch apply")
+	float32Backend := flag.Bool("float32", false, "solve queries on the blocked flat-row float32 distance backend instead of the lazy float64 cache")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		MaintainK:      *maintainK,
 		Parallelism:    *parallelism,
 		FlushThreshold: *flushThreshold,
+		Float32:        *float32Backend,
 	}
 	if err := run(ctx, *addr, cfg, *shutdownTimeout, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fakeReport builds a structurally valid report by hand.
+func fakeReport(calNs float64, entries ...Result) *Report {
+	r := newReport(true)
+	r.Results = append(r.Results, Result{Name: CalibrationName, Iterations: 100, NsPerOp: calNs})
+	r.Results = append(r.Results, entries...)
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := fakeReport(1e6,
+		Result{Name: "a", Iterations: 10, NsPerOp: 5e6, AllocsPerOp: 12, BytesPerOp: 4096,
+			Extra: map[string]float64{"p99_ns": 9e6}},
+	)
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Results) != 2 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	if a := got.Find("a"); a == nil || a.Extra["p99_ns"] != 9e6 {
+		t.Fatalf("entry a mangled: %+v", got.Find("a"))
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	bad := []*Report{
+		{}, // wrong schema, empty
+		func() *Report { r := fakeReport(1e6); r.Schema = "other/v9"; return r }(), // schema
+		func() *Report { // duplicate names
+			return fakeReport(1e6,
+				Result{Name: "x", Iterations: 1, NsPerOp: 1},
+				Result{Name: "x", Iterations: 1, NsPerOp: 1})
+		}(),
+		func() *Report { // no calibration
+			r := newReport(false)
+			r.Results = []Result{{Name: "x", Iterations: 1, NsPerOp: 1}}
+			return r
+		}(),
+		func() *Report { // nonsense measurement
+			return fakeReport(1e6, Result{Name: "x", Iterations: 0, NsPerOp: 1})
+		}(),
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad report %d validated", i)
+		}
+	}
+	if err := fakeReport(1e6, Result{Name: "x", Iterations: 3, NsPerOp: 2}).Validate(); err != nil {
+		t.Errorf("good report rejected: %v", err)
+	}
+}
+
+// TestCompareNormalization: a uniformly 2× slower machine (calibration and
+// benchmarks alike) is not a regression; a benchmark that slows down
+// relative to calibration is.
+func TestCompareNormalization(t *testing.T) {
+	base := fakeReport(1e6,
+		Result{Name: "solve", Iterations: 10, NsPerOp: 10e6, AllocsPerOp: 20},
+		Result{Name: "steady", Iterations: 10, NsPerOp: 4e6, AllocsPerOp: 5},
+	)
+	cur := fakeReport(2e6, // machine half as fast
+		Result{Name: "solve", Iterations: 10, NsPerOp: 20e6, AllocsPerOp: 20}, // same normalized cost
+		Result{Name: "steady", Iterations: 10, NsPerOp: 16e6, AllocsPerOp: 5}, // 2× normalized
+	)
+	cmp, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := cmp.Regressions()
+	if len(reg) != 1 || reg[0].Name != "steady" {
+		t.Fatalf("regressions = %+v, want exactly steady", reg)
+	}
+	for _, d := range cmp.Deltas {
+		if d.Name == "solve" && (d.LatencyRatio < 0.99 || d.LatencyRatio > 1.01) {
+			t.Fatalf("solve normalized ratio = %g, want ~1", d.LatencyRatio)
+		}
+	}
+}
+
+// TestCompareAllocs: allocs gate is machine-independent and has a small
+// absolute slack for tiny counts.
+func TestCompareAllocs(t *testing.T) {
+	base := fakeReport(1e6,
+		Result{Name: "tiny", Iterations: 10, NsPerOp: 1e6, AllocsPerOp: 5},
+		Result{Name: "big", Iterations: 10, NsPerOp: 1e6, AllocsPerOp: 100000},
+	)
+	cur := fakeReport(1e6,
+		Result{Name: "tiny", Iterations: 10, NsPerOp: 1e6, AllocsPerOp: 12},    // +7 ≤ slack
+		Result{Name: "big", Iterations: 10, NsPerOp: 1e6, AllocsPerOp: 130000}, // +30%
+	)
+	cmp, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := cmp.Regressions()
+	if len(reg) != 1 || reg[0].Name != "big" {
+		t.Fatalf("regressions = %+v, want exactly big", reg)
+	}
+}
+
+// TestCompareApproxAllocsNotGated: percentile probes measure allocs via
+// process-global MemStats deltas, so their allocs growth is reported but
+// never fails the gate.
+func TestCompareApproxAllocsNotGated(t *testing.T) {
+	base := fakeReport(1e6,
+		Result{Name: "server/query", Iterations: 100, NsPerOp: 1e6, AllocsPerOp: 1000, ApproxAllocs: true})
+	cur := fakeReport(1e6,
+		Result{Name: "server/query", Iterations: 100, NsPerOp: 1e6, AllocsPerOp: 5000, ApproxAllocs: true})
+	cmp, err := Compare(base, cur, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg := cmp.Regressions(); len(reg) != 0 {
+		t.Fatalf("approx-allocs probe was gated: %+v", reg)
+	}
+}
+
+// TestCompareDisjointEntries: quick-vs-full comparisons skip one-sided
+// entries instead of failing.
+func TestCompareDisjointEntries(t *testing.T) {
+	base := fakeReport(1e6,
+		Result{Name: "both", Iterations: 1, NsPerOp: 1e6},
+		Result{Name: "full-only", Iterations: 1, NsPerOp: 1e6},
+	)
+	cur := fakeReport(1e6,
+		Result{Name: "both", Iterations: 1, NsPerOp: 1e6},
+		Result{Name: "new-probe", Iterations: 1, NsPerOp: 1e6},
+	)
+	cmp, err := Compare(base, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Deltas) != 1 || cmp.Deltas[0].Name != "both" {
+		t.Fatalf("deltas = %+v", cmp.Deltas)
+	}
+	if len(cmp.OnlyOld) != 1 || cmp.OnlyOld[0] != "full-only" {
+		t.Fatalf("OnlyOld = %v", cmp.OnlyOld)
+	}
+	if len(cmp.OnlyNew) != 1 || cmp.OnlyNew[0] != "new-probe" {
+		t.Fatalf("OnlyNew = %v", cmp.OnlyNew)
+	}
+	var buf bytes.Buffer
+	cmp.WriteText(&buf)
+	if !strings.Contains(buf.String(), "both") {
+		t.Fatalf("text output missing delta: %s", buf.String())
+	}
+}
+
+// TestCompareSchemaMismatch: reports across schema versions refuse to diff.
+func TestCompareSchemaMismatch(t *testing.T) {
+	base := fakeReport(1e6, Result{Name: "x", Iterations: 1, NsPerOp: 1})
+	cur := fakeReport(1e6, Result{Name: "x", Iterations: 1, NsPerOp: 1})
+	cur.Schema = "maxsumdiv-bench/v999"
+	if _, err := Compare(base, cur, 0); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}
+
+// TestSuiteFilters pins quick-suite membership and filter semantics: quick
+// excludes the large-n probe, filters always keep calibration, and the
+// acceptance-critical n=10k backend pair is part of the quick suite.
+func TestSuiteFilters(t *testing.T) {
+	names := func(specs []Spec) map[string]bool {
+		m := make(map[string]bool, len(specs))
+		for _, s := range specs {
+			m[s.Name] = true
+		}
+		return m
+	}
+	quick := names(Suite(Options{Quick: true}))
+	full := names(Suite(Options{}))
+	if quick["greedy/f64-cached/n=50000/k=16/e2e"] {
+		t.Fatal("quick suite includes the 50k probe")
+	}
+	if !full["greedy/f64-cached/n=50000/k=16/e2e"] {
+		t.Fatal("full suite lost the 50k probe")
+	}
+	for _, must := range []string{
+		CalibrationName,
+		"greedy-improved/f64-cached/n=10000/k=64/e2e",
+		"greedy-improved/f32-dense/n=10000/k=64/e2e",
+		"dynamic/insert-delete/n=2000/p=16",
+		"server/query/full/n=2048/k=10",
+	} {
+		if !quick[must] {
+			t.Fatalf("quick suite lost %q", must)
+		}
+	}
+	filtered := Suite(Options{Filter: regexp.MustCompile(`^dynamic/`)})
+	got := names(filtered)
+	if !got[CalibrationName] || !got["dynamic/insert-delete/n=2000/p=16"] || len(filtered) != 3 {
+		t.Fatalf("filtered suite = %v", got)
+	}
+}
+
+// TestRunSmoke executes the two cheapest real probes end to end and checks
+// the report validates — the bit-rot fence for the suite plumbing.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	rep, err := Run(Options{Quick: true, Filter: regexp.MustCompile(`^dynamic/perturb-weight/`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 { // calibration + the probe
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+	if rep.Find("dynamic/perturb-weight/n=2000/p=16").NsPerOp <= 0 {
+		t.Fatal("probe recorded no time")
+	}
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// DefaultLatencyThreshold is the relative normalized-latency growth past
+// which Compare flags a regression (the CI gate's 15%).
+const DefaultLatencyThreshold = 0.15
+
+// DefaultAllocsThreshold is the relative allocs/op growth past which
+// Compare flags a regression.
+const DefaultAllocsThreshold = 0.15
+
+// allocsSlack is the absolute allocs/op growth always tolerated: tiny
+// probes sit at single-digit allocs where one incidental allocation is not
+// a 15% story.
+const allocsSlack = 8
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	Name string
+	// OldNs and NewNs are raw ns/op as recorded.
+	OldNs, NewNs float64
+	// LatencyRatio is (new ns ÷ new calibration) ÷ (old ns ÷ old
+	// calibration): the machine-normalized relative cost. 1.0 = unchanged,
+	// 1.20 = 20% slower than the baseline relative to raw CPU speed.
+	LatencyRatio float64
+	// OldAllocs and NewAllocs are allocs/op (machine-independent).
+	OldAllocs, NewAllocs int64
+	// Regressions lists what exceeded a threshold (empty = pass).
+	Regressions []string
+}
+
+// Comparison is the outcome of diffing two reports.
+type Comparison struct {
+	Deltas []Delta
+	// OnlyOld and OnlyNew are benchmark names present in one report only
+	// (expected when a quick run is compared against a full baseline).
+	OnlyOld, OnlyNew []string
+}
+
+// Regressions returns the deltas that tripped a threshold.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if len(d.Regressions) > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs cur against base. Latency compares after normalizing each
+// report by its own calibration entry, so reports from machines of
+// different speeds gate one another; allocs/op compares directly. A
+// latencyThreshold ≤ 0 selects DefaultLatencyThreshold.
+func Compare(base, cur *Report, latencyThreshold float64) (*Comparison, error) {
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := cur.Validate(); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	if latencyThreshold <= 0 {
+		latencyThreshold = DefaultLatencyThreshold
+	}
+	baseCal := base.Find(CalibrationName).NsPerOp
+	curCal := cur.Find(CalibrationName).NsPerOp
+	if baseCal <= 0 || curCal <= 0 {
+		return nil, fmt.Errorf("bench: non-positive calibration (%g base, %g current)", baseCal, curCal)
+	}
+	var cmp Comparison
+	for _, b := range base.Results {
+		if b.Name == CalibrationName {
+			continue
+		}
+		c := cur.Find(b.Name)
+		if c == nil {
+			cmp.OnlyOld = append(cmp.OnlyOld, b.Name)
+			continue
+		}
+		d := Delta{
+			Name:      b.Name,
+			OldNs:     b.NsPerOp,
+			NewNs:     c.NsPerOp,
+			OldAllocs: b.AllocsPerOp,
+			NewAllocs: c.AllocsPerOp,
+		}
+		if b.NsPerOp > 0 {
+			d.LatencyRatio = (c.NsPerOp / curCal) / (b.NsPerOp / baseCal)
+			if d.LatencyRatio > 1+latencyThreshold {
+				d.Regressions = append(d.Regressions,
+					fmt.Sprintf("normalized latency ×%.2f (> ×%.2f)", d.LatencyRatio, 1+latencyThreshold))
+			}
+		}
+		// Approximate alloc counts (process-global MemStats deltas on the
+		// percentile probes) are reported but not gated — they shift with
+		// scheduling, unlike testing.Benchmark's per-run accounting.
+		if !b.ApproxAllocs && !c.ApproxAllocs {
+			allowed := b.AllocsPerOp + int64(float64(b.AllocsPerOp)*DefaultAllocsThreshold) + allocsSlack
+			if c.AllocsPerOp > allowed {
+				d.Regressions = append(d.Regressions,
+					fmt.Sprintf("allocs/op %d → %d (> %d)", b.AllocsPerOp, c.AllocsPerOp, allowed))
+			}
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	for _, c := range cur.Results {
+		if c.Name != CalibrationName && base.Find(c.Name) == nil {
+			cmp.OnlyNew = append(cmp.OnlyNew, c.Name)
+		}
+	}
+	return &cmp, nil
+}
+
+// WriteText renders the comparison as a human-readable table.
+func (c *Comparison) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "%-48s %14s %14s %8s %16s\n", "benchmark", "old ms/op", "new ms/op", "×norm", "allocs/op")
+	for _, d := range c.Deltas {
+		status := ""
+		if len(d.Regressions) > 0 {
+			status = "  REGRESSION: "
+			for i, r := range d.Regressions {
+				if i > 0 {
+					status += "; "
+				}
+				status += r
+			}
+		}
+		fmt.Fprintf(w, "%-48s %14.3f %14.3f %8.2f %7d→%-7d%s\n",
+			d.Name, d.OldNs/1e6, d.NewNs/1e6, d.LatencyRatio, d.OldAllocs, d.NewAllocs, status)
+	}
+	if len(c.OnlyOld) > 0 {
+		fmt.Fprintf(w, "only in baseline (not compared): %v\n", c.OnlyOld)
+	}
+	if len(c.OnlyNew) > 0 {
+		fmt.Fprintf(w, "new benchmarks (no baseline): %v\n", c.OnlyNew)
+	}
+}

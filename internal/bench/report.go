@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// Schema identifies the report layout. Bump on any change to field
+// semantics; Compare refuses to diff across versions.
+const Schema = "maxsumdiv-bench/v1"
+
+// CalibrationName is the fixed pure-CPU probe every report must contain;
+// Compare uses it to normalize latencies across machines.
+const CalibrationName = "calibration"
+
+// Result is one benchmark's measurement.
+type Result struct {
+	// Name identifies the probe; names are stable across PRs so reports
+	// stay diffable (suite membership may grow, never repurpose a name).
+	Name string `json:"name"`
+	// Iterations is how many times the op ran (testing.B's N, or the
+	// sample count for percentile probes).
+	Iterations int `json:"iterations"`
+	// NsPerOp is the mean wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the mean heap allocations per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is the mean heap bytes allocated per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// ApproxAllocs marks probes whose alloc counts come from
+	// process-global MemStats deltas (the percentile probes) rather than
+	// testing.Benchmark's per-run accounting; Compare reports but does not
+	// gate their allocs/op.
+	ApproxAllocs bool `json:"approx_allocs,omitempty"`
+	// Extra carries probe-specific metrics (e.g. p50_ns, p99_ns for the
+	// server query probes).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the machine-readable output of one suite run.
+type Report struct {
+	Schema     string   `json:"schema"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Quick      bool     `json:"quick"`
+	Results    []Result `json:"results"`
+}
+
+// newReport stamps the environment.
+func newReport(quick bool) *Report {
+	return &Report{
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+}
+
+// Find returns the named result, or nil.
+func (r *Report) Find(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks structural invariants a report must satisfy before it can
+// serve as a baseline: schema match, a calibration entry, unique names, and
+// sane measurements.
+func (r *Report) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("bench: schema %q, this binary speaks %q", r.Schema, Schema)
+	}
+	if len(r.Results) == 0 {
+		return fmt.Errorf("bench: report has no results")
+	}
+	seen := make(map[string]bool, len(r.Results))
+	for _, res := range r.Results {
+		if res.Name == "" {
+			return fmt.Errorf("bench: result with empty name")
+		}
+		if seen[res.Name] {
+			return fmt.Errorf("bench: duplicate result %q", res.Name)
+		}
+		seen[res.Name] = true
+		if res.NsPerOp < 0 || res.Iterations <= 0 {
+			return fmt.Errorf("bench: result %q has ns_per_op=%g iterations=%d", res.Name, res.NsPerOp, res.Iterations)
+		}
+	}
+	if !seen[CalibrationName] {
+		return fmt.Errorf("bench: report lacks the %q entry", CalibrationName)
+	}
+	return nil
+}
+
+// Write serializes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport deserializes and validates a report.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: decode report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// resultOf converts a testing.Benchmark outcome.
+func resultOf(name string, b testing.BenchmarkResult) Result {
+	return Result{
+		Name:        name,
+		Iterations:  b.N,
+		NsPerOp:     float64(b.T.Nanoseconds()) / float64(b.N),
+		AllocsPerOp: b.AllocsPerOp(),
+		BytesPerOp:  b.AllocedBytesPerOp(),
+	}
+}

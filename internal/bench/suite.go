@@ -1,0 +1,429 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"maxsumdiv"
+	"maxsumdiv/internal/dataset"
+	"maxsumdiv/internal/dynamic"
+	"maxsumdiv/internal/server"
+)
+
+// Options selects which probes run.
+type Options struct {
+	// Quick restricts the suite to the entries CI runs on every PR
+	// (everything but the large-n probes).
+	Quick bool
+	// Filter, when non-nil, keeps only probes whose name matches.
+	Filter *regexp.Regexp
+	// Log, when non-nil, receives one progress line per probe.
+	Log io.Writer
+}
+
+// Spec is one named probe.
+type Spec struct {
+	Name  string
+	Quick bool // part of the quick suite
+	Run   func() (Result, error)
+}
+
+// suiteDim is the feature dimension every vector probe uses: large enough
+// that a distance evaluation is real work, small enough that the n=10k
+// probes stay inside a CI runner's memory and minute budget.
+const suiteDim = 32
+
+// Suite returns the probes selected by opts, in fixed order. All solver
+// probes run serial (parallelism 1): the suite measures algorithmic cost,
+// which must be comparable across machines with different core counts; the
+// engine's parallel speedup has its own benchmarks in the root package.
+func Suite(opts Options) []Spec {
+	all := []Spec{
+		calibrationSpec(),
+
+		// End-to-end problem build + greedy solve: the per-query work of
+		// the serving layer, on each backend the library offers.
+		greedyE2ESpec("greedy/f64-dense/n=1000/k=32/e2e", true, 1000, 32, backendDense64),
+		greedyE2ESpec("greedy/f32-dense/n=1000/k=32/e2e", true, 1000, 32, backendDense32),
+
+		// Solve-only on prebuilt backends: the steady-state hot path. The
+		// allocs/op here is the zero-allocation regression fence.
+		greedySolveSpec("greedy/f64-dense/n=4096/k=32/solve", true, 4096, 32, backendDense64),
+		greedySolveSpec("greedy/f32-dense/n=4096/k=32/solve", true, 4096, 32, backendDense32),
+
+		// The n=10k headline pair: the paper's improved (best-pair) greedy
+		// scans all ~50M pairs, so the backend choice dominates. f64-cached
+		// is the library's pre-float32 configuration at this scale (lazy
+		// striped cache); f32-dense is the blocked flat-row backend.
+		improvedE2ESpec("greedy-improved/f64-cached/n=10000/k=64/e2e", true, 10000, 64, backendCached64),
+		improvedE2ESpec("greedy-improved/f32-dense/n=10000/k=64/e2e", true, 10000, 64, backendDense32),
+
+		// Large-n trajectory for the lazy cache (full runs only).
+		greedyE2ESpec("greedy/f64-cached/n=50000/k=16/e2e", false, 50000, 16, backendCached64),
+
+		localSearchSpec("localsearch/f64-dense/n=1000/k=16/solve", true, 1000, 16, backendDense64),
+		localSearchSpec("localsearch/f32-dense/n=1000/k=16/solve", true, 1000, 16, backendDense32),
+
+		dynamicChurnSpec("dynamic/insert-delete/n=2000/p=16", true, 2000, 16),
+		dynamicWeightSpec("dynamic/perturb-weight/n=2000/p=16", true, 2000, 16),
+
+		serverQuerySpec("server/query/full/n=2048/k=10", true, "full", 2048, 10),
+		serverQuerySpec("server/query/maintained/n=2048/k=8", true, "maintained", 2048, 8),
+	}
+	out := all[:0:0]
+	for _, s := range all {
+		if opts.Quick && !s.Quick {
+			continue
+		}
+		if opts.Filter != nil && !opts.Filter.MatchString(s.Name) && s.Name != CalibrationName {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Run executes the selected probes and assembles the report.
+func Run(opts Options) (*Report, error) {
+	rep := newReport(opts.Quick)
+	for _, s := range Suite(opts) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "running %s ...\n", s.Name)
+		}
+		start := time.Now()
+		res, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", s.Name, err)
+		}
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "  %s: %.3g ms/op, %d allocs/op (%d iters, %.1fs)\n",
+				s.Name, res.NsPerOp/1e6, res.AllocsPerOp, res.Iterations, time.Since(start).Seconds())
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+var sinkF float64 // defeats dead-code elimination in probes
+
+// calibrationSpec is the fixed pure-CPU loop Compare normalizes by: ~2M
+// floating-point operations per op, no memory traffic, no allocation.
+func calibrationSpec() Spec {
+	return benchSpec(CalibrationName, true, func(b *testing.B) error {
+		for i := 0; i < b.N; i++ {
+			x := 1.0
+			for j := 0; j < 1<<20; j++ {
+				x = x*1.0000000001 + float64(j&7)*0.5
+			}
+			sinkF = x
+		}
+		return nil
+	})
+}
+
+// benchSpec wraps a testing.Benchmark body that may fail.
+func benchSpec(name string, quick bool, body func(b *testing.B) error) Spec {
+	return Spec{Name: name, Quick: quick, Run: func() (Result, error) {
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			if err := body(b); err != nil {
+				runErr = err
+				b.SkipNow()
+			}
+		})
+		if runErr != nil {
+			return Result{}, runErr
+		}
+		return resultOf(name, r), nil
+	}}
+}
+
+// backend selects the distance representation a probe builds its problem on.
+type backend int
+
+const (
+	backendDense64  backend = iota // eager float64 matrix (Materialize)
+	backendDense32                 // blocked flat-row float32 (WithFloat32)
+	backendCached64                // lazy striped float64 cache (WithLazyDistances)
+)
+
+// suiteItems builds the deterministic vector corpus every solver probe uses.
+func suiteItems(n int, seed int64) []maxsumdiv.Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]maxsumdiv.Item, n)
+	for i := range items {
+		vec := make([]float64, suiteDim)
+		for k := range vec {
+			vec[k] = rng.Float64()
+		}
+		items[i] = maxsumdiv.Item{ID: fmt.Sprintf("it%06d", i), Weight: rng.Float64(), Vector: vec}
+	}
+	return items
+}
+
+// buildProblem constructs the probe's problem on the chosen backend (cosine
+// distance, the serving layer's geometry).
+func buildProblem(items []maxsumdiv.Item, be backend) (*maxsumdiv.Problem, error) {
+	opts := []maxsumdiv.Option{maxsumdiv.WithLambda(0.5), maxsumdiv.WithCosineDistance()}
+	switch be {
+	case backendDense32:
+		opts = append(opts, maxsumdiv.WithFloat32())
+	case backendCached64:
+		opts = append(opts, maxsumdiv.WithLazyDistances())
+	}
+	return maxsumdiv.NewProblem(items, opts...)
+}
+
+// greedyE2ESpec measures one full query: problem construction (including
+// the distance backend build) plus a serial greedy solve.
+func greedyE2ESpec(name string, quick bool, n, k int, be backend) Spec {
+	return benchSpec(name, quick, func(b *testing.B) error {
+		items := suiteItems(n, int64(n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := buildProblem(items, be)
+			if err != nil {
+				return err
+			}
+			sol, err := p.Solve(k, maxsumdiv.WithParallelism(1))
+			if err != nil {
+				return err
+			}
+			sinkF = sol.Value
+		}
+		return nil
+	})
+}
+
+// improvedE2ESpec is greedyE2ESpec with the paper's Table 3 best-pair
+// opening, which scans all C(n,2) pairs — the workload where the distance
+// backend dominates end to end.
+func improvedE2ESpec(name string, quick bool, n, k int, be backend) Spec {
+	return benchSpec(name, quick, func(b *testing.B) error {
+		items := suiteItems(n, int64(n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := buildProblem(items, be)
+			if err != nil {
+				return err
+			}
+			sol, err := p.Solve(k,
+				maxsumdiv.WithAlgorithm(maxsumdiv.AlgorithmGreedyImproved),
+				maxsumdiv.WithParallelism(1))
+			if err != nil {
+				return err
+			}
+			sinkF = sol.Value
+		}
+		return nil
+	})
+}
+
+// greedySolveSpec measures the solve alone on a prebuilt backend: the
+// steady-state hot path whose allocs/op the suite fences at a small
+// constant.
+func greedySolveSpec(name string, quick bool, n, k int, be backend) Spec {
+	return benchSpec(name, quick, func(b *testing.B) error {
+		p, err := buildProblem(suiteItems(n, int64(n)), be)
+		if err != nil {
+			return err
+		}
+		if _, err := p.Solve(k, maxsumdiv.WithParallelism(1)); err != nil {
+			return err // warm scratch pools before measuring steady state
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sol, err := p.Solve(k, maxsumdiv.WithParallelism(1))
+			if err != nil {
+				return err
+			}
+			sinkF = sol.Value
+		}
+		return nil
+	})
+}
+
+// localSearchSpec measures a bounded local-search polish from a prebuilt
+// greedy start under |S| ≤ k.
+func localSearchSpec(name string, quick bool, n, k int, be backend) Spec {
+	return benchSpec(name, quick, func(b *testing.B) error {
+		p, err := buildProblem(suiteItems(n, int64(n)), be)
+		if err != nil {
+			return err
+		}
+		c, err := p.Cardinality(k)
+		if err != nil {
+			return err
+		}
+		init, err := p.Greedy(k)
+		if err != nil {
+			return err
+		}
+		opts := &maxsumdiv.LocalSearchOptions{Init: init.Indices, MaxSwaps: 4, Parallelism: 1}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sol, err := p.LocalSearch(c, opts)
+			if err != nil {
+				return err
+			}
+			sinkF = sol.Value
+		}
+		return nil
+	})
+}
+
+// dynamicChurnSpec measures fully dynamic update time: one insert and one
+// delete per op, each followed by the state rebuild and one Section 6
+// oblivious update — the per-mutation cost of a live session.
+func dynamicChurnSpec(name string, quick bool, n, p int) Spec {
+	return benchSpec(name, quick, func(b *testing.B) error {
+		rng := rand.New(rand.NewSource(77))
+		sess, err := dynamic.NewSession(dataset.Synthetic(n, rng), 0.2, nil)
+		if err != nil {
+			return err
+		}
+		if err := sess.SetTarget(p); err != nil {
+			return err
+		}
+		_ = sess.Members() // realize the initial greedy fill
+		dists := make([]float64, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range dists {
+				dists[j] = 1 + rng.Float64() // the paper's [1,2] regime
+			}
+			idx, err := sess.InsertElement(rng.Float64(), dists)
+			if err != nil {
+				return err
+			}
+			sess.ObliviousUpdate()
+			if _, err := sess.DeleteElement(idx); err != nil {
+				return err
+			}
+			sess.ObliviousUpdate()
+		}
+		return nil
+	})
+}
+
+// dynamicWeightSpec measures a Section 6 weight perturbation plus its
+// theorem-prescribed maintenance.
+func dynamicWeightSpec(name string, quick bool, n, p int) Spec {
+	return benchSpec(name, quick, func(b *testing.B) error {
+		rng := rand.New(rand.NewSource(78))
+		sess, err := dynamic.NewSession(dataset.Synthetic(n, rng), 0.2, nil)
+		if err != nil {
+			return err
+		}
+		if err := sess.SetTarget(p); err != nil {
+			return err
+		}
+		_ = sess.Members()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			prev := sess.Value()
+			pert, err := sess.SetWeight(rng.Intn(n), rng.Float64())
+			if err != nil {
+				return err
+			}
+			if _, err := sess.Maintain(pert, prev); err != nil {
+				// Out-of-regime decreases (δ ≥ w) are legitimate here;
+				// fall back to one oblivious update like the server does.
+				sess.ObliviousUpdate()
+			}
+		}
+		return nil
+	})
+}
+
+// serverQuerySpec drives POST /diversify through the in-process handler
+// (no network) against a loaded corpus and reports mean latency plus
+// p50/p99 in Extra.
+func serverQuerySpec(name string, quick bool, scope string, n, k int) Spec {
+	const samples = 120
+	return Spec{Name: name, Quick: quick, Run: func() (Result, error) {
+		srv, err := server.New(server.Config{Shards: 4, Lambda: 0.5, MaintainK: 8, Parallelism: 1})
+		if err != nil {
+			return Result{}, err
+		}
+		h := srv.Handler()
+		post := func(path string, body []byte) error {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				return fmt.Errorf("%s: status %d: %s", path, rec.Code, rec.Body.String())
+			}
+			return nil
+		}
+		items := suiteItems(n, int64(n))
+		const batch = 256
+		for lo := 0; lo < len(items); lo += batch {
+			hi := min(lo+batch, len(items))
+			payload := make([]server.ItemPayload, 0, hi-lo)
+			for _, it := range items[lo:hi] {
+				payload = append(payload, server.ItemPayload{ID: it.ID, Weight: it.Weight, Vector: it.Vector})
+			}
+			body, err := json.Marshal(payload)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := post("/items", body); err != nil {
+				return Result{}, err
+			}
+		}
+		query, err := json.Marshal(server.DiversifyRequest{K: k, Scope: scope})
+		if err != nil {
+			return Result{}, err
+		}
+		for i := 0; i < 3; i++ { // warm: flush queues, fill caches
+			if err := post("/diversify", query); err != nil {
+				return Result{}, err
+			}
+		}
+		lat := make([]time.Duration, samples)
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := range lat {
+			t0 := time.Now()
+			if err := post("/diversify", query); err != nil {
+				return Result{}, err
+			}
+			lat[i] = time.Since(t0)
+		}
+		total := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pct := func(q float64) float64 {
+			return float64(lat[int(q*float64(len(lat)-1))].Nanoseconds())
+		}
+		return Result{
+			Name:         name,
+			Iterations:   samples,
+			NsPerOp:      float64(total.Nanoseconds()) / samples,
+			AllocsPerOp:  int64(ms1.Mallocs-ms0.Mallocs) / samples,
+			BytesPerOp:   int64(ms1.TotalAlloc-ms0.TotalAlloc) / samples,
+			ApproxAllocs: true, // MemStats delta, not per-run accounting
+			Extra: map[string]float64{
+				"p50_ns": pct(0.50),
+				"p99_ns": pct(0.99),
+			},
+		}, nil
+	}}
+}

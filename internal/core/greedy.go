@@ -66,7 +66,8 @@ func GreedyB(obj *Objective, p int, opts ...GreedyOption) (*Solution, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	st := obj.NewState()
+	st := obj.AcquireState()
+	defer obj.ReleaseState(st)
 	if cfg.bestPairStart && p >= 2 {
 		x, y := bestPotentialPair(obj, cfg.pool)
 		st.Add(x)
@@ -147,7 +148,8 @@ func GreedyA(obj *Objective, p int, opts ...GreedyOption) (*Solution, error) {
 		o(&cfg)
 	}
 	n := obj.N()
-	st := obj.NewState()
+	st := obj.AcquireState()
+	defer obj.ReleaseState(st)
 	if p == 1 {
 		// Degenerate: the edge reduction needs pairs; take the best vertex.
 		best := 0
@@ -245,7 +247,8 @@ func GreedyOblivious(obj *Objective, p int, opts ...GreedyOption) (*Solution, er
 	for _, o := range opts {
 		o(&cfg)
 	}
-	st := obj.NewState()
+	st := obj.AcquireState()
+	defer obj.ReleaseState(st)
 	sc := newScanner(st, cfg.pool)
 	for st.Size() < p {
 		b := sc.argmaxObjective()

@@ -66,7 +66,8 @@ func LocalSearch(obj *Objective, m matroid.Matroid, opts *LSOptions) (*Solution,
 	if err != nil {
 		return nil, err
 	}
-	st := obj.NewState()
+	st := obj.AcquireState()
+	defer obj.ReleaseState(st)
 	for _, u := range start {
 		st.Add(u)
 	}
@@ -78,6 +79,11 @@ func LocalSearch(obj *Objective, m matroid.Matroid, opts *LSOptions) (*Solution,
 	swaps := 0
 	sc := newScanner(st, opts.Pool)
 	members := st.Members()
+	// canSwap reads the members variable, not a per-round copy, so one
+	// closure serves every pass of the search.
+	canSwap := func(out, in int) bool {
+		return matroid.CanSwap(m, members, out, in)
+	}
 	for {
 		if opts.MaxSwaps > 0 && swaps >= opts.MaxSwaps {
 			break
@@ -94,9 +100,7 @@ func LocalSearch(obj *Objective, m matroid.Matroid, opts *LSOptions) (*Solution,
 				threshold = rel
 			}
 		}
-		b := sc.bestSwap(members, threshold, func(out, in int) bool {
-			return matroid.CanSwap(m, members, out, in)
-		})
+		b := sc.bestSwap(members, threshold, canSwap)
 		if b.Index == -1 {
 			break // local optimum
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"maxsumdiv/internal/metric"
 	"maxsumdiv/internal/setfunc"
@@ -15,6 +16,11 @@ type Objective struct {
 	f      setfunc.Source
 	lambda float64
 	d      metric.Metric
+	// states pools solver scratch (see AcquireState): every State carries
+	// two O(n) slices plus a quality evaluator, and the one-shot solvers
+	// (greedy, local search) would otherwise allocate and discard a full
+	// set per call.
+	states sync.Pool
 }
 
 // NewObjective validates and builds an objective. f and d must agree on the
@@ -103,9 +109,10 @@ type State struct {
 	f       setfunc.Evaluator
 	in      []bool
 	members []int
-	du      []float64        // du[v] = Σ_{u∈S} d(v,u), maintained for ALL v
-	sumD    float64          // d(S)
-	modular *setfunc.Modular // non-nil fast path when f is modular
+	du      []float64             // du[v] = Σ_{u∈S} d(v,u), maintained for ALL v
+	sumD    float64               // d(S)
+	modular *setfunc.Modular      // non-nil fast path when f is modular
+	rowAcc  metric.RowAccumulator // non-nil bulk row fold (Dense, DenseF32)
 }
 
 // NewState returns an empty working set for the objective.
@@ -120,7 +127,34 @@ func (o *Objective) NewState() *State {
 	if m, ok := o.f.(*setfunc.Modular); ok {
 		st.modular = m
 	}
+	if r, ok := o.d.(metric.RowAccumulator); ok {
+		st.rowAcc = r
+	}
 	return st
+}
+
+// AcquireState returns an empty State drawn from the objective's scratch
+// pool (reset, with slice capacity from earlier solves retained), falling
+// back to NewState when the pool is dry. Pair with ReleaseState; states that
+// outlive a call — the dynamic Session's incremental solution — should use
+// NewState and keep ownership.
+func (o *Objective) AcquireState() *State {
+	if v := o.states.Get(); v != nil {
+		st := v.(*State)
+		st.Reset()
+		return st
+	}
+	return o.NewState()
+}
+
+// ReleaseState returns a State obtained from AcquireState to the pool. The
+// caller must not touch st afterwards. States built on a different
+// objective are dropped rather than poisoning the pool.
+func (o *Objective) ReleaseState(st *State) {
+	if st == nil || st.obj != o {
+		return
+	}
+	o.states.Put(st)
 }
 
 // Objective returns the objective this state evaluates.
@@ -175,6 +209,10 @@ func (s *State) Add(u int) {
 	s.in[u] = true
 	s.members = append(s.members, u)
 	s.sumD += s.du[u]
+	if s.rowAcc != nil {
+		s.rowAcc.AccumulateRow(u, 1, s.du)
+		return
+	}
 	d := s.obj.d
 	for v := range s.du {
 		s.du[v] += d.Distance(u, v)
@@ -195,9 +233,13 @@ func (s *State) Remove(u int) {
 			break
 		}
 	}
-	d := s.obj.d
-	for v := range s.du {
-		s.du[v] -= d.Distance(u, v)
+	if s.rowAcc != nil {
+		s.rowAcc.AccumulateRow(u, -1, s.du)
+	} else {
+		d := s.obj.d
+		for v := range s.du {
+			s.du[v] -= d.Distance(u, v)
+		}
 	}
 	s.sumD -= s.du[u]
 	if len(s.members) <= 1 {

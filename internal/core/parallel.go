@@ -13,6 +13,13 @@ import (
 // clone that the caller keeps in sync via added/removed after each state
 // mutation.
 //
+// The scorer closures and the factories handed to the engine are built once
+// per scanner and reused for every round, so a steady-state serial scan
+// allocates nothing: the per-candidate loop runs over cached closures whose
+// captured state (State fields, swap-scan parameters) is updated in place
+// between rounds. Parallel scans additionally pay the engine's goroutine
+// fan-out, nothing per candidate.
+//
 // The scans only read State fields (in, du, members) and the metric, so they
 // are safe to run concurrently between mutations; all selection rules are
 // total orders (max score, ties to the lowest index), making parallel runs
@@ -28,10 +35,30 @@ type scanner struct {
 	st   *State
 	pool *engine.Pool
 	evs  []setfunc.Evaluator // lazily built clones for workers ≥ 1
+
+	// Cached per-worker scorers plus the factory closures that dispense
+	// them; engine factories run on the caller's goroutine, so the lazy
+	// construction needs no locking.
+	potScorers []engine.Scorer
+	objScorers []engine.Scorer
+	potFactory func(worker int) engine.Scorer
+	objFactory func(worker int) engine.Scorer
+
+	// Swap-scan parameters, staged by bestSwap before each scan so the
+	// cached swap scorers read them without per-round captures.
+	swapMembers   []int
+	swapThreshold float64
+	swapFilter    func(out, in int) bool
+	swapScorers   []engine.PairScorer
+	swapFactory   func(worker int) engine.PairScorer
 }
 
 func newScanner(st *State, pool *engine.Pool) *scanner {
-	return &scanner{st: st, pool: pool}
+	sc := &scanner{st: st, pool: pool}
+	sc.potFactory = sc.potentialScorer
+	sc.objFactory = sc.objectiveScorer
+	sc.swapFactory = sc.swapScorer
+	return sc
 }
 
 // evaluator returns the quality evaluator for one scan worker. The engine
@@ -73,56 +100,60 @@ func (sc *scanner) swapped(out, in int) {
 	}
 }
 
-// argmaxPotential returns the non-member maximizing the greedy potential
-// φ′_u(S) = ½f_u(S) + λ·d_u(S) (Index = -1 when S is the whole ground set).
-func (sc *scanner) argmaxPotential() engine.Best {
-	st := sc.st
-	return sc.pool.ArgMax(st.obj.N(), func(worker int) engine.Scorer {
-		ev := sc.evaluator(worker)
-		return func(u int) (float64, bool) {
+// potentialScorer dispenses worker's cached potential scorer, building it on
+// first use.
+func (sc *scanner) potentialScorer(worker int) engine.Scorer {
+	for len(sc.potScorers) <= worker {
+		sc.potScorers = append(sc.potScorers, nil)
+	}
+	if sc.potScorers[worker] == nil {
+		st, ev := sc.st, sc.evaluator(worker)
+		sc.potScorers[worker] = func(u int) (float64, bool) {
 			if st.in[u] {
 				return 0, false
 			}
 			return 0.5*ev.Marginal(u) + st.obj.lambda*st.du[u], true
 		}
-	})
+	}
+	return sc.potScorers[worker]
 }
 
-// argmaxObjective returns the non-member maximizing the objective marginal
-// φ_u(S) = f_u(S) + λ·d_u(S).
-func (sc *scanner) argmaxObjective() engine.Best {
-	st := sc.st
-	return sc.pool.ArgMax(st.obj.N(), func(worker int) engine.Scorer {
-		ev := sc.evaluator(worker)
-		return func(u int) (float64, bool) {
+// objectiveScorer dispenses worker's cached objective-marginal scorer.
+func (sc *scanner) objectiveScorer(worker int) engine.Scorer {
+	for len(sc.objScorers) <= worker {
+		sc.objScorers = append(sc.objScorers, nil)
+	}
+	if sc.objScorers[worker] == nil {
+		st, ev := sc.st, sc.evaluator(worker)
+		sc.objScorers[worker] = func(u int) (float64, bool) {
 			if st.in[u] {
 				return 0, false
 			}
 			return ev.Marginal(u) + st.obj.lambda*st.du[u], true
 		}
-	})
+	}
+	return sc.objScorers[worker]
 }
 
-// bestSwap scans every pair (out ∈ members, in ∉ S) for the maximal
-// SwapGain strictly above threshold, sharding over the incoming side.
-// canSwap, when non-nil, filters pairs (e.g. matroid feasibility). The
-// result's Index is the incoming element, Aux the outgoing one; ties break
-// toward the lowest incoming index, then the earliest member.
-func (sc *scanner) bestSwap(members []int, threshold float64, canSwap func(out, in int) bool) engine.Best {
-	st := sc.st
-	return sc.pool.ArgMaxPair(st.obj.N(), func(worker int) engine.PairScorer {
-		ev := sc.evaluator(worker)
-		return func(in int) (float64, int, bool) {
+// swapScorer dispenses worker's cached swap-probe scorer; the scan
+// parameters live on the scanner (staged by bestSwap), not in the closure.
+func (sc *scanner) swapScorer(worker int) engine.PairScorer {
+	for len(sc.swapScorers) <= worker {
+		sc.swapScorers = append(sc.swapScorers, nil)
+	}
+	if sc.swapScorers[worker] == nil {
+		st, ev := sc.st, sc.evaluator(worker)
+		sc.swapScorers[worker] = func(in int) (float64, int, bool) {
 			if st.in[in] {
 				return 0, 0, false
 			}
-			bestOut, bestGain := -1, threshold
-			for _, out := range members {
+			bestOut, bestGain := -1, sc.swapThreshold
+			for _, out := range sc.swapMembers {
 				g := st.swapGainWith(ev, out, in)
 				if g <= bestGain {
 					continue
 				}
-				if canSwap != nil && !canSwap(out, in) {
+				if sc.swapFilter != nil && !sc.swapFilter(out, in) {
 					continue
 				}
 				bestOut, bestGain = out, g
@@ -132,7 +163,32 @@ func (sc *scanner) bestSwap(members []int, threshold float64, canSwap func(out, 
 			}
 			return bestGain, bestOut, true
 		}
-	})
+	}
+	return sc.swapScorers[worker]
+}
+
+// argmaxPotential returns the non-member maximizing the greedy potential
+// φ′_u(S) = ½f_u(S) + λ·d_u(S) (Index = -1 when S is the whole ground set).
+func (sc *scanner) argmaxPotential() engine.Best {
+	return sc.pool.ArgMax(sc.st.obj.N(), sc.potFactory)
+}
+
+// argmaxObjective returns the non-member maximizing the objective marginal
+// φ_u(S) = f_u(S) + λ·d_u(S).
+func (sc *scanner) argmaxObjective() engine.Best {
+	return sc.pool.ArgMax(sc.st.obj.N(), sc.objFactory)
+}
+
+// bestSwap scans every pair (out ∈ members, in ∉ S) for the maximal
+// SwapGain strictly above threshold, sharding over the incoming side.
+// canSwap, when non-nil, filters pairs (e.g. matroid feasibility). The
+// result's Index is the incoming element, Aux the outgoing one; ties break
+// toward the lowest incoming index, then the earliest member.
+func (sc *scanner) bestSwap(members []int, threshold float64, canSwap func(out, in int) bool) engine.Best {
+	sc.swapMembers, sc.swapThreshold, sc.swapFilter = members, threshold, canSwap
+	b := sc.pool.ArgMaxPair(sc.st.obj.N(), sc.swapFactory)
+	sc.swapMembers, sc.swapFilter = nil, nil // drop references between rounds
+	return b
 }
 
 // BestSwap scans all (out ∈ S, in ∉ S) pairs across the pool and returns
@@ -152,7 +208,9 @@ func (s *State) BestSwap(pool *engine.Pool, threshold float64, canSwap func(out,
 // potential among those with S + u independent (the GreedyMatroid step).
 // The independence oracle is only consulted for candidates that would beat
 // the worker's running best — CanAdd is by far the scan's dominant cost for
-// transversal and graphic matroids.
+// transversal and graphic matroids. Matroid-constrained scans are one
+// closure build per call (not per round): the feasibility short-circuit
+// carries per-scan state, so the closures cannot be cached across rounds.
 func (sc *scanner) bestFeasibleAddition(m matroid.Matroid, members []int) engine.Best {
 	st := sc.st
 	return sc.pool.ArgMax(st.obj.N(), func(worker int) engine.Scorer {

@@ -67,7 +67,28 @@ type PairScorer func(u int) (score float64, aux int, ok bool)
 // with the highest score; ties break toward the lowest index. factory is
 // called once per worker on the caller's goroutine (see the package safety
 // contract).
+//
+// Serial scans (one shard) run inline without wrapping the scorer, so a
+// caller that reuses its factory and scorer closures across rounds pays
+// zero allocations per scan.
 func (p *Pool) ArgMax(n int, factory func(worker int) Scorer) Best {
+	if n <= 0 {
+		return Best{Index: -1}
+	}
+	if p.shards(n) == 1 {
+		score := factory(0)
+		best := Best{Index: -1}
+		for u := 0; u < n; u++ {
+			v, ok := score(u)
+			if !ok {
+				continue
+			}
+			if best.Index == -1 || v > best.Value {
+				best = Best{Index: u, Value: v}
+			}
+		}
+		return best
+	}
 	return p.ArgMaxPair(n, func(worker int) PairScorer {
 		score := factory(worker)
 		return func(u int) (float64, int, bool) {
@@ -76,6 +97,14 @@ func (p *Pool) ArgMax(n int, factory func(worker int) Scorer) Best {
 		}
 	})
 }
+
+// bestScratch pools the per-scan shard-result slices so steady-state
+// parallel scans reuse one allocation instead of making a fresh []Best per
+// round. Slices are pooled via pointer to keep Put itself allocation-free.
+var bestScratch = sync.Pool{New: func() any {
+	s := make([]Best, 0, 64)
+	return &s
+}}
 
 // ArgMaxPair is ArgMax for scorers that carry an auxiliary index. The
 // selection order is total — (higher score, then lower candidate index) —
@@ -89,7 +118,11 @@ func (p *Pool) ArgMaxPair(n int, factory func(worker int) PairScorer) Best {
 		return scanShard(factory(0), 0, n)
 	}
 	chunk := (n + shards - 1) / shards
-	results := make([]Best, shards)
+	scratch := bestScratch.Get().(*[]Best)
+	if cap(*scratch) < shards {
+		*scratch = make([]Best, shards)
+	}
+	results := (*scratch)[:shards]
 	var wg sync.WaitGroup
 	for w := 0; w < shards; w++ {
 		lo := w * chunk
@@ -115,6 +148,7 @@ func (p *Pool) ArgMaxPair(n int, factory func(worker int) PairScorer) Best {
 			best = r
 		}
 	}
+	bestScratch.Put(scratch)
 	return best
 }
 

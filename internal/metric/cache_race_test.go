@@ -1,0 +1,65 @@
+package metric
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCachedCountersConcurrent hammers Cached.Distance from many goroutines
+// while others poll Stats and Counters. Under -race this verifies the
+// counter-audit invariant: every read in the stats surface goes through an
+// atomic (misses, per-stripe lookups) or the stripe lock (map sizes) —
+// polling during a parallel solve must never race with the hot path.
+func TestCachedCountersConcurrent(t *testing.T) {
+	pts := randPoints(300, 6, 13)
+	raw, err := NewPoints(pts, L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCached(raw)
+
+	var writers, pollers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(seed int) {
+			defer writers.Done()
+			i, j := seed, seed+1
+			for k := 0; k < 20000; k++ {
+				i = (i + 7) % 300
+				j = (j + 13) % 300
+				_ = c.Distance(i, j)
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				stored, computed, _ := c.Counters()
+				if int64(stored) > computed {
+					t.Errorf("stored %d > computed %d", stored, computed)
+					return
+				}
+				if s2, c2 := c.Stats(); s2 < 0 || c2 < 0 {
+					t.Errorf("negative stats %d/%d", s2, c2)
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	pollers.Wait()
+
+	stored, computed, lookups := c.Counters()
+	if stored == 0 || computed < int64(stored) || lookups < computed {
+		t.Fatalf("implausible counters: stored=%d computed=%d lookups=%d", stored, computed, lookups)
+	}
+}

@@ -1,0 +1,174 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randPoints draws n random d-dimensional points in [0,1)^d.
+func randPoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, dim)
+		for k := range pts[i] {
+			pts[i][k] = rng.Float64()
+		}
+	}
+	return pts
+}
+
+// relDiff returns |a−b| / max(1, |a|, |b|).
+func relDiff(a, b float64) float64 {
+	den := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) / den
+}
+
+// TestMaterializeF32MatchesFloat64 checks every fast-path kernel against the
+// float64 metric it mirrors, over sizes that straddle the tile edge so the
+// partial-tile boundaries are exercised.
+func TestMaterializeF32MatchesFloat64(t *testing.T) {
+	for _, n := range []int{1, 2, 63, 64, 65, 130} {
+		pts := randPoints(n, 7, int64(n))
+		builds := []struct {
+			name string
+			m    func() Metric
+		}{
+			{"l2", func() Metric { p, _ := NewPoints(pts, L2); return p }},
+			{"l1", func() Metric { p, _ := NewPoints(pts, L1); return p }},
+			{"linf", func() Metric { p, _ := NewPoints(pts, LInf); return p }},
+			{"cosine", func() Metric { c, _ := NewCosine(pts); return c }},
+			{"angular", func() Metric { a, _ := NewAngular(pts); return a }},
+			{"func", func() Metric {
+				p, _ := NewPoints(pts, L2)
+				return Func{N: n, F: p.Distance}
+			}},
+		}
+		for _, b := range builds {
+			m := b.m()
+			f32 := MaterializeF32(m)
+			if f32.Len() != n {
+				t.Fatalf("%s n=%d: Len() = %d", b.name, n, f32.Len())
+			}
+			for i := 0; i < n; i++ {
+				if got := f32.Distance(i, i); got != 0 {
+					t.Fatalf("%s n=%d: d(%d,%d) = %g, want 0", b.name, n, i, i, got)
+				}
+				for j := 0; j < i; j++ {
+					want := m.Distance(i, j)
+					got := f32.Distance(i, j)
+					if relDiff(got, want) > 1e-5 {
+						t.Fatalf("%s n=%d: d(%d,%d) = %g, want %g", b.name, n, i, j, got, want)
+					}
+					if got != f32.Distance(j, i) {
+						t.Fatalf("%s n=%d: asymmetric at (%d,%d)", b.name, n, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaterializeF32ZeroVectors checks the cosine/angular zero-vector
+// conventions survive the blocked kernel.
+func TestMaterializeF32ZeroVectors(t *testing.T) {
+	vecs := [][]float64{{0, 0}, {1, 0}, {0, 1}}
+	c, err := NewCosine(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32 := MaterializeF32(c)
+	if got := f32.Distance(0, 1); got != 1 {
+		t.Fatalf("cosine zero-vector distance = %g, want 1", got)
+	}
+	a, err := NewAngular(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := MaterializeF32(a)
+	if got := fa.Distance(0, 1); math.Abs(got-0.5) > 1e-6 {
+		t.Fatalf("angular zero-vector distance = %g, want 0.5", got)
+	}
+}
+
+// TestMaterializeF32PassThrough checks idempotence on an already-f32 metric.
+func TestMaterializeF32PassThrough(t *testing.T) {
+	d := NewDenseF32(3)
+	d.SetDistance(0, 1, 2)
+	if got := MaterializeF32(d); got != d {
+		t.Fatal("MaterializeF32(*DenseF32) did not pass through")
+	}
+}
+
+// TestDenseF32SetDistance checks Mutable semantics: mirror writes, diagonal
+// no-op, invalid panics.
+func TestDenseF32SetDistance(t *testing.T) {
+	d := NewDenseF32(4)
+	d.SetDistance(2, 1, 1.5)
+	if d.Distance(1, 2) != 1.5 || d.Distance(2, 1) != 1.5 {
+		t.Fatalf("mirror write failed: %g / %g", d.Distance(1, 2), d.Distance(2, 1))
+	}
+	d.SetDistance(3, 3, 9) // no-op
+	if d.Distance(3, 3) != 0 {
+		t.Fatal("diagonal write not ignored")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative distance did not panic")
+		}
+	}()
+	d.SetDistance(0, 1, -1)
+}
+
+// TestAccumulateRow checks both RowAccumulator implementations against the
+// per-element Distance loop, including the ±1 fast cases and a general sign.
+func TestAccumulateRow(t *testing.T) {
+	const n = 37
+	pts := randPoints(n, 5, 99)
+	p, err := NewPoints(pts, L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends := []struct {
+		name string
+		m    RowAccumulator
+	}{
+		{"dense64", Materialize(p)},
+		{"dense32", MaterializeF32(p)},
+	}
+	for _, b := range backends {
+		for _, sign := range []float64{1, -1, 0.25} {
+			for _, u := range []int{0, 1, n / 2, n - 1} {
+				got := make([]float64, n)
+				for i := range got {
+					got[i] = float64(i) // non-zero start: accumulate, not overwrite
+				}
+				want := append([]float64(nil), got...)
+				b.m.AccumulateRow(u, sign, got)
+				for v := 0; v < n; v++ {
+					want[v] += sign * b.m.Distance(u, v)
+				}
+				for v := 0; v < n; v++ {
+					if math.Abs(got[v]-want[v]) > 1e-12 {
+						t.Fatalf("%s sign=%g u=%d: dst[%d] = %g, want %g", b.name, sign, u, v, got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDenseF32IsMetric runs the exhaustive axiom check on a float32 copy of
+// a true metric: rounding to float32 must not break symmetry or (within
+// tolerance) the triangle inequality.
+func TestDenseF32IsMetric(t *testing.T) {
+	pts := randPoints(40, 4, 7)
+	p, err := NewPoints(pts, L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(MaterializeF32(p), 1e-5); err != nil {
+		t.Fatalf("float32 copy of an L2 metric fails validation: %v", err)
+	}
+}

@@ -26,6 +26,22 @@ type Mutable interface {
 	SetDistance(i, j int, d float64)
 }
 
+// RowAccumulator is implemented by lookup metrics that can fold one point's
+// whole distance row into an accumulator in a single call:
+//
+//	dst[v] += sign · d(u, v)  for every v ∈ [0, Len())
+//
+// The diagonal contributes nothing (d(u,u) = 0). Solvers maintaining the
+// marginal-distance vector d_u(S) use this instead of Len() separate
+// Distance calls, turning the per-Add/Remove O(n) update into one or two
+// contiguous array streams with no interface dispatch per element.
+type RowAccumulator interface {
+	Metric
+	// AccumulateRow adds sign·d(u, v) to dst[v] for every v. dst must have
+	// length ≥ Len().
+	AccumulateRow(u int, sign float64, dst []float64)
+}
+
 // ErrNotMetric is wrapped by Validate when a metric axiom fails.
 var ErrNotMetric = errors.New("metric: not a metric")
 
@@ -171,7 +187,26 @@ func (d *Dense) Fill(gen func(i, j int) float64) {
 	}
 }
 
-var _ Mutable = (*Dense)(nil)
+// AccumulateRow adds sign·d(u, v) to dst[v] for every v. Row u's storage
+// splits into the contiguous triangular row (v < u) and a strided column
+// walk (v > u); both halves avoid per-element index arithmetic and bounds
+// recomputation.
+func (d *Dense) AccumulateRow(u int, sign float64, dst []float64) {
+	row := d.tri[u*(u-1)/2 : u*(u+1)/2] // d(u, v) for v < u
+	for v, x := range row {
+		dst[v] += sign * x
+	}
+	base := u * (u + 1) / 2 // index of d(u+1, u): next row's column u
+	for v := u + 1; v < d.n; v++ {
+		dst[v] += sign * d.tri[base+u]
+		base += v // advance to row v+1's column u
+	}
+}
+
+var (
+	_ Mutable        = (*Dense)(nil)
+	_ RowAccumulator = (*Dense)(nil)
+)
 
 // Func adapts an arbitrary distance function over n points into a Metric.
 // The function is trusted to be symmetric and zero on the diagonal; wrap it

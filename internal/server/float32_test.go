@@ -1,0 +1,90 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"net/http"
+	"testing"
+)
+
+// TestServerFloat32Backend runs the same corpus and queries against a
+// default (lazy float64 cache) server and a Float32 one: results must agree
+// to float32 rounding, and the float32 server must not touch the striped
+// cache (its CacheStats stay zero).
+func TestServerFloat32Backend(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	batch := make([]ItemPayload, 80)
+	for i := range batch {
+		batch[i] = ItemPayload{
+			ID:     itemID(i),
+			Weight: rng.Float64(),
+			Vector: randVec(rand.New(rand.NewSource(int64(i))), 6),
+		}
+	}
+	run := func(cfg Config) *DiversifyResponse {
+		_, ts := newTestServer(t, cfg)
+		if code := doJSON(t, http.MethodPost, ts.URL+"/items", batch, nil); code != http.StatusOK {
+			t.Fatalf("upsert: status %d", code)
+		}
+		var resp DiversifyResponse
+		if code := doJSON(t, http.MethodPost, ts.URL+"/diversify",
+			DiversifyRequest{K: 10, Algorithm: "greedy"}, &resp); code != http.StatusOK {
+			t.Fatalf("diversify: status %d", code)
+		}
+		return &resp
+	}
+	base := run(Config{Shards: 2, Lambda: 0.5, Parallelism: 1})
+	f32 := run(Config{Shards: 2, Lambda: 0.5, Parallelism: 1, Float32: true})
+	if len(base.Items) != len(f32.Items) {
+		t.Fatalf("result sizes differ: %d vs %d", len(base.Items), len(f32.Items))
+	}
+	den := math.Max(1, math.Abs(base.Value))
+	if math.Abs(base.Value-f32.Value)/den > 1e-4 {
+		t.Fatalf("values diverge beyond float32 rounding: %g vs %g", base.Value, f32.Value)
+	}
+
+	// The float32 server's queries bypass the striped cache entirely.
+	s, ts := newTestServer(t, Config{Shards: 2, Lambda: 0.5, Parallelism: 1, Float32: true})
+	if code := doJSON(t, http.MethodPost, ts.URL+"/items", batch, nil); code != http.StatusOK {
+		t.Fatal("upsert failed")
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/diversify", DiversifyRequest{K: 5}, nil); code != http.StatusOK {
+		t.Fatal("diversify failed")
+	}
+	if st := s.Stats(); st.Cache.Lookups != 0 || st.Cache.Queries != 0 {
+		t.Fatalf("float32 server recorded cache traffic: %+v", st.Cache)
+	}
+}
+
+// TestServerFloat32WeightOnlyCorpus exercises the Float32 fallback path:
+// items without vectors cannot use the blocked cosine kernel, so queries
+// route through the generic pairwise fill (all pairwise distances 1) and
+// must still answer by weight.
+func TestServerFloat32WeightOnlyCorpus(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, Lambda: 0.5, Parallelism: 1, Float32: true})
+	batch := []ItemPayload{
+		{ID: "hi", Weight: 0.9},
+		{ID: "mid", Weight: 0.5},
+		{ID: "lo", Weight: 0.1},
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/items", batch, nil); code != http.StatusOK {
+		t.Fatalf("upsert: status %d", code)
+	}
+	var resp DiversifyResponse
+	if code := doJSON(t, http.MethodPost, ts.URL+"/diversify", DiversifyRequest{K: 2}, &resp); code != http.StatusOK {
+		t.Fatalf("diversify: status %d", code)
+	}
+	if len(resp.Items) != 2 {
+		t.Fatalf("got %d items", len(resp.Items))
+	}
+	got := map[string]bool{resp.Items[0].ID: true, resp.Items[1].ID: true}
+	if !got["hi"] || !got["mid"] {
+		t.Fatalf("weight-only float32 query picked %v, want hi+mid", resp.Items)
+	}
+}
+
+// itemID builds a distinct id per index (the shared randVec helper lives in
+// server_test.go).
+func itemID(i int) string {
+	return string(rune('a'+i%26)) + string(rune('A'+i/26%26))
+}

@@ -51,6 +51,14 @@ type Config struct {
 	// FlushThreshold caps a shard's pending-mutation queue; reaching it
 	// triggers an inline batch apply (default 256).
 	FlushThreshold int
+	// Float32 switches query solves onto the blocked flat-row float32
+	// distance backend (maxsumdiv.WithFloat32) instead of the lazy striped
+	// float64 cache. The dense build touches every pair once up front, so
+	// it wins for pair-scanning algorithms (greedy-improved, gs,
+	// localsearch from scratch) and keeps the solve loop zero-allocation;
+	// the default lazy cache stays the better trade for one-shot small-k
+	// greedy over large corpora.
+	Float32 bool
 }
 
 func (c Config) withDefaults() Config {
@@ -447,18 +455,36 @@ func (s *Server) Diversify(req DiversifyRequest) (*DiversifyResponse, error) {
 		lambda = *req.Lambda
 	}
 	vecs := make([][]float64, len(items))
+	allVectors := true
 	for i, it := range items {
 		vecs[i] = it.Vector
+		if len(it.Vector) == 0 {
+			allVectors = false
+		}
 	}
-	problem, err := maxsumdiv.NewProblem(items,
-		maxsumdiv.WithLambda(lambda),
-		maxsumdiv.WithLazyDistances(),
+	popts := []maxsumdiv.Option{maxsumdiv.WithLambda(lambda)}
+	switch {
+	case s.cfg.Float32 && allVectors:
+		// Every item carries a (dim-consistent — checkDims) vector, so the
+		// blocked flat-row cosine kernel builds the matrix: norms computed
+		// once, dot products streamed tile by tile. Same distances as
+		// CosineDist to float32 rounding.
+		popts = append(popts, maxsumdiv.WithFloat32(), maxsumdiv.WithCosineDistance())
+	case s.cfg.Float32:
+		// Mixed or weight-only corpus: the generic pairwise fill.
 		// CosineDist handles empty vectors (distance 1), so weight-only
 		// corpora degrade to pure max-weight + uniform dispersion.
-		maxsumdiv.WithDistanceFunc(func(i, j int) float64 {
-			return metric.CosineDist(vecs[i], vecs[j])
-		}),
-	)
+		popts = append(popts, maxsumdiv.WithFloat32(),
+			maxsumdiv.WithDistanceFunc(func(i, j int) float64 {
+				return metric.CosineDist(vecs[i], vecs[j])
+			}))
+	default:
+		popts = append(popts, maxsumdiv.WithLazyDistances(),
+			maxsumdiv.WithDistanceFunc(func(i, j int) float64 {
+				return metric.CosineDist(vecs[i], vecs[j])
+			}))
+	}
+	problem, err := maxsumdiv.NewProblem(items, popts...)
 	if err != nil {
 		return nil, err
 	}

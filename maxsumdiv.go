@@ -35,11 +35,15 @@
 //
 // Solve shards every argmax-over-candidates scan across a bounded worker
 // pool (WithParallelism; GOMAXPROCS workers by default) with solutions
-// byte-identical to serial runs, and WithLazyDistances replaces the O(n²)
+// byte-identical to serial runs, WithLazyDistances replaces the O(n²)
 // dense distance matrix with a concurrency-safe memoizing cache for large
-// item sets. LocalSearchOptions.Parallelism, Dynamic.SetParallelism and
-// WithStreamParallelism extend the same engine to matroid-constrained
-// search, dynamic maintenance, and streaming.
+// item sets, and WithFloat32 swaps in a blocked flat-row float32 backend
+// whose steady-state solve loop is zero-allocation — the fast choice for
+// pair-scanning algorithms and repeated queries. LocalSearchOptions.
+// Parallelism, Dynamic.SetParallelism and WithStreamParallelism extend the
+// same engine to matroid-constrained search, dynamic maintenance, and
+// streaming. cmd/bench measures all of it into a machine-readable report
+// that CI gates against the committed baseline (see README "Performance").
 //
 // The ground set is fully dynamic: Dynamic.Insert and Dynamic.Delete grow
 // and shrink the live item set while the maintained selection keeps
@@ -94,6 +98,7 @@ type problemCfg struct {
 	quality  SetFunction
 	validate bool
 	lazy     bool
+	float32  bool
 }
 
 type distanceChoice int
@@ -183,6 +188,24 @@ func WithLazyDistances() Option {
 	return func(c *problemCfg) { c.lazy = true }
 }
 
+// WithFloat32 materializes the configured distance into a flat-row float32
+// matrix built with blocked (cache-tiled) kernels instead of the default
+// float64 representation. Same memory footprint as the float64 matrix
+// (4n² bytes either way), but construction streams point tiles through the
+// cache rather than calling the distance once per pair, and the solvers'
+// O(n) per-step row folds become contiguous float32 streams — the
+// zero-allocation steady-state hot path. Distances round to float32
+// (~1e-7 relative), far below the scales at which selection changes; exact
+// reproducibility of float64 runs is the only reason not to use it.
+//
+// Incompatible with WithLazyDistances (eager full matrix vs on-demand
+// cache — pick per workload: pair-scanning algorithms and repeated queries
+// want WithFloat32, one-shot small-k greedy on a huge corpus wants the lazy
+// cache). NewProblem rejects the combination.
+func WithFloat32() Option {
+	return func(c *problemCfg) { c.float32 = true }
+}
+
 // WithMetricValidation makes NewProblem verify the triangle inequality over
 // all triples (O(n³); intended for tests and small instances). Construction
 // fails with a descriptive error when the distance is not a metric.
@@ -198,6 +221,9 @@ func NewProblem(items []Item, opts ...Option) (*Problem, error) {
 	cfg := problemCfg{lambda: 1}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.lazy && cfg.float32 {
+		return nil, fmt.Errorf("maxsumdiv: WithLazyDistances and WithFloat32 are mutually exclusive; pick one backend")
 	}
 
 	dist, err := buildMetric(items, &cfg)
@@ -251,14 +277,19 @@ func buildMetric(items []Item, cfg *problemCfg) (metric.Metric, error) {
 		}
 	}
 	// prep converts a computed metric to its lookup form: a dense matrix by
-	// default; under WithLazyDistances, Memoize picks the striped cache at
-	// large n and still materializes small spaces (a few MB of dense matrix
-	// beats per-lookup locking there).
+	// default; under WithFloat32, the blocked flat-row float32 matrix; under
+	// WithLazyDistances, Memoize picks the striped cache at large n and
+	// still materializes small spaces (a few MB of dense matrix beats
+	// per-lookup locking there).
 	prep := func(m metric.Metric) metric.Metric {
-		if cfg.lazy {
+		switch {
+		case cfg.float32:
+			return metric.MaterializeF32(m)
+		case cfg.lazy:
 			return metric.Memoize(m)
+		default:
+			return metric.Materialize(m)
 		}
-		return metric.Materialize(m)
 	}
 	vectors := func() ([][]float64, error) {
 		vecs := make([][]float64, len(items))
@@ -312,6 +343,9 @@ func buildMetric(items []Item, cfg *problemCfg) (metric.Metric, error) {
 		}
 		if d.Len() != len(items) {
 			return nil, fmt.Errorf("maxsumdiv: distance matrix is %d×%d but there are %d items", d.Len(), d.Len(), len(items))
+		}
+		if cfg.float32 {
+			return metric.MaterializeF32(d), nil
 		}
 		return d, nil
 	case distFunc:
