@@ -7,6 +7,8 @@
 // dominates; use cmd/experiments -full for paper scale). Run with:
 //
 //	go test -bench=. -benchmem
+//
+//lint:file-ignore SA1019 these tests deliberately exercise the deprecated Problem compatibility wrappers alongside the Index/Query API
 package maxsumdiv_test
 
 import (

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench [-quick] [-run regex] [-out report.json]
+//	bench [-quick] [-run regex] [-out report.json] [-best-of 1]
 //	      [-compare baseline.json] [-threshold 0.15]
 //	      [-in report.json] [-list]
 //
@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	compareTo := fs.String("compare", "", "compare against this baseline report and exit 1 on regression")
 	threshold := fs.Float64("threshold", bench.DefaultLatencyThreshold, "normalized-latency regression threshold (relative growth)")
 	in := fs.String("in", "", "skip running; load the current report from this file (validated, echoed to -out/stdout unless comparing)")
+	bestOf := fs.Int("best-of", 1, "run the suite this many times and keep each probe's minimum (damps scheduler noise on sub-ms probes; use the same value for baseline and gate runs)")
 	list := fs.Bool("list", false, "list benchmark names and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,8 +84,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	} else {
+		runs := *bestOf
+		if runs < 1 {
+			runs = 1
+		}
+		reports := make([]*bench.Report, 0, runs)
+		for i := 0; i < runs; i++ {
+			if runs > 1 {
+				fmt.Fprintf(stderr, "bench: run %d/%d\n", i+1, runs)
+			}
+			r, err := bench.Run(opts)
+			if err != nil {
+				fmt.Fprintln(stderr, "bench:", err)
+				return 2
+			}
+			reports = append(reports, r)
+		}
 		var err error
-		report, err = bench.Run(opts)
+		report, err = bench.MergeMin(reports...)
 		if err != nil {
 			fmt.Fprintln(stderr, "bench:", err)
 			return 2

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -76,35 +77,33 @@ func run(w io.Writer, path string, k int, algo string, lambda float64, distance 
 	if validate {
 		opts = append(opts, maxsumdiv.WithMetricValidation())
 	}
-	problem, err := maxsumdiv.NewProblem(items, opts...)
+	index, err := maxsumdiv.NewIndex(items, opts...)
 	if err != nil {
 		return err
 	}
 
-	var sol *maxsumdiv.Solution
+	// One-shot CLI solves run serial: deterministic output independent of
+	// the host's core count (the golden tests pin it).
+	q := maxsumdiv.Query{K: k, Parallelism: 1}
 	switch algo {
 	case "greedy":
-		sol, err = problem.Greedy(k)
 	case "greedy-improved":
-		sol, err = problem.GreedyImproved(k)
+		q.Algorithm = maxsumdiv.AlgorithmGreedyImproved
 	case "gs":
-		sol, err = problem.GollapudiSharma(k)
+		q.Algorithm = maxsumdiv.AlgorithmGollapudiSharma
 	case "localsearch":
-		var c maxsumdiv.Constraint
-		c, err = problem.Cardinality(k)
-		if err == nil {
-			var g *maxsumdiv.Solution
-			g, err = problem.Greedy(k)
-			if err == nil {
-				sol, err = problem.LocalSearch(c, &maxsumdiv.LocalSearchOptions{Init: g.Indices})
-			}
-		}
+		q.Algorithm = maxsumdiv.AlgorithmLocalSearch
 	case "exact":
-		sol, err = problem.Exact(k)
+		q.Algorithm = maxsumdiv.AlgorithmExact
 	case "mmr":
-		sol, err = problem.MMR(mmrLambda, k)
 	default:
 		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	var sol *maxsumdiv.Solution
+	if algo == "mmr" {
+		sol, err = index.MMR(mmrLambda, k)
+	} else {
+		sol, err = index.Query(context.Background(), q)
 	}
 	if err != nil {
 		return err

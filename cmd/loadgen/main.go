@@ -17,7 +17,7 @@
 //	loadgen -addr http://localhost:8080 [-workers 8] [-ops 200]
 //	        [-duration 0] [-inserts 60 -deletes 10 -queries 30]
 //	        [-k 10] [-dim 8] [-algo greedy] [-scope full] [-seed 1]
-//	        [-check-monotone]
+//	        [-lambda-spread] [-check-monotone]
 //
 // With -duration > 0 each worker runs for that wall-clock span instead of
 // a fixed op count. Exit status is non-zero if any request failed or any
@@ -55,6 +55,8 @@ func main() {
 	flag.IntVar(&cfg.Dim, "dim", 8, "item vector dimension")
 	flag.StringVar(&cfg.Algorithm, "algo", "greedy", "query algorithm")
 	flag.StringVar(&cfg.Scope, "scope", "full", "query scope: full | maintained")
+	flag.BoolVar(&cfg.LambdaSpread, "lambda-spread", false,
+		"rotate a per-query lambda override across requests (stresses the query-time trade-off path)")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "RNG seed")
 	flag.BoolVar(&cfg.CheckMonotone, "check-monotone", false,
 		"assert the objective is non-decreasing (requires -workers 1, -deletes 0, -algo exact)")
@@ -85,7 +87,10 @@ type Config struct {
 	Dim                            int
 	Algorithm                      string
 	Scope                          string
-	Seed                           int64
+	// LambdaSpread rotates the per-query λ override across requests,
+	// exercising the server's query-time trade-off path.
+	LambdaSpread bool
+	Seed         int64
 	// CheckMonotone asserts the query objective never decreases; only
 	// meaningful for a serialized insert-only exact workload.
 	CheckMonotone bool
@@ -360,9 +365,15 @@ func (lw *loadWorker) query() (opKind, time.Duration, bool) {
 	}
 	lw.st.mu.Unlock()
 
-	reqBody, _ := json.Marshal(map[string]any{
+	req := map[string]any{
 		"k": lw.cfg.K, "algorithm": lw.cfg.Algorithm, "scope": lw.cfg.Scope,
-	})
+	}
+	if lw.cfg.LambdaSpread {
+		// Exercise the query-time trade-off: the server must answer any λ
+		// without rebuilding anything, so rotating λ per request is free.
+		req["lambda"] = []float64{0, 0.25, 0.5, 1, 2}[lw.rng.Intn(5)]
+	}
+	reqBody, _ := json.Marshal(req)
 	start := time.Now()
 	resp, err := lw.client.Post(lw.cfg.BaseURL+"/diversify", "application/json", bytes.NewReader(reqBody))
 	d := time.Since(start)

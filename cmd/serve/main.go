@@ -6,7 +6,7 @@
 // Usage:
 //
 //	serve [-addr :8080] [-shards 8] [-lambda 1] [-maintain-k 8]
-//	      [-parallelism 0] [-flush-threshold 256] [-float32]
+//	      [-parallelism 0] [-flush-threshold 256] [-query-timeout 30s]
 //
 // Endpoints (see internal/server for the full contract):
 //
@@ -43,7 +43,8 @@ func main() {
 	maintainK := flag.Int("maintain-k", 8, "per-shard maintained selection size")
 	parallelism := flag.Int("parallelism", 0, "engine workers for query solves (0 = GOMAXPROCS)")
 	flushThreshold := flag.Int("flush-threshold", 256, "pending mutations per shard before an inline batch apply")
-	float32Backend := flag.Bool("float32", false, "solve queries on the blocked flat-row float32 distance backend instead of the lazy float64 cache")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request deadline for /diversify solves (0 = unlimited); expired queries answer 504. Queries hold the corpus read lock for their duration, so an unbounded slow query can stall mutations behind it — keep a deadline in production")
+	float32Backend := flag.Bool("float32", false, "deprecated no-op: the server now solves every query on one long-lived distance backend")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 		MaintainK:      *maintainK,
 		Parallelism:    *parallelism,
 		FlushThreshold: *flushThreshold,
+		QueryTimeout:   *queryTimeout,
 		Float32:        *float32Backend,
 	}
 	if err := run(ctx, *addr, cfg, *shutdownTimeout, os.Stdout); err != nil {

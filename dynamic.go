@@ -33,19 +33,27 @@ type Perturbation = dynamic.Perturbation
 // NewDynamic starts a dynamic session with the given initial selection
 // (typically Greedy(k).Indices, a 2-approximation).
 func (p *Problem) NewDynamic(initial []int) (*Dynamic, error) {
-	if p.modular == nil {
-		return nil, fmt.Errorf("maxsumdiv: Dynamic requires the default modular quality")
+	return p.ix.NewDynamic(initial)
+}
+
+// NewDynamic starts a dynamic session over the index's items with the given
+// initial selection (typically a greedy query's Indices, a
+// 2-approximation). The session owns a private copy of the data; the index
+// itself stays immutable.
+func (ix *Index) NewDynamic(initial []int) (*Dynamic, error) {
+	if ix.modular == nil {
+		return nil, fmt.Errorf("%w: Dynamic needs item weights", ErrNeedsModularQuality)
 	}
 	inst := &dataset.Instance{
-		Weights: p.modular.Weights(),
-		Dist:    metric.Materialize(p.obj.Metric()),
+		Weights: ix.modular.Weights(),
+		Dist:    metric.Materialize(ix.dist),
 	}
-	sess, err := dynamic.NewSession(inst, p.obj.Lambda(), initial)
+	sess, err := dynamic.NewSession(inst, ix.lambda, initial)
 	if err != nil {
 		return nil, err
 	}
-	ids := make([]string, len(p.items))
-	for i, it := range p.items {
+	ids := make([]string, len(ix.items))
+	for i, it := range ix.items {
 		ids[i] = it.ID
 	}
 	return &Dynamic{sess: sess, ids: ids, prevValue: sess.Value()}, nil

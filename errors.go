@@ -1,0 +1,59 @@
+package maxsumdiv
+
+import "errors"
+
+// Sentinel errors returned by NewIndex, NewProblem, and Index.Query (and,
+// through the deprecated Problem wrappers, every legacy entry point). Wrap
+// sites add instance detail with fmt.Errorf("%w: ...", Err...), so callers
+// branch with errors.Is:
+//
+//	sol, err := ix.Query(ctx, maxsumdiv.Query{K: k})
+//	switch {
+//	case errors.Is(err, maxsumdiv.ErrKOutOfRange):
+//		// client asked for more than the corpus holds
+//	case errors.Is(err, context.DeadlineExceeded):
+//		// the query's deadline fired mid-solve
+//	}
+//
+// Context errors are not wrapped: a cancelled or expired query returns
+// ctx.Err() itself, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) work directly.
+var (
+	// ErrNoItems is returned by NewIndex and NewProblem for an empty item
+	// list.
+	ErrNoItems = errors.New("maxsumdiv: no items")
+	// ErrKOutOfRange is returned by Query and the solver wrappers when the
+	// requested cardinality is negative or exceeds the item count (unless
+	// clamping was requested).
+	ErrKOutOfRange = errors.New("maxsumdiv: k out of range")
+	// ErrInvalidLambda marks a query or index trade-off that is negative,
+	// NaN, or infinite.
+	ErrInvalidLambda = errors.New("maxsumdiv: invalid lambda")
+	// ErrNeedsModularQuality is returned when an algorithm that is only
+	// defined for the default modular (weight-sum) quality —
+	// AlgorithmGollapudiSharma, MMR, Dynamic — runs against a custom
+	// quality function.
+	ErrNeedsModularQuality = errors.New("maxsumdiv: algorithm requires the default modular quality")
+	// ErrQualityNotNormalized is returned when a custom quality function
+	// has f(∅) ≠ 0; the paper's guarantees require normalized f.
+	ErrQualityNotNormalized = errors.New("maxsumdiv: quality function is not normalized")
+	// ErrUnknownAlgorithm is returned for an Algorithm value outside the
+	// defined constants.
+	ErrUnknownAlgorithm = errors.New("maxsumdiv: unknown algorithm")
+	// ErrNilConstraint is returned by the constraint-taking entry points
+	// for a nil Constraint.
+	ErrNilConstraint = errors.New("maxsumdiv: nil constraint")
+	// ErrConstraintAlgorithm is returned when Query.Constraint is combined
+	// with an algorithm that cannot honor a general matroid (only
+	// AlgorithmLocalSearch and AlgorithmExact can).
+	ErrConstraintAlgorithm = errors.New("maxsumdiv: constraint requires AlgorithmLocalSearch or AlgorithmExact")
+	// ErrConstraintMismatch is returned when a Constraint's ground size
+	// disagrees with the index's item count.
+	ErrConstraintMismatch = errors.New("maxsumdiv: constraint ground size mismatch")
+	// ErrBackendConflict is returned by NewIndex when WithLazyDistances and
+	// WithFloat32 are combined; the backends are mutually exclusive.
+	ErrBackendConflict = errors.New("maxsumdiv: WithLazyDistances and WithFloat32 are mutually exclusive")
+	// ErrNoVectors is returned when a vector distance is requested (or
+	// defaulted) but items carry no vectors.
+	ErrNoVectors = errors.New("maxsumdiv: items carry no vectors")
+)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -24,7 +25,7 @@ func main() {
 			Vector: []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()},
 		}
 	}
-	problem, err := maxsumdiv.NewProblem(items,
+	index, err := maxsumdiv.NewIndex(items,
 		maxsumdiv.WithLambda(0.4),
 		maxsumdiv.WithCosineDistance(),
 	)
@@ -34,11 +35,11 @@ func main() {
 
 	// Start from the greedy 2-approximation, as the paper prescribes.
 	const p = 6
-	start, err := problem.Greedy(p)
+	start, err := index.Query(context.Background(), maxsumdiv.Query{K: p})
 	if err != nil {
 		log.Fatal(err)
 	}
-	feed, err := problem.NewDynamic(start.Indices)
+	feed, err := index.NewDynamic(start.Indices)
 	if err != nil {
 		log.Fatal(err)
 	}

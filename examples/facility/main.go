@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -43,16 +44,17 @@ func main() {
 	// Pure dispersion first: λ large, weights ignored by setting them equal
 	// would also work; the paper's Corollary 1 says the greedy with f ≡ 0 is
 	// the Ravi et al. dispersion greedy. Here we keep traffic in play.
-	problem, err := maxsumdiv.NewProblem(items,
+	index, err := maxsumdiv.NewIndex(items,
 		maxsumdiv.WithLambda(0.25),
 		maxsumdiv.WithEuclideanDistance(),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	const p = 5
-	greedy, err := problem.Greedy(p)
+	greedy, err := index.Query(ctx, maxsumdiv.Query{K: p})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,22 +62,18 @@ func main() {
 	printSites(items, greedy)
 
 	// Compare with the exact optimum (40 choose 5 is small enough).
-	opt, err := problem.Exact(p)
+	opt, err := index.Query(ctx, maxsumdiv.Query{K: p, Algorithm: maxsumdiv.AlgorithmExact})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\noptimal φ = %.3f, greedy φ = %.3f, observed ratio %.4f (bound 2)\n",
 		opt.Value, greedy.Value, opt.Value/greedy.Value)
 
-	// λ sweep: more λ → more spread, less traffic.
+	// λ sweep: more λ → more spread, less traffic. One index serves every
+	// trade-off — λ is a query parameter, so nothing is rebuilt per step.
 	fmt.Println("\nλ sweep (quality vs dispersion):")
 	for _, lambda := range []float64{0, 0.1, 0.5, 2} {
-		pb, err := maxsumdiv.NewProblem(items,
-			maxsumdiv.WithLambda(lambda), maxsumdiv.WithEuclideanDistance())
-		if err != nil {
-			log.Fatal(err)
-		}
-		s, err := pb.Greedy(p)
+		s, err := index.Query(ctx, maxsumdiv.Query{K: p, Lambda: maxsumdiv.Ptr(lambda)})
 		if err != nil {
 			log.Fatal(err)
 		}

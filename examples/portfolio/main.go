@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,27 +46,29 @@ func main() {
 		partOf[i] = s.sector
 	}
 
-	problem, err := maxsumdiv.NewProblem(items,
+	index, err := maxsumdiv.NewIndex(items,
 		maxsumdiv.WithLambda(0.6),
 		maxsumdiv.WithEuclideanDistance(), // distance between risk profiles
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	// At most 2 stocks per sector → a partition matroid of rank 8; truncate
 	// to a 6-stock portfolio (still a matroid, Section 5).
-	sectorCap, err := problem.PartitionConstraint(partOf, []int{2, 2, 2, 2})
+	sectorCap, err := index.PartitionConstraint(partOf, []int{2, 2, 2, 2})
 	if err != nil {
 		log.Fatal(err)
 	}
-	portfolio, err := problem.TruncatedConstraint(sectorCap, 6)
+	portfolio, err := index.TruncatedConstraint(sectorCap, 6)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Theorem 2: oblivious single-swap local search, 2-approximation.
-	sol, err := problem.LocalSearch(portfolio, nil)
+	sol, err := index.Query(ctx, maxsumdiv.Query{
+		Algorithm: maxsumdiv.AlgorithmLocalSearch, Constraint: portfolio})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +76,7 @@ func main() {
 	printPortfolio(stocks, sol)
 
 	// The unconstrained greedy for comparison: it may overload one sector.
-	unconstrained, err := problem.Greedy(6)
+	unconstrained, err := index.Query(ctx, maxsumdiv.Query{K: 6})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +84,8 @@ func main() {
 	printPortfolio(stocks, unconstrained)
 
 	// Exact optimum under the matroid for the observed ratio.
-	opt, err := problem.ExactMatroid(portfolio)
+	opt, err := index.Query(ctx, maxsumdiv.Query{
+		Algorithm: maxsumdiv.AlgorithmExact, Constraint: portfolio})
 	if err != nil {
 		log.Fatal(err)
 	}

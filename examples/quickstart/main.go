@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,19 +25,21 @@ func main() {
 
 	// Angular distance (arccos of cosine similarity) is a true metric, so it
 	// passes WithMetricValidation; plain cosine distance (1 − cos) is also
-	// available but can violate the triangle inequality.
-	problem, err := maxsumdiv.NewProblem(items,
-		maxsumdiv.WithLambda(0.5),        // trade-off between quality and diversity
+	// available but can violate the triangle inequality. The index is built
+	// once; λ, k, and the algorithm are all query-time parameters.
+	index, err := maxsumdiv.NewIndex(items,
+		maxsumdiv.WithLambda(0.5),        // default trade-off (override per query)
 		maxsumdiv.WithAngularDistance(),  // distance from the topic vectors
 		maxsumdiv.WithMetricValidation(), // fine for 6 items
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	// Pure relevance ranking would return {a, b, c} — three near-duplicates.
 	// The paper's greedy (Theorem 1, a 2-approximation) mixes topics in.
-	greedy, err := problem.Greedy(3)
+	greedy, err := index.Query(ctx, maxsumdiv.Query{K: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +47,7 @@ func main() {
 		greedy.IDs, greedy.Value, greedy.Quality, greedy.Dispersion)
 
 	// The instance is tiny, so we can afford the exact optimum.
-	opt, err := problem.Exact(3)
+	opt, err := index.Query(ctx, maxsumdiv.Query{K: 3, Algorithm: maxsumdiv.AlgorithmExact})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,14 +55,14 @@ func main() {
 	fmt.Printf("observed ratio   %.4f (Theorem 1 guarantees ≤ 2)\n", opt.Value/greedy.Value)
 
 	// The Gollapudi–Sharma baseline (Greedy A in the paper's experiments).
-	gs, err := problem.GollapudiSharma(3)
+	gs, err := index.Query(ctx, maxsumdiv.Query{K: 3, Algorithm: maxsumdiv.AlgorithmGollapudiSharma})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Gollapudi–Sharma %v  φ=%.3f\n", gs.IDs, gs.Value)
 
 	// And the classic MMR heuristic the paper's greedy generalizes.
-	mmr, err := problem.MMR(0.7, 3)
+	mmr, err := index.MMR(0.7, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

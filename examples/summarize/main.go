@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -60,7 +61,7 @@ func main() {
 	}
 	quality := coverageQuality{topicWeight: []float64{1.0, 0.9, 0.8, 0.4}}
 
-	problem, err := maxsumdiv.NewProblem(items,
+	index, err := maxsumdiv.NewIndex(items,
 		maxsumdiv.WithLambda(0.6),
 		maxsumdiv.WithAngularDistance(),
 		maxsumdiv.WithQuality(quality),
@@ -68,8 +69,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
-	summary, err := problem.Greedy(4)
+	summary, err := index.Query(ctx, maxsumdiv.Query{K: 4, Parallelism: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,16 +79,9 @@ func main() {
 	printSummary(summary)
 
 	// Contrast: quality-only selection (λ = 0) can stack near-duplicates
-	// once coverage saturates; diversity breaks the ties meaningfully.
-	qualityOnly, err := maxsumdiv.NewProblem(items,
-		maxsumdiv.WithLambda(0),
-		maxsumdiv.WithAngularDistance(),
-		maxsumdiv.WithQuality(quality),
-	)
-	if err != nil {
-		log.Fatal(err)
-	}
-	flat, err := qualityOnly.Greedy(4)
+	// once coverage saturates; diversity breaks the ties meaningfully. λ is
+	// a query parameter, so the same index answers it directly.
+	flat, err := index.Query(ctx, maxsumdiv.Query{K: 4, Lambda: maxsumdiv.Ptr(0.0), Parallelism: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,7 +89,7 @@ func main() {
 	printSummary(flat)
 
 	// The exact optimum is computable at this size; Theorem 1 bounds the gap.
-	opt, err := problem.Exact(4)
+	opt, err := index.Query(ctx, maxsumdiv.Query{K: 4, Algorithm: maxsumdiv.AlgorithmExact, Parallelism: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -102,7 +97,7 @@ func main() {
 		summary.Value, opt.Value, opt.Value/summary.Value)
 
 	// The Gollapudi–Sharma baseline requires modular quality and must refuse.
-	if _, err := problem.GollapudiSharma(4); err != nil {
+	if _, err := index.Query(ctx, maxsumdiv.Query{K: 4, Algorithm: maxsumdiv.AlgorithmGollapudiSharma}); err != nil {
 		fmt.Printf("\nGollapudi–Sharma on submodular quality: %v\n", err)
 		fmt.Println("(this is the gap Theorem 1 closes: the reduction needs element weights)")
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -55,13 +56,14 @@ func main() {
 	for i, d := range docs {
 		items[i] = d.item
 	}
-	problem, err := maxsumdiv.NewProblem(items,
+	index, err := maxsumdiv.NewIndex(items,
 		maxsumdiv.WithLambda(0.3),
 		maxsumdiv.WithCosineDistance(),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	// Baseline: top-5 by relevance alone.
 	byRel := make([]int, len(items))
@@ -73,7 +75,7 @@ func main() {
 	printSlate(docs, byRel[:5])
 
 	// Diversified slate via the paper's greedy.
-	sol, err := problem.Greedy(5)
+	sol, err := index.Query(ctx, maxsumdiv.Query{K: 5})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,11 +85,8 @@ func main() {
 
 	// Refine with local search under the same cardinality constraint, as in
 	// the paper's "LS" rows (Greedy B init + single swaps).
-	card, err := problem.Cardinality(5)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ls, err := problem.LocalSearch(card, &maxsumdiv.LocalSearchOptions{Init: sol.Indices})
+	ls, err := index.Query(ctx, maxsumdiv.Query{
+		K: 5, Algorithm: maxsumdiv.AlgorithmLocalSearch, Init: sol.Indices})
 	if err != nil {
 		log.Fatal(err)
 	}

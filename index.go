@@ -1,0 +1,201 @@
+package maxsumdiv
+
+import (
+	"fmt"
+
+	"maxsumdiv/internal/core"
+	"maxsumdiv/internal/engine"
+	"maxsumdiv/internal/matroid"
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/setfunc"
+)
+
+// Index is a reusable, concurrency-safe max-sum diversification corpus: the
+// immutable item list plus the materialized (or lazily memoized) distance
+// backend, a cached scan-worker pool, and a shared solver-scratch cache.
+// Build it once with NewIndex — the construction pays the O(n²) backend
+// cost — then answer any number of queries against it with Query: λ, the
+// quality function, the algorithm, and the constraint are all query-time
+// parameters, so one Index serves every trade-off without rebuilding
+// anything.
+//
+// An Index is safe for concurrent use: queries only read the backend, and
+// the scratch cache hands each in-flight solve its own state. This is the
+// amortization the dynamic-submodular literature prescribes — pay for
+// structure once, reuse it across the query stream — applied to the serving
+// path.
+type Index struct {
+	items   []Item
+	dist    metric.Metric
+	quality setfunc.Source   // index-default quality (modular unless WithQuality)
+	modular *setfunc.Modular // non-nil when the default quality is modular
+	lambda  float64          // index-default trade-off
+	pool    *engine.Pool     // cached scan workers for queries
+	scratch *core.StateCache // solver scratch shared across query objectives
+
+	// defaultObj evaluates with the index defaults; the deprecated Problem
+	// wrappers and the read accessors (Objective, Distance) go through it.
+	defaultObj *core.Objective
+}
+
+// NewIndex validates the items and options and builds the reusable index.
+// It accepts the same options as NewProblem: distance selection
+// (WithCosineDistance, WithDistanceMatrix, …), backend choice
+// (WithFloat32, WithLazyDistances), the default trade-off (WithLambda) and
+// default quality (WithQuality), plus WithDefaultParallelism for the cached
+// query pool.
+func NewIndex(items []Item, opts ...Option) (*Index, error) {
+	if len(items) == 0 {
+		return nil, ErrNoItems
+	}
+	cfg := problemCfg{lambda: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.lazy && cfg.float32 {
+		return nil, fmt.Errorf("%w: pick one backend", ErrBackendConflict)
+	}
+
+	dist, err := buildMetric(items, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.validate {
+		if err := metric.Validate(dist, 1e-9); err != nil {
+			return nil, fmt.Errorf("maxsumdiv: %w", err)
+		}
+	}
+
+	var f setfunc.Source
+	var modular *setfunc.Modular
+	if cfg.quality != nil {
+		f = adaptQuality(cfg.quality, len(items))
+		if v := f.Value(nil); v != 0 {
+			return nil, fmt.Errorf("%w: f(∅) = %g", ErrQualityNotNormalized, v)
+		}
+	} else {
+		weights := make([]float64, len(items))
+		for i, it := range items {
+			weights[i] = it.Weight
+		}
+		mod, err := setfunc.NewModular(weights)
+		if err != nil {
+			return nil, fmt.Errorf("maxsumdiv: %w", err)
+		}
+		f = mod
+		modular = mod
+	}
+
+	scratch := core.NewStateCache()
+	obj, err := core.NewObjectiveCached(f, cfg.lambda, dist, scratch)
+	if err != nil {
+		return nil, wrapLambdaErr(err)
+	}
+	cp := make([]Item, len(items))
+	copy(cp, items)
+	return &Index{
+		items:      cp,
+		dist:       dist,
+		quality:    f,
+		modular:    modular,
+		lambda:     cfg.lambda,
+		pool:       engine.New(cfg.parallelism),
+		scratch:    scratch,
+		defaultObj: obj,
+	}, nil
+}
+
+// wrapLambdaErr translates core's lambda validation failure into the public
+// sentinel (the only objective-construction error reachable once items and
+// quality have been validated).
+func wrapLambdaErr(err error) error {
+	return fmt.Errorf("%w: %v", ErrInvalidLambda, err)
+}
+
+// adaptQuality bridges a user SetFunction to the internal Source interface.
+func adaptQuality(fn SetFunction, n int) setfunc.Source {
+	return setfunc.AsSource(&adaptedQuality{fn: fn, n: n})
+}
+
+// Len returns the number of items.
+func (ix *Index) Len() int { return len(ix.items) }
+
+// Lambda returns the index-default trade-off (queries may override it).
+func (ix *Index) Lambda() float64 { return ix.lambda }
+
+// Items returns a copy of the item list.
+func (ix *Index) Items() []Item {
+	cp := make([]Item, len(ix.items))
+	copy(cp, ix.items)
+	return cp
+}
+
+// Distance returns the backend's distance between items i and j.
+func (ix *Index) Distance(i, j int) float64 { return ix.dist.Distance(i, j) }
+
+// Objective evaluates φ(S) for item indices S under the index defaults.
+func (ix *Index) Objective(S []int) float64 { return ix.defaultObj.Value(S) }
+
+// DistanceCacheStats reports the memoizing distance backend's counters when
+// the index was built with WithLazyDistances and the striped cache is in
+// play (ok = true): pairs stored, underlying distance evaluations, and total
+// lookups. The cache hit rate is 1 − computed/lookups. For eagerly
+// materialized indexes (including small WithLazyDistances instances, which
+// Memoize promotes to a dense matrix) ok is false.
+func (ix *Index) DistanceCacheStats() (stored int, computed, lookups int64, ok bool) {
+	c, isCached := ix.dist.(*metric.Cached)
+	if !isCached {
+		return 0, 0, 0, false
+	}
+	stored, computed, lookups = c.Counters()
+	return stored, computed, lookups, true
+}
+
+// Cardinality returns the constraint |S| ≤ k (the uniform matroid).
+func (ix *Index) Cardinality(k int) (Constraint, error) {
+	u, err := matroid.NewUniform(ix.Len(), k)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrKOutOfRange, err)
+	}
+	return u, nil
+}
+
+// PartitionConstraint returns a partition matroid: partOf[i] assigns each
+// item to a part; caps[j] bounds how many items part j contributes (e.g.
+// "at most 2 stocks per sector").
+func (ix *Index) PartitionConstraint(partOf []int, caps []int) (Constraint, error) {
+	if len(partOf) != ix.Len() {
+		return nil, fmt.Errorf("%w: partOf has %d entries for %d items", ErrConstraintMismatch, len(partOf), ix.Len())
+	}
+	m, err := matroid.NewPartition(partOf, caps)
+	if err != nil {
+		return nil, fmt.Errorf("maxsumdiv: %w", err)
+	}
+	return m, nil
+}
+
+// TransversalConstraint returns a transversal matroid: sets[j] lists the
+// item indices belonging to collection C_j, and a selection is independent
+// when it has a system of distinct representatives (Section 5's "every
+// selected tuple represents a unique source").
+func (ix *Index) TransversalConstraint(sets [][]int) (Constraint, error) {
+	m, err := matroid.NewTransversal(ix.Len(), sets)
+	if err != nil {
+		return nil, fmt.Errorf("maxsumdiv: %w", err)
+	}
+	return m, nil
+}
+
+// TruncatedConstraint caps any constraint at cardinality k (matroid
+// truncation; Section 5 notes the intersection with a uniform matroid is
+// still a matroid).
+func (ix *Index) TruncatedConstraint(c Constraint, k int) (Constraint, error) {
+	if c == nil {
+		return nil, ErrNilConstraint
+	}
+	m, err := matroid.NewTruncated(adaptConstraint(c), k)
+	if err != nil {
+		return nil, fmt.Errorf("maxsumdiv: %w", err)
+	}
+	return m, nil
+}

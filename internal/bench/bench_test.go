@@ -170,6 +170,43 @@ func TestCompareSchemaMismatch(t *testing.T) {
 	}
 }
 
+// TestMergeMin: the -best-of estimator keeps each probe's fastest run and
+// the minimum allocation counts, and rejects mismatched inputs.
+func TestMergeMin(t *testing.T) {
+	a := fakeReport(1e6,
+		Result{Name: "x", Iterations: 10, NsPerOp: 5e6, AllocsPerOp: 20, BytesPerOp: 100},
+		Result{Name: "y", Iterations: 10, NsPerOp: 2e6, AllocsPerOp: 7, BytesPerOp: 50},
+	)
+	b := fakeReport(2e6, // slower calibration run
+		Result{Name: "x", Iterations: 12, NsPerOp: 4e6, AllocsPerOp: 22, BytesPerOp: 90},
+		Result{Name: "y", Iterations: 10, NsPerOp: 3e6, AllocsPerOp: 7, BytesPerOp: 60},
+	)
+	m, err := MergeMin(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x := m.Find("x"); x.NsPerOp != 4e6 || x.Iterations != 12 || x.AllocsPerOp != 20 || x.BytesPerOp != 90 {
+		t.Fatalf("x not merged to minima: %+v", x)
+	}
+	if y := m.Find("y"); y.NsPerOp != 2e6 || y.AllocsPerOp != 7 || y.BytesPerOp != 50 {
+		t.Fatalf("y not merged to minima: %+v", y)
+	}
+	if cal := m.Find(CalibrationName); cal.NsPerOp != 1e6 {
+		t.Fatalf("calibration not min-merged: %+v", cal)
+	}
+	// Inputs must stay untouched (MergeMin copies the result slice).
+	if a.Find("x").NsPerOp != 5e6 {
+		t.Fatalf("MergeMin mutated its input: %+v", a.Find("x"))
+	}
+	bad := fakeReport(1e6, Result{Name: "z", Iterations: 1, NsPerOp: 1})
+	if _, err := MergeMin(a, bad); err == nil {
+		t.Fatal("probe-set mismatch not rejected")
+	}
+	if _, err := MergeMin(); err == nil {
+		t.Fatal("empty MergeMin not rejected")
+	}
+}
+
 // TestSuiteFilters pins quick-suite membership and filter semantics: quick
 // excludes the large-n probe, filters always keep calibration, and the
 // acceptance-critical n=10k backend pair is part of the quick suite.

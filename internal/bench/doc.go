@@ -6,7 +6,7 @@
 // across runs.
 //
 // The suite exists so that every "faster" claim in this repository is a
-// diff against a committed baseline (BENCH_PR3.json at the repo root)
+// diff against a committed baseline (BENCH_PR4.json at the repo root)
 // instead of an assertion: cmd/bench runs the suite, writes the report,
 // and in -compare mode computes per-benchmark deltas against a previous
 // report, exiting nonzero when a latency or allocs/op regression exceeds
@@ -26,5 +26,7 @@
 // # Report schema
 //
 // See Report and Result; Schema is bumped whenever a field changes
-// meaning, and Compare refuses to diff reports across schema versions.
+// meaning. Readers accept the current schema plus the listed compatible
+// older ones (v2 reads v1), so -compare can gate a new binary against a
+// baseline recorded before a schema bump.
 package bench

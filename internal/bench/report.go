@@ -9,8 +9,21 @@ import (
 )
 
 // Schema identifies the report layout. Bump on any change to field
-// semantics; Compare refuses to diff across versions.
-const Schema = "maxsumdiv-bench/v1"
+// semantics. Readers (ReadReport, and therefore -compare) accept the
+// current schema and every entry of compatibleSchemas, so a baseline
+// recorded by an older binary still gates a newer one; fresh reports are
+// always stamped with the current Schema.
+//
+// v2: the server query probes measure the rebuild-free corpus path (one
+// long-lived backend, per-query λ) instead of per-query problem
+// construction, and the suite gained the server/query_reuse probe.
+const Schema = "maxsumdiv-bench/v2"
+
+// compatibleSchemas are older layouts this binary still reads; their probe
+// names and field meanings are diff-compatible with the current schema.
+var compatibleSchemas = map[string]bool{
+	"maxsumdiv-bench/v1": true,
+}
 
 // CalibrationName is the fixed pure-CPU probe every report must contain;
 // Compare uses it to normalize latencies across machines.
@@ -77,8 +90,8 @@ func (r *Report) Find(name string) *Result {
 // serve as a baseline: schema match, a calibration entry, unique names, and
 // sane measurements.
 func (r *Report) Validate() error {
-	if r.Schema != Schema {
-		return fmt.Errorf("bench: schema %q, this binary speaks %q", r.Schema, Schema)
+	if r.Schema != Schema && !compatibleSchemas[r.Schema] {
+		return fmt.Errorf("bench: schema %q, this binary speaks %q (compatible: %v)", r.Schema, Schema, compatibleSchemas)
 	}
 	if len(r.Results) == 0 {
 		return fmt.Errorf("bench: report has no results")
@@ -100,6 +113,43 @@ func (r *Report) Validate() error {
 		return fmt.Errorf("bench: report lacks the %q entry", CalibrationName)
 	}
 	return nil
+}
+
+// MergeMin folds several runs of the same suite into one report by taking,
+// per probe, the run with the lowest ns/op (and the minimum allocs/op and
+// bytes/op across runs). Scheduler noise is one-sided — contention only
+// ever makes a probe slower — so the per-probe minimum over N runs is the
+// low-variance estimator the regression gate needs: cmd/bench -best-of N
+// uses it for both baselines and CI runs, which keeps a 15% threshold
+// meaningful for sub-millisecond probes. All reports must come from the
+// same binary (same schema and probe set as the first).
+func MergeMin(reports ...*Report) (*Report, error) {
+	if len(reports) == 0 {
+		return nil, fmt.Errorf("bench: MergeMin of zero reports")
+	}
+	out := *reports[0]
+	out.Results = append([]Result(nil), reports[0].Results...)
+	for _, r := range reports[1:] {
+		if r.Schema != out.Schema {
+			return nil, fmt.Errorf("bench: MergeMin across schemas %q and %q", out.Schema, r.Schema)
+		}
+		for i := range out.Results {
+			cur := r.Find(out.Results[i].Name)
+			if cur == nil {
+				return nil, fmt.Errorf("bench: MergeMin: run lacks probe %q", out.Results[i].Name)
+			}
+			best := &out.Results[i]
+			minAllocs := min(best.AllocsPerOp, cur.AllocsPerOp)
+			minBytes := min(best.BytesPerOp, cur.BytesPerOp)
+			if cur.NsPerOp < best.NsPerOp {
+				name := best.Name
+				*best = *cur
+				best.Name = name
+			}
+			best.AllocsPerOp, best.BytesPerOp = minAllocs, minBytes
+		}
+	}
+	return &out, out.Validate()
 }
 
 // Write serializes the report as indented JSON.

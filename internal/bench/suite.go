@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"maxsumdiv"
 	"maxsumdiv/internal/dataset"
 	"maxsumdiv/internal/dynamic"
+	"maxsumdiv/internal/metric"
 	"maxsumdiv/internal/server"
 )
 
@@ -79,6 +81,11 @@ func Suite(opts Options) []Spec {
 
 		serverQuerySpec("server/query/full/n=2048/k=10", true, "full", 2048, 10),
 		serverQuerySpec("server/query/maintained/n=2048/k=8", true, "maintained", 2048, 8),
+
+		// The rebuild-free serving contract: per-query λ rotation over one
+		// long-lived corpus backend. The probe fails outright — not just
+		// regresses — if any query constructs a distance backend.
+		serverQueryReuseSpec("server/query_reuse/n=2048/k=10", true, 2048, 10),
 	}
 	out := all[:0:0]
 	for _, s := range all {
@@ -175,9 +182,9 @@ func suiteItems(n int, seed int64) []maxsumdiv.Item {
 	return items
 }
 
-// buildProblem constructs the probe's problem on the chosen backend (cosine
+// buildIndex constructs the probe's index on the chosen backend (cosine
 // distance, the serving layer's geometry).
-func buildProblem(items []maxsumdiv.Item, be backend) (*maxsumdiv.Problem, error) {
+func buildIndex(items []maxsumdiv.Item, be backend) (*maxsumdiv.Index, error) {
 	opts := []maxsumdiv.Option{maxsumdiv.WithLambda(0.5), maxsumdiv.WithCosineDistance()}
 	switch be {
 	case backendDense32:
@@ -185,21 +192,22 @@ func buildProblem(items []maxsumdiv.Item, be backend) (*maxsumdiv.Problem, error
 	case backendCached64:
 		opts = append(opts, maxsumdiv.WithLazyDistances())
 	}
-	return maxsumdiv.NewProblem(items, opts...)
+	return maxsumdiv.NewIndex(items, opts...)
 }
 
-// greedyE2ESpec measures one full query: problem construction (including
+// greedyE2ESpec measures one full cold query: index construction (including
 // the distance backend build) plus a serial greedy solve.
 func greedyE2ESpec(name string, quick bool, n, k int, be backend) Spec {
 	return benchSpec(name, quick, func(b *testing.B) error {
 		items := suiteItems(n, int64(n))
+		ctx := context.Background()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			p, err := buildProblem(items, be)
+			ix, err := buildIndex(items, be)
 			if err != nil {
 				return err
 			}
-			sol, err := p.Solve(k, maxsumdiv.WithParallelism(1))
+			sol, err := ix.Query(ctx, maxsumdiv.Query{K: k, Parallelism: 1})
 			if err != nil {
 				return err
 			}
@@ -215,15 +223,15 @@ func greedyE2ESpec(name string, quick bool, n, k int, be backend) Spec {
 func improvedE2ESpec(name string, quick bool, n, k int, be backend) Spec {
 	return benchSpec(name, quick, func(b *testing.B) error {
 		items := suiteItems(n, int64(n))
+		ctx := context.Background()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			p, err := buildProblem(items, be)
+			ix, err := buildIndex(items, be)
 			if err != nil {
 				return err
 			}
-			sol, err := p.Solve(k,
-				maxsumdiv.WithAlgorithm(maxsumdiv.AlgorithmGreedyImproved),
-				maxsumdiv.WithParallelism(1))
+			sol, err := ix.Query(ctx, maxsumdiv.Query{
+				K: k, Algorithm: maxsumdiv.AlgorithmGreedyImproved, Parallelism: 1})
 			if err != nil {
 				return err
 			}
@@ -233,21 +241,23 @@ func improvedE2ESpec(name string, quick bool, n, k int, be backend) Spec {
 	})
 }
 
-// greedySolveSpec measures the solve alone on a prebuilt backend: the
+// greedySolveSpec measures the solve alone on a prebuilt index: the
 // steady-state hot path whose allocs/op the suite fences at a small
 // constant.
 func greedySolveSpec(name string, quick bool, n, k int, be backend) Spec {
 	return benchSpec(name, quick, func(b *testing.B) error {
-		p, err := buildProblem(suiteItems(n, int64(n)), be)
+		ix, err := buildIndex(suiteItems(n, int64(n)), be)
 		if err != nil {
 			return err
 		}
-		if _, err := p.Solve(k, maxsumdiv.WithParallelism(1)); err != nil {
+		ctx := context.Background()
+		q := maxsumdiv.Query{K: k, Parallelism: 1}
+		if _, err := ix.Query(ctx, q); err != nil {
 			return err // warm scratch pools before measuring steady state
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			sol, err := p.Solve(k, maxsumdiv.WithParallelism(1))
+			sol, err := ix.Query(ctx, q)
 			if err != nil {
 				return err
 			}
@@ -261,22 +271,22 @@ func greedySolveSpec(name string, quick bool, n, k int, be backend) Spec {
 // greedy start under |S| ≤ k.
 func localSearchSpec(name string, quick bool, n, k int, be backend) Spec {
 	return benchSpec(name, quick, func(b *testing.B) error {
-		p, err := buildProblem(suiteItems(n, int64(n)), be)
+		ix, err := buildIndex(suiteItems(n, int64(n)), be)
 		if err != nil {
 			return err
 		}
-		c, err := p.Cardinality(k)
+		ctx := context.Background()
+		init, err := ix.Query(ctx, maxsumdiv.Query{K: k, Parallelism: 1})
 		if err != nil {
 			return err
 		}
-		init, err := p.Greedy(k)
-		if err != nil {
-			return err
+		q := maxsumdiv.Query{
+			K: k, Algorithm: maxsumdiv.AlgorithmLocalSearch,
+			Init: init.Indices, MaxSwaps: 4, Parallelism: 1,
 		}
-		opts := &maxsumdiv.LocalSearchOptions{Init: init.Indices, MaxSwaps: 4, Parallelism: 1}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			sol, err := p.LocalSearch(c, opts)
+			sol, err := ix.Query(ctx, q)
 			if err != nil {
 				return err
 			}
@@ -354,6 +364,22 @@ func dynamicWeightSpec(name string, quick bool, n, p int) Spec {
 // (no network) against a loaded corpus and reports mean latency plus
 // p50/p99 in Extra.
 func serverQuerySpec(name string, quick bool, scope string, n, k int) Spec {
+	return serverQueryProbe(name, quick, scope, n, k, nil, false)
+}
+
+// serverQueryReuseSpec is the serving redesign's headline probe: queries
+// rotate the per-request λ override — the parameter the old API baked into
+// the problem — and the probe verifies via the metric package's
+// construction counter that the whole burst builds zero distance backends.
+func serverQueryReuseSpec(name string, quick bool, n, k int) Spec {
+	return serverQueryProbe(name, quick, "full", n, k, []float64{0, 0.25, 0.5, 1, 2}, true)
+}
+
+// serverQueryProbe is the shared body: load a corpus, warm it, then sample
+// query latency; lambdas (when non-nil) rotates the per-request override,
+// and checkConstructions turns a backend build during the sample window
+// into a hard probe failure.
+func serverQueryProbe(name string, quick bool, scope string, n, k int, lambdas []float64, checkConstructions bool) Spec {
 	const samples = 120
 	return Spec{Name: name, Quick: quick, Run: func() (Result, error) {
 		srv, err := server.New(server.Config{Shards: 4, Lambda: 0.5, MaintainK: 8, Parallelism: 1})
@@ -386,15 +412,29 @@ func serverQuerySpec(name string, quick bool, scope string, n, k int) Spec {
 				return Result{}, err
 			}
 		}
-		query, err := json.Marshal(server.DiversifyRequest{K: k, Scope: scope})
+		// Pre-marshal every request body (one per λ variant) so the sampled
+		// window measures the server, not the client's JSON encoder.
+		bodies := make([][]byte, 1)
+		bodies[0], err = json.Marshal(server.DiversifyRequest{K: k, Scope: scope})
 		if err != nil {
 			return Result{}, err
 		}
+		if len(lambdas) > 0 {
+			bodies = bodies[:0]
+			for i := range lambdas {
+				b, err := json.Marshal(server.DiversifyRequest{K: k, Scope: scope, Lambda: &lambdas[i]})
+				if err != nil {
+					return Result{}, err
+				}
+				bodies = append(bodies, b)
+			}
+		}
 		for i := 0; i < 3; i++ { // warm: flush queues, fill caches
-			if err := post("/diversify", query); err != nil {
+			if err := post("/diversify", bodies[i%len(bodies)]); err != nil {
 				return Result{}, err
 			}
 		}
+		builds0 := metric.Constructions()
 		lat := make([]time.Duration, samples)
 		var ms0, ms1 runtime.MemStats
 		runtime.GC()
@@ -402,13 +442,18 @@ func serverQuerySpec(name string, quick bool, scope string, n, k int) Spec {
 		start := time.Now()
 		for i := range lat {
 			t0 := time.Now()
-			if err := post("/diversify", query); err != nil {
+			if err := post("/diversify", bodies[i%len(bodies)]); err != nil {
 				return Result{}, err
 			}
 			lat[i] = time.Since(t0)
 		}
 		total := time.Since(start)
 		runtime.ReadMemStats(&ms1)
+		if checkConstructions {
+			if builds := metric.Constructions() - builds0; builds != 0 {
+				return Result{}, fmt.Errorf("query burst constructed %d distance backends, want 0", builds)
+			}
+		}
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 		pct := func(q float64) float64 {
 			return float64(lat[int(q*float64(len(lat)-1))].Nanoseconds())

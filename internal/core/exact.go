@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,12 +12,23 @@ import (
 // ExactOptions configures the exact solver.
 type ExactOptions struct {
 	// Parallel fans the search out over the first chosen element across
-	// GOMAXPROCS workers.
+	// Workers goroutines.
 	Parallel bool
+	// Workers bounds the parallel fan-out (≤ 0 selects GOMAXPROCS).
+	Workers int
 	// NoPrune disables the branch-and-bound upper-bound cut (useful for
 	// testing the bound itself).
 	NoPrune bool
+	// Ctx, when non-nil, cancels the enumeration: every searcher polls it
+	// once per ctxCheckNodes tree nodes and Exact returns ctx.Err(). This
+	// is the essential guard for an exponential solver behind a serving
+	// deadline.
+	Ctx context.Context
 }
+
+// ctxCheckNodes is how many search-tree nodes an exact searcher expands
+// between context polls.
+const ctxCheckNodes = 4096
 
 // Exact computes an optimal size-p subset by exhaustive enumeration with
 // branch-and-bound pruning, using the incremental State so that each tree
@@ -42,6 +54,9 @@ func Exact(obj *Objective, p int, opts *ExactOptions) (*Solution, error) {
 
 	dmax := 0.0
 	for i := 1; i < n; i++ {
+		if ctxErr(opts.Ctx) != nil {
+			return nil, opts.Ctx.Err()
+		}
 		for j := 0; j < i; j++ {
 			if d := obj.d.Distance(i, j); d > dmax {
 				dmax = d
@@ -51,11 +66,18 @@ func Exact(obj *Objective, p int, opts *ExactOptions) (*Solution, error) {
 
 	if !opts.Parallel {
 		e := newExactSearcher(obj, p, dmax, !opts.NoPrune)
+		e.ctx = opts.Ctx
 		e.search(0)
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, err
+		}
 		return e.best(), nil
 	}
 
-	workers := runtime.GOMAXPROCS(0)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n-p+1 {
 		workers = n - p + 1
 	}
@@ -76,7 +98,12 @@ func Exact(obj *Objective, p int, opts *ExactOptions) (*Solution, error) {
 		go func() {
 			defer wg.Done()
 			e := newExactSearcher(obj, p, dmax, !opts.NoPrune)
+			e.ctx = opts.Ctx
 			for first := range firsts {
+				if e.stopped || ctxErr(opts.Ctx) != nil {
+					e.stopped = true
+					return
+				}
 				mu.Lock()
 				if globalBest != nil {
 					// Seed this worker's incumbent with the global one so
@@ -101,6 +128,9 @@ func Exact(obj *Objective, p int, opts *ExactOptions) (*Solution, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 	if globalBest == nil {
 		return nil, fmt.Errorf("core: exact search found no solution (internal error)")
 	}
@@ -118,6 +148,9 @@ type exactSearcher struct {
 	bestSet []int
 	hasBest bool
 	topBuf  []float64 // scratch for the top-r marginal selection
+	ctx     context.Context
+	nodes   int  // expansions since the last context poll
+	stopped bool // a context poll failed; unwind the DFS
 }
 
 func newExactSearcher(obj *Objective, p int, dmax float64, prune bool) *exactSearcher {
@@ -135,6 +168,18 @@ func newExactSearcher(obj *Objective, p int, dmax float64, prune bool) *exactSea
 func (e *exactSearcher) search(from int) { e.searchFrom(from) }
 
 func (e *exactSearcher) searchFrom(from int) {
+	if e.stopped {
+		return
+	}
+	if e.ctx != nil {
+		if e.nodes++; e.nodes >= ctxCheckNodes {
+			e.nodes = 0
+			if e.ctx.Err() != nil {
+				e.stopped = true
+				return
+			}
+		}
+	}
 	if e.st.Size() == e.p {
 		v := e.st.Value()
 		if !e.hasBest || v > e.bestVal {
@@ -159,6 +204,9 @@ func (e *exactSearcher) searchFrom(from int) {
 		e.st.Add(u)
 		e.searchFrom(u + 1)
 		e.st.Remove(u)
+		if e.stopped {
+			return
+		}
 	}
 }
 
@@ -214,6 +262,14 @@ func (e *exactSearcher) best() *Solution {
 // subset of an independent set is independent). Exponential in general; used
 // as the ground truth for the matroid-constrained tests.
 func ExactMatroid(obj *Objective, m matroid.Matroid) (*Solution, error) {
+	return ExactMatroidCtx(nil, obj, m)
+}
+
+// ExactMatroidCtx is ExactMatroid honoring a cancellation context: the DFS
+// polls ctx once per ctxCheckNodes expansions and returns ctx.Err() — the
+// guard that lets a serving deadline stop a matroid-constrained
+// enumeration. A nil ctx never cancels.
+func ExactMatroidCtx(ctx context.Context, obj *Objective, m matroid.Matroid) (*Solution, error) {
 	if m.GroundSize() != obj.N() {
 		return nil, fmt.Errorf("core: matroid ground size %d, objective has %d", m.GroundSize(), obj.N())
 	}
@@ -223,8 +279,22 @@ func ExactMatroid(obj *Objective, m matroid.Matroid) (*Solution, error) {
 	bestVal := 0.0
 	hasBest := false
 	var members []int
+	nodes, stopped := 0, false
+	var pr matroid.Prober
 	var dfs func(from int)
 	dfs = func(from int) {
+		if stopped {
+			return
+		}
+		if ctx != nil {
+			if nodes++; nodes >= ctxCheckNodes {
+				nodes = 0
+				if ctx.Err() != nil {
+					stopped = true
+					return
+				}
+			}
+		}
 		if st.Size() == rank {
 			if v := st.Value(); !hasBest || v > bestVal {
 				bestVal = v
@@ -234,7 +304,7 @@ func ExactMatroid(obj *Objective, m matroid.Matroid) (*Solution, error) {
 			return
 		}
 		for u := from; u < obj.N(); u++ {
-			if !matroid.CanAdd(m, members, u) {
+			if !pr.CanAdd(m, members, u) {
 				continue
 			}
 			st.Add(u)
@@ -242,9 +312,15 @@ func ExactMatroid(obj *Objective, m matroid.Matroid) (*Solution, error) {
 			dfs(u + 1)
 			members = members[:len(members)-1]
 			st.Remove(u)
+			if stopped {
+				return
+			}
 		}
 	}
 	dfs(0)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if !hasBest {
 		// Rank 0: the empty set is the only basis.
 		return solutionFromState(st, 0), nil

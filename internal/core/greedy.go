@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -20,9 +21,10 @@ type edge struct {
 type GreedyOption func(*greedyCfg)
 
 type greedyCfg struct {
-	bestPairStart bool         // Greedy B: seed with the best pair (Table 3 variant)
-	bestLastPick  bool         // Greedy A: pick the best (not arbitrary) odd leftover
-	pool          *engine.Pool // nil = serial
+	bestPairStart bool            // Greedy B: seed with the best pair (Table 3 variant)
+	bestLastPick  bool            // Greedy A: pick the best (not arbitrary) odd leftover
+	pool          *engine.Pool    // nil = serial
+	ctx           context.Context // nil = never cancelled
 }
 
 // WithBestPairStart makes GreedyB open with the pair maximizing the potential
@@ -48,6 +50,13 @@ func WithPool(p *engine.Pool) GreedyOption {
 	return func(c *greedyCfg) { c.pool = p }
 }
 
+// WithContext makes the solve honor ctx: cancellation or deadline expiry
+// aborts mid-scan (the engine polls the context once per scan stride) and
+// the solver returns ctx.Err(). A nil ctx (the default) never cancels.
+func WithContext(ctx context.Context) GreedyOption {
+	return func(c *greedyCfg) { c.ctx = ctx }
+}
+
 // GreedyB runs the paper's non-oblivious greedy (Section 4): starting from
 // the empty set, repeatedly add the element u maximizing the potential
 //
@@ -69,33 +78,44 @@ func GreedyB(obj *Objective, p int, opts ...GreedyOption) (*Solution, error) {
 	st := obj.AcquireState()
 	defer obj.ReleaseState(st)
 	if cfg.bestPairStart && p >= 2 {
-		x, y := bestPotentialPair(obj, cfg.pool)
+		x, y := bestPotentialPair(cfg.ctx, obj, cfg.pool)
+		if err := ctxErr(cfg.ctx); err != nil {
+			return nil, err
+		}
 		st.Add(x)
 		st.Add(y)
 	}
-	greedyFill(st, p, cfg.pool)
+	if err := greedyFill(cfg.ctx, st, p, cfg.pool); err != nil {
+		return nil, err
+	}
 	return solutionFromState(st, 0), nil
 }
 
 // greedyFill extends st to size p by the potential-greedy rule, sharding
-// each round's candidate scan across the pool.
-func greedyFill(st *State, p int, pool *engine.Pool) {
-	sc := newScanner(st, pool)
+// each round's candidate scan across the pool. It returns ctx's error when
+// the fill is abandoned mid-solve.
+func greedyFill(ctx context.Context, st *State, p int, pool *engine.Pool) error {
+	sc := newScannerCtx(ctx, st, pool)
 	for st.Size() < p {
 		b := sc.argmaxPotential()
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		if b.Index == -1 {
-			return // ground set exhausted
+			return nil // ground set exhausted
 		}
 		st.Add(b.Index)
 		sc.added(b.Index)
 	}
+	return nil
 }
 
 // bestPotentialPair scans all pairs for the maximizer of ½f({x,y}) + λd(x,y),
-// sharding rows (the smaller endpoint) across the pool.
-func bestPotentialPair(obj *Objective, pool *engine.Pool) (int, int) {
+// sharding rows (the smaller endpoint) across the pool. On cancellation the
+// returned pair is arbitrary; the caller checks ctx before using it.
+func bestPotentialPair(ctx context.Context, obj *Objective, pool *engine.Pool) (int, int) {
 	n := obj.N()
-	b := pool.ArgMaxPair(n, func(int) engine.PairScorer {
+	b := pool.ArgMaxPairCtx(ctx, n, func(int) engine.PairScorer {
 		ev := obj.f.NewEvaluator()
 		return func(x int) (float64, int, bool) {
 			ev.Reset()
@@ -165,16 +185,22 @@ func GreedyA(obj *Objective, p int, opts ...GreedyOption) (*Solution, error) {
 	reduced := func(u, v int) float64 {
 		return mod.Weight(u) + mod.Weight(v) + 2*obj.lambda*obj.d.Distance(u, v)
 	}
-	pairs := heaviestDisjointEdges(n, p/2, reduced, cfg.pool)
+	pairs := heaviestDisjointEdges(cfg.ctx, n, p/2, reduced, cfg.pool)
+	if err := ctxErr(cfg.ctx); err != nil {
+		return nil, err
+	}
 	for _, e := range pairs {
 		st.Add(e[0])
 		st.Add(e[1])
 	}
 	if st.Size() < p { // odd p (or ran out of edges)
 		if cfg.bestLastPick {
-			sc := newScanner(st, cfg.pool)
+			sc := newScannerCtx(cfg.ctx, st, cfg.pool)
 			for st.Size() < p {
 				b := sc.argmaxObjective()
+				if err := ctxErr(cfg.ctx); err != nil {
+					return nil, err
+				}
 				if b.Index == -1 {
 					break
 				}
@@ -198,7 +224,7 @@ func GreedyA(obj *Objective, p int, opts ...GreedyOption) (*Solution, error) {
 // evaluation — the O(n²) hot half of Greedy A — shards across the pool by
 // row; the sort's comparator is a total order, so the result is
 // deterministic regardless of materialization order.
-func heaviestDisjointEdges(n, k int, weight func(u, v int) float64, pool *engine.Pool) [][2]int {
+func heaviestDisjointEdges(ctx context.Context, n, k int, weight func(u, v int) float64, pool *engine.Pool) [][2]int {
 	if k <= 0 || n < 2 {
 		return nil
 	}
@@ -210,6 +236,11 @@ func heaviestDisjointEdges(n, k int, weight func(u, v int) float64, pool *engine
 		v := rowOfPair(lo)
 		base := v * (v - 1) / 2
 		for k := lo; k < hi; {
+			// The materialization is the O(n²) bulk of Greedy A; honor a
+			// cancel once per row so a hung client stops paying for it.
+			if ctxErr(ctx) != nil {
+				return
+			}
 			for u := k - base; u < v && k < hi; u, k = u+1, k+1 {
 				edges[k] = edge{u, v, weight(u, v)}
 			}
@@ -217,6 +248,9 @@ func heaviestDisjointEdges(n, k int, weight func(u, v int) float64, pool *engine
 			base = v * (v - 1) / 2
 		}
 	})
+	if ctxErr(ctx) != nil {
+		return nil
+	}
 	sortEdgesByWeightDesc(edges)
 	used := make([]bool, n)
 	var out [][2]int
@@ -249,9 +283,12 @@ func GreedyOblivious(obj *Objective, p int, opts ...GreedyOption) (*Solution, er
 	}
 	st := obj.AcquireState()
 	defer obj.ReleaseState(st)
-	sc := newScanner(st, cfg.pool)
+	sc := newScannerCtx(cfg.ctx, st, cfg.pool)
 	for st.Size() < p {
 		b := sc.argmaxObjective()
+		if err := ctxErr(cfg.ctx); err != nil {
+			return nil, err
+		}
 		if b.Index == -1 {
 			break
 		}

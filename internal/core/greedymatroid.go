@@ -30,16 +30,19 @@ func GreedyMatroid(obj *Objective, m matroid.Matroid, opts ...GreedyOption) (*So
 	st := obj.NewState()
 	members := []int{}
 	if cfg.bestPairStart && m.Rank() >= 2 {
-		x, y, err := bestIndependentPair(obj, m, cfg.pool)
+		x, y, err := bestIndependentPair(cfg.ctx, obj, m, cfg.pool)
 		if err == nil {
 			st.Add(x)
 			st.Add(y)
 			members = append(members, x, y)
 		}
 	}
-	sc := newScanner(st, cfg.pool)
+	sc := newScannerCtx(cfg.ctx, st, cfg.pool)
 	for st.Size() < m.Rank() {
 		b := sc.bestFeasibleAddition(m, members)
+		if err := ctxErr(cfg.ctx); err != nil {
+			return nil, err
+		}
 		if b.Index == -1 {
 			break // no feasible extension (shouldn't happen below rank)
 		}

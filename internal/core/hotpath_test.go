@@ -198,6 +198,120 @@ func TestSwapScanZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSwapRoundZeroAllocsUniform pins the local-search steady state under
+// the uniform constraint: one full improving-swap round — the bestSwap
+// neighborhood scan, the applied State.Swap, and the in-place members
+// refresh — must not allocate. Uniform matroids take the no-filter fast
+// path (every swap preserves |S|), exactly as LocalSearch routes them.
+func TestSwapRoundZeroAllocsUniform(t *testing.T) {
+	_, f32 := pointObjectives(t, 1024, 8, 13)
+	st := f32.AcquireState()
+	defer f32.ReleaseState(st)
+	for u := 0; u < 12; u++ {
+		st.Add(u)
+	}
+	sc := newScanner(st, nil)
+	members := append([]int(nil), st.members...)
+	// Warm: realize cached closures, then run rounds like LocalSearch does.
+	allocs := testing.AllocsPerRun(20, func() {
+		b := sc.bestSwap(members, 1e-12, nil)
+		if b.Index == -1 {
+			return
+		}
+		st.Swap(b.Aux, b.Index)
+		sc.swapped(b.Aux, b.Index)
+		members = append(members[:0], st.members...)
+	})
+	if allocs != 0 {
+		t.Fatalf("uniform swap round allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSwapRoundZeroAllocsMatroid is the matroid-filtered analogue: swap
+// probes route through a per-worker Prober whose scratch amortizes across
+// rounds, so even with a partition constraint in the loop the steady-state
+// round must not allocate. This (plus the Prober) is the fix for the
+// ~1.2k allocs/op the pre-redesign local search paid per swap pass.
+func TestSwapRoundZeroAllocsMatroid(t *testing.T) {
+	const n, k = 1024, 12
+	_, f32 := pointObjectives(t, n, 8, 17)
+	partOf := make([]int, n)
+	caps := make([]int, 4)
+	for i := range partOf {
+		partOf[i] = i % 4
+	}
+	for i := range caps {
+		caps[i] = k
+	}
+	m, err := matroid.NewPartition(partOf, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := f32.AcquireState()
+	defer f32.ReleaseState(st)
+	for u := 0; u < k; u++ {
+		st.Add(u)
+	}
+	sc := newScanner(st, nil)
+	members := append([]int(nil), st.members...)
+	probers := make([]matroid.Prober, 1)
+	canSwap := func(worker, out, in int) bool {
+		return probers[worker].CanSwap(m, members, out, in)
+	}
+	// Warm one round so the prober's buffer and scorer closures exist.
+	if b := sc.bestSwap(members, 1e-12, canSwap); b.Index != -1 {
+		st.Swap(b.Aux, b.Index)
+		sc.swapped(b.Aux, b.Index)
+		members = append(members[:0], st.members...)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		b := sc.bestSwap(members, 1e-12, canSwap)
+		if b.Index == -1 {
+			return
+		}
+		st.Swap(b.Aux, b.Index)
+		sc.swapped(b.Aux, b.Index)
+		members = append(members[:0], st.members...)
+	})
+	if allocs != 0 {
+		t.Fatalf("matroid swap round allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestLocalSearchCallAllocsBounded fences the whole LocalSearch call: with
+// pooled state, cached scorer closures, per-worker probers and the in-place
+// member snapshots, an entire bounded polish (the bench workload) must stay
+// within a small constant allocation budget — the regression fence for the
+// ROADMAP's "local search allocates ~1.2k/op" item.
+func TestLocalSearchCallAllocsBounded(t *testing.T) {
+	const n, k = 1000, 16
+	_, f32 := pointObjectives(t, n, 16, 19)
+	uni, err := matroid.NewUniform(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init, err := GreedyB(f32, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := &LSOptions{Init: init.Members, MaxSwaps: 4}
+	if _, err := LocalSearch(f32, uni, opts); err != nil {
+		t.Fatal(err) // warm the state pool
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := LocalSearch(f32, uni, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The remaining per-call allocations are setup (scanner + cached
+	// closures, the basis extension, the solution snapshot), not per-swap
+	// or per-probe work.
+	const budget = 64
+	if allocs > budget {
+		t.Fatalf("LocalSearch allocates %.0f times per call, want ≤ %d", allocs, budget)
+	}
+}
+
 // TestStatePoolReuse checks AcquireState actually recycles and resets.
 func TestStatePoolReuse(t *testing.T) {
 	_, f32 := pointObjectives(t, 64, 4, 21)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -38,6 +39,9 @@ type LSOptions struct {
 	// incoming index then earliest member), so any pool — including nil,
 	// the serial default — yields the identical swap sequence.
 	Pool *engine.Pool
+	// Ctx, when non-nil, cancels the search: the engine polls it mid-scan
+	// and LocalSearch returns ctx.Err() instead of a solution.
+	Ctx context.Context
 }
 
 // LocalSearch runs the paper's oblivious single-swap local search
@@ -62,7 +66,7 @@ func LocalSearch(obj *Objective, m matroid.Matroid, opts *LSOptions) (*Solution,
 		return nil, fmt.Errorf("core: negative improvement thresholds")
 	}
 
-	start, err := initialBasis(obj, m, opts.Init, opts.Pool)
+	start, err := initialBasis(opts.Ctx, obj, m, opts.Init, opts.Pool)
 	if err != nil {
 		return nil, err
 	}
@@ -77,12 +81,22 @@ func LocalSearch(obj *Objective, m matroid.Matroid, opts *LSOptions) (*Solution,
 		deadline = time.Now().Add(opts.TimeBudget)
 	}
 	swaps := 0
-	sc := newScanner(st, opts.Pool)
-	members := st.Members()
+	sc := newScannerCtx(opts.Ctx, st, opts.Pool)
+	// members is refreshed in place after each swap: the append reuses one
+	// backing array, so the per-swap snapshot costs no allocation.
+	members := append([]int(nil), st.members...)
 	// canSwap reads the members variable, not a per-round copy, so one
-	// closure serves every pass of the search.
-	canSwap := func(out, in int) bool {
-		return matroid.CanSwap(m, members, out, in)
+	// filter serves every pass of the search. A uniform matroid accepts
+	// every swap (|S − out + in| = |S|), so it needs no filter — and no
+	// per-probe independence calls — at all. Other matroids probe through
+	// per-worker Probers, whose scratch buffers amortize across the whole
+	// search.
+	var canSwap func(worker, out, in int) bool
+	if _, uniform := m.(matroid.Uniform); !uniform {
+		probers := make([]matroid.Prober, opts.Pool.Workers())
+		canSwap = func(worker, out, in int) bool {
+			return probers[worker].CanSwap(m, members, out, in)
+		}
 	}
 	for {
 		if opts.MaxSwaps > 0 && swaps >= opts.MaxSwaps {
@@ -101,12 +115,15 @@ func LocalSearch(obj *Objective, m matroid.Matroid, opts *LSOptions) (*Solution,
 			}
 		}
 		b := sc.bestSwap(members, threshold, canSwap)
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, err
+		}
 		if b.Index == -1 {
 			break // local optimum
 		}
 		st.Swap(b.Aux, b.Index)
 		sc.swapped(b.Aux, b.Index)
-		members = st.Members()
+		members = append(members[:0], st.members...)
 		swaps++
 	}
 	// Canonicalize the evaluator state before reporting: swap-gain probes
@@ -127,7 +144,10 @@ func LocalSearch(obj *Objective, m matroid.Matroid, opts *LSOptions) (*Solution,
 
 // initialBasis produces the starting basis: the caller's seed extended to a
 // basis, or the Section 5 best-pair basis.
-func initialBasis(obj *Objective, m matroid.Matroid, seed []int, pool *engine.Pool) ([]int, error) {
+func initialBasis(ctx context.Context, obj *Objective, m matroid.Matroid, seed []int, pool *engine.Pool) ([]int, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	if seed != nil {
 		basis, err := matroid.ExtendToBasis(m, seed)
 		if err != nil {
@@ -157,7 +177,7 @@ func initialBasis(obj *Objective, m matroid.Matroid, seed []int, pool *engine.Po
 		}
 		return []int{best}, nil
 	}
-	x, y, err := bestIndependentPair(obj, m, pool)
+	x, y, err := bestIndependentPair(ctx, obj, m, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -168,9 +188,9 @@ func initialBasis(obj *Objective, m matroid.Matroid, seed []int, pool *engine.Po
 // f({x,y}) + λ·d(x,y), the seed prescribed by Section 5, sharding rows
 // across the pool. The independence oracle is only consulted for pairs that
 // beat the worker's running best.
-func bestIndependentPair(obj *Objective, m matroid.Matroid, pool *engine.Pool) (int, int, error) {
+func bestIndependentPair(ctx context.Context, obj *Objective, m matroid.Matroid, pool *engine.Pool) (int, int, error) {
 	n := obj.N()
-	b := pool.ArgMaxPair(n, func(int) engine.PairScorer {
+	b := pool.ArgMaxPairCtx(ctx, n, func(int) engine.PairScorer {
 		ev := obj.f.NewEvaluator()
 		taken := false
 		localBest := 0.0
@@ -198,6 +218,9 @@ func bestIndependentPair(obj *Objective, m matroid.Matroid, pool *engine.Pool) (
 			return rowBest, by, true
 		}
 	})
+	if err := ctxErr(ctx); err != nil {
+		return 0, 0, err
+	}
 	if b.Index == -1 {
 		return 0, 0, fmt.Errorf("core: no independent pair exists (matroid rank < 2?)")
 	}

@@ -239,7 +239,7 @@ func TestBestIndependentPairRespectsMatroid(t *testing.T) {
 	obj, _ := NewObjective(mod, 1, d)
 	// Elements 0,1 share a cap-1 part: pair {0,1} dependent.
 	m, _ := matroid.NewPartition([]int{0, 0, 1, 2}, []int{1, 1, 1})
-	x, y, err := bestIndependentPair(obj, m, nil)
+	x, y, err := bestIndependentPair(nil, obj, m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

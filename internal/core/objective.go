@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"sync"
 
@@ -16,16 +17,42 @@ type Objective struct {
 	f      setfunc.Source
 	lambda float64
 	d      metric.Metric
-	// states pools solver scratch (see AcquireState): every State carries
+	// scratch pools solver scratch (see AcquireState): every State carries
 	// two O(n) slices plus a quality evaluator, and the one-shot solvers
 	// (greedy, local search) would otherwise allocate and discard a full
-	// set per call.
-	states sync.Pool
+	// set per call. NewObjective gives each objective a private cache;
+	// NewObjectiveCached shares one across many short-lived objectives over
+	// the same metric (the Index/Query serving pattern, where λ and the
+	// quality function are per-query but the ground set is not).
+	scratch *StateCache
 }
+
+// StateCache pools solver scratch (States) across solves — and, when shared
+// via NewObjectiveCached, across distinct Objectives. All objectives drawing
+// from one cache MUST present the same metric over the same ground set;
+// λ and the quality function may differ per objective (a State's distance
+// bookkeeping is λ-independent, and adoption rebuilds the quality evaluator
+// whenever the quality source changed).
+type StateCache struct {
+	pool sync.Pool
+}
+
+// NewStateCache returns an empty solver-scratch cache for sharing across
+// objectives built with NewObjectiveCached.
+func NewStateCache() *StateCache { return &StateCache{} }
 
 // NewObjective validates and builds an objective. f and d must agree on the
 // ground-set size and λ must be finite and non-negative.
 func NewObjective(f setfunc.Source, lambda float64, d metric.Metric) (*Objective, error) {
+	return NewObjectiveCached(f, lambda, d, nil)
+}
+
+// NewObjectiveCached is NewObjective drawing solver scratch from a shared
+// cache (nil allocates a private one). It is the cheap per-query constructor
+// of the serving path: the expensive ingredients (metric backend, quality
+// source) are built once by the caller and every query-time objective is a
+// small struct sharing them plus the cache.
+func NewObjectiveCached(f setfunc.Source, lambda float64, d metric.Metric, cache *StateCache) (*Objective, error) {
 	if f == nil || d == nil {
 		return nil, fmt.Errorf("core: nil quality function or metric")
 	}
@@ -35,7 +62,10 @@ func NewObjective(f setfunc.Source, lambda float64, d metric.Metric) (*Objective
 	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
 		return nil, fmt.Errorf("core: lambda = %g, want finite ≥ 0", lambda)
 	}
-	return &Objective{f: f, lambda: lambda, d: d}, nil
+	if cache == nil {
+		cache = NewStateCache()
+	}
+	return &Objective{f: f, lambda: lambda, d: d, scratch: cache}, nil
 }
 
 // N returns the ground-set size.
@@ -107,6 +137,8 @@ func solutionFromState(st *State, swaps int) *Solution {
 type State struct {
 	obj     *Objective
 	f       setfunc.Evaluator
+	fSrc    setfunc.Source // the Source st.f evaluates (adoption reuse check)
+	cache   *StateCache    // where ReleaseState returns this state
 	in      []bool
 	members []int
 	du      []float64             // du[v] = Σ_{u∈S} d(v,u), maintained for ALL v
@@ -119,10 +151,12 @@ type State struct {
 func (o *Objective) NewState() *State {
 	n := o.N()
 	st := &State{
-		obj: o,
-		f:   o.f.NewEvaluator(),
-		in:  make([]bool, n),
-		du:  make([]float64, n),
+		obj:   o,
+		f:     o.f.NewEvaluator(),
+		fSrc:  o.f,
+		cache: o.scratch,
+		in:    make([]bool, n),
+		du:    make([]float64, n),
 	}
 	if m, ok := o.f.(*setfunc.Modular); ok {
 		st.modular = m
@@ -134,27 +168,69 @@ func (o *Objective) NewState() *State {
 }
 
 // AcquireState returns an empty State drawn from the objective's scratch
-// pool (reset, with slice capacity from earlier solves retained), falling
-// back to NewState when the pool is dry. Pair with ReleaseState; states that
-// outlive a call — the dynamic Session's incremental solution — should use
-// NewState and keep ownership.
+// cache (reset, with slice capacity from earlier solves retained), falling
+// back to NewState when the cache is dry. With a shared cache
+// (NewObjectiveCached) the state may have been built by a sibling objective
+// with a different λ or quality function: adoption rebinds it, reusing the
+// O(n) slices and — when the quality source is unchanged — the quality
+// evaluator, so per-query objectives solve without per-query O(n)
+// allocations. Pair with ReleaseState; states that outlive a call — the
+// dynamic Session's incremental solution — should use NewState and keep
+// ownership.
 func (o *Objective) AcquireState() *State {
-	if v := o.states.Get(); v != nil {
-		st := v.(*State)
-		st.Reset()
-		return st
+	for {
+		v := o.scratch.pool.Get()
+		if v == nil {
+			return o.NewState()
+		}
+		if st := v.(*State); st.adopt(o) {
+			return st
+		}
+		// Wrong ground size (the corpus grew or shrank since this state was
+		// cached): drop it and try the next one.
 	}
-	return o.NewState()
 }
 
-// ReleaseState returns a State obtained from AcquireState to the pool. The
-// caller must not touch st afterwards. States built on a different
-// objective are dropped rather than poisoning the pool.
+// adopt rebinds a cached State to objective o, reporting false when the
+// state's slices cannot serve o's ground set. The cache contract guarantees
+// o's metric matches the one the state was built on whenever the sizes
+// agree.
+func (st *State) adopt(o *Objective) bool {
+	if len(st.in) != o.N() {
+		return false
+	}
+	st.obj = o
+	if !sameSource(st.fSrc, o.f) {
+		st.f = o.f.NewEvaluator()
+		st.fSrc = o.f
+	}
+	st.modular, _ = o.f.(*setfunc.Modular)
+	st.rowAcc, _ = o.d.(metric.RowAccumulator)
+	st.Reset()
+	return true
+}
+
+// sameSource reports whether two quality sources are the same object. Only
+// pointer identity counts: interface equality on non-pointer dynamic types
+// could panic (a user source may carry func-typed fields), and a fresh
+// evaluator for a value-typed source is the safe default.
+func sameSource(a, b setfunc.Source) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	return va.Kind() == reflect.Pointer && vb.Kind() == reflect.Pointer &&
+		va.Type() == vb.Type() && va.Pointer() == vb.Pointer()
+}
+
+// ReleaseState returns a State obtained from AcquireState to its cache. The
+// caller must not touch st afterwards. States from an unrelated cache are
+// dropped rather than poisoning the pool.
 func (o *Objective) ReleaseState(st *State) {
-	if st == nil || st.obj != o {
+	if st == nil || st.cache != o.scratch {
 		return
 	}
-	o.states.Put(st)
+	o.scratch.pool.Put(st)
 }
 
 // Objective returns the objective this state evaluates.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"maxsumdiv/internal/engine"
 	"maxsumdiv/internal/matroid"
 	"maxsumdiv/internal/setfunc"
@@ -34,6 +36,7 @@ import (
 type scanner struct {
 	st   *State
 	pool *engine.Pool
+	ctx  context.Context     // optional; cancels scans mid-stride (nil = never)
 	evs  []setfunc.Evaluator // lazily built clones for workers ≥ 1
 
 	// Cached per-worker scorers plus the factory closures that dispense
@@ -45,20 +48,38 @@ type scanner struct {
 	objFactory func(worker int) engine.Scorer
 
 	// Swap-scan parameters, staged by bestSwap before each scan so the
-	// cached swap scorers read them without per-round captures.
+	// cached swap scorers read them without per-round captures. The filter
+	// is worker-aware so each scan worker can probe matroid feasibility
+	// through its own scratch (see LocalSearch's per-worker Probers).
 	swapMembers   []int
 	swapThreshold float64
-	swapFilter    func(out, in int) bool
+	swapFilter    func(worker, out, in int) bool
 	swapScorers   []engine.PairScorer
 	swapFactory   func(worker int) engine.PairScorer
 }
 
 func newScanner(st *State, pool *engine.Pool) *scanner {
-	sc := &scanner{st: st, pool: pool}
+	return newScannerCtx(nil, st, pool)
+}
+
+// newScannerCtx is newScanner with a cancellation context threaded into
+// every engine scan, so a solve abandoned by its caller stops mid-scan
+// rather than at the next round boundary. ctxErr(ctx) is the caller-side
+// check after each scan.
+func newScannerCtx(ctx context.Context, st *State, pool *engine.Pool) *scanner {
+	sc := &scanner{st: st, pool: pool, ctx: ctx}
 	sc.potFactory = sc.potentialScorer
 	sc.objFactory = sc.objectiveScorer
 	sc.swapFactory = sc.swapScorer
 	return sc
+}
+
+// ctxErr reports the context's error; a nil context never errors.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // evaluator returns the quality evaluator for one scan worker. The engine
@@ -142,7 +163,7 @@ func (sc *scanner) swapScorer(worker int) engine.PairScorer {
 		sc.swapScorers = append(sc.swapScorers, nil)
 	}
 	if sc.swapScorers[worker] == nil {
-		st, ev := sc.st, sc.evaluator(worker)
+		st, ev, w := sc.st, sc.evaluator(worker), worker
 		sc.swapScorers[worker] = func(in int) (float64, int, bool) {
 			if st.in[in] {
 				return 0, 0, false
@@ -153,7 +174,7 @@ func (sc *scanner) swapScorer(worker int) engine.PairScorer {
 				if g <= bestGain {
 					continue
 				}
-				if sc.swapFilter != nil && !sc.swapFilter(out, in) {
+				if sc.swapFilter != nil && !sc.swapFilter(w, out, in) {
 					continue
 				}
 				bestOut, bestGain = out, g
@@ -170,23 +191,24 @@ func (sc *scanner) swapScorer(worker int) engine.PairScorer {
 // argmaxPotential returns the non-member maximizing the greedy potential
 // φ′_u(S) = ½f_u(S) + λ·d_u(S) (Index = -1 when S is the whole ground set).
 func (sc *scanner) argmaxPotential() engine.Best {
-	return sc.pool.ArgMax(sc.st.obj.N(), sc.potFactory)
+	return sc.pool.ArgMaxCtx(sc.ctx, sc.st.obj.N(), sc.potFactory)
 }
 
 // argmaxObjective returns the non-member maximizing the objective marginal
 // φ_u(S) = f_u(S) + λ·d_u(S).
 func (sc *scanner) argmaxObjective() engine.Best {
-	return sc.pool.ArgMax(sc.st.obj.N(), sc.objFactory)
+	return sc.pool.ArgMaxCtx(sc.ctx, sc.st.obj.N(), sc.objFactory)
 }
 
 // bestSwap scans every pair (out ∈ members, in ∉ S) for the maximal
 // SwapGain strictly above threshold, sharding over the incoming side.
-// canSwap, when non-nil, filters pairs (e.g. matroid feasibility). The
-// result's Index is the incoming element, Aux the outgoing one; ties break
-// toward the lowest incoming index, then the earliest member.
-func (sc *scanner) bestSwap(members []int, threshold float64, canSwap func(out, in int) bool) engine.Best {
+// canSwap, when non-nil, filters pairs (e.g. matroid feasibility); it
+// receives the scan worker's index so filters can keep per-worker scratch.
+// The result's Index is the incoming element, Aux the outgoing one; ties
+// break toward the lowest incoming index, then the earliest member.
+func (sc *scanner) bestSwap(members []int, threshold float64, canSwap func(worker, out, in int) bool) engine.Best {
 	sc.swapMembers, sc.swapThreshold, sc.swapFilter = members, threshold, canSwap
-	b := sc.pool.ArgMaxPair(sc.st.obj.N(), sc.swapFactory)
+	b := sc.pool.ArgMaxPairCtx(sc.ctx, sc.st.obj.N(), sc.swapFactory)
 	sc.swapMembers, sc.swapFilter = nil, nil // drop references between rounds
 	return b
 }
@@ -197,7 +219,11 @@ func (sc *scanner) bestSwap(members []int, threshold float64, canSwap func(out, 
 // update rule's argmax; ties break deterministically (lowest incoming index,
 // then earliest member), so every worker count returns the same pair.
 func (s *State) BestSwap(pool *engine.Pool, threshold float64, canSwap func(out, in int) bool) (out, in int, gain float64, ok bool) {
-	b := newScanner(s, pool).bestSwap(s.members, threshold, canSwap)
+	var filter func(worker, out, in int) bool
+	if canSwap != nil {
+		filter = func(_, out, in int) bool { return canSwap(out, in) }
+	}
+	b := newScanner(s, pool).bestSwap(s.members, threshold, filter)
 	if b.Index == -1 {
 		return 0, 0, 0, false
 	}
@@ -213,8 +239,9 @@ func (s *State) BestSwap(pool *engine.Pool, threshold float64, canSwap func(out,
 // carries per-scan state, so the closures cannot be cached across rounds.
 func (sc *scanner) bestFeasibleAddition(m matroid.Matroid, members []int) engine.Best {
 	st := sc.st
-	return sc.pool.ArgMax(st.obj.N(), func(worker int) engine.Scorer {
+	return sc.pool.ArgMaxCtx(sc.ctx, st.obj.N(), func(worker int) engine.Scorer {
 		ev := sc.evaluator(worker)
+		var pr matroid.Prober
 		taken := false
 		localBest := 0.0
 		return func(u int) (float64, bool) {
@@ -227,7 +254,7 @@ func (sc *scanner) bestFeasibleAddition(m matroid.Matroid, members []int) engine
 			if taken && v <= localBest {
 				return 0, false
 			}
-			if !matroid.CanAdd(m, members, u) {
+			if !pr.CanAdd(m, members, u) {
 				return 0, false
 			}
 			taken, localBest = true, v

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"maxsumdiv/internal/engine"
+	"maxsumdiv/internal/matroid"
+	"maxsumdiv/internal/setfunc"
+)
+
+// Algo selects which solver Solve dispatches to. The public API's Algorithm
+// and the serving layer's wire names both map onto this enum, so the
+// dispatch logic lives in exactly one place.
+type Algo int
+
+const (
+	// AlgoGreedy is the paper's non-oblivious greedy (Theorem 1).
+	AlgoGreedy Algo = iota
+	// AlgoGreedyImproved opens the greedy with the best pair (Table 3).
+	AlgoGreedyImproved
+	// AlgoGollapudiSharma is the Greedy A baseline (modular quality only).
+	AlgoGollapudiSharma
+	// AlgoOblivious is the objective-marginal greedy ablation.
+	AlgoOblivious
+	// AlgoLocalSearch runs the greedy then the Section 5 single-swap local
+	// search (or, with Spec.Constraint, the matroid-constrained search from
+	// the Section 5 best-pair basis).
+	AlgoLocalSearch
+	// AlgoExact is the branch-and-bound optimum (small instances only).
+	AlgoExact
+)
+
+// Spec parameterizes one Solve call. The zero value runs the default greedy
+// with K = 0 (an empty selection).
+type Spec struct {
+	// Algo picks the solver.
+	Algo Algo
+	// K is the cardinality target. Ignored when Constraint is set (the
+	// constraint's rank governs).
+	K int
+	// Ctx, when non-nil, cancels the solve mid-scan; Solve returns
+	// ctx.Err().
+	Ctx context.Context
+	// Pool shards candidate scans; nil runs serially.
+	Pool *engine.Pool
+	// Constraint, when non-nil, replaces the |S| ≤ K uniform matroid. Only
+	// AlgoLocalSearch supports general matroids.
+	Constraint matroid.Matroid
+	// Init seeds AlgoLocalSearch (nil = greedy under the uniform
+	// constraint, Section 5 best-pair basis under a general matroid).
+	Init []int
+	// MaxSwaps caps local-search swaps (0 = unlimited).
+	MaxSwaps int
+	// TimeBudget bounds the local search's wall clock (0 = unlimited).
+	TimeBudget time.Duration
+	// MinGain and RelEps are the local search's improvement thresholds.
+	MinGain, RelEps float64
+}
+
+// Solve dispatches one solve over the objective according to spec. It is
+// the single entry point behind the public Index.Query and the serving
+// layer, so every caller shares one dispatch table, one context contract,
+// and one pool-threading convention.
+func Solve(obj *Objective, spec Spec) (*Solution, error) {
+	if err := ctxErr(spec.Ctx); err != nil {
+		return nil, err
+	}
+	gopts := []GreedyOption{WithPool(spec.Pool), WithContext(spec.Ctx)}
+	switch spec.Algo {
+	case AlgoGreedy:
+		return GreedyB(obj, spec.K, gopts...)
+	case AlgoGreedyImproved:
+		return GreedyB(obj, spec.K, append(gopts, WithBestPairStart())...)
+	case AlgoGollapudiSharma:
+		return GreedyA(obj, spec.K, gopts...)
+	case AlgoOblivious:
+		return GreedyOblivious(obj, spec.K, gopts...)
+	case AlgoLocalSearch:
+		return solveLocalSearch(obj, spec)
+	case AlgoExact:
+		if spec.Constraint != nil {
+			return ExactMatroidCtx(spec.Ctx, obj, spec.Constraint)
+		}
+		return Exact(obj, spec.K, &ExactOptions{
+			Parallel: spec.Pool.Workers() > 1,
+			Workers:  spec.Pool.Workers(),
+			Ctx:      spec.Ctx,
+		})
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", spec.Algo)
+	}
+}
+
+// solveLocalSearch runs the Theorem 2 search: under the uniform constraint
+// it polishes a greedy start (the paper's "LS" configuration); under a
+// general matroid it starts from the Section 5 best-pair basis.
+func solveLocalSearch(obj *Objective, spec Spec) (*Solution, error) {
+	m := spec.Constraint
+	lsOpts := &LSOptions{
+		Init:       spec.Init,
+		MinGain:    spec.MinGain,
+		RelEps:     spec.RelEps,
+		MaxSwaps:   spec.MaxSwaps,
+		TimeBudget: spec.TimeBudget,
+		Pool:       spec.Pool,
+		Ctx:        spec.Ctx,
+	}
+	if m == nil {
+		uni, err := matroid.NewUniform(obj.N(), spec.K)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if lsOpts.Init == nil {
+			init, err := GreedyB(obj, spec.K, WithPool(spec.Pool), WithContext(spec.Ctx))
+			if err != nil {
+				return nil, err
+			}
+			lsOpts.Init = init.Members
+		}
+		m = uni
+	}
+	return LocalSearch(obj, m, lsOpts)
+}
+
+// RequiresModular reports whether the algorithm is only defined for the
+// default modular (weight-sum) quality function.
+func (a Algo) RequiresModular() bool { return a == AlgoGollapudiSharma }
+
+// IsModular reports whether the objective's quality function is modular —
+// the precondition for AlgoGollapudiSharma and for MMR.
+func (o *Objective) IsModular() bool {
+	_, ok := o.f.(*setfunc.Modular)
+	return ok
+}

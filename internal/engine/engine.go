@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -10,6 +11,26 @@ import (
 // dwarf the work, and small scans (e.g. a stream window of 10) are the
 // common case on hot paths.
 const minShard = 192
+
+// cancelStride is how many candidates a shard folds between cancellation
+// checks. A non-blocking channel poll every stride keeps the per-candidate
+// cost of cancellation support at a fraction of a nanosecond while bounding
+// how far past a cancel a scan can run: one stride of scorer calls per
+// worker.
+const cancelStride = 1024
+
+// strideFor returns the poll interval for a scan span: cancelStride for
+// large ranges, and a fraction of the range for small ones so that scans
+// shorter than a stride — small corpora, or large corpora split across
+// many workers — still poll a few times mid-range. Candidate scorers can
+// be arbitrarily expensive (a user Quality function), so "small range"
+// does not imply "fast scan".
+func strideFor(span int) int {
+	if span < cancelStride {
+		return span/4 + 1
+	}
+	return cancelStride
+}
 
 // Pool is a bounded set of scan workers. The zero value and the nil pool
 // both behave as a serial (1-worker) pool, so callers can thread an optional
@@ -72,13 +93,28 @@ type PairScorer func(u int) (score float64, aux int, ok bool)
 // caller that reuses its factory and scorer closures across rounds pays
 // zero allocations per scan.
 func (p *Pool) ArgMax(n int, factory func(worker int) Scorer) Best {
+	return p.ArgMaxCtx(nil, n, factory)
+}
+
+// ArgMaxCtx is ArgMax with cooperative cancellation: every shard polls
+// ctx.Done() once per cancelStride candidates and abandons its range when
+// the context is cancelled. A cancelled scan returns an arbitrary partial
+// Best — the caller is expected to check ctx.Err() and discard it. A nil
+// ctx (or one that never cancels) adds one non-blocking channel poll per
+// stride and nothing per candidate.
+func (p *Pool) ArgMaxCtx(ctx context.Context, n int, factory func(worker int) Scorer) Best {
 	if n <= 0 {
 		return Best{Index: -1}
 	}
 	if p.shards(n) == 1 {
 		score := factory(0)
 		best := Best{Index: -1}
+		done := doneOf(ctx)
+		stride := strideFor(n)
 		for u := 0; u < n; u++ {
+			if done != nil && u%stride == stride-1 && cancelled(done) {
+				return best
+			}
 			v, ok := score(u)
 			if !ok {
 				continue
@@ -89,13 +125,33 @@ func (p *Pool) ArgMax(n int, factory func(worker int) Scorer) Best {
 		}
 		return best
 	}
-	return p.ArgMaxPair(n, func(worker int) PairScorer {
+	return p.ArgMaxPairCtx(ctx, n, func(worker int) PairScorer {
 		score := factory(worker)
 		return func(u int) (float64, int, bool) {
 			v, ok := score(u)
 			return v, 0, ok
 		}
 	})
+}
+
+// doneOf extracts the cancellation channel from an optional context. A nil
+// channel (nil ctx, or contexts that can never cancel, like Background) is
+// never ready, so scans stay on the cheap path.
+func doneOf(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// cancelled polls a done channel without blocking.
+func cancelled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // bestScratch pools the per-scan shard-result slices so steady-state
@@ -110,12 +166,19 @@ var bestScratch = sync.Pool{New: func() any {
 // selection order is total — (higher score, then lower candidate index) —
 // so the result is identical for every worker count and shard layout.
 func (p *Pool) ArgMaxPair(n int, factory func(worker int) PairScorer) Best {
+	return p.ArgMaxPairCtx(nil, n, factory)
+}
+
+// ArgMaxPairCtx is ArgMaxPair with the cooperative cancellation of
+// ArgMaxCtx.
+func (p *Pool) ArgMaxPairCtx(ctx context.Context, n int, factory func(worker int) PairScorer) Best {
 	if n <= 0 {
 		return Best{Index: -1}
 	}
+	done := doneOf(ctx)
 	shards := p.shards(n)
 	if shards == 1 {
-		return scanShard(factory(0), 0, n)
+		return scanShard(factory(0), 0, n, done)
 	}
 	chunk := (n + shards - 1) / shards
 	scratch := bestScratch.Get().(*[]Best)
@@ -134,7 +197,7 @@ func (p *Pool) ArgMaxPair(n int, factory func(worker int) PairScorer) Best {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			results[w] = scanShard(score, lo, hi)
+			results[w] = scanShard(score, lo, hi, done)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -153,10 +216,18 @@ func (p *Pool) ArgMaxPair(n int, factory func(worker int) PairScorer) Best {
 }
 
 // scanShard folds one contiguous index range; strict > keeps the lowest
-// index among equal scores.
-func scanShard(score PairScorer, lo, hi int) Best {
+// index among equal scores. A ready done channel abandons the range at the
+// next stride boundary.
+func scanShard(score PairScorer, lo, hi int, done <-chan struct{}) Best {
 	best := Best{Index: -1}
+	stride := cancelStride
+	if done != nil {
+		stride = strideFor(hi - lo)
+	}
 	for u := lo; u < hi; u++ {
+		if done != nil && (u-lo)%stride == stride-1 && cancelled(done) {
+			return best
+		}
 		v, aux, ok := score(u)
 		if !ok {
 			continue

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -177,5 +178,31 @@ func TestPoolDo(t *testing.T) {
 				t.Fatalf("workers=%d n=%d: %d tasks ran concurrently", workers, n, p)
 			}
 		}
+	}
+}
+
+// TestArgMaxCtxCancelsSmallScan pins the mid-scan cancellation contract at
+// spans below cancelStride: the poll interval shrinks with the range
+// (strideFor), so even a few-hundred-candidate scan with expensive scorers
+// stops within a fraction of the range after cancel — not at the end.
+func TestArgMaxCtxCancelsSmallScan(t *testing.T) {
+	const n = 400
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var visited atomic.Int64
+	New(1).ArgMaxCtx(ctx, n, func(int) Scorer {
+		return func(u int) (float64, bool) {
+			if visited.Add(1) == 10 {
+				cancel()
+			}
+			return float64(u), true
+		}
+	})
+	v := visited.Load()
+	if v >= n {
+		t.Fatalf("scan visited all %d candidates despite cancellation at 10", n)
+	}
+	if limit := int64(10 + strideFor(n) + 1); v > limit {
+		t.Fatalf("scan visited %d candidates after cancel at 10, want ≤ %d (one small-scan stride)", v, limit)
 	}
 }

@@ -90,13 +90,20 @@ func NewPartition(partOf []int, caps []int) (*Partition, error) {
 // GroundSize returns the number of elements.
 func (p *Partition) GroundSize() int { return len(p.partOf) }
 
-// Independent reports whether every part's cap is respected.
+// Independent reports whether every part's cap is respected. The check
+// counts by scanning prefixes — O(|S|²) but allocation-free, which is the
+// right trade for selection-sized S on the local-search probe hot path
+// (a map-based count allocated once per probe and dominated the search's
+// allocs/op).
 func (p *Partition) Independent(S []int) bool {
-	counts := make(map[int]int, len(S))
-	for _, u := range S {
-		counts[p.partOf[u]]++
-	}
-	for part, c := range counts {
+	for i, u := range S {
+		part := p.partOf[u]
+		c := 1
+		for _, v := range S[:i] {
+			if p.partOf[v] == part {
+				c++
+			}
+		}
 		if c > p.caps[part] {
 			return false
 		}

@@ -36,39 +36,73 @@ func CanAdd(m Matroid, S []int, u int) bool {
 
 // CanSwap reports whether S − out + in is independent.
 func CanSwap(m Matroid, S []int, out, in int) bool {
-	tmp := make([]int, 0, len(S))
+	var p Prober
+	return p.CanSwap(m, S, out, in)
+}
+
+// Prober amortizes the candidate-set scratch of repeated independence
+// probes. A local search probes O(n·p) swap candidates per pass, and the
+// one-shot CanAdd/CanSwap helpers would allocate a fresh slice for every
+// probe; a Prober reuses one buffer across them. The zero value is ready.
+// A Prober is not safe for concurrent use — parallel scans keep one per
+// worker.
+type Prober struct {
+	buf []int
+}
+
+// CanAdd reports whether S + u is independent (u ∉ S assumed).
+func (p *Prober) CanAdd(m Matroid, S []int, u int) bool {
+	p.buf = append(p.buf[:0], S...)
+	p.buf = append(p.buf, u)
+	return m.Independent(p.buf)
+}
+
+// CanSwap reports whether S − out + in is independent.
+func (p *Prober) CanSwap(m Matroid, S []int, out, in int) bool {
+	p.buf = p.buf[:0]
 	for _, v := range S {
 		if v != out {
-			tmp = append(tmp, v)
+			p.buf = append(p.buf, v)
 		}
 	}
-	tmp = append(tmp, in)
-	return m.Independent(tmp)
+	p.buf = append(p.buf, in)
+	return m.Independent(p.buf)
 }
 
 // ExtendToBasis greedily augments an independent set S to a basis, scanning
 // ground elements in index order. It returns an error if S itself is
-// dependent.
+// dependent. A full-rank seed (the common case: a greedy solution feeding
+// the local search) returns after the single independence check, and the
+// augmentation probes share one Prober buffer, so the call stays O(1) in
+// allocations regardless of ground size.
 func ExtendToBasis(m Matroid, S []int) ([]int, error) {
 	if !m.Independent(S) {
 		return nil, fmt.Errorf("matroid: ExtendToBasis: %v is not independent", S)
 	}
 	basis := append([]int{}, S...)
+	rank := m.Rank()
+	if len(basis) > rank {
+		return nil, fmt.Errorf("matroid: ExtendToBasis: independent set of size %d exceeds rank %d (broken oracle?)", len(basis), rank)
+	}
+	if len(basis) == rank {
+		return basis, nil
+	}
 	in := make(map[int]bool, len(S))
 	for _, v := range S {
 		in[v] = true
 	}
-	for u := 0; u < m.GroundSize(); u++ {
+	var pr Prober
+	for u := 0; u < m.GroundSize() && len(basis) < rank; u++ {
 		if in[u] {
 			continue
 		}
-		if CanAdd(m, basis, u) {
+		if pr.CanAdd(m, basis, u) {
 			basis = append(basis, u)
 			in[u] = true
 		}
 	}
-	if len(basis) != m.Rank() {
-		return nil, fmt.Errorf("matroid: ExtendToBasis produced size %d, rank is %d (broken oracle?)", len(basis), m.Rank())
+	if len(basis) != rank {
+		return nil, fmt.Errorf("matroid: ExtendToBasis produced size %d, rank is %d (broken oracle?)", len(basis), rank)
 	}
 	return basis, nil
 }

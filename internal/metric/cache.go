@@ -60,6 +60,7 @@ func Memoize(m Metric) Metric {
 	if m.Len() <= eagerLimit {
 		return Materialize(m)
 	}
+	countConstruction()
 	return NewCached(m)
 }
 

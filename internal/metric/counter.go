@@ -1,0 +1,17 @@
+package metric
+
+import "sync/atomic"
+
+// constructions counts distance-backend builds: every call that turns a
+// computed metric into a lookup structure (Materialize, MaterializeF32,
+// Memoize). Backend construction is the O(n²) cost the Index/Query API
+// amortizes across queries, so tests assert this counter stays flat on the
+// serving query path — the "zero backend constructions per query"
+// contract.
+var constructions atomic.Int64
+
+// Constructions returns the process-wide count of distance-backend builds.
+func Constructions() int64 { return constructions.Load() }
+
+// countConstruction records one backend build.
+func countConstruction() { constructions.Add(1) }

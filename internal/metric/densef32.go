@@ -96,9 +96,11 @@ var (
 // Distance once per pair; everything else falls back to a pairwise fill.
 // Already-materialized *DenseF32 inputs pass through unchanged.
 func MaterializeF32(m Metric) *DenseF32 {
-	switch t := m.(type) {
-	case *DenseF32:
+	if t, ok := m.(*DenseF32); ok {
 		return t
+	}
+	countConstruction()
+	switch t := m.(type) {
 	case *Points:
 		return denseF32FromPoints(t.pts, t.norm)
 	case *Cosine:

@@ -233,6 +233,7 @@ var _ Metric = Func{}
 // repeated lookups (e.g. the O(n²) edge scan of Greedy A) hit contiguous
 // memory rather than recomputing vector norms.
 func Materialize(m Metric) *Dense {
+	countConstruction()
 	n := m.Len()
 	d := NewDense(n)
 	d.Fill(func(i, j int) float64 { return m.Distance(i, j) })

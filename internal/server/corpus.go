@@ -1,0 +1,265 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"maxsumdiv/internal/core"
+	"maxsumdiv/internal/engine"
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/setfunc"
+)
+
+// corpus is the server's long-lived query index: the union of every
+// shard's live items behind one growable distance backend, one modular
+// weight function, and one solver-scratch cache. It is the serving-side
+// analogue of the public maxsumdiv.Index, with the immutability constraint
+// replaced by incremental row maintenance: an upsert appends (or rewrites)
+// one O(n) distance row, a delete swap-removes one, and the query path
+// solves directly on the shared backend — zero distance-backend
+// constructions per query, however many queries run and whatever λ, k, or
+// algorithm each one carries.
+//
+// Shard flushes write it through the apply hook (mutations are serialized
+// by mu); queries hold the read lock for the duration of the solve, so
+// they never observe a half-applied batch.
+//
+// Two deliberate trades versus the old per-query-snapshot design, both
+// bounded by configuration and recorded as ROADMAP items:
+//
+//   - A query holds the read lock while it solves, so one slow query can
+//     queue a writer and, behind it, later readers. Config.QueryTimeout
+//     (cmd/serve -query-timeout, default 30s) bounds the hold; an
+//     epoch/snapshot read path would remove it entirely.
+//   - The backend is an eagerly materialized float64 triangular matrix:
+//     4n² bytes resident and one O(n·dim) row per insert. That is what
+//     makes queries O(1)-construction and sub-millisecond, but very large
+//     corpora (n ≳ 50k ⇒ ~10 GB) need the planned growable float32 or
+//     lazy row representation before this server is the right fit.
+type corpus struct {
+	mu      sync.RWMutex
+	ids     map[string]int // live id → corpus index
+	items   []item
+	dist    *metric.Dense    // growable symmetric distance backend
+	weights *setfunc.Modular // index-aligned item weights
+	scratch *core.StateCache // solver scratch reused across queries
+	pool    *engine.Pool
+
+	queries atomic.Uint64 // solves served
+}
+
+func newCorpus(pool *engine.Pool) *corpus {
+	w, _ := setfunc.NewModular(nil)
+	return &corpus{
+		ids:     make(map[string]int),
+		dist:    metric.NewDense(0),
+		weights: w,
+		scratch: core.NewStateCache(),
+		pool:    pool,
+	}
+}
+
+// apply folds one flushed shard mutation into the corpus. It runs under
+// the shard's lock (the flush path), so it takes the corpus write lock
+// itself; lock order is always shard.mu → corpus.mu.
+func (c *corpus) apply(o op) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch o.kind {
+	case opUpsert:
+		return c.upsertLocked(o)
+	case opDelete:
+		c.deleteLocked(o.id)
+		return nil
+	default:
+		return fmt.Errorf("server: corpus: unknown op kind %d", o.kind)
+	}
+}
+
+func (c *corpus) upsertLocked(o op) error {
+	if idx, live := c.ids[o.id]; live {
+		if vectorsEqual(c.items[idx].vector, o.vector) {
+			// Weight-only update: one O(1) write, no distance churn.
+			c.weights.SetWeight(idx, o.weight)
+			c.items[idx].weight = o.weight
+			return nil
+		}
+		// Vector change: every distance to this item is stale; reinsert.
+		c.deleteLocked(o.id)
+	}
+	dists := make([]float64, len(c.items))
+	for j := range c.items {
+		dists[j] = metric.CosineDist(o.vector, c.items[j].vector)
+	}
+	idx, err := c.dist.AppendRow(dists)
+	if err != nil {
+		return fmt.Errorf("server: corpus insert %q: %w", o.id, err)
+	}
+	c.weights.Append(o.weight)
+	c.items = append(c.items, item{id: o.id, weight: o.weight, vector: o.vector})
+	c.ids[o.id] = idx
+	return nil
+}
+
+func (c *corpus) deleteLocked(id string) {
+	idx, live := c.ids[id]
+	if !live {
+		return
+	}
+	if err := c.dist.RemoveSwap(idx); err != nil {
+		return // index came from the ids map; unreachable
+	}
+	c.weights.RemoveSwap(idx)
+	last := len(c.items) - 1
+	if idx != last {
+		c.items[idx] = c.items[last]
+		c.ids[c.items[idx].id] = idx
+	}
+	c.items = c.items[:last]
+	delete(c.ids, id)
+}
+
+// size returns the live item count.
+func (c *corpus) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.items)
+}
+
+// queriesServed returns how many solves the corpus has answered.
+func (c *corpus) queriesServed() uint64 { return c.queries.Load() }
+
+// indexOf maps a live item id to its corpus index (under the read lock the
+// caller already holds via query paths; exposed for the maintained scope).
+func (c *corpus) indexOfLocked(id string) (int, bool) {
+	idx, ok := c.ids[id]
+	return idx, ok
+}
+
+// solveSpec carries the per-query parameters down to the corpus.
+type solveSpec struct {
+	algo     core.Algo
+	k        int
+	lambda   float64
+	parallel *engine.Pool // nil = corpus pool
+	// exactLimit caps the candidate-pool size core.AlgoExact accepts
+	// (0 = unlimited). Enforced inside the solve, under the same lock the
+	// solve runs with, so a concurrent mutation cannot grow the pool
+	// between the check and the enumeration.
+	exactLimit int
+}
+
+// checkExactLimit rejects an over-limit exact solve; n is the pool size
+// observed under the caller's lock.
+func (spec solveSpec) checkExactLimit(n int) error {
+	if spec.algo == core.AlgoExact && spec.exactLimit > 0 && n > spec.exactLimit {
+		return badRequestError{exactLimitError(n)}
+	}
+	return nil
+}
+
+// solveResult is one query's outcome plus the items it selected.
+type solveResult struct {
+	sol   *core.Solution
+	items []item // selected items, aligned with sol.Members order
+	n     int    // candidate-pool size the solve ran over
+}
+
+// solveFull answers a query over every live item, straight on the
+// long-lived backend: the only per-query constructions are the O(1)
+// objective struct and the pooled solver state.
+func (c *corpus) solveFull(ctx context.Context, spec solveSpec) (*solveResult, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.bumpQueries()
+	n := len(c.items)
+	if n == 0 || spec.k == 0 {
+		return &solveResult{n: n}, nil
+	}
+	if err := spec.checkExactLimit(n); err != nil {
+		return nil, err
+	}
+	k := min(spec.k, n)
+	obj, err := core.NewObjectiveCached(c.weights, spec.lambda, c.dist, c.scratch)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.Solve(obj, core.Spec{
+		Algo: spec.algo,
+		K:    k,
+		Ctx:  ctx,
+		Pool: c.poolFor(spec),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &solveResult{sol: sol, n: n, items: make([]item, len(sol.Members))}
+	for i, m := range sol.Members {
+		out.items[i] = c.items[m]
+	}
+	return out, nil
+}
+
+// solveSubset answers a query over the given live item ids (the maintained
+// scope's constant-size candidate pool). The subset view reads the shared
+// backend through an index remap — still no backend construction; the only
+// per-query state is O(|subset|).
+func (c *corpus) solveSubset(ctx context.Context, ids []string, spec solveSpec) (*solveResult, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.bumpQueries()
+	subset := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if idx, ok := c.indexOfLocked(id); ok {
+			subset = append(subset, idx)
+		}
+	}
+	m := len(subset)
+	if m == 0 || spec.k == 0 {
+		return &solveResult{n: m}, nil
+	}
+	if err := spec.checkExactLimit(m); err != nil {
+		return nil, err
+	}
+	k := min(spec.k, m)
+	weights := make([]float64, m)
+	for i, idx := range subset {
+		weights[i] = c.weights.Weight(idx)
+	}
+	mod, err := setfunc.NewModular(weights)
+	if err != nil {
+		return nil, err
+	}
+	view := metric.Func{N: m, F: func(i, j int) float64 {
+		return c.dist.Distance(subset[i], subset[j])
+	}}
+	obj, err := core.NewObjective(mod, spec.lambda, view)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.Solve(obj, core.Spec{
+		Algo: spec.algo,
+		K:    k,
+		Ctx:  ctx,
+		Pool: c.poolFor(spec),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &solveResult{sol: sol, n: m, items: make([]item, len(sol.Members))}
+	for i, mi := range sol.Members {
+		out.items[i] = c.items[subset[mi]]
+	}
+	return out, nil
+}
+
+func (c *corpus) poolFor(spec solveSpec) *engine.Pool {
+	if spec.parallel != nil {
+		return spec.parallel
+	}
+	return c.pool
+}
+
+func (c *corpus) bumpQueries() { c.queries.Add(1) }

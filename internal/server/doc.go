@@ -18,13 +18,19 @@
 //     state rebuild — when a query arrives or the queue hits its flush
 //     threshold.
 //
-// Queries snapshot the live items across shards (fanning the per-shard
-// flush out over the engine worker pool), build a problem on the lazily
-// memoized striped distance cache ([maxsumdiv.WithLazyDistances]), and run
-// the requested solver on the parallel engine. The "maintained" scope
-// instead solves over just the union of the shards' maintained selections
-// — a constant-size candidate pool that trades a little quality for
-// latency independent of the corpus size.
+// Every flushed mutation is additionally written through to one
+// long-lived corpus: the union of all shards' live items behind a single
+// growable distance backend (one O(n) row append per insert, one
+// swap-removal per delete) with index-aligned weights and pooled solver
+// scratch. Queries flush the shards (fanned out over the engine worker
+// pool) and then solve directly on that shared backend with the
+// requested algorithm and per-request λ — the query path constructs no
+// problem, no distance backend, and no worker pool, whatever parameters
+// each request carries, and the request context cancels a solve
+// mid-scan. The "maintained" scope instead solves over just the union of
+// the shards' maintained selections — a constant-size candidate pool
+// that trades a little quality for latency independent of the corpus
+// size — through a subset view of the same backend.
 //
 // # Endpoints
 //

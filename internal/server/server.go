@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,9 +14,8 @@ import (
 	"sync/atomic"
 	"time"
 
-	"maxsumdiv"
+	"maxsumdiv/internal/core"
 	"maxsumdiv/internal/engine"
-	"maxsumdiv/internal/metric"
 )
 
 // maxBodyBytes bounds request bodies (a 64k-dim float vector is ~1.5 MB of
@@ -25,6 +25,11 @@ const maxBodyBytes = 8 << 20
 // exactQueryLimit caps the corpus size the exponential exact solver will
 // accept over HTTP; larger requests must shrink the scope first.
 const exactQueryLimit = 40
+
+// exactLimitError explains an over-limit exact request.
+func exactLimitError(n int) error {
+	return fmt.Errorf("algorithm exact is limited to %d items (have %d); use another algorithm or shrink the candidate pool", exactQueryLimit, n)
+}
 
 // badRequestError marks a Diversify failure as the client's fault, so the
 // handler can answer 400 instead of 500.
@@ -51,13 +56,17 @@ type Config struct {
 	// FlushThreshold caps a shard's pending-mutation queue; reaching it
 	// triggers an inline batch apply (default 256).
 	FlushThreshold int
-	// Float32 switches query solves onto the blocked flat-row float32
-	// distance backend (maxsumdiv.WithFloat32) instead of the lazy striped
-	// float64 cache. The dense build touches every pair once up front, so
-	// it wins for pair-scanning algorithms (greedy-improved, gs,
-	// localsearch from scratch) and keeps the solve loop zero-allocation;
-	// the default lazy cache stays the better trade for one-shot small-k
-	// greedy over large corpora.
+	// QueryTimeout bounds each /diversify solve (0 = unlimited): the
+	// handler derives a deadline-carrying context and the solvers honor it
+	// mid-scan, so a runaway query (exact on a large pool, a client that
+	// hung up) stops burning workers promptly.
+	QueryTimeout time.Duration
+	// Float32 is accepted for configuration compatibility but no longer
+	// selects a backend.
+	//
+	// Deprecated: the server now solves every query on one long-lived
+	// incrementally maintained distance backend instead of building a
+	// per-query backend, so there is no per-query representation to choose.
 	Float32 bool
 }
 
@@ -75,22 +84,21 @@ func (c Config) withDefaults() Config {
 }
 
 // Server is the sharded in-memory diversification service. Create with New,
-// expose via Handler.
+// expose via Handler. Mutations land in per-shard queues (with the paper's
+// Section 6 dynamic maintenance per shard); flushed mutations are written
+// through to one long-lived corpus whose distance backend grows and shrinks
+// row by row, and every query solves directly on it — the query path
+// constructs no distance backend, whatever λ, k, or algorithm it carries.
 type Server struct {
 	cfg    Config
 	shards []*shard
+	corpus *corpus
 	pool   *engine.Pool
 	seed   maphash.Seed
 	start  time.Time
 
 	queryLat    latencyRecorder
 	mutationLat latencyRecorder
-
-	cacheMu      sync.Mutex
-	cacheQueries int64
-	cacheStored  int64
-	cacheComp    int64
-	cacheLookups int64
 
 	// dim is the corpus vector dimension, fixed by the first item carrying
 	// a non-empty vector (0 = not yet fixed). Enforced across requests so
@@ -108,15 +116,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Lambda < 0 || math.IsNaN(cfg.Lambda) || math.IsInf(cfg.Lambda, 0) {
 		return nil, fmt.Errorf("server: lambda = %g, want finite ≥ 0", cfg.Lambda)
 	}
+	pool := engine.New(cfg.Parallelism)
 	s := &Server{
 		cfg:    cfg,
 		shards: make([]*shard, cfg.Shards),
-		pool:   engine.New(cfg.Parallelism),
+		corpus: newCorpus(pool),
+		pool:   pool,
 		seed:   maphash.MakeSeed(),
 		start:  time.Now(),
 	}
 	for i := range s.shards {
-		sh, err := newShard(cfg.Lambda, cfg.MaintainK, cfg.Parallelism)
+		sh, err := newShard(cfg.Lambda, cfg.MaintainK, cfg.Parallelism, s.corpus.apply)
 		if err != nil {
 			return nil, err
 		}
@@ -281,21 +291,21 @@ func DecodeDiversify(r io.Reader) (DiversifyRequest, error) {
 	return req, nil
 }
 
-// algorithmOf maps the wire name onto the public API's Algorithm.
-func algorithmOf(name string) (maxsumdiv.Algorithm, error) {
+// algorithmOf maps the wire name onto the core dispatch enum.
+func algorithmOf(name string) (core.Algo, error) {
 	switch name {
 	case "", "greedy":
-		return maxsumdiv.AlgorithmGreedy, nil
+		return core.AlgoGreedy, nil
 	case "greedy-improved":
-		return maxsumdiv.AlgorithmGreedyImproved, nil
+		return core.AlgoGreedyImproved, nil
 	case "gs":
-		return maxsumdiv.AlgorithmGollapudiSharma, nil
+		return core.AlgoGollapudiSharma, nil
 	case "oblivious":
-		return maxsumdiv.AlgorithmOblivious, nil
+		return core.AlgoOblivious, nil
 	case "localsearch":
-		return maxsumdiv.AlgorithmLocalSearch, nil
+		return core.AlgoLocalSearch, nil
 	case "exact":
-		return maxsumdiv.AlgorithmExact, nil
+		return core.AlgoExact, nil
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q", name)
 	}
@@ -390,12 +400,25 @@ func (s *Server) handleDiversify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.Diversify(req)
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	resp, err := s.Diversify(ctx, req)
 	if err != nil {
 		code := http.StatusInternalServerError
 		var bad badRequestError
-		if errors.As(err, &bad) {
+		switch {
+		case errors.As(err, &bad):
 			code = http.StatusBadRequest
+		case errors.Is(err, context.DeadlineExceeded):
+			code = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			// The client hung up; any status is written to a dead
+			// connection, but pick one that won't alarm middleboxes.
+			code = http.StatusServiceUnavailable
 		}
 		httpError(w, code, err)
 		return
@@ -404,111 +427,76 @@ func (s *Server) handleDiversify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// Diversify answers a query: flush + snapshot every shard (fanned out over
-// the engine pool), build a problem over the lazily memoized distance cache,
-// and solve with the requested algorithm on the parallel engine.
-func (s *Server) Diversify(req DiversifyRequest) (*DiversifyResponse, error) {
+// Diversify answers a query: flush every shard (fanned out over the engine
+// pool, each flush writing through to the long-lived corpus), then solve
+// directly on the corpus's shared distance backend with the requested
+// algorithm and per-query λ. Nothing is constructed on the query path —
+// no problem, no distance backend, no worker pool — and ctx cancels the
+// solve mid-scan.
+func (s *Server) Diversify(ctx context.Context, req DiversifyRequest) (*DiversifyResponse, error) {
 	start := time.Now()
 	algo, err := algorithmOf(req.Algorithm)
 	if err != nil {
-		return nil, err
+		return nil, badRequestError{err}
 	}
 	maintained := req.Scope == "maintained"
-	snaps := make([][]item, len(s.shards))
 	errs := make([]error, len(s.shards))
+	maintainedIDs := make([][]string, len(s.shards))
 	s.pool.Do(len(s.shards), func(i int) {
-		snaps[i], errs[i] = s.shards[i].snapshot(maintained)
+		if maintained {
+			maintainedIDs[i], errs[i] = s.shards[i].maintainedIDs()
+		} else {
+			_, errs[i] = s.shards[i].flush()
+		}
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	var items []maxsumdiv.Item
-	for _, snap := range snaps {
-		for _, it := range snap {
-			items = append(items, maxsumdiv.Item{ID: it.id, Weight: it.weight, Vector: it.vector})
-		}
-	}
+
 	scope := req.Scope
 	if scope == "" {
 		scope = "full"
 	}
 	resp := &DiversifyResponse{
 		Items:     []SelectedItem{},
-		N:         len(items),
 		Algorithm: req.Algorithm,
 		Scope:     scope,
 	}
 	if resp.Algorithm == "" {
 		resp.Algorithm = "greedy"
 	}
-	if len(items) == 0 || req.K == 0 {
-		resp.ElapsedMS = ms(time.Since(start))
-		return resp, nil
-	}
-	if algo == maxsumdiv.AlgorithmExact && len(items) > exactQueryLimit {
-		return nil, badRequestError{fmt.Errorf("algorithm exact is limited to %d items (have %d); use another algorithm or shrink the candidate pool", exactQueryLimit, len(items))}
-	}
+
 	lambda := s.cfg.Lambda
 	if req.Lambda != nil {
 		lambda = *req.Lambda
 	}
-	vecs := make([][]float64, len(items))
-	allVectors := true
-	for i, it := range items {
-		vecs[i] = it.Vector
-		if len(it.Vector) == 0 {
-			allVectors = false
+	// The exact-size cap is enforced inside the corpus solve, under the
+	// same lock the enumeration runs with, so a concurrent flush cannot
+	// grow the pool between check and solve.
+	spec := solveSpec{algo: algo, k: req.K, lambda: lambda, exactLimit: exactQueryLimit}
+	var res *solveResult
+	if maintained {
+		var pool []string
+		for _, ids := range maintainedIDs {
+			pool = append(pool, ids...)
 		}
+		res, err = s.corpus.solveSubset(ctx, pool, spec)
+	} else {
+		res, err = s.corpus.solveFull(ctx, spec)
 	}
-	popts := []maxsumdiv.Option{maxsumdiv.WithLambda(lambda)}
-	switch {
-	case s.cfg.Float32 && allVectors:
-		// Every item carries a (dim-consistent — checkDims) vector, so the
-		// blocked flat-row cosine kernel builds the matrix: norms computed
-		// once, dot products streamed tile by tile. Same distances as
-		// CosineDist to float32 rounding.
-		popts = append(popts, maxsumdiv.WithFloat32(), maxsumdiv.WithCosineDistance())
-	case s.cfg.Float32:
-		// Mixed or weight-only corpus: the generic pairwise fill.
-		// CosineDist handles empty vectors (distance 1), so weight-only
-		// corpora degrade to pure max-weight + uniform dispersion.
-		popts = append(popts, maxsumdiv.WithFloat32(),
-			maxsumdiv.WithDistanceFunc(func(i, j int) float64 {
-				return metric.CosineDist(vecs[i], vecs[j])
-			}))
-	default:
-		popts = append(popts, maxsumdiv.WithLazyDistances(),
-			maxsumdiv.WithDistanceFunc(func(i, j int) float64 {
-				return metric.CosineDist(vecs[i], vecs[j])
-			}))
-	}
-	problem, err := maxsumdiv.NewProblem(items, popts...)
 	if err != nil {
 		return nil, err
 	}
-	sol, err := problem.Solve(req.K,
-		maxsumdiv.WithAlgorithm(algo),
-		maxsumdiv.WithClampK(),
-		maxsumdiv.WithParallelism(s.cfg.Parallelism),
-	)
-	if err != nil {
-		return nil, err
+	resp.N = res.n
+	if res.sol != nil {
+		resp.Items = make([]SelectedItem, len(res.items))
+		for i, it := range res.items {
+			resp.Items[i] = SelectedItem{ID: it.id, Weight: it.weight}
+		}
+		resp.Value, resp.Quality, resp.Dispersion = res.sol.Value, res.sol.FValue, res.sol.Dispersion
 	}
-	if stored, computed, lookups, ok := problem.DistanceCacheStats(); ok {
-		s.cacheMu.Lock()
-		s.cacheQueries++
-		s.cacheStored += int64(stored)
-		s.cacheComp += computed
-		s.cacheLookups += lookups
-		s.cacheMu.Unlock()
-	}
-	resp.Items = make([]SelectedItem, len(sol.Indices))
-	for i, idx := range sol.Indices {
-		resp.Items[i] = SelectedItem{ID: items[idx].ID, Weight: items[idx].Weight}
-	}
-	resp.Value, resp.Quality, resp.Dispersion = sol.Value, sol.Quality, sol.Dispersion
 	resp.ElapsedMS = ms(time.Since(start))
 	return resp, nil
 }
@@ -561,16 +549,9 @@ func (s *Server) Stats() Stats {
 		st.Shards[i] = row
 	}
 	st.Items = s.itemCount()
-	s.cacheMu.Lock()
-	st.Cache = CacheStats{
-		Queries:  s.cacheQueries,
-		Stored:   s.cacheStored,
-		Computed: s.cacheComp,
-		Lookups:  s.cacheLookups,
-	}
-	s.cacheMu.Unlock()
-	if st.Cache.Lookups > 0 {
-		st.Cache.HitRate = 1 - float64(st.Cache.Computed)/float64(st.Cache.Lookups)
+	st.Corpus = CorpusStats{
+		Items:   s.corpus.size(),
+		Queries: s.corpus.queriesServed(),
 	}
 	return st
 }

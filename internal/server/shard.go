@@ -38,11 +38,20 @@ type item struct {
 // Session maintaining a diversified selection over them, and the pending
 // mutation queue. All fields are guarded by mu; handlers hold it only for
 // O(1) queue appends, while flush holds it for the batched apply.
+//
+// A flushed mutation is also written through onApply to the server's
+// long-lived corpus, so the query path never reconstructs anything: the
+// shard keeps the paper's per-shard dynamic maintenance, the corpus keeps
+// the globally queryable backend. Lock order is shard.mu → corpus.mu.
 type shard struct {
 	mu    sync.Mutex
 	ids   map[string]int // live id → index into items
 	items []item
 	sess  *dynamic.Session
+
+	// onApply, when non-nil, receives every successfully applied mutation
+	// during a flush (called under mu).
+	onApply func(op) error
 
 	pending    []op
 	pendingIdx map[string]int // id → index into pending (coalescing)
@@ -55,7 +64,8 @@ type shard struct {
 }
 
 // newShard builds an empty shard maintaining a selection of target size p.
-func newShard(lambda float64, p, parallelism int) (*shard, error) {
+// onApply (optional) write-through hook for flushed mutations.
+func newShard(lambda float64, p, parallelism int, onApply func(op) error) (*shard, error) {
 	inst := &dataset.Instance{Weights: nil, Dist: metric.NewDense(0)}
 	sess, err := dynamic.NewSession(inst, lambda, nil)
 	if err != nil {
@@ -69,6 +79,7 @@ func newShard(lambda float64, p, parallelism int) (*shard, error) {
 		ids:        make(map[string]int),
 		pendingIdx: make(map[string]int),
 		sess:       sess,
+		onApply:    onApply,
 	}, nil
 }
 
@@ -144,6 +155,11 @@ func (sh *shard) flushLocked() (swaps int, err error) {
 			}
 		case opDelete:
 			sh.applyDelete(o.id)
+		}
+		if sh.onApply != nil {
+			if err := sh.onApply(o); err != nil {
+				return swaps, err
+			}
 		}
 	}
 	sh.pending = sh.pending[:0]
@@ -225,25 +241,20 @@ func (sh *shard) applyDelete(id string) {
 	sh.deletes++
 }
 
-// snapshot flushes pending mutations and returns copies of the live items.
-// With maintainedOnly, only the session's maintained selection is returned —
-// the constant-size candidate pool for low-latency queries.
-func (sh *shard) snapshot(maintainedOnly bool) ([]item, error) {
+// maintainedIDs flushes pending mutations and returns the ids of the
+// session's maintained selection — the constant-size candidate pool for
+// low-latency queries, resolved against the corpus by the caller.
+func (sh *shard) maintainedIDs() ([]string, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, err := sh.flushLocked(); err != nil {
 		return nil, err
 	}
-	if maintainedOnly {
-		members := sh.sess.Members()
-		out := make([]item, len(members))
-		for i, m := range members {
-			out[i] = sh.items[m]
-		}
-		return out, nil
+	members := sh.sess.Members()
+	out := make([]string, len(members))
+	for i, m := range members {
+		out[i] = sh.items[m].id
 	}
-	out := make([]item, len(sh.items))
-	copy(out, sh.items)
 	return out, nil
 }
 

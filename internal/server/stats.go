@@ -91,15 +91,13 @@ type ShardStats struct {
 	Swaps           uint64  `json:"swaps"`
 }
 
-// CacheStats aggregates the striped distance cache's counters across all
-// queries served so far (only queries large enough to engage the lazy cache
-// contribute; small snapshots materialize a dense matrix instead).
-type CacheStats struct {
-	Queries  int64   `json:"queries"`
-	Stored   int64   `json:"stored"`
-	Computed int64   `json:"computed"`
-	Lookups  int64   `json:"lookups"`
-	HitRate  float64 `json:"hit_rate"`
+// CorpusStats describes the long-lived query index: the flushed item count
+// its backend currently covers and the number of solves it has answered
+// since startup — all on the one incrementally maintained backend (the
+// query path constructs none).
+type CorpusStats struct {
+	Items   int    `json:"items"`
+	Queries uint64 `json:"queries"`
 }
 
 // Stats is the /stats response body.
@@ -107,7 +105,7 @@ type Stats struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
 	Items         int          `json:"items"`
 	Shards        []ShardStats `json:"shards"`
-	Cache         CacheStats   `json:"cache"`
+	Corpus        CorpusStats  `json:"corpus"`
 	Query         LatencyStats `json:"query_latency"`
 	Mutation      LatencyStats `json:"mutation_latency"`
 }

@@ -87,6 +87,33 @@ func (m *Modular) SetWeight(u int, w float64) {
 // unless you own the Modular).
 func (m *Modular) Weights() []float64 { return m.w }
 
+// Append grows the ground set by one element of weight w, returning its
+// index — the insert half of a fully dynamic modular quality (the serving
+// corpus grows this way). Evaluators minted before the append only cover
+// the old ground set; mint fresh ones after a batch of mutations. Negative
+// or non-finite weights panic, mirroring SetWeight.
+func (m *Modular) Append(w float64) int {
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("setfunc: Append(%g): invalid weight", w))
+	}
+	m.w = append(m.w, w)
+	return len(m.w) - 1
+}
+
+// RemoveSwap deletes element u by moving the last element into its slot and
+// shrinking the ground set by one — the same order-changing delete as
+// metric.Dense.RemoveSwap, so a corpus can keep its weights and distances
+// index-aligned. Callers holding external references to element n−1 must
+// remap them to u.
+func (m *Modular) RemoveSwap(u int) {
+	last := len(m.w) - 1
+	if u < 0 || u > last {
+		panic(fmt.Sprintf("setfunc: RemoveSwap(%d): out of range [0,%d]", u, last))
+	}
+	m.w[u] = m.w[last]
+	m.w = m.w[:last]
+}
+
 // Clone returns a deep copy.
 func (m *Modular) Clone() *Modular {
 	cp := make([]float64, len(m.w))
@@ -232,14 +259,17 @@ func (e *genericEval) Reset() {
 }
 
 // AsSource upgrades a plain Function to a Source using the generic
-// evaluator; if f already implements Source it is returned unchanged.
+// evaluator; if f already implements Source it is returned unchanged. The
+// wrapper is a pointer so solver-scratch caches can recognize the same
+// source across solves by identity (see core.StateCache) even when the
+// wrapped Function itself is not comparable.
 func AsSource(f Function) Source {
 	if s, ok := f.(Source); ok {
 		return s
 	}
-	return genericSource{f}
+	return &genericSource{f}
 }
 
 type genericSource struct{ Function }
 
-func (g genericSource) NewEvaluator() Evaluator { return NewGenericEvaluator(g.Function) }
+func (g *genericSource) NewEvaluator() Evaluator { return NewGenericEvaluator(g.Function) }

@@ -19,45 +19,82 @@
 //		{ID: "b", Weight: 0.8, Vector: []float64{0.9, 0.1}},
 //		{ID: "c", Weight: 0.5, Vector: []float64{0, 1}},
 //	}
-//	p, err := maxsumdiv.NewProblem(items, maxsumdiv.WithLambda(0.5))
+//	ix, err := maxsumdiv.NewIndex(items, maxsumdiv.WithLambda(0.5))
 //	// handle err
-//	sol, err := p.Greedy(2) // the paper's 2-approximation greedy
+//	sol, err := ix.Query(ctx, maxsumdiv.Query{K: 2})
 //	// handle err
 //	fmt.Println(sol.IDs, sol.Value)
 //
-// Algorithms: Greedy (Theorem 1), GollapudiSharma (the Greedy A baseline),
-// LocalSearch (Theorem 2, any matroid), Exact (small instances), MMR (the
-// classic heuristic the paper's greedy generalizes), and a Dynamic session
-// implementing the Section 6 oblivious update rule. Solve is the unified
-// entry point that dispatches between them.
+// The Index is the unit of reuse: it owns the immutable items, the
+// materialized (or lazily memoized) distance backend, a cached scan-worker
+// pool, and pooled solver scratch — everything whose cost should be paid
+// once, not per query. A Query carries everything that varies per request:
+// k, λ (Query.Lambda overrides the index default; 0 means pure quality),
+// the algorithm, a custom quality function, and an optional matroid
+// constraint. One Index safely serves concurrent queries with different
+// parameters, and the ctx argument cancels a solve mid-scan — pass a
+// deadline-carrying context to bound tail latency (essential for
+// AlgorithmExact).
+//
+// Algorithms: AlgorithmGreedy (Theorem 1, the default),
+// AlgorithmGollapudiSharma (the Greedy A baseline), AlgorithmLocalSearch
+// (Theorem 2, any matroid via Query.Constraint), AlgorithmExact (small
+// instances), plus the MMR baseline and a Dynamic session implementing the
+// Section 6 oblivious update rule.
+//
+// Failures carry typed sentinels (ErrNoItems, ErrKOutOfRange,
+// ErrNeedsModularQuality, …) — branch with errors.Is; cancelled queries
+// return ctx.Err() unwrapped.
+//
+// # Migrating from Problem
+//
+// Earlier releases exposed an immutable Problem whose λ and quality
+// function were fixed at construction, forcing servers to rebuild the
+// O(n²) distance backend whenever a query wanted a different trade-off.
+// Problem, NewProblem, Solve, Greedy, LocalSearch and friends still
+// compile — they are thin wrappers over an Index — but are deprecated:
+//
+//	p, _ := maxsumdiv.NewProblem(items, opts...)   →  ix, _ := maxsumdiv.NewIndex(items, opts...)
+//	p.Solve(k)                                     →  ix.Query(ctx, maxsumdiv.Query{K: k})
+//	p.Solve(k, WithAlgorithm(a), WithClampK())     →  ix.Query(ctx, maxsumdiv.Query{K: k, Algorithm: a, ClampK: true})
+//	p.Greedy(k)                                    →  ix.Query(ctx, maxsumdiv.Query{K: k, Parallelism: 1})
+//	p.LocalSearch(c, &LocalSearchOptions{...})     →  ix.Query(ctx, maxsumdiv.Query{Algorithm: AlgorithmLocalSearch, Constraint: c, ...})
+//	p.Exact(k)                                     →  ix.Query(ctx, maxsumdiv.Query{K: k, Algorithm: AlgorithmExact})
+//	maxsumdiv.WithLambda(λ) (per problem)          →  Query.Lambda (per query; WithLambda now sets the index default)
+//	maxsumdiv.WithQuality(f) (per problem)         →  Query.Quality (per query; WithQuality now sets the index default)
+//
+// Migrate call sites that issue more than one solve over the same items:
+// the wrappers build a full Index per NewProblem, so a per-query NewProblem
+// loop pays the backend construction every time, while one NewIndex
+// amortizes it across the stream.
 //
 // # Scaling
 //
-// Solve shards every argmax-over-candidates scan across a bounded worker
-// pool (WithParallelism; GOMAXPROCS workers by default) with solutions
-// byte-identical to serial runs, WithLazyDistances replaces the O(n²)
-// dense distance matrix with a concurrency-safe memoizing cache for large
-// item sets, and WithFloat32 swaps in a blocked flat-row float32 backend
-// whose steady-state solve loop is zero-allocation — the fast choice for
-// pair-scanning algorithms and repeated queries. LocalSearchOptions.
-// Parallelism, Dynamic.SetParallelism and WithStreamParallelism extend the
-// same engine to matroid-constrained search, dynamic maintenance, and
-// streaming. cmd/bench measures all of it into a machine-readable report
-// that CI gates against the committed baseline (see README "Performance").
+// Query shards every argmax-over-candidates scan across the index's cached
+// bounded worker pool (Query.Parallelism overrides; solutions are
+// byte-identical to serial runs at every setting), WithLazyDistances
+// replaces the O(n²) dense distance matrix with a concurrency-safe
+// memoizing cache for large item sets, and WithFloat32 swaps in a blocked
+// flat-row float32 backend whose steady-state solve loop is
+// zero-allocation — the fast choice for pair-scanning algorithms and
+// repeated queries. Dynamic.SetParallelism and WithStreamParallelism extend
+// the same engine to dynamic maintenance and streaming. cmd/bench measures
+// all of it into a machine-readable report that CI gates against the
+// committed baseline (see README "Performance").
 //
 // The ground set is fully dynamic: Dynamic.Insert and Dynamic.Delete grow
 // and shrink the live item set while the maintained selection keeps
 // absorbing oblivious updates. cmd/serve exposes the whole library as a
-// sharded in-memory HTTP service (see internal/server) and cmd/loadgen
-// drives workloads against it.
+// sharded in-memory HTTP service (see internal/server) that holds one
+// long-lived corpus index per process — zero distance-backend
+// constructions on the query path — and cmd/loadgen drives workloads
+// against it.
 package maxsumdiv
 
 import (
 	"fmt"
 
-	"maxsumdiv/internal/core"
 	"maxsumdiv/internal/metric"
-	"maxsumdiv/internal/setfunc"
 )
 
 // Item is one candidate element: an identifier, a non-negative quality
@@ -77,28 +114,33 @@ type SetFunction interface {
 	Value(S []int) float64
 }
 
-// Problem is an immutable max-sum diversification instance over a fixed item
-// list.
+// Problem is an immutable max-sum diversification instance over a fixed
+// item list.
+//
+// Deprecated: Problem bakes λ and the quality function into the instance,
+// so serving layers had to rebuild the distance backend per query. Use
+// NewIndex and Index.Query, which make them query-time parameters over a
+// shared backend; Problem remains as a thin wrapper (every method delegates
+// to an Index it builds at construction). See "Migrating from Problem" in
+// the package documentation.
 type Problem struct {
-	items []Item
-	obj   *core.Objective
-	// modular is non-nil when the quality function is the items' weights —
-	// required by GollapudiSharma and Dynamic.
-	modular *setfunc.Modular
+	ix *Index
 }
 
-// Option configures NewProblem.
+// Option configures NewIndex (and, through the deprecated wrapper,
+// NewProblem).
 type Option func(*problemCfg)
 
 type problemCfg struct {
-	lambda   float64
-	distance distanceChoice
-	matrix   [][]float64
-	fn       func(i, j int) float64
-	quality  SetFunction
-	validate bool
-	lazy     bool
-	float32  bool
+	lambda      float64
+	distance    distanceChoice
+	matrix      [][]float64
+	fn          func(i, j int) float64
+	quality     SetFunction
+	validate    bool
+	lazy        bool
+	float32     bool
+	parallelism int
 }
 
 type distanceChoice int
@@ -113,7 +155,8 @@ const (
 	distFunc
 )
 
-// WithLambda sets the quality/diversity trade-off λ ≥ 0 (default 1).
+// WithLambda sets the index-default quality/diversity trade-off λ ≥ 0
+// (default 1). Queries override it per call via Query.Lambda.
 func WithLambda(lambda float64) Option {
 	return func(c *problemCfg) { c.lambda = lambda }
 }
@@ -160,19 +203,26 @@ func WithDistanceFunc(f func(i, j int) float64) Option {
 	}
 }
 
-// WithQuality replaces the default modular (weight-sum) quality with a
-// custom set function; pair it with Greedy, LocalSearch or Exact. The
-// guarantees of Theorems 1–2 require f to be normalized monotone
-// submodular. GollapudiSharma and Dynamic require the default modular
-// quality and reject problems built with this option.
+// WithQuality sets the index-default quality function, replacing the
+// modular (weight-sum) default; queries override it per call via
+// Query.Quality. The guarantees of Theorems 1–2 require f to be normalized
+// monotone submodular. GollapudiSharma and Dynamic require the modular
+// default and reject indexes built with this option.
 //
-// Solve shards its scans across worker goroutines by default, and each
+// Query shards its scans across worker goroutines by default, and each
 // worker calls f.Value concurrently — f must therefore be safe for
 // concurrent calls (a pure function of S is; one that memoizes into an
-// unsynchronized map is not). Pass WithParallelism(1) to keep a stateful f
-// on a single goroutine.
+// unsynchronized map is not). Set Query.Parallelism to 1 to keep a stateful
+// f on a single goroutine.
 func WithQuality(f SetFunction) Option {
 	return func(c *problemCfg) { c.quality = f }
+}
+
+// WithDefaultParallelism sets how many scan workers the index's cached pool
+// runs: 1 means serial queries by default, k ≤ 0 (the default) selects
+// GOMAXPROCS. Query.Parallelism overrides per call.
+func WithDefaultParallelism(k int) Option {
+	return func(c *problemCfg) { c.parallelism = k }
 }
 
 // WithLazyDistances skips materializing the configured distance into a
@@ -201,12 +251,12 @@ func WithLazyDistances() Option {
 // Incompatible with WithLazyDistances (eager full matrix vs on-demand
 // cache — pick per workload: pair-scanning algorithms and repeated queries
 // want WithFloat32, one-shot small-k greedy on a huge corpus wants the lazy
-// cache). NewProblem rejects the combination.
+// cache). NewIndex rejects the combination with ErrBackendConflict.
 func WithFloat32() Option {
 	return func(c *problemCfg) { c.float32 = true }
 }
 
-// WithMetricValidation makes NewProblem verify the triangle inequality over
+// WithMetricValidation makes NewIndex verify the triangle inequality over
 // all triples (O(n³); intended for tests and small instances). Construction
 // fails with a descriptive error when the distance is not a metric.
 func WithMetricValidation() Option {
@@ -214,56 +264,21 @@ func WithMetricValidation() Option {
 }
 
 // NewProblem validates the items and options and builds a Problem.
+//
+// Deprecated: use NewIndex. NewProblem builds a full Index per call, so a
+// per-query NewProblem loop re-pays the O(n²) backend construction that an
+// Index amortizes across queries.
 func NewProblem(items []Item, opts ...Option) (*Problem, error) {
-	if len(items) == 0 {
-		return nil, fmt.Errorf("maxsumdiv: no items")
-	}
-	cfg := problemCfg{lambda: 1}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if cfg.lazy && cfg.float32 {
-		return nil, fmt.Errorf("maxsumdiv: WithLazyDistances and WithFloat32 are mutually exclusive; pick one backend")
-	}
-
-	dist, err := buildMetric(items, &cfg)
+	ix, err := NewIndex(items, opts...)
 	if err != nil {
 		return nil, err
 	}
-	if cfg.validate {
-		if err := metric.Validate(dist, 1e-9); err != nil {
-			return nil, fmt.Errorf("maxsumdiv: %w", err)
-		}
-	}
-
-	var f setfunc.Source
-	var modular *setfunc.Modular
-	if cfg.quality != nil {
-		f = setfunc.AsSource(adaptedQuality{fn: cfg.quality, n: len(items)})
-		if v := f.Value(nil); v != 0 {
-			return nil, fmt.Errorf("maxsumdiv: quality function is not normalized: f(∅) = %g", v)
-		}
-	} else {
-		weights := make([]float64, len(items))
-		for i, it := range items {
-			weights[i] = it.Weight
-		}
-		mod, err := setfunc.NewModular(weights)
-		if err != nil {
-			return nil, fmt.Errorf("maxsumdiv: %w", err)
-		}
-		f = mod
-		modular = mod
-	}
-
-	obj, err := core.NewObjective(f, cfg.lambda, dist)
-	if err != nil {
-		return nil, fmt.Errorf("maxsumdiv: %w", err)
-	}
-	cp := make([]Item, len(items))
-	copy(cp, items)
-	return &Problem{items: cp, obj: obj, modular: modular}, nil
+	return &Problem{ix: ix}, nil
 }
+
+// Index returns the reusable index backing this problem; new code should
+// query it directly.
+func (p *Problem) Index() *Index { return p.ix }
 
 // buildMetric materializes the configured distance into a dense matrix, or
 // wraps it in the lazy memoizing cache under WithLazyDistances.
@@ -273,7 +288,7 @@ func buildMetric(items []Item, cfg *problemCfg) (metric.Metric, error) {
 		if len(items[0].Vector) > 0 {
 			choice = distCosine
 		} else {
-			return nil, fmt.Errorf("maxsumdiv: items carry no vectors; supply WithDistanceMatrix or WithDistanceFunc")
+			return nil, fmt.Errorf("%w: supply WithDistanceMatrix or WithDistanceFunc", ErrNoVectors)
 		}
 	}
 	// prep converts a computed metric to its lookup form: a dense matrix by
@@ -295,7 +310,7 @@ func buildMetric(items []Item, cfg *problemCfg) (metric.Metric, error) {
 		vecs := make([][]float64, len(items))
 		for i, it := range items {
 			if len(it.Vector) == 0 {
-				return nil, fmt.Errorf("maxsumdiv: item %q has no vector but a vector distance was requested", it.ID)
+				return nil, fmt.Errorf("%w: item %q has no vector but a vector distance was requested", ErrNoVectors, it.ID)
 			}
 			vecs[i] = it.Vector
 		}
@@ -364,39 +379,27 @@ type adaptedQuality struct {
 	n  int
 }
 
-func (a adaptedQuality) GroundSize() int       { return a.n }
-func (a adaptedQuality) Value(S []int) float64 { return a.fn.Value(S) }
+func (a *adaptedQuality) GroundSize() int       { return a.n }
+func (a *adaptedQuality) Value(S []int) float64 { return a.fn.Value(S) }
 
 // Len returns the number of items.
-func (p *Problem) Len() int { return len(p.items) }
+func (p *Problem) Len() int { return p.ix.Len() }
 
 // Lambda returns the configured trade-off.
-func (p *Problem) Lambda() float64 { return p.obj.Lambda() }
+func (p *Problem) Lambda() float64 { return p.ix.Lambda() }
 
 // Items returns a copy of the item list.
-func (p *Problem) Items() []Item {
-	cp := make([]Item, len(p.items))
-	copy(cp, p.items)
-	return cp
-}
+func (p *Problem) Items() []Item { return p.ix.Items() }
 
 // Distance returns the (materialized) distance between items i and j.
-func (p *Problem) Distance(i, j int) float64 { return p.obj.Metric().Distance(i, j) }
+func (p *Problem) Distance(i, j int) float64 { return p.ix.Distance(i, j) }
 
 // Objective evaluates φ(S) for item indices S.
-func (p *Problem) Objective(S []int) float64 { return p.obj.Value(S) }
+func (p *Problem) Objective(S []int) float64 { return p.ix.Objective(S) }
 
 // DistanceCacheStats reports the memoizing distance backend's counters when
-// the problem was built with WithLazyDistances and the striped cache is in
-// play (ok = true): pairs stored, underlying distance evaluations, and total
-// lookups. The cache hit rate is 1 − computed/lookups. For eagerly
-// materialized problems (including small WithLazyDistances instances, which
-// Memoize promotes to a dense matrix) ok is false.
+// the problem was built with WithLazyDistances; see
+// Index.DistanceCacheStats.
 func (p *Problem) DistanceCacheStats() (stored int, computed, lookups int64, ok bool) {
-	c, isCached := p.obj.Metric().(*metric.Cached)
-	if !isCached {
-		return 0, 0, 0, false
-	}
-	stored, computed, lookups = c.Counters()
-	return stored, computed, lookups, true
+	return p.ix.DistanceCacheStats()
 }

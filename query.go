@@ -1,0 +1,183 @@
+package maxsumdiv
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"maxsumdiv/internal/core"
+	"maxsumdiv/internal/engine"
+)
+
+// Query parameterizes one solve against an Index. Everything the paper's
+// objective φ(S) = f(S) + λ·Σ d(u,v) does not fix at corpus time is a
+// query-time knob: the cardinality, the trade-off λ, the quality function,
+// the algorithm, and the matroid constraint. The zero value selects k = 0
+// (an empty selection) with the index defaults.
+type Query struct {
+	// K is how many items to select. Must lie in [0, Len()] unless ClampK
+	// is set, which truncates oversized requests to the item count (the
+	// serving-layer convention: k is client-supplied, n is whatever
+	// survived the latest churn).
+	K int
+	// Lambda overrides the index's quality/diversity trade-off for this
+	// query; nil keeps the index default. 0 is meaningful (pure quality) —
+	// use Ptr(0.0).
+	Lambda *float64
+	// Algorithm selects the solver (default AlgorithmGreedy).
+	Algorithm Algorithm
+	// Quality replaces the index's quality function for this query. It
+	// must be normalized (f(∅) = 0) and, for the guarantees, monotone
+	// submodular; it must be safe for concurrent calls unless
+	// Parallelism is 1. Algorithms that need the modular default
+	// (AlgorithmGollapudiSharma) reject queries carrying one.
+	Quality SetFunction
+	// Constraint, when non-nil, replaces the |S| ≤ K cardinality
+	// constraint with a matroid (build with Index.Cardinality,
+	// PartitionConstraint, TransversalConstraint, TruncatedConstraint, or
+	// any custom Constraint). Only AlgorithmLocalSearch (Theorem 2) and
+	// AlgorithmExact honor general matroids.
+	Constraint Constraint
+	// Init seeds AlgorithmLocalSearch with an initial selection (e.g. a
+	// previous query's Indices). Nil uses the default seeding: the greedy
+	// solution under |S| ≤ K, or the Section 5 best-pair basis under a
+	// Constraint.
+	Init []int
+	// MaxSwaps caps AlgorithmLocalSearch's applied swaps (0 = unlimited).
+	MaxSwaps int
+	// MinGain and RelEps are AlgorithmLocalSearch's improvement
+	// thresholds: the minimum absolute gain per swap, and the paper's
+	// ε-improvement rule requiring a (1+RelEps) factor.
+	MinGain, RelEps float64
+	// TimeBudget bounds AlgorithmLocalSearch's wall clock (0 = unlimited).
+	// Prefer a context deadline: it also covers the greedy and exact
+	// solvers.
+	TimeBudget time.Duration
+	// Parallelism overrides the scan-worker count for this query: 0 (the
+	// default) reuses the index's cached pool, 1 forces a serial solve,
+	// any other value selects that many workers (< 0 = GOMAXPROCS). The
+	// scan-based solvers return the identical solution at every setting;
+	// AlgorithmExact always returns an optimal set, but when the optimum
+	// is not unique its parallel search may settle a tie differently than
+	// the serial one.
+	Parallelism int
+	// ClampK treats K > Len() as K = Len() instead of ErrKOutOfRange.
+	ClampK bool
+}
+
+// Ptr returns a pointer to v — a literal-friendly way to set the optional
+// pointer fields of Query, e.g. Query{K: 10, Lambda: maxsumdiv.Ptr(0.5)}.
+func Ptr[T any](v T) *T { return &v }
+
+// Query solves one query against the index. The heavy structure — the
+// distance backend, the worker pool, the solver scratch — is reused from
+// the index, so a query's cost is the solver's scan work alone; nothing is
+// rebuilt per call, and concurrent queries with different λ, k, quality, or
+// algorithm are safe on one shared Index.
+//
+// ctx cancels the solve mid-scan: the engine polls it once per scan stride
+// and Query returns ctx.Err() (context.Canceled or
+// context.DeadlineExceeded, unwrapped). A ctx deadline is the intended
+// guard for AlgorithmExact behind a serving path.
+func (ix *Index) Query(ctx context.Context, q Query) (*Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spec := core.Spec{Ctx: ctx}
+
+	switch q.Algorithm {
+	case AlgorithmGreedy:
+		spec.Algo = core.AlgoGreedy
+	case AlgorithmGreedyImproved:
+		spec.Algo = core.AlgoGreedyImproved
+	case AlgorithmGollapudiSharma:
+		spec.Algo = core.AlgoGollapudiSharma
+	case AlgorithmOblivious:
+		spec.Algo = core.AlgoOblivious
+	case AlgorithmLocalSearch:
+		spec.Algo = core.AlgoLocalSearch
+	case AlgorithmExact:
+		spec.Algo = core.AlgoExact
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownAlgorithm, q.Algorithm)
+	}
+
+	if q.Constraint != nil {
+		if spec.Algo != core.AlgoLocalSearch && spec.Algo != core.AlgoExact {
+			return nil, ErrConstraintAlgorithm
+		}
+		if q.Constraint.GroundSize() != ix.Len() {
+			return nil, fmt.Errorf("%w: constraint covers %d, index has %d items",
+				ErrConstraintMismatch, q.Constraint.GroundSize(), ix.Len())
+		}
+		spec.Constraint = adaptConstraint(q.Constraint)
+	} else {
+		k := q.K
+		if q.ClampK && k > ix.Len() {
+			k = ix.Len()
+		}
+		if k < 0 || k > ix.Len() {
+			return nil, fmt.Errorf("%w: k = %d with %d items", ErrKOutOfRange, q.K, ix.Len())
+		}
+		spec.K = k
+	}
+
+	quality, modular := ix.quality, ix.modular
+	if q.Quality != nil {
+		quality = adaptQuality(q.Quality, ix.Len())
+		if v := quality.Value(nil); v != 0 {
+			return nil, fmt.Errorf("%w: f(∅) = %g", ErrQualityNotNormalized, v)
+		}
+		modular = nil
+	}
+	if spec.Algo.RequiresModular() && modular == nil {
+		return nil, ErrNeedsModularQuality
+	}
+
+	lambda := ix.lambda
+	if q.Lambda != nil {
+		lambda = *q.Lambda
+	}
+	obj, err := core.NewObjectiveCached(quality, lambda, ix.dist, ix.scratch)
+	if err != nil {
+		return nil, wrapLambdaErr(err)
+	}
+
+	switch q.Parallelism {
+	case 0:
+		spec.Pool = ix.pool
+	case 1:
+		spec.Pool = nil // serial
+	default:
+		spec.Pool = engine.New(q.Parallelism)
+	}
+	spec.Init = q.Init
+	spec.MaxSwaps = q.MaxSwaps
+	spec.MinGain, spec.RelEps = q.MinGain, q.RelEps
+	spec.TimeBudget = q.TimeBudget
+
+	sol, err := core.Solve(obj, spec)
+	if err != nil {
+		return nil, err
+	}
+	return ix.wrap(sol), nil
+}
+
+// wrap converts a core solution into the public form, resolving item IDs.
+func (ix *Index) wrap(sol *core.Solution) *Solution {
+	ids := make([]string, len(sol.Members))
+	for i, m := range sol.Members {
+		ids[i] = ix.items[m].ID
+	}
+	return &Solution{
+		Indices:    sol.Members,
+		IDs:        ids,
+		Value:      sol.Value,
+		Quality:    sol.FValue,
+		Dispersion: sol.Dispersion,
+		Swaps:      sol.Swaps,
+	}
+}

@@ -1,11 +1,11 @@
 package maxsumdiv
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"maxsumdiv/internal/core"
-	"maxsumdiv/internal/engine"
 	"maxsumdiv/internal/matroid"
 )
 
@@ -25,22 +25,8 @@ type Solution struct {
 	Swaps int
 }
 
-func (p *Problem) wrap(sol *core.Solution) *Solution {
-	ids := make([]string, len(sol.Members))
-	for i, m := range sol.Members {
-		ids[i] = p.items[m].ID
-	}
-	return &Solution{
-		Indices:    sol.Members,
-		IDs:        ids,
-		Value:      sol.Value,
-		Quality:    sol.FValue,
-		Dispersion: sol.Dispersion,
-		Swaps:      sol.Swaps,
-	}
-}
-
-// Algorithm selects the solver Solve dispatches to.
+// Algorithm selects the solver a Query (or the deprecated Solve) dispatches
+// to.
 type Algorithm int
 
 const (
@@ -56,13 +42,17 @@ const (
 	// guarantee).
 	AlgorithmOblivious
 	// AlgorithmLocalSearch runs the greedy, then polishes it with the
-	// Section 5 single-swap local search under |S| ≤ k (Theorem 2).
+	// Section 5 single-swap local search under |S| ≤ k (Theorem 2); with
+	// Query.Constraint it searches under the matroid instead.
 	AlgorithmLocalSearch
-	// AlgorithmExact is the branch-and-bound optimum (small instances only).
+	// AlgorithmExact is the branch-and-bound optimum (small instances only;
+	// give the query a context deadline).
 	AlgorithmExact
 )
 
-// SolveOption configures Solve.
+// SolveOption configures the deprecated Solve wrapper.
+//
+// Deprecated: set the corresponding Query fields instead.
 type SolveOption func(*solveCfg)
 
 type solveCfg struct {
@@ -75,116 +65,84 @@ type solveCfg struct {
 // shard across: 1 forces serial execution, k ≤ 0 (the default) uses
 // GOMAXPROCS. Selection rules are total orders, so every parallelism level
 // returns the identical solution.
+//
+// Deprecated: set Query.Parallelism (0 reuses the index's cached pool).
 func WithParallelism(k int) SolveOption {
 	return func(c *solveCfg) { c.parallelism = k }
 }
 
 // WithAlgorithm selects which solver Solve runs (default AlgorithmGreedy).
+//
+// Deprecated: set Query.Algorithm.
 func WithAlgorithm(a Algorithm) SolveOption {
 	return func(c *solveCfg) { c.algo = a }
 }
 
 // WithClampK makes Solve treat k > Len() as k = Len() instead of returning
-// an error, so every solve returns exactly min(k, n) items. Serving layers
-// use this: a query's k is client-supplied while n is whatever survived the
-// latest inserts and deletes.
+// an error, so every solve returns exactly min(k, n) items.
+//
+// Deprecated: set Query.ClampK.
 func WithClampK() SolveOption {
 	return func(c *solveCfg) { c.clampK = true }
 }
 
-// Solve selects up to k items with the configured algorithm, sharding the
-// argmax-over-candidates scans of the greedy, local-search, and edge-scan
-// hot paths across a bounded worker pool (GOMAXPROCS workers by default;
-// see WithParallelism). Parallel and serial runs return identical solutions.
+// Solve selects up to k items with the configured algorithm.
+//
+// Deprecated: use Index.Query, which reuses the index's cached worker pool,
+// accepts a context for cancellation, and exposes λ/quality per call. Solve
+// delegates to it with context.Background().
 func (p *Problem) Solve(k int, opts ...SolveOption) (*Solution, error) {
 	cfg := solveCfg{algo: AlgorithmGreedy}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if cfg.clampK && k > p.Len() {
-		k = p.Len()
-	}
-	var pool *engine.Pool
-	if cfg.parallelism != 1 {
-		pool = engine.New(cfg.parallelism)
-	}
-	var (
-		sol *core.Solution
-		err error
-	)
-	switch cfg.algo {
-	case AlgorithmGreedy:
-		sol, err = core.GreedyB(p.obj, k, core.WithPool(pool))
-	case AlgorithmGreedyImproved:
-		sol, err = core.GreedyB(p.obj, k, core.WithBestPairStart(), core.WithPool(pool))
-	case AlgorithmGollapudiSharma:
-		if p.modular == nil {
-			return nil, fmt.Errorf("maxsumdiv: AlgorithmGollapudiSharma requires the default modular quality")
-		}
-		sol, err = core.GreedyA(p.obj, k, core.WithPool(pool))
-	case AlgorithmOblivious:
-		sol, err = core.GreedyOblivious(p.obj, k, core.WithPool(pool))
-	case AlgorithmLocalSearch:
-		var uni matroid.Matroid
-		uni, err = matroid.NewUniform(p.Len(), k)
-		if err != nil {
-			return nil, fmt.Errorf("maxsumdiv: %w", err)
-		}
-		var init *core.Solution
-		init, err = core.GreedyB(p.obj, k, core.WithPool(pool))
-		if err != nil {
-			return nil, err
-		}
-		sol, err = core.LocalSearch(p.obj, uni, &core.LSOptions{Init: init.Members, Pool: pool})
-	case AlgorithmExact:
-		sol, err = core.Exact(p.obj, k, &core.ExactOptions{Parallel: pool.Workers() > 1})
+	q := Query{K: k, Algorithm: cfg.algo, ClampK: cfg.clampK}
+	// Solve's parallelism convention: 1 = serial, anything else (including
+	// the 0 default) = a GOMAXPROCS-bounded pool. Query's 0 reuses the
+	// index pool, which is exactly that unless WithDefaultParallelism
+	// narrowed it.
+	switch cfg.parallelism {
+	case 0:
+		q.Parallelism = 0
+	case 1:
+		q.Parallelism = 1
 	default:
-		return nil, fmt.Errorf("maxsumdiv: unknown algorithm %d", cfg.algo)
+		q.Parallelism = cfg.parallelism
 	}
-	if err != nil {
-		return nil, err
-	}
-	return p.wrap(sol), nil
+	return p.ix.Query(context.Background(), q)
 }
 
 // Greedy runs the paper's non-oblivious greedy (Theorem 1): repeatedly add
 // the item maximizing ½f_u(S) + λ·d_u(S) until |S| = k. A 2-approximation
 // for normalized monotone submodular quality over a metric; O(n·k) marginal
 // evaluations.
+//
+// Deprecated: use Index.Query with the default algorithm.
 func (p *Problem) Greedy(k int) (*Solution, error) {
-	sol, err := core.GreedyB(p.obj, k)
-	if err != nil {
-		return nil, err
-	}
-	return p.wrap(sol), nil
+	return p.ix.Query(context.Background(), Query{K: k, Parallelism: 1})
 }
 
 // GreedyImproved is Greedy opening with the best pair instead of the best
 // singleton (the paper's Table 3 variant; same guarantee, often slightly
 // better in practice, O(n²) extra work).
+//
+// Deprecated: use Index.Query with AlgorithmGreedyImproved.
 func (p *Problem) GreedyImproved(k int) (*Solution, error) {
-	sol, err := core.GreedyB(p.obj, k, core.WithBestPairStart())
-	if err != nil {
-		return nil, err
-	}
-	return p.wrap(sol), nil
+	return p.ix.Query(context.Background(), Query{K: k, Algorithm: AlgorithmGreedyImproved, Parallelism: 1})
 }
 
 // GollapudiSharma runs the paper's Greedy A baseline: the Gollapudi–Sharma
 // reduction to max-sum dispersion solved by the Hassin–Rubinstein–Tamir edge
 // greedy. Requires the default modular quality (item weights).
+//
+// Deprecated: use Index.Query with AlgorithmGollapudiSharma.
 func (p *Problem) GollapudiSharma(k int) (*Solution, error) {
-	if p.modular == nil {
-		return nil, fmt.Errorf("maxsumdiv: GollapudiSharma requires the default modular quality")
-	}
-	sol, err := core.GreedyA(p.obj, k)
-	if err != nil {
-		return nil, err
-	}
-	return p.wrap(sol), nil
+	return p.ix.Query(context.Background(), Query{K: k, Algorithm: AlgorithmGollapudiSharma, Parallelism: 1})
 }
 
-// LocalSearchOptions configures LocalSearch.
+// LocalSearchOptions configures the deprecated LocalSearch wrapper.
+//
+// Deprecated: set the corresponding Query fields instead.
 type LocalSearchOptions struct {
 	// Init seeds the search (e.g. a Greedy solution's Indices). Nil starts
 	// from a basis containing the best independent pair, as in Section 5.
@@ -208,28 +166,25 @@ type LocalSearchOptions struct {
 // matroid constraint (Theorem 2: a 2-approximation at the local optimum).
 // Build constraints with Cardinality, PartitionConstraint,
 // TransversalConstraint, or any custom Constraint.
+//
+// Deprecated: use Index.Query with AlgorithmLocalSearch and
+// Query.Constraint.
 func (p *Problem) LocalSearch(c Constraint, opts *LocalSearchOptions) (*Solution, error) {
 	if c == nil {
-		return nil, fmt.Errorf("maxsumdiv: nil constraint")
+		return nil, ErrNilConstraint
 	}
-	var lsOpts *core.LSOptions
+	q := Query{Algorithm: AlgorithmLocalSearch, Constraint: c, Parallelism: 1}
 	if opts != nil {
-		lsOpts = &core.LSOptions{
-			Init:       opts.Init,
-			MinGain:    opts.MinGain,
-			RelEps:     opts.RelEps,
-			MaxSwaps:   opts.MaxSwaps,
-			TimeBudget: opts.TimeBudget,
-		}
+		q.Init = opts.Init
+		q.MinGain = opts.MinGain
+		q.RelEps = opts.RelEps
+		q.MaxSwaps = opts.MaxSwaps
+		q.TimeBudget = opts.TimeBudget
 		if opts.Parallelism != 0 && opts.Parallelism != 1 {
-			lsOpts.Pool = engine.New(opts.Parallelism)
+			q.Parallelism = opts.Parallelism
 		}
 	}
-	sol, err := core.LocalSearch(p.obj, adaptConstraint(c), lsOpts)
-	if err != nil {
-		return nil, err
-	}
-	return p.wrap(sol), nil
+	return p.ix.Query(context.Background(), q)
 }
 
 // GreedyMatroid runs the Section 4 greedy under a matroid constraint. The
@@ -237,65 +192,68 @@ func (p *Problem) LocalSearch(c Constraint, opts *LocalSearchOptions) (*Solution
 // fast heuristic or LocalSearch initializer, not for guarantees.
 func (p *Problem) GreedyMatroid(c Constraint) (*Solution, error) {
 	if c == nil {
-		return nil, fmt.Errorf("maxsumdiv: nil constraint")
+		return nil, ErrNilConstraint
 	}
-	sol, err := core.GreedyMatroid(p.obj, adaptConstraint(c))
+	sol, err := core.GreedyMatroid(p.ix.defaultObj, adaptConstraint(c))
 	if err != nil {
 		return nil, err
 	}
-	return p.wrap(sol), nil
+	return p.ix.wrap(sol), nil
 }
 
 // Exact computes the optimal size-k subset by parallel branch-and-bound
 // enumeration. Exponential: intended for small instances (n ≤ ~60 with
 // small k) and for measuring observed approximation factors.
+//
+// Deprecated: use Index.Query with AlgorithmExact and a context deadline.
 func (p *Problem) Exact(k int) (*Solution, error) {
-	sol, err := core.Exact(p.obj, k, &core.ExactOptions{Parallel: true})
-	if err != nil {
-		return nil, err
-	}
-	return p.wrap(sol), nil
+	return p.ix.Query(context.Background(), Query{K: k, Algorithm: AlgorithmExact})
 }
 
 // ExactMatroid computes an optimal basis of the constraint by exhaustive
 // enumeration of independent sets. Exponential; small instances only.
+//
+// Deprecated: use Index.Query with AlgorithmExact and Query.Constraint.
 func (p *Problem) ExactMatroid(c Constraint) (*Solution, error) {
 	if c == nil {
-		return nil, fmt.Errorf("maxsumdiv: nil constraint")
+		return nil, ErrNilConstraint
 	}
-	sol, err := core.ExactMatroid(p.obj, adaptConstraint(c))
-	if err != nil {
-		return nil, err
-	}
-	return p.wrap(sol), nil
+	return p.ix.Query(context.Background(), Query{Algorithm: AlgorithmExact, Constraint: c})
+}
+
+// MMR runs Maximal Marginal Relevance (Carbonell–Goldstein) as a baseline;
+// see Index.MMR.
+func (p *Problem) MMR(lambda float64, k int) (*Solution, error) {
+	return p.ix.MMR(lambda, k)
 }
 
 // MMR runs Maximal Marginal Relevance (Carbonell–Goldstein) as a baseline:
 // relevance is the item weight, similarity is dmax − d(u,v), and lambda ∈
 // [0,1] trades relevance against novelty. Returns picks in selection order.
-func (p *Problem) MMR(lambda float64, k int) (*Solution, error) {
-	if p.modular == nil {
-		return nil, fmt.Errorf("maxsumdiv: MMR requires the default modular quality")
+// Requires the default modular quality.
+func (ix *Index) MMR(lambda float64, k int) (*Solution, error) {
+	if ix.modular == nil {
+		return nil, fmt.Errorf("%w: MMR needs item weights", ErrNeedsModularQuality)
 	}
-	rel := make([]float64, len(p.items))
-	for i := range p.items {
-		rel[i] = p.modular.Weight(i)
+	rel := make([]float64, ix.Len())
+	for i := range rel {
+		rel[i] = ix.modular.Weight(i)
 	}
-	sim := core.SimilarityFromMetric(p.obj.Metric())
+	sim := core.SimilarityFromMetric(ix.dist)
 	picks, err := core.MMR(rel, sim, lambda, k)
 	if err != nil {
 		return nil, err
 	}
 	ids := make([]string, len(picks))
 	for i, m := range picks {
-		ids[i] = p.items[m].ID
+		ids[i] = ix.items[m].ID
 	}
 	return &Solution{
 		Indices:    picks,
 		IDs:        ids,
-		Value:      p.obj.Value(picks),
-		Quality:    p.obj.F().Value(picks),
-		Dispersion: p.obj.Dispersion(picks),
+		Value:      ix.defaultObj.Value(picks),
+		Quality:    ix.defaultObj.F().Value(picks),
+		Dispersion: ix.defaultObj.Dispersion(picks),
 	}, nil
 }
 
@@ -303,8 +261,8 @@ func (p *Problem) MMR(lambda float64, k int) (*Solution, error) {
 // satisfy the matroid axioms (hereditary + augmentation) for the Theorem 2
 // guarantee; see the constructors for ready-made families.
 //
-// When LocalSearch runs with Parallelism > 1, Independent is called from
-// multiple goroutines concurrently and must be safe for that (every
+// When a query runs with more than one scan worker, Independent is called
+// from multiple goroutines concurrently and must be safe for that (every
 // built-in constructor is; a custom oracle with unsynchronized mutable
 // scratch is not).
 type Constraint interface {
@@ -329,46 +287,23 @@ type constraintAdapter struct{ Constraint }
 
 // Cardinality returns the constraint |S| ≤ k (the uniform matroid).
 func (p *Problem) Cardinality(k int) (Constraint, error) {
-	u, err := matroid.NewUniform(p.Len(), k)
-	if err != nil {
-		return nil, fmt.Errorf("maxsumdiv: %w", err)
-	}
-	return u, nil
+	return p.ix.Cardinality(k)
 }
 
-// PartitionConstraint returns a partition matroid: partOf[i] assigns each
-// item to a part; caps[j] bounds how many items part j contributes (e.g.
-// "at most 2 stocks per sector").
+// PartitionConstraint returns a partition matroid; see
+// Index.PartitionConstraint.
 func (p *Problem) PartitionConstraint(partOf []int, caps []int) (Constraint, error) {
-	if len(partOf) != p.Len() {
-		return nil, fmt.Errorf("maxsumdiv: partOf has %d entries for %d items", len(partOf), p.Len())
-	}
-	m, err := matroid.NewPartition(partOf, caps)
-	if err != nil {
-		return nil, fmt.Errorf("maxsumdiv: %w", err)
-	}
-	return m, nil
+	return p.ix.PartitionConstraint(partOf, caps)
 }
 
-// TransversalConstraint returns a transversal matroid: sets[j] lists the
-// item indices belonging to collection C_j, and a selection is independent
-// when it has a system of distinct representatives (Section 5's "every
-// selected tuple represents a unique source").
+// TransversalConstraint returns a transversal matroid; see
+// Index.TransversalConstraint.
 func (p *Problem) TransversalConstraint(sets [][]int) (Constraint, error) {
-	m, err := matroid.NewTransversal(p.Len(), sets)
-	if err != nil {
-		return nil, fmt.Errorf("maxsumdiv: %w", err)
-	}
-	return m, nil
+	return p.ix.TransversalConstraint(sets)
 }
 
-// TruncatedConstraint caps any constraint at cardinality k (matroid
-// truncation; Section 5 notes the intersection with a uniform matroid is
-// still a matroid).
+// TruncatedConstraint caps any constraint at cardinality k; see
+// Index.TruncatedConstraint.
 func (p *Problem) TruncatedConstraint(c Constraint, k int) (Constraint, error) {
-	m, err := matroid.NewTruncated(adaptConstraint(c), k)
-	if err != nil {
-		return nil, fmt.Errorf("maxsumdiv: %w", err)
-	}
-	return m, nil
+	return p.ix.TruncatedConstraint(c, k)
 }

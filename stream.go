@@ -18,11 +18,11 @@ import (
 // guarantee open; this is the Sviridenko-style heuristic it suggests, with
 // no ratio claimed. With uniform costs it never does worse than Greedy.
 func (p *Problem) Knapsack(costs []float64, budget float64, seedSize int) (*Solution, error) {
-	sol, err := core.GreedyKnapsack(p.obj, costs, budget, &core.KnapsackOptions{SeedSize: seedSize})
+	sol, err := core.GreedyKnapsack(p.ix.defaultObj, costs, budget, &core.KnapsackOptions{SeedSize: seedSize})
 	if err != nil {
 		return nil, err
 	}
-	return p.wrap(sol), nil
+	return p.ix.wrap(sol), nil
 }
 
 // Stream maintains a diverse, high-quality window of size p over an
