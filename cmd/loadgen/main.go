@@ -12,12 +12,22 @@
 //     inserting at the server's exact-solver corpus limit (40 items) and
 //     keeps querying.
 //
+// With -contention the mix is replaced by the writer-stall probe: the
+// corpus is seeded with -contention-items items, a quarter of the workers
+// issue deliberately slow full-scope local-search queries back to back,
+// and the rest run a pure insert/delete stream. The report's extra
+// "contention" line gives the mutation p99 — the metric that exposed the
+// old serving layer, where one slow query held the corpus read lock and
+// every mutation flush queued behind it; on the epoch corpus it stays flat
+// however slow the queries are.
+//
 // Usage:
 //
 //	loadgen -addr http://localhost:8080 [-workers 8] [-ops 200]
 //	        [-duration 0] [-inserts 60 -deletes 10 -queries 30]
 //	        [-k 10] [-dim 8] [-algo greedy] [-scope full] [-seed 1]
 //	        [-lambda-spread] [-check-monotone]
+//	        [-contention] [-contention-items 1024]
 //
 // With -duration > 0 each worker runs for that wall-clock span instead of
 // a fixed op count. Exit status is non-zero if any request failed or any
@@ -60,6 +70,10 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", 1, "RNG seed")
 	flag.BoolVar(&cfg.CheckMonotone, "check-monotone", false,
 		"assert the objective is non-decreasing (requires -workers 1, -deletes 0, -algo exact)")
+	flag.BoolVar(&cfg.Contention, "contention", false,
+		"writer-stall probe: slow-query workers plus a pure mutation stream; reports mutation p99")
+	flag.IntVar(&cfg.ContentionItems, "contention-items", 0,
+		"corpus size seeded before a -contention run (default 1024)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -98,6 +112,14 @@ type Config struct {
 	// (default 40, the server's exact-algorithm corpus limit); once
 	// reached, further insert slots become queries.
 	MonotoneMaxItems int
+	// Contention replaces the mixed workload with the writer-stall probe:
+	// ~¼ of the workers loop slow full-scope local-search queries, the rest
+	// run a pure insert/delete stream, and the report carries the mutation
+	// latency summary (its p99 is the stall metric).
+	Contention bool
+	// ContentionItems is the corpus size seeded before a contention run so
+	// the slow queries are actually slow (default 1024).
+	ContentionItems int
 	// Client overrides the HTTP client (tests inject an httptest client).
 	Client *http.Client
 }
@@ -107,6 +129,13 @@ type Report struct {
 	Elapsed                        time.Duration
 	Inserts, Deletes, Queries      int64
 	InsertLat, DeleteLat, QueryLat LatencySummary
+	// Contention marks a writer-stall probe run; MutationLat then summarizes
+	// inserts and deletes together (its P99 is the stall metric) and
+	// SlowWorkers is how many workers kept a slow query permanently in
+	// flight.
+	Contention  bool
+	SlowWorkers int
+	MutationLat LatencySummary
 	// Errors are transport or non-2xx failures (capped at 20).
 	Errors []string
 	// Violations are correctness-invariant breaches (capped at 20).
@@ -152,6 +181,10 @@ func (r *Report) Render() string {
 	row("insert", r.Inserts, r.InsertLat)
 	row("delete", r.Deletes, r.DeleteLat)
 	row("query", r.Queries, r.QueryLat)
+	if r.Contention {
+		fmt.Fprintf(&b, "  contention: mutation p99 %v over %d mutations, with %d slow-query workers (%d queries) in flight\n",
+			r.MutationLat.P99.Round(time.Microsecond), r.MutationLat.Count, r.SlowWorkers, r.Queries)
+	}
 	fmt.Fprintf(&b, "  errors %d, invariant violations %d\n", len(r.Errors), len(r.Violations))
 	for _, e := range r.Errors {
 		fmt.Fprintf(&b, "    error: %s\n", e)
@@ -215,6 +248,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.CheckMonotone && (cfg.Workers != 1 || cfg.MixDelete != 0 || cfg.Algorithm != "exact") {
 		return nil, fmt.Errorf("-check-monotone requires -workers 1, -deletes 0 and -algo exact")
 	}
+	if cfg.Contention {
+		if cfg.CheckMonotone {
+			return nil, fmt.Errorf("-contention and -check-monotone are mutually exclusive")
+		}
+		if cfg.Workers < 2 {
+			return nil, fmt.Errorf("-contention needs ≥ 2 workers (slow queries + mutations), have %d", cfg.Workers)
+		}
+		if cfg.ContentionItems <= 0 {
+			cfg.ContentionItems = 1024
+		}
+	}
 	if cfg.MonotoneMaxItems <= 0 {
 		cfg.MonotoneMaxItems = 40 // the server's exact-algorithm corpus limit
 	}
@@ -223,6 +267,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
 	st := &sharedState{deleted: make(map[string]bool), prevVal: -1}
+	if cfg.Contention {
+		if err := seedCorpus(ctx, client, cfg, st); err != nil {
+			return nil, fmt.Errorf("seeding contention corpus: %w", err)
+		}
+	}
+	slowWorkers := max(1, cfg.Workers/4)
 	samples := make([][3][]time.Duration, cfg.Workers)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -232,6 +282,19 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			defer wg.Done()
 			lw := &loadWorker{cfg: cfg, client: client, st: st,
 				rng: rand.New(rand.NewSource(cfg.Seed + int64(w)*7919)), id: w}
+			if cfg.Contention {
+				if w < slowWorkers {
+					// Slow-query role: full-scope local search with a large
+					// k — long enough to expose any read-side lock a flush
+					// would have to queue behind.
+					lw.role = roleSlowQuery
+					lw.cfg.Algorithm = "localsearch"
+					lw.cfg.Scope = "full"
+					lw.cfg.K = max(lw.cfg.K, 64)
+				} else {
+					lw.role = roleMutate
+				}
+			}
 			deadline := time.Time{}
 			if cfg.Duration > 0 {
 				deadline = start.Add(cfg.Duration)
@@ -261,11 +324,27 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	rep.InsertLat = summarize(merged[opInsert])
 	rep.DeleteLat = summarize(merged[opDelete])
 	rep.QueryLat = summarize(merged[opQuery])
+	if cfg.Contention {
+		rep.Contention = true
+		rep.SlowWorkers = slowWorkers
+		muts := make([]time.Duration, 0, len(merged[opInsert])+len(merged[opDelete]))
+		muts = append(append(muts, merged[opInsert]...), merged[opDelete]...)
+		rep.MutationLat = summarize(muts)
+	}
 	st.mu.Lock()
 	rep.Errors, rep.Violations = st.errs, st.viols
 	st.mu.Unlock()
 	return rep, nil
 }
+
+// workerRole specializes a worker for the contention scenario.
+type workerRole int
+
+const (
+	roleMixed     workerRole = iota // the configured insert/delete/query mix
+	roleSlowQuery                   // back-to-back slow full-scope queries
+	roleMutate                      // pure insert/delete stream
+)
 
 // loadWorker is one client goroutine's state.
 type loadWorker struct {
@@ -275,11 +354,22 @@ type loadWorker struct {
 	rng    *rand.Rand
 	id     int
 	seq    int
+	role   workerRole
 }
 
 // step performs one operation and returns its kind and latency; ok = false
 // when the op errored (errors are recorded in shared state).
 func (lw *loadWorker) step() (opKind, time.Duration, bool) {
+	switch lw.role {
+	case roleSlowQuery:
+		return lw.query()
+	case roleMutate:
+		if mix := lw.cfg.MixInsert + lw.cfg.MixDelete; mix > 0 &&
+			lw.rng.Intn(mix) >= lw.cfg.MixInsert {
+			return lw.delete()
+		}
+		return lw.insert()
+	}
 	mix := lw.cfg.MixInsert + lw.cfg.MixDelete + lw.cfg.MixQuery
 	r := lw.rng.Intn(mix)
 	switch {
@@ -432,4 +522,49 @@ func (lw *loadWorker) query() (opKind, time.Duration, bool) {
 func drain(resp *http.Response) {
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+}
+
+// seedCorpus bulk-inserts the contention scenario's starting corpus, so the
+// slow-query workers have something genuinely slow to solve from the first
+// request. Seeded ids join the shared live set, making them fair game for
+// the mutation workers' deletes.
+func seedCorpus(ctx context.Context, client *http.Client, cfg Config, st *sharedState) error {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	const batch = 128
+	for lo := 0; lo < cfg.ContentionItems; lo += batch {
+		hi := min(lo+batch, cfg.ContentionItems)
+		items := make([]map[string]any, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			vec := make([]float64, cfg.Dim)
+			for k := range vec {
+				vec[k] = rng.Float64()
+			}
+			items = append(items, map[string]any{
+				"id": fmt.Sprintf("seed-%d", i), "weight": rng.Float64(), "vector": vec,
+			})
+		}
+		body, err := json.Marshal(items)
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/items", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("batch %d-%d: status %d", lo, hi, resp.StatusCode)
+		}
+		st.mu.Lock()
+		for i := lo; i < hi; i++ {
+			st.live = append(st.live, fmt.Sprintf("seed-%d", i))
+		}
+		st.mu.Unlock()
+	}
+	return nil
 }

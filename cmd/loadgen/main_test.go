@@ -101,6 +101,43 @@ func TestLoadgenMaintainedScope(t *testing.T) {
 	}
 }
 
+// TestLoadgenContention runs the writer-stall probe against a real server:
+// slow full-scope local-search queries and a pure mutation stream, with the
+// corpus seeded first. Beyond the usual no-errors/no-violations assertions,
+// the run must actually exercise both roles and the report must carry the
+// mutation latency summary and its contention line.
+func TestLoadgenContention(t *testing.T) {
+	ts := startServer(t, server.Config{Shards: 4, Lambda: 0.5, MaintainK: 4, FlushThreshold: 8})
+	rep, err := Run(context.Background(), Config{
+		BaseURL:   ts.URL,
+		Workers:   4,
+		Ops:       25,
+		MixInsert: 70, MixDelete: 30, MixQuery: 0,
+		K: 8, Dim: 4, Algorithm: "greedy", Scope: "full", Seed: 9,
+		Contention:      true,
+		ContentionItems: 300,
+		Client:          ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 || len(rep.Violations) > 0 {
+		t.Fatalf("errors %v, violations %v", rep.Errors, rep.Violations)
+	}
+	if !rep.Contention {
+		t.Fatal("report not marked as a contention run")
+	}
+	if rep.Queries == 0 || rep.Inserts == 0 {
+		t.Fatalf("roles did not both run: %d queries, %d inserts", rep.Queries, rep.Inserts)
+	}
+	if rep.MutationLat.Count != rep.Inserts+rep.Deletes || rep.MutationLat.Count == 0 {
+		t.Fatalf("mutation summary covers %d ops, want %d", rep.MutationLat.Count, rep.Inserts+rep.Deletes)
+	}
+	if out := rep.Render(); !strings.Contains(out, "contention: mutation p99") {
+		t.Fatalf("report missing contention line:\n%s", out)
+	}
+}
+
 // TestLoadgenDuration runs in wall-clock mode and honors context cancel.
 func TestLoadgenDuration(t *testing.T) {
 	ts := startServer(t, server.Config{Shards: 2})
@@ -131,6 +168,9 @@ func TestLoadgenConfigValidation(t *testing.T) {
 		{Workers: 2, Ops: 1, MixInsert: 1, K: 1, CheckMonotone: true},
 		{Workers: 1, Ops: 1, MixInsert: 1, MixDelete: 1, K: 1, Algorithm: "exact", CheckMonotone: true},
 		{Workers: 1, Ops: 1, MixInsert: 1, K: 1, Algorithm: "greedy", CheckMonotone: true},
+		{Workers: 1, Ops: 1, MixInsert: 1, K: 1, Contention: true}, // needs ≥ 2 workers
+		{Workers: 2, Ops: 1, MixInsert: 1, MixQuery: 1, K: 1, Algorithm: "exact",
+			CheckMonotone: true, Contention: true},
 	}
 	for i, cfg := range bad {
 		if _, err := Run(context.Background(), cfg); err == nil {

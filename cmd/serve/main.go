@@ -7,6 +7,7 @@
 //
 //	serve [-addr :8080] [-shards 8] [-lambda 1] [-maintain-k 8]
 //	      [-parallelism 0] [-flush-threshold 256] [-query-timeout 30s]
+//	      [-backend f64|f32]
 //
 // Endpoints (see internal/server for the full contract):
 //
@@ -43,8 +44,9 @@ func main() {
 	maintainK := flag.Int("maintain-k", 8, "per-shard maintained selection size")
 	parallelism := flag.Int("parallelism", 0, "engine workers for query solves (0 = GOMAXPROCS)")
 	flushThreshold := flag.Int("flush-threshold", 256, "pending mutations per shard before an inline batch apply")
-	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request deadline for /diversify solves (0 = unlimited); expired queries answer 504. Queries hold the corpus read lock for their duration, so an unbounded slow query can stall mutations behind it — keep a deadline in production")
-	float32Backend := flag.Bool("float32", false, "deprecated no-op: the server now solves every query on one long-lived distance backend")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request deadline for /diversify solves (0 = unlimited); expired queries answer 504. Queries solve lock-free on pinned corpus epochs, so a slow query only ever costs itself — the deadline is worker hygiene, not a liveness guard")
+	backend := flag.String("backend", "", "corpus distance backend: f64 (exact, the default) or f32 (half the resident bytes)")
+	float32Backend := flag.Bool("float32", false, "shorthand for -backend f32")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -57,6 +59,7 @@ func main() {
 		Parallelism:    *parallelism,
 		FlushThreshold: *flushThreshold,
 		QueryTimeout:   *queryTimeout,
+		Backend:        server.Backend(*backend),
 		Float32:        *float32Backend,
 	}
 	if err := run(ctx, *addr, cfg, *shutdownTimeout, os.Stdout); err != nil {
@@ -77,8 +80,10 @@ func run(ctx context.Context, addr string, cfg server.Config, shutdownTimeout ti
 		return err
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(out, "serving on http://%s (%d shards, λ=%g, maintain-k=%d)\n",
-		ln.Addr(), cfg.Shards, cfg.Lambda, cfg.MaintainK)
+	// The backend in the startup line comes from the running corpus, not a
+	// re-derivation of the config defaults, so it cannot drift.
+	fmt.Fprintf(out, "serving on http://%s (%d shards, λ=%g, maintain-k=%d, backend=%s)\n",
+		ln.Addr(), cfg.Shards, cfg.Lambda, cfg.MaintainK, srv.Stats().Corpus.Backend)
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()

@@ -74,6 +74,41 @@ func TestServeLifecycle(t *testing.T) {
 	}
 }
 
+// TestServeBackendSelection boots on the f32 corpus backend, checks the
+// startup line advertises it, and confirms the end-to-end path serves; an
+// unknown backend must be rejected before listening.
+func TestServeBackendSelection(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, pw := newPipeWriter()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0",
+			server.Config{Shards: 2, Backend: server.BackendF32}, 5*time.Second, pw)
+	}()
+	line, err := pr.line(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "backend=f32") {
+		t.Fatalf("startup line does not advertise the backend: %q", line)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain")
+	}
+
+	if err := run(context.Background(), "127.0.0.1:0",
+		server.Config{Backend: "f16"}, time.Second, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
 func TestServeBadAddr(t *testing.T) {
 	err := run(context.Background(), "256.0.0.1:bad", server.Config{}, time.Second, &bytes.Buffer{})
 	if err == nil {

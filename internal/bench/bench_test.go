@@ -232,6 +232,9 @@ func TestSuiteFilters(t *testing.T) {
 		"greedy-improved/f32-dense/n=10000/k=64/e2e",
 		"dynamic/insert-delete/n=2000/p=16",
 		"server/query/full/n=2048/k=10",
+		"server/corpus_bytes_per_item/f64/n=4096",
+		"server/corpus_bytes_per_item/f32/n=4096",
+		"server/mutation_under_query_load/n=2048",
 	} {
 		if !quick[must] {
 			t.Fatalf("quick suite lost %q", must)

@@ -12,6 +12,7 @@ import (
 	"regexp"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -86,6 +87,18 @@ func Suite(opts Options) []Spec {
 		// long-lived corpus backend. The probe fails outright — not just
 		// regresses — if any query constructs a distance backend.
 		serverQueryReuseSpec("server/query_reuse/n=2048/k=10", true, 2048, 10),
+
+		// The epoch corpus's memory claim, per backend: resident distance
+		// bytes per item after an insert-only load (f32 must come out at
+		// half of f64). ns/op is the per-insert write-path cost.
+		corpusBytesSpec("server/corpus_bytes_per_item/f64/n=4096", true, server.BackendF64, 4096),
+		corpusBytesSpec("server/corpus_bytes_per_item/f32/n=4096", true, server.BackendF32, 4096),
+
+		// The writer-stall probe: mutation latency sampled while slow
+		// full-scope local-search queries run continuously. Under the old
+		// RWMutex corpus its p99 tracked the slow-query duration; on the
+		// epoch corpus it must stay flat.
+		mutationUnderLoadSpec("server/mutation_under_query_load/n=2048", true, 2048),
 	}
 	out := all[:0:0]
 	for _, s := range all {
@@ -375,6 +388,175 @@ func serverQueryReuseSpec(name string, quick bool, n, k int) Spec {
 	return serverQueryProbe(name, quick, "full", n, k, []float64{0, 0.25, 0.5, 1, 2}, true)
 }
 
+// inProcPoster adapts a server handler into the POST helper every server
+// probe shares: requests go straight through ServeHTTP, no network.
+func inProcPoster(h http.Handler) func(path string, body []byte) error {
+	return func(path string, body []byte) error {
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("%s: status %d: %s", path, rec.Code, rec.Body.String())
+		}
+		return nil
+	}
+}
+
+// loadServerItems bulk-inserts the deterministic suite corpus through the
+// handler in flush-threshold-sized batches.
+func loadServerItems(post func(string, []byte) error, items []maxsumdiv.Item) error {
+	const batch = 256
+	for lo := 0; lo < len(items); lo += batch {
+		hi := min(lo+batch, len(items))
+		payload := make([]server.ItemPayload, 0, hi-lo)
+		for _, it := range items[lo:hi] {
+			payload = append(payload, server.ItemPayload{ID: it.ID, Weight: it.Weight, Vector: it.Vector})
+		}
+		body, err := json.Marshal(payload)
+		if err != nil {
+			return err
+		}
+		if err := post("/items", body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// corpusBytesSpec loads an insert-only corpus onto the named backend and
+// reports its steady-state memory footprint: Extra["bytes_per_item"] is the
+// /stats figure operators size deployments by, and ns/op is the mean
+// per-insert cost of the write path (distance row + epoch bookkeeping).
+func corpusBytesSpec(name string, quick bool, backend server.Backend, n int) Spec {
+	return Spec{Name: name, Quick: quick, Run: func() (Result, error) {
+		srv, err := server.New(server.Config{Shards: 4, Lambda: 0.5, Parallelism: 1, Backend: backend})
+		if err != nil {
+			return Result{}, err
+		}
+		post := inProcPoster(srv.Handler())
+		items := suiteItems(n, int64(n))
+		start := time.Now()
+		if err := loadServerItems(post, items); err != nil {
+			return Result{}, err
+		}
+		if err := srv.Flush(); err != nil {
+			return Result{}, err
+		}
+		elapsed := time.Since(start)
+		st := srv.Stats()
+		if st.Corpus.Items != n {
+			return Result{}, fmt.Errorf("corpus holds %d items after load, want %d", st.Corpus.Items, n)
+		}
+		if got := st.Corpus.Backend; got != string(backend) {
+			return Result{}, fmt.Errorf("corpus backend %q, want %q", got, backend)
+		}
+		return Result{
+			Name:         name,
+			Iterations:   n,
+			NsPerOp:      float64(elapsed.Nanoseconds()) / float64(n),
+			ApproxAllocs: true, // not measured; memory is the metric here
+			Extra: map[string]float64{
+				"bytes_per_item": st.Corpus.BytesPerItem,
+				"resident_bytes": float64(st.Corpus.ResidentBytes),
+			},
+		}, nil
+	}}
+}
+
+// mutationUnderLoadSpec samples single-item mutation latency (enqueue →
+// inline flush → epoch publish, via FlushThreshold 1) while background
+// goroutines keep slow full-scope local-search queries permanently in
+// flight. Mean plus p50/p99 land in the report; a p99 anywhere near the
+// slow-query duration means mutations queued behind a reader again.
+func mutationUnderLoadSpec(name string, quick bool, n int) Spec {
+	const samples = 150
+	const slowQueries = 2
+	return Spec{Name: name, Quick: quick, Run: func() (Result, error) {
+		srv, err := server.New(server.Config{Shards: 4, Lambda: 0.5, Parallelism: 2, FlushThreshold: 1})
+		if err != nil {
+			return Result{}, err
+		}
+		post := inProcPoster(srv.Handler())
+		items := suiteItems(n, int64(n))
+		if err := loadServerItems(post, items); err != nil {
+			return Result{}, err
+		}
+		queryBody, err := json.Marshal(server.DiversifyRequest{K: 64, Algorithm: "localsearch"})
+		if err != nil {
+			return Result{}, err
+		}
+		if err := post("/diversify", queryBody); err != nil {
+			return Result{}, err // warm before loading the background loops
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		queryErrs := make(chan error, slowQueries)
+		for g := 0; g < slowQueries; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := post("/diversify", queryBody); err != nil {
+						queryErrs <- err
+						return
+					}
+				}
+			}()
+		}
+		rng := rand.New(rand.NewSource(99))
+		lat := make([]time.Duration, samples)
+		start := time.Now()
+		for i := range lat {
+			vec := make([]float64, suiteDim)
+			for k := range vec {
+				vec[k] = rng.Float64()
+			}
+			body, err := json.Marshal(server.ItemPayload{
+				ID: fmt.Sprintf("mut%04d", i), Weight: rng.Float64(), Vector: vec,
+			})
+			if err != nil {
+				close(stop)
+				wg.Wait()
+				return Result{}, err
+			}
+			t0 := time.Now()
+			if err := post("/items", body); err != nil {
+				close(stop)
+				wg.Wait()
+				return Result{}, err
+			}
+			lat[i] = time.Since(t0)
+		}
+		total := time.Since(start)
+		close(stop)
+		wg.Wait()
+		select {
+		case err := <-queryErrs:
+			return Result{}, fmt.Errorf("background slow query failed: %w", err)
+		default:
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pct := func(q float64) float64 {
+			return float64(lat[int(q*float64(len(lat)-1))].Nanoseconds())
+		}
+		return Result{
+			Name:         name,
+			Iterations:   samples,
+			NsPerOp:      float64(total.Nanoseconds()) / samples,
+			ApproxAllocs: true,
+			Extra: map[string]float64{
+				"p50_ns": pct(0.50),
+				"p99_ns": pct(0.99),
+			},
+		}, nil
+	}}
+}
+
 // serverQueryProbe is the shared body: load a corpus, warm it, then sample
 // query latency; lambdas (when non-nil) rotates the per-request override,
 // and checkConstructions turns a backend build during the sample window
@@ -386,31 +568,9 @@ func serverQueryProbe(name string, quick bool, scope string, n, k int, lambdas [
 		if err != nil {
 			return Result{}, err
 		}
-		h := srv.Handler()
-		post := func(path string, body []byte) error {
-			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
-			rec := httptest.NewRecorder()
-			h.ServeHTTP(rec, req)
-			if rec.Code != http.StatusOK {
-				return fmt.Errorf("%s: status %d: %s", path, rec.Code, rec.Body.String())
-			}
-			return nil
-		}
-		items := suiteItems(n, int64(n))
-		const batch = 256
-		for lo := 0; lo < len(items); lo += batch {
-			hi := min(lo+batch, len(items))
-			payload := make([]server.ItemPayload, 0, hi-lo)
-			for _, it := range items[lo:hi] {
-				payload = append(payload, server.ItemPayload{ID: it.ID, Weight: it.Weight, Vector: it.Vector})
-			}
-			body, err := json.Marshal(payload)
-			if err != nil {
-				return Result{}, err
-			}
-			if err := post("/items", body); err != nil {
-				return Result{}, err
-			}
+		post := inProcPoster(srv.Handler())
+		if err := loadServerItems(post, suiteItems(n, int64(n))); err != nil {
+			return Result{}, err
 		}
 		// Pre-marshal every request body (one per λ variant) so the sampled
 		// window measures the server, not the client's JSON encoder.

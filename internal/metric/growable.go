@@ -1,0 +1,75 @@
+package metric
+
+import "fmt"
+
+// Growable is a Metric whose ground set can be maintained fully dynamically:
+// one O(n) row append per insert and one swap-removal per delete, with the
+// bulk row folds solvers need staying available throughout. *Dense satisfies
+// it (the library's eager float64 triangle), as do the epoch-capable *Tri
+// backends; a long-lived corpus programs against this interface so the
+// representation is a deployment choice, not a code path.
+type Growable interface {
+	Metric
+	RowAccumulator
+	// AppendRow grows the ground set by one point whose distances to the
+	// existing points are given (len == Len()), returning its index.
+	AppendRow(dists []float64) (int, error)
+	// RemoveSwap deletes point u by moving the last point into its slot;
+	// callers holding external references to index Len()-1 must remap.
+	RemoveSwap(u int) error
+}
+
+// Snapshot is an immutable point-in-time view of a growable backend: a plain
+// lookup metric (with the solver's bulk row fold) that later mutations of
+// the backend can never change. Readers therefore need no lock for the
+// lifetime of a solve, however long it runs.
+type Snapshot interface {
+	Metric
+	RowAccumulator
+	// Kind names the backend representation ("f64", "f32").
+	Kind() string
+	// Bytes approximates the resident size of the distance storage this
+	// view keeps alive.
+	Bytes() int64
+}
+
+// Snapshotter is a Growable that can publish immutable Snapshots with
+// structural sharing: a snapshot costs O(changed rows) — unchanged
+// triangular rows are shared between the backend and every live snapshot,
+// never copied. This is the storage contract of an epoch-based serving
+// layer: writers mutate the one Snapshotter, each query pins the latest
+// Snapshot and solves lock-free.
+type Snapshotter interface {
+	Growable
+	// Kind names the backend representation ("f64", "f32").
+	Kind() string
+	// Bytes approximates resident distance-storage bytes, including slots
+	// deleted but not yet compacted.
+	Bytes() int64
+	// Snapshot publishes an immutable view of the current state.
+	Snapshot() Snapshot
+}
+
+// Backend kinds accepted by NewSnapshotter.
+const (
+	// KindF64 stores exact float64 triangular rows (8 bytes per pair).
+	KindF64 = "f64"
+	// KindF32 stores float32 triangular rows — half the resident bytes of
+	// KindF64 with ~1e-7 relative rounding on the way in.
+	KindF32 = "f32"
+)
+
+// NewSnapshotter builds an empty epoch-capable growable backend of the given
+// kind ("f64" or "f32").
+func NewSnapshotter(kind string) (Snapshotter, error) {
+	switch kind {
+	case KindF64:
+		return NewTriF64(), nil
+	case KindF32:
+		return NewTriF32(), nil
+	default:
+		return nil, fmt.Errorf("metric: unknown growable backend kind %q (want %q or %q)", kind, KindF64, KindF32)
+	}
+}
+
+var _ Growable = (*Dense)(nil)

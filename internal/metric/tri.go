@@ -1,0 +1,265 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+)
+
+// triValue are the element types the growable triangular backends store:
+// float64 for exact distances, float32 for half the resident bytes at ~1e-7
+// relative rounding.
+type triValue interface {
+	~float32 | ~float64
+}
+
+// triView is the shared read path of the growable triangular backends: the
+// per-point rows, keyed by *physical slot*, plus the logical→physical
+// permutation. rows[p] holds d(p, q) for every physical slot q < p, so the
+// distance between any two live points lives in the higher slot's row.
+//
+// The indirection is what makes snapshots O(changed rows): rows are
+// immutable once written, inserts append one new row, and a swap-removal
+// touches only the 4-byte permutation — never a float row. perm == nil means
+// the identity mapping (no removals since the last compaction), which the
+// hot loops specialize on.
+type triView[T triValue] struct {
+	rows [][]T
+	perm []int32 // logical → physical; nil = identity
+	n    int     // live points
+}
+
+// Len returns the number of live points.
+func (v *triView[T]) Len() int { return v.n }
+
+// slot maps a logical index to its physical slot.
+func (v *triView[T]) slot(i int) int32 {
+	if v.perm == nil {
+		return int32(i)
+	}
+	return v.perm[i]
+}
+
+// Distance returns the stored distance between logical points i and j.
+func (v *triView[T]) Distance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	pi, pj := v.slot(i), v.slot(j)
+	if pi < pj {
+		pi, pj = pj, pi
+	}
+	return float64(v.rows[pi][pj])
+}
+
+// AccumulateRow adds sign·d(u, v) to dst[v] for every live v. On the
+// identity mapping this is the same two-phase fold as Dense.AccumulateRow —
+// one contiguous row stream for v < u (sign-specialized, the DenseF32 kernel
+// idiom) plus a per-row column walk for v > u. With a live permutation it
+// degrades to a gather, which the next compaction restores.
+func (v *triView[T]) AccumulateRow(u int, sign float64, dst []float64) {
+	if v.perm == nil {
+		row := v.rows[u]
+		switch sign {
+		case 1:
+			for j, x := range row {
+				dst[j] += float64(x)
+			}
+		case -1:
+			for j, x := range row {
+				dst[j] -= float64(x)
+			}
+		default:
+			for j, x := range row {
+				dst[j] += sign * float64(x)
+			}
+		}
+		for j := u + 1; j < v.n; j++ {
+			dst[j] += sign * float64(v.rows[j][u])
+		}
+		return
+	}
+	pu := v.perm[u]
+	row := v.rows[pu]
+	for j := 0; j < v.n; j++ {
+		pj := v.perm[j]
+		switch {
+		case pj < pu:
+			dst[j] += sign * float64(row[pj])
+		case pj > pu:
+			dst[j] += sign * float64(v.rows[pj][pu])
+		}
+	}
+}
+
+// Tri is a growable triangular distance backend over elements of type T that
+// publishes immutable snapshots with structural sharing (Snapshotter). It is
+// the storage engine of the server's epoch corpus:
+//
+//   - AppendRow writes one fresh physical row and never touches existing
+//     ones, so every published snapshot stays valid untouched.
+//   - RemoveSwap retires the point's physical slot and fixes up only the
+//     logical→physical permutation — O(1) amortized float traffic. Dead
+//     slots keep their rows resident until compaction reclaims them (when
+//     they exceed half the live count), so memory under delete-heavy churn
+//     transiently overshoots the live triangle; the compaction itself is
+//     O(n²) but amortized O(n) per removal, matching Dense.RemoveSwap.
+//   - Snapshot shares the row storage and, until the next removal, the
+//     permutation: publishing after a flush of b inserts copies b new row
+//     headers and nothing else.
+//
+// Tri[float32] (KindF32) halves the resident bytes of Tri[float64] at ~1e-7
+// relative rounding on the way in — far below the paper's perturbation
+// scales; corpora that need bit-exact float64 distances use KindF64.
+type Tri[T triValue] struct {
+	triView[T]
+	kind       string
+	elemSize   int64
+	rowBytes   int64 // resident float bytes, dead slots included
+	dead       int   // physical slots removed but not yet compacted
+	permShared bool  // perm's array is shared with a snapshot (copy before writes)
+}
+
+// NewTriF64 returns an empty exact float64 backend (KindF64).
+func NewTriF64() *Tri[float64] { return &Tri[float64]{kind: KindF64, elemSize: 8} }
+
+// NewTriF32 returns an empty float32 backend (KindF32): half the resident
+// bytes of KindF64, same O(1) lookups and O(n) row folds.
+func NewTriF32() *Tri[float32] { return &Tri[float32]{kind: KindF32, elemSize: 4} }
+
+// Kind names the backend representation.
+func (d *Tri[T]) Kind() string { return d.kind }
+
+// Bytes approximates resident distance-storage bytes: all physical rows
+// (dead slots included until compaction) plus the permutation.
+func (d *Tri[T]) Bytes() int64 { return d.rowBytes + 4*int64(len(d.perm)) }
+
+// AppendRow grows the backend by one point whose distances to the existing
+// points are given by dists (len == Len()), returning the new point's
+// logical index. The new physical row is written once and never mutated, so
+// snapshots published before or after remain untouched.
+func (d *Tri[T]) AppendRow(dists []float64) (int, error) {
+	if len(dists) != d.n {
+		return 0, fmt.Errorf("metric: AppendRow: %d distances for %d existing points", len(dists), d.n)
+	}
+	row := make([]T, len(d.rows))
+	if d.perm == nil {
+		for j, v := range dists {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("%w: d(%d,%d) = %g", ErrNotMetric, d.n, j, v)
+			}
+			row[j] = T(v)
+		}
+	} else {
+		for j, v := range dists {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("%w: d(%d,%d) = %g", ErrNotMetric, d.n, j, v)
+			}
+			row[d.perm[j]] = T(v)
+		}
+	}
+	// Appends write at indices no snapshot covers (physical count and perm
+	// length are non-decreasing between copies), so sharing stays safe.
+	d.rows = append(d.rows, row)
+	if d.perm != nil {
+		d.perm = append(d.perm, int32(len(d.rows)-1))
+	}
+	d.rowBytes += int64(len(row)) * d.elemSize
+	d.n++
+	return d.n - 1, nil
+}
+
+// RemoveSwap deletes logical point u by moving the last logical point into
+// its slot and shrinking the space by one. Only the permutation changes —
+// the retired physical row stays resident (and shared with any snapshots)
+// until compaction. Callers holding external references to index Len()-1
+// must remap them to u.
+func (d *Tri[T]) RemoveSwap(u int) error {
+	if u < 0 || u >= d.n {
+		return fmt.Errorf("metric: RemoveSwap(%d): out of range [0,%d)", u, d.n)
+	}
+	if d.n == 1 {
+		// Last point gone: drop everything (snapshots keep their own views).
+		d.rows, d.perm, d.n, d.dead, d.rowBytes, d.permShared = nil, nil, 0, 0, 0, false
+		return nil
+	}
+	if d.perm == nil {
+		d.perm = make([]int32, d.n)
+		for i := range d.perm {
+			d.perm[i] = int32(i)
+		}
+		d.permShared = false
+	} else if d.permShared {
+		// Copy-on-write: a snapshot shares this array and in-place writes or
+		// length decreases below its view would corrupt it.
+		cp := make([]int32, d.n)
+		copy(cp, d.perm[:d.n])
+		d.perm, d.permShared = cp, false
+	}
+	d.perm[u] = d.perm[d.n-1]
+	d.perm = d.perm[:d.n-1]
+	d.n--
+	d.dead++
+	if d.dead > 32 && d.dead*2 > d.n {
+		d.compact()
+	}
+	return nil
+}
+
+// compact rebuilds the physical storage over the live points in logical
+// order, restoring the identity mapping (and the contiguous AccumulateRow
+// fast path) and releasing dead rows. Snapshots published earlier keep the
+// pre-compaction storage alive until their last reader unpins.
+func (d *Tri[T]) compact() {
+	rows := make([][]T, d.n)
+	var bytes int64
+	for i := 0; i < d.n; i++ {
+		pi := d.perm[i]
+		row := make([]T, i)
+		for j := 0; j < i; j++ {
+			pj := d.perm[j]
+			if pj < pi {
+				row[j] = d.rows[pi][pj]
+			} else {
+				row[j] = d.rows[pj][pi]
+			}
+		}
+		rows[i] = row
+		bytes += int64(i) * d.elemSize
+	}
+	d.rows, d.perm, d.rowBytes, d.dead, d.permShared = rows, nil, bytes, 0, false
+}
+
+// Snapshot publishes an immutable view of the current state. Cost is O(1):
+// the row storage is shared structurally (rows are never mutated after
+// append) and the permutation array is shared too, copy-on-write protected
+// against later removals.
+func (d *Tri[T]) Snapshot() Snapshot {
+	if d.perm != nil {
+		d.permShared = true
+	}
+	return &triSnap[T]{
+		triView: triView[T]{rows: d.rows, perm: d.perm, n: d.n},
+		kind:    d.kind,
+		bytes:   d.Bytes(),
+	}
+}
+
+// triSnap is the immutable view Snapshot returns.
+type triSnap[T triValue] struct {
+	triView[T]
+	kind  string
+	bytes int64
+}
+
+// Kind names the backend representation this view reads.
+func (s *triSnap[T]) Kind() string { return s.kind }
+
+// Bytes approximates the resident bytes this view keeps alive.
+func (s *triSnap[T]) Bytes() int64 { return s.bytes }
+
+var (
+	_ Snapshotter = (*Tri[float64])(nil)
+	_ Snapshotter = (*Tri[float32])(nil)
+	_ Snapshot    = (*triSnap[float64])(nil)
+	_ Snapshot    = (*triSnap[float32])(nil)
+)

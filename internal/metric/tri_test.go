@@ -1,0 +1,219 @@
+package metric
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randDists draws a length-n row of distances in [1, 2) — the paper's
+// synthetic regime, comfortably away from float32 rounding ties.
+func randDists(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1 + rng.Float64()
+	}
+	return out
+}
+
+// matrixOf snapshots a metric into a dense [][]float64 for comparison.
+func matrixOf(m Metric) [][]float64 {
+	n := m.Len()
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = m.Distance(i, j)
+		}
+	}
+	return out
+}
+
+// driveChurn applies the same random append/remove sequence to a Tri backend
+// and a reference Dense, checking full-matrix agreement after every op.
+// round maps a stored distance to the backend's representable value
+// (identity for f64, float32 rounding for f32).
+func driveChurn(t *testing.T, tri Growable, round func(float64) float64, ops int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ref := NewDense(0)
+	for op := 0; op < ops; op++ {
+		n := ref.Len()
+		if n == 0 || rng.Intn(100) < 60 {
+			dists := randDists(rng, n)
+			it, err := tri.AppendRow(dists)
+			if err != nil {
+				t.Fatalf("op %d: tri append: %v", op, err)
+			}
+			ir, err := ref.AppendRow(dists)
+			if err != nil {
+				t.Fatalf("op %d: ref append: %v", op, err)
+			}
+			if it != ir {
+				t.Fatalf("op %d: append returned %d, ref %d", op, it, ir)
+			}
+		} else {
+			u := rng.Intn(n)
+			if err := tri.RemoveSwap(u); err != nil {
+				t.Fatalf("op %d: tri remove: %v", op, err)
+			}
+			if err := ref.RemoveSwap(u); err != nil {
+				t.Fatalf("op %d: ref remove: %v", op, err)
+			}
+		}
+		if tri.Len() != ref.Len() {
+			t.Fatalf("op %d: len %d, ref %d", op, tri.Len(), ref.Len())
+		}
+		for i := 0; i < ref.Len(); i++ {
+			for j := 0; j < ref.Len(); j++ {
+				want := round(ref.Distance(i, j))
+				if got := tri.Distance(i, j); got != want {
+					t.Fatalf("op %d: d(%d,%d) = %g, want %g", op, i, j, got, want)
+				}
+			}
+		}
+	}
+	// AccumulateRow must agree with per-element Distance sums on the final
+	// (permuted, possibly compacted) state, for every sign the solvers use.
+	n := tri.Len()
+	for _, sign := range []float64{1, -1, 0.5} {
+		for u := 0; u < n; u++ {
+			got := make([]float64, n)
+			tri.AccumulateRow(u, sign, got)
+			for v := 0; v < n; v++ {
+				want := sign * tri.Distance(u, v)
+				if diff := got[v] - want; diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("AccumulateRow(%d, %g)[%d] = %g, want %g", u, sign, v, got[v], want)
+				}
+			}
+		}
+	}
+}
+
+func TestTriF64MatchesDenseUnderChurn(t *testing.T) {
+	driveChurn(t, NewTriF64(), func(v float64) float64 { return v }, 400, 11)
+}
+
+func TestTriF32MatchesDenseUnderChurn(t *testing.T) {
+	driveChurn(t, NewTriF32(), func(v float64) float64 { return float64(float32(v)) }, 400, 12)
+}
+
+// TestTriRemoveAllThenRegrow drives the backend through empty and back.
+func TestTriRemoveAllThenRegrow(t *testing.T) {
+	tri := NewTriF64()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		if _, err := tri.AppendRow(randDists(rng, tri.Len())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tri.Len() > 0 {
+		if err := tri.RemoveSwap(rng.Intn(tri.Len())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tri.Bytes(); got != 0 {
+		t.Fatalf("empty backend holds %d bytes", got)
+	}
+	driveChurn(t, tri, func(v float64) float64 { return v }, 120, 6)
+}
+
+// TestTriSnapshotImmutable pins snapshots at several points of a churn
+// sequence (spanning perm materialization, copy-on-write, and compaction)
+// and verifies each one still reads its exact capture-time matrix after
+// every later mutation.
+func TestTriSnapshotImmutable(t *testing.T) {
+	tri := NewTriF64()
+	rng := rand.New(rand.NewSource(21))
+	type pinned struct {
+		snap Snapshot
+		want [][]float64
+	}
+	var pins []pinned
+	for op := 0; op < 500; op++ {
+		n := tri.Len()
+		if n == 0 || rng.Intn(100) < 55 {
+			if _, err := tri.AppendRow(randDists(rng, n)); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := tri.RemoveSwap(rng.Intn(n)); err != nil {
+			t.Fatal(err)
+		}
+		if op%40 == 0 {
+			s := tri.Snapshot()
+			pins = append(pins, pinned{snap: s, want: matrixOf(s)})
+		}
+		for pi, p := range pins {
+			if p.snap.Len() != len(p.want) {
+				t.Fatalf("op %d: snapshot %d length drifted: %d, want %d", op, pi, p.snap.Len(), len(p.want))
+			}
+		}
+	}
+	for pi, p := range pins {
+		got := matrixOf(p.snap)
+		for i := range p.want {
+			for j := range p.want[i] {
+				if got[i][j] != p.want[i][j] {
+					t.Fatalf("snapshot %d: d(%d,%d) drifted %g → %g", pi, i, j, p.want[i][j], got[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestTriCompactionBoundsDeadSlots checks the memory contract: dead slots
+// never exceed ~half the live count plus the compaction floor.
+func TestTriCompactionBoundsDeadSlots(t *testing.T) {
+	tri := NewTriF64()
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 300; i++ {
+		if _, err := tri.AppendRow(randDists(rng, tri.Len())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 250; i++ {
+		if err := tri.RemoveSwap(rng.Intn(tri.Len())); err != nil {
+			t.Fatal(err)
+		}
+		if dead := len(tri.rows) - tri.n - tri.dead; dead != 0 {
+			t.Fatalf("slot bookkeeping drifted: %d rows, %d live, %d dead", len(tri.rows), tri.n, tri.dead)
+		}
+		if tri.dead > 32 && tri.dead*2 > tri.n {
+			t.Fatalf("compaction missed: %d dead vs %d live", tri.dead, tri.n)
+		}
+	}
+}
+
+// TestTriF32HalvesBytes pins the headline memory claim: the float32 backend
+// stores the same triangle in half the bytes of the float64 backend.
+func TestTriF32HalvesBytes(t *testing.T) {
+	f64, f32 := NewTriF64(), NewTriF32()
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 256; i++ {
+		dists := randDists(rng, f64.Len())
+		if _, err := f64.AppendRow(dists); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f32.AppendRow(dists); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f64.Bytes() == 0 || f32.Bytes()*2 != f64.Bytes() {
+		t.Fatalf("bytes: f32 %d vs f64 %d, want exactly half", f32.Bytes(), f64.Bytes())
+	}
+}
+
+// TestNewSnapshotterKinds pins the registry.
+func TestNewSnapshotterKinds(t *testing.T) {
+	for _, kind := range []string{KindF64, KindF32} {
+		b, err := NewSnapshotter(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Kind() != kind {
+			t.Fatalf("kind %q backend reports %q", kind, b.Kind())
+		}
+	}
+	if _, err := NewSnapshotter("f16"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -12,58 +12,65 @@ import (
 	"maxsumdiv/internal/setfunc"
 )
 
-// corpus is the server's long-lived query index: the union of every
-// shard's live items behind one growable distance backend, one modular
-// weight function, and one solver-scratch cache. It is the serving-side
-// analogue of the public maxsumdiv.Index, with the immutability constraint
-// replaced by incremental row maintenance: an upsert appends (or rewrites)
-// one O(n) distance row, a delete swap-removes one, and the query path
-// solves directly on the shared backend — zero distance-backend
-// constructions per query, however many queries run and whatever λ, k, or
-// algorithm each one carries.
+// corpus is the server's long-lived query index: the union of every shard's
+// live items behind one growable distance backend, index-aligned weights,
+// and one solver-scratch cache. It is split into two halves with different
+// locking disciplines:
 //
-// Shard flushes write it through the apply hook (mutations are serialized
-// by mu); queries hold the read lock for the duration of the solve, so
-// they never observe a half-applied batch.
+//   - The mutable build state (ids, items, weights, the growable backend) is
+//     guarded by mu and touched only by mutation flushes: an upsert appends
+//     (or rewrites) one O(n) distance row, a delete swap-removes one.
+//     Writers only ever contend with other writers.
+//   - The read side is the epoch store: publishIfDirty snapshots the build
+//     state into an immutable epoch — structural sharing makes that
+//     O(changed rows) for the distance triangle plus an O(n) copy of the
+//     id/weight metadata — and atomically swaps it in. Queries pin the
+//     current epoch with a refcount and solve entirely lock-free, so a slow
+//     solve can never queue a writer, and a flush landing mid-solve can
+//     never change what that solve observes.
 //
-// Two deliberate trades versus the old per-query-snapshot design, both
-// bounded by configuration and recorded as ROADMAP items:
-//
-//   - A query holds the read lock while it solves, so one slow query can
-//     queue a writer and, behind it, later readers. Config.QueryTimeout
-//     (cmd/serve -query-timeout, default 30s) bounds the hold; an
-//     epoch/snapshot read path would remove it entirely.
-//   - The backend is an eagerly materialized float64 triangular matrix:
-//     4n² bytes resident and one O(n·dim) row per insert. That is what
-//     makes queries O(1)-construction and sub-millisecond, but very large
-//     corpora (n ≳ 50k ⇒ ~10 GB) need the planned growable float32 or
-//     lazy row representation before this server is the right fit.
+// The backend representation is pluggable (Config.Backend): float64 rows
+// for bit-exact distances, or float32 rows for half the resident bytes —
+// either way the query path constructs zero distance backends, however many
+// queries run and whatever λ, k, or algorithm each one carries
+// (metric.Constructions stays flat).
 type corpus struct {
-	mu      sync.RWMutex
+	mu      sync.Mutex     // guards the build state; writers never wait on readers
 	ids     map[string]int // live id → corpus index
 	items   []item
-	dist    *metric.Dense    // growable symmetric distance backend
-	weights *setfunc.Modular // index-aligned item weights
-	scratch *core.StateCache // solver scratch reused across queries
+	dist    metric.Snapshotter // growable symmetric distance backend
+	weights []float64          // index-aligned item weights (build copy)
+	dirty   bool               // mutations since the last publish
+	seq     uint64             // epochs published
+
+	store   epochStore
+	scratch *core.StateCache // solver scratch shared across queries and epochs
 	pool    *engine.Pool
 
 	queries atomic.Uint64 // solves served
 }
 
-func newCorpus(pool *engine.Pool) *corpus {
-	w, _ := setfunc.NewModular(nil)
-	return &corpus{
+// newCorpus builds an empty corpus on the named backend kind and publishes
+// its initial (empty) epoch, so queries always have something to pin.
+func newCorpus(pool *engine.Pool, backend string) (*corpus, error) {
+	dist, err := metric.NewSnapshotter(backend)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	c := &corpus{
 		ids:     make(map[string]int),
-		dist:    metric.NewDense(0),
-		weights: w,
+		dist:    dist,
 		scratch: core.NewStateCache(),
 		pool:    pool,
 	}
+	c.store.publish(c.buildEpochLocked())
+	return c, nil
 }
 
-// apply folds one flushed shard mutation into the corpus. It runs under
+// apply folds one flushed shard mutation into the build state. It runs under
 // the shard's lock (the flush path), so it takes the corpus write lock
-// itself; lock order is always shard.mu → corpus.mu.
+// itself; lock order is always shard.mu → corpus.mu. The mutation becomes
+// visible to queries at the next publishIfDirty.
 func (c *corpus) apply(o op) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -81,9 +88,13 @@ func (c *corpus) apply(o op) error {
 func (c *corpus) upsertLocked(o op) error {
 	if idx, live := c.ids[o.id]; live {
 		if vectorsEqual(c.items[idx].vector, o.vector) {
+			if c.items[idx].weight == o.weight {
+				return nil
+			}
 			// Weight-only update: one O(1) write, no distance churn.
-			c.weights.SetWeight(idx, o.weight)
+			c.weights[idx] = o.weight
 			c.items[idx].weight = o.weight
+			c.dirty = true
 			return nil
 		}
 		// Vector change: every distance to this item is stale; reinsert.
@@ -97,9 +108,10 @@ func (c *corpus) upsertLocked(o op) error {
 	if err != nil {
 		return fmt.Errorf("server: corpus insert %q: %w", o.id, err)
 	}
-	c.weights.Append(o.weight)
+	c.weights = append(c.weights, o.weight)
 	c.items = append(c.items, item{id: o.id, weight: o.weight, vector: o.vector})
 	c.ids[o.id] = idx
+	c.dirty = true
 	return nil
 }
 
@@ -111,32 +123,81 @@ func (c *corpus) deleteLocked(id string) {
 	if err := c.dist.RemoveSwap(idx); err != nil {
 		return // index came from the ids map; unreachable
 	}
-	c.weights.RemoveSwap(idx)
 	last := len(c.items) - 1
+	c.weights[idx] = c.weights[last]
+	c.weights = c.weights[:last]
 	if idx != last {
 		c.items[idx] = c.items[last]
 		c.ids[c.items[idx].id] = idx
 	}
 	c.items = c.items[:last]
 	delete(c.ids, id)
+	c.dirty = true
 }
 
-// size returns the live item count.
+// buildEpochLocked snapshots the build state into a fresh epoch. Caller
+// holds mu (or, for the initial epoch, exclusive ownership).
+func (c *corpus) buildEpochLocked() *epoch {
+	c.seq++
+	ids := make([]string, len(c.items))
+	for i := range c.items {
+		ids[i] = c.items[i].id
+	}
+	// Weights were validated on the way in, so NewModular cannot fail; it
+	// copies, which is exactly the isolation the epoch needs.
+	weights, err := setfunc.NewModular(c.weights)
+	if err != nil {
+		panic(fmt.Sprintf("server: corpus weights invalid at publish: %v", err))
+	}
+	return &epoch{
+		seq:     c.seq,
+		n:       len(c.items),
+		dist:    c.dist.Snapshot(),
+		weights: weights,
+		ids:     ids,
+	}
+}
+
+// publishIfDirty publishes a new epoch if any mutation landed since the last
+// one. Mutation flush paths call it after applying their batch; the query
+// path calls it after the pre-solve flush fan-out, so every acknowledged
+// mutation is visible to the query that follows it.
+func (c *corpus) publishIfDirty() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirty {
+		return
+	}
+	c.store.publish(c.buildEpochLocked())
+	c.dirty = false
+}
+
+// size returns the live item count of the build state.
 func (c *corpus) size() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.items)
 }
 
 // queriesServed returns how many solves the corpus has answered.
 func (c *corpus) queriesServed() uint64 { return c.queries.Load() }
 
-// indexOf maps a live item id to its corpus index (under the read lock the
-// caller already holds via query paths; exposed for the maintained scope).
-func (c *corpus) indexOfLocked(id string) (int, bool) {
-	idx, ok := c.ids[id]
-	return idx, ok
+// backendKind names the distance representation ("f64", "f32").
+func (c *corpus) backendKind() string { return c.dist.Kind() }
+
+// residentBytes approximates the build backend's resident distance bytes
+// (superseded epochs pinned by in-flight queries can transiently hold more).
+func (c *corpus) residentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dist.Bytes()
 }
+
+// epochSeq returns the current epoch's sequence number.
+func (c *corpus) epochSeq() uint64 { return c.store.current().seq }
+
+// epochsLive returns how many published epochs are still referenced.
+func (c *corpus) epochsLive() int64 { return c.store.live.Load() }
 
 // solveSpec carries the per-query parameters down to the corpus.
 type solveSpec struct {
@@ -145,14 +206,14 @@ type solveSpec struct {
 	lambda   float64
 	parallel *engine.Pool // nil = corpus pool
 	// exactLimit caps the candidate-pool size core.AlgoExact accepts
-	// (0 = unlimited). Enforced inside the solve, under the same lock the
-	// solve runs with, so a concurrent mutation cannot grow the pool
-	// between the check and the enumeration.
+	// (0 = unlimited). The pool size is the pinned epoch's — immutable for
+	// the duration of the solve — so check and enumeration cannot race a
+	// flush.
 	exactLimit int
 }
 
-// checkExactLimit rejects an over-limit exact solve; n is the pool size
-// observed under the caller's lock.
+// checkExactLimit rejects an over-limit exact solve; n is the pinned
+// epoch's pool size.
 func (spec solveSpec) checkExactLimit(n int) error {
 	if spec.algo == core.AlgoExact && spec.exactLimit > 0 && n > spec.exactLimit {
 		return badRequestError{exactLimitError(n)}
@@ -164,17 +225,19 @@ func (spec solveSpec) checkExactLimit(n int) error {
 type solveResult struct {
 	sol   *core.Solution
 	items []item // selected items, aligned with sol.Members order
-	n     int    // candidate-pool size the solve ran over
+	n     int    // candidate-pool size the solve ran over (n at epoch)
 }
 
-// solveFull answers a query over every live item, straight on the
-// long-lived backend: the only per-query constructions are the O(1)
-// objective struct and the pooled solver state.
+// solveFull answers a query over every item of the current epoch. The solve
+// holds no lock: it pins the epoch, runs however long the algorithm takes,
+// and unpins — concurrent flushes publish right past it, and the epoch's
+// refcount keeps its rows alive until the solve finishes. The only
+// per-query constructions are the O(1) objective struct and pooled scratch.
 func (c *corpus) solveFull(ctx context.Context, spec solveSpec) (*solveResult, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	c.bumpQueries()
-	n := len(c.items)
+	e := c.store.pin()
+	defer c.store.unpin(e)
+	c.queries.Add(1)
+	n := e.n
 	if n == 0 || spec.k == 0 {
 		return &solveResult{n: n}, nil
 	}
@@ -182,7 +245,7 @@ func (c *corpus) solveFull(ctx context.Context, spec solveSpec) (*solveResult, e
 		return nil, err
 	}
 	k := min(spec.k, n)
-	obj, err := core.NewObjectiveCached(c.weights, spec.lambda, c.dist, c.scratch)
+	obj, err := core.NewObjectiveCached(e.weights, spec.lambda, e.dist, c.scratch)
 	if err != nil {
 		return nil, err
 	}
@@ -197,22 +260,23 @@ func (c *corpus) solveFull(ctx context.Context, spec solveSpec) (*solveResult, e
 	}
 	out := &solveResult{sol: sol, n: n, items: make([]item, len(sol.Members))}
 	for i, m := range sol.Members {
-		out.items[i] = c.items[m]
+		out.items[i] = item{id: e.ids[m], weight: e.weights.Weight(m)}
 	}
 	return out, nil
 }
 
-// solveSubset answers a query over the given live item ids (the maintained
-// scope's constant-size candidate pool). The subset view reads the shared
-// backend through an index remap — still no backend construction; the only
-// per-query state is O(|subset|).
+// solveSubset answers a query over the given item ids (the maintained
+// scope's constant-size candidate pool), resolved against and solved on one
+// pinned epoch — ids unknown to the epoch (e.g. raced by a delete) drop out.
+// The subset view reads the epoch's snapshot through an index remap — still
+// no backend construction; the only per-query state is O(|subset|).
 func (c *corpus) solveSubset(ctx context.Context, ids []string, spec solveSpec) (*solveResult, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	c.bumpQueries()
+	e := c.store.pin()
+	defer c.store.unpin(e)
+	c.queries.Add(1)
 	subset := make([]int, 0, len(ids))
 	for _, id := range ids {
-		if idx, ok := c.indexOfLocked(id); ok {
+		if idx, ok := e.index(id); ok {
 			subset = append(subset, idx)
 		}
 	}
@@ -226,14 +290,14 @@ func (c *corpus) solveSubset(ctx context.Context, ids []string, spec solveSpec) 
 	k := min(spec.k, m)
 	weights := make([]float64, m)
 	for i, idx := range subset {
-		weights[i] = c.weights.Weight(idx)
+		weights[i] = e.weights.Weight(idx)
 	}
 	mod, err := setfunc.NewModular(weights)
 	if err != nil {
 		return nil, err
 	}
 	view := metric.Func{N: m, F: func(i, j int) float64 {
-		return c.dist.Distance(subset[i], subset[j])
+		return e.dist.Distance(subset[i], subset[j])
 	}}
 	obj, err := core.NewObjective(mod, spec.lambda, view)
 	if err != nil {
@@ -250,7 +314,8 @@ func (c *corpus) solveSubset(ctx context.Context, ids []string, spec solveSpec) 
 	}
 	out := &solveResult{sol: sol, n: m, items: make([]item, len(sol.Members))}
 	for i, mi := range sol.Members {
-		out.items[i] = c.items[subset[mi]]
+		idx := subset[mi]
+		out.items[i] = item{id: e.ids[idx], weight: e.weights.Weight(idx)}
 	}
 	return out, nil
 }
@@ -261,5 +326,3 @@ func (c *corpus) poolFor(spec solveSpec) *engine.Pool {
 	}
 	return c.pool
 }
-
-func (c *corpus) bumpQueries() { c.queries.Add(1) }

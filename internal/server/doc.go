@@ -1,7 +1,8 @@
 // Package server exposes max-sum diversification as a long-running HTTP
 // service over a sharded in-memory item index — the serve-while-updating
 // workload that motivates the paper's dynamic-update results (Section 6)
-// and the follow-up fully dynamic submodular maximization literature.
+// and the follow-up fully dynamic submodular maximization literature, where
+// update time is the first-class metric.
 //
 // # Architecture
 //
@@ -14,23 +15,37 @@
 //     single-swap rule, and
 //   - a pending-mutation queue: writes are O(1) appends coalesced by item
 //     ID (the last upsert of an ID wins; an insert followed by a delete
-//     cancels), applied in one batch — and therefore one O(n·p) solver
-//     state rebuild — when a query arrives or the queue hits its flush
-//     threshold.
+//     cancels), applied in one batch when a query arrives or the queue
+//     hits its flush threshold.
 //
-// Every flushed mutation is additionally written through to one
-// long-lived corpus: the union of all shards' live items behind a single
-// growable distance backend (one O(n) row append per insert, one
-// swap-removal per delete) with index-aligned weights and pooled solver
-// scratch. Queries flush the shards (fanned out over the engine worker
-// pool) and then solve directly on that shared backend with the
-// requested algorithm and per-request λ — the query path constructs no
-// problem, no distance backend, and no worker pool, whatever parameters
-// each request carries, and the request context cancels a solve
-// mid-scan. The "maintained" scope instead solves over just the union of
-// the shards' maintained selections — a constant-size candidate pool
-// that trades a little quality for latency independent of the corpus
-// size — through a subset view of the same backend.
+// Every flushed mutation is additionally written through to one long-lived
+// corpus, which is an epoch/snapshot store:
+//
+//   - The write side is a growable distance backend (one O(n) triangular
+//     row append per insert, one permutation-only swap-removal per delete)
+//     plus index-aligned weights, guarded by a mutex that only writers
+//     take.
+//   - After a flush batch lands, the corpus publishes an immutable epoch:
+//     the distance triangle is shared structurally with every earlier
+//     epoch (rows are never mutated after append, so publishing costs
+//     O(changed rows) plus an O(n) id/weight metadata copy) and a pointer
+//     swap makes it current.
+//   - Queries pin the current epoch with a refcount and solve entirely
+//     lock-free — no query ever holds a lock a mutation could queue
+//     behind, and no flush can change what a running solve observes. A
+//     superseded epoch stays readable until its last query unpins it.
+//
+// The backend representation is pluggable (Config.Backend, cmd/serve
+// -backend): "f64" stores exact float64 rows; "f32" stores float32 rows at
+// half the resident bytes (~2·n² vs ~4·n² for n items), which is what lets
+// corpora twice as large fit the same memory budget. Either way the query
+// path constructs no problem, no distance backend, and no worker pool,
+// whatever algorithm, λ, or k each request carries, and the request
+// context cancels a solve mid-scan. The "maintained" scope instead solves
+// over just the union of the shards' maintained selections — a
+// constant-size candidate pool that trades a little quality for latency
+// independent of the corpus size — through a subset view of the same
+// pinned epoch.
 //
 // # Endpoints
 //
@@ -39,7 +54,8 @@
 //	POST   /diversify   {"k":10,"algorithm":"greedy","scope":"full"}
 //	GET    /healthz     liveness + item count
 //	GET    /stats       shard sizes, pending queues, maintained values,
-//	                    distance-cache hit rate, query/mutation latencies
+//	                    corpus backend/epoch/memory, latency percentiles
 //
-// See cmd/serve for the binary and cmd/loadgen for a workload driver.
+// See cmd/serve for the binary and cmd/loadgen for a workload driver
+// (including the -contention writer-stall probe).
 package server

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/setfunc"
+)
+
+// epoch is one immutable published generation of the corpus: a distance
+// snapshot (structurally sharing unchanged rows with every other epoch), the
+// matching weights and ids, and a pin count. A query pins the current epoch,
+// solves on it without any lock, and unpins; a mutation flush builds the
+// next epoch and swaps the store's pointer without ever waiting on readers.
+type epoch struct {
+	seq     uint64
+	n       int
+	dist    metric.Snapshot
+	weights *setfunc.Modular // index-aligned with dist; immutable per epoch
+	ids     []string         // logical index → item id
+
+	// idIndex resolves item ids to epoch indices for the maintained scope;
+	// built lazily so full-scope-only workloads never pay the map build.
+	idIndexOnce sync.Once
+	idIndex     map[string]int
+
+	// refs counts pins plus the store's own reference to the current epoch.
+	// The last unpin flips released (bookkeeping only — memory is GC'd).
+	refs     atomic.Int64
+	released atomic.Bool
+}
+
+// index resolves an item id to this epoch's logical index.
+func (e *epoch) index(id string) (int, bool) {
+	e.idIndexOnce.Do(func() {
+		m := make(map[string]int, len(e.ids))
+		for i, eid := range e.ids {
+			m[eid] = i
+		}
+		e.idIndex = m
+	})
+	idx, ok := e.idIndex[id]
+	return idx, ok
+}
+
+// epochStore publishes epochs and hands them to readers with a refcount, so
+// an epoch superseded mid-query stays fully readable until its last reader
+// finishes — the lock-free read side of the corpus.
+type epochStore struct {
+	cur  atomic.Pointer[epoch]
+	live atomic.Int64 // published epochs not yet released (observability)
+
+	// onRelease, when non-nil, observes each epoch's release (tests). Set
+	// before the first publish; never mutated afterwards.
+	onRelease func(*epoch)
+}
+
+// publish makes e the current epoch and drops the store's reference to its
+// predecessor. Callers must have fully built e first; the store takes
+// ownership of one reference.
+func (s *epochStore) publish(e *epoch) {
+	e.refs.Store(1)
+	s.live.Add(1)
+	if old := s.cur.Swap(e); old != nil {
+		s.unpin(old)
+	}
+}
+
+// pin returns the current epoch with a reference held. The retry handles the
+// publish race: if the pointer moved between the load and the increment, the
+// stale reference is dropped and the new epoch pinned instead, so a pinned
+// epoch is always fully published.
+func (s *epochStore) pin() *epoch {
+	for {
+		e := s.cur.Load()
+		e.refs.Add(1)
+		if s.cur.Load() == e {
+			return e
+		}
+		s.unpin(e)
+	}
+}
+
+// unpin releases one reference; the last reference marks the epoch released.
+// The CAS makes release idempotent: pin's optimistic increment can briefly
+// resurrect an epoch that already hit zero, and its matching unpin must not
+// double-count the release.
+func (s *epochStore) unpin(e *epoch) {
+	if e.refs.Add(-1) != 0 {
+		return
+	}
+	if e.released.CompareAndSwap(false, true) {
+		s.live.Add(-1)
+		if s.onRelease != nil {
+			s.onRelease(e)
+		}
+	}
+}
+
+// current returns the current epoch without pinning (stats snapshots; the
+// fields read are immutable).
+func (s *epochStore) current() *epoch { return s.cur.Load() }

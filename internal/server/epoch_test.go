@@ -1,0 +1,250 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// loadItems pushes n items straight through the shard queues into the corpus
+// and publishes the resulting epoch.
+func loadItems(t *testing.T, s *Server, n, dim int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("ep-%d", i)
+		sh := s.shardFor(id)
+		sh.enqueue(op{kind: opUpsert, id: id, weight: rng.Float64(), vector: randVec(rng, dim)})
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// applyMutation drives one upsert through a shard flush and an epoch
+// publish — the full write path a threshold flush takes, without HTTP.
+func applyMutation(t *testing.T, s *Server, id string, rng *rand.Rand) {
+	t.Helper()
+	sh := s.shardFor(id)
+	sh.enqueue(op{kind: opUpsert, id: id, weight: rng.Float64(), vector: randVec(rng, 4)})
+	if _, err := sh.flush(); err != nil {
+		t.Error(err)
+		return
+	}
+	s.corpus.publishIfDirty()
+}
+
+// TestServerMutationsDontWaitOnSlowQuery is the deterministic writer-stall
+// proof: an exact solve over 40 items with k=20 visits C(40,20) ≈ 1.4e11
+// nodes — it cannot finish before its context is cancelled, so it is
+// guaranteed to still be mid-solve while we push a full mutation stream
+// (enqueue → shard flush → epoch publish) through the corpus. Under the old
+// RWMutex corpus every one of those flushes would block until the reader
+// released the lock, i.e. until cancellation; under epochs they complete
+// immediately, while the solve keeps reading its pinned epoch.
+func TestServerMutationsDontWaitOnSlowQuery(t *testing.T) {
+	s, err := New(Config{Shards: 2, Lambda: 0.5, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadItems(t, s, exactQueryLimit, 4, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queryErr := make(chan error, 1)
+	before := s.corpus.queriesServed()
+	go func() {
+		_, err := s.Diversify(ctx, DiversifyRequest{K: 20, Algorithm: "exact"})
+		queryErr <- err
+	}()
+	// Wait until the query has pinned its epoch and entered the solve.
+	for s.corpus.queriesServed() == before {
+		time.Sleep(time.Millisecond)
+	}
+
+	seq0 := s.corpus.epochSeq()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 30; i++ {
+			applyMutation(t, s, fmt.Sprintf("mut-%d", i), rng)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("mutation flushes stalled behind the in-flight query")
+	}
+	if got := s.corpus.epochSeq(); got <= seq0 {
+		t.Fatalf("epoch did not advance under mutations: %d → %d", seq0, got)
+	}
+	if got := s.corpus.size(); got != exactQueryLimit+30 {
+		t.Fatalf("corpus has %d items after mutations, want %d", got, exactQueryLimit+30)
+	}
+	// The solve must still be running — it only ever ends on cancellation.
+	select {
+	case err := <-queryErr:
+		t.Fatalf("exact solve finished implausibly fast (err %v); the stall proof needs it mid-flight", err)
+	default:
+	}
+	cancel()
+	select {
+	case err := <-queryErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled solve returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("solve ignored cancellation")
+	}
+}
+
+// TestQueryPinnedEpochStableUnderFlush runs concurrent mutation churn
+// against a pinned epoch and a stream of queries (-race). The pinned epoch
+// must keep answering with its capture-time state — same n, same ids, same
+// distances — and every concurrent query must return exactly
+// min(k, n-at-its-epoch) items, however much the corpus moves underneath.
+func TestQueryPinnedEpochStableUnderFlush(t *testing.T) {
+	s, err := New(Config{Shards: 2, Lambda: 0.5, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n0 = 120
+	loadItems(t, s, n0, 4, 3)
+
+	e := s.corpus.store.pin() // a query mid-solve, frozen in time
+	if e.n != n0 {
+		t.Fatalf("pinned epoch has n=%d, want %d", e.n, n0)
+	}
+	ids0 := append([]string(nil), e.ids...)
+	const probe = 24
+	var dists0 [probe][probe]float64
+	for i := 0; i < probe; i++ {
+		for j := 0; j < probe; j++ {
+			dists0[i][j] = e.dist.Distance(i, j)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 150; i++ {
+				if rng.Intn(3) == 0 {
+					id := fmt.Sprintf("ep-%d", rng.Intn(n0))
+					sh := s.shardFor(id)
+					if _, ok := sh.enqueue(op{kind: opDelete, id: id}); ok {
+						if _, err := sh.flush(); err != nil {
+							t.Error(err)
+							return
+						}
+						s.corpus.publishIfDirty()
+					}
+				} else {
+					applyMutation(t, s, fmt.Sprintf("churn-%d-%d", w, i), rng)
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		const k = 2 * n0 // above n, so |result| must track each epoch's n
+		for i := 0; i < 60; i++ {
+			resp, err := s.Diversify(context.Background(), DiversifyRequest{K: k})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if want := min(k, resp.N); len(resp.Items) != want {
+				t.Errorf("query %d: %d items, want min(k=%d, n-at-epoch=%d) = %d",
+					i, len(resp.Items), k, resp.N, want)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if e.n != n0 || len(e.ids) != n0 {
+		t.Fatalf("pinned epoch resized under churn: n=%d ids=%d, want %d", e.n, len(e.ids), n0)
+	}
+	for i, id := range ids0 {
+		if e.ids[i] != id {
+			t.Fatalf("pinned epoch id[%d] drifted %q → %q", i, id, e.ids[i])
+		}
+	}
+	for i := 0; i < probe; i++ {
+		for j := 0; j < probe; j++ {
+			if got := e.dist.Distance(i, j); got != dists0[i][j] {
+				t.Fatalf("pinned epoch d(%d,%d) drifted %g → %g", i, j, dists0[i][j], got)
+			}
+		}
+	}
+	if e.released.Load() {
+		t.Fatal("pinned epoch released while still pinned")
+	}
+	s.corpus.store.unpin(e)
+	if !e.released.Load() {
+		t.Fatal("superseded epoch not released after its last unpin")
+	}
+	if live := s.corpus.epochsLive(); live != 1 {
+		t.Fatalf("%d epochs live after churn settled, want 1 (the current)", live)
+	}
+}
+
+// TestEpochRefcountLifecycle exercises the store directly: a superseded
+// epoch stays alive exactly until its last reader unpins, an unpinned
+// superseded epoch is released by the publish itself, and the current epoch
+// is never released by pin/unpin traffic.
+func TestEpochRefcountLifecycle(t *testing.T) {
+	var mu sync.Mutex
+	var released []uint64
+	store := &epochStore{onRelease: func(e *epoch) {
+		mu.Lock()
+		released = append(released, e.seq)
+		mu.Unlock()
+	}}
+	releasedSeqs := func() []uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]uint64(nil), released...)
+	}
+
+	e1 := &epoch{seq: 1}
+	store.publish(e1)
+	p := store.pin()
+	if p != e1 {
+		t.Fatalf("pinned epoch %d, want 1", p.seq)
+	}
+	e2 := &epoch{seq: 2}
+	store.publish(e2) // supersedes e1, which the reader still pins
+	if got := releasedSeqs(); len(got) != 0 {
+		t.Fatalf("released %v while epoch 1 still pinned", got)
+	}
+	if live := store.live.Load(); live != 2 {
+		t.Fatalf("live = %d, want 2 (current + pinned)", live)
+	}
+	store.unpin(p)
+	if got := releasedSeqs(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("released %v after last unpin, want [1]", got)
+	}
+	store.publish(&epoch{seq: 3}) // e2 has no readers: released immediately
+	if got := releasedSeqs(); len(got) != 2 || got[1] != 2 {
+		t.Fatalf("released %v after superseding unpinned epoch, want [1 2]", got)
+	}
+	for i := 0; i < 3; i++ {
+		store.unpin(store.pin())
+	}
+	if got := releasedSeqs(); len(got) != 2 {
+		t.Fatalf("pin/unpin of the current epoch released it: %v", got)
+	}
+	if live := store.live.Load(); live != 1 {
+		t.Fatalf("live = %d, want 1", live)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"maxsumdiv/internal/core"
 	"maxsumdiv/internal/engine"
+	"maxsumdiv/internal/metric"
 )
 
 // maxBodyBytes bounds request bodies (a 64k-dim float vector is ~1.5 MB of
@@ -38,6 +39,19 @@ type badRequestError struct{ err error }
 func (e badRequestError) Error() string { return e.err.Error() }
 func (e badRequestError) Unwrap() error { return e.err }
 
+// Backend selects the corpus's growable distance representation.
+type Backend string
+
+const (
+	// BackendF64 stores exact float64 triangular rows (the default).
+	BackendF64 Backend = Backend(metric.KindF64)
+	// BackendF32 stores float32 triangular rows: half the resident bytes of
+	// BackendF64 with ~1e-7 relative rounding, the same O(1) lookups, and
+	// the same O(n) row folds — the representation that lets corpora twice
+	// as large fit the same memory budget.
+	BackendF32 Backend = Backend(metric.KindF32)
+)
+
 // Config parameterizes a Server. The zero value is usable: sizing fields
 // get production-lean defaults, and Lambda 0 selects on quality alone.
 type Config struct {
@@ -59,14 +73,16 @@ type Config struct {
 	// QueryTimeout bounds each /diversify solve (0 = unlimited): the
 	// handler derives a deadline-carrying context and the solvers honor it
 	// mid-scan, so a runaway query (exact on a large pool, a client that
-	// hung up) stops burning workers promptly.
+	// hung up) stops burning workers promptly. Since queries solve on
+	// pinned epochs, a slow or unbounded query only ever costs itself —
+	// mutations never wait on it.
 	QueryTimeout time.Duration
-	// Float32 is accepted for configuration compatibility but no longer
-	// selects a backend.
-	//
-	// Deprecated: the server now solves every query on one long-lived
-	// incrementally maintained distance backend instead of building a
-	// per-query backend, so there is no per-query representation to choose.
+	// Backend selects the corpus's distance representation: BackendF64
+	// (default) for exact float64 rows, BackendF32 for half the resident
+	// bytes. Empty defers to Float32.
+	Backend Backend
+	// Float32 selects BackendF32; it is the pre-Backend spelling of the
+	// same choice and may not contradict a non-empty Backend.
 	Float32 bool
 }
 
@@ -80,6 +96,13 @@ func (c Config) withDefaults() Config {
 	if c.FlushThreshold <= 0 {
 		c.FlushThreshold = 256
 	}
+	if c.Backend == "" {
+		if c.Float32 {
+			c.Backend = BackendF32
+		} else {
+			c.Backend = BackendF64
+		}
+	}
 	return c
 }
 
@@ -87,8 +110,10 @@ func (c Config) withDefaults() Config {
 // expose via Handler. Mutations land in per-shard queues (with the paper's
 // Section 6 dynamic maintenance per shard); flushed mutations are written
 // through to one long-lived corpus whose distance backend grows and shrinks
-// row by row, and every query solves directly on it — the query path
-// constructs no distance backend, whatever λ, k, or algorithm it carries.
+// row by row, and each flush publishes an immutable epoch. Every query pins
+// the current epoch and solves on it lock-free — the query path constructs
+// no distance backend, whatever λ, k, or algorithm it carries, and a slow
+// query can never stall a mutation (or the queries behind it).
 type Server struct {
 	cfg    Config
 	shards []*shard
@@ -112,15 +137,22 @@ type Server struct {
 
 // New builds a server from the config (zero value = defaults).
 func New(cfg Config) (*Server, error) {
+	if cfg.Float32 && cfg.Backend != "" && cfg.Backend != BackendF32 {
+		return nil, fmt.Errorf("server: Float32 conflicts with Backend %q", cfg.Backend)
+	}
 	cfg = cfg.withDefaults()
 	if cfg.Lambda < 0 || math.IsNaN(cfg.Lambda) || math.IsInf(cfg.Lambda, 0) {
 		return nil, fmt.Errorf("server: lambda = %g, want finite ≥ 0", cfg.Lambda)
 	}
 	pool := engine.New(cfg.Parallelism)
+	corpus, err := newCorpus(pool, string(cfg.Backend))
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:    cfg,
 		shards: make([]*shard, cfg.Shards),
-		corpus: newCorpus(pool),
+		corpus: corpus,
 		pool:   pool,
 		seed:   maphash.MakeSeed(),
 		start:  time.Now(),
@@ -350,6 +382,7 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	touched := make(map[*shard]bool)
+	flushed := false
 	for _, it := range batch {
 		sh := s.shardFor(it.ID)
 		touched[sh] = true
@@ -359,7 +392,14 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 				httpError(w, http.StatusInternalServerError, err)
 				return
 			}
+			flushed = true
 		}
+	}
+	// One publish per request, not per threshold flush: the epoch metadata
+	// copy is O(n), and queries only need the batch visible once it is
+	// acknowledged.
+	if flushed {
+		s.corpus.publishIfDirty()
 	}
 	pending := 0
 	for sh := range touched {
@@ -387,6 +427,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
+		s.corpus.publishIfDirty()
 		n = sh.pendingLen()
 	}
 	s.mutationLat.record(time.Since(start))
@@ -428,11 +469,12 @@ func (s *Server) handleDiversify(w http.ResponseWriter, r *http.Request) {
 }
 
 // Diversify answers a query: flush every shard (fanned out over the engine
-// pool, each flush writing through to the long-lived corpus), then solve
-// directly on the corpus's shared distance backend with the requested
+// pool, each flush writing through to the long-lived corpus), publish the
+// resulting epoch, then pin it and solve lock-free with the requested
 // algorithm and per-query λ. Nothing is constructed on the query path —
-// no problem, no distance backend, no worker pool — and ctx cancels the
-// solve mid-scan.
+// no problem, no distance backend, no worker pool — ctx cancels the solve
+// mid-scan, and concurrent mutations flush and publish right past the
+// running solve without waiting for it.
 func (s *Server) Diversify(ctx context.Context, req DiversifyRequest) (*DiversifyResponse, error) {
 	start := time.Now()
 	algo, err := algorithmOf(req.Algorithm)
@@ -454,6 +496,7 @@ func (s *Server) Diversify(ctx context.Context, req DiversifyRequest) (*Diversif
 			return nil, err
 		}
 	}
+	s.corpus.publishIfDirty()
 
 	scope := req.Scope
 	if scope == "" {
@@ -472,9 +515,9 @@ func (s *Server) Diversify(ctx context.Context, req DiversifyRequest) (*Diversif
 	if req.Lambda != nil {
 		lambda = *req.Lambda
 	}
-	// The exact-size cap is enforced inside the corpus solve, under the
-	// same lock the enumeration runs with, so a concurrent flush cannot
-	// grow the pool between check and solve.
+	// The exact-size cap is enforced against the pinned epoch's pool size,
+	// which is immutable for the duration of the solve, so a concurrent
+	// flush cannot grow the pool between check and enumeration.
 	spec := solveSpec{algo: algo, k: req.K, lambda: lambda, exactLimit: exactQueryLimit}
 	var res *solveResult
 	if maintained {
@@ -549,10 +592,19 @@ func (s *Server) Stats() Stats {
 		st.Shards[i] = row
 	}
 	st.Items = s.itemCount()
-	st.Corpus = CorpusStats{
-		Items:   s.corpus.size(),
-		Queries: s.corpus.queriesServed(),
+	items := s.corpus.size()
+	cs := CorpusStats{
+		Items:         items,
+		Queries:       s.corpus.queriesServed(),
+		Backend:       s.corpus.backendKind(),
+		Epoch:         s.corpus.epochSeq(),
+		EpochsLive:    s.corpus.epochsLive(),
+		ResidentBytes: s.corpus.residentBytes(),
 	}
+	if items > 0 {
+		cs.BytesPerItem = float64(cs.ResidentBytes) / float64(items)
+	}
+	st.Corpus = cs
 	return st
 }
 
@@ -560,7 +612,8 @@ func (s *Server) Stats() Stats {
 // before a graceful shutdown so load balancers stop routing to it.
 func (s *Server) SetHealthy(ok bool) { s.healthy.Store(ok) }
 
-// Flush applies every shard's pending queue (test and shutdown hook).
+// Flush applies every shard's pending queue and publishes the resulting
+// epoch (test and shutdown hook).
 func (s *Server) Flush() error {
 	errs := make([]error, len(s.shards))
 	s.pool.Do(len(s.shards), func(i int) {
@@ -571,6 +624,7 @@ func (s *Server) Flush() error {
 			return err
 		}
 	}
+	s.corpus.publishIfDirty()
 	return nil
 }
 

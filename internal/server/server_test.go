@@ -417,4 +417,21 @@ func TestServerStatsCorpusCounters(t *testing.T) {
 	if st.Corpus.Queries != 1 {
 		t.Fatalf("corpus queries = %d, want 1", st.Corpus.Queries)
 	}
+	if st.Corpus.Backend != string(BackendF64) {
+		t.Fatalf("corpus backend = %q, want default %q", st.Corpus.Backend, BackendF64)
+	}
+	// New(empty) publishes epoch 1; the flushed batch publishes at least one
+	// more, and with no query in flight only the current epoch stays live.
+	if st.Corpus.Epoch < 2 {
+		t.Fatalf("epoch counter = %d after a flushed batch, want ≥ 2", st.Corpus.Epoch)
+	}
+	if st.Corpus.EpochsLive != 1 {
+		t.Fatalf("epochs live = %d at rest, want 1", st.Corpus.EpochsLive)
+	}
+	// 1100 items of float64 triangle ≈ 8·n(n-1)/2 bytes; BytesPerItem must
+	// reflect it (~4·(n-1) ≈ 4396 bytes/item).
+	if st.Corpus.ResidentBytes < 4_000_000 || st.Corpus.BytesPerItem < 4000 {
+		t.Fatalf("resident bytes = %d (%.0f/item), implausibly small for n=1100",
+			st.Corpus.ResidentBytes, st.Corpus.BytesPerItem)
+	}
 }

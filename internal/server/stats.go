@@ -92,12 +92,25 @@ type ShardStats struct {
 }
 
 // CorpusStats describes the long-lived query index: the flushed item count
-// its backend currently covers and the number of solves it has answered
-// since startup — all on the one incrementally maintained backend (the
-// query path constructs none).
+// its backend currently covers, the number of solves answered since
+// startup, and the epoch/backend observability operators size deployments
+// by — which representation the corpus stores distances in, how many epochs
+// have been published, how many superseded epochs in-flight queries still
+// pin, and the backend's approximate resident bytes (BytesPerItem makes the
+// f32-vs-f64 memory trade directly visible).
 type CorpusStats struct {
 	Items   int    `json:"items"`
 	Queries uint64 `json:"queries"`
+	// Backend is the distance representation kind ("f64", "f32").
+	Backend string `json:"backend"`
+	// Epoch counts published immutable corpus generations.
+	Epoch uint64 `json:"epoch"`
+	// EpochsLive counts published epochs not yet released — 1 when idle,
+	// transiently higher while queries pin superseded epochs.
+	EpochsLive int64 `json:"epochs_live"`
+	// ResidentBytes approximates the build backend's distance storage.
+	ResidentBytes int64   `json:"resident_bytes"`
+	BytesPerItem  float64 `json:"bytes_per_item,omitempty"`
 }
 
 // Stats is the /stats response body.
