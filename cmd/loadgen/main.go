@@ -1,7 +1,21 @@
-// Command loadgen drives a configurable insert/delete/query mix against a
-// running serve instance (cmd/serve) and reports throughput and tail
-// latency per operation type, while asserting the service's correctness
-// invariants under concurrency:
+// Command loadgen drives declarative workload scenarios against a serve
+// instance (cmd/serve) and reports throughput and tail latency per
+// operation type, while asserting the service's correctness invariants
+// under concurrency. It is a thin front end over internal/scenario: every
+// run — flag-built or named — is a scenario spec executed by the same
+// engine.
+//
+// Two ways to choose the workload:
+//
+//   - -scenario <name|path> runs a built-in scenario (see -list-scenarios)
+//     or a JSON spec file from disk. Built-ins cover the standard mixes:
+//     steady-mixed, zipf-read-heavy, adversarial-churn, flash-crowd, and
+//     contention. The same specs ship as files under scenarios/.
+//   - the classic flags (-inserts/-deletes/-queries, -workers, -ops, ...)
+//     assemble a closed-loop spec on the fly, preserving the original
+//     loadgen behavior and report lines.
+//
+// Invariants checked while the load runs:
 //
 //   - every query returns exactly min(k, live items) results with no
 //     duplicate ids;
@@ -21,6 +35,12 @@
 // every mutation flush queued behind it; on the epoch corpus it stays flat
 // however slow the queries are.
 //
+// Open-loop scenarios (the built-ins' default) schedule op arrivals from a
+// target rate and measure latency from the scheduled arrival, so time an op
+// spends queued behind a saturated in-flight pool counts — the reported
+// percentiles are free of coordinated omission. A -seed'ed run's op
+// sequence is a pure function of (spec, seed) and replays exactly.
+//
 // Usage:
 //
 //	loadgen -addr http://localhost:8080 [-workers 8] [-ops 200]
@@ -28,32 +48,42 @@
 //	        [-k 10] [-dim 8] [-algo greedy] [-scope full] [-seed 1]
 //	        [-lambda-spread] [-check-monotone]
 //	        [-contention] [-contention-items 1024]
+//	        [-scenario steady-mixed] [-inproc] [-bench-out report.json]
+//	        [-list-scenarios]
 //
 // With -duration > 0 each worker runs for that wall-clock span instead of
-// a fixed op count. Exit status is non-zero if any request failed or any
-// invariant was violated.
+// a fixed op count (for -scenario it overrides the spec's duration). With
+// -inproc the load runs against an in-process server instead of -addr —
+// no network, which is how CI smoke-tests scenarios under -race. With
+// -bench-out the run is also written as a maxsumdiv-bench JSON report
+// (calibration entry included) compatible with cmd/bench -compare. Exit
+// status is non-zero if any request failed or any invariant was violated.
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
-	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
-	"sort"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
+
+	"maxsumdiv/internal/bench"
+	"maxsumdiv/internal/scenario"
+	"maxsumdiv/internal/server"
 )
 
 func main() {
 	cfg := Config{}
+	var (
+		scenarioName  string
+		listScenarios bool
+		inproc        bool
+		benchOut      string
+	)
 	flag.StringVar(&cfg.BaseURL, "addr", "http://localhost:8080", "server base URL")
 	flag.IntVar(&cfg.Workers, "workers", 8, "concurrent client workers")
 	flag.IntVar(&cfg.Ops, "ops", 200, "operations per worker (ignored when -duration > 0)")
@@ -67,29 +97,102 @@ func main() {
 	flag.StringVar(&cfg.Scope, "scope", "full", "query scope: full | maintained")
 	flag.BoolVar(&cfg.LambdaSpread, "lambda-spread", false,
 		"rotate a per-query lambda override across requests (stresses the query-time trade-off path)")
-	flag.Int64Var(&cfg.Seed, "seed", 1, "RNG seed")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "RNG seed (the op sequence is a pure function of spec + seed)")
 	flag.BoolVar(&cfg.CheckMonotone, "check-monotone", false,
 		"assert the objective is non-decreasing (requires -workers 1, -deletes 0, -algo exact)")
 	flag.BoolVar(&cfg.Contention, "contention", false,
 		"writer-stall probe: slow-query workers plus a pure mutation stream; reports mutation p99")
 	flag.IntVar(&cfg.ContentionItems, "contention-items", 0,
 		"corpus size seeded before a -contention run (default 1024)")
+	flag.StringVar(&scenarioName, "scenario", "",
+		"run a built-in scenario or JSON spec file instead of the flag-built mix")
+	flag.BoolVar(&listScenarios, "list-scenarios", false, "list built-in scenarios and exit")
+	flag.BoolVar(&inproc, "inproc", false,
+		"run against an in-process server instead of -addr (no network; CI smoke mode)")
+	flag.StringVar(&benchOut, "bench-out", "",
+		"also write the run as a maxsumdiv-bench JSON report to this file")
 	flag.Parse()
+
+	if listScenarios {
+		for _, name := range scenario.BuiltinNames() {
+			spec, _ := scenario.Builtin(name)
+			fmt.Printf("%-18s %s\n", name, spec.Description)
+		}
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	rep, err := Run(ctx, cfg)
+
+	var target scenario.Target
+	if inproc {
+		srv, err := server.New(server.Config{Shards: 4, Lambda: 0.5, MaintainK: 8, FlushThreshold: 64})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: in-process server:", err)
+			os.Exit(2)
+		}
+		target = scenario.NewHandlerTarget(srv.Handler())
+	}
+
+	var rep *Report
+	var err error
+	if scenarioName != "" {
+		var spec *scenario.Spec
+		spec, err = scenario.Load(scenarioName)
+		if err == nil {
+			// Explicit flags override the spec's own settings.
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "seed":
+					spec.Seed = cfg.Seed
+				case "duration":
+					spec.Duration = scenario.Duration{Duration: cfg.Duration}
+				}
+			})
+			if target == nil {
+				target = scenario.NewHTTPTarget(cfg.BaseURL, cfg.Client)
+			}
+			rep, err = RunSpec(ctx, spec, target)
+		}
+	} else {
+		cfg.Target = target
+		rep, err = Run(ctx, cfg)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(2)
 	}
 	fmt.Print(rep.Render())
+	if benchOut != "" {
+		if err := writeBenchReport(benchOut, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: bench report:", err)
+			os.Exit(2)
+		}
+	}
 	if len(rep.Errors) > 0 || len(rep.Violations) > 0 {
 		os.Exit(1)
 	}
 }
 
-// Config parameterizes a load run.
+// writeBenchReport wraps the run as a maxsumdiv-bench report (calibration
+// entry included) so scenario runs can serve as either side of a cmd/bench
+// -compare.
+func writeBenchReport(path string, rep *Report) error {
+	br, err := bench.ScenarioReport(rep.scenarioResult)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return br.Write(f)
+}
+
+// Config parameterizes a flag-built load run. It compiles down to a
+// scenario spec executed by internal/scenario; the fields mirror the
+// original loadgen flags.
 type Config struct {
 	BaseURL  string
 	Workers  int
@@ -122,13 +225,21 @@ type Config struct {
 	ContentionItems int
 	// Client overrides the HTTP client (tests inject an httptest client).
 	Client *http.Client
+	// Target overrides the HTTP transport entirely (the -inproc path).
+	Target scenario.Target
 }
 
 // Report is the outcome of a load run.
 type Report struct {
-	Elapsed                        time.Duration
-	Inserts, Deletes, Queries      int64
-	InsertLat, DeleteLat, QueryLat LatencySummary
+	Elapsed                   time.Duration
+	Inserts, Updates, Deletes int64
+	Queries                   int64
+	InsertLat, UpdateLat      LatencySummary
+	DeleteLat, QueryLat       LatencySummary
+	// Scenario names the spec that ran; OpenLoop marks runs whose
+	// latencies are measured from scheduled arrival (queued time counts).
+	Scenario string
+	OpenLoop bool
 	// Contention marks a writer-stall probe run; MutationLat then summarizes
 	// inserts and deletes together (its P99 is the stall metric) and
 	// SlowWorkers is how many workers kept a slow query permanently in
@@ -140,6 +251,8 @@ type Report struct {
 	Errors []string
 	// Violations are correctness-invariant breaches (capped at 20).
 	Violations []string
+
+	scenarioResult *scenario.RunResult // retained for -bench-out conversion
 }
 
 // LatencySummary condenses one op type's latency samples.
@@ -148,28 +261,23 @@ type LatencySummary struct {
 	Mean, P50, P95, P99, Max time.Duration
 }
 
-func summarize(samples []time.Duration) LatencySummary {
-	s := LatencySummary{Count: int64(len(samples))}
-	if len(samples) == 0 {
-		return s
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	var sum time.Duration
-	for _, d := range samples {
-		sum += d
-	}
-	s.Mean = sum / time.Duration(len(samples))
-	q := func(p float64) time.Duration { return samples[int(p*float64(len(samples)-1))] }
-	s.P50, s.P95, s.P99, s.Max = q(0.50), q(0.95), q(0.99), samples[len(samples)-1]
-	return s
+func convLat(l scenario.LatencySummary) LatencySummary {
+	return LatencySummary{Count: l.Count, Mean: l.Mean, P50: l.P50, P95: l.P95, P99: l.P99, Max: l.Max}
 }
 
 // Render formats the report for humans.
 func (r *Report) Render() string {
 	var b strings.Builder
-	total := r.Inserts + r.Deletes + r.Queries
+	total := r.Inserts + r.Updates + r.Deletes + r.Queries
 	fmt.Fprintf(&b, "loadgen: %d ops in %v (%.0f ops/sec)\n",
 		total, r.Elapsed.Round(time.Millisecond), float64(total)/r.Elapsed.Seconds())
+	if r.Scenario != "" {
+		mode := "closed-loop"
+		if r.OpenLoop {
+			mode = "open-loop arrivals (queued time counts against latency)"
+		}
+		fmt.Fprintf(&b, "  scenario %s, %s\n", r.Scenario, mode)
+	}
 	row := func(name string, n int64, l LatencySummary) {
 		if n == 0 {
 			return
@@ -179,6 +287,7 @@ func (r *Report) Render() string {
 			l.P95.Round(time.Microsecond), l.P99.Round(time.Microsecond), l.Max.Round(time.Microsecond))
 	}
 	row("insert", r.Inserts, r.InsertLat)
+	row("update", r.Updates, r.UpdateLat)
 	row("delete", r.Deletes, r.DeleteLat)
 	row("query", r.Queries, r.QueryLat)
 	if r.Contention {
@@ -195,42 +304,8 @@ func (r *Report) Render() string {
 	return b.String()
 }
 
-// opKind indexes the latency sample buckets.
-type opKind int
-
-const (
-	opInsert opKind = iota
-	opDelete
-	opQuery
-)
-
-// sharedState is the cross-worker bookkeeping the invariant checks need.
-type sharedState struct {
-	mu      sync.Mutex
-	live    []string        // ids inserted and not yet deleted
-	deleted map[string]bool // ids whose DELETE was acknowledged
-	errs    []string
-	viols   []string
-	prevVal float64 // monotone check (serialized runs only)
-}
-
-func (st *sharedState) addErr(format string, args ...any) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if len(st.errs) < 20 {
-		st.errs = append(st.errs, fmt.Sprintf(format, args...))
-	}
-}
-
-func (st *sharedState) addViolation(format string, args ...any) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if len(st.viols) < 20 {
-		st.viols = append(st.viols, fmt.Sprintf(format, args...))
-	}
-}
-
-// Run executes the workload and collects the report.
+// Run executes the flag-built workload: validate the config, compile it to
+// a scenario spec, and run it through the engine.
 func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("workers = %d, want > 0", cfg.Workers)
@@ -262,309 +337,137 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.MonotoneMaxItems <= 0 {
 		cfg.MonotoneMaxItems = 40 // the server's exact-algorithm corpus limit
 	}
-	client := cfg.Client
-	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
 	}
-	st := &sharedState{deleted: make(map[string]bool), prevVal: -1}
-	if cfg.Contention {
-		if err := seedCorpus(ctx, client, cfg, st); err != nil {
-			return nil, fmt.Errorf("seeding contention corpus: %w", err)
-		}
+	if cfg.Dim <= 0 {
+		cfg.Dim = 8
 	}
-	slowWorkers := max(1, cfg.Workers/4)
-	samples := make([][3][]time.Duration, cfg.Workers)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			lw := &loadWorker{cfg: cfg, client: client, st: st,
-				rng: rand.New(rand.NewSource(cfg.Seed + int64(w)*7919)), id: w}
-			if cfg.Contention {
-				if w < slowWorkers {
-					// Slow-query role: full-scope local search with a large
-					// k — long enough to expose any read-side lock a flush
-					// would have to queue behind.
-					lw.role = roleSlowQuery
-					lw.cfg.Algorithm = "localsearch"
-					lw.cfg.Scope = "full"
-					lw.cfg.K = max(lw.cfg.K, 64)
-				} else {
-					lw.role = roleMutate
-				}
-			}
-			deadline := time.Time{}
-			if cfg.Duration > 0 {
-				deadline = start.Add(cfg.Duration)
-			}
-			for i := 0; cfg.Duration > 0 || i < cfg.Ops; i++ {
-				if ctx.Err() != nil || (!deadline.IsZero() && time.Now().After(deadline)) {
-					break
-				}
-				kind, d, ok := lw.step()
-				if ok {
-					samples[w][kind] = append(samples[w][kind], d)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
 
-	rep := &Report{Elapsed: time.Since(start)}
-	var merged [3][]time.Duration
-	for w := range samples {
-		for k := 0; k < 3; k++ {
-			merged[k] = append(merged[k], samples[w][k]...)
-		}
+	spec := cfg.toSpec()
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
-	rep.Inserts, rep.Deletes, rep.Queries =
-		int64(len(merged[opInsert])), int64(len(merged[opDelete])), int64(len(merged[opQuery]))
-	rep.InsertLat = summarize(merged[opInsert])
-	rep.DeleteLat = summarize(merged[opDelete])
-	rep.QueryLat = summarize(merged[opQuery])
+	target := cfg.Target
+	if target == nil {
+		client := cfg.Client
+		if client == nil {
+			client = &http.Client{Timeout: 30 * time.Second}
+		}
+		target = scenario.NewHTTPTarget(cfg.BaseURL, client)
+	}
+	rep, err := RunSpec(ctx, spec, target)
+	if err != nil {
+		return nil, err
+	}
+	rep.Scenario = "" // flag-built runs keep the classic report shape
 	if cfg.Contention {
 		rep.Contention = true
-		rep.SlowWorkers = slowWorkers
-		muts := make([]time.Duration, 0, len(merged[opInsert])+len(merged[opDelete]))
-		muts = append(append(muts, merged[opInsert]...), merged[opDelete]...)
-		rep.MutationLat = summarize(muts)
+		rep.SlowWorkers = max(1, cfg.Workers/4)
 	}
-	st.mu.Lock()
-	rep.Errors, rep.Violations = st.errs, st.viols
-	st.mu.Unlock()
 	return rep, nil
 }
 
-// workerRole specializes a worker for the contention scenario.
-type workerRole int
-
-const (
-	roleMixed     workerRole = iota // the configured insert/delete/query mix
-	roleSlowQuery                   // back-to-back slow full-scope queries
-	roleMutate                      // pure insert/delete stream
-)
-
-// loadWorker is one client goroutine's state.
-type loadWorker struct {
-	cfg    Config
-	client *http.Client
-	st     *sharedState
-	rng    *rand.Rand
-	id     int
-	seq    int
-	role   workerRole
-}
-
-// step performs one operation and returns its kind and latency; ok = false
-// when the op errored (errors are recorded in shared state).
-func (lw *loadWorker) step() (opKind, time.Duration, bool) {
-	switch lw.role {
-	case roleSlowQuery:
-		return lw.query()
-	case roleMutate:
-		if mix := lw.cfg.MixInsert + lw.cfg.MixDelete; mix > 0 &&
-			lw.rng.Intn(mix) >= lw.cfg.MixInsert {
-			return lw.delete()
-		}
-		return lw.insert()
-	}
-	mix := lw.cfg.MixInsert + lw.cfg.MixDelete + lw.cfg.MixQuery
-	r := lw.rng.Intn(mix)
-	switch {
-	case r < lw.cfg.MixInsert:
-		if lw.cfg.CheckMonotone && lw.seq >= lw.cfg.MonotoneMaxItems {
-			// The exact solver's corpus limit would reject further growth;
-			// keep querying the capped corpus instead.
-			return lw.query()
-		}
-		return lw.insert()
-	case r < lw.cfg.MixInsert+lw.cfg.MixDelete:
-		return lw.delete()
-	default:
-		return lw.query()
-	}
-}
-
-func (lw *loadWorker) insert() (opKind, time.Duration, bool) {
-	lw.seq++
-	id := fmt.Sprintf("lg-%d-%d", lw.id, lw.seq) // unique forever: ids are never reused
-	vec := make([]float64, lw.cfg.Dim)
-	for i := range vec {
-		vec[i] = lw.rng.Float64()
-	}
-	body, _ := json.Marshal(map[string]any{"id": id, "weight": lw.rng.Float64(), "vector": vec})
-	start := time.Now()
-	resp, err := lw.client.Post(lw.cfg.BaseURL+"/items", "application/json", bytes.NewReader(body))
-	d := time.Since(start)
+// RunSpec executes a scenario spec against a target and converts the
+// engine's result into a loadgen report.
+func RunSpec(ctx context.Context, spec *scenario.Spec, target scenario.Target) (*Report, error) {
+	res, err := scenario.Run(ctx, spec, scenario.Options{Target: target})
 	if err != nil {
-		lw.st.addErr("insert %s: %v", id, err)
-		return opInsert, d, false
+		return nil, err
 	}
-	drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		lw.st.addErr("insert %s: status %d", id, resp.StatusCode)
-		return opInsert, d, false
+	rep := &Report{
+		Elapsed:        res.Elapsed,
+		Inserts:        res.Inserts(),
+		Updates:        res.Updates(),
+		Deletes:        res.Deletes(),
+		Queries:        res.Queries(),
+		InsertLat:      convLat(res.InsertLat()),
+		UpdateLat:      convLat(res.UpdateLat()),
+		DeleteLat:      convLat(res.DeleteLat()),
+		QueryLat:       convLat(res.QueryLat()),
+		MutationLat:    convLat(res.MutationLat),
+		Scenario:       res.Name,
+		OpenLoop:       res.OpenLoop,
+		Errors:         res.Errors,
+		Violations:     res.Violations,
+		scenarioResult: res,
 	}
-	lw.st.mu.Lock()
-	lw.st.live = append(lw.st.live, id)
-	lw.st.mu.Unlock()
-	return opInsert, d, true
+	return rep, nil
 }
 
-func (lw *loadWorker) delete() (opKind, time.Duration, bool) {
-	lw.st.mu.Lock()
-	if len(lw.st.live) == 0 {
-		lw.st.mu.Unlock()
-		return lw.insert()
+// toSpec compiles the flag configuration into the equivalent scenario spec.
+// Callers have already validated cfg.
+func (cfg Config) toSpec() *scenario.Spec {
+	spec := &scenario.Spec{
+		Name: "loadgen-flags",
+		Seed: cfg.Seed,
+		Dim:  cfg.Dim,
 	}
-	i := lw.rng.Intn(len(lw.st.live))
-	id := lw.st.live[i]
-	lw.st.live[i] = lw.st.live[len(lw.st.live)-1]
-	lw.st.live = lw.st.live[:len(lw.st.live)-1]
-	lw.st.mu.Unlock()
-
-	req, _ := http.NewRequest(http.MethodDelete, lw.cfg.BaseURL+"/items/"+id, nil)
-	start := time.Now()
-	resp, err := lw.client.Do(req)
-	d := time.Since(start)
-	if err != nil {
-		lw.st.addErr("delete %s: %v", id, err)
-		return opDelete, d, false
+	if cfg.Duration > 0 {
+		spec.Duration = scenario.Duration{Duration: cfg.Duration}
 	}
-	drain(resp)
-	if resp.StatusCode != http.StatusOK {
-		lw.st.addErr("delete %s: status %d", id, resp.StatusCode)
-		return opDelete, d, false
+	query := scenario.QuerySpec{K: cfg.K, Algorithm: cfg.Algorithm, Scope: cfg.Scope}
+	if cfg.LambdaSpread {
+		query.Lambdas = []float64{0, 0.25, 0.5, 1, 2}
 	}
-	// Acknowledged: from this moment no query may return the id.
-	lw.st.mu.Lock()
-	lw.st.deleted[id] = true
-	lw.st.mu.Unlock()
-	return opDelete, d, true
-}
-
-func (lw *loadWorker) query() (opKind, time.Duration, bool) {
-	// Snapshot the acknowledged deletions before issuing: those must never
-	// appear in this query's results (new deletions racing the query may).
-	lw.st.mu.Lock()
-	deletedBefore := make(map[string]bool, len(lw.st.deleted))
-	for id := range lw.st.deleted {
-		deletedBefore[id] = true
-	}
-	lw.st.mu.Unlock()
-
-	req := map[string]any{
-		"k": lw.cfg.K, "algorithm": lw.cfg.Algorithm, "scope": lw.cfg.Scope,
-	}
-	if lw.cfg.LambdaSpread {
-		// Exercise the query-time trade-off: the server must answer any λ
-		// without rebuilding anything, so rotating λ per request is free.
-		req["lambda"] = []float64{0, 0.25, 0.5, 1, 2}[lw.rng.Intn(5)]
-	}
-	reqBody, _ := json.Marshal(req)
-	start := time.Now()
-	resp, err := lw.client.Post(lw.cfg.BaseURL+"/diversify", "application/json", bytes.NewReader(reqBody))
-	d := time.Since(start)
-	if err != nil {
-		lw.st.addErr("query: %v", err)
-		return opQuery, d, false
-	}
-	var dres struct {
-		Items []struct {
-			ID string `json:"id"`
-		} `json:"items"`
-		Value float64 `json:"value"`
-		N     int     `json:"n"`
-	}
-	err = json.NewDecoder(resp.Body).Decode(&dres)
-	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusOK {
-		lw.st.addErr("query: status %d, decode err %v", resp.StatusCode, err)
-		return opQuery, d, false
+	opsFor := func(workers int) int {
+		if cfg.Duration > 0 {
+			return 0
+		}
+		return cfg.Ops * workers
 	}
 
-	// n is the candidate-pool size the server reports for this query (the
-	// live corpus, or the maintained pool under scope=maintained).
-	want := lw.cfg.K
-	if dres.N < want {
-		want = dres.N
-	}
-	if len(dres.Items) != want {
-		lw.st.addViolation("query returned %d items, want min(k=%d, n=%d)", len(dres.Items), lw.cfg.K, dres.N)
-	}
-	seen := map[string]bool{}
-	for _, it := range dres.Items {
-		if seen[it.ID] {
-			lw.st.addViolation("duplicate id %q in query result", it.ID)
+	if cfg.Contention {
+		// The writer-stall probe: ~¼ of the workers keep slow full-scope
+		// local-search queries permanently in flight; the rest run a pure
+		// insert/delete stream whose p99 is the stall metric.
+		slow := max(1, cfg.Workers/4)
+		mutMix := []scenario.OpWeight{
+			{Op: scenario.OpInsert, Weight: cfg.MixInsert},
+			{Op: scenario.OpDelete, Weight: cfg.MixDelete},
 		}
-		seen[it.ID] = true
-		if deletedBefore[it.ID] {
-			lw.st.addViolation("stale deleted item %q in query result", it.ID)
+		if cfg.MixInsert+cfg.MixDelete == 0 {
+			mutMix = []scenario.OpWeight{{Op: scenario.OpInsert, Weight: 1}}
 		}
+		spec.SeedItems = cfg.ContentionItems
+		spec.Streams = []scenario.StreamSpec{
+			{
+				Name:    "slow-queries",
+				Mix:     []scenario.OpWeight{{Op: scenario.OpQuery, Weight: 1}},
+				Arrival: scenario.ArrivalSpec{Mode: scenario.ArrivalClosed, Workers: slow},
+				Ops:     opsFor(slow),
+				Query: scenario.QuerySpec{
+					K: max(cfg.K, 64), Algorithm: "localsearch", Scope: "full",
+				},
+			},
+			{
+				Name:    "mutations",
+				Mix:     mutMix,
+				Arrival: scenario.ArrivalSpec{Mode: scenario.ArrivalClosed, Workers: cfg.Workers - slow},
+				Ops:     opsFor(cfg.Workers - slow),
+				Items:   scenario.ItemSpec{IDTemplate: "lg-{stream}-{seq}"},
+			},
+		}
+		return spec
 	}
-	if lw.cfg.CheckMonotone {
-		lw.st.mu.Lock()
-		prev := lw.st.prevVal
-		decreased := prev >= 0 && dres.Value < prev-1e-9
-		if !decreased {
-			lw.st.prevVal = dres.Value
-		}
-		lw.st.mu.Unlock()
-		if decreased {
-			lw.st.addViolation("objective decreased under inserts: %g → %g", prev, dres.Value)
-		}
-	}
-	return opQuery, d, true
-}
 
-func drain(resp *http.Response) {
-	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-}
-
-// seedCorpus bulk-inserts the contention scenario's starting corpus, so the
-// slow-query workers have something genuinely slow to solve from the first
-// request. Seeded ids join the shared live set, making them fair game for
-// the mutation workers' deletes.
-func seedCorpus(ctx context.Context, client *http.Client, cfg Config, st *sharedState) error {
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
-	const batch = 128
-	for lo := 0; lo < cfg.ContentionItems; lo += batch {
-		hi := min(lo+batch, cfg.ContentionItems)
-		items := make([]map[string]any, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			vec := make([]float64, cfg.Dim)
-			for k := range vec {
-				vec[k] = rng.Float64()
-			}
-			items = append(items, map[string]any{
-				"id": fmt.Sprintf("seed-%d", i), "weight": rng.Float64(), "vector": vec,
-			})
-		}
-		body, err := json.Marshal(items)
-		if err != nil {
-			return err
-		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+"/items", bytes.NewReader(body))
-		if err != nil {
-			return err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := client.Do(req)
-		if err != nil {
-			return err
-		}
-		drain(resp)
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("batch %d-%d: status %d", lo, hi, resp.StatusCode)
-		}
-		st.mu.Lock()
-		for i := lo; i < hi; i++ {
-			st.live = append(st.live, fmt.Sprintf("seed-%d", i))
-		}
-		st.mu.Unlock()
+	st := scenario.StreamSpec{
+		Name: "mixed",
+		Mix: []scenario.OpWeight{
+			{Op: scenario.OpInsert, Weight: cfg.MixInsert},
+			{Op: scenario.OpDelete, Weight: cfg.MixDelete},
+			{Op: scenario.OpQuery, Weight: cfg.MixQuery},
+		},
+		Arrival: scenario.ArrivalSpec{Mode: scenario.ArrivalClosed, Workers: cfg.Workers},
+		Ops:     opsFor(cfg.Workers),
+		Items:   scenario.ItemSpec{IDTemplate: "lg-{stream}-{seq}"},
+		Query:   query,
 	}
-	return nil
+	if cfg.CheckMonotone {
+		st.MaxItems = cfg.MonotoneMaxItems
+		spec.Invariants = append(append([]string(nil), scenario.DefaultInvariants...),
+			scenario.InvMonotoneObjective)
+	}
+	spec.Streams = []scenario.StreamSpec{st}
+	return spec
 }

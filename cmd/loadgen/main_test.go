@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"maxsumdiv/internal/bench"
+	"maxsumdiv/internal/scenario"
 	"maxsumdiv/internal/server"
 )
 
@@ -176,5 +178,67 @@ func TestLoadgenConfigValidation(t *testing.T) {
 		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Errorf("config %d accepted: %+v", i, cfg)
 		}
+	}
+}
+
+// TestLoadgenScenario runs a built-in scenario through RunSpec against an
+// in-process server — the -scenario/-inproc path — and checks the report
+// carries the scenario header and the engine's invariant results.
+func TestLoadgenScenario(t *testing.T) {
+	spec, ok := scenario.Builtin("steady-mixed")
+	if !ok {
+		t.Fatal("steady-mixed builtin missing")
+	}
+	spec.Duration = scenario.Duration{Duration: 400 * time.Millisecond}
+	spec.SeedItems = 128
+	s, err := server.New(server.Config{Shards: 2, Lambda: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunSpec(context.Background(), spec, scenario.NewHandlerTarget(s.Handler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) > 0 || len(rep.Violations) > 0 {
+		t.Fatalf("errors %v, violations %v", rep.Errors, rep.Violations)
+	}
+	if rep.Scenario != "steady-mixed" || !rep.OpenLoop {
+		t.Fatalf("report not marked as an open-loop scenario run: %+v", rep)
+	}
+	out := rep.Render()
+	for _, want := range []string{"scenario steady-mixed", "open-loop arrivals"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLoadgenBenchReport converts a scenario run into a maxsumdiv-bench
+// report and checks it validates (calibration entry included) — the
+// -bench-out path that lets scenario runs join the CI regression gate.
+func TestLoadgenBenchReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the bench calibration loop")
+	}
+	spec, _ := scenario.Builtin("steady-mixed")
+	spec.Duration = scenario.Duration{Duration: 300 * time.Millisecond}
+	spec.SeedItems = 64
+	s, err := server.New(server.Config{Shards: 2, Lambda: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunSpec(context.Background(), spec, scenario.NewHandlerTarget(s.Handler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := bench.ScenarioReport(rep.scenarioResult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := br.Validate(); err != nil {
+		t.Fatalf("scenario bench report does not validate: %v", err)
+	}
+	if br.Find("scenario/steady-mixed/query") == nil {
+		t.Fatal("report lacks the scenario query result")
 	}
 }

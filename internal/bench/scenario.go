@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"maxsumdiv/internal/scenario"
+	"maxsumdiv/internal/server"
+)
+
+// Calibrate runs the fixed pure-CPU calibration probe and returns its
+// result. Exported so scenario runs written outside the suite (cmd/loadgen
+// -bench-out) can produce reports that validate and normalize like suite
+// reports do.
+func Calibrate() (Result, error) {
+	return calibrationSpec().Run()
+}
+
+// FromScenario converts one scenario run into bench results, one per op
+// kind that ran, named "scenario/<scenario>/<kind>". NsPerOp is the mean
+// latency of that kind — for open-loop runs that is arrival-to-completion
+// (queued time included), the coordinated-omission-free figure. Percentiles
+// land in Extra alongside the run's error and violation counts.
+func FromScenario(res *scenario.RunResult) []Result {
+	kinds := []struct {
+		name string
+		n    int64
+		lat  scenario.LatencySummary
+	}{
+		{"insert", res.Inserts(), res.InsertLat()},
+		{"update", res.Updates(), res.UpdateLat()},
+		{"delete", res.Deletes(), res.DeleteLat()},
+		{"query", res.Queries(), res.QueryLat()},
+	}
+	var out []Result
+	for _, k := range kinds {
+		if k.n == 0 {
+			continue
+		}
+		out = append(out, Result{
+			Name:         fmt.Sprintf("scenario/%s/%s", res.Name, k.name),
+			Iterations:   int(k.n),
+			NsPerOp:      float64(k.lat.Mean.Nanoseconds()),
+			ApproxAllocs: true, // allocations are not sampled on scenario runs
+			Extra: map[string]float64{
+				"p50_ns":     float64(k.lat.P50.Nanoseconds()),
+				"p99_ns":     float64(k.lat.P99.Nanoseconds()),
+				"max_ns":     float64(k.lat.Max.Nanoseconds()),
+				"errors":     float64(len(res.Errors)),
+				"violations": float64(len(res.Violations)),
+			},
+		})
+	}
+	return out
+}
+
+// ScenarioReport wraps one scenario run as a full maxsumdiv-bench report:
+// environment stamp, calibration entry, then the run's per-kind results. The
+// output validates like a suite report, so it can serve as either side of a
+// cmd/bench -compare.
+func ScenarioReport(res *scenario.RunResult) (*Report, error) {
+	cal, err := Calibrate()
+	if err != nil {
+		return nil, fmt.Errorf("bench: calibration: %w", err)
+	}
+	rep := newReport(true)
+	rep.Results = append([]Result{cal}, FromScenario(res)...)
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// scenarioTarget builds the in-process server the scenario probes run
+// against.
+func scenarioTarget(cfg server.Config) (*scenario.HandlerTarget, error) {
+	srv, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.NewHandlerTarget(srv.Handler()), nil
+}
+
+// scenarioSmokeSpec runs a shipped scenario in process and reports its query
+// latency; any request error or invariant violation fails the probe outright,
+// which is how declarative workloads join the committed-baseline regression
+// gate.
+func scenarioSmokeSpec(name, scenarioName string, quick bool) Spec {
+	return Spec{Name: name, Quick: quick, Run: func() (Result, error) {
+		spec, ok := scenario.Builtin(scenarioName)
+		if !ok {
+			return Result{}, fmt.Errorf("no builtin scenario %q", scenarioName)
+		}
+		target, err := scenarioTarget(server.Config{Shards: 4, Lambda: 0.5, MaintainK: 8, Parallelism: 2})
+		if err != nil {
+			return Result{}, err
+		}
+		res, err := scenario.Run(context.Background(), spec, scenario.Options{Target: target})
+		if err != nil {
+			return Result{}, err
+		}
+		if len(res.Errors) > 0 {
+			return Result{}, fmt.Errorf("scenario %s: %d request errors, first: %s", scenarioName, len(res.Errors), res.Errors[0])
+		}
+		if len(res.Violations) > 0 {
+			return Result{}, fmt.Errorf("scenario %s: %d invariant violations, first: %s", scenarioName, len(res.Violations), res.Violations[0])
+		}
+		q := res.QueryLat()
+		return Result{
+			Name:         name,
+			Iterations:   int(res.Queries()),
+			NsPerOp:      float64(q.Mean.Nanoseconds()),
+			ApproxAllocs: true,
+			Extra: map[string]float64{
+				"p50_ns":          float64(q.P50.Nanoseconds()),
+				"p99_ns":          float64(q.P99.Nanoseconds()),
+				"mutation_p99_ns": float64(res.MutationLat.P99.Nanoseconds()),
+				"ops_total":       float64(res.Total()),
+			},
+		}, nil
+	}}
+}
+
+// scenarioOpenVsClosedSpec measures the same query-only workload under both
+// load models against a server with a fixed 2ms solve delay. The closed loop
+// self-throttles to the service time, so its mean is the stable gated
+// figure; the open loop schedules arrivals faster than the server can drain
+// them, and its p99 — queued time included — lands in Extra as the recorded
+// open-vs-closed gap. A shrinking gap would mean the engine stopped charging
+// queue time to latency (a coordinated-omission regression).
+func scenarioOpenVsClosedSpec(name string, quick bool) Spec {
+	const solveDelay = 2 * time.Millisecond
+	querySpec := func(id string, arrival scenario.ArrivalSpec) *scenario.Spec {
+		return &scenario.Spec{
+			Name:      id,
+			Seed:      17,
+			Duration:  scenario.Duration{Duration: 400 * time.Millisecond},
+			Dim:       8,
+			SeedItems: 64,
+			Streams: []scenario.StreamSpec{{
+				Name:    "queries",
+				Mix:     []scenario.OpWeight{{Op: scenario.OpQuery, Weight: 1}},
+				Arrival: arrival,
+				Query:   scenario.QuerySpec{K: 5, Algorithm: "greedy", Scope: "full"},
+			}},
+			Invariants: []string{scenario.InvResultSize, scenario.InvNoDuplicates},
+		}
+	}
+	return Spec{Name: name, Quick: quick, Run: func() (Result, error) {
+		run := func(id string, arrival scenario.ArrivalSpec) (*scenario.RunResult, error) {
+			target, err := scenarioTarget(server.Config{Shards: 2, Lambda: 0.5, Parallelism: 1, SolveDelay: solveDelay})
+			if err != nil {
+				return nil, err
+			}
+			res, err := scenario.Run(context.Background(), querySpec(id, arrival), scenario.Options{Target: target})
+			if err != nil {
+				return nil, err
+			}
+			if len(res.Errors) > 0 {
+				return nil, fmt.Errorf("%s: %s", id, res.Errors[0])
+			}
+			if len(res.Violations) > 0 {
+				return nil, fmt.Errorf("%s: violation: %s", id, res.Violations[0])
+			}
+			return res, nil
+		}
+		closed, err := run("ovc-closed", scenario.ArrivalSpec{Mode: scenario.ArrivalClosed, Workers: 1})
+		if err != nil {
+			return Result{}, err
+		}
+		// 1000 arrivals/sec against a ~2ms server: offered load is twice
+		// capacity, so the queue grows for the whole run.
+		open, err := run("ovc-open", scenario.ArrivalSpec{Mode: scenario.ArrivalOpen, Rate: 1000, MaxInFlight: 1})
+		if err != nil {
+			return Result{}, err
+		}
+		closedP99 := float64(closed.QueryLat().P99.Nanoseconds())
+		openP99 := float64(open.QueryLat().P99.Nanoseconds())
+		if openP99 <= closedP99 {
+			return Result{}, fmt.Errorf("open-loop p99 %.0fns ≤ closed-loop p99 %.0fns: queued time is not being charged to latency", openP99, closedP99)
+		}
+		return Result{
+			Name:         name,
+			Iterations:   int(closed.Queries()),
+			NsPerOp:      float64(closed.QueryLat().Mean.Nanoseconds()),
+			ApproxAllocs: true,
+			Extra: map[string]float64{
+				"closed_p99_ns":     closedP99,
+				"open_p99_ns":       openP99,
+				"open_closed_ratio": openP99 / closedP99,
+			},
+		}, nil
+	}}
+}

@@ -99,6 +99,13 @@ func Suite(opts Options) []Spec {
 		// RWMutex corpus its p99 tracked the slow-query duration; on the
 		// epoch corpus it must stay flat.
 		mutationUnderLoadSpec("server/mutation_under_query_load/n=2048", true, 2048),
+
+		// Declarative workloads in the gate: the steady-mixed scenario runs
+		// in process with its invariants armed (a violation fails the probe,
+		// not just regresses it), and the open-vs-closed probe fences the
+		// engine's coordinated-omission-free latency accounting.
+		scenarioSmokeSpec("scenario/steady-mixed/inproc", "steady-mixed", true),
+		scenarioOpenVsClosedSpec("scenario/open_vs_closed/query", true),
 	}
 	out := all[:0:0]
 	for _, s := range all {

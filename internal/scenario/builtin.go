@@ -1,0 +1,180 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// Builtin returns a deep copy of the named built-in scenario, or false.
+// The shipped scenarios/ directory contains the same specs as JSON; a
+// golden test keeps the two representations identical.
+func Builtin(name string) (*Spec, bool) {
+	s, ok := builtins[name]
+	if !ok {
+		return nil, false
+	}
+	return s.Clone(), true
+}
+
+// BuiltinNames lists the built-in scenarios, sorted.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load resolves nameOrPath to a spec: a built-in name first, then a spec
+// file on disk.
+func Load(nameOrPath string) (*Spec, error) {
+	if s, ok := Builtin(nameOrPath); ok {
+		return s, nil
+	}
+	f, err := os.Open(nameOrPath)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %q is not a built-in (%v) and not readable: %w", nameOrPath, BuiltinNames(), err)
+	}
+	defer f.Close()
+	return DecodeSpec(f)
+}
+
+func seconds(s float64) Duration {
+	return Duration{time.Duration(s * float64(time.Second))}
+}
+
+var builtins = map[string]*Spec{
+	"steady-mixed": {
+		Name: "steady-mixed",
+		Description: "The bread-and-butter serving mix at a fixed open-loop rate: " +
+			"inserts, updates, deletes, and greedy queries over a pre-seeded corpus, " +
+			"with the standard result invariants checked on every query.",
+		Seed:      1,
+		Duration:  seconds(3),
+		Dim:       8,
+		SeedItems: 512,
+		Streams: []StreamSpec{{
+			Name: "mixed",
+			Mix: []OpWeight{
+				{Op: OpInsert, Weight: 55},
+				{Op: OpUpdate, Weight: 10},
+				{Op: OpDelete, Weight: 10},
+				{Op: OpQuery, Weight: 25},
+			},
+			Arrival: ArrivalSpec{Mode: ArrivalOpen, Rate: 300, MaxInFlight: 32},
+			Items:   ItemSpec{IDTemplate: "sm-{stream}-{seq}"},
+			Query:   QuerySpec{K: 10, Algorithm: "greedy", Scope: "full"},
+		}},
+		Invariants: []string{InvResultSize, InvNoDuplicates, InvNoDeleted},
+	},
+
+	"zipf-read-heavy": {
+		Name: "zipf-read-heavy",
+		Description: "A read-dominated mix whose writes concentrate on recent items " +
+			"under a Zipf popularity curve, with per-query λ rotation exercising the " +
+			"server's query-time trade-off path.",
+		Seed:      2,
+		Duration:  seconds(3),
+		Dim:       8,
+		SeedItems: 1024,
+		Streams: []StreamSpec{{
+			Name: "readers",
+			Mix: []OpWeight{
+				{Op: OpInsert, Weight: 8},
+				{Op: OpUpdate, Weight: 12},
+				{Op: OpDelete, Weight: 5},
+				{Op: OpQuery, Weight: 75},
+			},
+			Arrival: ArrivalSpec{Mode: ArrivalOpen, Rate: 500, MaxInFlight: 64},
+			Items:   ItemSpec{IDTemplate: "zr-{stream}-{seq}"},
+			Keys:    KeySpec{Dist: KeysZipf, S: 1.3},
+			Query:   QuerySpec{K: 10, Algorithm: "greedy", Scope: "full", Lambdas: []float64{0, 0.25, 0.5, 1, 2}},
+		}},
+		Invariants: []string{InvResultSize, InvNoDuplicates, InvNoDeleted},
+	},
+
+	"adversarial-churn": {
+		Name: "adversarial-churn",
+		Description: "Insert/delete dominated load that always deletes the most " +
+			"recently settled insert — the adversarial order for recency-biased " +
+			"maintained structures and the epoch store's compaction.",
+		Seed:      3,
+		Duration:  seconds(3),
+		Dim:       8,
+		SeedItems: 512,
+		Streams: []StreamSpec{{
+			Name: "churn",
+			Mix: []OpWeight{
+				{Op: OpInsert, Weight: 45},
+				{Op: OpDelete, Weight: 45},
+				{Op: OpQuery, Weight: 10},
+			},
+			Arrival: ArrivalSpec{Mode: ArrivalOpen, Rate: 400, MaxInFlight: 32},
+			Items:   ItemSpec{IDTemplate: "ac-{stream}-{seq}"},
+			Churn:   ChurnSpec{Pattern: ChurnDeleteRecent},
+			Query:   QuerySpec{K: 10, Algorithm: "greedy", Scope: "full"},
+		}},
+		Invariants: []string{InvResultSize, InvNoDuplicates, InvNoDeleted},
+	},
+
+	"flash-crowd": {
+		Name: "flash-crowd",
+		Description: "A popularity spike: the arrival rate ramps 6× for the middle " +
+			"of the run while updates concentrate on a small hot set of recent items " +
+			"with ramping probability.",
+		Seed:      4,
+		Dim:       8,
+		SeedItems: 512,
+		Streams: []StreamSpec{{
+			Name: "crowd",
+			Mix: []OpWeight{
+				{Op: OpInsert, Weight: 30},
+				{Op: OpUpdate, Weight: 20},
+				{Op: OpDelete, Weight: 10},
+				{Op: OpQuery, Weight: 40},
+			},
+			Arrival: ArrivalSpec{Mode: ArrivalOpen, MaxInFlight: 64, Ramp: []RampStage{
+				{For: seconds(1), Rate: 150},
+				{For: seconds(1.5), Rate: 900},
+				{For: seconds(1), Rate: 150},
+			}},
+			Items: ItemSpec{IDTemplate: "fc-{stream}-{seq}"},
+			Keys:  KeySpec{Dist: KeysFlashCrowd, HotSet: 16},
+			Query: QuerySpec{K: 10, Algorithm: "greedy", Scope: "full"},
+		}},
+		Invariants: []string{InvResultSize, InvNoDuplicates, InvNoDeleted},
+	},
+
+	"contention": {
+		Name: "contention",
+		Description: "The writer-stall probe as a declarative scenario: two closed-loop " +
+			"workers keep slow full-scope local-search queries permanently in flight " +
+			"while an open-loop mutation stream measures insert/delete latency — its " +
+			"p99 is the stall metric that exposed the old RWMutex corpus.",
+		Seed:      5,
+		Duration:  seconds(3),
+		Dim:       8,
+		SeedItems: 1024,
+		Streams: []StreamSpec{
+			{
+				Name:    "slow-queries",
+				Mix:     []OpWeight{{Op: OpQuery, Weight: 1}},
+				Arrival: ArrivalSpec{Mode: ArrivalClosed, Workers: 2},
+				Query:   QuerySpec{K: 64, Algorithm: "localsearch", Scope: "full"},
+			},
+			{
+				Name: "mutations",
+				Mix: []OpWeight{
+					{Op: OpInsert, Weight: 70},
+					{Op: OpDelete, Weight: 30},
+				},
+				Arrival: ArrivalSpec{Mode: ArrivalOpen, Rate: 400, MaxInFlight: 16},
+				Items:   ItemSpec{IDTemplate: "ct-{stream}-{seq}"},
+			},
+		},
+		Invariants: []string{InvResultSize, InvNoDuplicates, InvNoDeleted},
+	},
+}

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so the open-loop scheduler can be driven by a
+// virtual clock in tests: coordinated-omission behavior (queued time
+// counting against latency) is about the relationship between scheduled
+// arrival times and completion times, which a virtual clock makes exactly
+// reproducible.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// SleepUntil blocks until t (no-op if t has passed) or until ctx is
+	// done, returning ctx.Err() in the latter case.
+	SleepUntil(ctx context.Context, t time.Time) error
+}
+
+// realClock is the wall clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) SleepUntil(ctx context.Context, t time.Time) error {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// VirtualClock is a deterministic clock for tests: SleepUntil advances
+// virtual time instantly instead of blocking, and Advance models work that
+// consumes time (a stalled server stub calls it in place of doing real
+// work). With a single executing goroutine (workers = 1 or max_in_flight =
+// 1) every run under a VirtualClock is exactly reproducible; with more, the
+// per-goroutine advances interleave and the clock stays monotone but the
+// schedule is no longer meaningful.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock starts a virtual clock at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// SleepUntil advances virtual time to t (never backwards) and returns
+// immediately.
+func (c *VirtualClock) SleepUntil(ctx context.Context, t time.Time) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Advance moves virtual time forward by d: the virtual cost of one unit of
+// simulated work.
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

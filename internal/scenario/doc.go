@@ -1,0 +1,44 @@
+// Package scenario is the declarative workload engine behind cmd/loadgen
+// and the scenario bench probes: a scenario is a JSON spec — streams of
+// weighted ops over templated items, key-popularity distributions, churn
+// patterns, and an arrival model — executed against a Target with inline
+// invariant checking.
+//
+// # Open-loop execution
+//
+// The load model is the spec's central choice. Closed-loop streams run a
+// fixed worker pool back to back, which is how most load generators work
+// and how they lie: when the target stalls, the workers stall with it, the
+// offered load silently drops, and the stall never shows up in the
+// latency percentiles (coordinated omission). Open-loop streams instead
+// schedule op arrival times from a target rate and measure every op's
+// latency from its scheduled arrival — an op that spends 900ms queued
+// behind a saturated in-flight pool and 1ms executing reports 901ms. The
+// open_vs_closed bench probe records the gap on an identical mix.
+//
+// # Determinism
+//
+// Every generated op — kind, item payload, delete target, query
+// parameters, scheduled arrival — is a pure function of (spec, seed);
+// execution timing never feeds back into generation. A failing scenario
+// run therefore replays exactly: same spec, same seed, same op sequence,
+// byte-identical item vectors. Correctness under concurrent execution is
+// preserved by a per-op dependency barrier (a delete waits for its item's
+// last write to complete) rather than by execution-time target selection.
+//
+// # Invariants
+//
+// Specs declare the invariants checked while the workload runs:
+// result_size (every query returns min(k, n) items), no_duplicates,
+// no_deleted (an acknowledged delete never resurfaces), and
+// monotone_objective (exact-solver objective non-decreasing under a
+// serialized insert-only stream). Violations fail CI smoke runs and bench
+// probes outright.
+//
+// # Results
+//
+// RunResult carries per-kind and per-stream latency summaries; cmd/loadgen
+// renders them and internal/bench converts them into maxsumdiv-bench
+// schema results, which is how scenarios join the committed-baseline
+// regression gate.
+package scenario

@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeSpec fuzzes the spec decoder: it must never panic, and any
+// input it accepts must re-encode and re-decode to the same spec (the
+// canonical-form property the golden files rely on).
+func FuzzDecodeSpec(f *testing.F) {
+	// Seed with the shipped scenarios plus a few adversarial shapes.
+	if paths, err := filepath.Glob(filepath.Join(scenariosDir, "*.json")); err == nil {
+		for _, p := range paths {
+			if data, err := os.ReadFile(p); err == nil {
+				f.Add(data)
+			}
+		}
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","seed":-1,"dim":1,"streams":[{"name":"s","ops":5,"mix":[{"op":"query","weight":1}],"arrival":{"mode":"closed"}}]}`))
+	f.Add([]byte(`{"duration":"-5s"}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`"steady-mixed"`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var enc bytes.Buffer
+		if err := spec.Encode(&enc); err != nil {
+			t.Fatalf("accepted spec failed to encode: %v", err)
+		}
+		back, err := DecodeSpec(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded spec failed to decode: %v\n%s", err, enc.String())
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("decode→encode→decode changed the spec:\n%+v\n%+v", spec, back)
+		}
+	})
+}

@@ -1,0 +1,415 @@
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// opKind indexes the engine's op buckets.
+type opKind int
+
+const (
+	opInsert opKind = iota
+	opUpdate
+	opDelete
+	opQuery
+	numOpKinds
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opInsert:
+		return OpInsert
+	case opUpdate:
+		return OpUpdate
+	case opDelete:
+		return OpDelete
+	case opQuery:
+		return OpQuery
+	}
+	return fmt.Sprintf("opKind(%d)", int(k))
+}
+
+// genOp is one generated operation, fixed before execution: kind, payload,
+// and (open loop) scheduled arrival offset are all decided by the seeded
+// generator, never by execution timing.
+type genOp struct {
+	index  int
+	kind   opKind
+	at     time.Duration // scheduled arrival offset from run start (open loop)
+	item   Item          // insert/update payload
+	target string        // delete victim
+	query  QueryParams
+	// dependsOn is the op index of the target item's last write (-1 =
+	// none): execution blocks until that op completes, so a generated
+	// delete can never reach the server before the insert it depends on,
+	// however execution interleaves.
+	dependsOn int
+}
+
+// genItem tracks one live item the generator created (or adopted from the
+// seeded corpus). lastTouch is the op index that last wrote it; an item
+// only becomes an update/delete target once lastTouch is at least the
+// settle horizon (the stream's slot count) behind the current index, which
+// makes the dependency almost always already satisfied at execution time —
+// the engine's per-op dependency barrier handles the slow-op stragglers.
+type genItem struct {
+	id        string
+	lastTouch int
+}
+
+// generator produces one stream's deterministic op sequence: every op's
+// kind, payload, target, and scheduled arrival is a pure function of
+// (spec, seed), independent of execution timing. Workers drive it under a
+// mutex, claiming ops in index order.
+type generator struct {
+	spec     *StreamSpec
+	stream   int
+	dim      int
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	table    *Table[opKind]
+	settle   int
+	budget   time.Duration // generation stops once arrivals pass this (0 = unbounded)
+	arrival  arrivalClock
+	open     bool
+	next     int // next op index
+	seq      int // insert counter (feeds {seq})
+	queries  int // query counter (feeds λ rotation)
+	live     []genItem
+	inserted int // live inserts counted against MaxItems
+	done     bool
+}
+
+// zipfIMax bounds the Zipf rank draw; ranks past the live-set size clamp to
+// the oldest item.
+const zipfIMax = 1 << 20
+
+func newGenerator(spec *Spec, streamIdx int, budget time.Duration) (*generator, error) {
+	st := &spec.Streams[streamIdx]
+	entries := make([]Weighted[opKind], 0, len(st.Mix))
+	for _, ow := range st.Mix {
+		var k opKind
+		switch ow.Op {
+		case OpInsert:
+			k = opInsert
+		case OpUpdate:
+			k = opUpdate
+		case OpDelete:
+			k = opDelete
+		case OpQuery:
+			k = opQuery
+		}
+		entries = append(entries, Weighted[opKind]{Item: k, Weight: ow.Weight})
+	}
+	table, err := NewTable(entries...)
+	if err != nil {
+		return nil, err
+	}
+	// Offset the stream seed so concurrent streams draw distinct sequences
+	// from one spec seed; the prime stride mirrors the old loadgen worker
+	// seeding.
+	rng := rand.New(rand.NewSource(spec.Seed + int64(streamIdx)*7919))
+	g := &generator{
+		spec:   st,
+		stream: streamIdx,
+		dim:    spec.Dim,
+		rng:    rng,
+		table:  table,
+		settle: streamSlots(st),
+		budget: budget,
+		open:   st.Arrival.Mode == ArrivalOpen,
+	}
+	if st.Keys.Dist == KeysZipf {
+		s := st.Keys.S
+		if s == 0 {
+			s = 1.2
+		}
+		g.zipf = rand.NewZipf(rng, s, 1, zipfIMax)
+	}
+	if g.open {
+		g.arrival = newArrivalClock(st.Arrival)
+		// A bounded ramp is its own duration budget; using it keeps
+		// progress() meaningful for ramp-only specs (flash-crowd).
+		if g.budget == 0 && len(st.Arrival.Ramp) > 0 {
+			for _, stg := range st.Arrival.Ramp {
+				g.budget += stg.For.Duration
+			}
+		}
+	}
+	return g, nil
+}
+
+// streamSlots is a stream's maximum concurrency: closed-loop workers or the
+// open-loop in-flight bound.
+func streamSlots(st *StreamSpec) int {
+	if st.Arrival.Mode == ArrivalOpen {
+		if st.Arrival.MaxInFlight > 0 {
+			return st.Arrival.MaxInFlight
+		}
+		return 64
+	}
+	if st.Arrival.Workers > 0 {
+		return st.Arrival.Workers
+	}
+	return 1
+}
+
+// adopt registers pre-seeded corpus ids as immediately eligible churn
+// targets.
+func (g *generator) adopt(ids []string) {
+	for _, id := range ids {
+		g.live = append(g.live, genItem{id: id, lastTouch: -g.settle})
+	}
+}
+
+// generate produces the next op, or ok = false when the stream is
+// exhausted (op cap reached, or the next open-loop arrival would pass the
+// duration budget). Callers must serialize calls (the engine holds a
+// mutex); determinism of the sequence follows from the single seeded rng.
+func (g *generator) generate() (genOp, bool) {
+	if g.done {
+		return genOp{}, false
+	}
+	if g.spec.Ops > 0 && g.next >= g.spec.Ops {
+		g.done = true
+		return genOp{}, false
+	}
+	op := genOp{index: g.next, dependsOn: -1}
+	if g.open {
+		at, ok := g.arrival.next()
+		if !ok || (g.budget > 0 && at > g.budget) {
+			g.done = true
+			return genOp{}, false
+		}
+		op.at = at
+	}
+	g.next++
+
+	// Draws degrade deterministically when their target pool is empty:
+	// update/delete of nothing becomes an insert, and an insert past
+	// MaxItems becomes a query — so every claimed index still runs an op.
+	kind := g.table.Pick(g.rng)
+	target := -1
+	if kind == opUpdate || kind == opDelete {
+		if target = g.pickTarget(kind, op.index); target < 0 {
+			kind = opInsert
+		}
+	}
+	if kind == opInsert && g.spec.MaxItems > 0 && g.inserted >= g.spec.MaxItems {
+		kind = opQuery
+	}
+
+	op.kind = kind
+	switch kind {
+	case opInsert:
+		op.item = g.newItem(op.index)
+	case opUpdate:
+		it := &g.live[target]
+		op.dependsOn = it.lastTouch
+		it.lastTouch = op.index
+		op.item = Item{ID: it.id, Weight: g.itemWeight(), Vector: g.vector()}
+	case opDelete:
+		op.dependsOn = g.live[target].lastTouch
+		op.target = g.live[target].id
+		g.live = append(g.live[:target], g.live[target+1:]...)
+	case opQuery:
+		op.query = g.queryParams()
+	}
+	return op, true
+}
+
+func (g *generator) newItem(index int) Item {
+	id := expandTemplate(g.spec.Items.IDTemplate, g.stream, g.seq)
+	g.seq++
+	g.inserted++
+	g.live = append(g.live, genItem{id: id, lastTouch: index})
+	return Item{ID: id, Weight: g.itemWeight(), Vector: g.vector()}
+}
+
+func (g *generator) itemWeight() float64 {
+	lo, hi := g.spec.Items.WeightMin, g.spec.Items.WeightMax
+	if hi == 0 {
+		hi = 1
+	}
+	return lo + g.rng.Float64()*(hi-lo)
+}
+
+func (g *generator) vector() []float64 {
+	vec := make([]float64, g.dim)
+	for i := range vec {
+		vec[i] = g.rng.Float64()
+	}
+	return vec
+}
+
+func (g *generator) queryParams() QueryParams {
+	q := QueryParams{
+		K:         g.spec.Query.K,
+		Algorithm: g.spec.Query.Algorithm,
+		Scope:     g.spec.Query.Scope,
+	}
+	if q.K == 0 {
+		q.K = 10
+	}
+	if len(g.spec.Query.Lambdas) > 0 {
+		l := g.spec.Query.Lambdas[g.queries%len(g.spec.Query.Lambdas)]
+		q.Lambda = &l
+	}
+	g.queries++
+	return q
+}
+
+// progress is the run fraction in [0, 1] the flash-crowd ramp keys off:
+// scheduled time over the duration budget when one exists, claimed ops over
+// the op cap otherwise.
+func (g *generator) progress(op genOp) float64 {
+	if g.open && g.budget > 0 {
+		return math.Min(1, float64(op.at)/float64(g.budget))
+	}
+	if g.spec.Ops > 0 {
+		return math.Min(1, float64(op.index)/float64(g.spec.Ops))
+	}
+	return 0.5
+}
+
+// pickTarget returns the live-set index an update/delete should hit, or -1
+// when no live item is eligible. The preferred index comes from the churn
+// pattern (deletes) or key distribution; if that item is too recently
+// touched (within the settle horizon), the walk degrades toward older items
+// first, then newer.
+func (g *generator) pickTarget(kind opKind, index int) int {
+	n := len(g.live)
+	if n == 0 {
+		return -1
+	}
+	var pref int
+	if kind == opDelete {
+		switch g.spec.Churn.Pattern {
+		case ChurnDeleteRecent:
+			pref = n - 1
+		case ChurnSlidingWindow:
+			if n <= g.spec.Churn.Window {
+				return -1
+			}
+			pref = 0
+		default: // ChurnSteady: the key distribution picks
+			pref = g.keyIndex(index)
+		}
+	} else {
+		pref = g.keyIndex(index)
+	}
+	eligible := func(i int) bool { return g.live[i].lastTouch <= index-g.settle }
+	for i := pref; i >= 0; i-- {
+		if eligible(i) {
+			return i
+		}
+	}
+	for i := pref + 1; i < n; i++ {
+		if eligible(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// keyIndex draws a preferred live-set index from the stream's key
+// distribution. The live slice is insertion-ordered, so index n-1 is the
+// newest item.
+func (g *generator) keyIndex(index int) int {
+	n := len(g.live)
+	switch g.spec.Keys.Dist {
+	case KeysZipf:
+		rank := int(g.zipf.Uint64()) // 0 = hottest
+		if rank >= n {
+			rank = n - 1
+		}
+		return n - 1 - rank
+	case KeysFlashCrowd:
+		hot := g.spec.Keys.HotSet
+		if hot <= 0 {
+			hot = 16
+		}
+		if hot > n {
+			hot = n
+		}
+		// The crowd builds: hot-set hit probability ramps 10% → 90% over
+		// the run.
+		frac := g.progress(genOp{index: index, at: g.arrival.off})
+		p := 0.1 + 0.8*frac
+		if g.rng.Float64() < p {
+			return n - hot + g.rng.Intn(hot)
+		}
+		return g.rng.Intn(n)
+	default:
+		return g.rng.Intn(n)
+	}
+}
+
+// expandTemplate fills an id template's {stream} and {seq} placeholders.
+func expandTemplate(tpl string, stream, seq int) string {
+	if tpl == "" {
+		tpl = "{stream}-{seq}"
+	}
+	tpl = strings.ReplaceAll(tpl, "{stream}", strconv.Itoa(stream))
+	return strings.ReplaceAll(tpl, "{seq}", strconv.Itoa(seq))
+}
+
+// arrivalClock integrates a piecewise-constant rate profile into scheduled
+// arrival offsets.
+type arrivalClock struct {
+	stages []RampStage
+	stage  int
+	off    time.Duration // last scheduled arrival
+	end    time.Duration // current stage's cumulative end (0 = unbounded)
+}
+
+func newArrivalClock(a ArrivalSpec) arrivalClock {
+	stages := a.Ramp
+	if len(stages) == 0 {
+		stages = []RampStage{{Rate: a.Rate}} // For 0 = unbounded steady rate
+	}
+	c := arrivalClock{stages: stages}
+	c.end = stages[0].For.Duration
+	return c
+}
+
+// next returns the next arrival offset, or ok = false when a bounded ramp
+// is exhausted.
+func (c *arrivalClock) next() (time.Duration, bool) {
+	for {
+		st := c.stages[c.stage]
+		dt := time.Duration(float64(time.Second) / st.Rate)
+		at := c.off + dt
+		if st.For.Duration == 0 || at <= c.end {
+			c.off = at
+			return at, true
+		}
+		// Stage exhausted: jump to its boundary and continue in the next.
+		if c.stage == len(c.stages)-1 {
+			return 0, false
+		}
+		c.off = c.end
+		c.stage++
+		c.end += c.stages[c.stage].For.Duration
+	}
+}
+
+// vecHash fingerprints a vector for the replay op log.
+func vecHash(vec []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, x := range vec {
+		bits := math.Float64bits(x)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

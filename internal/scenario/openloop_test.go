@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// stalledTarget simulates a server whose every op takes service time on a
+// virtual clock: no real sleeping, fully deterministic.
+type stalledTarget struct {
+	clock   *VirtualClock
+	service time.Duration
+}
+
+func (s *stalledTarget) Insert(ctx context.Context, items []Item) error {
+	s.clock.Advance(s.service)
+	return nil
+}
+
+func (s *stalledTarget) Delete(ctx context.Context, id string) error {
+	s.clock.Advance(s.service)
+	return nil
+}
+
+func (s *stalledTarget) Query(ctx context.Context, q QueryParams) (QueryResult, error) {
+	s.clock.Advance(s.service)
+	return QueryResult{}, nil
+}
+
+// insertOnlySpec issues inserts at the given arrival model against a stalled
+// target for 500ms of virtual time.
+func insertOnlySpec(arrival ArrivalSpec) *Spec {
+	return &Spec{
+		Name:     "stall-probe",
+		Seed:     11,
+		Duration: seconds(0.5),
+		Dim:      2,
+		Streams: []StreamSpec{{
+			Name:    "writes",
+			Mix:     []OpWeight{{Op: OpInsert, Weight: 1}},
+			Arrival: arrival,
+			Items:   ItemSpec{IDTemplate: "st-{seq}"},
+		}},
+		Invariants: []string{InvResultSize},
+	}
+}
+
+// TestOpenLoopCountsQueuedTime is the coordinated-omission test: ops arrive
+// every 10ms but the target takes 100ms each, so the single in-flight slot
+// saturates and a growing queue builds. An honest open-loop report must
+// charge that queued time to latency — the p99 climbs far above the 100ms
+// service time. A closed-loop run of the same stub, by contrast, reports a
+// flat 100ms per call and hides the overload entirely.
+func TestOpenLoopCountsQueuedTime(t *testing.T) {
+	const service = 100 * time.Millisecond
+	start := time.Unix(1_700_000_000, 0)
+
+	// Open loop: 100 ops/sec scheduled arrivals, one slot.
+	clock := NewVirtualClock(start)
+	open, err := Run(context.Background(),
+		insertOnlySpec(ArrivalSpec{Mode: ArrivalOpen, Rate: 100, MaxInFlight: 1}),
+		Options{Target: &stalledTarget{clock: clock, service: service}, Clock: clock})
+	if err != nil {
+		t.Fatalf("open-loop Run: %v", err)
+	}
+	if open.Inserts() != 50 {
+		t.Fatalf("open loop completed %d inserts, want 50 (500ms at 100/s)", open.Inserts())
+	}
+
+	// Closed loop: one worker back to back on the same stalled stub.
+	clock = NewVirtualClock(start)
+	closed, err := Run(context.Background(),
+		insertOnlySpec(ArrivalSpec{Mode: ArrivalClosed, Workers: 1}),
+		Options{Target: &stalledTarget{clock: clock, service: service}, Clock: clock})
+	if err != nil {
+		t.Fatalf("closed-loop Run: %v", err)
+	}
+
+	openP99 := open.InsertLat().P99
+	closedP99 := closed.InsertLat().P99
+	if closedP99 != service {
+		t.Errorf("closed-loop p99 = %v, want exactly the %v service time", closedP99, service)
+	}
+	// With 10ms spacing and 100ms service, op i queues ~90ms longer than
+	// op i-1; the tail latency is dominated by queueing, not service.
+	if openP99 < 10*service {
+		t.Errorf("open-loop p99 = %v does not include queued time (service %v)", openP99, service)
+	}
+	if first := open.InsertLat().P50; first <= closedP99 {
+		t.Errorf("open-loop p50 = %v should already exceed the closed-loop %v under saturation", first, closedP99)
+	}
+	// The exact schedule is deterministic under a virtual clock and one
+	// slot: op k (1-based) arrives at 10k ms, completes at 10 + 100k ms, so
+	// its latency is 100 + 90(k-1) ms.
+	wantMax := service + (service-10*time.Millisecond)*time.Duration(open.Inserts()-1)
+	if open.InsertLat().Max != wantMax {
+		t.Errorf("open-loop max latency = %v, want %v", open.InsertLat().Max, wantMax)
+	}
+}
+
+// TestOpenLoopKeepsUp checks the other side: when the target is fast enough
+// for the arrival rate, open-loop latency is just the service time.
+func TestOpenLoopKeepsUp(t *testing.T) {
+	const service = 1 * time.Millisecond
+	start := time.Unix(1_700_000_000, 0)
+	clock := NewVirtualClock(start)
+	res, err := Run(context.Background(),
+		insertOnlySpec(ArrivalSpec{Mode: ArrivalOpen, Rate: 100, MaxInFlight: 1}),
+		Options{Target: &stalledTarget{clock: clock, service: service}, Clock: clock})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Inserts() != 50 {
+		t.Fatalf("completed %d inserts, want 50", res.Inserts())
+	}
+	if got := res.InsertLat().Max; got != service {
+		t.Errorf("max latency = %v, want %v (no queueing at 10ms spacing)", got, service)
+	}
+}

@@ -1,0 +1,561 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures one engine run.
+type Options struct {
+	// Target is the system under load (required).
+	Target Target
+	// Clock drives scheduling (nil = wall clock). Tests substitute a
+	// VirtualClock for deterministic open-loop schedules.
+	Clock Clock
+	// RecordOps captures every generated op in RunResult.OpLog — the
+	// deterministic-replay artifact. Off by default (it retains the whole
+	// sequence in memory).
+	RecordOps bool
+	// MaxFailures caps recorded errors and violations (default 20, like
+	// cmd/loadgen's report).
+	MaxFailures int
+}
+
+// OpRecord is one op-log entry: everything that identifies the generated
+// op, none of the timing. Two runs of the same spec and seed produce
+// identical per-stream logs regardless of scheduling.
+type OpRecord struct {
+	Index   int     `json:"index"`
+	Kind    string  `json:"kind"`
+	ID      string  `json:"id,omitempty"`
+	VecHash uint64  `json:"vec_hash,omitempty"`
+	Weight  float64 `json:"weight,omitempty"`
+	K       int     `json:"k,omitempty"`
+	Lambda  float64 `json:"lambda,omitempty"` // -1 = no override
+}
+
+// LatencySummary condenses one op kind's latency samples.
+type LatencySummary struct {
+	Count                    int64
+	Mean, P50, P95, P99, Max time.Duration
+}
+
+// Summarize sorts samples and extracts the summary percentiles.
+func Summarize(samples []time.Duration) LatencySummary {
+	s := LatencySummary{Count: int64(len(samples))}
+	if len(samples) == 0 {
+		return s
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	s.Mean = sum / time.Duration(len(samples))
+	q := func(p float64) time.Duration { return samples[int(p*float64(len(samples)-1))] }
+	s.P50, s.P95, s.P99, s.Max = q(0.50), q(0.95), q(0.99), samples[len(samples)-1]
+	return s
+}
+
+// StreamResult is one stream's share of the run.
+type StreamResult struct {
+	Name   string
+	Counts [numOpKinds]int64
+	Lat    [numOpKinds]LatencySummary
+}
+
+// RunResult is the outcome of one scenario run.
+type RunResult struct {
+	Name string
+	// OpenLoop is true when any stream ran open-loop (latencies then
+	// include scheduled-but-queued time).
+	OpenLoop bool
+	Elapsed  time.Duration
+	// Counts and Lat aggregate across streams, indexed like the op kinds
+	// (Inserts/Updates/Deletes/Queries accessors below).
+	counts [numOpKinds]int64
+	lat    [numOpKinds]LatencySummary
+	// MutationLat merges insert, update, and delete samples — the
+	// contention report's stall metric.
+	MutationLat LatencySummary
+	Streams     []StreamResult
+	// Errors are transport or non-2xx failures; Violations are invariant
+	// breaches. Both are capped at Options.MaxFailures.
+	Errors     []string
+	Violations []string
+	// OpLog holds each stream's generated sequence when
+	// Options.RecordOps was set, keyed by stream name.
+	OpLog map[string][]OpRecord
+}
+
+// Inserts returns the completed insert count.
+func (r *RunResult) Inserts() int64 { return r.counts[opInsert] }
+
+// Updates returns the completed update count.
+func (r *RunResult) Updates() int64 { return r.counts[opUpdate] }
+
+// Deletes returns the completed delete count.
+func (r *RunResult) Deletes() int64 { return r.counts[opDelete] }
+
+// Queries returns the completed query count.
+func (r *RunResult) Queries() int64 { return r.counts[opQuery] }
+
+// Total returns the completed op count across kinds.
+func (r *RunResult) Total() int64 {
+	var t int64
+	for _, c := range r.counts {
+		t += c
+	}
+	return t
+}
+
+// InsertLat returns the insert latency summary.
+func (r *RunResult) InsertLat() LatencySummary { return r.lat[opInsert] }
+
+// UpdateLat returns the update latency summary.
+func (r *RunResult) UpdateLat() LatencySummary { return r.lat[opUpdate] }
+
+// DeleteLat returns the delete latency summary.
+func (r *RunResult) DeleteLat() LatencySummary { return r.lat[opDelete] }
+
+// QueryLat returns the query latency summary.
+func (r *RunResult) QueryLat() LatencySummary { return r.lat[opQuery] }
+
+// checker evaluates the spec's inline invariants during the run.
+type checker struct {
+	mu          sync.Mutex
+	max         int
+	resultSize  bool
+	noDup       bool
+	noDeleted   bool
+	monotone    bool
+	deleted     map[string]int64 // id → ack sequence number
+	ackSeq      int64
+	prevVal     float64
+	havePrev    bool
+	errs, viols []string
+}
+
+func newChecker(spec *Spec, maxFailures int) *checker {
+	c := &checker{max: maxFailures, deleted: make(map[string]int64)}
+	for _, inv := range spec.EffectiveInvariants() {
+		switch inv {
+		case InvResultSize:
+			c.resultSize = true
+		case InvNoDuplicates:
+			c.noDup = true
+		case InvNoDeleted:
+			c.noDeleted = true
+		case InvMonotoneObjective:
+			c.monotone = true
+		}
+	}
+	return c
+}
+
+func (c *checker) addErr(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.errs) < c.max {
+		c.errs = append(c.errs, fmt.Sprintf(format, args...))
+	}
+}
+
+func (c *checker) addViolation(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.viols) < c.max {
+		c.viols = append(c.viols, fmt.Sprintf(format, args...))
+	}
+}
+
+// deleteAcked records an acknowledged delete; from this moment no query may
+// return the id.
+func (c *checker) deleteAcked(id string) {
+	c.mu.Lock()
+	c.ackSeq++
+	c.deleted[id] = c.ackSeq
+	c.mu.Unlock()
+}
+
+// querySnapshot captures the ack horizon before a query is issued: any id
+// whose delete sequence is ≤ the snapshot must not appear in that query's
+// results (deletes racing the query may).
+func (c *checker) querySnapshot() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ackSeq
+}
+
+// checkQuery evaluates the enabled invariants against one query result.
+func (c *checker) checkQuery(q QueryParams, res QueryResult, snap int64) {
+	if c.resultSize {
+		want := q.K
+		if res.N < want {
+			want = res.N
+		}
+		if len(res.IDs) != want {
+			c.addViolation("query returned %d items, want min(k=%d, n=%d)", len(res.IDs), q.K, res.N)
+		}
+	}
+	if c.noDup || c.noDeleted {
+		seen := make(map[string]bool, len(res.IDs))
+		for _, id := range res.IDs {
+			if c.noDup {
+				if seen[id] {
+					c.addViolation("duplicate id %q in query result", id)
+				}
+				seen[id] = true
+			}
+			if c.noDeleted {
+				c.mu.Lock()
+				seq, wasDeleted := c.deleted[id]
+				c.mu.Unlock()
+				if wasDeleted && seq <= snap {
+					c.addViolation("stale deleted item %q in query result", id)
+				}
+			}
+		}
+	}
+	if c.monotone {
+		c.mu.Lock()
+		prev, have := c.prevVal, c.havePrev
+		decreased := have && res.Value < prev-1e-9
+		if !decreased {
+			c.prevVal, c.havePrev = res.Value, true
+		}
+		c.mu.Unlock()
+		if decreased {
+			c.addViolation("objective decreased under inserts: %g → %g", prev, res.Value)
+		}
+	}
+}
+
+// Run executes the scenario against opts.Target and collects the result.
+// The generated op sequence is a pure function of (spec, seed): generation
+// is decoupled from execution timing, so a failing run replays exactly
+// under the same spec and seed.
+func Run(ctx context.Context, spec *Spec, opts Options) (*RunResult, error) {
+	if opts.Target == nil {
+		return nil, fmt.Errorf("scenario: Options.Target is required")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = realClock{}
+	}
+	maxFailures := opts.MaxFailures
+	if maxFailures <= 0 {
+		maxFailures = 20
+	}
+
+	gens := make([]*generator, len(spec.Streams))
+	for i := range spec.Streams {
+		g, err := newGenerator(spec, i, spec.Duration.Duration)
+		if err != nil {
+			return nil, err
+		}
+		gens[i] = g
+	}
+	chk := newChecker(spec, maxFailures)
+	if spec.SeedItems > 0 {
+		if err := seedCorpus(ctx, spec, gens, opts.Target); err != nil {
+			return nil, fmt.Errorf("scenario: seeding corpus: %w", err)
+		}
+	}
+
+	res := &RunResult{Name: spec.Name}
+	if opts.RecordOps {
+		res.OpLog = make(map[string][]OpRecord, len(spec.Streams))
+	}
+	start := clock.Now()
+	deadline := time.Time{}
+	if spec.Duration.Duration > 0 {
+		deadline = start.Add(spec.Duration.Duration)
+	}
+
+	streamRes := make([]*streamRun, len(spec.Streams))
+	var wg sync.WaitGroup
+	for i := range spec.Streams {
+		sr := newStreamRun(&spec.Streams[i], gens[i], chk, opts, clock, start, deadline)
+		streamRes[i] = sr
+		for w := 0; w < sr.slots; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sr.work(ctx, opts.Target)
+			}()
+		}
+	}
+	wg.Wait()
+	res.Elapsed = clock.Now().Sub(start)
+
+	var merged [numOpKinds][]time.Duration
+	var mutations []time.Duration
+	for i, sr := range streamRes {
+		st := StreamResult{Name: spec.Streams[i].Name}
+		for k := opKind(0); k < numOpKinds; k++ {
+			samples := sr.samplesOf(k)
+			st.Counts[k] = int64(len(samples))
+			st.Lat[k] = Summarize(samples)
+			merged[k] = append(merged[k], samples...)
+		}
+		res.Streams = append(res.Streams, st)
+		if spec.Streams[i].Arrival.Mode == ArrivalOpen {
+			res.OpenLoop = true
+		}
+		if opts.RecordOps {
+			res.OpLog[spec.Streams[i].Name] = sr.oplog
+		}
+	}
+	for k := opKind(0); k < numOpKinds; k++ {
+		res.counts[k] = int64(len(merged[k]))
+		if k != opQuery {
+			mutations = append(mutations, merged[k]...)
+		}
+		res.lat[k] = Summarize(merged[k])
+	}
+	res.MutationLat = Summarize(mutations)
+	chk.mu.Lock()
+	res.Errors, res.Violations = chk.errs, chk.viols
+	chk.mu.Unlock()
+	return res, nil
+}
+
+// depTracker lets an op wait for an earlier op it depends on (a delete for
+// its item's insert). Deps always point backwards at already-claimed ops
+// with earlier arrival times, so waits cannot deadlock.
+type depTracker struct {
+	mu      sync.Mutex
+	done    map[int]bool
+	waiters map[int]chan struct{}
+}
+
+func newDepTracker() *depTracker {
+	return &depTracker{done: make(map[int]bool), waiters: make(map[int]chan struct{})}
+}
+
+// complete marks op index done and releases its waiters.
+func (t *depTracker) complete(index int) {
+	t.mu.Lock()
+	t.done[index] = true
+	if ch, ok := t.waiters[index]; ok {
+		close(ch)
+		delete(t.waiters, index)
+	}
+	t.mu.Unlock()
+}
+
+// wait blocks until op index completes or ctx is done.
+func (t *depTracker) wait(ctx context.Context, index int) error {
+	t.mu.Lock()
+	if t.done[index] {
+		t.mu.Unlock()
+		return nil
+	}
+	ch, ok := t.waiters[index]
+	if !ok {
+		ch = make(chan struct{})
+		t.waiters[index] = ch
+	}
+	t.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// streamRun is one stream's execution state, shared by its worker
+// goroutines.
+type streamRun struct {
+	spec     *StreamSpec
+	gen      *generator
+	genMu    sync.Mutex
+	chk      *checker
+	clock    Clock
+	start    time.Time
+	deadline time.Time
+	open     bool
+	slots    int
+	record   bool
+	deps     *depTracker
+
+	mu      sync.Mutex
+	samples [numOpKinds][]time.Duration
+	oplog   []OpRecord
+}
+
+func newStreamRun(st *StreamSpec, gen *generator, chk *checker, opts Options, clock Clock, start, deadline time.Time) *streamRun {
+	return &streamRun{
+		spec:     st,
+		gen:      gen,
+		chk:      chk,
+		clock:    clock,
+		start:    start,
+		deadline: deadline,
+		open:     st.Arrival.Mode == ArrivalOpen,
+		slots:    streamSlots(st),
+		record:   opts.RecordOps,
+		deps:     newDepTracker(),
+	}
+}
+
+// work is one slot's loop: claim the next generated op, wait for its
+// scheduled arrival (open loop), execute, and record. Claims happen in
+// index order under genMu, which is what upholds the generator's settle
+// horizon.
+func (sr *streamRun) work(ctx context.Context, target Target) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		// Closed-loop duration runs stop claiming at the deadline;
+		// open-loop generation is already bounded by arrival times, and
+		// every scheduled op executes even if the run overshoots the
+		// deadline draining the backlog (latency honesty: dropping queued
+		// ops would be coordinated omission by another name).
+		if !sr.open && !sr.deadline.IsZero() && sr.clock.Now().After(sr.deadline) {
+			return
+		}
+		sr.genMu.Lock()
+		op, ok := sr.gen.generate()
+		if ok && sr.record {
+			sr.oplog = append(sr.oplog, recordOf(op))
+		}
+		sr.genMu.Unlock()
+		if !ok {
+			return
+		}
+
+		var t0 time.Time
+		if sr.open {
+			// Latency is measured from the scheduled arrival, not from
+			// when a slot freed up: time spent queued behind a saturated
+			// in-flight pool counts.
+			t0 = sr.start.Add(op.at)
+			if err := sr.clock.SleepUntil(ctx, t0); err != nil {
+				return
+			}
+		} else {
+			t0 = sr.clock.Now()
+		}
+		if sr.execute(ctx, target, op) {
+			lat := sr.clock.Now().Sub(t0)
+			sr.mu.Lock()
+			sr.samples[op.kind] = append(sr.samples[op.kind], lat)
+			sr.mu.Unlock()
+		}
+	}
+}
+
+// execute runs one op; false means the op errored (recorded in the
+// checker) and contributes no latency sample. Ops that write an item mark
+// themselves complete in the dependency tracker (error or not); ops that
+// depend on an earlier write wait for it first, so a delete can never
+// overtake the insert it targets even when that insert is stuck behind a
+// slow op.
+func (sr *streamRun) execute(ctx context.Context, target Target, op genOp) bool {
+	if op.dependsOn >= 0 {
+		if err := sr.deps.wait(ctx, op.dependsOn); err != nil {
+			return false
+		}
+	}
+	switch op.kind {
+	case opInsert, opUpdate:
+		err := target.Insert(ctx, []Item{op.item})
+		sr.deps.complete(op.index)
+		if err != nil {
+			sr.chk.addErr("%s %s: %v", op.kind, op.item.ID, err)
+			return false
+		}
+	case opDelete:
+		if err := target.Delete(ctx, op.target); err != nil {
+			sr.chk.addErr("delete %s: %v", op.target, err)
+			return false
+		}
+		sr.chk.deleteAcked(op.target)
+	case opQuery:
+		snap := sr.chk.querySnapshot()
+		res, err := target.Query(ctx, op.query)
+		if err != nil {
+			sr.chk.addErr("query: %v", err)
+			return false
+		}
+		sr.chk.checkQuery(op.query, res, snap)
+	}
+	return true
+}
+
+// samplesOf hands back one kind's samples once the run's workers are done.
+func (sr *streamRun) samplesOf(k opKind) []time.Duration {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return sr.samples[k]
+}
+
+func recordOf(op genOp) OpRecord {
+	rec := OpRecord{Index: op.index, Kind: op.kind.String(), Lambda: -1}
+	switch op.kind {
+	case opInsert, opUpdate:
+		rec.ID = op.item.ID
+		rec.Weight = op.item.Weight
+		rec.VecHash = vecHash(op.item.Vector)
+	case opDelete:
+		rec.ID = op.target
+	case opQuery:
+		rec.K = op.query.K
+		if op.query.Lambda != nil {
+			rec.Lambda = *op.query.Lambda
+		}
+	}
+	return rec
+}
+
+// seedCorpus bulk-inserts the scenario's starting corpus and hands the
+// seeded ids round-robin to the streams that can churn them (non-zero
+// update or delete weight), so those ops have eligible targets from the
+// first generated op.
+func seedCorpus(ctx context.Context, spec *Spec, gens []*generator, target Target) error {
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
+	var churners []*generator
+	for i, g := range gens {
+		for _, ow := range spec.Streams[i].Mix {
+			if (ow.Op == OpDelete || ow.Op == OpUpdate) && ow.Weight > 0 {
+				churners = append(churners, g)
+				break
+			}
+		}
+	}
+	const batch = 128
+	adopted := make([][]string, len(churners))
+	for lo := 0; lo < spec.SeedItems; lo += batch {
+		hi := min(lo+batch, spec.SeedItems)
+		items := make([]Item, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			vec := make([]float64, spec.Dim)
+			for k := range vec {
+				vec[k] = rng.Float64()
+			}
+			id := fmt.Sprintf("seed-%d", i)
+			items = append(items, Item{ID: id, Weight: rng.Float64(), Vector: vec})
+			if len(churners) > 0 {
+				adopted[i%len(churners)] = append(adopted[i%len(churners)], id)
+			}
+		}
+		if err := target.Insert(ctx, items); err != nil {
+			return err
+		}
+	}
+	for i, g := range churners {
+		g.adopt(adopted[i])
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"maxsumdiv/internal/server"
+)
+
+func newTestTarget(t *testing.T) *HandlerTarget {
+	t.Helper()
+	srv, err := server.New(server.Config{Shards: 2, Lambda: 1, Parallelism: 1})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	return NewHandlerTarget(srv.Handler())
+}
+
+// shortSpec trims a builtin down to a fast test run.
+func shortSpec(t *testing.T, name string, d time.Duration) *Spec {
+	t.Helper()
+	spec, ok := Builtin(name)
+	if !ok {
+		t.Fatalf("no builtin %q", name)
+	}
+	spec.Duration = Duration{d}
+	for i := range spec.Streams {
+		if len(spec.Streams[i].Arrival.Ramp) > 0 {
+			// Shrink ramps proportionally so bounded-arrival streams stay
+			// bounded but short.
+			for j := range spec.Streams[i].Arrival.Ramp {
+				spec.Streams[i].Arrival.Ramp[j].For = Duration{d / time.Duration(len(spec.Streams[i].Arrival.Ramp))}
+			}
+			spec.Duration = Duration{0}
+			for _, stg := range spec.Streams[i].Arrival.Ramp {
+				spec.Duration.Duration += stg.For.Duration
+			}
+		}
+	}
+	spec.SeedItems = min(spec.SeedItems, 128)
+	return spec
+}
+
+func TestRunSteadyMixedSmoke(t *testing.T) {
+	spec := shortSpec(t, "steady-mixed", 400*time.Millisecond)
+	res, err := Run(context.Background(), spec, Options{Target: newTestTarget(t)})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Total() == 0 {
+		t.Fatal("no ops completed")
+	}
+	if res.Inserts() == 0 || res.Queries() == 0 {
+		t.Fatalf("expected inserts and queries, got inserts=%d queries=%d", res.Inserts(), res.Queries())
+	}
+	if !res.OpenLoop {
+		t.Error("steady-mixed is an open-loop scenario")
+	}
+	if len(res.Errors) > 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("invariant violations: %v", res.Violations)
+	}
+	if res.QueryLat().Count != res.Queries() {
+		t.Errorf("query latency count %d != queries %d", res.QueryLat().Count, res.Queries())
+	}
+	wantMut := res.Inserts() + res.Updates() + res.Deletes()
+	if res.MutationLat.Count != wantMut {
+		t.Errorf("mutation latency count %d != %d", res.MutationLat.Count, wantMut)
+	}
+}
+
+func TestRunAllBuiltinsSmoke(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec := shortSpec(t, name, 300*time.Millisecond)
+			res, err := Run(context.Background(), spec, Options{Target: newTestTarget(t)})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Total() == 0 {
+				t.Fatal("no ops completed")
+			}
+			if len(res.Errors) > 0 {
+				t.Fatalf("errors: %v", res.Errors)
+			}
+			if len(res.Violations) > 0 {
+				t.Fatalf("invariant violations: %v", res.Violations)
+			}
+		})
+	}
+}
+
+// TestRunDeterministicReplay is the replay guarantee: two runs of the same
+// spec and seed produce identical per-stream op sequences and identical
+// invariant outcomes, even though execution interleaving differs.
+func TestRunDeterministicReplay(t *testing.T) {
+	run := func() *RunResult {
+		spec := shortSpec(t, "steady-mixed", 400*time.Millisecond)
+		res, err := Run(context.Background(), spec, Options{Target: newTestTarget(t), RecordOps: true})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.OpLog) == 0 {
+		t.Fatal("no op log recorded")
+	}
+	if !reflect.DeepEqual(a.OpLog, b.OpLog) {
+		for name := range a.OpLog {
+			la, lb := a.OpLog[name], b.OpLog[name]
+			if len(la) != len(lb) {
+				t.Fatalf("stream %q: %d vs %d ops", name, len(la), len(lb))
+			}
+			for i := range la {
+				if la[i] != lb[i] {
+					t.Fatalf("stream %q op %d differs:\n  %+v\n  %+v", name, i, la[i], lb[i])
+				}
+			}
+		}
+		t.Fatal("op logs differ")
+	}
+	if len(a.Violations) != len(b.Violations) {
+		t.Fatalf("violation counts differ: %d vs %d", len(a.Violations), len(b.Violations))
+	}
+}
+
+// TestRunReplayAcrossSeeds sanity-checks that the seed actually matters.
+func TestRunReplayAcrossSeeds(t *testing.T) {
+	logFor := func(seed int64) []OpRecord {
+		spec := shortSpec(t, "steady-mixed", 200*time.Millisecond)
+		spec.Seed = seed
+		res, err := Run(context.Background(), spec, Options{Target: newTestTarget(t), RecordOps: true})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res.OpLog[spec.Streams[0].Name]
+	}
+	if reflect.DeepEqual(logFor(1), logFor(2)) {
+		t.Fatal("different seeds produced identical op logs")
+	}
+}
+
+// TestRunMonotoneObjective runs a serialized insert-only exact workload and
+// expects the objective to be non-decreasing against the real server.
+func TestRunMonotoneObjective(t *testing.T) {
+	spec := &Spec{
+		Name: "monotone-test",
+		Seed: 7,
+		Dim:  4,
+		Streams: []StreamSpec{{
+			Name: "serial",
+			Mix: []OpWeight{
+				{Op: OpInsert, Weight: 60},
+				{Op: OpQuery, Weight: 40},
+			},
+			Arrival:  ArrivalSpec{Mode: ArrivalClosed, Workers: 1},
+			Ops:      150,
+			MaxItems: 30,
+			Items:    ItemSpec{IDTemplate: "mono-{seq}"},
+			Query:    QuerySpec{K: 5, Algorithm: "exact", Scope: "full"},
+		}},
+		Invariants: []string{InvResultSize, InvNoDuplicates, InvMonotoneObjective},
+	}
+	res, err := Run(context.Background(), spec, Options{Target: newTestTarget(t)})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Total() != 150 {
+		t.Fatalf("completed %d ops, want 150", res.Total())
+	}
+	if len(res.Errors) > 0 {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("monotone violations: %v", res.Violations)
+	}
+}
+
+// misbehavingTarget wraps a real target but corrupts query results, so the
+// invariant checker has something to catch.
+type misbehavingTarget struct {
+	inner Target
+
+	mu      sync.Mutex
+	deleted []string
+}
+
+func (m *misbehavingTarget) Insert(ctx context.Context, items []Item) error {
+	return m.inner.Insert(ctx, items)
+}
+
+func (m *misbehavingTarget) Delete(ctx context.Context, id string) error {
+	if err := m.inner.Delete(ctx, id); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.deleted = append(m.deleted, id)
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *misbehavingTarget) Query(ctx context.Context, q QueryParams) (QueryResult, error) {
+	res, err := m.inner.Query(ctx, q)
+	if err != nil {
+		return res, err
+	}
+	// Resurrect a deleted id in place of a live one, and duplicate another.
+	m.mu.Lock()
+	if len(m.deleted) > 0 && len(res.IDs) > 1 {
+		res.IDs[0] = m.deleted[0]
+		res.IDs = append(res.IDs, res.IDs[1])
+	}
+	m.mu.Unlock()
+	return res, nil
+}
+
+func TestRunInvariantViolationsDetected(t *testing.T) {
+	spec := shortSpec(t, "steady-mixed", 300*time.Millisecond)
+	target := &misbehavingTarget{inner: newTestTarget(t)}
+	res, err := Run(context.Background(), spec, Options{Target: target})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Deletes() == 0 || res.Queries() == 0 {
+		t.Fatalf("need deletes and queries to exercise the checker, got %d/%d", res.Deletes(), res.Queries())
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("misbehaving target produced no invariant violations")
+	}
+	var sawStale, sawShape bool
+	for _, v := range res.Violations {
+		if strings.Contains(v, "stale deleted item") {
+			sawStale = true
+		}
+		if strings.Contains(v, "duplicate id") || strings.Contains(v, "want min(k=") {
+			sawShape = true
+		}
+	}
+	if !sawStale {
+		t.Errorf("no stale-delete violation in %v", res.Violations)
+	}
+	if !sawShape {
+		t.Errorf("no duplicate/size violation in %v", res.Violations)
+	}
+}
+
+// TestRunErrorsCapped checks MaxFailures bounds the recorded error list.
+func TestRunErrorsCapped(t *testing.T) {
+	spec := shortSpec(t, "steady-mixed", 200*time.Millisecond)
+	spec.SeedItems = 0
+	res, err := Run(context.Background(), spec, Options{Target: failingTarget{}, MaxFailures: 5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Errors) == 0 {
+		t.Fatal("failing target produced no errors")
+	}
+	if len(res.Errors) > 5 {
+		t.Fatalf("recorded %d errors, cap was 5", len(res.Errors))
+	}
+}
+
+type failingTarget struct{}
+
+func (failingTarget) Insert(context.Context, []Item) error { return fmt.Errorf("boom") }
+func (failingTarget) Delete(context.Context, string) error { return fmt.Errorf("boom") }
+func (failingTarget) Query(context.Context, QueryParams) (QueryResult, error) {
+	return QueryResult{}, fmt.Errorf("boom")
+}

@@ -1,0 +1,522 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// maxSpecBytes bounds a spec document; real specs are a few KB.
+const maxSpecBytes = 1 << 20
+
+// Op kind names as they appear in spec mixes.
+const (
+	OpInsert = "insert"
+	OpUpdate = "update"
+	OpDelete = "delete"
+	OpQuery  = "query"
+)
+
+// Invariant names a spec may enable. When a spec lists none, the engine
+// checks DefaultInvariants.
+const (
+	// InvResultSize: every query returns exactly min(k, n) results, where n
+	// is the candidate-pool size the server reports for that query.
+	InvResultSize = "result_size"
+	// InvNoDuplicates: no id appears twice in one query result.
+	InvNoDuplicates = "no_duplicates"
+	// InvNoDeleted: an id whose delete was acknowledged before the query
+	// was issued never appears in the result.
+	InvNoDeleted = "no_deleted"
+	// InvMonotoneObjective: the query objective never decreases. Only
+	// sound for a serialized insert-only exact workload, which Validate
+	// enforces (single stream, one worker or in-flight slot, no
+	// delete/update weight, algorithm "exact", max_items set).
+	InvMonotoneObjective = "monotone_objective"
+)
+
+// DefaultInvariants are checked when a spec lists none.
+var DefaultInvariants = []string{InvResultSize, InvNoDuplicates, InvNoDeleted}
+
+// Arrival modes.
+const (
+	// ArrivalOpen schedules op arrival times from a target rate and runs
+	// them through a bounded in-flight pool: an op whose slot is busy at
+	// its scheduled time queues, and the queued time counts against its
+	// latency. Reported percentiles are therefore coordinated-omission
+	// free.
+	ArrivalOpen = "open"
+	// ArrivalClosed runs a fixed worker pool back to back: each worker
+	// issues its next op as soon as the previous one completes. Latency is
+	// measured per call, so a slow target silently throttles the offered
+	// load — the classic closed-loop blind spot the open mode exists to
+	// expose.
+	ArrivalClosed = "closed"
+)
+
+// Key-popularity distributions (which live item an update or steady-churn
+// delete targets).
+const (
+	KeysUniform = "uniform"
+	// KeysZipf ranks live items newest-first and draws a Zipf(s) rank:
+	// recent items are hot, the tail is cold.
+	KeysZipf = "zipf"
+	// KeysFlashCrowd ramps the probability of hitting a small hot set of
+	// the most recent items from 10% to 90% over the run — a popularity
+	// spike building up.
+	KeysFlashCrowd = "flashcrowd"
+)
+
+// Churn patterns (how deletes choose their victim).
+const (
+	// ChurnSteady deletes by the stream's key distribution.
+	ChurnSteady = "steady"
+	// ChurnDeleteRecent always deletes the most recently settled insert —
+	// the adversarial order for recency-biased maintained structures.
+	ChurnDeleteRecent = "delete-recent"
+	// ChurnSlidingWindow deletes the oldest item once the stream's live
+	// set exceeds the window, holding corpus size roughly constant.
+	ChurnSlidingWindow = "sliding-window"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("250ms", "1.5s") so specs stay human-readable.
+type Duration struct{ time.Duration }
+
+// MarshalJSON encodes the duration as its string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.String())
+}
+
+// UnmarshalJSON accepts a Go duration string.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("duration must be a string like \"1.5s\": %w", err)
+	}
+	dd, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	d.Duration = dd
+	return nil
+}
+
+// Spec is one declarative workload: what to run (streams of weighted ops
+// over templated items), how fast (open-loop rates or closed-loop workers),
+// for how long, and which invariants must hold while it runs.
+type Spec struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Seed makes the whole run reproducible: every generated op sequence
+	// is a pure function of (spec, seed).
+	Seed int64 `json:"seed"`
+	// Duration bounds the run (open-loop streams stop scheduling arrivals
+	// past it; closed-loop workers stop claiming ops). Zero means every
+	// stream must carry an op cap instead.
+	Duration Duration `json:"duration,omitempty"`
+	// Dim is the item vector dimension shared by all streams.
+	Dim int `json:"dim"`
+	// SeedItems pre-loads the corpus with this many items before the timed
+	// run; seeded ids are distributed across the streams that delete or
+	// update, so churn has targets from the first op.
+	SeedItems int `json:"seed_items,omitempty"`
+	// Streams run concurrently against the same target.
+	Streams []StreamSpec `json:"streams"`
+	// Invariants are checked during the run (empty = DefaultInvariants).
+	Invariants []string `json:"invariants,omitempty"`
+}
+
+// StreamSpec is one concurrent op stream within a scenario.
+type StreamSpec struct {
+	Name string `json:"name"`
+	// Mix is the weighted op table the stream draws from.
+	Mix []OpWeight `json:"mix"`
+	// Arrival sets the stream's load model.
+	Arrival ArrivalSpec `json:"arrival"`
+	// Ops caps the stream's generated op count (0 = bounded by the spec
+	// duration alone).
+	Ops int `json:"ops,omitempty"`
+	// MaxItems caps the stream's live inserts; once reached, insert draws
+	// become queries (used by the monotone-objective workload, whose exact
+	// solver has a corpus limit).
+	MaxItems int       `json:"max_items,omitempty"`
+	Items    ItemSpec  `json:"items"`
+	Keys     KeySpec   `json:"keys"`
+	Churn    ChurnSpec `json:"churn"`
+	Query    QuerySpec `json:"query"`
+}
+
+// OpWeight is one entry of a stream's weighted op table.
+type OpWeight struct {
+	Op     string `json:"op"`
+	Weight int    `json:"weight"`
+}
+
+// ArrivalSpec sets how a stream's ops arrive.
+type ArrivalSpec struct {
+	// Mode is ArrivalOpen or ArrivalClosed.
+	Mode string `json:"mode"`
+	// Rate is the open-loop target arrival rate in ops/sec (ignored when
+	// Ramp is set).
+	Rate float64 `json:"rate,omitempty"`
+	// MaxInFlight bounds the open-loop in-flight pool (default 64). Ops
+	// scheduled while the pool is saturated queue, and their queued time
+	// counts against latency.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// Workers is the closed-loop pool size (default 1).
+	Workers int `json:"workers,omitempty"`
+	// Ramp replaces Rate with piecewise-constant stages (a flash-crowd
+	// arrival spike is a low-high-low ramp). Open mode only.
+	Ramp []RampStage `json:"ramp,omitempty"`
+}
+
+// RampStage is one piecewise-constant arrival-rate stage.
+type RampStage struct {
+	For  Duration `json:"for"`
+	Rate float64  `json:"rate"`
+}
+
+// ItemSpec templates the items a stream inserts.
+type ItemSpec struct {
+	// IDTemplate names inserted items; "{stream}" expands to the stream
+	// index and "{seq}" to the per-stream insert counter. Default
+	// "{stream}-{seq}". Every template must contain {seq} so ids are
+	// unique.
+	IDTemplate string `json:"id_template,omitempty"`
+	// WeightMin/WeightMax bound the uniform item-weight draw
+	// (default [0, 1)).
+	WeightMin float64 `json:"weight_min,omitempty"`
+	WeightMax float64 `json:"weight_max,omitempty"`
+}
+
+// KeySpec sets which live item an update (or steady-churn delete) targets.
+type KeySpec struct {
+	// Dist is KeysUniform (default), KeysZipf, or KeysFlashCrowd.
+	Dist string `json:"dist,omitempty"`
+	// S is the Zipf exponent (> 1, default 1.2).
+	S float64 `json:"s,omitempty"`
+	// HotSet is the flash-crowd hot-set size (default 16).
+	HotSet int `json:"hot_set,omitempty"`
+}
+
+// ChurnSpec sets how deletes choose their victim.
+type ChurnSpec struct {
+	// Pattern is ChurnSteady (default), ChurnDeleteRecent, or
+	// ChurnSlidingWindow.
+	Pattern string `json:"pattern,omitempty"`
+	// Window is the sliding-window live-set size (required for
+	// ChurnSlidingWindow).
+	Window int `json:"window,omitempty"`
+}
+
+// QuerySpec parameterizes the stream's queries.
+type QuerySpec struct {
+	// K is the result size (default 10).
+	K int `json:"k,omitempty"`
+	// Algorithm and Scope pass through to the server (defaults "greedy",
+	// "full").
+	Algorithm string `json:"algorithm,omitempty"`
+	Scope     string `json:"scope,omitempty"`
+	// Lambdas, when non-empty, rotates a per-query λ override across
+	// queries (stresses the server's query-time trade-off path).
+	Lambdas []float64 `json:"lambdas,omitempty"`
+}
+
+// SpecError is a typed spec-validation failure carrying the JSON field path
+// of the offending value, e.g. "streams[1].mix[2].weight".
+type SpecError struct {
+	Path string
+	Msg  string
+}
+
+func (e *SpecError) Error() string {
+	if e.Path == "" {
+		return "scenario: spec: " + e.Msg
+	}
+	return "scenario: spec " + e.Path + ": " + e.Msg
+}
+
+func specErrf(path, format string, args ...any) *SpecError {
+	return &SpecError{Path: path, Msg: fmt.Sprintf(format, args...)}
+}
+
+// DecodeSpec parses and validates a JSON spec. Unknown fields and trailing
+// data are rejected; validation failures are *SpecError values with field
+// paths.
+func DecodeSpec(r io.Reader) (*Spec, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxSpecBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: read spec: %w", err)
+	}
+	if len(data) > maxSpecBytes {
+		return nil, fmt.Errorf("scenario: spec exceeds %d bytes", maxSpecBytes)
+	}
+	var spec Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("scenario: decode spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: decode spec: trailing data after JSON value")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// Encode writes the spec as indented canonical JSON — the form the shipped
+// scenarios/ files are kept in, so decode→encode round-trips byte-exactly.
+func (s *Spec) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Clone deep-copies the spec so callers can override duration, rates, or
+// seeds without mutating a shared builtin.
+func (s *Spec) Clone() *Spec {
+	out := *s
+	out.Streams = make([]StreamSpec, len(s.Streams))
+	for i, st := range s.Streams {
+		cp := st
+		cp.Mix = append([]OpWeight(nil), st.Mix...)
+		cp.Arrival.Ramp = append([]RampStage(nil), st.Arrival.Ramp...)
+		cp.Query.Lambdas = append([]float64(nil), st.Query.Lambdas...)
+		out.Streams[i] = cp
+	}
+	out.Invariants = append([]string(nil), s.Invariants...)
+	return &out
+}
+
+// EffectiveInvariants is the checked set: the spec's list, or
+// DefaultInvariants when it declares none.
+func (s *Spec) EffectiveInvariants() []string {
+	if len(s.Invariants) > 0 {
+		return s.Invariants
+	}
+	return DefaultInvariants
+}
+
+func (s *Spec) hasInvariant(name string) bool {
+	for _, inv := range s.EffectiveInvariants() {
+		if inv == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the spec's structural invariants, returning a *SpecError
+// with a field path on the first failure.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return specErrf("name", "required")
+	}
+	if s.Seed == 0 {
+		return specErrf("seed", "required (non-zero, for reproducible replay)")
+	}
+	if s.Duration.Duration < 0 {
+		return specErrf("duration", "negative (%v)", s.Duration.Duration)
+	}
+	if s.Dim <= 0 {
+		return specErrf("dim", "%d, want > 0", s.Dim)
+	}
+	if s.SeedItems < 0 {
+		return specErrf("seed_items", "%d, want ≥ 0", s.SeedItems)
+	}
+	if len(s.Streams) == 0 {
+		return specErrf("streams", "at least one stream required")
+	}
+	for i, inv := range s.Invariants {
+		switch inv {
+		case InvResultSize, InvNoDuplicates, InvNoDeleted, InvMonotoneObjective:
+		default:
+			return specErrf(fmt.Sprintf("invariants[%d]", i), "unknown invariant %q", inv)
+		}
+	}
+	names := make(map[string]bool, len(s.Streams))
+	for i := range s.Streams {
+		if err := s.validateStream(i); err != nil {
+			return err
+		}
+		n := s.Streams[i].Name
+		if names[n] {
+			return specErrf(fmt.Sprintf("streams[%d].name", i), "duplicate stream name %q", n)
+		}
+		names[n] = true
+	}
+	if s.hasInvariant(InvMonotoneObjective) {
+		if err := s.validateMonotone(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Spec) validateStream(i int) error {
+	st := &s.Streams[i]
+	path := func(f string) string { return fmt.Sprintf("streams[%d].%s", i, f) }
+	if st.Name == "" {
+		return specErrf(path("name"), "required")
+	}
+	if len(st.Mix) == 0 {
+		return specErrf(path("mix"), "at least one op required")
+	}
+	total := 0
+	for j, ow := range st.Mix {
+		mp := fmt.Sprintf("streams[%d].mix[%d]", i, j)
+		switch ow.Op {
+		case OpInsert, OpUpdate, OpDelete, OpQuery:
+		default:
+			return specErrf(mp+".op", "unknown op %q (want insert, update, delete, or query)", ow.Op)
+		}
+		if ow.Weight < 0 {
+			return specErrf(mp+".weight", "%d, want ≥ 0", ow.Weight)
+		}
+		total += ow.Weight
+	}
+	if total == 0 {
+		return specErrf(path("mix"), "total weight 0")
+	}
+	if st.Ops < 0 {
+		return specErrf(path("ops"), "%d, want ≥ 0", st.Ops)
+	}
+	// Every stream needs some bound: the spec duration, an op cap, or a
+	// bounded arrival ramp (each ramp stage's duration is validated > 0).
+	if st.Ops == 0 && s.Duration.Duration == 0 && len(st.Arrival.Ramp) == 0 {
+		return specErrf(path("ops"), "stream needs an op cap when the spec has no duration and no ramp")
+	}
+	if st.MaxItems < 0 {
+		return specErrf(path("max_items"), "%d, want ≥ 0", st.MaxItems)
+	}
+
+	a := &st.Arrival
+	switch a.Mode {
+	case ArrivalOpen:
+		if len(a.Ramp) > 0 {
+			if a.Rate != 0 {
+				return specErrf(path("arrival.rate"), "rate and ramp are mutually exclusive")
+			}
+			for j, stg := range a.Ramp {
+				rp := fmt.Sprintf("streams[%d].arrival.ramp[%d]", i, j)
+				if stg.For.Duration <= 0 {
+					return specErrf(rp+".for", "%v, want > 0", stg.For.Duration)
+				}
+				if stg.Rate <= 0 || math.IsNaN(stg.Rate) || math.IsInf(stg.Rate, 0) {
+					return specErrf(rp+".rate", "%g, want finite > 0", stg.Rate)
+				}
+			}
+		} else if a.Rate <= 0 || math.IsNaN(a.Rate) || math.IsInf(a.Rate, 0) {
+			return specErrf(path("arrival.rate"), "%g, want finite > 0 (or a ramp)", a.Rate)
+		}
+		if a.MaxInFlight < 0 {
+			return specErrf(path("arrival.max_in_flight"), "%d, want ≥ 0", a.MaxInFlight)
+		}
+		if a.Workers != 0 {
+			return specErrf(path("arrival.workers"), "workers is a closed-loop field; open mode uses max_in_flight")
+		}
+	case ArrivalClosed:
+		if a.Rate != 0 || len(a.Ramp) > 0 {
+			return specErrf(path("arrival.rate"), "rate/ramp are open-loop fields")
+		}
+		if a.MaxInFlight != 0 {
+			return specErrf(path("arrival.max_in_flight"), "max_in_flight is an open-loop field; closed mode uses workers")
+		}
+		if a.Workers < 0 {
+			return specErrf(path("arrival.workers"), "%d, want ≥ 0", a.Workers)
+		}
+	default:
+		return specErrf(path("arrival.mode"), "%q, want %q or %q", a.Mode, ArrivalOpen, ArrivalClosed)
+	}
+
+	if tpl := st.Items.IDTemplate; tpl != "" && !containsSeq(tpl) {
+		return specErrf(path("items.id_template"), "%q lacks the {seq} placeholder (ids would collide)", tpl)
+	}
+	if st.Items.WeightMin < 0 || math.IsNaN(st.Items.WeightMin) {
+		return specErrf(path("items.weight_min"), "%g, want ≥ 0", st.Items.WeightMin)
+	}
+	if st.Items.WeightMax != 0 && st.Items.WeightMax < st.Items.WeightMin {
+		return specErrf(path("items.weight_max"), "%g < weight_min %g", st.Items.WeightMax, st.Items.WeightMin)
+	}
+
+	switch st.Keys.Dist {
+	case "", KeysUniform:
+	case KeysZipf:
+		if st.Keys.S != 0 && st.Keys.S <= 1 {
+			return specErrf(path("keys.s"), "%g, want > 1 (Zipf exponent)", st.Keys.S)
+		}
+	case KeysFlashCrowd:
+		if st.Keys.HotSet < 0 {
+			return specErrf(path("keys.hot_set"), "%d, want ≥ 0", st.Keys.HotSet)
+		}
+	default:
+		return specErrf(path("keys.dist"), "%q, want %q, %q, or %q", st.Keys.Dist, KeysUniform, KeysZipf, KeysFlashCrowd)
+	}
+
+	switch st.Churn.Pattern {
+	case "", ChurnSteady, ChurnDeleteRecent:
+	case ChurnSlidingWindow:
+		if st.Churn.Window <= 0 {
+			return specErrf(path("churn.window"), "%d, want > 0 for %q", st.Churn.Window, ChurnSlidingWindow)
+		}
+	default:
+		return specErrf(path("churn.pattern"), "%q, want %q, %q, or %q", st.Churn.Pattern, ChurnSteady, ChurnDeleteRecent, ChurnSlidingWindow)
+	}
+
+	if st.Query.K < 0 {
+		return specErrf(path("query.k"), "%d, want ≥ 0", st.Query.K)
+	}
+	switch st.Query.Scope {
+	case "", "full", "maintained":
+	default:
+		return specErrf(path("query.scope"), "%q, want full or maintained", st.Query.Scope)
+	}
+	for j, l := range st.Query.Lambdas {
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return specErrf(fmt.Sprintf("streams[%d].query.lambdas[%d]", i, j), "%g, want finite ≥ 0", l)
+		}
+	}
+	return nil
+}
+
+// validateMonotone enforces the preconditions under which a non-decreasing
+// objective is actually a theorem: serialized insert-only exact queries
+// over a capped corpus.
+func (s *Spec) validateMonotone() error {
+	if len(s.Streams) != 1 {
+		return specErrf("invariants", "%s needs exactly one stream, have %d", InvMonotoneObjective, len(s.Streams))
+	}
+	st := &s.Streams[0]
+	slots := st.Arrival.Workers
+	if st.Arrival.Mode == ArrivalOpen {
+		slots = st.Arrival.MaxInFlight
+	}
+	if slots > 1 {
+		return specErrf("streams[0].arrival", "%s needs a serialized stream (1 worker / 1 in-flight slot)", InvMonotoneObjective)
+	}
+	for j, ow := range st.Mix {
+		if (ow.Op == OpDelete || ow.Op == OpUpdate) && ow.Weight > 0 {
+			return specErrf(fmt.Sprintf("streams[0].mix[%d]", j), "%s forbids %s ops", InvMonotoneObjective, ow.Op)
+		}
+	}
+	if st.Query.Algorithm != "exact" {
+		return specErrf("streams[0].query.algorithm", "%s requires %q (only the exact optimum is monotone under inserts)", InvMonotoneObjective, "exact")
+	}
+	if st.MaxItems <= 0 {
+		return specErrf("streams[0].max_items", "%s requires a cap (the exact solver has a corpus limit)", InvMonotoneObjective)
+	}
+	if s.SeedItems > 0 {
+		return specErrf("seed_items", "%s requires an empty starting corpus", InvMonotoneObjective)
+	}
+	return nil
+}
+
+func containsSeq(tpl string) bool {
+	return bytes.Contains([]byte(tpl), []byte("{seq}"))
+}

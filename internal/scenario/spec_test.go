@@ -1,0 +1,209 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+const scenariosDir = "../../scenarios"
+
+// TestScenarioGoldenFiles keeps the shipped scenarios/ directory and the
+// builtin registry identical: every builtin has a JSON file whose bytes are
+// exactly the builtin's canonical encoding, and no stray files exist.
+// Regenerate with UPDATE_GOLDEN=1 go test ./internal/scenario -run Golden.
+func TestScenarioGoldenFiles(t *testing.T) {
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+	for _, name := range BuiltinNames() {
+		spec, _ := Builtin(name)
+		var want bytes.Buffer
+		if err := spec.Encode(&want); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		path := filepath.Join(scenariosDir, name+".json")
+		if update {
+			if err := os.WriteFile(path, want.Bytes(), 0o644); err != nil {
+				t.Fatalf("%s: write golden: %v", name, err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden file (run with UPDATE_GOLDEN=1 to regenerate): %v", name, err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Errorf("%s: scenarios/%s.json differs from the builtin (run with UPDATE_GOLDEN=1 to regenerate)", name, name)
+		}
+	}
+	entries, err := os.ReadDir(scenariosDir)
+	if err != nil {
+		if update {
+			return
+		}
+		t.Fatalf("read %s: %v", scenariosDir, err)
+	}
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ".json")
+		if _, ok := Builtin(name); !ok {
+			t.Errorf("scenarios/%s has no matching builtin", e.Name())
+		}
+	}
+}
+
+// TestShippedSpecsRoundTrip decodes every shipped spec file, checks it
+// validates, round-trips decode→encode byte-exactly, and structurally equals
+// its builtin.
+func TestShippedSpecsRoundTrip(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(scenariosDir, "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no shipped specs found: %v", err)
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		spec, err := DecodeSpec(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", path, err)
+		}
+		var reenc bytes.Buffer
+		if err := spec.Encode(&reenc); err != nil {
+			t.Fatalf("%s: re-encode: %v", path, err)
+		}
+		if !bytes.Equal(data, reenc.Bytes()) {
+			t.Errorf("%s: decode→encode is not byte-identical", path)
+		}
+		builtin, ok := Builtin(spec.Name)
+		if !ok {
+			t.Fatalf("%s: spec name %q is not a builtin", path, spec.Name)
+		}
+		if !reflect.DeepEqual(spec, builtin) {
+			t.Errorf("%s: decoded spec differs structurally from builtin %q", path, spec.Name)
+		}
+	}
+}
+
+// TestDecodeSpecMalformed checks that invalid specs fail with typed
+// *SpecError values carrying the offending field's JSON path.
+func TestDecodeSpecMalformed(t *testing.T) {
+	valid := func(mutate string) string {
+		return `{
+			"name": "t", "seed": 1, "duration": "1s", "dim": 4,
+			"streams": [{
+				"name": "s",
+				"mix": [{"op": "insert", "weight": 1}],
+				"arrival": {"mode": "open", "rate": 100},
+				"items": {}, "keys": {}, "churn": {}, "query": {}
+			}]` + mutate + `}`
+	}
+	cases := []struct {
+		name     string
+		json     string
+		wantPath string
+	}{
+		{"missing name", `{"seed": 1, "dim": 4, "duration": "1s", "streams": [{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1}}]}`, "name"},
+		{"zero seed", `{"name":"t","dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1}}]}`, "seed"},
+		{"bad dim", `{"name":"t","seed":1,"dim":0,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1}}]}`, "dim"},
+		{"no streams", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[]}`, "streams"},
+		{"bad op", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"upsert","weight":1}],"arrival":{"mode":"open","rate":1}}]}`, "streams[0].mix[0].op"},
+		{"negative weight", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":-2}],"arrival":{"mode":"open","rate":1}}]}`, "streams[0].mix[0].weight"},
+		{"zero total weight", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":0}],"arrival":{"mode":"open","rate":1}}]}`, "streams[0].mix"},
+		{"bad arrival mode", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"poisson","rate":1}}]}`, "streams[0].arrival.mode"},
+		{"open without rate", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open"}}]}`, "streams[0].arrival.rate"},
+		{"closed with rate", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"closed","rate":5}}]}`, "streams[0].arrival.rate"},
+		{"template without seq", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1},"items":{"id_template":"fixed-id"}}]}`, "streams[0].items.id_template"},
+		{"bad keys dist", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1},"keys":{"dist":"pareto"}}]}`, "streams[0].keys.dist"},
+		{"zipf s too small", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1},"keys":{"dist":"zipf","s":0.5}}]}`, "streams[0].keys.s"},
+		{"bad churn", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1},"churn":{"pattern":"random"}}]}`, "streams[0].churn.pattern"},
+		{"sliding window without window", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1},"churn":{"pattern":"sliding-window"}}]}`, "streams[0].churn.window"},
+		{"unknown invariant", valid(`, "invariants": ["no_teleportation"]`), "invariants[0]"},
+		{"duplicate stream names", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1}},{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1}}]}`, "streams[1].name"},
+		{"monotone with deletes", `{"name":"t","seed":1,"dim":4,"duration":"1s","invariants":["monotone_objective"],"streams":[{"name":"s","mix":[{"op":"insert","weight":1},{"op":"delete","weight":1}],"arrival":{"mode":"closed","workers":1},"max_items":10,"query":{"algorithm":"exact"}}]}`, "streams[0].mix[1]"},
+		{"monotone without exact", `{"name":"t","seed":1,"dim":4,"duration":"1s","invariants":["monotone_objective"],"streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"closed","workers":1},"max_items":10,"query":{"algorithm":"greedy"}}]}`, "streams[0].query.algorithm"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSpec(strings.NewReader(tc.json))
+			if err == nil {
+				t.Fatal("malformed spec decoded without error")
+			}
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("error is %T (%v), want *SpecError", err, err)
+			}
+			if se.Path != tc.wantPath {
+				t.Errorf("error path = %q, want %q (msg: %s)", se.Path, tc.wantPath, se.Msg)
+			}
+		})
+	}
+}
+
+// TestDecodeSpecStrict covers the decode-layer rejections that are not
+// validation failures: unknown fields, trailing data, bad durations.
+func TestDecodeSpecStrict(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"unknown field", `{"name":"t","seed":1,"dim":4,"duration":"1s","turbo":true,"streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1}}]}`},
+		{"trailing data", `{"name":"t","seed":1,"dim":4,"duration":"1s","streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1}}]} extra`},
+		{"numeric duration", `{"name":"t","seed":1,"dim":4,"duration":1000,"streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1}}]}`},
+		{"unparseable duration", `{"name":"t","seed":1,"dim":4,"duration":"three seconds","streams":[{"name":"s","mix":[{"op":"insert","weight":1}],"arrival":{"mode":"open","rate":1}}]}`},
+		{"not json", `scenario: steady-mixed`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeSpec(strings.NewReader(tc.json)); err == nil {
+				t.Fatal("expected a decode error")
+			}
+		})
+	}
+}
+
+func TestSpecCloneIsDeep(t *testing.T) {
+	orig, _ := Builtin("zipf-read-heavy")
+	clone := orig.Clone()
+	clone.Streams[0].Mix[0].Weight = 999
+	clone.Streams[0].Query.Lambdas[0] = 42
+	clone.Invariants[0] = "tampered"
+	fresh, _ := Builtin("zipf-read-heavy")
+	if !reflect.DeepEqual(orig, fresh) {
+		t.Error("mutating a clone leaked into the builtin")
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	d := Duration{1500 * time.Millisecond}
+	b, err := d.MarshalJSON()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if string(b) != `"1.5s"` {
+		t.Errorf("marshal = %s, want \"1.5s\"", b)
+	}
+	var back Duration
+	if err := back.UnmarshalJSON(b); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Duration != d.Duration {
+		t.Errorf("round trip: %v != %v", back.Duration, d.Duration)
+	}
+}
+
+func TestLoadResolvesBuiltinsAndFiles(t *testing.T) {
+	if _, err := Load("steady-mixed"); err != nil {
+		t.Errorf("Load(builtin): %v", err)
+	}
+	if _, err := Load(filepath.Join(scenariosDir, "contention.json")); err != nil {
+		t.Errorf("Load(file): %v", err)
+	}
+	if _, err := Load("no-such-scenario"); err == nil {
+		t.Error("Load(nonsense) did not error")
+	}
+}

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Weighted pairs an item with its relative selection weight.
+type Weighted[T any] struct {
+	Item   T
+	Weight int
+}
+
+// Table draws items with probability proportional to their weights — the
+// op-mix primitive every scenario stream is built on. Selection walks the
+// cumulative weights, so a draw costs O(len) with no precomputed alias
+// structures; op tables have a handful of entries and the draw is never on
+// a latency-measured path (ops are generated before they are timed).
+type Table[T any] struct {
+	items []Weighted[T]
+	total int
+}
+
+// NewTable validates the weights and precomputes the total. Zero-weight
+// entries are legal (they are simply never drawn — convenient when a spec
+// zeroes out one op of a standard mix); negative weights and an all-zero
+// table are errors.
+func NewTable[T any](items ...Weighted[T]) (*Table[T], error) {
+	total := 0
+	for i, it := range items {
+		if it.Weight < 0 {
+			return nil, fmt.Errorf("scenario: table entry %d has negative weight %d", i, it.Weight)
+		}
+		total += it.Weight
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("scenario: table has zero total weight over %d entries", len(items))
+	}
+	return &Table[T]{items: items, total: total}, nil
+}
+
+// Pick draws one item using rng. The draw lands in [0, total); entry i owns
+// the half-open interval [cum(i-1), cum(i)), so a zero-weight entry owns an
+// empty interval and can never be selected.
+func (t *Table[T]) Pick(rng *rand.Rand) T {
+	roll := rng.Intn(t.total)
+	cum := 0
+	for i := range t.items {
+		cum += t.items[i].Weight
+		if roll < cum {
+			return t.items[i].Item
+		}
+	}
+	// Unreachable: roll < total = cum after the last entry.
+	return t.items[len(t.items)-1].Item
+}
+
+// Total reports the summed weight (the denominator of each entry's
+// selection probability).
+func (t *Table[T]) Total() int { return t.total }

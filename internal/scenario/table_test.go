@@ -1,0 +1,105 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTableChiSquare draws 100k samples per mix and runs a chi-square
+// goodness-of-fit test against the expected weight proportions. The 0.999
+// critical values keep the false-failure probability around 1e-3 per mix —
+// and the rng is seeded, so a pass is reproducible anyway.
+func TestTableChiSquare(t *testing.T) {
+	// χ²₀.₉₉₉ critical values by degrees of freedom.
+	crit := map[int]float64{1: 10.83, 2: 13.82, 3: 16.27, 4: 18.47}
+	const draws = 100_000
+	mixes := [][]int{
+		{55, 10, 10, 25}, // steady-mixed
+		{8, 12, 5, 75},   // zipf-read-heavy
+		{60, 10, 30},     // the issue's example mix
+		{45, 45, 10},     // adversarial-churn
+		{1, 1},           // coin flip
+		{1, 999},         // heavily skewed
+	}
+	for _, weights := range mixes {
+		entries := make([]Weighted[int], len(weights))
+		for i, w := range weights {
+			entries[i] = Weighted[int]{Item: i, Weight: w}
+		}
+		table, err := NewTable(entries...)
+		if err != nil {
+			t.Fatalf("NewTable(%v): %v", weights, err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		counts := make([]int, len(weights))
+		for i := 0; i < draws; i++ {
+			counts[table.Pick(rng)]++
+		}
+		chi2 := 0.0
+		for i, w := range weights {
+			expected := float64(draws) * float64(w) / float64(table.Total())
+			d := float64(counts[i]) - expected
+			chi2 += d * d / expected
+		}
+		df := len(weights) - 1
+		if chi2 > crit[df] {
+			t.Errorf("mix %v: chi-square %.2f exceeds critical %.2f (df=%d), counts %v",
+				weights, chi2, crit[df], df, counts)
+		}
+	}
+}
+
+// TestTableZeroWeightNeverDrawn verifies a zero-weight entry owns an empty
+// interval: 100k draws must never select it, wherever it sits in the table.
+func TestTableZeroWeightNeverDrawn(t *testing.T) {
+	layouts := [][]int{
+		{0, 50, 50}, // leading zero
+		{50, 0, 50}, // interior zero
+		{50, 50, 0}, // trailing zero
+	}
+	for _, weights := range layouts {
+		entries := make([]Weighted[int], len(weights))
+		for i, w := range weights {
+			entries[i] = Weighted[int]{Item: i, Weight: w}
+		}
+		table, err := NewTable(entries...)
+		if err != nil {
+			t.Fatalf("NewTable(%v): %v", weights, err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 100_000; i++ {
+			got := table.Pick(rng)
+			if weights[got] == 0 {
+				t.Fatalf("layout %v: drew zero-weight entry %d", weights, got)
+			}
+		}
+	}
+}
+
+func TestTableSingleEntry(t *testing.T) {
+	table, err := NewTable(Weighted[string]{Item: "only", Weight: 3})
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if got := table.Pick(rng); got != "only" {
+			t.Fatalf("single-entry table drew %q", got)
+		}
+	}
+	if table.Total() != 3 {
+		t.Errorf("Total() = %d, want 3", table.Total())
+	}
+}
+
+func TestTableErrors(t *testing.T) {
+	if _, err := NewTable(Weighted[int]{Item: 1, Weight: 0}, Weighted[int]{Item: 2, Weight: 0}); err == nil {
+		t.Error("all-zero table did not error")
+	}
+	if _, err := NewTable[int](); err == nil {
+		t.Error("empty table did not error")
+	}
+	if _, err := NewTable(Weighted[int]{Item: 1, Weight: -1}, Weighted[int]{Item: 2, Weight: 5}); err == nil {
+		t.Error("negative weight did not error")
+	}
+}

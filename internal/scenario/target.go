@@ -1,0 +1,205 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+
+	"maxsumdiv/internal/server"
+)
+
+// Item is one corpus item a scenario inserts or updates.
+type Item struct {
+	ID     string
+	Weight float64
+	Vector []float64
+}
+
+// QueryParams parameterizes one diversify query.
+type QueryParams struct {
+	K         int
+	Algorithm string
+	Scope     string
+	Lambda    *float64
+}
+
+// QueryResult is what the invariant checker needs from a query reply.
+type QueryResult struct {
+	IDs   []string
+	Value float64
+	// N is the candidate-pool size the server reports for the query.
+	N int
+}
+
+// Target is the system under load. Implementations must be safe for
+// concurrent use; every method returns an error for transport failures and
+// non-2xx replies alike.
+type Target interface {
+	Insert(ctx context.Context, items []Item) error
+	Delete(ctx context.Context, id string) error
+	Query(ctx context.Context, q QueryParams) (QueryResult, error)
+}
+
+// HTTPTarget drives a serve instance over real HTTP.
+type HTTPTarget struct {
+	BaseURL string
+	Client  *http.Client
+}
+
+// NewHTTPTarget wires a base URL and client (nil = http.DefaultClient).
+func NewHTTPTarget(baseURL string, client *http.Client) *HTTPTarget {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPTarget{BaseURL: baseURL, Client: client}
+}
+
+func (t *HTTPTarget) Insert(ctx context.Context, items []Item) error {
+	body, err := marshalItems(items)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.BaseURL+"/items", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /items: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func (t *HTTPTarget) Delete(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, t.BaseURL+"/items/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("DELETE /items/%s: status %d", id, resp.StatusCode)
+	}
+	return nil
+}
+
+func (t *HTTPTarget) Query(ctx context.Context, q QueryParams) (QueryResult, error) {
+	body, err := marshalQuery(q)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.BaseURL+"/diversify", bytes.NewReader(body))
+	if err != nil {
+		return QueryResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		drainBody(resp)
+		return QueryResult{}, fmt.Errorf("POST /diversify: status %d", resp.StatusCode)
+	}
+	return decodeQueryResult(resp.Body)
+}
+
+// HandlerTarget drives an http.Handler in process — no sockets, no
+// network stack. It is how scenarios run against an in-process server in
+// tests, CI smoke runs, and bench probes.
+type HandlerTarget struct {
+	h http.Handler
+}
+
+// NewHandlerTarget wraps a handler (typically server.New(...).Handler()).
+func NewHandlerTarget(h http.Handler) *HandlerTarget { return &HandlerTarget{h: h} }
+
+func (t *HandlerTarget) roundTrip(ctx context.Context, method, path string, body []byte) (*httptest.ResponseRecorder, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd).WithContext(ctx)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("%s %s: status %d: %s", method, path, rec.Code, rec.Body.String())
+	}
+	return rec, nil
+}
+
+func (t *HandlerTarget) Insert(ctx context.Context, items []Item) error {
+	body, err := marshalItems(items)
+	if err != nil {
+		return err
+	}
+	_, err = t.roundTrip(ctx, http.MethodPost, "/items", body)
+	return err
+}
+
+func (t *HandlerTarget) Delete(ctx context.Context, id string) error {
+	_, err := t.roundTrip(ctx, http.MethodDelete, "/items/"+id, nil)
+	return err
+}
+
+func (t *HandlerTarget) Query(ctx context.Context, q QueryParams) (QueryResult, error) {
+	body, err := marshalQuery(q)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	rec, err := t.roundTrip(ctx, http.MethodPost, "/diversify", body)
+	if err != nil {
+		return QueryResult{}, err
+	}
+	return decodeQueryResult(rec.Body)
+}
+
+func marshalItems(items []Item) ([]byte, error) {
+	payload := make([]server.ItemPayload, len(items))
+	for i, it := range items {
+		payload[i] = server.ItemPayload{ID: it.ID, Weight: it.Weight, Vector: it.Vector}
+	}
+	if len(payload) == 1 {
+		return json.Marshal(payload[0])
+	}
+	return json.Marshal(payload)
+}
+
+func marshalQuery(q QueryParams) ([]byte, error) {
+	return json.Marshal(server.DiversifyRequest{
+		K: q.K, Algorithm: q.Algorithm, Scope: q.Scope, Lambda: q.Lambda,
+	})
+}
+
+func decodeQueryResult(r io.Reader) (QueryResult, error) {
+	var resp server.DiversifyResponse
+	if err := json.NewDecoder(r).Decode(&resp); err != nil {
+		return QueryResult{}, fmt.Errorf("decode /diversify response: %w", err)
+	}
+	out := QueryResult{Value: resp.Value, N: resp.N, IDs: make([]string, len(resp.Items))}
+	for i, it := range resp.Items {
+		out.IDs[i] = it.ID
+	}
+	return out, nil
+}
+
+func drainBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

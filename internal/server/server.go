@@ -77,6 +77,12 @@ type Config struct {
 	// pinned epochs, a slow or unbounded query only ever costs itself —
 	// mutations never wait on it.
 	QueryTimeout time.Duration
+	// SolveDelay, when positive, holds each /diversify request for this
+	// long before solving — a test hook that turns the server into a
+	// predictably slow query target for load-model probes (open- vs
+	// closed-loop latency accounting) without burning CPU. Mutations are
+	// unaffected. Never set in production.
+	SolveDelay time.Duration
 	// Backend selects the corpus's distance representation: BackendF64
 	// (default) for exact float64 rows, BackendF32 for half the resident
 	// bytes. Empty defers to Float32.
@@ -480,6 +486,15 @@ func (s *Server) Diversify(ctx context.Context, req DiversifyRequest) (*Diversif
 	algo, err := algorithmOf(req.Algorithm)
 	if err != nil {
 		return nil, badRequestError{err}
+	}
+	if s.cfg.SolveDelay > 0 {
+		timer := time.NewTimer(s.cfg.SolveDelay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
 	}
 	maintained := req.Scope == "maintained"
 	errs := make([]error, len(s.shards))
