@@ -7,7 +7,7 @@
 //
 //	serve [-addr :8080] [-shards 8] [-lambda 1] [-maintain-k 8]
 //	      [-parallelism 0] [-flush-threshold 256] [-query-timeout 30s]
-//	      [-backend f64|f32]
+//	      [-backend f64|f32] [-batch 16] [-max-epochs-live 64]
 //
 // Endpoints (see internal/server for the full contract):
 //
@@ -47,6 +47,8 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request deadline for /diversify solves (0 = unlimited); expired queries answer 504. Queries solve lock-free on pinned corpus epochs, so a slow query only ever costs itself — the deadline is worker hygiene, not a liveness guard")
 	backend := flag.String("backend", "", "corpus distance backend: f64 (exact, the default) or f32 (half the resident bytes)")
 	float32Backend := flag.Bool("float32", false, "shorthand for -backend f32")
+	batch := flag.Int("batch", 0, "max concurrent full-scope queries one batched solve may serve: identical (and, for the greedy family, prefix-compatible) queries pinning the same epoch share one candidate scan (0 = default 16, 1 disables coalescing)")
+	maxEpochsLive := flag.Int("max-epochs-live", 0, "shed mutations with 429 once more than this many published epochs are still pinned by in-flight queries (0 = default 64, negative disables)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -61,6 +63,8 @@ func main() {
 		QueryTimeout:   *queryTimeout,
 		Backend:        server.Backend(*backend),
 		Float32:        *float32Backend,
+		Batch:          *batch,
+		MaxEpochsLive:  *maxEpochsLive,
 	}
 	if err := run(ctx, *addr, cfg, *shutdownTimeout, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)

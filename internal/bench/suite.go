@@ -100,6 +100,17 @@ func Suite(opts Options) []Spec {
 		// epoch corpus it must stay flat.
 		mutationUnderLoadSpec("server/mutation_under_query_load/n=2048", true, 2048),
 
+		// The batching dispatcher's throughput claim: 8 concurrent identical
+		// full-scope queries must finish ≥ 1.5× faster on a coalescing server
+		// than on one solving each solo (hard failure, not a regression).
+		batchedThroughputSpec("server/batched_query_throughput", true, 2048, 16),
+
+		// The incremental-compaction claim: per-flush compaction work under a
+		// vector-rewrite storm stays bounded (hard failure on any flush doing
+		// more than one remove step + one append step of migration rows);
+		// p50/p99/max mutation latency land in Extra.
+		flushChurnSpec("server/flush_p99_under_churn", true, 256, 600),
+
 		// Declarative workloads in the gate: the steady-mixed scenario runs
 		// in process with its invariants armed (a violation fails the probe,
 		// not just regresses it), and the open-vs-closed probe fences the
@@ -559,6 +570,210 @@ func mutationUnderLoadSpec(name string, quick bool, n int) Spec {
 			Extra: map[string]float64{
 				"p50_ns": pct(0.50),
 				"p99_ns": pct(0.99),
+			},
+		}, nil
+	}}
+}
+
+// batchedThroughputSpec races two identically-loaded single-shard servers:
+// one with the dispatcher on (Batch = the fan-out) and one with it off
+// (Batch 1). Each round releases `fanout` goroutines from a barrier into the
+// same full-scope greedy query; on the batched server the first query leads
+// the solve and the rest join it, on the solo server every query scans for
+// itself. The probe hard-fails unless the batched server clears the 1.5×
+// aggregate-throughput bar and both servers return identical result IDs.
+//
+// Parallelism is 2, not the suite's usual 1: a serial solve runs inline with
+// no scheduling points, so on a single-core runner the joiners could never
+// reach the dispatcher before the leader finished. The two-worker pool's
+// fork/join per greedy pass yields the processor, which is what makes the
+// coalescing window real regardless of core count — and the reported number
+// is a ratio between two servers configured identically, so the extra worker
+// cancels out.
+func batchedThroughputSpec(name string, quick bool, n, k int) Spec {
+	const fanout = 8
+	const rounds = 6
+	return Spec{Name: name, Quick: quick, Run: func() (Result, error) {
+		mkServer := func(batch int) (*server.Server, func(string, []byte) error, error) {
+			srv, err := server.New(server.Config{Shards: 1, Lambda: 0.5, Parallelism: 2, Batch: batch})
+			if err != nil {
+				return nil, nil, err
+			}
+			post := inProcPoster(srv.Handler())
+			if err := loadServerItems(post, suiteItems(n, int64(n))); err != nil {
+				return nil, nil, err
+			}
+			return srv, post, nil
+		}
+		batched, postB, err := mkServer(fanout)
+		if err != nil {
+			return Result{}, err
+		}
+		solo, postS, err := mkServer(1)
+		if err != nil {
+			return Result{}, err
+		}
+		body, err := json.Marshal(server.DiversifyRequest{K: k})
+		if err != nil {
+			return Result{}, err
+		}
+
+		// Identical corpora (one shard, same load order) must give identical
+		// answers; the coalesced path is pinned bit-exact by the server tests,
+		// this cross-checks the two probe servers before timing them.
+		respOf := func(h http.Handler) (server.DiversifyResponse, error) {
+			req := httptest.NewRequest(http.MethodPost, "/diversify", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			var resp server.DiversifyResponse
+			if rec.Code != http.StatusOK {
+				return resp, fmt.Errorf("warm query: status %d: %s", rec.Code, rec.Body.String())
+			}
+			err := json.Unmarshal(rec.Body.Bytes(), &resp)
+			return resp, err
+		}
+		rb, err := respOf(batched.Handler())
+		if err != nil {
+			return Result{}, err
+		}
+		rs, err := respOf(solo.Handler())
+		if err != nil {
+			return Result{}, err
+		}
+		if len(rb.Items) != len(rs.Items) {
+			return Result{}, fmt.Errorf("batched returned %d items, solo %d", len(rb.Items), len(rs.Items))
+		}
+		for i := range rb.Items {
+			if rb.Items[i].ID != rs.Items[i].ID {
+				return Result{}, fmt.Errorf("item %d: batched id %q, solo id %q", i, rb.Items[i].ID, rs.Items[i].ID)
+			}
+		}
+
+		storm := func(post func(string, []byte) error) (time.Duration, error) {
+			var total time.Duration
+			for r := 0; r < rounds; r++ {
+				start := make(chan struct{})
+				errs := make([]error, fanout)
+				var wg sync.WaitGroup
+				for g := 0; g < fanout; g++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						<-start
+						errs[g] = post("/diversify", body)
+					}()
+				}
+				t0 := time.Now()
+				close(start)
+				wg.Wait()
+				total += time.Since(t0)
+				for _, err := range errs {
+					if err != nil {
+						return 0, err
+					}
+				}
+			}
+			return total, nil
+		}
+		soloTime, err := storm(postS)
+		if err != nil {
+			return Result{}, err
+		}
+		batchedTime, err := storm(postB)
+		if err != nil {
+			return Result{}, err
+		}
+		speedup := float64(soloTime) / float64(batchedTime)
+		if speedup < 1.5 {
+			return Result{}, fmt.Errorf("batched throughput %.2fx solo for %d concurrent identical queries, want ≥ 1.5x (solo %v, batched %v)",
+				speedup, fanout, soloTime, batchedTime)
+		}
+		co, so := batched.Stats().Corpus.QueriesCoalesced, batched.Stats().Corpus.QueriesSolo
+		return Result{
+			Name:         name,
+			Iterations:   rounds * fanout,
+			NsPerOp:      float64(batchedTime.Nanoseconds()) / float64(rounds*fanout),
+			ApproxAllocs: true,
+			Extra: map[string]float64{
+				"speedup":           speedup,
+				"queries_coalesced": float64(co),
+				"queries_solo":      float64(so),
+			},
+		}, nil
+	}}
+}
+
+// flushChurnSpec hammers one server with vector rewrites — the delete +
+// reinsert path that used to trigger the stop-the-world O(n²) Tri.compact
+// inside a flush — at FlushThreshold 1 so every mutation flushes and
+// publishes inline. The hard check is deterministic, not a wall-clock
+// heuristic: metric.CompactionRows must advance by at most one removal step
+// plus one append step per mutation (the incremental bound), and the storm
+// must actually drive compaction for the fence to mean anything. Mutation
+// latency lands in Extra as p50/p99/max.
+func flushChurnSpec(name string, quick bool, n, mutations int) Spec {
+	return Spec{Name: name, Quick: quick, Run: func() (Result, error) {
+		srv, err := server.New(server.Config{Shards: 1, Lambda: 0.5, Parallelism: 1, FlushThreshold: 1})
+		if err != nil {
+			return Result{}, err
+		}
+		post := inProcPoster(srv.Handler())
+		items := suiteItems(n, int64(n))
+		if err := loadServerItems(post, items); err != nil {
+			return Result{}, err
+		}
+		rng := rand.New(rand.NewSource(41))
+		// One removal may patch a migrated row and run one migration step;
+		// the reinsert runs another step.
+		bound := int64(2*metric.TriCompactStep + 1)
+		var maxStep int64
+		lat := make([]time.Duration, mutations)
+		start := time.Now()
+		for i := range lat {
+			it := items[rng.Intn(n)]
+			vec := make([]float64, suiteDim)
+			for j := range vec {
+				vec[j] = rng.Float64()
+			}
+			body, err := json.Marshal(server.ItemPayload{ID: it.ID, Weight: it.Weight, Vector: vec})
+			if err != nil {
+				return Result{}, err
+			}
+			before := metric.CompactionRows()
+			t0 := time.Now()
+			if err := post("/items", body); err != nil {
+				return Result{}, err
+			}
+			lat[i] = time.Since(t0)
+			if step := metric.CompactionRows() - before; step > maxStep {
+				maxStep = step
+			}
+		}
+		total := time.Since(start)
+		if maxStep > bound {
+			return Result{}, fmt.Errorf("a flush built %d compaction rows, incremental bound is %d", maxStep, bound)
+		}
+		if maxStep == 0 {
+			return Result{}, fmt.Errorf("%d rewrites on n=%d never triggered compaction; the probe is not exercising it", mutations, n)
+		}
+		st := srv.Stats()
+		if st.Corpus.Items != n {
+			return Result{}, fmt.Errorf("corpus holds %d items after the rewrite storm, want %d", st.Corpus.Items, n)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pct := func(q float64) float64 {
+			return float64(lat[int(q*float64(len(lat)-1))].Nanoseconds())
+		}
+		return Result{
+			Name:         name,
+			Iterations:   mutations,
+			NsPerOp:      float64(total.Nanoseconds()) / float64(mutations),
+			ApproxAllocs: true,
+			Extra: map[string]float64{
+				"p50_ns":              pct(0.50),
+				"p99_ns":              pct(0.99),
+				"max_ns":              float64(lat[len(lat)-1].Nanoseconds()),
+				"max_compaction_rows": float64(maxStep),
 			},
 		}, nil
 	}}

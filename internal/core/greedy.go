@@ -25,6 +25,7 @@ type greedyCfg struct {
 	bestLastPick  bool            // Greedy A: pick the best (not arbitrary) odd leftover
 	pool          *engine.Pool    // nil = serial
 	ctx           context.Context // nil = never cancelled
+	trace         *GreedyTrace    // nil = record nothing (see SolveTrace)
 }
 
 // WithBestPairStart makes GreedyB open with the pair maximizing the potential
@@ -83,9 +84,11 @@ func GreedyB(obj *Objective, p int, opts ...GreedyOption) (*Solution, error) {
 			return nil, err
 		}
 		st.Add(x)
+		cfg.trace.record(st, x)
 		st.Add(y)
+		cfg.trace.record(st, y)
 	}
-	if err := greedyFill(cfg.ctx, st, p, cfg.pool); err != nil {
+	if err := greedyFill(cfg.ctx, st, p, cfg.pool, cfg.trace); err != nil {
 		return nil, err
 	}
 	return solutionFromState(st, 0), nil
@@ -94,7 +97,7 @@ func GreedyB(obj *Objective, p int, opts ...GreedyOption) (*Solution, error) {
 // greedyFill extends st to size p by the potential-greedy rule, sharding
 // each round's candidate scan across the pool. It returns ctx's error when
 // the fill is abandoned mid-solve.
-func greedyFill(ctx context.Context, st *State, p int, pool *engine.Pool) error {
+func greedyFill(ctx context.Context, st *State, p int, pool *engine.Pool, trace *GreedyTrace) error {
 	sc := newScannerCtx(ctx, st, pool)
 	for st.Size() < p {
 		b := sc.argmaxPotential()
@@ -105,6 +108,7 @@ func greedyFill(ctx context.Context, st *State, p int, pool *engine.Pool) error 
 			return nil // ground set exhausted
 		}
 		st.Add(b.Index)
+		trace.record(st, b.Index)
 		sc.added(b.Index)
 	}
 	return nil
@@ -293,6 +297,7 @@ func GreedyOblivious(obj *Objective, p int, opts ...GreedyOption) (*Solution, er
 			break
 		}
 		st.Add(b.Index)
+		cfg.trace.record(st, b.Index)
 		sc.added(b.Index)
 	}
 	return solutionFromState(st, 0), nil

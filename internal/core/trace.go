@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GreedyTrace records one greedy run's addition order and per-prefix
+// objective values. The greedy family's selection rule is independent of the
+// cardinality target — every round maximizes the same marginal over the same
+// working set, ties broken toward the lowest index — so the k-prefix of a
+// run to K ≥ k is the same additions in the same order, with the same
+// floating-point accumulation, as a solo run to k. That prefix nesting is
+// what lets the serving layer's batching dispatcher answer many coalesced
+// queries of different cardinalities from one solve.
+//
+// The best-pair opening (AlgoGreedyImproved) is the exception: its first two
+// picks come from a pair scan, so prefixes only match solo runs for k ≥ 2.
+// PrefixNested encodes that rule for dispatch layers.
+type GreedyTrace struct {
+	// Order is the addition order (ground-set indices, unsorted).
+	Order []int
+	// Value[i], FValue[i], Dispersion[i] are φ(S), f(S), d(S) after the
+	// first i+1 additions.
+	Value, FValue, Dispersion []float64
+}
+
+// record captures the working set right after adding u. Nil traces record
+// nothing, so the solvers call it unconditionally at zero cost to untraced
+// runs beyond a pointer test.
+func (t *GreedyTrace) record(st *State, u int) {
+	if t == nil {
+		return
+	}
+	t.Order = append(t.Order, u)
+	t.Value = append(t.Value, st.Value())
+	t.FValue = append(t.FValue, st.FValue())
+	t.Dispersion = append(t.Dispersion, st.Dispersion())
+}
+
+// Len returns how many additions the trace recorded — the solve's target, or
+// less when the ground set ran out first.
+func (t *GreedyTrace) Len() int { return len(t.Order) }
+
+// Solution materializes the k-prefix as a Solution identical to what a solo
+// solve with target k would have returned (k ≥ 2 for best-pair-opened
+// traces). Targets above the recorded length clamp to it.
+func (t *GreedyTrace) Solution(k int) *Solution {
+	if k > len(t.Order) {
+		k = len(t.Order)
+	}
+	members := append([]int(nil), t.Order[:k]...)
+	sort.Ints(members)
+	sol := &Solution{Members: members}
+	if k > 0 {
+		sol.Value, sol.FValue, sol.Dispersion = t.Value[k-1], t.FValue[k-1], t.Dispersion[k-1]
+	}
+	return sol
+}
+
+// withTrace makes a greedy run record every addition into t.
+func withTrace(t *GreedyTrace) GreedyOption {
+	return func(c *greedyCfg) { c.trace = t }
+}
+
+// PrefixNested reports whether the algorithm's solutions nest by prefix at
+// cardinality target k: one traced run to K ≥ k answers every smaller
+// target. Greedy and the oblivious ablation always nest; the best-pair
+// opening nests only from k = 2 up (its opening differs from the k = 1
+// greedy pick); local search, exact, and Gollapudi–Sharma never nest.
+func PrefixNested(algo Algo, k int) bool {
+	switch algo {
+	case AlgoGreedy, AlgoOblivious:
+		return true
+	case AlgoGreedyImproved:
+		return k >= 2
+	default:
+		return false
+	}
+}
+
+// SolveTrace runs a prefix-nested greedy to spec.K recording the addition
+// order and per-prefix values; Trace.Solution(k) then reproduces the solo
+// Solve result for every k ≤ spec.K the nesting covers. Algorithms that are
+// not prefix-nested return an error — callers gate on PrefixNested.
+func SolveTrace(obj *Objective, spec Spec) (*GreedyTrace, error) {
+	if err := ctxErr(spec.Ctx); err != nil {
+		return nil, err
+	}
+	t := &GreedyTrace{}
+	gopts := []GreedyOption{WithPool(spec.Pool), WithContext(spec.Ctx), withTrace(t)}
+	var err error
+	switch spec.Algo {
+	case AlgoGreedy:
+		_, err = GreedyB(obj, spec.K, gopts...)
+	case AlgoGreedyImproved:
+		_, err = GreedyB(obj, spec.K, append(gopts, WithBestPairStart())...)
+	case AlgoOblivious:
+		_, err = GreedyOblivious(obj, spec.K, gopts...)
+	default:
+		return nil, fmt.Errorf("core: SolveTrace: algorithm %d is not prefix-nested", spec.Algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}

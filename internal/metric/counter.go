@@ -15,3 +15,14 @@ func Constructions() int64 { return constructions.Load() }
 
 // countConstruction records one backend build.
 func countConstruction() { constructions.Add(1) }
+
+// compactionRows counts logical rows (re)built by Tri's incremental
+// compaction — TriCompactStep new rows plus at most one patched row per
+// mutation while a migration is in flight. Flush-latency tests and the
+// server/flush_p99_under_churn bench probe assert the per-mutation delta
+// stays ≤ TriCompactStep+1: the "no O(n²) stall inside one flush" contract.
+var compactionRows atomic.Int64
+
+// CompactionRows returns the process-wide count of logical rows built or
+// patched by incremental Tri compaction.
+func CompactionRows() int64 { return compactionRows.Load() }

@@ -97,15 +97,21 @@ func (v *triView[T]) AccumulateRow(u int, sign float64, dst []float64) {
 //
 //   - AppendRow writes one fresh physical row and never touches existing
 //     ones, so every published snapshot stays valid untouched.
-//   - RemoveSwap retires the point's physical slot and fixes up only the
-//     logical→physical permutation — O(1) amortized float traffic. Dead
-//     slots keep their rows resident until compaction reclaims them (when
-//     they exceed half the live count), so memory under delete-heavy churn
-//     transiently overshoots the live triangle; the compaction itself is
-//     O(n²) but amortized O(n) per removal, matching Dense.RemoveSwap.
+//   - RemoveSwap retires the point's physical slot, fixes up only the
+//     logical→physical permutation, and releases the retired row from the
+//     build state immediately (snapshots pinning it keep it alive through
+//     their own row headers) — O(1) amortized float traffic per removal.
+//   - Compaction is incremental: when dead slots exceed half the live count
+//     the backend starts a migration that rebuilds at most TriCompactStep
+//     logical rows per subsequent mutation, then atomically adopts the
+//     rebuilt triangle, restoring the identity mapping (and the contiguous
+//     AccumulateRow fast path). No single AppendRow/RemoveSwap ever pays the
+//     old O(n²) stop-the-world rebuild; each pays O(TriCompactStep·n) at
+//     worst while a migration is in flight.
 //   - Snapshot shares the row storage and, until the next removal, the
 //     permutation: publishing after a flush of b inserts copies b new row
-//     headers and nothing else.
+//     headers and nothing else. Snapshots taken mid-migration simply share
+//     the pre-migration storage.
 //
 // Tri[float32] (KindF32) halves the resident bytes of Tri[float64] at ~1e-7
 // relative rounding on the way in — far below the paper's perturbation
@@ -114,9 +120,32 @@ type Tri[T triValue] struct {
 	triView[T]
 	kind       string
 	elemSize   int64
-	rowBytes   int64 // resident float bytes, dead slots included
-	dead       int   // physical slots removed but not yet compacted
+	rowBytes   int64 // resident float bytes across live physical rows
+	dead       int   // physical slots removed but not yet reclaimed by migration
 	permShared bool  // perm's array is shared with a snapshot (copy before writes)
+	rowsShared bool  // rows' header array is shared with a snapshot (copy before nil-ing)
+	mig        *triMigration[T]
+}
+
+// TriCompactStep bounds incremental-compaction work per mutation: while a
+// migration is in flight, each AppendRow/RemoveSwap (re)builds at most this
+// many logical rows of the new triangle, O(TriCompactStep·n) work, before
+// returning. Exported so tests and bench probes can assert the per-flush
+// compaction bound.
+const TriCompactStep = 16
+
+// triCompactFloor is the dead-slot count below which compaction never
+// starts, so small corpora don't churn migrations.
+const triCompactFloor = 32
+
+// triMigration is an in-flight incremental compaction: the prefix of the new
+// identity-ordered triangle built so far. rows[i] holds d(i, j) for j < i
+// over the *current* logical indexing; len(rows) is the migration frontier.
+// The rows are private to the build side until the migration commits, so
+// removals below the frontier patch them in place.
+type triMigration[T triValue] struct {
+	rows  [][]T
+	bytes int64
 }
 
 // NewTriF64 returns an empty exact float64 backend (KindF64).
@@ -129,9 +158,18 @@ func NewTriF32() *Tri[float32] { return &Tri[float32]{kind: KindF32, elemSize: 4
 // Kind names the backend representation.
 func (d *Tri[T]) Kind() string { return d.kind }
 
-// Bytes approximates resident distance-storage bytes: all physical rows
-// (dead slots included until compaction) plus the permutation.
-func (d *Tri[T]) Bytes() int64 { return d.rowBytes + 4*int64(len(d.perm)) }
+// Bytes approximates resident distance-storage bytes the build state keeps
+// alive: the live physical rows, the permutation, and any in-flight
+// migration scratch. Rows retired by RemoveSwap no longer count — they are
+// released immediately (snapshots still pinning them report them in their
+// own Bytes).
+func (d *Tri[T]) Bytes() int64 {
+	b := d.rowBytes + 4*int64(len(d.perm))
+	if d.mig != nil {
+		b += d.mig.bytes
+	}
+	return b
+}
 
 // AppendRow grows the backend by one point whose distances to the existing
 // points are given by dists (len == Len()), returning the new point's
@@ -165,21 +203,25 @@ func (d *Tri[T]) AppendRow(dists []float64) (int, error) {
 	}
 	d.rowBytes += int64(len(row)) * d.elemSize
 	d.n++
+	// The new point's logical index is at or past the migration frontier, so
+	// an in-flight migration needs no patching — just its bounded step.
+	d.stepMigration()
 	return d.n - 1, nil
 }
 
 // RemoveSwap deletes logical point u by moving the last logical point into
-// its slot and shrinking the space by one. Only the permutation changes —
-// the retired physical row stays resident (and shared with any snapshots)
-// until compaction. Callers holding external references to index Len()-1
-// must remap them to u.
+// its slot and shrinking the space by one. The permutation changes and the
+// retired physical row is released from the build state immediately
+// (snapshots sharing it keep it alive through their own headers). Callers
+// holding external references to index Len()-1 must remap them to u.
 func (d *Tri[T]) RemoveSwap(u int) error {
 	if u < 0 || u >= d.n {
 		return fmt.Errorf("metric: RemoveSwap(%d): out of range [0,%d)", u, d.n)
 	}
 	if d.n == 1 {
 		// Last point gone: drop everything (snapshots keep their own views).
-		d.rows, d.perm, d.n, d.dead, d.rowBytes, d.permShared = nil, nil, 0, 0, 0, false
+		d.rows, d.perm, d.n, d.dead, d.rowBytes = nil, nil, 0, 0, 0
+		d.permShared, d.rowsShared, d.mig = false, false, nil
 		return nil
 	}
 	if d.perm == nil {
@@ -195,47 +237,90 @@ func (d *Tri[T]) RemoveSwap(u int) error {
 		copy(cp, d.perm[:d.n])
 		d.perm, d.permShared = cp, false
 	}
+	retired := d.perm[u]
 	d.perm[u] = d.perm[d.n-1]
 	d.perm = d.perm[:d.n-1]
 	d.n--
 	d.dead++
-	if d.dead > 32 && d.dead*2 > d.n {
-		d.compact()
+	d.releaseRow(int(retired))
+	if d.mig != nil {
+		d.patchMigration(u)
+	} else if d.dead > triCompactFloor && d.dead*2 > d.n {
+		d.mig = &triMigration[T]{rows: make([][]T, 0, d.n)}
 	}
+	d.stepMigration()
 	return nil
 }
 
-// compact rebuilds the physical storage over the live points in logical
-// order, restoring the identity mapping (and the contiguous AccumulateRow
-// fast path) and releasing dead rows. Snapshots published earlier keep the
-// pre-compaction storage alive until their last reader unpins.
-func (d *Tri[T]) compact() {
-	rows := make([][]T, d.n)
-	var bytes int64
-	for i := 0; i < d.n; i++ {
-		pi := d.perm[i]
+// releaseRow drops physical row p from the build state so its floats stop
+// counting against (and being reachable from) the builder. Snapshots share
+// the rows header array, so the first release after a Snapshot copies the
+// headers — O(slots) pointer traffic, same order as the perm copy-on-write.
+func (d *Tri[T]) releaseRow(p int) {
+	if d.rowsShared {
+		d.rows = append([][]T(nil), d.rows...)
+		d.rowsShared = false
+	}
+	d.rowBytes -= int64(len(d.rows[p])) * d.elemSize
+	d.rows[p] = nil
+}
+
+// patchMigration repairs the in-flight migration after RemoveSwap(u): the
+// point moved into logical slot u changes row u and column u of the rebuilt
+// prefix. Migration rows are private until commit, so in-place writes are
+// safe — snapshots never see them. The moved point's old index (the previous
+// last) is always at or past the frontier, so no other row is affected.
+// O(frontier) work: one logical row equivalent.
+func (d *Tri[T]) patchMigration(u int) {
+	done := len(d.mig.rows)
+	if u >= done {
+		return
+	}
+	row := d.mig.rows[u]
+	for j := 0; j < u; j++ {
+		row[j] = T(d.Distance(u, j))
+	}
+	for i := u + 1; i < done; i++ {
+		d.mig.rows[i][u] = T(d.Distance(i, u))
+	}
+	compactionRows.Add(1)
+}
+
+// stepMigration advances an in-flight migration by at most TriCompactStep
+// logical rows, reading distances through the live (permuted) view, and
+// commits when the frontier reaches the live count: the rebuilt triangle
+// becomes the storage, the identity mapping returns, and dead slots vanish.
+func (d *Tri[T]) stepMigration() {
+	if d.mig == nil {
+		return
+	}
+	for c := 0; c < TriCompactStep && len(d.mig.rows) < d.n; c++ {
+		i := len(d.mig.rows)
 		row := make([]T, i)
 		for j := 0; j < i; j++ {
-			pj := d.perm[j]
-			if pj < pi {
-				row[j] = d.rows[pi][pj]
-			} else {
-				row[j] = d.rows[pj][pi]
-			}
+			row[j] = T(d.Distance(i, j))
 		}
-		rows[i] = row
-		bytes += int64(i) * d.elemSize
+		d.mig.rows = append(d.mig.rows, row)
+		d.mig.bytes += int64(i) * d.elemSize
+		compactionRows.Add(1)
 	}
-	d.rows, d.perm, d.rowBytes, d.dead, d.permShared = rows, nil, bytes, 0, false
+	if len(d.mig.rows) == d.n {
+		d.rows, d.perm = d.mig.rows, nil
+		d.rowBytes, d.dead = d.mig.bytes, 0
+		d.permShared, d.rowsShared, d.mig = false, false, nil
+	}
 }
 
 // Snapshot publishes an immutable view of the current state. Cost is O(1):
 // the row storage is shared structurally (rows are never mutated after
-// append) and the permutation array is shared too, copy-on-write protected
-// against later removals.
+// append) and the permutation array is shared too, both copy-on-write
+// protected against later removals and row releases.
 func (d *Tri[T]) Snapshot() Snapshot {
 	if d.perm != nil {
 		d.permShared = true
+	}
+	if d.rows != nil {
+		d.rowsShared = true
 	}
 	return &triSnap[T]{
 		triView: triView[T]{rows: d.rows, perm: d.perm, n: d.n},

@@ -160,8 +160,12 @@ func TestTriSnapshotImmutable(t *testing.T) {
 	}
 }
 
-// TestTriCompactionBoundsDeadSlots checks the memory contract: dead slots
-// never exceed ~half the live count plus the compaction floor.
+// TestTriCompactionBoundsDeadSlots checks the memory contract under
+// incremental compaction: retired rows are released the moment RemoveSwap
+// runs (no float bytes linger on dead slots), a migration is always in
+// flight once dead slots exceed half the live count, and the dead-slot
+// count stays bounded by live count + compaction floor while migrations
+// drain.
 func TestTriCompactionBoundsDeadSlots(t *testing.T) {
 	tri := NewTriF64()
 	rng := rand.New(rand.NewSource(33))
@@ -174,13 +178,151 @@ func TestTriCompactionBoundsDeadSlots(t *testing.T) {
 		if err := tri.RemoveSwap(rng.Intn(tri.Len())); err != nil {
 			t.Fatal(err)
 		}
-		if dead := len(tri.rows) - tri.n - tri.dead; dead != 0 {
+		if slots := len(tri.rows) - tri.n - tri.dead; slots != 0 {
 			t.Fatalf("slot bookkeeping drifted: %d rows, %d live, %d dead", len(tri.rows), tri.n, tri.dead)
 		}
-		if tri.dead > 32 && tri.dead*2 > tri.n {
-			t.Fatalf("compaction missed: %d dead vs %d live", tri.dead, tri.n)
+		live, bytes := 0, int64(0)
+		for _, r := range tri.rows {
+			if r != nil {
+				live++
+				bytes += int64(len(r)) * 8
+			}
+		}
+		if live != tri.n {
+			t.Fatalf("dead rows not released: %d non-nil rows for %d live points", live, tri.n)
+		}
+		if bytes != tri.rowBytes {
+			t.Fatalf("rowBytes drifted: accounted %d, actual %d", tri.rowBytes, bytes)
+		}
+		if tri.mig == nil && tri.dead > triCompactFloor && tri.dead*2 > tri.n {
+			t.Fatalf("compaction not running: %d dead vs %d live and no migration", tri.dead, tri.n)
+		}
+		if tri.dead > tri.n+triCompactFloor+1 {
+			t.Fatalf("dead slots unbounded: %d dead vs %d live", tri.dead, tri.n)
+		}
+		if tri.mig != nil && len(tri.mig.rows) > tri.n {
+			t.Fatalf("migration frontier %d past live count %d", len(tri.mig.rows), tri.n)
 		}
 	}
+}
+
+// TestTriIncrementalCompactionWorkBound pins the flush-stall fix: no single
+// mutation may build more than TriCompactStep+1 compaction rows (the step
+// plus one patched row), no matter how large the triangle is. The old
+// stop-the-world compact would build n rows inside one RemoveSwap.
+func TestTriIncrementalCompactionWorkBound(t *testing.T) {
+	tri := NewTriF64()
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 400; i++ {
+		if _, err := tri.AppendRow(randDists(rng, tri.Len())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sawMigration := false
+	for op := 0; tri.Len() > 1; op++ {
+		before := CompactionRows()
+		var err error
+		if op%5 == 4 {
+			_, err = tri.AppendRow(randDists(rng, tri.Len()))
+		} else {
+			err = tri.RemoveSwap(rng.Intn(tri.Len()))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if delta := CompactionRows() - before; delta > TriCompactStep+1 {
+			t.Fatalf("one mutation built %d compaction rows, bound is %d", delta, TriCompactStep+1)
+		}
+		if tri.mig != nil {
+			sawMigration = true
+		}
+	}
+	if !sawMigration {
+		t.Fatal("delete-heavy churn never entered a migration")
+	}
+}
+
+// pinMidCompaction drives a delete-heavy workload against a Dense reference,
+// pins snapshots specifically while a migration is in flight (including
+// removals below the migration frontier, the patch path), then churns every
+// pinned migration through commit and verifies each snapshot still reads its
+// capture-time matrix and the final state matches the reference.
+func pinMidCompaction[T triValue](t *testing.T, tri *Tri[T], round func(float64) float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(91))
+	ref := NewDense(0)
+	step := func() {
+		n := ref.Len()
+		if n == 0 || (tri.mig == nil && n < 90 && rng.Intn(100) < 70) {
+			dists := randDists(rng, n)
+			if _, err := tri.AppendRow(dists); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ref.AppendRow(dists); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+		// Bias removals toward index 0 so patches land below the frontier.
+		u := 0
+		if rng.Intn(2) == 0 {
+			u = rng.Intn(n)
+		}
+		if err := tri.RemoveSwap(u); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.RemoveSwap(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type pinned struct {
+		snap Snapshot
+		want [][]float64
+	}
+	var pins []pinned
+	migPins := 0
+	for op := 0; op < 3000 && migPins < 8; op++ {
+		step()
+		if tri.mig != nil {
+			s := tri.Snapshot()
+			pins = append(pins, pinned{snap: s, want: matrixOf(s)})
+			migPins++
+		}
+	}
+	if migPins == 0 {
+		t.Fatal("workload never entered a migration")
+	}
+	for op := 0; op < 600; op++ {
+		step()
+	}
+	for pi, p := range pins {
+		got := matrixOf(p.snap)
+		if len(got) != len(p.want) {
+			t.Fatalf("snapshot %d length drifted: %d, want %d", pi, len(got), len(p.want))
+		}
+		for i := range p.want {
+			for j := range p.want[i] {
+				if got[i][j] != p.want[i][j] {
+					t.Fatalf("snapshot %d: d(%d,%d) drifted %g → %g", pi, i, j, p.want[i][j], got[i][j])
+				}
+			}
+		}
+	}
+	for i := 0; i < ref.Len(); i++ {
+		for j := 0; j < ref.Len(); j++ {
+			if got, want := tri.Distance(i, j), round(ref.Distance(i, j)); got != want {
+				t.Fatalf("final d(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestTriF64SnapshotPinnedMidCompaction(t *testing.T) {
+	pinMidCompaction(t, NewTriF64(), func(v float64) float64 { return v })
+}
+
+func TestTriF32SnapshotPinnedMidCompaction(t *testing.T) {
+	pinMidCompaction(t, NewTriF32(), func(v float64) float64 { return float64(float32(v)) })
 }
 
 // TestTriF32HalvesBytes pins the headline memory claim: the float32 backend

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"maxsumdiv/internal/core"
+)
+
+// defaultBatch is Config.Batch's default: how many full-scope queries one
+// batched solve may serve. Identical concurrent queries are the common case
+// the coalescer targets (a hot feed re-requested by many users), and a
+// handful of joiners already amortizes the scan; past ~16 the win flattens
+// while result fan-out latency grows.
+const defaultBatch = 16
+
+// batchKey identifies solves that can share work: same pinned epoch, same
+// algorithm, same λ. For prefix-nested algorithms (core.PrefixNested) one
+// entry serves every cardinality — the trace's k-prefix answers each joiner
+// — so k stays zero in the key; all other algorithms only coalesce exact
+// duplicates, so k participates.
+type batchKey struct {
+	seq    uint64
+	algo   core.Algo
+	lambda float64
+	k      int
+}
+
+// batchCall is one in-flight leader solve plus everyone waiting on it.
+// trace/sol/err are written by the leader before done closes and read by
+// joiners only after; the channel orders the accesses.
+type batchCall struct {
+	done    chan struct{}
+	waiters int // queries this call will answer, leader included
+	k       int // cardinality the leader solves to; prefix joiners need ≤ this
+	trace   *core.GreedyTrace
+	sol     *core.Solution
+	err     error
+}
+
+// errJoinRetry tells solveFull that the solve this query joined died of the
+// *leader's* context while this query's own context is still live — the
+// query should fall back to a solo solve rather than fail.
+var errJoinRetry = errors.New("server: batch: leader cancelled, retry solo")
+
+// dispatcher coalesces in-flight full-scope queries that pin the same epoch:
+// the first query for a key runs the solve (the leader), queries arriving
+// while it runs join and wait, and every member materializes its answer from
+// the one result. One AccumulateRow pass per candidate scan thus feeds every
+// coalesced query's accumulator instead of each query redoing an identical
+// O(n·k) scan. Epochs are immutable and the solvers deterministic, so a
+// joined answer is byte-identical to the solo one — pinned by
+// TestServerBatchedQueriesMatchSolo.
+type dispatcher struct {
+	limit int // max queries per batched solve; ≤ 1 disables coalescing
+	mu    sync.Mutex
+	calls map[batchKey]*batchCall
+
+	coalesced atomic.Uint64 // queries answered by joining another query's solve
+	solo      atomic.Uint64 // queries that ran a solve themselves
+}
+
+func newDispatcher(limit int) *dispatcher {
+	return &dispatcher{limit: limit, calls: make(map[batchKey]*batchCall)}
+}
+
+// enabled reports whether the dispatcher coalesces at all.
+func (d *dispatcher) enabled() bool { return d.limit > 1 }
+
+// solve answers one query: join a compatible in-flight call when one exists,
+// otherwise lead a new one by running run (which must return either a prefix
+// trace or a plain solution). prefix marks the key as prefix-nested — a
+// joiner then only needs k ≤ the leader's k. A joiner whose own ctx expires
+// returns that error; a joiner whose leader failed with the leader's
+// cancellation returns errJoinRetry so the caller can solve solo.
+func (d *dispatcher) solve(ctx context.Context, key batchKey, k int, prefix bool,
+	run func(k int) (*core.GreedyTrace, *core.Solution, error),
+) (*core.GreedyTrace, *core.Solution, error) {
+	d.mu.Lock()
+	if call, ok := d.calls[key]; ok && call.waiters < d.limit && (!prefix || k <= call.k) {
+		call.waiters++
+		d.mu.Unlock()
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			return nil, nil, ctx.Err()
+		}
+		if call.err != nil {
+			if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
+				if err := ctx.Err(); err != nil {
+					return nil, nil, err
+				}
+				return nil, nil, errJoinRetry
+			}
+			return nil, nil, call.err
+		}
+		d.coalesced.Add(1)
+		return call.trace, call.sol, nil
+	}
+	// Lead. This may shadow a still-running call that was full or solved to a
+	// smaller k: both keep running, later arrivals join the new entry, and
+	// each leader only deletes its own entry on completion.
+	call := &batchCall{done: make(chan struct{}), waiters: 1, k: k}
+	d.calls[key] = call
+	d.mu.Unlock()
+	call.trace, call.sol, call.err = run(k)
+	d.mu.Lock()
+	if d.calls[key] == call {
+		delete(d.calls, key)
+	}
+	d.mu.Unlock()
+	close(call.done)
+	d.solo.Add(1)
+	return call.trace, call.sol, call.err
+}
+
+// counters returns (coalesced, solo) query counts for /stats.
+func (d *dispatcher) counters() (uint64, uint64) {
+	return d.coalesced.Load(), d.solo.Load()
+}

@@ -1,0 +1,318 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"maxsumdiv/internal/core"
+)
+
+// TestDispatcherCoalesces drives the dispatcher deterministically with a
+// blocking run closure: a leader enters, a compatible query joins while the
+// leader is mid-solve, and both come back with the leader's result. The
+// channel choreography removes the timing luck an end-to-end test would need.
+func TestDispatcherCoalesces(t *testing.T) {
+	d := newDispatcher(8)
+	if !d.enabled() {
+		t.Fatal("limit 8 dispatcher reports disabled")
+	}
+	key := batchKey{seq: 1, algo: core.AlgoGreedy, lambda: 0.5}
+	leaderIn := make(chan struct{})  // closed when the leader is inside run
+	leaderOut := make(chan struct{}) // leader's run blocks until this closes
+	want := &core.GreedyTrace{}
+
+	type outcome struct {
+		trace *core.GreedyTrace
+		err   error
+	}
+	leaderDone := make(chan outcome, 1)
+	go func() {
+		tr, _, err := d.solve(context.Background(), key, 10, true,
+			func(k int) (*core.GreedyTrace, *core.Solution, error) {
+				close(leaderIn)
+				<-leaderOut
+				return want, nil, nil
+			})
+		leaderDone <- outcome{tr, err}
+	}()
+	<-leaderIn
+
+	// A smaller-k prefix query joins; its run closure must never execute.
+	joinerDone := make(chan outcome, 1)
+	go func() {
+		tr, _, err := d.solve(context.Background(), key, 3, true,
+			func(k int) (*core.GreedyTrace, *core.Solution, error) {
+				t.Error("joiner ran its own solve")
+				return nil, nil, nil
+			})
+		joinerDone <- outcome{tr, err}
+	}()
+	// Wait until the joiner is registered on the call before releasing the
+	// leader, so the join is guaranteed rather than racy.
+	for {
+		d.mu.Lock()
+		call := d.calls[key]
+		waiting := call != nil && call.waiters == 2
+		d.mu.Unlock()
+		if waiting {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A larger-k prefix query cannot be answered by the k=10 trace: it must
+	// lead its own call (shadowing the running one) and run immediately.
+	bigRan := false
+	bigTrace := &core.GreedyTrace{}
+	tr, _, err := d.solve(context.Background(), key, 20, true,
+		func(k int) (*core.GreedyTrace, *core.Solution, error) {
+			bigRan = true
+			return bigTrace, nil, nil
+		})
+	if err != nil || !bigRan || tr != bigTrace {
+		t.Fatalf("k=20 query did not lead its own solve (ran=%v trace=%p err=%v)", bigRan, tr, err)
+	}
+
+	close(leaderOut)
+	for _, got := range []outcome{<-leaderDone, <-joinerDone} {
+		if got.err != nil || got.trace != want {
+			t.Fatalf("member got (%p, %v), want the leader's trace %p", got.trace, got.err, want)
+		}
+	}
+	if co, solo := d.counters(); co != 1 || solo != 2 {
+		t.Fatalf("counters (coalesced=%d, solo=%d), want (1, 2)", co, solo)
+	}
+}
+
+// TestDispatcherJoinRetryOnLeaderCancel pins the fallback contract: when the
+// solve a query joined dies of the *leader's* context, a joiner whose own
+// context is still live gets errJoinRetry (so solveFull re-solves solo)
+// rather than inheriting a cancellation that isn't its own.
+func TestDispatcherJoinRetryOnLeaderCancel(t *testing.T) {
+	d := newDispatcher(4)
+	key := batchKey{seq: 2, algo: core.AlgoGreedy, lambda: 0.5}
+	leaderIn := make(chan struct{})
+	leaderOut := make(chan struct{})
+	go func() {
+		d.solve(context.Background(), key, 5, true,
+			func(k int) (*core.GreedyTrace, *core.Solution, error) {
+				close(leaderIn)
+				<-leaderOut
+				return nil, nil, context.Canceled
+			})
+	}()
+	<-leaderIn
+	joinErr := make(chan error, 1)
+	go func() {
+		_, _, err := d.solve(context.Background(), key, 5, true,
+			func(k int) (*core.GreedyTrace, *core.Solution, error) {
+				t.Error("joiner ran its own solve")
+				return nil, nil, nil
+			})
+		joinErr <- err
+	}()
+	for {
+		d.mu.Lock()
+		call := d.calls[key]
+		waiting := call != nil && call.waiters == 2
+		d.mu.Unlock()
+		if waiting {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(leaderOut)
+	if err := <-joinErr; err != errJoinRetry {
+		t.Fatalf("joiner error %v, want errJoinRetry", err)
+	}
+}
+
+// TestServerBatchedQueriesMatchSolo is the acceptance pin for the batching
+// layer: a storm of concurrent queries against a Batch=8 server returns
+// exactly the answers a Batch=1 (coalescing disabled) server gives for the
+// same corpus — same member IDs, same objective values — across the
+// prefix-nested algorithms and a spread of cardinalities. Run under -race
+// this also exercises the dispatcher for data races.
+func TestServerBatchedQueriesMatchSolo(t *testing.T) {
+	// One shard so both servers apply the load in identical order and build
+	// index-identical corpora — the responses can then be compared verbatim,
+	// values included.
+	const n, dim = 120, 4
+	batched, err := New(Config{Shards: 1, Lambda: 0.7, Parallelism: 1, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := New(Config{Shards: 1, Lambda: 0.7, Parallelism: 1, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadItems(t, batched, n, dim, 77)
+	loadItems(t, solo, n, dim, 77)
+
+	type q struct {
+		algo string
+		k    int
+	}
+	var queries []q
+	for _, algo := range []string{"greedy", "greedy-improved", "oblivious", "localsearch"} {
+		for _, k := range []int{3, 7, 7, 12, 12, 12, 16} {
+			queries = append(queries, q{algo, k})
+		}
+	}
+	rand.New(rand.NewSource(7)).Shuffle(len(queries), func(i, j int) {
+		queries[i], queries[j] = queries[j], queries[i]
+	})
+
+	wantFor := func(s *Server, qu q) *DiversifyResponse {
+		resp, err := s.Diversify(context.Background(), DiversifyRequest{K: qu.k, Algorithm: qu.algo})
+		if err != nil {
+			t.Fatalf("%s k=%d: %v", qu.algo, qu.k, err)
+		}
+		return resp
+	}
+	want := make(map[q]*DiversifyResponse)
+	for _, qu := range queries {
+		if _, ok := want[qu]; !ok {
+			want[qu] = wantFor(solo, qu)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(queries))
+	for i, qu := range queries {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := batched.Diversify(context.Background(), DiversifyRequest{K: qu.k, Algorithm: qu.algo})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ref := want[qu]
+			if len(got.Items) != len(ref.Items) {
+				errs[i] = fmt.Errorf("%s k=%d: %d items, solo %d", qu.algo, qu.k, len(got.Items), len(ref.Items))
+				return
+			}
+			for j := range got.Items {
+				if got.Items[j].ID != ref.Items[j].ID {
+					errs[i] = fmt.Errorf("%s k=%d item %d: id %q, solo %q", qu.algo, qu.k, j, got.Items[j].ID, ref.Items[j].ID)
+					return
+				}
+			}
+			if got.Value != ref.Value || got.Quality != ref.Quality || got.Dispersion != ref.Dispersion {
+				errs[i] = fmt.Errorf("%s k=%d: values (%v %v %v), solo (%v %v %v)", qu.algo, qu.k,
+					got.Value, got.Quality, got.Dispersion, ref.Value, ref.Quality, ref.Dispersion)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	co, so := batched.corpus.batch.counters()
+	if co+so != uint64(len(queries)) {
+		t.Fatalf("dispatcher counters %d+%d don't cover the %d queries", co, so, len(queries))
+	}
+	if co2, _ := solo.corpus.batch.counters(); co2 != 0 {
+		t.Fatalf("Batch=1 server coalesced %d queries", co2)
+	}
+	t.Logf("batched server: %d coalesced, %d solo", co, so)
+}
+
+// TestServerStatsReportBatching checks the /stats plumbing end to end: the
+// coalesced/solo counters surface under corpus and mutations_shed at the top
+// level.
+func TestServerStatsReportBatching(t *testing.T) {
+	s, err := New(Config{Shards: 1, Lambda: 0.5, Parallelism: 1, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadItems(t, s, 30, 3, 5)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Diversify(context.Background(), DiversifyRequest{K: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Corpus.QueriesCoalesced+st.Corpus.QueriesSolo != 3 {
+		t.Fatalf("stats counters %d+%d, want 3 queries covered",
+			st.Corpus.QueriesCoalesced, st.Corpus.QueriesSolo)
+	}
+	if st.MutationsShed != 0 {
+		t.Fatalf("mutations_shed = %d on an unpressured server", st.MutationsShed)
+	}
+}
+
+// TestServerBackpressureShedsMutations pins the epochs-live bound: with more
+// than MaxEpochsLive generations pinned by (simulated) slow readers, mutation
+// requests get 429 + Retry-After instead of publishing yet another retained
+// epoch; once the readers drain, the same mutation succeeds and the shed
+// count is visible in /stats.
+func TestServerBackpressureShedsMutations(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 1, Lambda: 0.5, Parallelism: 1, MaxEpochsLive: 2})
+	loadItems(t, s, 10, 3, 3)
+
+	// Pin a chain of generations: hold a reference to each current epoch,
+	// then publish a successor, so every pinned epoch stays live.
+	rng := rand.New(rand.NewSource(4))
+	var pinned []*epoch
+	for i := 0; i < 3; i++ {
+		pinned = append(pinned, s.corpus.store.pin())
+		applyMutation(t, s, fmt.Sprintf("ep-%d", i), rng)
+	}
+	if live := s.corpus.epochsLive(); live <= int64(s.cfg.MaxEpochsLive) {
+		t.Fatalf("test setup: %d epochs live, need > %d", live, s.cfg.MaxEpochsLive)
+	}
+
+	body := ItemPayload{ID: "ep-0", Weight: 2, Vector: []float64{1, 0, 0}}
+	resp := postJSON(t, ts.URL+"/items", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("mutation under backpressure: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+	resp.Body.Close()
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/items/ep-1", nil, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("delete under backpressure: status %d, want 429", code)
+	}
+	if shed := s.Stats().MutationsShed; shed != 2 {
+		t.Fatalf("mutations_shed = %d, want 2", shed)
+	}
+
+	// Readers drain: the pins release, the superseded epochs die, and the
+	// same mutation goes through.
+	for _, e := range pinned {
+		s.corpus.store.unpin(e)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/items", body, nil); code != http.StatusOK {
+		t.Fatalf("mutation after drain: status %d, want 200", code)
+	}
+	if shed := s.Stats().MutationsShed; shed != 2 {
+		t.Fatalf("mutations_shed moved to %d after drain", shed)
+	}
+}
+
+// postJSON issues one POST and returns the raw response (header access).
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}

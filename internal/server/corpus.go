@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -39,20 +40,32 @@ type corpus struct {
 	ids     map[string]int // live id → corpus index
 	items   []item
 	dist    metric.Snapshotter // growable symmetric distance backend
-	weights []float64          // index-aligned item weights (build copy)
+	weights []float64          // index-aligned item weights (copy-on-write shared with epochs)
+	idList  []string           // index-aligned item ids (copy-on-write shared with epochs)
 	dirty   bool               // mutations since the last publish
 	seq     uint64             // epochs published
+
+	// Published epochs adopt weights/idList without copying, so publishes are
+	// O(1) metadata-wise. These flags mark the backing arrays as shared: the
+	// next in-place write below the slice length (a delete's swap or a weight
+	// update) copies first. Appends never copy — epochs hold a fixed length,
+	// and growth only writes at or past every shared view's end.
+	weightsShared bool
+	idsShared     bool
 
 	store   epochStore
 	scratch *core.StateCache // solver scratch shared across queries and epochs
 	pool    *engine.Pool
+	batch   *dispatcher // per-epoch query coalescing (limit 1 = disabled)
 
 	queries atomic.Uint64 // solves served
 }
 
 // newCorpus builds an empty corpus on the named backend kind and publishes
 // its initial (empty) epoch, so queries always have something to pin.
-func newCorpus(pool *engine.Pool, backend string) (*corpus, error) {
+// batchLimit is the dispatcher's queries-per-solve cap; ≤ 1 disables
+// coalescing (every query solves solo).
+func newCorpus(pool *engine.Pool, backend string, batchLimit int) (*corpus, error) {
 	dist, err := metric.NewSnapshotter(backend)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -62,6 +75,7 @@ func newCorpus(pool *engine.Pool, backend string) (*corpus, error) {
 		dist:    dist,
 		scratch: core.NewStateCache(),
 		pool:    pool,
+		batch:   newDispatcher(batchLimit),
 	}
 	c.store.publish(c.buildEpochLocked())
 	return c, nil
@@ -91,13 +105,16 @@ func (c *corpus) upsertLocked(o op) error {
 			if c.items[idx].weight == o.weight {
 				return nil
 			}
-			// Weight-only update: one O(1) write, no distance churn.
-			c.weights[idx] = o.weight
+			// Weight-only update: one O(1) write (after a copy-on-write if an
+			// epoch shares the array), no distance churn, no O(n) publish cost.
+			c.mutableWeights()[idx] = o.weight
 			c.items[idx].weight = o.weight
 			c.dirty = true
 			return nil
 		}
 		// Vector change: every distance to this item is stale; reinsert.
+		// The backend's incremental compaction keeps the delete+append pair
+		// bounded — no full rebuild can fire inside this flush.
 		c.deleteLocked(o.id)
 	}
 	dists := make([]float64, len(c.items))
@@ -109,6 +126,7 @@ func (c *corpus) upsertLocked(o op) error {
 		return fmt.Errorf("server: corpus insert %q: %w", o.id, err)
 	}
 	c.weights = append(c.weights, o.weight)
+	c.idList = append(c.idList, o.id)
 	c.items = append(c.items, item{id: o.id, weight: o.weight, vector: o.vector})
 	c.ids[o.id] = idx
 	c.dirty = true
@@ -121,11 +139,22 @@ func (c *corpus) deleteLocked(id string) {
 		return
 	}
 	if err := c.dist.RemoveSwap(idx); err != nil {
-		return // index came from the ids map; unreachable
+		// The index came straight from the ids map, so a failure means the
+		// map and the distance backend have diverged — ids, items, weights,
+		// and distances no longer describe the same corpus, and every epoch
+		// published from this state would silently serve corrupt results.
+		// That is an invariant violation, not a request error: fail loudly.
+		panic(fmt.Sprintf(
+			"server: corpus: RemoveSwap(%d) for id %q failed on a %d-item backend: %v — ids/backend invariant violated",
+			idx, id, len(c.items), err))
 	}
 	last := len(c.items) - 1
-	c.weights[idx] = c.weights[last]
-	c.weights = c.weights[:last]
+	w := c.mutableWeights()
+	w[idx] = w[last]
+	c.weights = w[:last]
+	il := c.mutableIDs()
+	il[idx] = il[last]
+	c.idList = il[:last]
 	if idx != last {
 		c.items[idx] = c.items[last]
 		c.ids[c.items[idx].id] = idx
@@ -135,26 +164,40 @@ func (c *corpus) deleteLocked(id string) {
 	c.dirty = true
 }
 
+// mutableWeights returns the weights slice safe for in-place writes below
+// its length, copying first if a published epoch shares the backing array.
+func (c *corpus) mutableWeights() []float64 {
+	if c.weightsShared {
+		c.weights = append(make([]float64, 0, cap(c.weights)), c.weights...)
+		c.weightsShared = false
+	}
+	return c.weights
+}
+
+// mutableIDs is mutableWeights for the index-aligned id list.
+func (c *corpus) mutableIDs() []string {
+	if c.idsShared {
+		c.idList = append(make([]string, 0, cap(c.idList)), c.idList...)
+		c.idsShared = false
+	}
+	return c.idList
+}
+
 // buildEpochLocked snapshots the build state into a fresh epoch. Caller
-// holds mu (or, for the initial epoch, exclusive ownership).
+// holds mu (or, for the initial epoch, exclusive ownership). The epoch
+// adopts the id and weight slices copy-on-write — publish cost is O(changed
+// rows) for the distance triangle and O(1) for metadata, so weight-only
+// update storms no longer pay an O(n) ids+weights copy per publish. Weights
+// were validated on the way in, so adopting without revalidation is safe.
 func (c *corpus) buildEpochLocked() *epoch {
 	c.seq++
-	ids := make([]string, len(c.items))
-	for i := range c.items {
-		ids[i] = c.items[i].id
-	}
-	// Weights were validated on the way in, so NewModular cannot fail; it
-	// copies, which is exactly the isolation the epoch needs.
-	weights, err := setfunc.NewModular(c.weights)
-	if err != nil {
-		panic(fmt.Sprintf("server: corpus weights invalid at publish: %v", err))
-	}
+	c.weightsShared, c.idsShared = true, true
 	return &epoch{
 		seq:     c.seq,
 		n:       len(c.items),
 		dist:    c.dist.Snapshot(),
-		weights: weights,
-		ids:     ids,
+		weights: setfunc.AdoptModular(c.weights),
+		ids:     c.idList,
 	}
 }
 
@@ -185,12 +228,16 @@ func (c *corpus) queriesServed() uint64 { return c.queries.Load() }
 // backendKind names the distance representation ("f64", "f32").
 func (c *corpus) backendKind() string { return c.dist.Kind() }
 
-// residentBytes approximates the build backend's resident distance bytes
-// (superseded epochs pinned by in-flight queries can transiently hold more).
+// residentBytes approximates resident distance bytes: the build backend
+// (whose current epoch shares its rows) plus every still-pinned superseded
+// epoch's snapshot, so slow readers holding old generations show up in
+// /stats instead of reading flat. Structural sharing between generations
+// makes the sum an upper bound rather than an exact heap figure.
 func (c *corpus) residentBytes() int64 {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.dist.Bytes()
+	build := c.dist.Bytes()
+	c.mu.Unlock()
+	return build + c.store.supersededBytes()
 }
 
 // epochSeq returns the current epoch's sequence number.
@@ -233,6 +280,12 @@ type solveResult struct {
 // and unpins — concurrent flushes publish right past it, and the epoch's
 // refcount keeps its rows alive until the solve finishes. The only
 // per-query constructions are the O(1) objective struct and pooled scratch.
+//
+// Full-scope solves go through the batching dispatcher: concurrent queries
+// pinning the same epoch with a compatible (algo, λ, k) share one solve —
+// prefix-nested greedies even across different k — instead of redoing
+// identical candidate scans. Per-query pool overrides bypass coalescing
+// (their execution shape is theirs alone).
 func (c *corpus) solveFull(ctx context.Context, spec solveSpec) (*solveResult, error) {
 	e := c.store.pin()
 	defer c.store.unpin(e)
@@ -249,20 +302,53 @@ func (c *corpus) solveFull(ctx context.Context, spec solveSpec) (*solveResult, e
 	if err != nil {
 		return nil, err
 	}
-	sol, err := core.Solve(obj, core.Spec{
-		Algo: spec.algo,
-		K:    k,
-		Ctx:  ctx,
-		Pool: c.poolFor(spec),
-	})
+	cs := core.Spec{Algo: spec.algo, K: k, Ctx: ctx, Pool: c.poolFor(spec)}
+	if c.batch.enabled() && spec.parallel == nil {
+		prefix := core.PrefixNested(spec.algo, k)
+		key := batchKey{seq: e.seq, algo: spec.algo, lambda: spec.lambda}
+		if !prefix {
+			key.k = k
+		}
+		trace, sol, err := c.batch.solve(ctx, key, k, prefix, func(kMax int) (*core.GreedyTrace, *core.Solution, error) {
+			rs := cs
+			rs.K = kMax
+			if prefix {
+				tr, err := core.SolveTrace(obj, rs)
+				return tr, nil, err
+			}
+			s, err := core.Solve(obj, rs)
+			return nil, s, err
+		})
+		switch {
+		case err == nil:
+			if trace != nil {
+				sol = trace.Solution(k)
+			}
+			return resultFromSolution(e, sol, n), nil
+		case errors.Is(err, errJoinRetry):
+			// The joined leader died of its own context; this query is still
+			// live — fall through to a solo solve on the same pinned epoch.
+		default:
+			return nil, err
+		}
+	}
+	c.batch.solo.Add(1)
+	sol, err := core.Solve(obj, cs)
 	if err != nil {
 		return nil, err
 	}
+	return resultFromSolution(e, sol, n), nil
+}
+
+// resultFromSolution materializes a full-scope solution against its pinned
+// epoch. Coalesced queries share the *Solution (read-only after the solve);
+// each builds its own item list.
+func resultFromSolution(e *epoch, sol *core.Solution, n int) *solveResult {
 	out := &solveResult{sol: sol, n: n, items: make([]item, len(sol.Members))}
 	for i, m := range sol.Members {
 		out.items[i] = item{id: e.ids[m], weight: e.weights.Weight(m)}
 	}
-	return out, nil
+	return out
 }
 
 // solveSubset answers a query over the given item ids (the maintained

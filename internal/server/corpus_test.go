@@ -2,11 +2,13 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"net/http"
 	"slices"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -246,6 +248,71 @@ func TestServerQueryTimeout(t *testing.T) {
 		DiversifyRequest{K: 10, Algorithm: "exact"}, &out)
 	if code != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want %d (resp %v)", code, http.StatusGatewayTimeout, out)
+	}
+}
+
+// TestCorpusDeleteInvariantViolationPanics pins the deleteLocked bugfix: a
+// RemoveSwap failure means the ids map and the distance backend describe
+// different corpora, and every epoch published from that state would
+// silently serve corrupt results — the corpus must panic with a diagnostic,
+// not swallow the error and limp on.
+func TestCorpusDeleteInvariantViolationPanics(t *testing.T) {
+	c, err := newCorpus(nil, metric.KindF64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.apply(op{kind: opUpsert, id: "a", weight: 1, vector: []float64{1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.ids["a"] = 7 // force ids/backend divergence: index past the backend's size
+	c.mu.Unlock()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("deleteLocked swallowed a RemoveSwap failure instead of panicking")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "invariant") {
+			t.Fatalf("panic %v is not the invariant-violation diagnostic", r)
+		}
+	}()
+	_ = c.apply(op{kind: opDelete, id: "a"})
+}
+
+// TestServerVectorRewriteFlushBounded pins the flush-stall fix at the server
+// level: rewriting an existing item's vector takes the delete+reinsert path
+// under corpus.mu with the shard lock held — under the old stop-the-world
+// compaction one such flush could rebuild the whole O(n²) triangle. With
+// incremental compaction, no single flush may build more than one removal
+// step plus one append step of compaction rows, however long the rewrite
+// storm runs.
+func TestServerVectorRewriteFlushBounded(t *testing.T) {
+	s, err := New(Config{Shards: 1, Lambda: 0.5, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	loadItems(t, s, n, 4, 9)
+	rng := rand.New(rand.NewSource(10))
+	// Bound per flush: the RemoveSwap may patch one migrated row and run one
+	// migration step, the AppendRow runs another step.
+	const bound = 2*metric.TriCompactStep + 1
+	sawCompaction := false
+	for i := 0; i < 400; i++ {
+		id := fmt.Sprintf("ep-%d", rng.Intn(n))
+		before := metric.CompactionRows()
+		applyMutation(t, s, id, rng)
+		if delta := metric.CompactionRows() - before; delta > bound {
+			t.Fatalf("rewrite %d: one flush built %d compaction rows, bound is %d", i, delta, bound)
+		} else if delta > 0 {
+			sawCompaction = true
+		}
+	}
+	if !sawCompaction {
+		t.Fatal("rewrite storm never exercised incremental compaction")
+	}
+	if got := s.corpus.size(); got != n {
+		t.Fatalf("corpus size %d after pure rewrites, want %d", got, n)
 	}
 }
 

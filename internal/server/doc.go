@@ -27,13 +27,39 @@
 //     take.
 //   - After a flush batch lands, the corpus publishes an immutable epoch:
 //     the distance triangle is shared structurally with every earlier
-//     epoch (rows are never mutated after append, so publishing costs
-//     O(changed rows) plus an O(n) id/weight metadata copy) and a pointer
-//     swap makes it current.
+//     epoch (rows are never mutated after append) and the id/weight
+//     metadata is copy-on-write — publishing is O(changed rows) for the
+//     distances and O(1) for the metadata, so a weight-only storm pays no
+//     per-epoch copies at all. A pointer swap makes the epoch current.
 //   - Queries pin the current epoch with a refcount and solve entirely
 //     lock-free — no query ever holds a lock a mutation could queue
 //     behind, and no flush can change what a running solve observes. A
 //     superseded epoch stays readable until its last query unpins it.
+//
+// Two mechanisms keep both sides fast under pressure:
+//
+//   - Query batching (Config.Batch, cmd/serve -batch): in-flight full-scope
+//     queries that pin the same epoch are coalesced by a dispatcher. The
+//     first query for a (epoch, algorithm, λ) key runs the solve; compatible
+//     queries arriving while it runs join and wait, so one candidate scan's
+//     distance-row folds feed every member. For the prefix-nested greedy
+//     family (core.PrefixNested) a joiner may even ask for a smaller k than
+//     the leader: the leader records a core.GreedyTrace and each member
+//     materializes its own k-prefix, bit-identical to a solo solve. A
+//     joiner whose leader is cancelled falls back to a solo solve; /stats
+//     reports the coalesced/solo split.
+//   - Mutation backpressure (Config.MaxEpochsLive, cmd/serve
+//     -max-epochs-live): every published-but-pinned epoch keeps distance
+//     rows resident, so when slow readers hold more than the bound alive,
+//     mutation requests are shed with 429 + Retry-After instead of
+//     retaining yet another generation. /stats counts sheds as
+//     mutations_shed and reports the truthful resident_bytes (build backend
+//     plus pinned superseded epochs).
+//
+// Deletes (and vector rewrites, which are delete + reinsert) retire
+// triangle rows in place; the backend compacts incrementally — bounded
+// migration work per mutation, never a stop-the-world O(n²) rebuild inside
+// a flush (see maxsumdiv/internal/metric.Tri).
 //
 // The backend representation is pluggable (Config.Backend, cmd/serve
 // -backend): "f64" stores exact float64 rows; "f32" stores float32 rows at

@@ -51,6 +51,12 @@ type epochStore struct {
 	cur  atomic.Pointer[epoch]
 	live atomic.Int64 // published epochs not yet released (observability)
 
+	// liveSet tracks every published-but-unreleased epoch so stats can sum
+	// the bytes still-pinned generations keep resident. Guarded by mu; the
+	// hot pin/unpin path only touches it on the final release.
+	mu      sync.Mutex
+	liveSet map[*epoch]struct{}
+
 	// onRelease, when non-nil, observes each epoch's release (tests). Set
 	// before the first publish; never mutated afterwards.
 	onRelease func(*epoch)
@@ -62,6 +68,12 @@ type epochStore struct {
 func (s *epochStore) publish(e *epoch) {
 	e.refs.Store(1)
 	s.live.Add(1)
+	s.mu.Lock()
+	if s.liveSet == nil {
+		s.liveSet = make(map[*epoch]struct{})
+	}
+	s.liveSet[e] = struct{}{}
+	s.mu.Unlock()
 	if old := s.cur.Swap(e); old != nil {
 		s.unpin(old)
 	}
@@ -92,10 +104,31 @@ func (s *epochStore) unpin(e *epoch) {
 	}
 	if e.released.CompareAndSwap(false, true) {
 		s.live.Add(-1)
+		s.mu.Lock()
+		delete(s.liveSet, e)
+		s.mu.Unlock()
 		if s.onRelease != nil {
 			s.onRelease(e)
 		}
 	}
+}
+
+// supersededBytes sums the distance bytes still-live superseded epochs keep
+// resident — the memory slow readers hold beyond the current generation.
+// Snapshots share rows structurally, so the sum is an upper bound: each
+// epoch reports everything reachable from it, and a row shared by two
+// pinned generations counts in both.
+func (s *epochStore) supersededBytes() int64 {
+	cur := s.cur.Load()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b int64
+	for e := range s.liveSet {
+		if e != cur && e.dist != nil {
+			b += e.dist.Bytes()
+		}
+	}
+	return b
 }
 
 // current returns the current epoch without pinning (stats snapshots; the

@@ -186,10 +186,28 @@ func TestQueryPinnedEpochStableUnderFlush(t *testing.T) {
 			}
 		}
 	}
+	// The superseded pinned epoch must show up in resident_bytes: the stat
+	// sums the build backend plus every still-pinned older generation, so a
+	// slow reader holding rows alive reads as memory, not as a flat line.
+	pinnedBytes := e.dist.Bytes()
+	if pinnedBytes == 0 {
+		t.Fatal("pinned epoch reports zero distance bytes")
+	}
+	buildOnly := func() int64 {
+		s.corpus.mu.Lock()
+		defer s.corpus.mu.Unlock()
+		return s.corpus.dist.Bytes()
+	}
+	if got, floor := s.corpus.residentBytes(), buildOnly()+pinnedBytes; got < floor {
+		t.Fatalf("resident_bytes %d undercounts pinned generations: build+pinned floor is %d", got, floor)
+	}
 	if e.released.Load() {
 		t.Fatal("pinned epoch released while still pinned")
 	}
 	s.corpus.store.unpin(e)
+	if got, want := s.corpus.residentBytes(), buildOnly(); got != want {
+		t.Fatalf("resident_bytes %d after release, want build-only %d", got, want)
+	}
 	if !e.released.Load() {
 		t.Fatal("superseded epoch not released after its last unpin")
 	}

@@ -90,6 +90,19 @@ type Config struct {
 	// Float32 selects BackendF32; it is the pre-Backend spelling of the
 	// same choice and may not contradict a non-empty Backend.
 	Float32 bool
+	// Batch caps how many concurrent full-scope queries one batched solve
+	// may serve: in-flight queries that pin the same epoch with a compatible
+	// (algorithm, λ, k) coalesce onto a single candidate scan, so each
+	// distance-row fold feeds every joined query instead of being redone per
+	// query. 0 selects the default (16); 1 disables coalescing; negative is
+	// rejected.
+	Batch int
+	// MaxEpochsLive backpressures mutations when slow readers pile up: once
+	// more than this many published epochs are still pinned, mutation
+	// requests are shed with 429 + Retry-After instead of growing the
+	// retained-generation memory unboundedly. 0 selects the default (64);
+	// negative disables the bound.
+	MaxEpochsLive int
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +121,12 @@ func (c Config) withDefaults() Config {
 		} else {
 			c.Backend = BackendF64
 		}
+	}
+	if c.Batch == 0 {
+		c.Batch = defaultBatch
+	}
+	if c.MaxEpochsLive == 0 {
+		c.MaxEpochsLive = 64
 	}
 	return c
 }
@@ -138,6 +157,10 @@ type Server struct {
 	dimMu sync.Mutex
 	dim   int
 
+	// mutationsShed counts mutation requests rejected by the epochs-live
+	// backpressure bound (Config.MaxEpochsLive).
+	mutationsShed atomic.Uint64
+
 	healthy atomic.Bool
 }
 
@@ -150,8 +173,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Lambda < 0 || math.IsNaN(cfg.Lambda) || math.IsInf(cfg.Lambda, 0) {
 		return nil, fmt.Errorf("server: lambda = %g, want finite ≥ 0", cfg.Lambda)
 	}
+	if cfg.Batch < 0 {
+		return nil, fmt.Errorf("server: batch = %d, want ≥ 0 (1 disables coalescing)", cfg.Batch)
+	}
 	pool := engine.New(cfg.Parallelism)
-	corpus, err := newCorpus(pool, string(cfg.Backend))
+	corpus, err := newCorpus(pool, string(cfg.Backend), cfg.Batch)
 	if err != nil {
 		return nil, err
 	}
@@ -376,8 +402,31 @@ type DiversifyResponse struct {
 	ElapsedMS  float64        `json:"elapsed_ms"`
 }
 
+// shedMutation applies the epochs-live backpressure bound: when slow readers
+// hold more than MaxEpochsLive published generations alive, every additional
+// flush would retain yet another full distance snapshot, so mutations are
+// rejected with 429 + Retry-After until the readers drain. Returns true when
+// the request was shed (response already written).
+func (s *Server) shedMutation(w http.ResponseWriter) bool {
+	if s.cfg.MaxEpochsLive <= 0 {
+		return false
+	}
+	live := s.corpus.epochsLive()
+	if live <= int64(s.cfg.MaxEpochsLive) {
+		return false
+	}
+	s.mutationsShed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests,
+		fmt.Errorf("mutations shed: %d epochs still pinned by in-flight queries (bound %d); retry shortly", live, s.cfg.MaxEpochsLive))
+	return true
+}
+
 func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	if s.shedMutation(w) {
+		return
+	}
 	batch, err := DecodeItems(r.Body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -417,6 +466,9 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	if s.shedMutation(w) {
+		return
+	}
 	id := r.PathValue("id")
 	if id == "" {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("missing item id"))
@@ -616,10 +668,12 @@ func (s *Server) Stats() Stats {
 		EpochsLive:    s.corpus.epochsLive(),
 		ResidentBytes: s.corpus.residentBytes(),
 	}
+	cs.QueriesCoalesced, cs.QueriesSolo = s.corpus.batch.counters()
 	if items > 0 {
 		cs.BytesPerItem = float64(cs.ResidentBytes) / float64(items)
 	}
 	st.Corpus = cs
+	st.MutationsShed = s.mutationsShed.Load()
 	return st
 }
 

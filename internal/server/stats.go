@@ -108,9 +108,18 @@ type CorpusStats struct {
 	// EpochsLive counts published epochs not yet released — 1 when idle,
 	// transiently higher while queries pin superseded epochs.
 	EpochsLive int64 `json:"epochs_live"`
-	// ResidentBytes approximates the build backend's distance storage.
+	// ResidentBytes approximates the distance storage actually held live:
+	// the build backend plus every superseded epoch still pinned by
+	// in-flight queries (an upper bound — pinned epochs share unchanged
+	// rows with the build structurally).
 	ResidentBytes int64   `json:"resident_bytes"`
 	BytesPerItem  float64 `json:"bytes_per_item,omitempty"`
+	// QueriesCoalesced counts full-scope queries answered by joining
+	// another in-flight query's solve; QueriesSolo counts full-scope
+	// queries that ran the solve themselves. Subset-scoped queries always
+	// solve solo and appear in neither.
+	QueriesCoalesced uint64 `json:"queries_coalesced"`
+	QueriesSolo      uint64 `json:"queries_solo"`
 }
 
 // Stats is the /stats response body.
@@ -121,4 +130,7 @@ type Stats struct {
 	Corpus        CorpusStats  `json:"corpus"`
 	Query         LatencyStats `json:"query_latency"`
 	Mutation      LatencyStats `json:"mutation_latency"`
+	// MutationsShed counts mutation requests rejected with 429 because
+	// more than Config.MaxEpochsLive published epochs were still pinned.
+	MutationsShed uint64 `json:"mutations_shed"`
 }

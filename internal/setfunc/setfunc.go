@@ -68,6 +68,14 @@ func NewModular(weights []float64) (*Modular, error) {
 	return &Modular{w: cp}, nil
 }
 
+// AdoptModular wraps weights without copying or validating — the O(1)
+// counterpart of NewModular for callers that already own validated weights
+// and promise never to mutate the first len(weights) elements while the
+// Modular is live (appending to the caller's slice is fine; shared views
+// keep their fixed length). The serving corpus publishes its epochs this
+// way: metadata becomes copy-on-write instead of O(n)-copied per publish.
+func AdoptModular(weights []float64) *Modular { return &Modular{w: weights} }
+
 // GroundSize returns the number of elements.
 func (m *Modular) GroundSize() int { return len(m.w) }
 
