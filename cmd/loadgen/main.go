@@ -48,8 +48,8 @@
 //	        [-k 10] [-dim 8] [-algo greedy] [-scope full] [-seed 1]
 //	        [-lambda-spread] [-check-monotone]
 //	        [-contention] [-contention-items 1024]
-//	        [-scenario steady-mixed] [-inproc] [-bench-out report.json]
-//	        [-list-scenarios]
+//	        [-scenario steady-mixed] [-inproc] [-backend vec-f32]
+//	        [-bench-out report.json] [-list-scenarios]
 //
 // With -duration > 0 each worker runs for that wall-clock span instead of
 // a fixed op count (for -scenario it overrides the spec's duration). With
@@ -82,6 +82,7 @@ func main() {
 		scenarioName  string
 		listScenarios bool
 		inproc        bool
+		inprocBackend string
 		benchOut      string
 	)
 	flag.StringVar(&cfg.BaseURL, "addr", "http://localhost:8080", "server base URL")
@@ -109,6 +110,8 @@ func main() {
 	flag.BoolVar(&listScenarios, "list-scenarios", false, "list built-in scenarios and exit")
 	flag.BoolVar(&inproc, "inproc", false,
 		"run against an in-process server instead of -addr (no network; CI smoke mode)")
+	flag.StringVar(&inprocBackend, "backend", "",
+		"distance backend for the -inproc server: f64 (default), f32, vec-f32 or vec-int8")
 	flag.StringVar(&benchOut, "bench-out", "",
 		"also write the run as a maxsumdiv-bench JSON report to this file")
 	flag.Parse()
@@ -126,7 +129,12 @@ func main() {
 
 	var target scenario.Target
 	if inproc {
-		srv, err := server.New(server.Config{Shards: 4, Lambda: 0.5, MaintainK: 8, FlushThreshold: 64})
+		kind, err := server.ParseBackendKind(inprocBackend)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(2)
+		}
+		srv, err := server.New(server.Config{Shards: 4, Lambda: 0.5, MaintainK: 8, FlushThreshold: 64, Backend: kind})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen: in-process server:", err)
 			os.Exit(2)

@@ -7,7 +7,7 @@
 //
 //	serve [-addr :8080] [-shards 8] [-lambda 1] [-maintain-k 8]
 //	      [-parallelism 0] [-flush-threshold 256] [-query-timeout 30s]
-//	      [-backend f64|f32] [-batch 16] [-max-epochs-live 64]
+//	      [-backend f64|f32|vec-f32|vec-int8] [-batch 16] [-max-epochs-live 64]
 //
 // Endpoints (see internal/server for the full contract):
 //
@@ -45,7 +45,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "engine workers for query solves (0 = GOMAXPROCS)")
 	flushThreshold := flag.Int("flush-threshold", 256, "pending mutations per shard before an inline batch apply")
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request deadline for /diversify solves (0 = unlimited); expired queries answer 504. Queries solve lock-free on pinned corpus epochs, so a slow query only ever costs itself — the deadline is worker hygiene, not a liveness guard")
-	backend := flag.String("backend", "", "corpus distance backend: f64 (exact, the default) or f32 (half the resident bytes)")
+	backend := flag.String("backend", "", "corpus distance backend: f64 (exact, the default), f32 (half the resident bytes), vec-f32 or vec-int8 (compute-on-demand from vectors, O(n·d) resident)")
 	float32Backend := flag.Bool("float32", false, "shorthand for -backend f32")
 	batch := flag.Int("batch", 0, "max concurrent full-scope queries one batched solve may serve: identical (and, for the greedy family, prefix-compatible) queries pinning the same epoch share one candidate scan (0 = default 16, 1 disables coalescing)")
 	maxEpochsLive := flag.Int("max-epochs-live", 0, "shed mutations with 429 once more than this many published epochs are still pinned by in-flight queries (0 = default 64, negative disables)")
@@ -54,6 +54,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	kind, err := server.ParseBackendKind(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(2)
+	}
 	cfg := server.Config{
 		Shards:         *shards,
 		Lambda:         *lambda,
@@ -61,7 +66,7 @@ func main() {
 		Parallelism:    *parallelism,
 		FlushThreshold: *flushThreshold,
 		QueryTimeout:   *queryTimeout,
-		Backend:        server.Backend(*backend),
+		Backend:        kind,
 		Float32:        *float32Backend,
 		Batch:          *batch,
 		MaxEpochsLive:  *maxEpochsLive,

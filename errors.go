@@ -53,6 +53,12 @@ var (
 	// ErrBackendConflict is returned by NewIndex when WithLazyDistances and
 	// WithFloat32 are combined; the backends are mutually exclusive.
 	ErrBackendConflict = errors.New("maxsumdiv: WithLazyDistances and WithFloat32 are mutually exclusive")
+	// ErrCandidateFilter is returned when Query.Candidates =
+	// CandidatesPreFiltered is combined with something the pre-filter cannot
+	// remap onto a candidate subset: a matroid Constraint, a custom quality
+	// function (query- or index-level), or an index whose items carry no
+	// vectors. Such queries must use the exact scan.
+	ErrCandidateFilter = errors.New("maxsumdiv: candidate pre-filter unsupported for this query")
 	// ErrNoVectors is returned when a vector distance is requested (or
 	// defaulted) but items carry no vectors.
 	ErrNoVectors = errors.New("maxsumdiv: items carry no vectors")

@@ -2,6 +2,7 @@ package maxsumdiv
 
 import (
 	"fmt"
+	"strconv"
 
 	"maxsumdiv/internal/core"
 	"maxsumdiv/internal/engine"
@@ -27,6 +28,7 @@ import (
 type Index struct {
 	items   []Item
 	dist    metric.Metric
+	vecs    [][]float64      // item vectors when every item has one (candidate gen)
 	quality setfunc.Source   // index-default quality (modular unless WithQuality)
 	modular *setfunc.Modular // non-nil when the default quality is modular
 	lambda  float64          // index-default trade-off
@@ -93,9 +95,18 @@ func NewIndex(items []Item, opts ...Option) (*Index, error) {
 	}
 	cp := make([]Item, len(items))
 	copy(cp, items)
+	vecs := make([][]float64, len(cp))
+	for i := range cp {
+		if len(cp[i].Vector) == 0 {
+			vecs = nil
+			break
+		}
+		vecs[i] = cp[i].Vector
+	}
 	return &Index{
 		items:      cp,
 		dist:       dist,
+		vecs:       vecs,
 		quality:    f,
 		modular:    modular,
 		lambda:     cfg.lambda,
@@ -103,6 +114,33 @@ func NewIndex(items []Item, opts ...Option) (*Index, error) {
 		scratch:    scratch,
 		defaultObj: obj,
 	}, nil
+}
+
+// NewVectorIndex builds an Index directly from feature vectors and modular
+// quality weights — the vector-native entry point for corpora too large to
+// materialize pairwise distances. Item IDs are the decimal indices
+// ("0", "1", …); weights may be nil (all zero: pure diversification) or one
+// per vector. The backend defaults to the compute-on-demand float32 vector
+// store (WithVectorBackendF32, O(n·d) resident bytes); pass
+// WithVectorBackendInt8 to quantize, or any NewIndex option to override
+// defaults. Pair with Query.Candidates = CandidatesPreFiltered to keep
+// per-query scans sublinear in n.
+func NewVectorIndex(vectors [][]float64, weights []float64, opts ...Option) (*Index, error) {
+	if len(vectors) == 0 {
+		return nil, ErrNoItems
+	}
+	if weights != nil && len(weights) != len(vectors) {
+		return nil, fmt.Errorf("maxsumdiv: %d weights for %d vectors", len(weights), len(vectors))
+	}
+	items := make([]Item, len(vectors))
+	for i, v := range vectors {
+		var w float64
+		if weights != nil {
+			w = weights[i]
+		}
+		items[i] = Item{ID: strconv.Itoa(i), Weight: w, Vector: v}
+	}
+	return NewIndex(items, append([]Option{WithVectorBackendF32()}, opts...)...)
 }
 
 // wrapLambdaErr translates core's lambda validation failure into the public
@@ -149,6 +187,42 @@ func (ix *Index) DistanceCacheStats() (stored int, computed, lookups int64, ok b
 	}
 	stored, computed, lookups = c.Counters()
 	return stored, computed, lookups, true
+}
+
+// BackendKind names the distance backend this index's queries actually run
+// against: "dense-f64" (the default materialized float64 matrix),
+// "dense-f32" (WithFloat32's blocked flat-row matrix), "lazy" (the
+// WithLazyDistances memoizing cache), "vec-f32" / "vec-int8" (the
+// compute-on-demand vector stores), or "custom" for anything else. Callers
+// use it to verify a deployment choice took effect — e.g. that a large
+// corpus really is on a vector backend before traffic hits it.
+func (ix *Index) BackendKind() string {
+	switch d := ix.dist.(type) {
+	case *metric.Dense:
+		return "dense-f64"
+	case *metric.DenseF32:
+		return "dense-f32"
+	case *metric.Cached:
+		return "lazy"
+	case *metric.VecStore:
+		return d.Kind()
+	default:
+		return "custom"
+	}
+}
+
+// VectorRowCacheStats reports the vector backend's bounded solution-row
+// cache counters when the index runs on WithVectorBackendF32/Int8
+// (ok = true): row folds served from cache vs recomputed from vectors. The
+// analogue of DistanceCacheStats for the compute-on-demand backends; for
+// every other backend ok is false.
+func (ix *Index) VectorRowCacheStats() (hits, misses int64, ok bool) {
+	v, isVec := ix.dist.(*metric.VecStore)
+	if !isVec {
+		return 0, 0, false
+	}
+	hits, misses = v.RowCacheCounters()
+	return hits, misses, true
 }
 
 // Cardinality returns the constraint |S| ≤ k (the uniform matroid).

@@ -91,8 +91,23 @@ func Suite(opts Options) []Spec {
 		// The epoch corpus's memory claim, per backend: resident distance
 		// bytes per item after an insert-only load (f32 must come out at
 		// half of f64). ns/op is the per-insert write-path cost.
-		corpusBytesSpec("server/corpus_bytes_per_item/f64/n=4096", true, server.BackendF64, 4096),
-		corpusBytesSpec("server/corpus_bytes_per_item/f32/n=4096", true, server.BackendF32, 4096),
+		corpusBytesSpec("server/corpus_bytes_per_item/f64/n=4096", true, server.BackendF64, 4096, 0),
+		corpusBytesSpec("server/corpus_bytes_per_item/f32/n=4096", true, server.BackendF32, 4096, 0),
+
+		// The vector-native backends at a scale no triangular backend could
+		// reach in CI memory (n=100k under f64 rows would be 40 GB): the
+		// probe hard-fails if bytes/item picks up any n term — the cap is a
+		// small multiple of the O(d) per-item formula, independent of n.
+		corpusBytesSpec("server/corpus_bytes_per_item/vec-f32/n=100000", true,
+			server.BackendVecF32, 100000, 4*(suiteDim*4+4)),
+		corpusBytesSpec("server/corpus_bytes_per_item/vec-int8/n=100000", true,
+			server.BackendVecInt8, 100000, 4*(suiteDim+8)),
+
+		// The candidate-generation accuracy/latency trade at the same scale:
+		// pre-filtered greedy must keep ≥ 95% of the exact-scan objective
+		// (hard failure below the bar) while scanning a fraction of the
+		// ground set.
+		candidateAccuracySpec("solve/candidate_gen_accuracy/n=100000/k=16", true, 100000, 16),
 
 		// The writer-stall probe: mutation latency sampled while slow
 		// full-scope local-search queries run continuously. Under the old
@@ -445,7 +460,10 @@ func loadServerItems(post func(string, []byte) error, items []maxsumdiv.Item) er
 // reports its steady-state memory footprint: Extra["bytes_per_item"] is the
 // /stats figure operators size deployments by, and ns/op is the mean
 // per-insert cost of the write path (distance row + epoch bookkeeping).
-func corpusBytesSpec(name string, quick bool, backend server.Backend, n int) Spec {
+// maxBytesPerItem > 0 turns the figure into a hard bound: exceeding it
+// fails the probe outright — the fence vector-native backends use to prove
+// their residency carries no n term.
+func corpusBytesSpec(name string, quick bool, backend server.Backend, n int, maxBytesPerItem float64) Spec {
 	return Spec{Name: name, Quick: quick, Run: func() (Result, error) {
 		srv, err := server.New(server.Config{Shards: 4, Lambda: 0.5, Parallelism: 1, Backend: backend})
 		if err != nil {
@@ -468,6 +486,10 @@ func corpusBytesSpec(name string, quick bool, backend server.Backend, n int) Spe
 		if got := st.Corpus.Backend; got != string(backend) {
 			return Result{}, fmt.Errorf("corpus backend %q, want %q", got, backend)
 		}
+		if maxBytesPerItem > 0 && st.Corpus.BytesPerItem > maxBytesPerItem {
+			return Result{}, fmt.Errorf("corpus holds %.1f bytes/item on backend %s at n=%d, cap %.1f — residency is not O(n·d)",
+				st.Corpus.BytesPerItem, backend, n, maxBytesPerItem)
+		}
 		return Result{
 			Name:         name,
 			Iterations:   n,
@@ -476,6 +498,62 @@ func corpusBytesSpec(name string, quick bool, backend server.Backend, n int) Spe
 			Extra: map[string]float64{
 				"bytes_per_item": st.Corpus.BytesPerItem,
 				"resident_bytes": float64(st.Corpus.ResidentBytes),
+			},
+		}, nil
+	}}
+}
+
+// candidateAccuracySpec pins the candidate-generation contract at scale:
+// on an n-item vector-native index, greedy restricted to the sketch-selected
+// candidate set must retain at least 95% of the exact full-scan greedy
+// objective — a hard failure below the bar, not a regression. ns/op is the
+// pre-filtered query latency; the exact-scan latency and the speedup land
+// in Extra.
+func candidateAccuracySpec(name string, quick bool, n, k int) Spec {
+	const minAccuracy = 0.95
+	return Spec{Name: name, Quick: quick, Run: func() (Result, error) {
+		items := suiteItems(n, int64(n))
+		vecs := make([][]float64, n)
+		weights := make([]float64, n)
+		for i, it := range items {
+			vecs[i] = it.Vector
+			weights[i] = it.Weight
+		}
+		ix, err := maxsumdiv.NewVectorIndex(vecs, weights, maxsumdiv.WithLambda(0.5))
+		if err != nil {
+			return Result{}, err
+		}
+		ctx := context.Background()
+		t0 := time.Now()
+		exact, err := ix.Query(ctx, maxsumdiv.Query{K: k, Parallelism: 1})
+		if err != nil {
+			return Result{}, err
+		}
+		exactTime := time.Since(t0)
+		t0 = time.Now()
+		pre, err := ix.Query(ctx, maxsumdiv.Query{
+			K: k, Candidates: maxsumdiv.CandidatesPreFiltered, Parallelism: 1})
+		if err != nil {
+			return Result{}, err
+		}
+		preTime := time.Since(t0)
+		if exact.Value <= 0 {
+			return Result{}, fmt.Errorf("exact greedy objective %g, want > 0", exact.Value)
+		}
+		accuracy := pre.Value / exact.Value
+		if accuracy < minAccuracy {
+			return Result{}, fmt.Errorf("pre-filtered greedy kept %.4f of the exact objective at n=%d k=%d, bar is %.2f",
+				accuracy, n, k, minAccuracy)
+		}
+		return Result{
+			Name:         name,
+			Iterations:   1,
+			NsPerOp:      float64(preTime.Nanoseconds()),
+			ApproxAllocs: true,
+			Extra: map[string]float64{
+				"accuracy":      accuracy,
+				"exact_scan_ns": float64(exactTime.Nanoseconds()),
+				"speedup":       float64(exactTime) / float64(preTime),
 			},
 		}, nil
 	}}

@@ -1,0 +1,193 @@
+package candidate
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"maxsumdiv/internal/core"
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/setfunc"
+)
+
+// corpus draws a seeded random test corpus: unit-cube vectors and [0, 1)
+// weights.
+func corpus(seed int64, n, dim int) (vecs [][]float64, weights []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	vecs = make([][]float64, n)
+	weights = make([]float64, n)
+	for i := range vecs {
+		v := make([]float64, dim)
+		for k := range v {
+			v[k] = 2*rng.Float64() - 1
+		}
+		vecs[i] = v
+		weights[i] = rng.Float64()
+	}
+	return vecs, weights
+}
+
+func TestSelectStructure(t *testing.T) {
+	vecs, weights := corpus(7, 2000, 12)
+	p := Params{Target: 300, Seed: 1}
+	got := Select(vecs, weights, 8, p)
+	if len(got) != 300 {
+		t.Fatalf("selected %d, want 300", len(got))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("candidates not sorted")
+	}
+	seen := make(map[int]bool, len(got))
+	for _, i := range got {
+		if i < 0 || i >= len(vecs) {
+			t.Fatalf("candidate %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatalf("candidate %d duplicated", i)
+		}
+		seen[i] = true
+	}
+	// Deterministic: same corpus, params → same set.
+	again := Select(vecs, weights, 8, p)
+	if len(again) != len(got) {
+		t.Fatalf("rerun selected %d, want %d", len(again), len(got))
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("rerun diverged at %d: %d vs %d", i, got[i], again[i])
+		}
+	}
+	// The globally heaviest quarter of the budget must always be present —
+	// greedy's early picks live there.
+	byWeight := make([]int, len(weights))
+	for i := range byWeight {
+		byWeight[i] = i
+	}
+	sort.Slice(byWeight, func(x, y int) bool { return weights[byWeight[x]] > weights[byWeight[y]] })
+	for _, i := range byWeight[:p.Target/4] {
+		if !seen[i] {
+			t.Fatalf("top-weight item %d (w=%g) missing from candidates", i, weights[i])
+		}
+	}
+}
+
+func TestSelectWholeGroundSetWhenTargetCoversN(t *testing.T) {
+	vecs, weights := corpus(9, 64, 8)
+	got := Select(vecs, weights, 4, Params{Target: 64})
+	if len(got) != 64 {
+		t.Fatalf("selected %d, want all 64", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("identity expected, got[%d] = %d", i, v)
+		}
+	}
+	// Target 0 applies the heuristic, still capped at n.
+	if got := Select(vecs, weights, 4, Params{}); len(got) != 64 {
+		t.Fatalf("default target selected %d, want 64", len(got))
+	}
+}
+
+func TestDefaultTarget(t *testing.T) {
+	for _, tc := range []struct{ k, n, want int }{
+		{1, 100000, 512}, // floor
+		{16, 100000, 1024},
+		{100, 100000, 6400},
+		{16, 700, 700}, // capped at n
+	} {
+		if got := DefaultTarget(tc.k, tc.n); got != tc.want {
+			t.Fatalf("DefaultTarget(%d, %d) = %d, want %d", tc.k, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestSelectDegenerateVectors(t *testing.T) {
+	// All-zero vectors collapse to one bucket: selection must still return
+	// the full target, ordered by weight.
+	n := 200
+	vecs := make([][]float64, n)
+	weights := make([]float64, n)
+	for i := range vecs {
+		vecs[i] = make([]float64, 4)
+		weights[i] = float64(i)
+	}
+	got := Select(vecs, weights, 4, Params{Target: 50})
+	if len(got) != 50 {
+		t.Fatalf("selected %d, want 50", len(got))
+	}
+	for _, i := range got {
+		if i < n-50 {
+			t.Fatalf("selected %d but heavier items were skipped", i)
+		}
+	}
+	// Nil weights: uniform, still full-size and deterministic.
+	got = Select(vecs, nil, 4, Params{Target: 50})
+	if len(got) != 50 {
+		t.Fatalf("nil-weight selection %d, want 50", len(got))
+	}
+}
+
+// greedyValue runs exact greedy over the given subset of the corpus (nil =
+// whole corpus) and returns the achieved objective φ(S).
+func greedyValue(t *testing.T, vecs [][]float64, weights []float64, subset []int, k int, lambda float64) float64 {
+	t.Helper()
+	sv, sw := vecs, weights
+	if subset != nil {
+		sv = make([][]float64, len(subset))
+		sw = make([]float64, len(subset))
+		for i, idx := range subset {
+			sv[i] = vecs[idx]
+			sw[i] = weights[idx]
+		}
+	}
+	cos, err := metric.NewCosine(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := setfunc.NewModular(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := core.NewObjective(mod, lambda, cos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(obj, core.Spec{Algo: core.AlgoGreedy, K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol.Value
+}
+
+// TestCandidateGreedyAccuracy is the satellite property test: on seeded
+// corpora, greedy restricted to the candidate set must stay within a fixed
+// factor (0.95) of exact-scan greedy's objective. The pairwise value of a
+// selection is the same whether measured inside the subset or the full
+// corpus, so comparing solver outputs directly is exact.
+func TestCandidateGreedyAccuracy(t *testing.T) {
+	const n, dim, lambda = 4096, 16, 0.5
+	for _, seed := range []int64{3, 17, 91} {
+		vecs, weights := corpus(seed, n, dim)
+		for _, k := range []int{4, 16, 48} {
+			exact := greedyValue(t, vecs, weights, nil, k, lambda)
+			cands := Select(vecs, weights, k, Params{Seed: seed})
+			if len(cands) >= n {
+				t.Fatalf("seed %d k %d: filter degenerated to full scan (%d candidates)", seed, k, len(cands))
+			}
+			approx := greedyValue(t, vecs, weights, cands, k, lambda)
+			if acc := Accuracy(approx, exact); acc < 0.95 {
+				t.Fatalf("seed %d k %d: candidate greedy %.4f of exact (%g vs %g, %d candidates)",
+					seed, k, acc, approx, exact, len(cands))
+			}
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy(95, 100); got != 0.95 {
+		t.Fatalf("Accuracy(95, 100) = %g", got)
+	}
+	if got := Accuracy(0, 0); got != 1 {
+		t.Fatalf("Accuracy(0, 0) = %g", got)
+	}
+}

@@ -79,6 +79,15 @@ var _ Metric = (*Cosine)(nil)
 // vectors, with the same zero-vector convention as Cosine (distance 1).
 // Serving layers use it to compute a new item's distances to a live item set
 // without rebuilding a Cosine over the whole collection.
+//
+// Precision contract: CosineDist computes in float64 and is the reference
+// value every other cosine path is bounded against. The blocked float32
+// kernels (MaterializeF32) and the vec-f32 backend (VecStore) round
+// coordinates to float32 and agree with it within ~1e-6 absolute on
+// unit-scale vectors; the vec-int8 backend additionally quantizes each
+// coordinate to 1/127 of the item's largest magnitude, bounding its error by
+// O(√dim/127) absolute. TestCosineDistPrecisionContract pins all four paths
+// against this reference.
 func CosineDist(a, b []float64) float64 {
 	var dot, na, nb float64
 	m := len(a)

@@ -60,15 +60,20 @@ const (
 )
 
 // NewSnapshotter builds an empty epoch-capable growable backend of the given
-// kind ("f64" or "f32").
+// kind: a stored-distance triangle ("f64", "f32") or a compute-on-demand
+// vector store ("vec-f32", "vec-int8"). Vector kinds grow via the
+// VectorAppender path rather than AppendRow — see VecStore.
 func NewSnapshotter(kind string) (Snapshotter, error) {
 	switch kind {
 	case KindF64:
 		return NewTriF64(), nil
 	case KindF32:
 		return NewTriF32(), nil
+	case KindVecF32, KindVecInt8:
+		return NewVecStore(kind)
 	default:
-		return nil, fmt.Errorf("metric: unknown growable backend kind %q (want %q or %q)", kind, KindF64, KindF32)
+		return nil, fmt.Errorf("metric: unknown growable backend kind %q (want %q, %q, %q or %q)",
+			kind, KindF64, KindF32, KindVecF32, KindVecInt8)
 	}
 }
 

@@ -1,0 +1,498 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Vector backend kinds accepted by NewSnapshotter. Unlike KindF64/KindF32,
+// which store the O(n²/2) pairwise triangle, the vec kinds store only the
+// O(n·d) item vectors and compute distances on demand — the representation
+// that lets million-item corpora fit in memory.
+const (
+	// KindVecF32 stores flat float32 vectors (n·d·4 bytes) and computes
+	// cosine distances on the fly.
+	KindVecF32 = "vec-f32"
+	// KindVecInt8 stores int8-quantized vectors with one float32 scale per
+	// item (n·(d+4) bytes, ~4× smaller than KindVecF32). Cosine distance
+	// depends only on direction, so the per-item scale cancels and the
+	// quantization error is the rounding of each coordinate to 1/127 of the
+	// item's largest magnitude.
+	KindVecInt8 = "vec-int8"
+)
+
+// VectorAppender is the vector-native insert path: backends that store
+// vectors instead of precomputed distance rows grow by one vector in O(d),
+// skipping the O(n·d) distance-row computation AppendRow requires from its
+// caller. The serving corpus type-switches on it — triangular backends take
+// the AppendRow path, vector backends this one.
+type VectorAppender interface {
+	// AppendVector grows the ground set by one point with the given feature
+	// vector, returning its index. The first non-empty vector fixes the
+	// dimension; later vectors must match it. An empty vector is stored as
+	// the zero vector (distance 1 to everything, the CosineDist convention).
+	AppendVector(vec []float64) (int, error)
+	// Dim returns the fixed vector dimension (0 until the first non-empty
+	// append).
+	Dim() int
+}
+
+// vecRowCacheCap bounds the solution-row cache: how many computed distance
+// rows a VecStore (and each of its snapshots) keeps. Local search folds the
+// k solution members' rows in and out on every swap scan; a bound of a few
+// dozen rows covers any practical k while capping cache memory at
+// vecRowCacheCap·n·4 bytes.
+const vecRowCacheCap = 64
+
+// rowCache memoizes computed distance rows keyed by point index, bounded by
+// FIFO eviction. Safe for concurrent use; hits hand out shared immutable
+// rows (callers must not mutate them).
+type rowCache struct {
+	mu           sync.Mutex
+	rows         map[int][]float32
+	order        []int // insertion order for FIFO eviction
+	cap          int
+	hits, misses int64
+}
+
+func newRowCache(capacity int) *rowCache {
+	return &rowCache{rows: make(map[int][]float32, capacity), cap: capacity}
+}
+
+// get returns the cached row for u, or nil.
+func (c *rowCache) get(u int) []float32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	row := c.rows[u]
+	if row != nil {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return row
+}
+
+// put stores u's row, evicting the oldest entry at capacity.
+func (c *rowCache) put(u int, row []float32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.rows[u]; ok {
+		return
+	}
+	if len(c.order) >= c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.rows, oldest)
+	}
+	c.rows[u] = row
+	c.order = append(c.order, u)
+}
+
+// reset drops every entry (mutation invalidates point indexing).
+func (c *rowCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.rows)
+	c.order = c.order[:0]
+}
+
+// counters returns lifetime hit/miss counts.
+func (c *rowCache) counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// vecData is the shared storage of a VecStore and its snapshots: flat
+// vectors (float32 or int8-quantized), per-item norms, and item count. Rows
+// i live at flat[i·dim : (i+1)·dim]; storage is append-only between
+// copy-on-write points, so snapshots holding their own (slice-header, n)
+// views stay immutable under later appends.
+type vecData struct {
+	dim   int
+	n     int
+	f32   []float32 // KindVecF32: flat n×dim coordinates
+	q8    []int8    // KindVecInt8: flat n×dim quantized coordinates
+	scale []float32 // KindVecInt8: per-item dequantization scale (q·scale ≈ v)
+	norm  []float32 // per-item vector norm (of the stored representation)
+}
+
+// Len returns the number of live points.
+func (d *vecData) Len() int { return d.n }
+
+// cosine returns the cosine similarity of points i and j from the stored
+// representation. For int8 the per-item scale cancels out of the ratio, so
+// the integer dot over quantized coordinates is exact up to the quantization
+// itself.
+func (d *vecData) cosine(i, j int) float64 {
+	ni, nj := d.norm[i], d.norm[j]
+	if ni == 0 || nj == 0 {
+		return 0
+	}
+	var s float64
+	if d.f32 != nil {
+		s = float64(dotF32(d.f32[i*d.dim:(i+1)*d.dim], d.f32[j*d.dim:(j+1)*d.dim]))
+	} else {
+		s = float64(dotI8(d.q8[i*d.dim:(i+1)*d.dim], d.q8[j*d.dim:(j+1)*d.dim]))
+	}
+	s /= float64(ni) * float64(nj)
+	if s > 1 {
+		s = 1
+	} else if s < -1 {
+		s = -1
+	}
+	return s
+}
+
+// Distance returns the cosine distance 1 − cos(i, j), computed on demand
+// from the stored vectors — no pairwise storage exists to look it up in.
+func (d *vecData) Distance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return 1 - d.cosine(i, j)
+}
+
+// cosineRow streams the whole flat array once to fill dst[v] = d(u, v) for
+// every v — the compute-on-demand analogue of reading a stored triangular
+// row. One pass over n·d contiguous coordinates with u's vector cache-hot.
+func (d *vecData) cosineRow(u int, dst []float32) {
+	dst = dst[:d.n]
+	nu := d.norm[u]
+	if nu == 0 {
+		for v := range dst {
+			dst[v] = 1
+		}
+		dst[u] = 0
+		return
+	}
+	// Divide and clamp in float64 exactly as Distance does, so the cached
+	// row is bit-for-bit float32(Distance(u, v)) — the two read paths can
+	// never disagree beyond the one float32 store rounding.
+	if d.f32 != nil {
+		a := d.f32[u*d.dim : (u+1)*d.dim]
+		for v := range dst {
+			nv := d.norm[v]
+			if nv == 0 {
+				dst[v] = 1
+				continue
+			}
+			s := float64(dotF32(a, d.f32[v*d.dim:(v+1)*d.dim])) / (float64(nu) * float64(nv))
+			if s > 1 {
+				s = 1
+			} else if s < -1 {
+				s = -1
+			}
+			dst[v] = float32(1 - s)
+		}
+	} else {
+		a := d.q8[u*d.dim : (u+1)*d.dim]
+		for v := range dst {
+			nv := d.norm[v]
+			if nv == 0 {
+				dst[v] = 1
+				continue
+			}
+			s := float64(dotI8(a, d.q8[v*d.dim:(v+1)*d.dim])) / (float64(nu) * float64(nv))
+			if s > 1 {
+				s = 1
+			} else if s < -1 {
+				s = -1
+			}
+			dst[v] = float32(1 - s)
+		}
+	}
+	dst[u] = 0
+}
+
+// dotI8 returns Σ a_k·b_k over int8 coordinates, accumulated in int32 (a
+// dim-64k vector of ±127 products stays far from overflow).
+func dotI8(a, b []int8) float32 {
+	var s int32
+	b = b[:len(a)]
+	for k, x := range a {
+		s += int32(x) * int32(b[k])
+	}
+	return float32(s)
+}
+
+// VecStore is the compute-on-demand vector backend: it stores only the item
+// vectors — flat float32 (KindVecF32, n·d·4 bytes) or int8-quantized with a
+// per-item scale (KindVecInt8, n·(d+4) bytes) — and computes cosine
+// distances on the fly, so resident memory is O(n·d) instead of the O(n²/2)
+// every triangular backend pays. It implements the same Growable/Snapshotter
+// contract as Tri, with two differences callers must know:
+//
+//   - Inserts are vector-native: AppendVector is O(d). AppendRow (the
+//     distance-row insert of the triangular contract) fails by construction —
+//     a distance row cannot be inverted back into a vector.
+//   - AccumulateRow, the solvers' hot row fold, costs O(n·d) compute per
+//     call instead of an O(n) stored-row stream. A bounded row cache
+//     (vecRowCacheCap rows, FIFO) absorbs the repeated folds of
+//     local-search swap scans, which touch the same k solution rows over
+//     and over.
+//
+// RemoveSwap moves the last vector into the deleted slot (copy-on-write when
+// a snapshot shares the storage) — O(d), no permutation, no compaction debt.
+// Snapshot is O(1): storage is append-only between copy-on-write points, so
+// a snapshot is a (slice header, n) view plus a private row cache.
+type VecStore struct {
+	vecData
+	kind   string
+	shared bool // flat/norm/scale arrays shared with a snapshot
+	cache  *rowCache
+}
+
+// NewVecStore returns an empty vector backend of the given kind (KindVecF32
+// or KindVecInt8). The vector dimension is fixed by the first non-empty
+// AppendVector.
+func NewVecStore(kind string) (*VecStore, error) {
+	switch kind {
+	case KindVecF32, KindVecInt8:
+		return &VecStore{kind: kind, cache: newRowCache(vecRowCacheCap)}, nil
+	default:
+		return nil, fmt.Errorf("metric: unknown vector backend kind %q (want %q or %q)", kind, KindVecF32, KindVecInt8)
+	}
+}
+
+// NewVecStoreFromVectors bulk-loads a vector backend; empty slots take the
+// zero-vector convention.
+func NewVecStoreFromVectors(kind string, vecs [][]float64) (*VecStore, error) {
+	s, err := NewVecStore(kind)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vecs {
+		if _, err := s.AppendVector(v); err != nil {
+			return nil, fmt.Errorf("metric: vector %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// Kind names the backend representation.
+func (s *VecStore) Kind() string { return s.kind }
+
+// Dim returns the fixed vector dimension (0 until the first non-empty
+// append).
+func (s *VecStore) Dim() int { return s.dim }
+
+// Bytes approximates resident storage: the flat vectors, per-item norms and
+// scales, and the row cache's memoized rows. There is no n² term — that is
+// the point.
+func (s *VecStore) Bytes() int64 {
+	b := int64(len(s.f32))*4 + int64(len(s.q8)) + int64(len(s.scale))*4 + int64(len(s.norm))*4
+	if s.cache != nil {
+		s.cache.mu.Lock()
+		for _, row := range s.cache.rows {
+			b += int64(len(row)) * 4
+		}
+		s.cache.mu.Unlock()
+	}
+	return b
+}
+
+// RowCacheCounters returns the solution-row cache's lifetime hit/miss
+// counts (introspection; the public API surfaces them).
+func (s *VecStore) RowCacheCounters() (hits, misses int64) {
+	return s.cache.counters()
+}
+
+// AppendVector grows the backend by one point in O(d): the vector is stored
+// (quantized for KindVecInt8) and its norm precomputed; no distances are
+// materialized. The first non-empty vector fixes the dimension.
+func (s *VecStore) AppendVector(vec []float64) (int, error) {
+	for k, x := range vec {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("metric: AppendVector: coordinate %d is %g", k, x)
+		}
+	}
+	if s.dim == 0 && len(vec) > 0 {
+		if s.n > 0 {
+			// Dimensionless points exist already (appended as empty vectors
+			// before any dimension was known); they stay zero vectors.
+			return 0, fmt.Errorf("metric: AppendVector: dim %d after %d dimensionless points", len(vec), s.n)
+		}
+		s.dim = len(vec)
+	}
+	if len(vec) != 0 && len(vec) != s.dim {
+		return 0, fmt.Errorf("metric: AppendVector: dim %d, backend uses %d", len(vec), s.dim)
+	}
+	// Appends write past every snapshot's view (or relocate the array), so
+	// no copy-on-write is needed here.
+	switch s.kind {
+	case KindVecF32:
+		row := make([]float32, s.dim)
+		var sum float64
+		for k, x := range vec {
+			f := float32(x)
+			row[k] = f
+			sum += float64(f) * float64(f)
+		}
+		s.f32 = append(s.f32, row...)
+		s.norm = append(s.norm, float32(math.Sqrt(sum)))
+	case KindVecInt8:
+		row := make([]int8, s.dim)
+		var maxAbs float64
+		for _, x := range vec {
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := float32(0)
+		if maxAbs > 0 {
+			sc := maxAbs / 127
+			scale = float32(sc)
+			for k, x := range vec {
+				row[k] = int8(math.RoundToEven(x / sc))
+			}
+		}
+		var sum int64
+		for _, q := range row {
+			sum += int64(q) * int64(q)
+		}
+		s.q8 = append(s.q8, row...)
+		s.scale = append(s.scale, scale)
+		s.norm = append(s.norm, float32(math.Sqrt(float64(sum))))
+	}
+	s.n++
+	s.cache.reset()
+	return s.n - 1, nil
+}
+
+// AppendRow is the triangular contract's distance-row insert; a vector
+// backend cannot honor it (a row of distances does not determine a vector),
+// so it always fails. Callers growing a VecStore use AppendVector.
+func (s *VecStore) AppendRow(dists []float64) (int, error) {
+	return 0, fmt.Errorf("metric: %s is vector-native: use AppendVector, not AppendRow", s.kind)
+}
+
+// RemoveSwap deletes point u by moving the last point's vector into its slot
+// — O(d) coordinate traffic, no permutation or compaction. Copy-on-write
+// protects snapshots sharing the storage.
+func (s *VecStore) RemoveSwap(u int) error {
+	if u < 0 || u >= s.n {
+		return fmt.Errorf("metric: RemoveSwap(%d): out of range [0,%d)", u, s.n)
+	}
+	s.mutable()
+	last := s.n - 1
+	if u != last {
+		if s.f32 != nil {
+			copy(s.f32[u*s.dim:(u+1)*s.dim], s.f32[last*s.dim:(last+1)*s.dim])
+		}
+		if s.q8 != nil {
+			copy(s.q8[u*s.dim:(u+1)*s.dim], s.q8[last*s.dim:(last+1)*s.dim])
+			s.scale[u] = s.scale[last]
+		}
+		s.norm[u] = s.norm[last]
+	}
+	if s.f32 != nil {
+		s.f32 = s.f32[:last*s.dim]
+	}
+	if s.q8 != nil {
+		s.q8 = s.q8[:last*s.dim]
+		s.scale = s.scale[:last]
+	}
+	s.norm = s.norm[:last]
+	s.n = last
+	if s.n == 0 {
+		s.dim = 0
+		s.f32, s.q8, s.scale, s.norm = nil, nil, nil, nil
+	}
+	s.cache.reset()
+	return nil
+}
+
+// mutable copies the backing arrays if a snapshot shares them, so in-place
+// writes below a snapshot's view cannot corrupt it.
+func (s *VecStore) mutable() {
+	if !s.shared {
+		return
+	}
+	if s.f32 != nil {
+		s.f32 = append(make([]float32, 0, cap(s.f32)), s.f32...)
+	}
+	if s.q8 != nil {
+		s.q8 = append(make([]int8, 0, cap(s.q8)), s.q8...)
+		s.scale = append(make([]float32, 0, cap(s.scale)), s.scale...)
+	}
+	s.norm = append(make([]float32, 0, cap(s.norm)), s.norm...)
+	s.shared = false
+}
+
+// AccumulateRow adds sign·d(u, v) to dst[v] for every v, computing the row
+// from vectors. The bounded row cache memoizes computed rows, so the
+// repeated folds of a local-search swap scan (the k solution rows, in and
+// out every scan) cost one computation each, not one per fold.
+func (s *VecStore) AccumulateRow(u int, sign float64, dst []float64) {
+	accumulateVecRow(&s.vecData, s.cache, u, sign, dst)
+}
+
+// accumulateVecRow is the shared fold of VecStore and its snapshots.
+func accumulateVecRow(d *vecData, cache *rowCache, u int, sign float64, dst []float64) {
+	row := cache.get(u)
+	if row == nil {
+		row = make([]float32, d.n)
+		d.cosineRow(u, row)
+		cache.put(u, row)
+	}
+	dst = dst[:len(row)]
+	switch sign {
+	case 1:
+		for v, x := range row {
+			dst[v] += float64(x)
+		}
+	case -1:
+		for v, x := range row {
+			dst[v] -= float64(x)
+		}
+	default:
+		for v, x := range row {
+			dst[v] += sign * float64(x)
+		}
+	}
+}
+
+// Snapshot publishes an immutable view of the current state in O(1): the
+// flat storage is shared (copy-on-write protected against later removals)
+// and the view keeps its own length, so appends never disturb it. Each
+// snapshot gets a private row cache — its indexing is frozen, so cached rows
+// never invalidate.
+func (s *VecStore) Snapshot() Snapshot {
+	s.shared = true
+	return &vecSnap{
+		vecData: s.vecData,
+		kind:    s.kind,
+		bytes:   int64(len(s.f32))*4 + int64(len(s.q8)) + int64(len(s.scale))*4 + int64(len(s.norm))*4,
+		cache:   newRowCache(vecRowCacheCap),
+	}
+}
+
+// vecSnap is the immutable view Snapshot returns: the same compute-on-demand
+// read path over a frozen (slice header, n) view of the vector storage.
+type vecSnap struct {
+	vecData
+	kind  string
+	bytes int64
+	cache *rowCache
+}
+
+// Kind names the backend representation this view reads.
+func (s *vecSnap) Kind() string { return s.kind }
+
+// Bytes approximates the resident bytes this view keeps alive (the vector
+// storage; the row cache rebuilds per snapshot and is excluded so epoch
+// accounting stays stable across query churn).
+func (s *vecSnap) Bytes() int64 { return s.bytes }
+
+// AccumulateRow folds row u through the snapshot's private cache.
+func (s *vecSnap) AccumulateRow(u int, sign float64, dst []float64) {
+	accumulateVecRow(&s.vecData, s.cache, u, sign, dst)
+}
+
+var (
+	_ Snapshotter    = (*VecStore)(nil)
+	_ VectorAppender = (*VecStore)(nil)
+	_ Snapshot       = (*vecSnap)(nil)
+)

@@ -31,10 +31,12 @@ import (
 //     never change what that solve observes.
 //
 // The backend representation is pluggable (Config.Backend): float64 rows
-// for bit-exact distances, or float32 rows for half the resident bytes —
-// either way the query path constructs zero distance backends, however many
-// queries run and whatever λ, k, or algorithm each one carries
-// (metric.Constructions stays flat).
+// for bit-exact distances, float32 rows for half the resident bytes, or the
+// vector-native kinds (vec-f32, vec-int8) that keep only the raw vectors
+// resident and compute cosine distances on demand — either way the query
+// path constructs zero distance backends, however many queries run and
+// whatever λ, k, or algorithm each one carries (metric.Constructions stays
+// flat).
 type corpus struct {
 	mu      sync.Mutex     // guards the build state; writers never wait on readers
 	ids     map[string]int // live id → corpus index
@@ -117,11 +119,20 @@ func (c *corpus) upsertLocked(o op) error {
 		// bounded — no full rebuild can fire inside this flush.
 		c.deleteLocked(o.id)
 	}
-	dists := make([]float64, len(c.items))
-	for j := range c.items {
-		dists[j] = metric.CosineDist(o.vector, c.items[j].vector)
+	var idx int
+	var err error
+	if va, ok := c.dist.(metric.VectorAppender); ok {
+		// Vector-native insert: O(d) — the backend stores the vector and
+		// computes distances on demand, so no O(n·d) row of cosine
+		// distances is ever materialized.
+		idx, err = va.AppendVector(o.vector)
+	} else {
+		dists := make([]float64, len(c.items))
+		for j := range c.items {
+			dists[j] = metric.CosineDist(o.vector, c.items[j].vector)
+		}
+		idx, err = c.dist.AppendRow(dists)
 	}
-	idx, err := c.dist.AppendRow(dists)
 	if err != nil {
 		return fmt.Errorf("server: corpus insert %q: %w", o.id, err)
 	}
@@ -225,7 +236,8 @@ func (c *corpus) size() int {
 // queriesServed returns how many solves the corpus has answered.
 func (c *corpus) queriesServed() uint64 { return c.queries.Load() }
 
-// backendKind names the distance representation ("f64", "f32").
+// backendKind names the distance representation ("f64", "f32", "vec-f32",
+// "vec-int8").
 func (c *corpus) backendKind() string { return c.dist.Kind() }
 
 // residentBytes approximates resident distance bytes: the build backend

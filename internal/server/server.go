@@ -39,18 +39,58 @@ type badRequestError struct{ err error }
 func (e badRequestError) Error() string { return e.err.Error() }
 func (e badRequestError) Unwrap() error { return e.err }
 
-// Backend selects the corpus's growable distance representation.
-type Backend string
+// BackendKind selects the corpus's growable distance representation. The
+// enum values are exactly the metric kind strings the backends report, so
+// flag parsing (cmd/serve -backend), Config validation, and /stats reporting
+// all share one vocabulary — a kind read back from /stats can be fed
+// straight into -backend.
+type BackendKind string
+
+// Backend is the original name of BackendKind, kept as an alias so existing
+// Config literals and the bench suite keep compiling.
+type Backend = BackendKind
 
 const (
 	// BackendF64 stores exact float64 triangular rows (the default).
-	BackendF64 Backend = Backend(metric.KindF64)
+	BackendF64 BackendKind = BackendKind(metric.KindF64)
 	// BackendF32 stores float32 triangular rows: half the resident bytes of
 	// BackendF64 with ~1e-7 relative rounding, the same O(1) lookups, and
 	// the same O(n) row folds — the representation that lets corpora twice
 	// as large fit the same memory budget.
-	BackendF32 Backend = Backend(metric.KindF32)
+	BackendF32 BackendKind = BackendKind(metric.KindF32)
+	// BackendVecF32 stores no pairwise distances at all: flat float32 item
+	// vectors (n·d·4 resident bytes instead of O(n²/2)) with cosine
+	// distances computed on demand — the representation for corpora past
+	// the point where any triangle fits. Items must carry vectors, and the
+	// "maintained" query scope is unavailable (per-shard dynamic sessions
+	// would reintroduce the quadratic storage the backend exists to avoid).
+	BackendVecF32 BackendKind = BackendKind(metric.KindVecF32)
+	// BackendVecInt8 is BackendVecF32 with int8-quantized vectors and one
+	// float32 scale per item (n·(d+4) bytes, ~4× smaller again); cosine
+	// error is bounded by coordinate rounding, O(√d/127) absolute.
+	BackendVecInt8 BackendKind = BackendKind(metric.KindVecInt8)
 )
+
+// ParseBackendKind validates a backend name from a flag or config file.
+// Empty selects the default (BackendF64).
+func ParseBackendKind(s string) (BackendKind, error) {
+	switch k := BackendKind(s); k {
+	case "":
+		return BackendF64, nil
+	case BackendF64, BackendF32, BackendVecF32, BackendVecInt8:
+		return k, nil
+	default:
+		return "", fmt.Errorf("server: unknown backend %q (want %s, %s, %s or %s)",
+			s, BackendF64, BackendF32, BackendVecF32, BackendVecInt8)
+	}
+}
+
+// vectorNative reports whether the kind stores vectors instead of pairwise
+// distances (and therefore requires item vectors and disables the
+// maintained scope).
+func (k BackendKind) vectorNative() bool {
+	return k == BackendVecF32 || k == BackendVecInt8
+}
 
 // Config parameterizes a Server. The zero value is usable: sizing fields
 // get production-lean defaults, and Lambda 0 selects on quality alone.
@@ -85,10 +125,15 @@ type Config struct {
 	SolveDelay time.Duration
 	// Backend selects the corpus's distance representation: BackendF64
 	// (default) for exact float64 rows, BackendF32 for half the resident
-	// bytes. Empty defers to Float32.
-	Backend Backend
-	// Float32 selects BackendF32; it is the pre-Backend spelling of the
-	// same choice and may not contradict a non-empty Backend.
+	// bytes, or BackendVecF32 / BackendVecInt8 to store only item vectors
+	// (O(n·d) resident bytes) and compute cosine distances on demand.
+	// Empty defers to Float32.
+	Backend BackendKind
+	// Float32 selects BackendF32.
+	//
+	// Deprecated: set Backend to BackendF32 instead. Float32 predates the
+	// backend enum, survives only for config compatibility, and may not
+	// contradict a non-empty Backend.
 	Float32 bool
 	// Batch caps how many concurrent full-scope queries one batched solve
 	// may serve: in-flight queries that pin the same epoch with a compatible
@@ -169,6 +214,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Float32 && cfg.Backend != "" && cfg.Backend != BackendF32 {
 		return nil, fmt.Errorf("server: Float32 conflicts with Backend %q", cfg.Backend)
 	}
+	if _, err := ParseBackendKind(string(cfg.Backend)); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if cfg.Lambda < 0 || math.IsNaN(cfg.Lambda) || math.IsInf(cfg.Lambda, 0) {
 		return nil, fmt.Errorf("server: lambda = %g, want finite ≥ 0", cfg.Lambda)
@@ -189,8 +237,13 @@ func New(cfg Config) (*Server, error) {
 		seed:   maphash.MakeSeed(),
 		start:  time.Now(),
 	}
+	// Vector backends run maintenance-free shards: a per-shard dynamic
+	// session keeps an O(n_shard²) dense distance matrix, which would
+	// reintroduce exactly the quadratic residency the vector backend
+	// removes. The maintained query scope is rejected up front instead.
+	maintain := !cfg.Backend.vectorNative()
 	for i := range s.shards {
-		sh, err := newShard(cfg.Lambda, cfg.MaintainK, cfg.Parallelism, s.corpus.apply)
+		sh, err := newShard(cfg.Lambda, cfg.MaintainK, cfg.Parallelism, s.corpus.apply, maintain)
 		if err != nil {
 			return nil, err
 		}
@@ -213,6 +266,12 @@ func (s *Server) checkDims(batch []ItemPayload) error {
 	defer s.dimMu.Unlock()
 	for _, it := range batch {
 		if len(it.Vector) == 0 {
+			// A vector backend has nothing to store for a vectorless item —
+			// and accepting one would freeze the corpus dimensionless,
+			// failing every later vector insert. Reject up front.
+			if s.cfg.Backend.vectorNative() {
+				return fmt.Errorf("item %q: backend %s requires a vector", it.ID, s.cfg.Backend)
+			}
 			continue
 		}
 		if s.dim == 0 {
@@ -549,6 +608,10 @@ func (s *Server) Diversify(ctx context.Context, req DiversifyRequest) (*Diversif
 		}
 	}
 	maintained := req.Scope == "maintained"
+	if maintained && s.cfg.Backend.vectorNative() {
+		return nil, badRequestError{fmt.Errorf(
+			"scope maintained is unavailable on backend %s (vector backends run maintenance-free shards); use scope full", s.cfg.Backend)}
+	}
 	errs := make([]error, len(s.shards))
 	maintainedIDs := make([][]string, len(s.shards))
 	s.pool.Do(len(s.shards), func(i int) {
@@ -653,8 +716,10 @@ func (s *Server) Stats() Stats {
 			Flushes: sh.flushes,
 			Swaps:   sh.swaps,
 		}
-		members := sh.sess.Members()
-		row.MaintainedSize, row.MaintainedValue = len(members), sh.sess.Value()
+		if sh.sess != nil {
+			members := sh.sess.Members()
+			row.MaintainedSize, row.MaintainedValue = len(members), sh.sess.Value()
+		}
 		sh.mu.Unlock()
 		st.Shards[i] = row
 	}

@@ -47,7 +47,12 @@ type shard struct {
 	mu    sync.Mutex
 	ids   map[string]int // live id → index into items
 	items []item
-	sess  *dynamic.Session
+	// sess is the fully dynamic maintained-selection session — nil for
+	// maintenance-free shards (vector backends), where its O(n_shard²)
+	// dense distance matrix would defeat the backend's O(n·d) residency.
+	// With sess nil the shard is pure bookkeeping: queue coalescing, live
+	// counts, and write-through to the corpus.
+	sess *dynamic.Session
 
 	// onApply, when non-nil, receives every successfully applied mutation
 	// during a flush (called under mu).
@@ -64,8 +69,18 @@ type shard struct {
 }
 
 // newShard builds an empty shard maintaining a selection of target size p.
-// onApply (optional) write-through hook for flushed mutations.
-func newShard(lambda float64, p, parallelism int, onApply func(op) error) (*shard, error) {
+// onApply (optional) write-through hook for flushed mutations. maintain
+// false skips the dynamic session entirely (no maintained selection, no
+// per-shard distance matrix) — the mode vector backends run in.
+func newShard(lambda float64, p, parallelism int, onApply func(op) error, maintain bool) (*shard, error) {
+	sh := &shard{
+		ids:        make(map[string]int),
+		pendingIdx: make(map[string]int),
+		onApply:    onApply,
+	}
+	if !maintain {
+		return sh, nil
+	}
 	inst := &dataset.Instance{Weights: nil, Dist: metric.NewDense(0)}
 	sess, err := dynamic.NewSession(inst, lambda, nil)
 	if err != nil {
@@ -75,12 +90,8 @@ func newShard(lambda float64, p, parallelism int, onApply func(op) error) (*shar
 		return nil, err
 	}
 	sess.SetParallelism(parallelism)
-	return &shard{
-		ids:        make(map[string]int),
-		pendingIdx: make(map[string]int),
-		sess:       sess,
-		onApply:    onApply,
-	}, nil
+	sh.sess = sess
+	return sh, nil
 }
 
 // enqueue records a mutation, coalescing by item ID: the newest op for an ID
@@ -166,6 +177,9 @@ func (sh *shard) flushLocked() (swaps int, err error) {
 	sh.pendingIdx = make(map[string]int)
 	sh.liveDelta = 0
 	sh.flushes++
+	if sh.sess == nil {
+		return 0, nil
+	}
 	// Maintenance: the paper prescribes per-perturbation update counts; a
 	// batch of mixed churn converges by iterating the same oblivious rule
 	// until no single swap improves, capped defensively.
@@ -189,6 +203,11 @@ func (sh *shard) applyUpsert(o op) error {
 			if sh.items[idx].weight == o.weight {
 				return nil
 			}
+			if sh.sess == nil {
+				sh.items[idx].weight = o.weight
+				sh.updates++
+				return nil
+			}
 			prev := sh.sess.Value()
 			pert, err := sh.sess.SetWeight(idx, o.weight)
 			if err != nil {
@@ -205,13 +224,17 @@ func (sh *shard) applyUpsert(o op) error {
 		sh.applyDelete(o.id)
 		// fall through to insert with the new vector
 	}
-	dists := make([]float64, len(sh.items))
-	for j := range sh.items {
-		dists[j] = metric.CosineDist(o.vector, sh.items[j].vector)
-	}
-	idx, err := sh.sess.InsertElement(o.weight, dists)
-	if err != nil {
-		return fmt.Errorf("server: insert %q: %w", o.id, err)
+	idx := len(sh.items)
+	if sh.sess != nil {
+		dists := make([]float64, len(sh.items))
+		for j := range sh.items {
+			dists[j] = metric.CosineDist(o.vector, sh.items[j].vector)
+		}
+		var err error
+		idx, err = sh.sess.InsertElement(o.weight, dists)
+		if err != nil {
+			return fmt.Errorf("server: insert %q: %w", o.id, err)
+		}
 	}
 	sh.items = append(sh.items, item{id: o.id, weight: o.weight, vector: o.vector})
 	sh.ids[o.id] = idx
@@ -228,8 +251,10 @@ func (sh *shard) applyDelete(id string) {
 	if !live {
 		return
 	}
-	if _, err := sh.sess.DeleteElement(idx); err != nil {
-		return // index validated via ids map; unreachable
+	if sh.sess != nil {
+		if _, err := sh.sess.DeleteElement(idx); err != nil {
+			return // index validated via ids map; unreachable
+		}
 	}
 	last := len(sh.items) - 1
 	if idx != last {
@@ -247,6 +272,9 @@ func (sh *shard) applyDelete(id string) {
 func (sh *shard) maintainedIDs() ([]string, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.sess == nil {
+		return nil, fmt.Errorf("server: shard runs maintenance-free (vector backend); maintained scope unavailable")
+	}
 	if _, err := sh.flushLocked(); err != nil {
 		return nil, err
 	}

@@ -101,7 +101,9 @@ type ShardStats struct {
 type CorpusStats struct {
 	Items   int    `json:"items"`
 	Queries uint64 `json:"queries"`
-	// Backend is the distance representation kind ("f64", "f32").
+	// Backend is the distance representation kind ("f64", "f32", "vec-f32",
+	// "vec-int8"). The value round-trips through ParseBackendKind, so a
+	// deployment can feed it straight back into serve's -backend flag.
 	Backend string `json:"backend"`
 	// Epoch counts published immutable corpus generations.
 	Epoch uint64 `json:"epoch"`

@@ -82,6 +82,23 @@
 // all of it into a machine-readable report that CI gates against the
 // committed baseline (see README "Performance").
 //
+// # Vector backends and candidate generation
+//
+// Every materialized backend stores O(n²) pairwise distances, which stops
+// fitting in memory long before "millions of items". The vector-native path
+// removes the quadratic term end to end: NewVectorIndex (or NewIndex with
+// WithVectorBackendF32 / WithVectorBackendInt8) keeps only the item vectors
+// — n·d·4 bytes as float32, or n·(d+4) int8-quantized — and computes cosine
+// distances on demand, and Query.Candidates = CandidatesPreFiltered
+// restricts each solve to a random-projection candidate subset
+// (Query.CandidateTarget sizes it) so scan work is O(candidates·k) rather
+// than O(n·k). Exact-scan queries remain the default everywhere; the
+// pre-filter is opt-in per query and measured by the bench suite's
+// accuracy-vs-exact-scan probe. Index.BackendKind reports which backend a
+// corpus actually runs on, and Index.VectorRowCacheStats exposes the vector
+// backends' bounded solution-row cache counters, mirroring
+// DistanceCacheStats for the lazy backend.
+//
 // The ground set is fully dynamic: Dynamic.Insert and Dynamic.Delete grow
 // and shrink the live item set while the maintained selection keeps
 // absorbing oblivious updates. cmd/serve exposes the whole library as a
@@ -140,6 +157,7 @@ type problemCfg struct {
 	validate    bool
 	lazy        bool
 	float32     bool
+	vecKind     string // metric.KindVecF32 / KindVecInt8; "" = materialized
 	parallelism int
 }
 
@@ -256,6 +274,34 @@ func WithFloat32() Option {
 	return func(c *problemCfg) { c.float32 = true }
 }
 
+// WithVectorBackendF32 stores only the item vectors as flat float32
+// (n·d·4 bytes) and computes cosine distances on demand, instead of
+// materializing any O(n²) pairwise structure — the backend that takes an
+// Index past the point where a distance matrix can fit in memory. Distances
+// match the float64 reference within ~1e-6 absolute (see
+// metric.CosineDist's precision contract); a bounded solution-row cache
+// keeps local search's hot row folds from recomputing.
+//
+// Vector backends compute the cosine distance only: combining with a
+// non-cosine distance option, WithDistanceMatrix, WithDistanceFunc,
+// WithLazyDistances, or WithFloat32 fails with ErrBackendConflict, and every
+// item must carry a vector. Queries at large n usually pair this with
+// Query.Candidates = CandidatesPreFiltered so scans touch O(candidates·k)
+// work instead of O(n·k).
+func WithVectorBackendF32() Option {
+	return func(c *problemCfg) { c.vecKind = metric.KindVecF32 }
+}
+
+// WithVectorBackendInt8 is WithVectorBackendF32 with int8-quantized vectors
+// (one float32 scale per item, n·(d+4) bytes — ~4× smaller again). The
+// per-item scale cancels out of cosine similarity, so the additional error
+// is only coordinate rounding: O(√d/127) absolute on the distance, which
+// selection tolerates at typical dimensions. Same option conflicts as
+// WithVectorBackendF32.
+func WithVectorBackendInt8() Option {
+	return func(c *problemCfg) { c.vecKind = metric.KindVecInt8 }
+}
+
 // WithMetricValidation makes NewIndex verify the triangle inequality over
 // all triples (O(n³); intended for tests and small instances). Construction
 // fails with a descriptive error when the distance is not a metric.
@@ -290,6 +336,26 @@ func buildMetric(items []Item, cfg *problemCfg) (metric.Metric, error) {
 		} else {
 			return nil, fmt.Errorf("%w: supply WithDistanceMatrix or WithDistanceFunc", ErrNoVectors)
 		}
+	}
+	if cfg.vecKind != "" {
+		if cfg.lazy || cfg.float32 {
+			return nil, fmt.Errorf("%w: pick one backend", ErrBackendConflict)
+		}
+		if choice != distCosine {
+			return nil, fmt.Errorf("%w: vector backends compute the cosine distance only", ErrBackendConflict)
+		}
+		vecs := make([][]float64, len(items))
+		for i, it := range items {
+			if len(it.Vector) == 0 {
+				return nil, fmt.Errorf("%w: item %q has no vector but a vector backend was requested", ErrNoVectors, it.ID)
+			}
+			vecs[i] = it.Vector
+		}
+		vs, err := metric.NewVecStoreFromVectors(cfg.vecKind, vecs)
+		if err != nil {
+			return nil, fmt.Errorf("maxsumdiv: %w", err)
+		}
+		return vs, nil
 	}
 	// prep converts a computed metric to its lookup form: a dense matrix by
 	// default; under WithFloat32, the blocked flat-row float32 matrix; under

@@ -3,10 +3,14 @@ package maxsumdiv
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
+	"maxsumdiv/internal/candidate"
 	"maxsumdiv/internal/core"
 	"maxsumdiv/internal/engine"
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/setfunc"
 )
 
 // Query parameterizes one solve against an Index. Everything the paper's
@@ -53,6 +57,20 @@ type Query struct {
 	// Prefer a context deadline: it also covers the greedy and exact
 	// solvers.
 	TimeBudget time.Duration
+	// Candidates selects the scan scope: CandidatesExact (the default)
+	// considers every item; CandidatesPreFiltered first reduces the ground
+	// set to a random-projection candidate subset (diverse directions plus
+	// the globally heaviest items) and solves over it — O(candidates·k)
+	// scan work instead of O(n·k), the mode that keeps per-query cost
+	// sublinear on vector-backend corpora. Pre-filtered queries need item
+	// vectors and the default modular quality, and reject matroid
+	// constraints (ErrCandidateFilter); solutions index into the full item
+	// list as usual.
+	Candidates CandidateMode
+	// CandidateTarget overrides the pre-filter's candidate count; 0 applies
+	// the default heuristic max(512, 64·K) capped at Len(). Larger targets
+	// trade scan time for accuracy; targets below K are raised to K.
+	CandidateTarget int
 	// Parallelism overrides the scan-worker count for this query: 0 (the
 	// default) reuses the index's cached pool, 1 forces a serial solve,
 	// any other value selects that many workers (< 0 = GOMAXPROCS). The
@@ -65,9 +83,41 @@ type Query struct {
 	ClampK bool
 }
 
+// CandidateMode selects how much of the ground set a query scans.
+type CandidateMode int
+
+const (
+	// CandidatesExact scans every item — the default, and the only mode
+	// that preserves the solvers' approximation guarantees exactly.
+	CandidatesExact CandidateMode = iota
+	// CandidatesPreFiltered scans a random-projection candidate subset;
+	// see Query.Candidates.
+	CandidatesPreFiltered
+)
+
 // Ptr returns a pointer to v — a literal-friendly way to set the optional
 // pointer fields of Query, e.g. Query{K: 10, Lambda: maxsumdiv.Ptr(0.5)}.
 func Ptr[T any](v T) *T { return &v }
+
+// coreAlgo maps the public Algorithm to the solver's enum.
+func coreAlgo(a Algorithm) (core.Algo, error) {
+	switch a {
+	case AlgorithmGreedy:
+		return core.AlgoGreedy, nil
+	case AlgorithmGreedyImproved:
+		return core.AlgoGreedyImproved, nil
+	case AlgorithmGollapudiSharma:
+		return core.AlgoGollapudiSharma, nil
+	case AlgorithmOblivious:
+		return core.AlgoOblivious, nil
+	case AlgorithmLocalSearch:
+		return core.AlgoLocalSearch, nil
+	case AlgorithmExact:
+		return core.AlgoExact, nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownAlgorithm, a)
+	}
+}
 
 // Query solves one query against the index. The heavy structure — the
 // distance backend, the worker pool, the solver scratch — is reused from
@@ -86,24 +136,16 @@ func (ix *Index) Query(ctx context.Context, q Query) (*Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if q.Candidates == CandidatesPreFiltered {
+		return ix.queryPreFiltered(ctx, q)
+	}
 	spec := core.Spec{Ctx: ctx}
 
-	switch q.Algorithm {
-	case AlgorithmGreedy:
-		spec.Algo = core.AlgoGreedy
-	case AlgorithmGreedyImproved:
-		spec.Algo = core.AlgoGreedyImproved
-	case AlgorithmGollapudiSharma:
-		spec.Algo = core.AlgoGollapudiSharma
-	case AlgorithmOblivious:
-		spec.Algo = core.AlgoOblivious
-	case AlgorithmLocalSearch:
-		spec.Algo = core.AlgoLocalSearch
-	case AlgorithmExact:
-		spec.Algo = core.AlgoExact
-	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownAlgorithm, q.Algorithm)
+	algo, err := coreAlgo(q.Algorithm)
+	if err != nil {
+		return nil, err
 	}
+	spec.Algo = algo
 
 	if q.Constraint != nil {
 		if spec.Algo != core.AlgoLocalSearch && spec.Algo != core.AlgoExact {
@@ -162,6 +204,116 @@ func (ix *Index) Query(ctx context.Context, q Query) (*Solution, error) {
 	sol, err := core.Solve(obj, spec)
 	if err != nil {
 		return nil, err
+	}
+	return ix.wrap(sol), nil
+}
+
+// queryPreFiltered solves a query over a random-projection candidate subset
+// instead of the full ground set: candidate.Select picks
+// max(512, 64·k)-ish indices (directionally spread, top weights always
+// included), the solve runs on an index-remapped view of the backend and
+// weights — no backend is built — and members map back to full-index
+// positions, so the returned Solution is indistinguishable in shape from an
+// exact-scan one. Query.Init members are unioned into the candidate set, so
+// warm-starting local search from a previous solution never loses members
+// to the filter.
+func (ix *Index) queryPreFiltered(ctx context.Context, q Query) (*Solution, error) {
+	algo, err := coreAlgo(q.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	if q.Constraint != nil {
+		return nil, fmt.Errorf("%w: matroid constraints need the exact scan", ErrCandidateFilter)
+	}
+	if q.Quality != nil || ix.modular == nil {
+		return nil, fmt.Errorf("%w: custom quality functions need the exact scan", ErrCandidateFilter)
+	}
+	if ix.vecs == nil {
+		return nil, fmt.Errorf("%w: items carry no vectors", ErrCandidateFilter)
+	}
+	k := q.K
+	if q.ClampK && k > ix.Len() {
+		k = ix.Len()
+	}
+	if k < 0 || k > ix.Len() {
+		return nil, fmt.Errorf("%w: k = %d with %d items", ErrKOutOfRange, q.K, ix.Len())
+	}
+	target := q.CandidateTarget
+	if target > 0 && target < k {
+		target = k
+	}
+	cands := candidate.Select(ix.vecs, ix.modular.Weights(), k, candidate.Params{Target: target})
+	if len(q.Init) > 0 {
+		// Union Init into the candidate set, preserving sorted order.
+		have := make(map[int]bool, len(cands))
+		for _, c := range cands {
+			have[c] = true
+		}
+		extra := false
+		for _, u := range q.Init {
+			if u < 0 || u >= ix.Len() {
+				return nil, fmt.Errorf("maxsumdiv: init member %d out of range [0,%d)", u, ix.Len())
+			}
+			if !have[u] {
+				have[u] = true
+				cands = append(cands, u)
+				extra = true
+			}
+		}
+		if extra {
+			sort.Ints(cands)
+		}
+	}
+	m := len(cands)
+	subW := make([]float64, m)
+	for i, idx := range cands {
+		subW[i] = ix.modular.Weight(idx)
+	}
+	mod, err := setfunc.NewModular(subW)
+	if err != nil {
+		return nil, fmt.Errorf("maxsumdiv: %w", err)
+	}
+	view := metric.Func{N: m, F: func(i, j int) float64 {
+		return ix.dist.Distance(cands[i], cands[j])
+	}}
+	lambda := ix.lambda
+	if q.Lambda != nil {
+		lambda = *q.Lambda
+	}
+	obj, err := core.NewObjective(mod, lambda, view)
+	if err != nil {
+		return nil, wrapLambdaErr(err)
+	}
+	spec := core.Spec{Algo: algo, K: k, Ctx: ctx}
+	switch q.Parallelism {
+	case 0:
+		spec.Pool = ix.pool
+	case 1:
+		spec.Pool = nil
+	default:
+		spec.Pool = engine.New(q.Parallelism)
+	}
+	if len(q.Init) > 0 {
+		posOf := make(map[int]int, m)
+		for i, c := range cands {
+			posOf[c] = i
+		}
+		init := make([]int, len(q.Init))
+		for i, u := range q.Init {
+			init[i] = posOf[u]
+		}
+		spec.Init = init
+	}
+	spec.MaxSwaps = q.MaxSwaps
+	spec.MinGain, spec.RelEps = q.MinGain, q.RelEps
+	spec.TimeBudget = q.TimeBudget
+
+	sol, err := core.Solve(obj, spec)
+	if err != nil {
+		return nil, err
+	}
+	for i, mi := range sol.Members {
+		sol.Members[i] = cands[mi]
 	}
 	return ix.wrap(sol), nil
 }
