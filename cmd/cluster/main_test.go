@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"maxsumdiv/internal/cluster"
+	"maxsumdiv/internal/server"
+)
+
+// newTestMembers boots n in-process server instances and returns their
+// member configs.
+func newTestMembers(t *testing.T, n int) []cluster.MemberConfig {
+	t.Helper()
+	cfgs := make([]cluster.MemberConfig, n)
+	for i := range cfgs {
+		srv, err := server.New(server.Config{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		cfgs[i] = cluster.MemberConfig{Name: fmt.Sprintf("m%d", i), URL: ts.URL}
+	}
+	return cfgs
+}
+
+// TestClusterLifecycle boots the coordinator on an ephemeral port over two
+// live members, drives an insert + query round trip through it, then
+// cancels the context and expects a clean drain.
+func TestClusterLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cfg := cluster.Config{Members: newTestMembers(t, 2)}
+	pr, pw := newPipeWriter()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", cfg, 5*time.Second, pw)
+	}()
+
+	line, err := pr.line(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const marker = "http://"
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("no address in %q", line)
+	}
+	base := strings.Fields(line[i:])[0]
+
+	body := bytes.NewReader([]byte(`[{"id":"a","weight":1,"vector":[1,0]},{"id":"b","weight":0.5,"vector":[0,1]}]`))
+	resp, err := http.Post(base+"/items", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/diversify", "application/json", strings.NewReader(`{"k":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dres struct {
+		Items   []struct{ ID string } `json:"items"`
+		Partial bool                  `json:"partial"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dres); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	if len(dres.Items) != 2 || dres.Partial {
+		t.Fatalf("query returned %d items, partial=%v", len(dres.Items), dres.Partial)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator did not drain")
+	}
+}
+
+func TestBuildConfigMembersCSV(t *testing.T) {
+	cfg, err := buildConfig("http://a:1, http://b:2", "", 0, 0, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Members) != 2 {
+		t.Fatalf("got %d members", len(cfg.Members))
+	}
+	if cfg.Members[0].Name != "m0" || cfg.Members[1].URL != "http://b:2" {
+		t.Fatalf("bad members: %+v", cfg.Members)
+	}
+}
+
+func TestBuildConfigFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cluster.json")
+	data := `{"members":[{"name":"alpha","url":"http://a:1"}],"vnodes":16,"overfetch":1.5}`
+	if err := os.WriteFile(path, []byte(data), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := buildConfig("", path, 0, 0, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Members[0].Name != "alpha" || cfg.VNodes != 16 || cfg.Overfetch != 1.5 {
+		t.Fatalf("bad config: %+v", cfg)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"memberz":[]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildConfig("", bad, 0, 0, 0, 0, 0, 1); err == nil {
+		t.Fatal("unknown config field accepted")
+	}
+}
+
+func TestBuildConfigRequiresMembers(t *testing.T) {
+	if _, err := buildConfig("", "", 0, 0, 0, 0, 0, 1); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+// pipeWriter hands written lines to a reader with a timeout.
+type pipeWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	lines chan string
+}
+
+func newPipeWriter() (*pipeWriter, *pipeWriter) {
+	p := &pipeWriter{lines: make(chan string, 16)}
+	return p, p
+}
+
+func (p *pipeWriter) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf.Write(b)
+	for {
+		line, err := p.buf.ReadString('\n')
+		if err != nil {
+			rest := line
+			p.buf.Reset()
+			p.buf.WriteString(rest)
+			break
+		}
+		select {
+		case p.lines <- strings.TrimRight(line, "\n"):
+		default:
+		}
+	}
+	return len(b), nil
+}
+
+func (p *pipeWriter) line(timeout time.Duration) (string, error) {
+	select {
+	case l := <-p.lines:
+		return l, nil
+	case <-time.After(timeout):
+		return "", fmt.Errorf("timed out waiting for output")
+	}
+}

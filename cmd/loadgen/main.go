@@ -48,13 +48,18 @@
 //	        [-k 10] [-dim 8] [-algo greedy] [-scope full] [-seed 1]
 //	        [-lambda-spread] [-check-monotone]
 //	        [-contention] [-contention-items 1024]
-//	        [-scenario steady-mixed] [-inproc] [-backend vec-f32]
-//	        [-bench-out report.json] [-list-scenarios]
+//	        [-scenario steady-mixed] [-inproc] [-inproc-cluster 3]
+//	        [-backend vec-f32] [-bench-out report.json] [-list-scenarios]
 //
 // With -duration > 0 each worker runs for that wall-clock span instead of
 // a fixed op count (for -scenario it overrides the spec's duration). With
 // -inproc the load runs against an in-process server instead of -addr —
-// no network, which is how CI smoke-tests scenarios under -race. With
+// no network, which is how CI smoke-tests scenarios under -race; with
+// -inproc-cluster N it runs against an in-process scatter-gather
+// coordinator over N loopback member servers instead (the cmd/cluster
+// smoke mode). Mutations shed by the server with 429 are not errors: the
+// target waits out the Retry-After header (bounded retries) and the report
+// carries a backpressure line counting them. With
 // -bench-out the run is also written as a maxsumdiv-bench JSON report
 // (calibration entry included) compatible with cmd/bench -compare. Exit
 // status is non-zero if any request failed or any invariant was violated.
@@ -65,13 +70,16 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"maxsumdiv"
 	"maxsumdiv/internal/bench"
+	"maxsumdiv/internal/cluster"
 	"maxsumdiv/internal/scenario"
 	"maxsumdiv/internal/server"
 )
@@ -82,6 +90,7 @@ func main() {
 		scenarioName  string
 		listScenarios bool
 		inproc        bool
+		inprocCluster int
 		inprocBackend string
 		benchOut      string
 	)
@@ -110,6 +119,8 @@ func main() {
 	flag.BoolVar(&listScenarios, "list-scenarios", false, "list built-in scenarios and exit")
 	flag.BoolVar(&inproc, "inproc", false,
 		"run against an in-process server instead of -addr (no network; CI smoke mode)")
+	flag.IntVar(&inprocCluster, "inproc-cluster", 0,
+		"run against an in-process N-member cluster: loopback member servers behind a scatter-gather coordinator (CI smoke mode for cmd/cluster)")
 	flag.StringVar(&inprocBackend, "backend", "",
 		"distance backend for the -inproc server: f64 (default), f32, vec-f32 or vec-int8")
 	flag.StringVar(&benchOut, "bench-out", "",
@@ -127,19 +138,48 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if inproc && inprocCluster > 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -inproc and -inproc-cluster are mutually exclusive")
+		os.Exit(2)
+	}
 	var target scenario.Target
-	if inproc {
+	if inproc || inprocCluster > 0 {
 		kind, err := server.ParseBackendKind(inprocBackend)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "loadgen:", err)
 			os.Exit(2)
 		}
-		srv, err := server.New(server.Config{Shards: 4, Lambda: 0.5, MaintainK: 8, FlushThreshold: 64, Backend: kind})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "loadgen: in-process server:", err)
-			os.Exit(2)
+		memberCfg := server.Config{Shards: 4, Lambda: 0.5, MaintainK: 8, FlushThreshold: 64, Backend: kind}
+		if inproc {
+			srv, err := server.New(memberCfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: in-process server:", err)
+				os.Exit(2)
+			}
+			target = scenario.NewHandlerTarget(srv.Handler())
+		} else {
+			// The cluster smoke mode: N member servers on loopback sockets
+			// (real HTTP, so member failures and timeouts are exercised for
+			// real) behind an in-process coordinator handler.
+			members := make([]cluster.MemberConfig, inprocCluster)
+			for i := range members {
+				srv, err := server.New(memberCfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "loadgen: in-process member:", err)
+					os.Exit(2)
+				}
+				ts := httptest.NewServer(srv.Handler())
+				defer ts.Close()
+				members[i] = cluster.MemberConfig{Name: fmt.Sprintf("m%d", i), URL: ts.URL}
+			}
+			// The coordinator's re-solve λ matches the members' config above.
+			coord, err := cluster.New(cluster.Config{Members: members, Lambda: maxsumdiv.Ptr(0.5)})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: in-process cluster:", err)
+				os.Exit(2)
+			}
+			target = scenario.NewHandlerTarget(coord.Handler())
 		}
-		target = scenario.NewHandlerTarget(srv.Handler())
 	}
 
 	var rep *Report
@@ -255,6 +295,9 @@ type Report struct {
 	Contention  bool
 	SlowWorkers int
 	MutationLat LatencySummary
+	// Retried429 counts mutations the target retried after a 429 +
+	// Retry-After (server-side shedding absorbed as backoff, not errors).
+	Retried429 int64
 	// Errors are transport or non-2xx failures (capped at 20).
 	Errors []string
 	// Violations are correctness-invariant breaches (capped at 20).
@@ -301,6 +344,9 @@ func (r *Report) Render() string {
 	if r.Contention {
 		fmt.Fprintf(&b, "  contention: mutation p99 %v over %d mutations, with %d slow-query workers (%d queries) in flight\n",
 			r.MutationLat.P99.Round(time.Microsecond), r.MutationLat.Count, r.SlowWorkers, r.Queries)
+	}
+	if r.Retried429 > 0 {
+		fmt.Fprintf(&b, "  backpressure: %d mutations shed with 429 and retried per Retry-After\n", r.Retried429)
 	}
 	fmt.Fprintf(&b, "  errors %d, invariant violations %d\n", len(r.Errors), len(r.Violations))
 	for _, e := range r.Errors {
@@ -399,6 +445,9 @@ func RunSpec(ctx context.Context, spec *scenario.Spec, target scenario.Target) (
 		Errors:         res.Errors,
 		Violations:     res.Violations,
 		scenarioResult: res,
+	}
+	if sa, ok := target.(interface{ Retried429() uint64 }); ok {
+		rep.Retried429 = int64(sa.Retried429())
 	}
 	return rep, nil
 }

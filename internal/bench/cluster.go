@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"maxsumdiv"
+	"maxsumdiv/internal/cluster"
+	"maxsumdiv/internal/server"
+)
+
+// clusterScatterGatherSpec measures the coordinator's end-to-end query path
+// — fan k′ to every member over real HTTP, union the candidates, re-solve —
+// against real member servers behind httptest listeners, so the reported
+// latency includes the loopback network fan-out a deployment pays. ns/op is
+// the mean coordinator query; p50/p99 land in Extra. The probe also pins the
+// composable-core-set quality claim as a hard failure: the cluster answer
+// must retain at least 95% of the single-node exact-scan greedy objective
+// over the same corpus, or the merge is losing candidates it needs.
+func clusterScatterGatherSpec(name string, quick bool, n, members, k int) Spec {
+	const minMergeQuality = 0.95
+	const samples = 60
+	const lambda = 0.5
+	return Spec{Name: name, Quick: quick, Run: func() (Result, error) {
+		mcs := make([]cluster.MemberConfig, members)
+		servers := make([]*httptest.Server, 0, members)
+		defer func() {
+			for _, ts := range servers {
+				ts.Close()
+			}
+		}()
+		for i := range mcs {
+			// Member λ must match the coordinator's union re-solve λ, or the
+			// two layers would rank candidates by different objectives.
+			srv, err := server.New(server.Config{Shards: 2, Lambda: lambda, Parallelism: 1})
+			if err != nil {
+				return Result{}, err
+			}
+			ts := httptest.NewServer(srv.Handler())
+			servers = append(servers, ts)
+			mcs[i] = cluster.MemberConfig{Name: fmt.Sprintf("m%d", i), URL: ts.URL}
+		}
+		coord, err := cluster.New(cluster.Config{Members: mcs, Lambda: maxsumdiv.Ptr(lambda)})
+		if err != nil {
+			return Result{}, err
+		}
+		h := coord.Handler()
+		items := suiteItems(n, int64(n))
+		if err := loadServerItems(inProcPoster(h), items); err != nil {
+			return Result{}, err
+		}
+
+		// The single-node oracle: exact-scan greedy over the whole corpus on
+		// the same objective the cluster solves piecewise.
+		ix, err := maxsumdiv.NewIndex(items,
+			maxsumdiv.WithCosineDistance(), maxsumdiv.WithLambda(lambda))
+		if err != nil {
+			return Result{}, err
+		}
+		oracle, err := ix.Query(context.Background(), maxsumdiv.Query{K: k, Parallelism: 1})
+		if err != nil {
+			return Result{}, err
+		}
+		if oracle.Value <= 0 {
+			return Result{}, fmt.Errorf("single-node greedy objective %g, want > 0", oracle.Value)
+		}
+
+		body, err := json.Marshal(server.DiversifyRequest{K: k})
+		if err != nil {
+			return Result{}, err
+		}
+		query := func() (cluster.DiversifyResponse, time.Duration, error) {
+			var resp cluster.DiversifyResponse
+			req := httptest.NewRequest(http.MethodPost, "/diversify", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			t0 := time.Now()
+			h.ServeHTTP(rec, req)
+			elapsed := time.Since(t0)
+			if rec.Code != http.StatusOK {
+				return resp, 0, fmt.Errorf("POST /diversify: status %d: %s", rec.Code, rec.Body.String())
+			}
+			err := json.Unmarshal(rec.Body.Bytes(), &resp)
+			return resp, elapsed, err
+		}
+
+		for i := 0; i < 3; i++ { // warm: drain pending queues, fill caches
+			if _, _, err := query(); err != nil {
+				return Result{}, err
+			}
+		}
+		lat := make([]time.Duration, samples)
+		var last cluster.DiversifyResponse
+		start := time.Now()
+		for i := range lat {
+			resp, elapsed, err := query()
+			if err != nil {
+				return Result{}, err
+			}
+			lat[i] = elapsed
+			last = resp
+		}
+		total := time.Since(start)
+
+		if last.Partial {
+			return Result{}, fmt.Errorf("cluster answered partial with all %d members up", members)
+		}
+		if last.N != n {
+			return Result{}, fmt.Errorf("cluster candidate pool %d, want %d (a member is missing items)", last.N, n)
+		}
+		if len(last.Items) != k {
+			return Result{}, fmt.Errorf("cluster returned %d items, want %d", len(last.Items), k)
+		}
+		ratio := last.Value / oracle.Value
+		if ratio < minMergeQuality {
+			return Result{}, fmt.Errorf("cluster kept %.4f of the single-node greedy objective at n=%d k=%d members=%d, bar is %.2f",
+				ratio, n, k, members, minMergeQuality)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pct := func(q float64) float64 {
+			return float64(lat[int(q*float64(len(lat)-1))].Nanoseconds())
+		}
+		return Result{
+			Name:         name,
+			Iterations:   samples,
+			NsPerOp:      float64(total.Nanoseconds()) / samples,
+			ApproxAllocs: true,
+			Extra: map[string]float64{
+				"merge_quality": ratio,
+				"p50_ns":        pct(0.50),
+				"p99_ns":        pct(0.99),
+			},
+		}, nil
+	}}
+}

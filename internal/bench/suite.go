@@ -126,6 +126,12 @@ func Suite(opts Options) []Spec {
 		// p50/p99/max mutation latency land in Extra.
 		flushChurnSpec("server/flush_p99_under_churn", true, 256, 600),
 
+		// The cluster's scatter-gather query path over real HTTP members:
+		// coordinator p50/p99, plus the composable-core-set fence — the
+		// merged answer must keep ≥ 95% of the single-node exact-scan greedy
+		// objective (hard failure below the bar).
+		clusterScatterGatherSpec("cluster/scatter_gather_query/n=4096/members=3", true, 4096, 3, 32),
+
 		// Declarative workloads in the gate: the steady-mixed scenario runs
 		// in process with its invariants armed (a violation fails the probe,
 		// not just regresses it), and the open-vs-closed probe fences the

@@ -1,0 +1,657 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maxsumdiv"
+	"maxsumdiv/internal/metric"
+	"maxsumdiv/internal/server"
+)
+
+// Defaults for Config's zero-value fields.
+const (
+	DefaultOverfetch     = 2.0
+	DefaultMemberTimeout = 2 * time.Second
+	DefaultRetries       = 2
+	DefaultRetryBackoff  = 50 * time.Millisecond
+)
+
+// exactUnionLimit mirrors the member-side cap on the exponential exact
+// solver: a union bigger than this rejects algorithm=exact up front instead
+// of burning the coordinator.
+const exactUnionLimit = 40
+
+// Config parameterizes a Coordinator. Members is required; every other
+// zero value selects a production-lean default.
+type Config struct {
+	// Members is the static member list (name + base URL). Names are ring
+	// hash keys: keep them stable across coordinator restarts.
+	Members []MemberConfig
+	// VNodes is the virtual-node count per member (default DefaultVNodes).
+	VNodes int
+	// Seed is the ring hash seed (default DefaultSeed). Every coordinator
+	// over the same members must agree on it.
+	Seed uint64
+	// Overfetch scales the per-member candidate request: each member is
+	// asked for k′ = ⌈k · Overfetch⌉ items (default 2.0; must be ≥ 1 so
+	// the union always covers a full answer).
+	Overfetch float64
+	// MemberTimeout bounds each member call attempt (default 2s).
+	MemberTimeout time.Duration
+	// Retries is how many additional attempts a transiently failing member
+	// call gets (default 2; negative disables retry).
+	Retries int
+	// RetryBackoff is the first retry's delay, doubling per attempt
+	// (default 50ms).
+	RetryBackoff time.Duration
+	// Lambda is the quality/diversity trade-off the union re-solve uses
+	// when a query carries none. It must match the members' default λ or
+	// the coordinator would rank the union by a different objective than
+	// the members ranked their candidates by. Nil selects 1, matching
+	// cmd/serve's -lambda default.
+	Lambda *float64
+	// HTTPClient overrides the member-call client (tests; nil selects a
+	// fresh default client).
+	HTTPClient *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	if c.Overfetch == 0 {
+		c.Overfetch = DefaultOverfetch
+	}
+	if c.MemberTimeout <= 0 {
+		c.MemberTimeout = DefaultMemberTimeout
+	}
+	if c.Retries == 0 {
+		c.Retries = DefaultRetries
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = DefaultRetryBackoff
+	}
+	if c.Lambda == nil {
+		c.Lambda = maxsumdiv.Ptr(1.0)
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	return c
+}
+
+// Coordinator is the cluster front door: ring-routed mutations, scattered
+// and locally re-solved queries, aggregated observability. Create with New,
+// expose with Handler. Safe for concurrent use.
+type Coordinator struct {
+	cfg     Config
+	ring    *Ring
+	members []*member
+	start   time.Time
+
+	queryLat    server.LatencyRecorder
+	mutationLat server.LatencyRecorder
+
+	queries        atomic.Uint64
+	partialQueries atomic.Uint64
+	mutations      atomic.Uint64
+	shedObserved   atomic.Uint64 // 429s propagated from members
+}
+
+// New validates the config and builds the coordinator (no member contact —
+// failures surface per request, degraded, not at startup).
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("cluster: config needs at least one member")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Overfetch < 1 || math.IsNaN(cfg.Overfetch) || math.IsInf(cfg.Overfetch, 0) {
+		return nil, fmt.Errorf("cluster: overfetch = %g, want finite ≥ 1", cfg.Overfetch)
+	}
+	if l := *cfg.Lambda; l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+		return nil, fmt.Errorf("cluster: lambda = %g, want finite ≥ 0", l)
+	}
+	names := make([]string, len(cfg.Members))
+	for i, mc := range cfg.Members {
+		names[i] = mc.Name
+	}
+	ring, err := NewRing(names, cfg.VNodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{cfg: cfg, ring: ring, start: time.Now()}
+	c.members = make([]*member, len(cfg.Members))
+	for i, mc := range cfg.Members {
+		m, err := newMember(mc, cfg.HTTPClient, cfg.MemberTimeout, cfg.Retries, cfg.RetryBackoff)
+		if err != nil {
+			return nil, err
+		}
+		c.members[i] = m
+	}
+	return c, nil
+}
+
+// Handler returns the coordinator's HTTP API — the member API plus the
+// cluster admin view, so clients built against internal/server work
+// unchanged against a cluster.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /items", c.handleUpsert)
+	mux.HandleFunc("GET /items/{id}", c.handleGetItem)
+	mux.HandleFunc("DELETE /items/{id}", c.handleDelete)
+	mux.HandleFunc("POST /diversify", c.handleDiversify)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /stats", c.handleStats)
+	mux.HandleFunc("GET /cluster/members", c.handleMembers)
+	return mux
+}
+
+// MemberQueryResult is one member's contribution to a scattered query.
+type MemberQueryResult struct {
+	Name string `json:"name"`
+	// Epoch is the corpus generation the member's solve pinned.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// N is the member's candidate-pool size at that epoch.
+	N int `json:"n"`
+	// Candidates is how many items the member contributed to the union.
+	Candidates int `json:"candidates"`
+	// Error is set when the member failed and was left out of the union.
+	Error string `json:"error,omitempty"`
+}
+
+// DiversifyResponse is the coordinator's query reply: the member wire shape
+// (so single-node clients and invariant checkers work unchanged, with N
+// summed over responding members and Epoch the newest member epoch
+// observed) plus the cluster-level degradation markers.
+type DiversifyResponse struct {
+	server.DiversifyResponse
+	// Partial marks a degraded read: at least one member failed, so the
+	// answer was solved over the surviving members' candidates only. The
+	// HTTP status is 206 Partial Content.
+	Partial bool `json:"partial"`
+	// Members reports each member's epoch, pool size, and contribution.
+	Members []MemberQueryResult `json:"members"`
+}
+
+func (c *Coordinator) handleDiversify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, err := server.DecodeDiversify(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, status, err := c.diversify(r.Context(), req)
+	if err != nil {
+		httpError(w, status, err)
+		return
+	}
+	c.queries.Add(1)
+	c.queryLat.Record(time.Since(start))
+	writeJSON(w, status, resp)
+}
+
+// diversify runs the scatter-gather query path: fan k′ to every member,
+// union the candidates, re-solve locally. Returns the reply plus the HTTP
+// status to send (200, or 206 for a degraded read).
+func (c *Coordinator) diversify(ctx context.Context, req server.DiversifyRequest) (*DiversifyResponse, int, error) {
+	algo, err := wireAlgorithm(req.Algorithm)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	fan := req
+	fan.K = overfetchK(req.K, c.cfg.Overfetch)
+	fan.IncludeVectors = true
+	body, err := json.Marshal(fan)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+
+	replies := make([]*server.DiversifyResponse, len(c.members))
+	errs := make([]error, len(c.members))
+	var wg sync.WaitGroup
+	for i, m := range c.members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			replies[i], errs[i] = m.diversify(ctx, body)
+		}(i, m)
+	}
+	wg.Wait()
+
+	resp := &DiversifyResponse{Members: make([]MemberQueryResult, len(c.members))}
+	resp.Items = []server.SelectedItem{}
+	resp.Scope = fanScope(req.Scope)
+	resp.Algorithm = fanAlgorithm(req.Algorithm)
+
+	// Union in member order (not sorted, not interleaved): with one member
+	// the union is exactly that member's greedy trace, so the re-solve
+	// reproduces its answer bit for bit.
+	var union []server.SelectedItem
+	seen := make(map[string]bool)
+	ok := 0
+	for i, m := range c.members {
+		row := MemberQueryResult{Name: m.name}
+		if errs[i] != nil {
+			// A member-side 400 is the request's fault (e.g. exact over its
+			// size cap, maintained scope on a vector backend) — propagate it
+			// instead of degrading, the other members would fail the same way.
+			var se *StatusError
+			if errors.As(errs[i], &se) && se.Status == http.StatusBadRequest {
+				return nil, http.StatusBadRequest, errs[i]
+			}
+			row.Error = errs[i].Error()
+			resp.Members[i] = row
+			continue
+		}
+		ok++
+		rep := replies[i]
+		row.Epoch, row.N = rep.Epoch, rep.N
+		resp.N += rep.N
+		if rep.Epoch > resp.Epoch {
+			resp.Epoch = rep.Epoch
+		}
+		for _, it := range rep.Items {
+			if seen[it.ID] {
+				continue // ring placement makes ids disjoint; belt and braces
+			}
+			seen[it.ID] = true
+			union = append(union, it)
+			row.Candidates++
+		}
+		resp.Members[i] = row
+	}
+	if ok == 0 {
+		return nil, http.StatusBadGateway, fmt.Errorf("cluster: all %d members failed (first: %v)", len(c.members), firstErr(errs))
+	}
+	resp.Partial = ok < len(c.members)
+	if resp.Partial {
+		c.partialQueries.Add(1)
+	}
+
+	if err := c.resolveUnion(ctx, req, algo, union, resp); err != nil {
+		var bad *badRequest
+		if errors.As(err, &bad) {
+			return nil, http.StatusBadRequest, err
+		}
+		return nil, http.StatusInternalServerError, err
+	}
+	status := http.StatusOK
+	if resp.Partial {
+		status = http.StatusPartialContent
+	}
+	return resp, status, nil
+}
+
+// badRequest marks a union re-solve failure as the client's fault.
+type badRequest struct{ err error }
+
+func (e *badRequest) Error() string { return e.err.Error() }
+func (e *badRequest) Unwrap() error { return e.err }
+
+// resolveUnion solves the merged candidate problem with the public Index
+// machinery and fills the response's solution fields (composable core-sets:
+// the members ran the solver over their shards, the coordinator re-runs it
+// over the union of their outputs).
+func (c *Coordinator) resolveUnion(ctx context.Context, req server.DiversifyRequest, algo maxsumdiv.Algorithm, union []server.SelectedItem, resp *DiversifyResponse) error {
+	if req.K == 0 || len(union) == 0 {
+		resp.Items = []server.SelectedItem{}
+		return nil
+	}
+	if algo == maxsumdiv.AlgorithmExact && len(union) > exactUnionLimit {
+		return &badRequest{fmt.Errorf("algorithm exact is limited to %d union candidates (have %d); lower k or the overfetch factor", exactUnionLimit, len(union))}
+	}
+	items := make([]maxsumdiv.Item, len(union))
+	vecs := make([][]float64, len(union))
+	for i, it := range union {
+		items[i] = maxsumdiv.Item{ID: it.ID, Weight: it.Weight, Vector: it.Vector}
+		vecs[i] = it.Vector
+	}
+	lambda := *c.cfg.Lambda
+	if req.Lambda != nil {
+		lambda = *req.Lambda
+	}
+	// Members accept vectorless items (their triangular backends score them
+	// with the zero-norm distance-1 convention), so the union re-solve must
+	// too: WithCosineDistance rejects items without vectors, so wire the
+	// metric's CosineDist directly — it implements the same convention the
+	// members used to rank these candidates.
+	ix, err := maxsumdiv.NewIndex(items,
+		maxsumdiv.WithDistanceFunc(func(i, j int) float64 {
+			return metric.CosineDist(vecs[i], vecs[j])
+		}),
+		maxsumdiv.WithLambda(lambda))
+	if err != nil {
+		return fmt.Errorf("cluster: union index: %w", err)
+	}
+	sol, err := ix.Query(ctx, maxsumdiv.Query{K: req.K, Algorithm: algo, ClampK: true})
+	if err != nil {
+		return fmt.Errorf("cluster: union solve: %w", err)
+	}
+	resp.Items = make([]server.SelectedItem, len(sol.Indices))
+	for i, idx := range sol.Indices {
+		it := union[idx]
+		if !req.IncludeVectors {
+			it.Vector = nil
+		}
+		resp.Items[i] = it
+	}
+	resp.Value, resp.Quality, resp.Dispersion = sol.Value, sol.Quality, sol.Dispersion
+	return nil
+}
+
+// overfetchK is the per-member candidate request size k′ = ⌈k·f⌉.
+func overfetchK(k int, f float64) int {
+	if k <= 0 {
+		return 0
+	}
+	return int(math.Ceil(float64(k) * f))
+}
+
+// wireAlgorithm maps the server wire name onto the public enum.
+func wireAlgorithm(name string) (maxsumdiv.Algorithm, error) {
+	switch name {
+	case "", "greedy":
+		return maxsumdiv.AlgorithmGreedy, nil
+	case "greedy-improved":
+		return maxsumdiv.AlgorithmGreedyImproved, nil
+	case "gs":
+		return maxsumdiv.AlgorithmGollapudiSharma, nil
+	case "oblivious":
+		return maxsumdiv.AlgorithmOblivious, nil
+	case "localsearch":
+		return maxsumdiv.AlgorithmLocalSearch, nil
+	case "exact":
+		return maxsumdiv.AlgorithmExact, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func fanScope(s string) string {
+	if s == "" {
+		return "full"
+	}
+	return s
+}
+
+func fanAlgorithm(a string) string {
+	if a == "" {
+		return "greedy"
+	}
+	return a
+}
+
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) handleUpsert(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	batch, err := server.DecodeItems(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	groups := make(map[int][]server.ItemPayload)
+	for _, it := range batch {
+		owner := c.ring.Owner(it.ID)
+		groups[owner] = append(groups[owner], it)
+	}
+	type result struct {
+		resp *server.MutationResponse
+		err  error
+	}
+	results := make(map[int]*result, len(groups))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for owner, group := range groups {
+		wg.Add(1)
+		go func(owner int, group []server.ItemPayload) {
+			defer wg.Done()
+			resp, err := c.members[owner].upsert(r.Context(), group)
+			mu.Lock()
+			results[owner] = &result{resp: resp, err: err}
+			mu.Unlock()
+		}(owner, group)
+	}
+	wg.Wait()
+
+	agg := server.MutationResponse{}
+	var failed error
+	for _, res := range results {
+		if res.err != nil {
+			// Backpressure wins the error triage: a shed sub-batch must
+			// reach the client as 429 + Retry-After so it backs off; the
+			// applied sub-batches are idempotent under the retry.
+			var se *StatusError
+			if errors.As(res.err, &se) && se.Status == http.StatusTooManyRequests {
+				c.shedObserved.Add(1)
+				if se.RetryAfter != "" {
+					w.Header().Set("Retry-After", se.RetryAfter)
+				}
+				httpError(w, http.StatusTooManyRequests, res.err)
+				return
+			}
+			if failed == nil {
+				failed = res.err
+			}
+			continue
+		}
+		agg.Accepted += res.resp.Accepted
+		agg.Pending += res.resp.Pending
+	}
+	if failed != nil {
+		httpError(w, memberErrStatus(failed), failed)
+		return
+	}
+	c.mutations.Add(1)
+	c.mutationLat.Record(time.Since(start))
+	writeJSON(w, http.StatusOK, agg)
+}
+
+func (c *Coordinator) handleDelete(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := r.PathValue("id")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing item id"))
+		return
+	}
+	m := c.members[c.ring.Owner(id)]
+	resp, err := m.deleteItem(r.Context(), id)
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) {
+			if se.Status == http.StatusTooManyRequests {
+				c.shedObserved.Add(1)
+				if se.RetryAfter != "" {
+					w.Header().Set("Retry-After", se.RetryAfter)
+				}
+			}
+			httpError(w, se.Status, err)
+			return
+		}
+		httpError(w, http.StatusBadGateway, err)
+		return
+	}
+	c.mutations.Add(1)
+	c.mutationLat.Record(time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleGetItem(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing item id"))
+		return
+	}
+	m := c.members[c.ring.Owner(id)]
+	st, err := m.getItem(r.Context(), id)
+	if err != nil {
+		httpError(w, memberErrStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// memberErrStatus maps a member call error onto the status the coordinator
+// answers with: the member's own verdict when it gave one, 502 otherwise.
+func memberErrStatus(err error) int {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status
+	}
+	return http.StatusBadGateway
+}
+
+// MemberStats is one member's row in the aggregated /stats reply — the
+// epoch-replication observability the cluster adds on top of each member's
+// own /stats.
+type MemberStats struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+	// Epoch / EpochsLive mirror the member's corpus stats; ResidentBytes
+	// and MutationsShed size and backpressure per member.
+	Epoch         uint64 `json:"epoch"`
+	EpochsLive    int64  `json:"epochs_live"`
+	Items         int    `json:"items"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	MutationsShed uint64 `json:"mutations_shed"`
+}
+
+// Stats is the coordinator's /stats reply.
+type Stats struct {
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Members       []MemberStats `json:"members"`
+	MembersDown   int           `json:"members_down"`
+	Items         int           `json:"items"`
+	Queries       uint64        `json:"queries"`
+	// PartialQueries counts degraded reads answered 206 with partial=true.
+	PartialQueries uint64 `json:"partial_queries"`
+	Mutations      uint64 `json:"mutations"`
+	// MutationsShed429 counts member backpressure replies propagated to
+	// clients as 429.
+	MutationsShed429 uint64              `json:"mutations_shed_429"`
+	Query            server.LatencyStats `json:"query_latency"`
+	Mutation         server.LatencyStats `json:"mutation_latency"`
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	rows := make([]MemberStats, len(c.members))
+	var wg sync.WaitGroup
+	for i, m := range c.members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			row := MemberStats{Name: m.name, URL: m.baseURL}
+			st, err := m.stats(r.Context())
+			if err != nil {
+				row.Error = err.Error()
+			} else {
+				row.Healthy = true
+				row.Epoch = st.Corpus.Epoch
+				row.EpochsLive = st.Corpus.EpochsLive
+				row.Items = st.Items
+				row.ResidentBytes = st.Corpus.ResidentBytes
+				row.MutationsShed = st.MutationsShed
+			}
+			rows[i] = row
+		}(i, m)
+	}
+	wg.Wait()
+	out := Stats{
+		UptimeSeconds:    time.Since(c.start).Seconds(),
+		Members:          rows,
+		Queries:          c.queries.Load(),
+		PartialQueries:   c.partialQueries.Load(),
+		Mutations:        c.mutations.Load(),
+		MutationsShed429: c.shedObserved.Load(),
+		Query:            c.queryLat.Snapshot(),
+		Mutation:         c.mutationLat.Snapshot(),
+	}
+	for _, row := range rows {
+		out.Items += row.Items
+		if !row.Healthy {
+			out.MembersDown++
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// MemberInfo is one member's row in the /cluster/members admin view.
+type MemberInfo struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// Share is the fraction of the hash circle the member owns.
+	Share  float64 `json:"share"`
+	VNodes int     `json:"vnodes"`
+	memberHealth
+}
+
+func (c *Coordinator) handleMembers(w http.ResponseWriter, r *http.Request) {
+	shares := c.ring.Shares()
+	rows := make([]MemberInfo, len(c.members))
+	for i, m := range c.members {
+		rows[i] = MemberInfo{
+			Name:         m.name,
+			URL:          m.baseURL,
+			Share:        shares[i],
+			VNodes:       c.cfg.VNodes,
+			memberHealth: m.health(),
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"seed":      strconv.FormatUint(c.cfg.Seed, 16),
+		"vnodes":    c.cfg.VNodes,
+		"overfetch": c.cfg.Overfetch,
+		"members":   rows,
+	})
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	down := 0
+	for _, m := range c.members {
+		if !m.health().Healthy {
+			down++
+		}
+	}
+	status := "ok"
+	if down > 0 {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       status,
+		"members":      len(c.members),
+		"members_down": down,
+	})
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,577 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"maxsumdiv"
+	"maxsumdiv/internal/server"
+)
+
+// flakyHandler wraps a member handler with a kill switch: while down, every
+// request answers 503 — the shape of a crashed-and-restarting member behind
+// a load balancer.
+type flakyHandler struct {
+	h    http.Handler
+	down atomic.Bool
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.down.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"member down"}`)
+		return
+	}
+	f.h.ServeHTTP(w, r)
+}
+
+// testCluster is n in-process members behind one coordinator.
+type testCluster struct {
+	coord   *Coordinator
+	handler http.Handler
+	flaky   []*flakyHandler
+	urls    []string
+}
+
+func newTestCluster(t *testing.T, n int, cfg Config) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < n; i++ {
+		// Lambda matches the coordinator's re-solve default: members rank
+		// candidates by the same objective the union is solved under.
+		srv, err := server.New(server.Config{Shards: 2, Lambda: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fh := &flakyHandler{h: srv.Handler()}
+		ts := httptest.NewServer(fh)
+		t.Cleanup(ts.Close)
+		tc.flaky = append(tc.flaky, fh)
+		tc.urls = append(tc.urls, ts.URL)
+		cfg.Members = append(cfg.Members, MemberConfig{Name: fmt.Sprintf("m%d", i), URL: ts.URL})
+	}
+	if cfg.MemberTimeout == 0 {
+		cfg.MemberTimeout = 5 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = -1 // fast failure detection in tests
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
+	coord, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.coord = coord
+	tc.handler = coord.Handler()
+	return tc
+}
+
+// do drives one request through the coordinator handler.
+func (tc *testCluster) do(t *testing.T, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	tc.handler.ServeHTTP(w, req)
+	return w
+}
+
+func (tc *testCluster) insert(t *testing.T, items []server.ItemPayload) {
+	t.Helper()
+	w := tc.do(t, http.MethodPost, "/items", items)
+	if w.Code != http.StatusOK {
+		t.Fatalf("insert status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+func (tc *testCluster) query(t *testing.T, req server.DiversifyRequest, wantStatus int) *DiversifyResponse {
+	t.Helper()
+	w := tc.do(t, http.MethodPost, "/diversify", req)
+	if w.Code != wantStatus {
+		t.Fatalf("query status %d, want %d: %s", w.Code, wantStatus, w.Body.String())
+	}
+	var resp DiversifyResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return &resp
+}
+
+// seededItems builds n deterministic items with unit-free gaussian vectors.
+func seededItems(n, dim int, seed int64) []server.ItemPayload {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]server.ItemPayload, n)
+	for i := range items {
+		vec := make([]float64, dim)
+		for d := range vec {
+			vec[d] = rng.NormFloat64()
+		}
+		items[i] = server.ItemPayload{
+			ID:     fmt.Sprintf("item-%05d", i),
+			Weight: rng.Float64(),
+			Vector: vec,
+		}
+	}
+	return items
+}
+
+// TestClusterPlacementRouting inserts through the coordinator and verifies
+// every item landed exactly on its ring owner — 200 from the owner's
+// GET /items/{id}, 404 from everyone else — and that the coordinator's own
+// GET proxies to the right place.
+func TestClusterPlacementRouting(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{})
+	items := seededItems(60, 4, 1)
+	tc.insert(t, items)
+
+	for _, it := range items {
+		owner := tc.coord.ring.Owner(it.ID)
+		for m, url := range tc.urls {
+			resp, err := http.Get(url + "/items/" + it.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			want := http.StatusNotFound
+			if m == owner {
+				want = http.StatusOK
+			}
+			if resp.StatusCode != want {
+				t.Fatalf("item %s on member %d: status %d, want %d (owner %d)", it.ID, m, resp.StatusCode, want, owner)
+			}
+		}
+		w := tc.do(t, http.MethodGet, "/items/"+it.ID, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("coordinator GET %s: %d", it.ID, w.Code)
+		}
+		var st server.ItemStatus
+		if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.ID != it.ID || st.Weight != it.Weight || !st.HasVector || st.Dim != 4 {
+			t.Fatalf("bad status for %s: %+v", it.ID, st)
+		}
+	}
+	if w := tc.do(t, http.MethodGet, "/items/no-such-item", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d", w.Code)
+	}
+}
+
+// TestClusterScatterGather checks the happy path: a full-cluster query
+// returns min(k, N) distinct items with per-member epochs reported.
+func TestClusterScatterGather(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{})
+	tc.insert(t, seededItems(90, 8, 2))
+
+	resp := tc.query(t, server.DiversifyRequest{K: 10}, http.StatusOK)
+	if resp.Partial {
+		t.Fatal("healthy cluster answered partial")
+	}
+	if resp.N != 90 {
+		t.Fatalf("N = %d, want 90", resp.N)
+	}
+	if len(resp.Items) != 10 {
+		t.Fatalf("got %d items, want 10", len(resp.Items))
+	}
+	seen := make(map[string]bool)
+	for _, it := range resp.Items {
+		if seen[it.ID] {
+			t.Fatalf("duplicate %s", it.ID)
+		}
+		seen[it.ID] = true
+	}
+	if resp.Value <= 0 {
+		t.Fatalf("value %g", resp.Value)
+	}
+	if len(resp.Members) != 3 {
+		t.Fatalf("member rows %d", len(resp.Members))
+	}
+	for _, m := range resp.Members {
+		if m.Error != "" || m.Epoch == 0 || m.Candidates == 0 {
+			t.Fatalf("bad member row %+v", m)
+		}
+	}
+	// Deleting a selected item must exclude it from the next answer.
+	victim := resp.Items[0].ID
+	if w := tc.do(t, http.MethodDelete, "/items/"+victim, nil); w.Code != http.StatusOK {
+		t.Fatalf("delete status %d", w.Code)
+	}
+	resp = tc.query(t, server.DiversifyRequest{K: 10}, http.StatusOK)
+	if resp.N != 89 {
+		t.Fatalf("post-delete N = %d, want 89", resp.N)
+	}
+	for _, it := range resp.Items {
+		if it.ID == victim {
+			t.Fatalf("deleted item %s still selected", victim)
+		}
+	}
+}
+
+// TestClusterVectorlessUnion pins the degenerate-candidate contract: members
+// accept vectorless items (zero-norm convention: distance 1 to everything),
+// so a union containing them must re-solve instead of erroring, and the
+// result-size invariant must hold over the whole mixed pool.
+func TestClusterVectorlessUnion(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{})
+	items := seededItems(30, 4, 9)
+	for i := range items {
+		if i%3 == 0 {
+			items[i].Vector = nil
+		}
+	}
+	tc.insert(t, items)
+
+	resp := tc.query(t, server.DiversifyRequest{K: 25}, http.StatusOK)
+	if resp.Partial {
+		t.Fatal("healthy cluster answered partial")
+	}
+	if resp.N != 30 {
+		t.Fatalf("N = %d, want 30", resp.N)
+	}
+	if len(resp.Items) != 25 {
+		t.Fatalf("got %d items, want 25", len(resp.Items))
+	}
+	seen := make(map[string]bool)
+	vectorless := 0
+	for _, it := range resp.Items {
+		if seen[it.ID] {
+			t.Fatalf("duplicate %s", it.ID)
+		}
+		seen[it.ID] = true
+		var id int
+		if _, err := fmt.Sscanf(it.ID, "item-%d", &id); err == nil && id%3 == 0 {
+			vectorless++
+		}
+	}
+	// k=25 over 30 items (10 of them vectorless) must select some of the
+	// vectorless ones — they cannot have been silently dropped.
+	if vectorless == 0 {
+		t.Fatal("no vectorless item selected at k=25 over 30 items")
+	}
+}
+
+// TestClusterDegradedReads kills one member mid-run: queries must degrade to
+// flagged 206 partial results whose invariants still hold, and recover to
+// full answers when the member returns.
+func TestClusterDegradedReads(t *testing.T) {
+	tc := newTestCluster(t, 3, Config{})
+	tc.insert(t, seededItems(90, 8, 3))
+
+	full := tc.query(t, server.DiversifyRequest{K: 10}, http.StatusOK)
+	if full.Partial || full.N != 90 {
+		t.Fatalf("baseline: partial=%v N=%d", full.Partial, full.N)
+	}
+
+	tc.flaky[1].down.Store(true)
+	deg := tc.query(t, server.DiversifyRequest{K: 10}, http.StatusPartialContent)
+	if !deg.Partial {
+		t.Fatal("degraded read not flagged partial")
+	}
+	if deg.Members[1].Error == "" {
+		t.Fatalf("down member carries no error: %+v", deg.Members[1])
+	}
+	if deg.N >= 90 || deg.N == 0 {
+		t.Fatalf("degraded N = %d, want the two surviving members' total", deg.N)
+	}
+	want := deg.N
+	if want > 10 {
+		want = 10
+	}
+	if len(deg.Items) != want {
+		t.Fatalf("degraded answer has %d items, want min(k, N) = %d", len(deg.Items), want)
+	}
+	seen := make(map[string]bool)
+	for _, it := range deg.Items {
+		if seen[it.ID] {
+			t.Fatalf("duplicate %s in degraded answer", it.ID)
+		}
+		seen[it.ID] = true
+	}
+
+	// Mutations owned by the dead member fail loudly (no silent drop)...
+	downOwned := ""
+	for i := 0; i < 1000 && downOwned == ""; i++ {
+		id := fmt.Sprintf("probe-%d", i)
+		if tc.coord.ring.Owner(id) == 1 {
+			downOwned = id
+		}
+	}
+	w := tc.do(t, http.MethodPost, "/items", []server.ItemPayload{{ID: downOwned, Weight: 1, Vector: []float64{1, 0, 0, 0, 0, 0, 0, 0}}})
+	if w.Code != http.StatusServiceUnavailable && w.Code != http.StatusBadGateway {
+		t.Fatalf("mutation to down member: status %d", w.Code)
+	}
+
+	// ...and the cluster recovers without intervention once it returns.
+	tc.flaky[1].down.Store(false)
+	rec := tc.query(t, server.DiversifyRequest{K: 10}, http.StatusOK)
+	if rec.Partial || rec.N != 90 {
+		t.Fatalf("recovery: partial=%v N=%d", rec.Partial, rec.N)
+	}
+}
+
+// TestClusterSingleMemberConsistency: with one member the union is exactly
+// that member's greedy candidate trace, so the coordinator must reproduce
+// the member's own answer — same ids in the same order, same objective.
+func TestClusterSingleMemberConsistency(t *testing.T) {
+	tc := newTestCluster(t, 1, Config{})
+	tc.insert(t, seededItems(256, 8, 4))
+
+	direct, err := http.Post(tc.urls[0]+"/diversify", "application/json", bytes.NewReader([]byte(`{"k":16}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want server.DiversifyResponse
+	if err := json.NewDecoder(direct.Body).Decode(&want); err != nil {
+		t.Fatal(err)
+	}
+	direct.Body.Close()
+
+	got := tc.query(t, server.DiversifyRequest{K: 16}, http.StatusOK)
+	if len(got.Items) != len(want.Items) {
+		t.Fatalf("cluster selected %d items, member %d", len(got.Items), len(want.Items))
+	}
+	// Each side reports its selection sorted by its own internal index
+	// space (corpus order vs union order), so compare by id.
+	wantByID := make(map[string]float64, len(want.Items))
+	for _, it := range want.Items {
+		wantByID[it.ID] = it.Weight
+	}
+	for _, it := range got.Items {
+		w, ok := wantByID[it.ID]
+		if !ok {
+			t.Fatalf("cluster selected %s, member did not", it.ID)
+		}
+		if it.Weight != w {
+			t.Fatalf("%s: weight %g vs %g", it.ID, it.Weight, w)
+		}
+	}
+	if math.Abs(got.Value-want.Value) > 1e-9*math.Abs(want.Value) {
+		t.Fatalf("value drifted: cluster %.17g, member %.17g", got.Value, want.Value)
+	}
+}
+
+// TestClusterMergeQuality is the composable-core-set property check: at
+// n=4096 split across 3 members, the scatter-gather answer must reach at
+// least 95% of the single-node exact-scan greedy objective.
+func TestClusterMergeQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=4096 corpus build")
+	}
+	const (
+		n   = 4096
+		dim = 16
+		k   = 32
+	)
+	tc := newTestCluster(t, 3, Config{})
+	items := seededItems(n, dim, 5)
+	for lo := 0; lo < n; lo += 512 {
+		hi := lo + 512
+		if hi > n {
+			hi = n
+		}
+		tc.insert(t, items[lo:hi])
+	}
+
+	resp := tc.query(t, server.DiversifyRequest{K: k}, http.StatusOK)
+	if resp.N != n || len(resp.Items) != k {
+		t.Fatalf("cluster answer: N=%d items=%d", resp.N, len(resp.Items))
+	}
+
+	oracleItems := make([]maxsumdiv.Item, n)
+	for i, it := range items {
+		oracleItems[i] = maxsumdiv.Item{ID: it.ID, Weight: it.Weight, Vector: it.Vector}
+	}
+	ix, err := maxsumdiv.NewIndex(oracleItems, maxsumdiv.WithCosineDistance(), maxsumdiv.WithLambda(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := ix.Query(t.Context(), maxsumdiv.Query{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := resp.Value / oracle.Value
+	t.Logf("cluster %.4f vs oracle %.4f: ratio %.4f", resp.Value, oracle.Value, ratio)
+	if ratio < 0.95 {
+		t.Fatalf("merge quality %.4f < 0.95", ratio)
+	}
+}
+
+// TestCluster429Propagation fronts a stub member that sheds every mutation:
+// the coordinator must answer 429 with the member's Retry-After intact.
+func TestCluster429Propagation(t *testing.T) {
+	mux := http.NewServeMux()
+	shed := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintln(w, `{"error":"mutations shed"}`)
+	}
+	mux.HandleFunc("POST /items", shed)
+	mux.HandleFunc("DELETE /items/{id}", shed)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	coord, err := New(Config{Members: []MemberConfig{{Name: "m0", URL: ts.URL}}, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{coord: coord, handler: coord.Handler()}
+
+	w := tc.do(t, http.MethodPost, "/items", []server.ItemPayload{{ID: "a", Weight: 1}})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("upsert status %d", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After %q, want 7", got)
+	}
+	w = tc.do(t, http.MethodDelete, "/items/a", nil)
+	if w.Code != http.StatusTooManyRequests || w.Header().Get("Retry-After") != "7" {
+		t.Fatalf("delete status %d, Retry-After %q", w.Code, w.Header().Get("Retry-After"))
+	}
+	if got := coord.shedObserved.Load(); got != 2 {
+		t.Fatalf("shed counter %d, want 2", got)
+	}
+}
+
+// TestClusterAllMembersDown: with nobody to scatter to, queries fail as a
+// gateway error rather than pretending an empty corpus.
+func TestClusterAllMembersDown(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{})
+	tc.insert(t, seededItems(20, 4, 6))
+	tc.flaky[0].down.Store(true)
+	tc.flaky[1].down.Store(true)
+	if w := tc.do(t, http.MethodPost, "/diversify", server.DiversifyRequest{K: 5}); w.Code != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502", w.Code)
+	}
+}
+
+// TestClusterStatsAndMembers exercises the aggregated observability views.
+func TestClusterStatsAndMembers(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{})
+	tc.insert(t, seededItems(40, 4, 7))
+	tc.query(t, server.DiversifyRequest{K: 5}, http.StatusOK)
+
+	w := tc.do(t, http.MethodGet, "/stats", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats status %d", w.Code)
+	}
+	var st Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Members) != 2 || st.MembersDown != 0 {
+		t.Fatalf("members %d down %d", len(st.Members), st.MembersDown)
+	}
+	if st.Items != 40 {
+		t.Fatalf("aggregated items %d, want 40", st.Items)
+	}
+	if st.Queries != 1 || st.Mutations != 1 {
+		t.Fatalf("queries %d mutations %d", st.Queries, st.Mutations)
+	}
+	for _, m := range st.Members {
+		if !m.Healthy || m.Epoch == 0 || m.ResidentBytes <= 0 {
+			t.Fatalf("bad member stats %+v", m)
+		}
+	}
+
+	w = tc.do(t, http.MethodGet, "/cluster/members", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("members status %d", w.Code)
+	}
+	var view struct {
+		VNodes  int `json:"vnodes"`
+		Members []struct {
+			Name    string  `json:"name"`
+			Share   float64 `json:"share"`
+			Healthy bool    `json:"healthy"`
+		} `json:"members"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.VNodes != DefaultVNodes || len(view.Members) != 2 {
+		t.Fatalf("view %+v", view)
+	}
+	total := 0.0
+	for _, m := range view.Members {
+		if !m.Healthy {
+			t.Fatalf("member %s unhealthy", m.Name)
+		}
+		total += m.Share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum %g", total)
+	}
+
+	w = tc.do(t, http.MethodGet, "/healthz", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", w.Code)
+	}
+}
+
+// TestClusterBadRequests: client mistakes come back 400, including a
+// member-side 400 (exact over the member cap), not 206/502.
+func TestClusterBadRequests(t *testing.T) {
+	tc := newTestCluster(t, 2, Config{})
+	tc.insert(t, seededItems(60, 4, 8))
+
+	if w := tc.do(t, http.MethodPost, "/diversify", map[string]any{"k": 5, "algorithm": "nope"}); w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm: %d", w.Code)
+	}
+	if w := tc.do(t, http.MethodPost, "/diversify", map[string]any{"k": -1}); w.Code != http.StatusBadRequest {
+		t.Fatalf("negative k: %d", w.Code)
+	}
+	// k′ = 60 per member exceeds the member-side exact cap of 40; the
+	// member's 400 verdict must propagate, not degrade to partial.
+	if w := tc.do(t, http.MethodPost, "/diversify", map[string]any{"k": 30, "algorithm": "exact"}); w.Code != http.StatusBadRequest {
+		t.Fatalf("oversized exact: %d", w.Code)
+	}
+}
+
+func TestOverfetchK(t *testing.T) {
+	cases := []struct {
+		k    int
+		f    float64
+		want int
+	}{{10, 2, 20}, {10, 1.5, 15}, {0, 2, 0}, {7, 1, 7}, {3, 2.5, 8}}
+	for _, c := range cases {
+		if got := overfetchK(c.k, c.f); got != c.want {
+			t.Fatalf("overfetchK(%d, %g) = %d, want %d", c.k, c.f, got, c.want)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	m := []MemberConfig{{Name: "a", URL: "http://x:1"}}
+	if _, err := New(Config{Members: m, Overfetch: 0.5}); err == nil {
+		t.Fatal("overfetch < 1 accepted")
+	}
+	if _, err := New(Config{Members: m, Lambda: maxsumdiv.Ptr(-1.0)}); err == nil {
+		t.Fatal("negative lambda accepted")
+	}
+	if _, err := New(Config{Members: []MemberConfig{{Name: "a", URL: "://bad"}}}); err == nil {
+		t.Fatal("bad member url accepted")
+	}
+}

@@ -1,0 +1,30 @@
+// Package cluster turns N internal/server instances into one logical
+// max-sum diversification service.
+//
+// Placement: a consistent-hash ring (Ring) with virtual nodes maps every
+// item id onto exactly one member. The hash is a seeded FNV-1a computed
+// in-process — deliberately not hash/maphash, whose per-process seeds would
+// give every coordinator a different placement. POST /items and
+// DELETE /items/{id} route by ring owner, so each member's corpus holds a
+// disjoint slice of the ground set and mutations stay cheap per node.
+//
+// Queries: the coordinator answers POST /diversify composable-core-set
+// style, the shape the source paper's greedy guarantees compose under. It
+// fans the query to every member with k′ = ⌈k · overfetch⌉ and
+// include_vectors set, concatenates the returned candidates in member
+// order, and re-solves the small union problem locally with the public
+// maxsumdiv Index machinery. Because the per-member solvers and the union
+// re-solve run the same algorithm over the same cosine distances, answer
+// quality is testable against a single-node oracle (the bench suite
+// hard-gates the ratio at 0.95), and a single-member cluster reproduces
+// the member's own answer bit for bit (greedy prefixes nest).
+//
+// Consistency and failure handling: members return their epoch counter in
+// every diversify response; the coordinator surfaces per-member epochs,
+// resident bytes, and shed counts in aggregated /stats and a
+// /cluster/members admin view. Member calls carry per-request timeouts
+// with bounded retry+backoff. When a member stays down, reads degrade
+// instead of failing: the coordinator answers HTTP 206 with partial=true
+// and the surviving members' union. Member backpressure (429 on mutation
+// shedding) propagates to the client with its Retry-After header intact.
+package cluster

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"maxsumdiv/internal/server"
+)
+
+// memberBodyLimit bounds how much of a member reply the coordinator reads
+// (a k′-candidate response with vectors is far below this).
+const memberBodyLimit = 32 << 20
+
+// MemberConfig names one cluster member and where to reach it.
+type MemberConfig struct {
+	// Name identifies the member on the ring; renaming moves its items.
+	Name string `json:"name"`
+	// URL is the member's base URL (an internal/server Handler root).
+	URL string `json:"url"`
+}
+
+// StatusError is a non-2xx member reply, preserved so the coordinator can
+// propagate the member's verdict (404 unknown item, 429 backpressure with
+// its Retry-After) instead of flattening everything into a gateway error.
+type StatusError struct {
+	Status     int
+	RetryAfter string // verbatim Retry-After header, "" when absent
+	Msg        string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("member replied %d: %s", e.Status, e.Msg)
+}
+
+// member is the coordinator's client for one server instance: typed calls
+// over the server wire types, per-request timeouts, bounded retry with
+// exponential backoff, and health accounting for the admin views.
+type member struct {
+	name    string
+	baseURL string
+	client  *http.Client
+	timeout time.Duration
+	retries int // additional attempts after the first
+	backoff time.Duration
+
+	mu       sync.Mutex
+	fails    int // consecutive failed calls (0 = healthy)
+	lastErr  string
+	requests uint64
+	failures uint64
+	retried  uint64
+}
+
+func newMember(cfg MemberConfig, client *http.Client, timeout time.Duration, retries int, backoff time.Duration) (*member, error) {
+	u, err := url.Parse(cfg.URL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("cluster: member %q: invalid url %q", cfg.Name, cfg.URL)
+	}
+	return &member{
+		name:    cfg.Name,
+		baseURL: strings.TrimRight(cfg.URL, "/"),
+		client:  client,
+		timeout: timeout,
+		retries: retries,
+		backoff: backoff,
+	}, nil
+}
+
+// retryable reports whether a member status is worth another attempt.
+// Client verdicts (4xx, including 429 backpressure — retrying would defeat
+// it) and deterministic server errors (500) are final; 502/503/504 look
+// transient.
+func retryable(status int) bool {
+	return status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}
+
+// do runs one member call with bounded retry+backoff. body is resent
+// verbatim on each attempt; out, when non-nil, receives the decoded 2xx
+// JSON reply.
+func (m *member) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; attempt <= m.retries; attempt++ {
+		if attempt > 0 {
+			m.mu.Lock()
+			m.retried++
+			m.mu.Unlock()
+			select {
+			case <-time.After(m.backoff << (attempt - 1)):
+			case <-ctx.Done():
+				return m.noteResult(ctx.Err())
+			}
+		}
+		err := m.doOnce(ctx, method, path, body, out)
+		if err == nil {
+			return m.noteResult(nil)
+		}
+		lastErr = err
+		var se *StatusError
+		if errors.As(err, &se) && !retryable(se.Status) {
+			// The member answered; a 4xx/500 verdict is the call's outcome,
+			// not a member failure.
+			m.noteResult(nil)
+			return err
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return m.noteResult(lastErr)
+}
+
+func (m *member) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	if m.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, m.baseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, memberBodyLimit))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		msg := strings.TrimSpace(string(data))
+		var wire struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &wire) == nil && wire.Error != "" {
+			msg = wire.Error
+		}
+		return &StatusError{Status: resp.StatusCode, RetryAfter: resp.Header.Get("Retry-After"), Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("decode member reply: %w", err)
+	}
+	return nil
+}
+
+// noteResult folds one finished call into the health accounting and returns
+// err unchanged for tail-call convenience.
+func (m *member) noteResult(err error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	if err == nil {
+		m.fails = 0
+		return nil
+	}
+	m.fails++
+	m.failures++
+	m.lastErr = err.Error()
+	return err
+}
+
+func (m *member) diversify(ctx context.Context, body []byte) (*server.DiversifyResponse, error) {
+	var out server.DiversifyResponse
+	if err := m.do(ctx, http.MethodPost, "/diversify", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (m *member) upsert(ctx context.Context, batch []server.ItemPayload) (*server.MutationResponse, error) {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return nil, err
+	}
+	var out server.MutationResponse
+	if err := m.do(ctx, http.MethodPost, "/items", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (m *member) deleteItem(ctx context.Context, id string) (*server.MutationResponse, error) {
+	var out server.MutationResponse
+	if err := m.do(ctx, http.MethodDelete, "/items/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (m *member) getItem(ctx context.Context, id string) (*server.ItemStatus, error) {
+	var out server.ItemStatus
+	if err := m.do(ctx, http.MethodGet, "/items/"+url.PathEscape(id), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (m *member) stats(ctx context.Context) (*server.Stats, error) {
+	var out server.Stats
+	if err := m.do(ctx, http.MethodGet, "/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// health snapshots the member's tracked state for the admin views.
+type memberHealth struct {
+	Healthy             bool   `json:"healthy"`
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	LastError           string `json:"last_error,omitempty"`
+	Requests            uint64 `json:"requests"`
+	Failures            uint64 `json:"failures"`
+	Retries             uint64 `json:"retries"`
+}
+
+func (m *member) health() memberHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := memberHealth{
+		Healthy:             m.fails == 0,
+		ConsecutiveFailures: m.fails,
+		Requests:            m.requests,
+		Failures:            m.failures,
+		Retries:             m.retried,
+	}
+	if m.fails > 0 {
+		h.LastError = m.lastErr
+	}
+	return h
+}

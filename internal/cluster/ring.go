@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the per-member virtual-node count when Config leaves it
+// unset: enough points that a 3–16 member ring balances within a few
+// percent, small enough that building the ring is microseconds.
+const DefaultVNodes = 64
+
+// DefaultSeed is the ring seed when Config leaves it unset (any fixed value
+// works; every coordinator over the same member list must agree on it).
+const DefaultSeed = 0x9e3779b97f4a7c15
+
+// FNV-1a 64-bit parameters. The ring hashes with an explicit in-process
+// implementation rather than hash/maphash because placement must be
+// deterministic across processes and restarts: two coordinators over the
+// same member list have to agree on every id's owner.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashSeeded folds an explicit seed into FNV-1a before the key bytes, so
+// distinct seeds give independent (but each fully deterministic) rings. The
+// raw FNV state is finished with a murmur-style avalanche: FNV's single
+// multiply per byte diffuses differences upward too slowly for the high
+// bits, and ring placement binary-searches on the full 64-bit value — with
+// short sequential ids the unmixed hash visibly skews member shares.
+func hashSeeded(seed uint64, s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h ^= (seed >> (8 * i)) & 0xff
+		h *= fnvPrime64
+	}
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// member.
+type ringPoint struct {
+	hash   uint64
+	member int
+}
+
+// Ring is a consistent-hash ring placing item ids onto members. Immutable
+// after NewRing and safe for concurrent use.
+type Ring struct {
+	seed   uint64
+	vnodes int
+	names  []string
+	points []ringPoint // ascending by (hash, member)
+}
+
+// NewRing builds a ring with vnodes virtual nodes per member. Member names
+// must be non-empty and unique — they are the hash keys, so renaming a
+// member moves its items.
+func NewRing(names []string, vnodes int, seed uint64) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		return nil, fmt.Errorf("cluster: vnodes = %d, want > 0", vnodes)
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty member name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate member name %q", n)
+		}
+		seen[n] = true
+	}
+	r := &Ring{
+		seed:   seed,
+		vnodes: vnodes,
+		names:  append([]string(nil), names...),
+		points: make([]ringPoint, 0, len(names)*vnodes),
+	}
+	for m, name := range r.names {
+		for v := 0; v < vnodes; v++ {
+			h := hashSeeded(seed, name+"#"+strconv.Itoa(v))
+			r.points = append(r.points, ringPoint{hash: h, member: m})
+		}
+	}
+	// Tie order matters for determinism: identical hashes (astronomically
+	// rare, but possible) resolve to the lower member index everywhere.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Owner returns the index of the member owning id: the first virtual node
+// clockwise of the id's hash, wrapping past the top of the circle.
+func (r *Ring) Owner(id string) int {
+	h := hashSeeded(r.seed, id)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// OwnerName is Owner resolved to the member's name.
+func (r *Ring) OwnerName(id string) string { return r.names[r.Owner(id)] }
+
+// Members returns the member names in index order.
+func (r *Ring) Members() []string { return append([]string(nil), r.names...) }
+
+// Shares reports the fraction of the hash circle each member owns — the
+// expected share of a uniform id population, useful for checking that the
+// virtual-node count balances the ring acceptably.
+func (r *Ring) Shares() []float64 {
+	arcs := make([]float64, len(r.names))
+	for i, p := range r.points {
+		var arc uint64
+		if i == 0 {
+			// Wraparound arc: from the last point over the top to the first.
+			arc = p.hash + (^r.points[len(r.points)-1].hash + 1)
+		} else {
+			arc = p.hash - r.points[i-1].hash
+		}
+		arcs[p.member] += float64(arc)
+	}
+	const circle = float64(1<<63) * 2
+	out := make([]float64, len(arcs))
+	for i, a := range arcs {
+		out[i] = a / circle
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestRingDeterminism(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	r1, err := NewRing(names, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(names, 64, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffSeed, err := NewRing(names, 64, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("item-%d", i)
+		if r1.Owner(id) != r2.Owner(id) {
+			t.Fatalf("same-seed rings disagree on %q", id)
+		}
+		if r1.Owner(id) != diffSeed.Owner(id) {
+			moved++
+		}
+	}
+	// Distinct seeds must give an independent placement: with 3 members,
+	// ~2/3 of ids should move. Demand at least a quarter.
+	if moved < 250 {
+		t.Fatalf("only %d/1000 ids moved under a different seed", moved)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	r, err := NewRing(names, DefaultVNodes, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(names))
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("item-%d", i))]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("member %s owns %.1f%% of ids, want a rough third", names[m], 100*frac)
+		}
+	}
+	shares := r.Shares()
+	total := 0.0
+	for m, s := range shares {
+		total += s
+		// The observed id fraction should track the ring share.
+		if math.Abs(s-float64(counts[m])/n) > 0.05 {
+			t.Fatalf("member %s: share %.3f vs observed %.3f", names[m], s, float64(counts[m])/n)
+		}
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %g, want 1", total)
+	}
+}
+
+func TestRingSingleMemberOwnsAll(t *testing.T) {
+	r, err := NewRing([]string{"only"}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.OwnerName(fmt.Sprintf("x%d", i)); got != "only" {
+			t.Fatalf("owner %q", got)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 8, 1); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8, 1); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{""}, 8, 1); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewRing([]string{"a"}, 0, 1); err == nil {
+		t.Fatal("zero vnodes accepted")
+	}
+}

@@ -8,9 +8,49 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	"maxsumdiv/internal/server"
 )
+
+// Backpressure (429 + Retry-After) handling for mutations: a shed mutation
+// is the server protecting itself, not a failure, so targets honor the
+// header with a bounded number of retries instead of erroring. The waits
+// are capped so a hostile/buggy Retry-After cannot stall a load run.
+const (
+	max429Retries  = 3
+	default429Wait = 50 * time.Millisecond
+	max429Wait     = 2 * time.Second
+)
+
+// retryAfterWait maps a Retry-After header onto a bounded wait. Only the
+// delay-seconds form is honored (HTTP dates are overkill for a load tool);
+// absent or unparsable headers get the default backoff.
+func retryAfterWait(header string) time.Duration {
+	secs, err := strconv.Atoi(header)
+	if err != nil || secs <= 0 {
+		return default429Wait
+	}
+	d := time.Duration(secs) * time.Second
+	if d > max429Wait {
+		return max429Wait
+	}
+	return d
+}
+
+// sleepRetry waits out one 429 backoff, honoring cancellation.
+func sleepRetry(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Item is one corpus item a scenario inserts or updates.
 type Item struct {
@@ -33,21 +73,30 @@ type QueryResult struct {
 	Value float64
 	// N is the candidate-pool size the server reports for the query.
 	N int
+	// Partial marks a degraded cluster read (HTTP 206): a member was down
+	// and the answer covers the surviving members only. The result-size
+	// and no-duplicate invariants still apply — N is the surviving pool.
+	Partial bool
 }
 
 // Target is the system under load. Implementations must be safe for
 // concurrent use; every method returns an error for transport failures and
-// non-2xx replies alike.
+// non-2xx replies alike — except mutation backpressure (429), which is
+// retried per its Retry-After header, and degraded cluster reads (206),
+// which count as success with Partial set.
 type Target interface {
 	Insert(ctx context.Context, items []Item) error
 	Delete(ctx context.Context, id string) error
 	Query(ctx context.Context, q QueryParams) (QueryResult, error)
 }
 
-// HTTPTarget drives a serve instance over real HTTP.
+// HTTPTarget drives a serve instance (or a cluster coordinator — the wire
+// API is the same) over real HTTP.
 type HTTPTarget struct {
 	BaseURL string
 	Client  *http.Client
+
+	retried429 atomic.Uint64
 }
 
 // NewHTTPTarget wires a base URL and client (nil = http.DefaultClient).
@@ -58,41 +107,54 @@ func NewHTTPTarget(baseURL string, client *http.Client) *HTTPTarget {
 	return &HTTPTarget{BaseURL: baseURL, Client: client}
 }
 
+// Retried429 reports how many shed mutations (429) were retried after
+// waiting out their Retry-After — the report's backpressure line.
+func (t *HTTPTarget) Retried429() uint64 { return t.retried429.Load() }
+
 func (t *HTTPTarget) Insert(ctx context.Context, items []Item) error {
 	body, err := marshalItems(items)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.BaseURL+"/items", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := t.Client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer drainBody(resp)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST /items: status %d", resp.StatusCode)
-	}
-	return nil
+	return t.mutate(ctx, http.MethodPost, "/items", body)
 }
 
 func (t *HTTPTarget) Delete(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, t.BaseURL+"/items/"+id, nil)
-	if err != nil {
-		return err
+	return t.mutate(ctx, http.MethodDelete, "/items/"+id, nil)
+}
+
+// mutate runs one mutation, absorbing bounded 429 backpressure.
+func (t *HTTPTarget) mutate(ctx context.Context, method, path string, body []byte) error {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, t.BaseURL+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := t.Client.Do(req)
+		if err != nil {
+			return err
+		}
+		retryAfter := resp.Header.Get("Retry-After")
+		code := resp.StatusCode
+		drainBody(resp)
+		if code == http.StatusOK {
+			return nil
+		}
+		if code != http.StatusTooManyRequests || attempt >= max429Retries {
+			return fmt.Errorf("%s %s: status %d", method, path, code)
+		}
+		t.retried429.Add(1)
+		if err := sleepRetry(ctx, retryAfterWait(retryAfter)); err != nil {
+			return err
+		}
 	}
-	resp, err := t.Client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer drainBody(resp)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("DELETE /items/%s: status %d", id, resp.StatusCode)
-	}
-	return nil
 }
 
 func (t *HTTPTarget) Query(ctx context.Context, q QueryParams) (QueryResult, error) {
@@ -110,7 +172,7 @@ func (t *HTTPTarget) Query(ctx context.Context, q QueryParams) (QueryResult, err
 		return QueryResult{}, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusPartialContent {
 		drainBody(resp)
 		return QueryResult{}, fmt.Errorf("POST /diversify: status %d", resp.StatusCode)
 	}
@@ -118,16 +180,22 @@ func (t *HTTPTarget) Query(ctx context.Context, q QueryParams) (QueryResult, err
 }
 
 // HandlerTarget drives an http.Handler in process — no sockets, no
-// network stack. It is how scenarios run against an in-process server in
-// tests, CI smoke runs, and bench probes.
+// network stack. It is how scenarios run against an in-process server (or
+// cluster coordinator) in tests, CI smoke runs, and bench probes.
 type HandlerTarget struct {
 	h http.Handler
+
+	retried429 atomic.Uint64
 }
 
 // NewHandlerTarget wraps a handler (typically server.New(...).Handler()).
 func NewHandlerTarget(h http.Handler) *HandlerTarget { return &HandlerTarget{h: h} }
 
-func (t *HandlerTarget) roundTrip(ctx context.Context, method, path string, body []byte) (*httptest.ResponseRecorder, error) {
+// Retried429 reports how many shed mutations (429) were retried after
+// waiting out their Retry-After.
+func (t *HandlerTarget) Retried429() uint64 { return t.retried429.Load() }
+
+func (t *HandlerTarget) roundTrip(ctx context.Context, method, path string, body []byte) *httptest.ResponseRecorder {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -138,10 +206,24 @@ func (t *HandlerTarget) roundTrip(ctx context.Context, method, path string, body
 	}
 	rec := httptest.NewRecorder()
 	t.h.ServeHTTP(rec, req)
-	if rec.Code != http.StatusOK {
-		return nil, fmt.Errorf("%s %s: status %d: %s", method, path, rec.Code, rec.Body.String())
+	return rec
+}
+
+// mutate runs one in-process mutation, absorbing bounded 429 backpressure.
+func (t *HandlerTarget) mutate(ctx context.Context, method, path string, body []byte) error {
+	for attempt := 0; ; attempt++ {
+		rec := t.roundTrip(ctx, method, path, body)
+		if rec.Code == http.StatusOK {
+			return nil
+		}
+		if rec.Code != http.StatusTooManyRequests || attempt >= max429Retries {
+			return fmt.Errorf("%s %s: status %d: %s", method, path, rec.Code, rec.Body.String())
+		}
+		t.retried429.Add(1)
+		if err := sleepRetry(ctx, retryAfterWait(rec.Header().Get("Retry-After"))); err != nil {
+			return err
+		}
 	}
-	return rec, nil
 }
 
 func (t *HandlerTarget) Insert(ctx context.Context, items []Item) error {
@@ -149,13 +231,11 @@ func (t *HandlerTarget) Insert(ctx context.Context, items []Item) error {
 	if err != nil {
 		return err
 	}
-	_, err = t.roundTrip(ctx, http.MethodPost, "/items", body)
-	return err
+	return t.mutate(ctx, http.MethodPost, "/items", body)
 }
 
 func (t *HandlerTarget) Delete(ctx context.Context, id string) error {
-	_, err := t.roundTrip(ctx, http.MethodDelete, "/items/"+id, nil)
-	return err
+	return t.mutate(ctx, http.MethodDelete, "/items/"+id, nil)
 }
 
 func (t *HandlerTarget) Query(ctx context.Context, q QueryParams) (QueryResult, error) {
@@ -163,9 +243,9 @@ func (t *HandlerTarget) Query(ctx context.Context, q QueryParams) (QueryResult, 
 	if err != nil {
 		return QueryResult{}, err
 	}
-	rec, err := t.roundTrip(ctx, http.MethodPost, "/diversify", body)
-	if err != nil {
-		return QueryResult{}, err
+	rec := t.roundTrip(ctx, http.MethodPost, "/diversify", body)
+	if rec.Code != http.StatusOK && rec.Code != http.StatusPartialContent {
+		return QueryResult{}, fmt.Errorf("POST /diversify: status %d: %s", rec.Code, rec.Body.String())
 	}
 	return decodeQueryResult(rec.Body)
 }
@@ -188,11 +268,14 @@ func marshalQuery(q QueryParams) ([]byte, error) {
 }
 
 func decodeQueryResult(r io.Reader) (QueryResult, error) {
-	var resp server.DiversifyResponse
+	var resp struct {
+		server.DiversifyResponse
+		Partial bool `json:"partial"`
+	}
 	if err := json.NewDecoder(r).Decode(&resp); err != nil {
 		return QueryResult{}, fmt.Errorf("decode /diversify response: %w", err)
 	}
-	out := QueryResult{Value: resp.Value, N: resp.N, IDs: make([]string, len(resp.Items))}
+	out := QueryResult{Value: resp.Value, N: resp.N, Partial: resp.Partial, IDs: make([]string, len(resp.Items))}
 	for i, it := range resp.Items {
 		out.IDs[i] = it.ID
 	}

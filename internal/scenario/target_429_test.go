@@ -1,0 +1,85 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// sheddingHandler answers 429 + Retry-After to the first n mutations, then
+// behaves like a healthy (if vacuous) server.
+type sheddingHandler struct {
+	remaining atomic.Int64
+}
+
+func (s *sheddingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && s.remaining.Add(-1) >= 0 {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintln(w, `{"error":"mutations shed"}`)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, `{"accepted":1,"pending":0}`)
+}
+
+func TestHandlerTargetRetries429(t *testing.T) {
+	h := &sheddingHandler{}
+	h.remaining.Store(2)
+	target := NewHandlerTarget(h)
+	if err := target.Insert(context.Background(), []Item{{ID: "a", Weight: 1}}); err != nil {
+		t.Fatalf("insert after shedding: %v", err)
+	}
+	if got := target.Retried429(); got != 2 {
+		t.Fatalf("retried %d, want 2", got)
+	}
+}
+
+func TestHandlerTarget429Bounded(t *testing.T) {
+	h := &sheddingHandler{}
+	h.remaining.Store(1 << 30) // sheds forever
+	target := NewHandlerTarget(h)
+	err := target.Delete(context.Background(), "a")
+	if err == nil {
+		t.Fatal("unbounded retry: delete succeeded against a permanently shedding server")
+	}
+	if got := target.Retried429(); got != max429Retries {
+		t.Fatalf("retried %d, want %d", got, max429Retries)
+	}
+}
+
+func TestHTTPTargetRetries429(t *testing.T) {
+	h := &sheddingHandler{}
+	h.remaining.Store(1)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	target := NewHTTPTarget(ts.URL, nil)
+	if err := target.Insert(context.Background(), []Item{{ID: "a", Weight: 1}}); err != nil {
+		t.Fatalf("insert after shedding: %v", err)
+	}
+	if got := target.Retried429(); got != 1 {
+		t.Fatalf("retried %d, want 1", got)
+	}
+}
+
+func TestRetryAfterWait(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", default429Wait},
+		{"0", default429Wait},
+		{"garbage", default429Wait},
+		{"1", time.Second},
+		{"600", max429Wait},
+	}
+	for _, c := range cases {
+		if got := retryAfterWait(c.header); got != c.want {
+			t.Fatalf("retryAfterWait(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}

@@ -226,6 +226,19 @@ func (c *corpus) publishIfDirty() {
 	c.dirty = false
 }
 
+// fillVectors resolves selected items' vectors against the live build state,
+// for responses a cluster coordinator re-solves over. Items deleted since the
+// solve stay vectorless (coordinators drop vectorless candidates).
+func (c *corpus) fillVectors(items []SelectedItem) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range items {
+		if idx, ok := c.ids[items[i].ID]; ok {
+			items[i].Vector = c.items[idx].vector
+		}
+	}
+}
+
 // size returns the live item count of the build state.
 func (c *corpus) size() int {
 	c.mu.Lock()
@@ -285,6 +298,7 @@ type solveResult struct {
 	sol   *core.Solution
 	items []item // selected items, aligned with sol.Members order
 	n     int    // candidate-pool size the solve ran over (n at epoch)
+	epoch uint64 // sequence number of the pinned epoch
 }
 
 // solveFull answers a query over every item of the current epoch. The solve
@@ -304,7 +318,7 @@ func (c *corpus) solveFull(ctx context.Context, spec solveSpec) (*solveResult, e
 	c.queries.Add(1)
 	n := e.n
 	if n == 0 || spec.k == 0 {
-		return &solveResult{n: n}, nil
+		return &solveResult{n: n, epoch: e.seq}, nil
 	}
 	if err := spec.checkExactLimit(n); err != nil {
 		return nil, err
@@ -356,7 +370,7 @@ func (c *corpus) solveFull(ctx context.Context, spec solveSpec) (*solveResult, e
 // epoch. Coalesced queries share the *Solution (read-only after the solve);
 // each builds its own item list.
 func resultFromSolution(e *epoch, sol *core.Solution, n int) *solveResult {
-	out := &solveResult{sol: sol, n: n, items: make([]item, len(sol.Members))}
+	out := &solveResult{sol: sol, n: n, epoch: e.seq, items: make([]item, len(sol.Members))}
 	for i, m := range sol.Members {
 		out.items[i] = item{id: e.ids[m], weight: e.weights.Weight(m)}
 	}
@@ -380,7 +394,7 @@ func (c *corpus) solveSubset(ctx context.Context, ids []string, spec solveSpec) 
 	}
 	m := len(subset)
 	if m == 0 || spec.k == 0 {
-		return &solveResult{n: m}, nil
+		return &solveResult{n: m, epoch: e.seq}, nil
 	}
 	if err := spec.checkExactLimit(m); err != nil {
 		return nil, err

@@ -192,8 +192,8 @@ type Server struct {
 	seed   maphash.Seed
 	start  time.Time
 
-	queryLat    latencyRecorder
-	mutationLat latencyRecorder
+	queryLat    LatencyRecorder
+	mutationLat LatencyRecorder
 
 	// dim is the corpus vector dimension, fixed by the first item carrying
 	// a non-empty vector (0 = not yet fixed). Enforced across requests so
@@ -287,6 +287,7 @@ func (s *Server) checkDims(batch []ItemPayload) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /items", s.handleUpsert)
+	mux.HandleFunc("GET /items/{id}", s.handleGetItem)
 	mux.HandleFunc("DELETE /items/{id}", s.handleDelete)
 	mux.HandleFunc("POST /diversify", s.handleDiversify)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -379,6 +380,14 @@ type DiversifyRequest struct {
 	// "maintained" (solve over the union of the shards' maintained
 	// selections — constant-size, corpus-independent latency).
 	Scope string `json:"scope,omitempty"`
+	// IncludeVectors attaches each selected item's feature vector to the
+	// response — what a cluster coordinator needs to re-solve a merged
+	// per-member candidate union locally (composable core-sets). Vectors
+	// are resolved against the live build state, so an item deleted (or
+	// rewritten) between the solve and the response may come back without
+	// one (or with the newer vector); coordinators drop vectorless
+	// candidates.
+	IncludeVectors bool `json:"include_vectors,omitempty"`
 }
 
 // DecodeDiversify parses and validates a POST /diversify body.
@@ -443,10 +452,12 @@ type MutationResponse struct {
 	Pending int `json:"pending"`
 }
 
-// SelectedItem is one element of a query result.
+// SelectedItem is one element of a query result. Vector is attached only
+// when the query asked for it (DiversifyRequest.IncludeVectors).
 type SelectedItem struct {
-	ID     string  `json:"id"`
-	Weight float64 `json:"weight"`
+	ID     string    `json:"id"`
+	Weight float64   `json:"weight"`
+	Vector []float64 `json:"vector,omitempty"`
 }
 
 // DiversifyResponse is the wire form of a query reply.
@@ -459,6 +470,20 @@ type DiversifyResponse struct {
 	Algorithm  string         `json:"algorithm"`
 	Scope      string         `json:"scope"`
 	ElapsedMS  float64        `json:"elapsed_ms"`
+	// Epoch is the corpus generation the solve pinned — the consistency
+	// marker cluster coordinators aggregate so replica staleness is
+	// observable per member.
+	Epoch uint64 `json:"epoch"`
+}
+
+// ItemStatus is the wire form of a GET /items/{id} reply: enough to verify
+// placement (which node owns the id, with what weight and dimensionality)
+// without exposing the vector itself.
+type ItemStatus struct {
+	ID        string  `json:"id"`
+	Weight    float64 `json:"weight"`
+	HasVector bool    `json:"has_vector"`
+	Dim       int     `json:"dim,omitempty"`
 }
 
 // shedMutation applies the epochs-live backpressure bound: when slow readers
@@ -519,8 +544,26 @@ func (s *Server) handleUpsert(w http.ResponseWriter, r *http.Request) {
 	for sh := range touched {
 		pending += sh.pendingLen()
 	}
-	s.mutationLat.record(time.Since(start))
+	s.mutationLat.Record(time.Since(start))
 	writeJSON(w, http.StatusOK, MutationResponse{Accepted: len(batch), Pending: pending})
+}
+
+// handleGetItem answers GET /items/{id}: the item's weight and vector
+// presence as the client observes it (pending queued mutations included),
+// 404 when the id is unknown. Cluster routing tests use it to verify ring
+// placement without scraping /stats.
+func (s *Server) handleGetItem(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing item id"))
+		return
+	}
+	st, ok := s.shardFor(id).getItem(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown item %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -547,7 +590,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		s.corpus.publishIfDirty()
 		n = sh.pendingLen()
 	}
-	s.mutationLat.record(time.Since(start))
+	s.mutationLat.Record(time.Since(start))
 	writeJSON(w, http.StatusOK, MutationResponse{Accepted: 1, Pending: n})
 }
 
@@ -581,7 +624,7 @@ func (s *Server) handleDiversify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, code, err)
 		return
 	}
-	s.queryLat.record(time.Since(start))
+	s.queryLat.Record(time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -663,12 +706,16 @@ func (s *Server) Diversify(ctx context.Context, req DiversifyRequest) (*Diversif
 		return nil, err
 	}
 	resp.N = res.n
+	resp.Epoch = res.epoch
 	if res.sol != nil {
 		resp.Items = make([]SelectedItem, len(res.items))
 		for i, it := range res.items {
 			resp.Items[i] = SelectedItem{ID: it.id, Weight: it.weight}
 		}
 		resp.Value, resp.Quality, resp.Dispersion = res.sol.Value, res.sol.FValue, res.sol.Dispersion
+		if req.IncludeVectors {
+			s.corpus.fillVectors(resp.Items)
+		}
 	}
 	resp.ElapsedMS = ms(time.Since(start))
 	return resp, nil
@@ -702,8 +749,8 @@ func (s *Server) Stats() Stats {
 	st := Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Shards:        make([]ShardStats, len(s.shards)),
-		Query:         s.queryLat.snapshot(),
-		Mutation:      s.mutationLat.snapshot(),
+		Query:         s.queryLat.Snapshot(),
+		Mutation:      s.mutationLat.Snapshot(),
 	}
 	for i, sh := range s.shards {
 		sh.mu.Lock()

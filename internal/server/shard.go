@@ -131,6 +131,28 @@ func (sh *shard) enqueue(o op) (queueLen int, ok bool) {
 	return len(sh.pending), true
 }
 
+// getItem reports an item's status as the client observes it: the newest
+// queued op for the id overrides the live state, so an acknowledged upsert
+// is visible before its flush and an acknowledged delete hides the item
+// immediately. ok is false for unknown (or pending-deleted) ids.
+func (sh *shard) getItem(id string) (ItemStatus, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prev, queued := sh.pendingIdx[id]; queued {
+		o := sh.pending[prev]
+		if o.kind == opDelete {
+			return ItemStatus{}, false
+		}
+		return ItemStatus{ID: id, Weight: o.weight, HasVector: len(o.vector) > 0, Dim: len(o.vector)}, true
+	}
+	idx, live := sh.ids[id]
+	if !live {
+		return ItemStatus{}, false
+	}
+	it := sh.items[idx]
+	return ItemStatus{ID: id, Weight: it.weight, HasVector: len(it.vector) > 0, Dim: len(it.vector)}, true
+}
+
 // liveCount reports the item count including pending effects.
 func (sh *shard) liveCount() int {
 	sh.mu.Lock()

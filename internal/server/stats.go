@@ -10,9 +10,11 @@ import (
 // percentile estimates (power of two; ~4 KB per recorder).
 const latencyRingSize = 512
 
-// latencyRecorder aggregates request latencies: exact count/mean/max plus
+// LatencyRecorder aggregates request latencies: exact count/mean/max plus
 // percentiles estimated over a sliding window of the most recent samples.
-type latencyRecorder struct {
+// The zero value is ready to use. Exported so other serving layers (the
+// cluster coordinator) reuse the same percentile accounting /stats reports.
+type LatencyRecorder struct {
 	mu    sync.Mutex
 	count int64
 	sum   time.Duration
@@ -22,7 +24,8 @@ type latencyRecorder struct {
 	next  int // next write position
 }
 
-func (l *latencyRecorder) record(d time.Duration) {
+// Record folds one request latency into the recorder.
+func (l *LatencyRecorder) Record(d time.Duration) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.count++
@@ -47,7 +50,8 @@ type LatencyStats struct {
 	MaxMS  float64 `json:"max_ms"`
 }
 
-func (l *latencyRecorder) snapshot() LatencyStats {
+// Snapshot summarizes the recorded latencies.
+func (l *LatencyRecorder) Snapshot() LatencyStats {
 	l.mu.Lock()
 	window := make([]time.Duration, l.fill)
 	copy(window, l.ring[:l.fill])
