@@ -6,6 +6,8 @@ import (
 	"io"
 	"runtime"
 	"testing"
+
+	"maxsumdiv/internal/metric"
 )
 
 // Schema identifies the report layout. Bump on any change to field
@@ -17,12 +19,17 @@ import (
 // v2: the server query probes measure the rebuild-free corpus path (one
 // long-lived backend, per-query λ) instead of per-query problem
 // construction, and the suite gained the server/query_reuse probe.
-const Schema = "maxsumdiv-bench/v2"
+//
+// v3: reports stamp the dot-kernel build variant (Kernel), and the suite
+// gained the metric/dot_ns_per_coord probes and the multi-λ batched
+// throughput probe.
+const Schema = "maxsumdiv-bench/v3"
 
 // compatibleSchemas are older layouts this binary still reads; their probe
 // names and field meanings are diff-compatible with the current schema.
 var compatibleSchemas = map[string]bool{
 	"maxsumdiv-bench/v1": true,
+	"maxsumdiv-bench/v2": true,
 }
 
 // CalibrationName is the fixed pure-CPU probe every report must contain;
@@ -55,10 +62,14 @@ type Result struct {
 
 // Report is the machine-readable output of one suite run.
 type Report struct {
-	Schema     string   `json:"schema"`
-	GoVersion  string   `json:"go_version"`
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Kernel is the dot-kernel build variant that produced the measurements
+	// ("amd64-v3", "purego", …) — metric.KernelVariant at run time. Empty in
+	// pre-v3 reports.
+	Kernel     string   `json:"kernel,omitempty"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Quick      bool     `json:"quick"`
 	Results    []Result `json:"results"`
@@ -71,6 +82,7 @@ func newReport(quick bool) *Report {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		Kernel:     metric.KernelVariant(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      quick,
 	}

@@ -54,6 +54,13 @@ func Suite(opts Options) []Spec {
 	all := []Spec{
 		calibrationSpec(),
 
+		// The dispatched dot kernels against their scalar reference, in ns
+		// per coordinate (one distance row costs n·d of these). On native
+		// builds the probes hard-fail unless the dispatched kernel is
+		// measurably faster.
+		dotKernelSpec("metric/dot_ns_per_coord/f32", true, false),
+		dotKernelSpec("metric/dot_ns_per_coord/int8", true, true),
+
 		// End-to-end problem build + greedy solve: the per-query work of
 		// the serving layer, on each backend the library offers.
 		greedyE2ESpec("greedy/f64-dense/n=1000/k=32/e2e", true, 1000, 32, backendDense64),
@@ -119,6 +126,12 @@ func Suite(opts Options) []Spec {
 		// full-scope queries must finish ≥ 1.5× faster on a coalescing server
 		// than on one solving each solo (hard failure, not a regression).
 		batchedThroughputSpec("server/batched_query_throughput", true, 2048, 16),
+
+		// The multi-λ gang's claim: concurrent greedy queries differing only
+		// in λ — which the plain λ-keyed dispatcher always ran solo — must
+		// coalesce (queries_coalesced > 0 is a hard failure otherwise);
+		// the solo-vs-batched speedup lands in Extra.
+		multiLambdaThroughputSpec("server/multi_lambda_batch_throughput", true, 2048, 16),
 
 		// The incremental-compaction claim: per-flush compaction work under a
 		// vector-rewrite storm stays bounded (hard failure on any flush doing

@@ -255,8 +255,19 @@ func (s *State) FValue() float64 { return s.f.Value() }
 // Dispersion returns d(S).
 func (s *State) Dispersion() float64 { return s.sumD }
 
+// potScore and objScore are the two score expressions of the paper's
+// selection rules: the greedy potential φ′ = ½·f_u(S) + λ·d_u(S) and the
+// objective marginal φ = f_u(S) + λ·d_u(S) (objScore also evaluates the
+// objective itself, with f(S) and d(S) in place of the marginals). Every
+// scan — the serial State methods, the cached parallel scorers, and the
+// multi-λ shared fold — goes through these helpers so the compiler emits
+// one float expression for each rule and bit-identical scores cannot drift
+// apart between code paths.
+func potScore(fMarginal, lambda, du float64) float64 { return 0.5*fMarginal + lambda*du }
+func objScore(fMarginal, lambda, du float64) float64 { return fMarginal + lambda*du }
+
 // Value returns φ(S).
-func (s *State) Value() float64 { return s.f.Value() + s.obj.lambda*s.sumD }
+func (s *State) Value() float64 { return objScore(s.f.Value(), s.obj.lambda, s.sumD) }
 
 // DistToSet returns d_u(S) = Σ_{v∈S} d(u,v); valid for members and
 // non-members alike.
@@ -267,13 +278,13 @@ func (s *State) MarginalF(u int) float64 { return s.f.Marginal(u) }
 
 // MarginalObjective returns φ_u(S) = f_u(S) + λ·d_u(S) for u ∉ S.
 func (s *State) MarginalObjective(u int) float64 {
-	return s.f.Marginal(u) + s.obj.lambda*s.du[u]
+	return objScore(s.f.Marginal(u), s.obj.lambda, s.du[u])
 }
 
 // MarginalPotential returns the paper's greedy potential
 // φ′_u(S) = ½·f_u(S) + λ·d_u(S) for u ∉ S.
 func (s *State) MarginalPotential(u int) float64 {
-	return 0.5*s.f.Marginal(u) + s.obj.lambda*s.du[u]
+	return potScore(s.f.Marginal(u), s.obj.lambda, s.du[u])
 }
 
 // Add inserts u ∉ S.

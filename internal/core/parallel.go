@@ -133,7 +133,7 @@ func (sc *scanner) potentialScorer(worker int) engine.Scorer {
 			if st.in[u] {
 				return 0, false
 			}
-			return 0.5*ev.Marginal(u) + st.obj.lambda*st.du[u], true
+			return potScore(ev.Marginal(u), st.obj.lambda, st.du[u]), true
 		}
 	}
 	return sc.potScorers[worker]
@@ -150,7 +150,7 @@ func (sc *scanner) objectiveScorer(worker int) engine.Scorer {
 			if st.in[u] {
 				return 0, false
 			}
-			return ev.Marginal(u) + st.obj.lambda*st.du[u], true
+			return objScore(ev.Marginal(u), st.obj.lambda, st.du[u]), true
 		}
 	}
 	return sc.objScorers[worker]
@@ -248,7 +248,7 @@ func (sc *scanner) bestFeasibleAddition(m matroid.Matroid, members []int) engine
 			if st.in[u] {
 				return 0, false
 			}
-			v := 0.5*ev.Marginal(u) + st.obj.lambda*st.du[u]
+			v := potScore(ev.Marginal(u), st.obj.lambda, st.du[u])
 			// A candidate that cannot beat this shard's incumbent cannot
 			// win the merged scan either; skip its feasibility check.
 			if taken && v <= localBest {

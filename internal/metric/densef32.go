@@ -262,12 +262,6 @@ func lInfF32(a, b []float32) float32 {
 	return s
 }
 
-// dotF32 returns Σ a_k·b_k.
-func dotF32(a, b []float32) float32 {
-	var s float32
-	b = b[:len(a)]
-	for k, x := range a {
-		s += x * b[k]
-	}
-	return s
-}
+// dotF32 — Σ a_k·b_k over float32 — lives in the kernel layer (kernel.go
+// and the build-tag dispatch files) so the blocked tiles here, the vector
+// backends, and the bench probes all share one dispatched implementation.

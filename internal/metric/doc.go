@@ -27,4 +27,28 @@
 // mutex-striped cache safe for the concurrent scan workers of
 // maxsumdiv/internal/engine (the right call at large n, where a dense
 // matrix is quadratic memory). Memoize picks between them automatically.
+//
+// # Vector-native stores and dot kernels
+//
+// VecStore keeps only item vectors (float32, or int8-quantized with
+// per-item scales) and computes cosine distances on demand — O(n·d)
+// resident where every triangular backend is O(n²/2). Its row reads come in
+// three grains: Distance (one pair), AccumulateRow (one row, through a
+// bounded per-store/per-snapshot row cache), and the RowBatcher interface,
+// whose Rows computes all cache-missing rows of a query set in a single
+// streaming pass over the stored vectors (each stored vector is loaded
+// once and dotted against every query point while cache-hot).
+//
+// All of them funnel through two package-private dot kernels selected once
+// per build (kernel.go): native builds bind an 8-lane multi-accumulator
+// float32 kernel (~2× the scalar loop — FP adds pipeline across
+// independent chains instead of serializing on one) and the scalar int8
+// kernel (integer adds are single-cycle; unrolling measures slower). The
+// `purego` build tag forces the scalar reference everywhere, and
+// KernelVariant names the selected build so serving stats and bench
+// reports can attribute measurements. Within one build every read path
+// shares one kernel, so cached rows are always bit-for-bit
+// float32(Distance(u,v)); across builds float32 results agree to
+// length-scaled rounding while int8 results are bitwise identical
+// (int32 accumulation is associative).
 package metric

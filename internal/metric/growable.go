@@ -64,13 +64,21 @@ const (
 // vector store ("vec-f32", "vec-int8"). Vector kinds grow via the
 // VectorAppender path rather than AppendRow — see VecStore.
 func NewSnapshotter(kind string) (Snapshotter, error) {
+	return NewSnapshotterRowCache(kind, 0)
+}
+
+// NewSnapshotterRowCache is NewSnapshotter with an explicit row-cache bound
+// for the vector kinds (rows ≤ 0 selects the default; see
+// NewVecStoreRowCache). The stored-distance kinds have no row cache — rows
+// is ignored for them.
+func NewSnapshotterRowCache(kind string, rows int) (Snapshotter, error) {
 	switch kind {
 	case KindF64:
 		return NewTriF64(), nil
 	case KindF32:
 		return NewTriF32(), nil
 	case KindVecF32, KindVecInt8:
-		return NewVecStore(kind)
+		return NewVecStoreRowCache(kind, rows)
 	default:
 		return nil, fmt.Errorf("metric: unknown growable backend kind %q (want %q, %q, %q or %q)",
 			kind, KindF64, KindF32, KindVecF32, KindVecInt8)

@@ -1,0 +1,21 @@
+//go:build !purego
+
+package metric
+
+// Native dispatch. Build with -tags purego to force the scalar reference
+// everywhere instead (kernel_purego.go).
+//
+//   - dotF32 binds the unrolled multi-accumulator kernel: float32 adds have
+//     multi-cycle latency, so the scalar loop serializes on one dependent
+//     chain and the eight independent lanes are measurably faster (the
+//     metric/dot_ns_per_coord/f32 bench probe hard-fails if they stop
+//     being).
+//   - dotI8 binds the scalar kernel on purpose: integer adds are
+//     single-cycle, so there is no latency chain to break — measured at
+//     d=1024 on amd64 (v1 and v3 alike) the unrolled variant is ~10%
+//     SLOWER than the plain range loop. See dotI8Unrolled for the retained
+//     negative result.
+
+func dotF32(a, b []float32) float32 { return dotF32Unrolled(a, b) }
+
+func dotI8(a, b []int8) float32 { return dotI8Scalar(a, b) }

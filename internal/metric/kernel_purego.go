@@ -1,0 +1,14 @@
+//go:build purego
+
+package metric
+
+// purego dispatch: the scalar reference kernels everywhere, whatever the
+// target architecture. This is the fallback build CI runs the metric tests
+// under so it cannot rot, and the configuration to reach for when
+// bisecting a numerical question down to one summation order.
+
+const kernelVariant = "purego"
+
+func dotF32(a, b []float32) float32 { return dotF32Scalar(a, b) }
+
+func dotI8(a, b []int8) float32 { return dotI8Scalar(a, b) }

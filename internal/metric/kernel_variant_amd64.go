@@ -1,0 +1,9 @@
+//go:build !purego && amd64 && !amd64.v2
+
+package metric
+
+// Baseline x86-64 (GOAMD64=v1): SSE2 only. The microarch tags are
+// monotone — v3 implies v2 — so each variant file matches exactly one
+// GOAMD64 level by excluding the next one up.
+
+const kernelVariant = "amd64-v1"

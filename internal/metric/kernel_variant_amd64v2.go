@@ -1,0 +1,7 @@
+//go:build !purego && amd64.v2 && !amd64.v3
+
+package metric
+
+// GOAMD64=v2: SSE4.2/POPCNT-era codegen.
+
+const kernelVariant = "amd64-v2"

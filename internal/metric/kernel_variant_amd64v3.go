@@ -1,0 +1,7 @@
+//go:build !purego && amd64.v3 && !amd64.v4
+
+package metric
+
+// GOAMD64=v3: AVX2/FMA-era codegen — the level CI exercises explicitly.
+
+const kernelVariant = "amd64-v3"

@@ -1,0 +1,7 @@
+//go:build !purego && amd64.v4
+
+package metric
+
+// GOAMD64=v4: AVX-512-era codegen.
+
+const kernelVariant = "amd64-v4"

@@ -1,0 +1,7 @@
+//go:build !purego && arm64
+
+package metric
+
+// arm64: NEON baseline codegen.
+
+const kernelVariant = "arm64"

@@ -1,0 +1,8 @@
+//go:build !purego && !amd64 && !arm64
+
+package metric
+
+// Any other architecture: the unrolled kernels still apply (they are plain
+// Go), but no microarchitecture level is distinguished.
+
+const kernelVariant = "generic"

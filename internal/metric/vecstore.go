@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // Vector backend kinds accepted by NewSnapshotter. Unlike KindF64/KindF32,
@@ -38,26 +39,39 @@ type VectorAppender interface {
 	Dim() int
 }
 
-// vecRowCacheCap bounds the solution-row cache: how many computed distance
-// rows a VecStore (and each of its snapshots) keeps. Local search folds the
-// k solution members' rows in and out on every swap scan; a bound of a few
-// dozen rows covers any practical k while capping cache memory at
-// vecRowCacheCap·n·4 bytes.
+// vecRowCacheCap is the default bound of the solution-row cache: how many
+// computed distance rows a VecStore (and each of its snapshots) keeps.
+// Local search folds the k solution members' rows in and out on every swap
+// scan; a bound of a few dozen rows covers any practical k while capping
+// cache memory at cap·n·4 bytes. Deployments tune it via
+// NewVecStoreRowCache (cmd/serve -row-cache).
 const vecRowCacheCap = 64
+
+// rowCacheStats aggregates hit/miss counts across a store and every
+// snapshot it publishes: snapshots get private row maps (their indexing is
+// frozen independently) but share the parent's counters, so the lifetime
+// numbers surfaced in /stats describe the whole serving read path, not
+// just the rarely-read build state.
+type rowCacheStats struct {
+	hits, misses atomic.Int64
+}
 
 // rowCache memoizes computed distance rows keyed by point index, bounded by
 // FIFO eviction. Safe for concurrent use; hits hand out shared immutable
 // rows (callers must not mutate them).
 type rowCache struct {
-	mu           sync.Mutex
-	rows         map[int][]float32
-	order        []int // insertion order for FIFO eviction
-	cap          int
-	hits, misses int64
+	mu    sync.Mutex
+	rows  map[int][]float32
+	order []int // insertion order for FIFO eviction
+	cap   int
+	stats *rowCacheStats
 }
 
-func newRowCache(capacity int) *rowCache {
-	return &rowCache{rows: make(map[int][]float32, capacity), cap: capacity}
+func newRowCache(capacity int, stats *rowCacheStats) *rowCache {
+	if stats == nil {
+		stats = &rowCacheStats{}
+	}
+	return &rowCache{rows: make(map[int][]float32, capacity), cap: capacity, stats: stats}
 }
 
 // get returns the cached row for u, or nil.
@@ -66,9 +80,9 @@ func (c *rowCache) get(u int) []float32 {
 	defer c.mu.Unlock()
 	row := c.rows[u]
 	if row != nil {
-		c.hits++
+		c.stats.hits.Add(1)
 	} else {
-		c.misses++
+		c.stats.misses.Add(1)
 	}
 	return row
 }
@@ -97,11 +111,10 @@ func (c *rowCache) reset() {
 	c.order = c.order[:0]
 }
 
-// counters returns lifetime hit/miss counts.
+// counters returns lifetime hit/miss counts (shared across the owning
+// store and all of its snapshots).
 func (c *rowCache) counters() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.stats.hits.Load(), c.stats.misses.Load()
 }
 
 // vecData is the shared storage of a VecStore and its snapshots: flat
@@ -206,15 +219,59 @@ func (d *vecData) cosineRow(u int, dst []float32) {
 	dst[u] = 0
 }
 
-// dotI8 returns Σ a_k·b_k over int8 coordinates, accumulated in int32 (a
-// dim-64k vector of ±127 products stays far from overflow).
-func dotI8(a, b []int8) float32 {
-	var s int32
-	b = b[:len(a)]
-	for k, x := range a {
-		s += int32(x) * int32(b[k])
+// cosineRows is the batched cosineRow: one streaming pass over the whole
+// flat array fills dsts[r][v] = d(us[r], v) for every query point us[r].
+// Each stored vector is loaded once and dotted against all R query vectors
+// while its cache lines are hot — R-fold reuse of the O(n·d) stream that
+// cosineRow would otherwise repeat per row. Per pair the arithmetic is
+// identical to cosineRow (same dot kernel, same float64 divide-and-clamp),
+// so the rows are bit-for-bit what R separate cosineRow calls produce.
+func (d *vecData) cosineRows(us []int, dsts [][]float32) {
+	for r := range us {
+		dsts[r] = dsts[r][:d.n]
 	}
-	return float32(s)
+	if d.f32 != nil {
+		for v := 0; v < d.n; v++ {
+			nv := d.norm[v]
+			bv := d.f32[v*d.dim : (v+1)*d.dim]
+			for r, u := range us {
+				nu := d.norm[u]
+				if nu == 0 || nv == 0 {
+					dsts[r][v] = 1
+					continue
+				}
+				s := float64(dotF32(d.f32[u*d.dim:(u+1)*d.dim], bv)) / (float64(nu) * float64(nv))
+				if s > 1 {
+					s = 1
+				} else if s < -1 {
+					s = -1
+				}
+				dsts[r][v] = float32(1 - s)
+			}
+		}
+	} else {
+		for v := 0; v < d.n; v++ {
+			nv := d.norm[v]
+			bv := d.q8[v*d.dim : (v+1)*d.dim]
+			for r, u := range us {
+				nu := d.norm[u]
+				if nu == 0 || nv == 0 {
+					dsts[r][v] = 1
+					continue
+				}
+				s := float64(dotI8(d.q8[u*d.dim:(u+1)*d.dim], bv)) / (float64(nu) * float64(nv))
+				if s > 1 {
+					s = 1
+				} else if s < -1 {
+					s = -1
+				}
+				dsts[r][v] = float32(1 - s)
+			}
+		}
+	}
+	for r, u := range us {
+		dsts[r][u] = 0
+	}
 }
 
 // VecStore is the compute-on-demand vector backend: it stores only the item
@@ -239,18 +296,34 @@ func dotI8(a, b []int8) float32 {
 // a snapshot is a (slice header, n) view plus a private row cache.
 type VecStore struct {
 	vecData
-	kind   string
-	shared bool // flat/norm/scale arrays shared with a snapshot
-	cache  *rowCache
+	kind     string
+	shared   bool // flat/norm/scale arrays shared with a snapshot
+	cache    *rowCache
+	cacheCap int            // row bound for this store and every snapshot
+	stats    *rowCacheStats // shared with every snapshot's cache
 }
 
 // NewVecStore returns an empty vector backend of the given kind (KindVecF32
-// or KindVecInt8). The vector dimension is fixed by the first non-empty
-// AppendVector.
+// or KindVecInt8) with the default row-cache bound. The vector dimension is
+// fixed by the first non-empty AppendVector.
 func NewVecStore(kind string) (*VecStore, error) {
+	return NewVecStoreRowCache(kind, 0)
+}
+
+// NewVecStoreRowCache is NewVecStore with an explicit row-cache bound: the
+// store and each snapshot it publishes keep at most rows computed distance
+// rows (rows ≤ 0 selects the default, vecRowCacheCap). Larger bounds trade
+// memory (rows·n·4 bytes per live cache) for fewer O(n·d) row
+// recomputations when working sets — maintained solution size, coalesced
+// query fan-out — exceed the default.
+func NewVecStoreRowCache(kind string, rows int) (*VecStore, error) {
+	if rows <= 0 {
+		rows = vecRowCacheCap
+	}
 	switch kind {
 	case KindVecF32, KindVecInt8:
-		return &VecStore{kind: kind, cache: newRowCache(vecRowCacheCap)}, nil
+		stats := &rowCacheStats{}
+		return &VecStore{kind: kind, cache: newRowCache(rows, stats), cacheCap: rows, stats: stats}, nil
 	default:
 		return nil, fmt.Errorf("metric: unknown vector backend kind %q (want %q or %q)", kind, KindVecF32, KindVecInt8)
 	}
@@ -294,10 +367,15 @@ func (s *VecStore) Bytes() int64 {
 }
 
 // RowCacheCounters returns the solution-row cache's lifetime hit/miss
-// counts (introspection; the public API surfaces them).
+// counts, aggregated across this store and every snapshot it has published
+// (introspection; the public API surfaces them).
 func (s *VecStore) RowCacheCounters() (hits, misses int64) {
 	return s.cache.counters()
 }
+
+// RowCacheCap returns the row bound of this store's cache (and of every
+// snapshot's private cache).
+func (s *VecStore) RowCacheCap() int { return s.cacheCap }
 
 // AppendVector grows the backend by one point in O(d): the vector is stored
 // (quantized for KindVecInt8) and its norm precomputed; no distances are
@@ -465,7 +543,7 @@ func (s *VecStore) Snapshot() Snapshot {
 		vecData: s.vecData,
 		kind:    s.kind,
 		bytes:   int64(len(s.f32))*4 + int64(len(s.q8)) + int64(len(s.scale))*4 + int64(len(s.norm))*4,
-		cache:   newRowCache(vecRowCacheCap),
+		cache:   newRowCache(s.cacheCap, s.stats),
 	}
 }
 
@@ -491,8 +569,69 @@ func (s *vecSnap) AccumulateRow(u int, sign float64, dst []float64) {
 	accumulateVecRow(&s.vecData, s.cache, u, sign, dst)
 }
 
+// Rows returns the distance rows of the given points (see RowBatcher).
+func (s *vecSnap) Rows(us []int, scratch [][]float32) [][]float32 {
+	return batchVecRows(&s.vecData, s.cache, us, scratch)
+}
+
+// RowBatcher is the batched row read: Rows fills one distance row per query
+// point, computing every cache miss in a single streaming pass over the
+// stored vectors instead of one pass per row (cosineRows). The returned
+// rows may be shared with the backend's cache — callers must not mutate
+// them. scratch, if non-nil, is reused for the returned headers so a warm
+// (all-hit) call allocates nothing.
+//
+// Vector backends (VecStore and its snapshots) implement it; callers that
+// need several rows of the same epoch — multi-λ shared solves warming the
+// rows their branches are about to fold — type-assert for it and fall back
+// to per-row AccumulateRow when absent.
+type RowBatcher interface {
+	Rows(us []int, scratch [][]float32) [][]float32
+}
+
+// Rows returns the distance rows of the given points (see RowBatcher).
+func (s *VecStore) Rows(us []int, scratch [][]float32) [][]float32 {
+	return batchVecRows(&s.vecData, s.cache, us, scratch)
+}
+
+// batchVecRows is the shared Rows implementation: cache hits are handed out
+// directly; all misses are computed in one cosineRows pass and cached.
+func batchVecRows(d *vecData, cache *rowCache, us []int, scratch [][]float32) [][]float32 {
+	out := scratch[:0]
+	if cap(out) < len(us) {
+		out = make([][]float32, 0, len(us))
+	}
+	var missPts []int
+	var missAt []int
+	for i, u := range us {
+		row := cache.get(u)
+		out = append(out, row)
+		if row == nil {
+			missPts = append(missPts, u)
+			missAt = append(missAt, i)
+		}
+	}
+	if len(missPts) > 0 {
+		rows := make([][]float32, len(missPts))
+		for i := range rows {
+			// One slice per row, not a flat block: cached rows are evicted
+			// independently, and a flat block would pin every row's memory
+			// for as long as any one of them stays cached.
+			rows[i] = make([]float32, d.n)
+		}
+		d.cosineRows(missPts, rows)
+		for i, u := range missPts {
+			cache.put(u, rows[i])
+			out[missAt[i]] = rows[i]
+		}
+	}
+	return out
+}
+
 var (
 	_ Snapshotter    = (*VecStore)(nil)
 	_ VectorAppender = (*VecStore)(nil)
 	_ Snapshot       = (*vecSnap)(nil)
+	_ RowBatcher     = (*VecStore)(nil)
+	_ RowBatcher     = (*vecSnap)(nil)
 )

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -16,11 +17,14 @@ import (
 // while result fan-out latency grows.
 const defaultBatch = 16
 
-// batchKey identifies solves that can share work: same pinned epoch, same
-// algorithm, same λ. For prefix-nested algorithms (core.PrefixNested) one
-// entry serves every cardinality — the trace's k-prefix answers each joiner
-// — so k stays zero in the key; all other algorithms only coalesce exact
-// duplicates, so k participates.
+// batchKey identifies solves that can share work on the plain (single-λ)
+// path: same pinned epoch, same algorithm, same λ. For prefix-nested
+// algorithms (core.PrefixNested) one entry serves every cardinality — the
+// trace's k-prefix answers each joiner — so k stays zero in the key; all
+// other algorithms only coalesce exact duplicates, so k participates.
+// Multi-λ-capable algorithms (core.MultiLambdaCapable) do not use this key
+// at all: they dispatch through the gang path below, which drops λ from the
+// key entirely.
 type batchKey struct {
 	seq    uint64
 	algo   core.Algo
@@ -57,13 +61,18 @@ type dispatcher struct {
 	limit int // max queries per batched solve; ≤ 1 disables coalescing
 	mu    sync.Mutex
 	calls map[batchKey]*batchCall
+	gangs map[gangKey]*gang
 
 	coalesced atomic.Uint64 // queries answered by joining another query's solve
 	solo      atomic.Uint64 // queries that ran a solve themselves
 }
 
 func newDispatcher(limit int) *dispatcher {
-	return &dispatcher{limit: limit, calls: make(map[batchKey]*batchCall)}
+	return &dispatcher{
+		limit: limit,
+		calls: make(map[batchKey]*batchCall),
+		gangs: make(map[gangKey]*gang),
+	}
 }
 
 // enabled reports whether the dispatcher coalesces at all.
@@ -119,4 +128,197 @@ func (d *dispatcher) solve(ctx context.Context, key batchKey, k int, prefix bool
 // counters returns (coalesced, solo) query counts for /stats.
 func (d *dispatcher) counters() (uint64, uint64) {
 	return d.coalesced.Load(), d.solo.Load()
+}
+
+// ---------------------------------------------------------------------------
+// Multi-λ gang dispatch
+// ---------------------------------------------------------------------------
+
+// gangKey identifies solves that one multi-λ fused solve can answer: same
+// pinned epoch, same algorithm. λ and k are deliberately absent from the key
+// — for the single-pick greedy family, core.SolveMultiTrace answers every
+// (λ, k) member from shared scan rounds, paying one d_u(S) row fold per
+// shared pick instead of one per λ.
+type gangKey struct {
+	seq  uint64
+	algo core.Algo
+}
+
+// multiCall is one generation of a gang: the (λ → max k) targets it will
+// answer, everyone riding it, and the per-λ traces once run. Lifecycle:
+// members gather (kmax still mutable) until the call is promoted to run —
+// immediately for the first arrival on an idle key, otherwise when the
+// previous generation finishes — then the first gathered member to wake
+// claims leadership, freezes kmax, and runs the fused solve with its own
+// context and pinned epoch. traces/err are written before done closes and
+// read only after; the channel orders the accesses.
+type multiCall struct {
+	done     chan struct{} // closed after traces/err are written
+	promoted chan struct{} // closed when the call may run (leadership claimable)
+	waiters  int           // queries this call will answer, leader included
+	kmax     map[float64]int
+	claimed  bool // a member claimed leadership; kmax is frozen
+	traces   map[float64]*core.GreedyTrace
+	err      error
+}
+
+func newMultiCall() *multiCall {
+	return &multiCall{
+		done:     make(chan struct{}),
+		promoted: make(chan struct{}),
+		kmax:     make(map[float64]int),
+	}
+}
+
+// gang is the per-key generation pair: the running (or claimable) call and
+// the next one gathering members the running call's frozen targets do not
+// cover. next exists only while running does; whoever finishes or abandons
+// running promotes it.
+type gang struct {
+	running *multiCall
+	next    *multiCall
+}
+
+// solveMulti answers one (λ, k) query of a multi-λ-capable algorithm: join
+// the running fused solve when it covers the target, otherwise gather into
+// the next generation and either claim its leadership when promoted or ride
+// the member that did. run receives the frozen targets and must return one
+// trace per λ; the caller's k is answered by its λ-trace's prefix. Returns
+// errJoinRetry when the joined leader died of its own cancellation (caller
+// still live → solve solo) or when both generations are full.
+func (d *dispatcher) solveMulti(ctx context.Context, key gangKey, lambda float64, k int,
+	run func(targets []core.LambdaTarget) (map[float64]*core.GreedyTrace, error),
+) (*core.GreedyTrace, error) {
+	d.mu.Lock()
+	g := d.gangs[key]
+	if g == nil {
+		g = &gang{}
+		d.gangs[key] = g
+	}
+	if g.running == nil {
+		// Idle key: lead immediately, exactly like the plain dispatcher.
+		call := newMultiCall()
+		call.claimed = true
+		close(call.promoted)
+		call.waiters = 1
+		call.kmax[lambda] = k
+		g.running = call
+		d.mu.Unlock()
+		return d.runGang(key, g, call, lambda, []core.LambdaTarget{{Lambda: lambda, K: k}}, run)
+	}
+	if call := g.running; call.claimed {
+		if kc, ok := call.kmax[lambda]; ok && k <= kc && call.waiters < d.limit {
+			// The running solve covers this target: join and wait for it.
+			call.waiters++
+			d.mu.Unlock()
+			return d.joinGang(ctx, call, lambda)
+		}
+	}
+	// Gather: enroll in the running call while its targets are still
+	// unfrozen, otherwise in the next generation.
+	call := g.running
+	if call.claimed || call.waiters >= d.limit {
+		if g.next == nil {
+			g.next = newMultiCall()
+		}
+		call = g.next
+		if call.waiters >= d.limit {
+			d.mu.Unlock()
+			return nil, errJoinRetry // both generations full; solve solo
+		}
+	}
+	call.waiters++
+	if kc, ok := call.kmax[lambda]; !ok || k > kc {
+		call.kmax[lambda] = k
+	}
+	d.mu.Unlock()
+
+	select {
+	case <-call.promoted:
+	case <-ctx.Done():
+		// Withdraw before the call could run. If this was the last member of
+		// an unclaimed call, clean it up so the gang cannot deadlock: an
+		// abandoned next generation is dropped, an abandoned running one
+		// promotes its successor.
+		d.mu.Lock()
+		call.waiters--
+		if call.waiters == 0 && !call.claimed {
+			switch call {
+			case g.next:
+				g.next = nil
+			case g.running:
+				d.promoteLocked(key, g)
+			}
+		}
+		d.mu.Unlock()
+		return nil, ctx.Err()
+	}
+	d.mu.Lock()
+	if !call.claimed {
+		// First member awake claims leadership and freezes the targets.
+		call.claimed = true
+		targets := make([]core.LambdaTarget, 0, len(call.kmax))
+		for l, kc := range call.kmax {
+			targets = append(targets, core.LambdaTarget{Lambda: l, K: kc})
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i].Lambda < targets[j].Lambda })
+		d.mu.Unlock()
+		return d.runGang(key, g, call, lambda, targets, run)
+	}
+	d.mu.Unlock()
+	return d.joinGang(ctx, call, lambda)
+}
+
+// runGang runs the fused solve as call's leader, publishes the result, and
+// promotes the next generation.
+func (d *dispatcher) runGang(key gangKey, g *gang, call *multiCall, lambda float64,
+	targets []core.LambdaTarget,
+	run func(targets []core.LambdaTarget) (map[float64]*core.GreedyTrace, error),
+) (*core.GreedyTrace, error) {
+	call.traces, call.err = run(targets)
+	d.mu.Lock()
+	if g.running == call {
+		d.promoteLocked(key, g)
+	}
+	d.mu.Unlock()
+	close(call.done)
+	d.solo.Add(1)
+	if call.err != nil {
+		return nil, call.err
+	}
+	return call.traces[lambda], nil
+}
+
+// promoteLocked retires the running call: the gathered next generation (if
+// any) becomes runnable, otherwise the key goes idle. Caller holds d.mu.
+func (d *dispatcher) promoteLocked(key gangKey, g *gang) {
+	g.running, g.next = g.next, nil
+	if g.running != nil {
+		close(g.running.promoted)
+	} else {
+		delete(d.gangs, key)
+	}
+}
+
+// joinGang waits for call's leader and materializes this member's answer,
+// with the same cancellation semantics as the plain dispatcher's join: the
+// member's own cancellation wins, and a leader that died of *its* context
+// turns into errJoinRetry so the member can solve solo.
+func (d *dispatcher) joinGang(ctx context.Context, call *multiCall, lambda float64) (*core.GreedyTrace, error) {
+	select {
+	case <-call.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if call.err != nil {
+		if errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, errJoinRetry
+		}
+		return nil, call.err
+	}
+	d.coalesced.Add(1)
+	return call.traces[lambda], nil
 }

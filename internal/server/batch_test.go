@@ -138,8 +138,10 @@ func TestDispatcherJoinRetryOnLeaderCancel(t *testing.T) {
 // layer: a storm of concurrent queries against a Batch=8 server returns
 // exactly the answers a Batch=1 (coalescing disabled) server gives for the
 // same corpus — same member IDs, same objective values — across the
-// prefix-nested algorithms and a spread of cardinalities. Run under -race
-// this also exercises the dispatcher for data races.
+// prefix-nested algorithms, a spread of cardinalities, AND a spread of λ
+// overrides (the greedy family coalesces across λ through the multi-λ gang;
+// every other algorithm runs per-λ). Run under -race this also exercises
+// both dispatcher paths for data races.
 func TestServerBatchedQueriesMatchSolo(t *testing.T) {
 	// One shard so both servers apply the load in identical order and build
 	// index-identical corpora — the responses can then be compared verbatim,
@@ -157,13 +159,27 @@ func TestServerBatchedQueriesMatchSolo(t *testing.T) {
 	loadItems(t, solo, n, dim, 77)
 
 	type q struct {
-		algo string
-		k    int
+		algo   string
+		k      int
+		lambda float64 // 0 = use the server default
+	}
+	request := func(qu q) DiversifyRequest {
+		req := DiversifyRequest{K: qu.k, Algorithm: qu.algo}
+		if qu.lambda != 0 {
+			l := qu.lambda
+			req.Lambda = &l
+		}
+		return req
 	}
 	var queries []q
 	for _, algo := range []string{"greedy", "greedy-improved", "oblivious", "localsearch"} {
 		for _, k := range []int{3, 7, 7, 12, 12, 12, 16} {
-			queries = append(queries, q{algo, k})
+			queries = append(queries, q{algo, k, 0})
+		}
+		// Mixed λ on the same epoch: PR 7's λ-keyed dispatcher ran these
+		// solo; the greedy family now folds them into one gang solve.
+		for _, lambda := range []float64{0.3, 0.3, 1.1, 2.5} {
+			queries = append(queries, q{algo, 9, lambda})
 		}
 	}
 	rand.New(rand.NewSource(7)).Shuffle(len(queries), func(i, j int) {
@@ -171,9 +187,9 @@ func TestServerBatchedQueriesMatchSolo(t *testing.T) {
 	})
 
 	wantFor := func(s *Server, qu q) *DiversifyResponse {
-		resp, err := s.Diversify(context.Background(), DiversifyRequest{K: qu.k, Algorithm: qu.algo})
+		resp, err := s.Diversify(context.Background(), request(qu))
 		if err != nil {
-			t.Fatalf("%s k=%d: %v", qu.algo, qu.k, err)
+			t.Fatalf("%s k=%d λ=%g: %v", qu.algo, qu.k, qu.lambda, err)
 		}
 		return resp
 	}
@@ -190,24 +206,24 @@ func TestServerBatchedQueriesMatchSolo(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			got, err := batched.Diversify(context.Background(), DiversifyRequest{K: qu.k, Algorithm: qu.algo})
+			got, err := batched.Diversify(context.Background(), request(qu))
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			ref := want[qu]
 			if len(got.Items) != len(ref.Items) {
-				errs[i] = fmt.Errorf("%s k=%d: %d items, solo %d", qu.algo, qu.k, len(got.Items), len(ref.Items))
+				errs[i] = fmt.Errorf("%s k=%d λ=%g: %d items, solo %d", qu.algo, qu.k, qu.lambda, len(got.Items), len(ref.Items))
 				return
 			}
 			for j := range got.Items {
 				if got.Items[j].ID != ref.Items[j].ID {
-					errs[i] = fmt.Errorf("%s k=%d item %d: id %q, solo %q", qu.algo, qu.k, j, got.Items[j].ID, ref.Items[j].ID)
+					errs[i] = fmt.Errorf("%s k=%d λ=%g item %d: id %q, solo %q", qu.algo, qu.k, qu.lambda, j, got.Items[j].ID, ref.Items[j].ID)
 					return
 				}
 			}
 			if got.Value != ref.Value || got.Quality != ref.Quality || got.Dispersion != ref.Dispersion {
-				errs[i] = fmt.Errorf("%s k=%d: values (%v %v %v), solo (%v %v %v)", qu.algo, qu.k,
+				errs[i] = fmt.Errorf("%s k=%d λ=%g: values (%v %v %v), solo (%v %v %v)", qu.algo, qu.k, qu.lambda,
 					got.Value, got.Quality, got.Dispersion, ref.Value, ref.Quality, ref.Dispersion)
 			}
 		}()

@@ -66,9 +66,11 @@ type corpus struct {
 // newCorpus builds an empty corpus on the named backend kind and publishes
 // its initial (empty) epoch, so queries always have something to pin.
 // batchLimit is the dispatcher's queries-per-solve cap; ≤ 1 disables
-// coalescing (every query solves solo).
-func newCorpus(pool *engine.Pool, backend string, batchLimit int) (*corpus, error) {
-	dist, err := metric.NewSnapshotter(backend)
+// coalescing (every query solves solo). rowCache bounds the vector
+// backends' distance-row cache (≤ 0 = the metric package's default; ignored
+// by triangular backends).
+func newCorpus(pool *engine.Pool, backend string, batchLimit, rowCache int) (*corpus, error) {
+	dist, err := metric.NewSnapshotterRowCache(backend, rowCache)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
@@ -265,6 +267,21 @@ func (c *corpus) residentBytes() int64 {
 	return build + c.store.supersededBytes()
 }
 
+// rowCacheStats reports the vector backend's distance-row cache shape and
+// lifetime hit/miss counters, aggregated across the build store and every
+// published snapshot. ok is false for triangular backends (no row cache).
+func (c *corpus) rowCacheStats() (rows int, hits, misses int64, ok bool) {
+	v, isVec := c.dist.(*metric.VecStore)
+	if !isVec {
+		return 0, 0, 0, false
+	}
+	c.mu.Lock()
+	rows = v.RowCacheCap()
+	c.mu.Unlock()
+	hits, misses = v.RowCacheCounters()
+	return rows, hits, misses, true
+}
+
 // epochSeq returns the current epoch's sequence number.
 func (c *corpus) epochSeq() uint64 { return c.store.current().seq }
 
@@ -309,9 +326,10 @@ type solveResult struct {
 //
 // Full-scope solves go through the batching dispatcher: concurrent queries
 // pinning the same epoch with a compatible (algo, λ, k) share one solve —
-// prefix-nested greedies even across different k — instead of redoing
-// identical candidate scans. Per-query pool overrides bypass coalescing
-// (their execution shape is theirs alone).
+// prefix-nested greedies even across different k, and the single-pick
+// greedy family (core.MultiLambdaCapable) even across different λ via the
+// multi-λ gang — instead of redoing identical candidate scans. Per-query
+// pool overrides bypass coalescing (their execution shape is theirs alone).
 func (c *corpus) solveFull(ctx context.Context, spec solveSpec) (*solveResult, error) {
 	e := c.store.pin()
 	defer c.store.unpin(e)
@@ -329,7 +347,32 @@ func (c *corpus) solveFull(ctx context.Context, spec solveSpec) (*solveResult, e
 		return nil, err
 	}
 	cs := core.Spec{Algo: spec.algo, K: k, Ctx: ctx, Pool: c.poolFor(spec)}
-	if c.batch.enabled() && spec.parallel == nil {
+	if c.batch.enabled() && spec.parallel == nil && core.MultiLambdaCapable(spec.algo) {
+		// Gang path: concurrent greedy-family queries on this epoch coalesce
+		// even across different λ — one fused solve answers every (λ, k)
+		// member, sharing each round's d_u(S) row fold between the λs whose
+		// trajectories still agree.
+		tr, err := c.batch.solveMulti(ctx, gangKey{seq: e.seq, algo: spec.algo}, spec.lambda, k,
+			func(targets []core.LambdaTarget) (map[float64]*core.GreedyTrace, error) {
+				traces, err := core.SolveMultiTrace(obj, core.Spec{Algo: spec.algo, Ctx: ctx, Pool: cs.Pool}, targets)
+				if err != nil {
+					return nil, err
+				}
+				out := make(map[float64]*core.GreedyTrace, len(targets))
+				for i, target := range targets {
+					out[target.Lambda] = traces[i]
+				}
+				return out, nil
+			})
+		switch {
+		case err == nil:
+			return resultFromSolution(e, tr.Solution(k), n), nil
+		case errors.Is(err, errJoinRetry):
+			// Fall through to a solo solve on the same pinned epoch.
+		default:
+			return nil, err
+		}
+	} else if c.batch.enabled() && spec.parallel == nil {
 		prefix := core.PrefixNested(spec.algo, k)
 		key := batchKey{seq: e.seq, algo: spec.algo, lambda: spec.lambda}
 		if !prefix {

@@ -257,7 +257,7 @@ func TestServerQueryTimeout(t *testing.T) {
 // silently serve corrupt results — the corpus must panic with a diagnostic,
 // not swallow the error and limp on.
 func TestCorpusDeleteInvariantViolationPanics(t *testing.T) {
-	c, err := newCorpus(nil, metric.KindF64, 1)
+	c, err := newCorpus(nil, metric.KindF64, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

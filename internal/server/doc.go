@@ -48,6 +48,15 @@
 //     materializes its own k-prefix, bit-identical to a solo solve. A
 //     joiner whose leader is cancelled falls back to a solo solve; /stats
 //     reports the coalesced/solo split.
+//
+//     The single-pick greedy family ("greedy", "oblivious") coalesces even
+//     across DIFFERENT λ values: queries that agree only on (epoch,
+//     algorithm) gather briefly into a multi-λ gang and run one fused solve
+//     (core.SolveMultiTrace) that shares each round's candidate scan and
+//     distance-row fold across every λ whose trajectory still agrees,
+//     forking per-λ only where the picks diverge. Each member's trace is
+//     bit-identical to its solo solve.
+//
 //   - Mutation backpressure (Config.MaxEpochsLive, cmd/serve
 //     -max-epochs-live): every published-but-pinned epoch keeps distance
 //     rows resident, so when slow readers hold more than the bound alive,
@@ -64,7 +73,13 @@
 // The backend representation is pluggable (Config.Backend, cmd/serve
 // -backend): "f64" stores exact float64 rows; "f32" stores float32 rows at
 // half the resident bytes (~2·n² vs ~4·n² for n items), which is what lets
-// corpora twice as large fit the same memory budget. Either way the query
+// corpora twice as large fit the same memory budget; "vec-f32"/"vec-int8"
+// store only the item vectors (O(n·d) resident) and compute cosine rows on
+// demand through maxsumdiv/internal/metric's dispatched dot kernels,
+// behind a bounded per-snapshot row cache (Config.RowCache, cmd/serve
+// -row-cache). /stats reports the compiled kernel variant
+// (corpus.kernel) and, on vector backends, the row-cache hit/miss/evict
+// counters (corpus.row_cache). Either way the query
 // path constructs no problem, no distance backend, and no worker pool,
 // whatever algorithm, λ, or k each request carries, and the request
 // context cancels a solve mid-scan. The "maintained" scope instead solves

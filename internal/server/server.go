@@ -148,6 +148,14 @@ type Config struct {
 	// retained-generation memory unboundedly. 0 selects the default (64);
 	// negative disables the bound.
 	MaxEpochsLive int
+	// RowCache bounds the vector backends' distance-row cache: how many
+	// computed rows the corpus store and each published epoch keep (memory
+	// ≈ rows·items·4 bytes per live cache). 0 selects the metric package's
+	// default (64); negative is rejected. Ignored by the triangular
+	// backends, which store every row. Raise it when the working set —
+	// large maintained selections, wide coalesced query fan-out — thrashes
+	// the default, visible as a low row-cache hit rate in /stats.
+	RowCache int
 }
 
 func (c Config) withDefaults() Config {
@@ -224,8 +232,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Batch < 0 {
 		return nil, fmt.Errorf("server: batch = %d, want ≥ 0 (1 disables coalescing)", cfg.Batch)
 	}
+	if cfg.RowCache < 0 {
+		return nil, fmt.Errorf("server: row cache = %d, want ≥ 0 (0 selects the default)", cfg.RowCache)
+	}
 	pool := engine.New(cfg.Parallelism)
-	corpus, err := newCorpus(pool, string(cfg.Backend), cfg.Batch)
+	corpus, err := newCorpus(pool, string(cfg.Backend), cfg.Batch, cfg.RowCache)
 	if err != nil {
 		return nil, err
 	}
@@ -781,6 +792,10 @@ func (s *Server) Stats() Stats {
 		ResidentBytes: s.corpus.residentBytes(),
 	}
 	cs.QueriesCoalesced, cs.QueriesSolo = s.corpus.batch.counters()
+	cs.Kernel = metric.KernelVariant()
+	if rows, hits, misses, ok := s.corpus.rowCacheStats(); ok {
+		cs.RowCache = &RowCacheStats{Rows: rows, Hits: hits, Misses: misses}
+	}
 	if items > 0 {
 		cs.BytesPerItem = float64(cs.ResidentBytes) / float64(items)
 	}

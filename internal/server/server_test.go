@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"maxsumdiv/internal/metric"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -433,5 +435,51 @@ func TestServerStatsCorpusCounters(t *testing.T) {
 	if st.Corpus.ResidentBytes < 4_000_000 || st.Corpus.BytesPerItem < 4000 {
 		t.Fatalf("resident bytes = %d (%.0f/item), implausibly small for n=1100",
 			st.Corpus.ResidentBytes, st.Corpus.BytesPerItem)
+	}
+}
+
+// TestServerRowCacheConfigAndStats pins the Config.RowCache plumbing: the
+// bound reaches the vector backend's cache, /stats surfaces it with live
+// hit/miss counters and the binary's kernel variant, triangular backends
+// report no row cache, and a negative bound is rejected at construction.
+func TestServerRowCacheConfigAndStats(t *testing.T) {
+	if _, err := New(Config{RowCache: -1}); err == nil {
+		t.Fatal("negative RowCache accepted")
+	}
+	s, err := New(Config{Shards: 1, Parallelism: 1, Backend: BackendVecF32, RowCache: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadItems(t, s, 60, 4, 5)
+	for i := 0; i < 2; i++ { // second query hits the rows the first cached
+		if _, err := s.Diversify(context.Background(), DiversifyRequest{K: 6, Algorithm: "greedy"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Corpus.Kernel != metric.KernelVariant() {
+		t.Fatalf("stats kernel %q, want %q", st.Corpus.Kernel, metric.KernelVariant())
+	}
+	rc := st.Corpus.RowCache
+	if rc == nil {
+		t.Fatal("vector backend reports no row cache")
+	}
+	if rc.Rows != 7 {
+		t.Fatalf("row cache rows = %d, want configured 7", rc.Rows)
+	}
+	if rc.Misses == 0 {
+		t.Fatalf("row cache misses = 0 after greedy solves (hits=%d)", rc.Hits)
+	}
+
+	tri, err := New(Config{Shards: 1, RowCache: 7}) // ignored by triangular backends
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = tri.Stats()
+	if st.Corpus.RowCache != nil {
+		t.Fatalf("triangular backend reports a row cache: %+v", st.Corpus.RowCache)
+	}
+	if st.Corpus.Kernel == "" {
+		t.Fatal("stats kernel empty")
 	}
 }

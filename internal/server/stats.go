@@ -121,11 +121,30 @@ type CorpusStats struct {
 	ResidentBytes int64   `json:"resident_bytes"`
 	BytesPerItem  float64 `json:"bytes_per_item,omitempty"`
 	// QueriesCoalesced counts full-scope queries answered by joining
-	// another in-flight query's solve; QueriesSolo counts full-scope
-	// queries that ran the solve themselves. Subset-scoped queries always
-	// solve solo and appear in neither.
+	// another in-flight query's solve (including multi-λ gang members);
+	// QueriesSolo counts full-scope queries that ran a solve themselves.
+	// Subset-scoped queries always solve solo and appear in neither.
 	QueriesCoalesced uint64 `json:"queries_coalesced"`
 	QueriesSolo      uint64 `json:"queries_solo"`
+	// Kernel names the dot-product kernel variant this binary dispatched at
+	// build time ("amd64-v3", "arm64", "purego", …) — the implementation
+	// behind every vector-backend distance, so perf reports can be matched
+	// to the code path that produced them.
+	Kernel string `json:"kernel"`
+	// RowCache reports the vector backends' distance-row cache; nil for
+	// triangular backends (which store every row and cache nothing).
+	RowCache *RowCacheStats `json:"row_cache,omitempty"`
+}
+
+// RowCacheStats is the vector backends' distance-row cache row in /stats:
+// the configured bound (Config.RowCache) and lifetime hit/miss counters
+// aggregated across the build store and every published epoch. A low hit
+// rate under steady query load means the working set exceeds Rows — each
+// miss recomputes an O(items·dim) row.
+type RowCacheStats struct {
+	Rows   int   `json:"rows"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 }
 
 // Stats is the /stats response body.
